@@ -1,0 +1,178 @@
+//! Thread-local field-operation counters.
+//!
+//! The paper defines throughput (§2.2) as
+//! `λ = K / (Σ_i (c(ρ_i) + c(ψ_i) + c(χ_i)) / N)` where `c(h)` is the number
+//! of additions and multiplications in `F`. These counters let the harness
+//! measure `c(·)` exactly, rather than approximate it with wall-clock time.
+//!
+//! Counting is performed by the [`crate::Counting`] wrapper field; base field
+//! types never pay the accounting cost.
+
+use std::cell::Cell;
+
+/// A snapshot of accumulated field-operation counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct OpCounts {
+    /// Number of additions and subtractions (the paper counts both as
+    /// additions).
+    pub adds: u64,
+    /// Number of multiplications.
+    pub muls: u64,
+    /// Number of inversions / divisions.
+    pub invs: u64,
+}
+
+impl OpCounts {
+    /// Total operations with inversions weighted as single operations.
+    ///
+    /// The paper's complexity measure counts "additions and multiplications";
+    /// inversions are realized as `O(log |F|)` multiplications but appear
+    /// rarely enough that reporting them separately is more informative.
+    pub fn total(&self) -> u64 {
+        self.adds + self.muls + self.invs
+    }
+
+    /// Element-wise difference, saturating at zero.
+    pub fn since(&self, earlier: &OpCounts) -> OpCounts {
+        OpCounts {
+            adds: self.adds.saturating_sub(earlier.adds),
+            muls: self.muls.saturating_sub(earlier.muls),
+            invs: self.invs.saturating_sub(earlier.invs),
+        }
+    }
+}
+
+impl std::ops::Add for OpCounts {
+    type Output = OpCounts;
+    fn add(self, rhs: OpCounts) -> OpCounts {
+        OpCounts {
+            adds: self.adds + rhs.adds,
+            muls: self.muls + rhs.muls,
+            invs: self.invs + rhs.invs,
+        }
+    }
+}
+
+impl std::ops::AddAssign for OpCounts {
+    fn add_assign(&mut self, rhs: OpCounts) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::fmt::Display for OpCounts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} adds, {} muls, {} invs",
+            self.adds, self.muls, self.invs
+        )
+    }
+}
+
+thread_local! {
+    static ADDS: Cell<u64> = const { Cell::new(0) };
+    static MULS: Cell<u64> = const { Cell::new(0) };
+    static INVS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Records one addition/subtraction on the current thread.
+#[inline]
+pub fn record_add() {
+    ADDS.with(|c| c.set(c.get().wrapping_add(1)));
+}
+
+/// Records one multiplication on the current thread.
+#[inline]
+pub fn record_mul() {
+    MULS.with(|c| c.set(c.get().wrapping_add(1)));
+}
+
+/// Records one inversion/division on the current thread.
+#[inline]
+pub fn record_inv() {
+    INVS.with(|c| c.set(c.get().wrapping_add(1)));
+}
+
+/// Resets the current thread's counters to zero.
+pub fn reset() {
+    ADDS.with(|c| c.set(0));
+    MULS.with(|c| c.set(0));
+    INVS.with(|c| c.set(0));
+}
+
+/// Reads the current thread's counters without resetting them.
+pub fn snapshot() -> OpCounts {
+    OpCounts {
+        adds: ADDS.with(Cell::get),
+        muls: MULS.with(Cell::get),
+        invs: INVS.with(Cell::get),
+    }
+}
+
+/// Runs `f` and returns its result together with the operations it performed
+/// on the current thread.
+///
+/// Nested `measure` calls attribute inner work to both scopes, which matches
+/// the paper's accounting: a node's total cost includes the cost of every
+/// sub-procedure it runs.
+pub fn measure<T>(f: impl FnOnce() -> T) -> (T, OpCounts) {
+    let before = snapshot();
+    let out = f();
+    let after = snapshot();
+    (out, after.since(&before))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_isolates_scope() {
+        reset();
+        record_add();
+        let ((), inner) = measure(|| {
+            record_mul();
+            record_mul();
+            record_inv();
+        });
+        assert_eq!(
+            inner,
+            OpCounts {
+                adds: 0,
+                muls: 2,
+                invs: 1
+            }
+        );
+        let total = snapshot();
+        assert_eq!(total.adds, 1);
+        assert_eq!(total.muls, 2);
+        assert_eq!(total.total(), 4);
+    }
+
+    #[test]
+    fn since_saturates() {
+        let a = OpCounts {
+            adds: 1,
+            muls: 0,
+            invs: 0,
+        };
+        let b = OpCounts {
+            adds: 5,
+            muls: 2,
+            invs: 0,
+        };
+        assert_eq!(a.since(&b), OpCounts::default());
+    }
+
+    #[test]
+    fn counts_add() {
+        let a = OpCounts {
+            adds: 1,
+            muls: 2,
+            invs: 3,
+        };
+        let mut b = a;
+        b += a;
+        assert_eq!(b.total(), 12);
+    }
+}

@@ -1,0 +1,263 @@
+//! Fast (quasi-linear) multi-point evaluation and interpolation via
+//! subproduct trees.
+//!
+//! §6.2 of the paper delegates all coding work to a single worker node and
+//! relies on "fast polynomial arithmetic" to make the *total* coding cost
+//! `O(N log²N log log N)` instead of the `O(N·K)` the per-node naive scheme
+//! pays in aggregate. This module implements the classical subproduct-tree
+//! algorithms (von zur Gathen & Gerhard, *Modern Computer Algebra*,
+//! Algorithms 10.5–10.11):
+//!
+//! * **down-tree remaindering** for multi-point evaluation, and
+//! * **up-tree linear combination** for interpolation,
+//!
+//! each using `O(M(n) log n)` field operations where `M(n)` is the cost of
+//! polynomial multiplication (Karatsuba here, so `M(n) = O(n^1.585)`).
+//! The asymptotic *shape* of the paper's claim — a centralized worker beats
+//! N nodes each doing `O(K)` work — is preserved; see `EXPERIMENTS.md` F-B.
+
+use crate::field::Field;
+use crate::poly::Poly;
+
+/// A binary subproduct tree over a fixed set of evaluation points.
+///
+/// Level 0 holds the linear leaves `z - x_i`; each higher level holds the
+/// product of its two children; the root is `Π_i (z - x_i)`.
+///
+/// Building the tree costs `O(M(n) log n)`; it can then be reused for many
+/// evaluations/interpolations over the same points — exactly the worker's
+/// situation, since `α_1..α_N` and `ω_1..ω_K` are fixed for the lifetime of
+/// the cluster.
+///
+/// # Examples
+///
+/// ```
+/// use csm_algebra::{Field, Fp61, Poly, SubproductTree};
+///
+/// let points: Vec<Fp61> = (0..5).map(Fp61::from_u64).collect();
+/// let tree = SubproductTree::new(&points);
+/// let p = Poly::new(vec![Fp61::from_u64(1), Fp61::from_u64(2)]);
+/// assert_eq!(tree.eval(&p), p.eval_many(&points));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SubproductTree<F> {
+    points: Vec<F>,
+    /// `levels[0]` = leaves, `levels.last()` = `[root]`.
+    levels: Vec<Vec<Poly<F>>>,
+}
+
+impl<F: Field> SubproductTree<F> {
+    /// Builds the tree for the given points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty.
+    pub fn new(points: &[F]) -> Self {
+        assert!(!points.is_empty(), "subproduct tree needs at least one point");
+        let leaves: Vec<Poly<F>> = points
+            .iter()
+            .map(|&x| Poly::new(vec![-x, F::ONE]))
+            .collect();
+        let mut levels = vec![leaves];
+        while levels.last().unwrap().len() > 1 {
+            let prev = levels.last().unwrap();
+            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
+            for chunk in prev.chunks(2) {
+                if chunk.len() == 2 {
+                    next.push(&chunk[0] * &chunk[1]);
+                } else {
+                    next.push(chunk[0].clone());
+                }
+            }
+            levels.push(next);
+        }
+        SubproductTree {
+            points: points.to_vec(),
+            levels,
+        }
+    }
+
+    /// The evaluation points this tree was built over.
+    pub fn points(&self) -> &[F] {
+        &self.points
+    }
+
+    /// The master polynomial `m(z) = Π_i (z - x_i)`.
+    pub fn master(&self) -> &Poly<F> {
+        &self.levels.last().expect("nonempty")[0]
+    }
+
+    /// Evaluates `p` at every tree point by recursive remaindering:
+    /// `O(M(n) log n)` once `deg p < n`, plus one initial reduction.
+    pub fn eval(&self, p: &Poly<F>) -> Vec<F> {
+        let reduced = p.div_rem(self.master()).1;
+        let mut out = vec![F::ZERO; self.points.len()];
+        self.eval_rec(self.levels.len() - 1, 0, &reduced, &mut out);
+        out
+    }
+
+    fn eval_rec(&self, level: usize, idx: usize, p: &Poly<F>, out: &mut [F]) {
+        if level == 0 {
+            // leaf idx covers point idx; remainder mod (z - x) is p(x)
+            out[idx] = p.eval(self.points[idx]);
+            return;
+        }
+        let left = 2 * idx;
+        let right = 2 * idx + 1;
+        let children = &self.levels[level - 1];
+        if right >= children.len() {
+            // odd node passed straight up: same polynomial range
+            self.eval_rec(level - 1, left, p, out);
+            return;
+        }
+        let rl = p.div_rem(&children[left]).1;
+        let rr = p.div_rem(&children[right]).1;
+        self.eval_rec(level - 1, left, &rl, out);
+        self.eval_rec(level - 1, right, &rr, out);
+    }
+
+    /// Interpolates the unique polynomial of degree `< n` through
+    /// `(points[i], values[i])` in `O(M(n) log n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != points.len()` or the points are not
+    /// pairwise distinct.
+    pub fn interpolate(&self, values: &[F]) -> Poly<F> {
+        assert_eq!(
+            values.len(),
+            self.points.len(),
+            "value count must match tree points"
+        );
+        // m'(x_i) via fast evaluation of the derivative.
+        let mp = self.master().derivative();
+        let denoms = self.eval(&mp);
+        let inv = F::batch_inverse(&denoms)
+            .expect("duplicate interpolation points (m'(x_i) = 0)");
+        let weights: Vec<F> = values
+            .iter()
+            .zip(&inv)
+            .map(|(&v, &d)| v * d)
+            .collect();
+        self.combine_rec(self.levels.len() - 1, 0, &weights)
+    }
+
+    /// Up-tree linear combination: returns `Σ_i w_i · m(z)/(z - x_i)`
+    /// restricted to the subtree at (level, idx).
+    fn combine_rec(&self, level: usize, idx: usize, weights: &[F]) -> Poly<F> {
+        if level == 0 {
+            return Poly::constant(weights[idx]);
+        }
+        let left = 2 * idx;
+        let right = 2 * idx + 1;
+        let children = &self.levels[level - 1];
+        if right >= children.len() {
+            return self.combine_rec(level - 1, left, weights);
+        }
+        let l = self.combine_rec(level - 1, left, weights);
+        let r = self.combine_rec(level - 1, right, weights);
+        l * children[right].clone() + r * children[left].clone()
+    }
+}
+
+/// Fast multi-point evaluation convenience wrapper (builds a throwaway
+/// tree). Prefer holding a [`SubproductTree`] when the points are reused.
+pub fn fast_eval_many<F: Field>(p: &Poly<F>, points: &[F]) -> Vec<F> {
+    if points.is_empty() {
+        return Vec::new();
+    }
+    SubproductTree::new(points).eval(p)
+}
+
+/// Fast interpolation convenience wrapper (builds a throwaway tree).
+pub fn fast_interpolate<F: Field>(points: &[F], values: &[F]) -> Poly<F> {
+    assert_eq!(points.len(), values.len(), "point/value length mismatch");
+    if points.is_empty() {
+        return Poly::zero();
+    }
+    SubproductTree::new(points).interpolate(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Fp61, Gf2_16};
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn tree_master_is_product_of_roots() {
+        let pts: Vec<Fp61> = (1..=9).map(Fp61::from_u64).collect();
+        let tree = SubproductTree::new(&pts);
+        assert_eq!(*tree.master(), Poly::from_roots(&pts));
+    }
+
+    #[test]
+    fn fast_eval_matches_naive_various_sizes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for n in [1usize, 2, 3, 7, 8, 9, 31, 64, 100] {
+            let pts: Vec<Fp61> = (0..n as u64).map(Fp61::from_u64).collect();
+            let p = Poly::new((0..n).map(|_| Fp61::from_u64(rng.gen())).collect());
+            assert_eq!(fast_eval_many(&p, &pts), p.eval_many(&pts), "n={n}");
+        }
+    }
+
+    #[test]
+    fn fast_eval_high_degree_poly() {
+        // Polynomial of degree larger than the point count.
+        let pts: Vec<Fp61> = (0..5).map(Fp61::from_u64).collect();
+        let p = Poly::monomial(Fp61::from_u64(3), 20);
+        assert_eq!(fast_eval_many(&p, &pts), p.eval_many(&pts));
+    }
+
+    #[test]
+    fn fast_interpolate_matches_naive() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for n in [1usize, 2, 5, 16, 33, 100] {
+            let pts: Vec<Fp61> = (0..n as u64).map(|i| Fp61::from_u64(i * 3 + 1)).collect();
+            let vals: Vec<Fp61> = (0..n).map(|_| Fp61::from_u64(rng.gen())).collect();
+            let fast = fast_interpolate(&pts, &vals);
+            let naive = Poly::interpolate(&pts, &vals);
+            assert_eq!(fast, naive, "n={n}");
+        }
+    }
+
+    #[test]
+    fn interpolate_eval_roundtrip_gf2m() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let pts: Vec<Gf2_16> = (0..50).map(|i| Gf2_16::from_u64(i + 1)).collect();
+        let tree = SubproductTree::new(&pts);
+        let vals: Vec<Gf2_16> = (0..50).map(|_| Gf2_16::random(&mut rng)).collect();
+        let p = tree.interpolate(&vals);
+        assert!(p.degree().unwrap_or(0) < 50);
+        assert_eq!(tree.eval(&p), vals);
+    }
+
+    #[test]
+    fn reusing_tree_is_consistent() {
+        let pts: Vec<Fp61> = (10..42).map(Fp61::from_u64).collect();
+        let tree = SubproductTree::new(&pts);
+        for seed in 0..3 {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let vals: Vec<Fp61> = (0..32).map(|_| Fp61::from_u64(rng.gen())).collect();
+            let p = tree.interpolate(&vals);
+            assert_eq!(tree.eval(&p), vals);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_tree_panics() {
+        let _: SubproductTree<Fp61> = SubproductTree::new(&[]);
+    }
+
+    #[test]
+    fn odd_sizes_exercise_unbalanced_nodes() {
+        for n in [3usize, 5, 11, 13, 21] {
+            let pts: Vec<Fp61> = (0..n as u64).map(|i| Fp61::from_u64(i * 7 + 2)).collect();
+            let tree = SubproductTree::new(&pts);
+            let vals: Vec<Fp61> = (0..n as u64).map(|i| Fp61::from_u64(i * i + 1)).collect();
+            let p = tree.interpolate(&vals);
+            assert_eq!(p.eval_many(&pts), vals, "n={n}");
+        }
+    }
+}

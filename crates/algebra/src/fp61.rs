@@ -1,0 +1,253 @@
+//! The prime field `F_p` with `p = 2^61 - 1` (a Mersenne prime).
+//!
+//! Mersenne reduction makes multiplication two shifts and an add, and the
+//! field is comfortably large enough for any network size the CSM harness
+//! simulates. Prime fields model the paper's arithmetic examples directly
+//! ("updating the balance of a bank account is a linear function", §4).
+
+use crate::field::Field;
+use rand::Rng;
+
+/// The Mersenne prime `2^61 - 1`.
+pub const P: u64 = (1 << 61) - 1;
+
+/// An element of `F_p`, `p = 2^61 - 1`, stored in canonical form `< p`.
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    Default,
+    PartialEq,
+    Eq,
+    Hash,
+    PartialOrd,
+    Ord,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+pub struct Fp61(u64);
+
+impl Fp61 {
+    /// Constructs an element, reducing `v` modulo `p`.
+    pub fn new(v: u64) -> Self {
+        Self(reduce64(v))
+    }
+
+    /// The canonical representative in `[0, p)`.
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Reduces a `u64` modulo `p = 2^61 - 1`.
+#[inline]
+fn reduce64(x: u64) -> u64 {
+    let r = (x & P) + (x >> 61);
+    if r >= P {
+        r - P
+    } else {
+        r
+    }
+}
+
+/// Reduces a full 128-bit product modulo `p = 2^61 - 1`.
+#[inline]
+fn reduce128(x: u128) -> u64 {
+    // x = hi * 2^61 + lo, and 2^61 ≡ 1 (mod p).
+    let lo = (x as u64) & P;
+    let mid = ((x >> 61) as u64) & P;
+    let hi = (x >> 122) as u64;
+    reduce64(reduce64(lo + mid) + hi)
+}
+
+impl std::fmt::Display for Fp61 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::ops::Add for Fp61 {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        let s = self.0 + rhs.0; // < 2^62, no overflow
+        Self(if s >= P { s - P } else { s })
+    }
+}
+
+impl std::ops::Sub for Fp61 {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        let (d, borrow) = self.0.overflowing_sub(rhs.0);
+        Self(if borrow { d.wrapping_add(P) } else { d })
+    }
+}
+
+impl std::ops::Neg for Fp61 {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        if self.0 == 0 {
+            self
+        } else {
+            Self(P - self.0)
+        }
+    }
+}
+
+impl std::ops::Mul for Fp61 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Self(reduce128(self.0 as u128 * rhs.0 as u128))
+    }
+}
+
+impl std::ops::Div for Fp61 {
+    type Output = Self;
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    #[allow(clippy::suspicious_arithmetic_impl)] // field division = mul by inverse
+    fn div(self, rhs: Self) -> Self {
+        self * rhs.inverse().expect("division by zero field element")
+    }
+}
+
+impl std::ops::AddAssign for Fp61 {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+impl std::ops::SubAssign for Fp61 {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+impl std::ops::MulAssign for Fp61 {
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+impl std::ops::DivAssign for Fp61 {
+    fn div_assign(&mut self, rhs: Self) {
+        *self = *self / rhs;
+    }
+}
+
+impl std::iter::Sum for Fp61 {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, |a, b| a + b)
+    }
+}
+
+impl std::iter::Product for Fp61 {
+    fn product<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ONE, |a, b| a * b)
+    }
+}
+
+impl From<u64> for Fp61 {
+    fn from(v: u64) -> Self {
+        Self::new(v)
+    }
+}
+
+impl Field for Fp61 {
+    const ZERO: Self = Self(0);
+    const ONE: Self = Self(1);
+
+    fn order() -> u128 {
+        P as u128
+    }
+
+    fn characteristic() -> u64 {
+        P
+    }
+
+    fn inverse(&self) -> Option<Self> {
+        if self.0 == 0 {
+            None
+        } else {
+            // Fermat: x^(p-2) = x^-1.
+            Some(self.pow(P - 2))
+        }
+    }
+
+    fn from_u64(v: u64) -> Self {
+        Self::new(v)
+    }
+
+    fn to_canonical_u64(&self) -> u64 {
+        self.0
+    }
+
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // Rejection sampling on 61-bit values for uniformity.
+        loop {
+            let v = rng.gen::<u64>() >> 3;
+            if v < P {
+                return Self(v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction_at_boundaries() {
+        assert_eq!(Fp61::new(P).value(), 0);
+        assert_eq!(Fp61::new(P + 1).value(), 1);
+        assert_eq!(Fp61::new(u64::MAX).value(), u64::MAX % P);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = Fp61::new(P - 1);
+        let b = Fp61::new(12345);
+        assert_eq!(a + b - b, a);
+        assert_eq!(a - b + b, a);
+    }
+
+    #[test]
+    fn neg_of_zero_is_zero() {
+        assert_eq!(-Fp61::ZERO, Fp61::ZERO);
+    }
+
+    #[test]
+    fn mul_matches_u128_reference() {
+        let cases = [
+            (0u64, 0u64),
+            (1, P - 1),
+            (P - 1, P - 1),
+            (1 << 60, 1 << 60),
+            (0xDEADBEEF, 0xCAFEBABE),
+        ];
+        for (a, b) in cases {
+            let expect = ((a as u128 % P as u128) * (b as u128 % P as u128) % P as u128) as u64;
+            assert_eq!((Fp61::new(a) * Fp61::new(b)).value(), expect);
+        }
+    }
+
+    #[test]
+    fn fermat_inverse() {
+        for v in [1u64, 2, 3, 7, P - 1, 0x123456789] {
+            let x = Fp61::new(v);
+            assert_eq!(x * x.inverse().unwrap(), Fp61::ONE);
+        }
+        assert!(Fp61::ZERO.inverse().is_none());
+    }
+
+    #[test]
+    fn random_is_canonical() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert!(Fp61::random(&mut rng).value() < P);
+        }
+    }
+}

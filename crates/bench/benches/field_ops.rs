@@ -1,0 +1,48 @@
+//! Microbenchmarks for field arithmetic — the constant factors underneath
+//! every other number in the harness (ablation: GF(2^16) carry-less vs
+//! Fp61 Mersenne arithmetic).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use csm_algebra::{Field, Fp61, Gf2_16, Gf2_8};
+use rand::SeedableRng;
+
+fn bench_field<F: Field>(c: &mut Criterion, name: &str) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let xs: Vec<F> = (0..256).map(|_| F::random(&mut rng)).collect();
+    let ys: Vec<F> = (0..256).map(|_| F::random(&mut rng)).collect();
+    c.bench_function(&format!("{name}/mul_256"), |b| {
+        b.iter(|| {
+            let mut acc = F::ONE;
+            for (&x, &y) in xs.iter().zip(&ys) {
+                acc += black_box(x) * black_box(y);
+            }
+            acc
+        })
+    });
+    c.bench_function(&format!("{name}/add_256"), |b| {
+        b.iter(|| {
+            let mut acc = F::ZERO;
+            for (&x, &y) in xs.iter().zip(&ys) {
+                acc += black_box(x) + black_box(y);
+            }
+            acc
+        })
+    });
+    c.bench_function(&format!("{name}/inverse"), |b| {
+        let x = xs.iter().find(|x| !x.is_zero()).copied().unwrap();
+        b.iter(|| black_box(x).inverse())
+    });
+}
+
+fn benches(c: &mut Criterion) {
+    bench_field::<Fp61>(c, "fp61");
+    bench_field::<Gf2_16>(c, "gf2_16");
+    bench_field::<Gf2_8>(c, "gf2_8");
+}
+
+criterion_group! {
+    name = group;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = benches
+}
+criterion_main!(group);

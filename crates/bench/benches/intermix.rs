@@ -1,0 +1,78 @@
+//! INTERMIX session benchmarks: honest sessions, fraud localization, and
+//! the committee-size (J) knob.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csm_algebra::{Field, Fp61, Matrix};
+use csm_intermix::{run_session, AuditorBehavior, SessionConfig, WorkerBehavior};
+use rand::{Rng, SeedableRng};
+
+fn setup(n: usize, k: usize) -> (Matrix<Fp61>, Vec<Fp61>) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let a = Matrix::from_rows(
+        n,
+        k,
+        (0..n * k).map(|_| Fp61::from_u64(rng.gen())).collect(),
+    );
+    let x: Vec<Fp61> = (0..k).map(|_| Fp61::from_u64(rng.gen())).collect();
+    (a, x)
+}
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("intermix_session");
+    for k in [64usize, 256, 1024] {
+        let (a, x) = setup(32, k);
+        let auditors = vec![AuditorBehavior::Honest; 5];
+        group.bench_with_input(BenchmarkId::new("honest", k), &k, |b, _| {
+            b.iter(|| {
+                run_session(
+                    &a,
+                    &x,
+                    &WorkerBehavior::Honest,
+                    &auditors,
+                    &SessionConfig::default(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("consistent_liar", k), &k, |b, _| {
+            b.iter(|| {
+                run_session(
+                    &a,
+                    &x,
+                    &WorkerBehavior::ConsistentLiar {
+                        row: 7,
+                        delta: Fp61::ONE,
+                        alternate: true,
+                    },
+                    &auditors,
+                    &SessionConfig::default(),
+                )
+            })
+        });
+    }
+    group.finish();
+
+    let mut jgroup = c.benchmark_group("intermix_committee_size");
+    let (a, x) = setup(32, 256);
+    for j in [1usize, 5, 13, 25] {
+        let auditors = vec![AuditorBehavior::Honest; j];
+        jgroup.bench_with_input(BenchmarkId::new("honest", j), &j, |b, _| {
+            b.iter(|| {
+                run_session(
+                    &a,
+                    &x,
+                    &WorkerBehavior::Honest,
+                    &auditors,
+                    &SessionConfig::default(),
+                )
+            })
+        });
+    }
+    jgroup.finish();
+}
+
+criterion_group! {
+    name = group;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = benches
+}
+criterion_main!(group);

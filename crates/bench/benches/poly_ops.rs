@@ -1,0 +1,52 @@
+//! Polynomial arithmetic benchmarks: the naive-vs-fast ablation behind the
+//! §6.2 centralized worker (interpolation and multi-point evaluation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csm_algebra::{distinct_elements, fast_interpolate, Field, Fp61, Poly, SubproductTree};
+use rand::{Rng, SeedableRng};
+
+fn setup(n: usize) -> (Vec<Fp61>, Vec<Fp61>, Poly<Fp61>) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let points: Vec<Fp61> = distinct_elements(0, n);
+    let values: Vec<Fp61> = (0..n).map(|_| Fp61::from_u64(rng.gen())).collect();
+    let poly = Poly::new((0..n).map(|_| Fp61::from_u64(rng.gen())).collect::<Vec<_>>());
+    (points, values, poly)
+}
+
+fn benches(c: &mut Criterion) {
+    let mut interp = c.benchmark_group("interpolation");
+    for n in [32usize, 128, 512] {
+        let (points, values, _) = setup(n);
+        interp.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| Poly::interpolate(&points, &values))
+        });
+        interp.bench_with_input(BenchmarkId::new("fast", n), &n, |b, _| {
+            b.iter(|| fast_interpolate(&points, &values))
+        });
+        let tree = SubproductTree::new(&points);
+        interp.bench_with_input(BenchmarkId::new("fast_reused_tree", n), &n, |b, _| {
+            b.iter(|| tree.interpolate(&values))
+        });
+    }
+    interp.finish();
+
+    let mut eval = c.benchmark_group("multipoint_eval");
+    for n in [32usize, 128, 512] {
+        let (points, _, poly) = setup(n);
+        eval.bench_with_input(BenchmarkId::new("horner_each", n), &n, |b, _| {
+            b.iter(|| poly.eval_many(&points))
+        });
+        let tree = SubproductTree::new(&points);
+        eval.bench_with_input(BenchmarkId::new("tree", n), &n, |b, _| {
+            b.iter(|| tree.eval(&poly))
+        });
+    }
+    eval.finish();
+}
+
+criterion_group! {
+    name = group;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = benches
+}
+criterion_main!(group);

@@ -1,0 +1,58 @@
+//! Reed–Solomon decoder ablation: Berlekamp–Welch (O(n³) linear algebra,
+//! the paper's reference) vs Gao (extended Euclid + fast interpolation) at
+//! the worst-case error load `⌊(n−k)/2⌋`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csm_algebra::{distinct_elements, Field, Fp61};
+use csm_reed_solomon::{BerlekampWelch, Gao, RsCode};
+use rand::{Rng, SeedableRng};
+
+fn make_word(n: usize, k: usize, errs: usize, seed: u64) -> (RsCode<Fp61>, Vec<Option<Fp61>>) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let code = RsCode::new(distinct_elements::<Fp61>(0, n), k).unwrap();
+    let msg: Vec<Fp61> = (0..k).map(|_| Fp61::from_u64(rng.gen())).collect();
+    let cw = code.encode(&msg).unwrap();
+    let mut word: Vec<Option<Fp61>> = cw.into_iter().map(Some).collect();
+    for e in 0..errs {
+        let idx = (e * 2) % n;
+        word[idx] = Some(word[idx].unwrap() + Fp61::from_u64(rng.gen_range(1..9999)));
+    }
+    (code, word)
+}
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rs_decode_full_radius");
+    for n in [16usize, 32, 64, 128] {
+        let k = n / 4;
+        let errs = (n - k) / 2;
+        let (code, word) = make_word(n, k, errs, 3);
+        group.bench_with_input(BenchmarkId::new("berlekamp_welch", n), &n, |b, _| {
+            b.iter(|| code.decode_with(&BerlekampWelch, &word).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("gao", n), &n, |b, _| {
+            b.iter(|| code.decode_with(&Gao, &word).unwrap())
+        });
+    }
+    group.finish();
+
+    // error-free fast path
+    let mut clean = c.benchmark_group("rs_decode_clean");
+    for n in [32usize, 128] {
+        let k = n / 4;
+        let (code, word) = make_word(n, k, 0, 5);
+        clean.bench_with_input(BenchmarkId::new("berlekamp_welch", n), &n, |b, _| {
+            b.iter(|| code.decode_with(&BerlekampWelch, &word).unwrap())
+        });
+        clean.bench_with_input(BenchmarkId::new("gao", n), &n, |b, _| {
+            b.iter(|| code.decode_with(&Gao, &word).unwrap())
+        });
+    }
+    clean.finish();
+}
+
+criterion_group! {
+    name = group;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = benches
+}
+criterion_main!(group);

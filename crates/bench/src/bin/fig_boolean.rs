@@ -1,0 +1,68 @@
+//! **F-E: Appendix A end-to-end cost** — Boolean machines compiled via
+//! Zou's construction and executed under CSM over `GF(2^16)`: polynomial
+//! degree growth, supportable `K`, and measured per-round cost.
+//!
+//! Run: `cargo run --release -p csm-bench --bin fig_boolean`
+
+use csm_algebra::{Counting, Gf2_16};
+use csm_bench::{fmt, print_table};
+use csm_core::metrics::csm_max_machines;
+use csm_core::{CsmClusterBuilder, FaultSpec, SynchronyMode};
+use csm_statemachine::boolean::{counter_machine, embed_bits};
+
+type C = Counting<Gf2_16>;
+
+fn main() {
+    println!("F-E — bit-level machines through CSM (Appendix A):");
+    println!("n-bit counters; degree d grows with the carry chain, shrinking K.");
+
+    let mut rows = Vec::new();
+    for bits in [1usize, 2, 3, 4] {
+        let machine = counter_machine(bits);
+        let compiled = machine.compile::<C>();
+        let d = compiled.degree();
+        let n = 32usize;
+        let b = 2usize;
+        let k = csm_max_machines(n, b, d, SynchronyMode::Synchronous);
+        if k == 0 {
+            rows.push(vec![
+                bits.to_string(),
+                d.to_string(),
+                "0".into(),
+                "-".into(),
+                "-".into(),
+            ]);
+            continue;
+        }
+        let mut builder = CsmClusterBuilder::<C>::new(n, k)
+            .transition(compiled)
+            .initial_states(
+                (0..k)
+                    .map(|_| embed_bits::<C>(&vec![false; bits]))
+                    .collect(),
+            )
+            .assumed_faults(b);
+        for i in 0..b {
+            builder = builder.fault(i, FaultSpec::CorruptResult);
+        }
+        let mut cluster = builder.build().unwrap();
+        let cmds: Vec<Vec<C>> = (0..k).map(|_| embed_bits::<C>(&[true])).collect();
+        let report = cluster.step(cmds).unwrap();
+        assert!(report.correct);
+        rows.push(vec![
+            bits.to_string(),
+            d.to_string(),
+            k.to_string(),
+            fmt(report.ops.mean_per_node()),
+            fmt(k as f64 / report.ops.mean_per_node().max(1.0) * 1e6),
+        ]);
+    }
+    print_table(
+        &format!("n-bit counters on N = 32 nodes, b = 2 Byzantine (GF(2^16))"),
+        &["state bits", "degree d", "K supported", "mean ops/node", "λ × 1e6"],
+        &rows,
+    );
+    println!("\nreading: Zou-compiled machines have degree up to the carry-chain");
+    println!("length, so K shrinks as 1/d (the paper's Degree Dependence remark in");
+    println!("§7) — the cost of full bit-level generality.");
+}

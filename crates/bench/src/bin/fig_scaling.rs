@@ -1,0 +1,90 @@
+//! **F-A: Theorem 1/2 scaling series** — supportable machines `K` (and
+//! hence storage efficiency `γ = K`) as a function of `N` at fixed
+//! adversarial fractions, with empirical decode checks at `b = µN`.
+//!
+//! Paper claim: `K = ⌊(1−2µ)N/d + 1 − 1/d⌋ = Θ(N)` (synchronous) and
+//! `⌊(1−3ν)N/d + 1 − 1/d⌋` (partially synchronous) — linear in `N`, slope
+//! `(1−2µ)/d`.
+//!
+//! Run: `cargo run --release -p csm-bench --bin fig_scaling`
+
+use csm_algebra::{Field, Fp61};
+use csm_bench::print_table;
+use csm_core::metrics::csm_max_machines;
+use csm_core::{CsmClusterBuilder, FaultSpec, SynchronyMode};
+use csm_statemachine::machines::power_machine;
+
+fn empirical_ok(n: usize, k: usize, b: usize, d: u32, sync: SynchronyMode) -> &'static str {
+    if k == 0 {
+        return "-";
+    }
+    let mut builder = CsmClusterBuilder::<Fp61>::new(n, k)
+        .transition(power_machine::<Fp61>(d))
+        .initial_states((0..k as u64).map(|i| vec![Fp61::from_u64(i + 2)]).collect())
+        .synchrony(sync)
+        .assumed_faults(b)
+        .seed(n as u64);
+    for i in 0..b {
+        builder = builder.fault(i, FaultSpec::CorruptResult);
+    }
+    let Ok(mut cluster) = builder.build() else {
+        return "build-err";
+    };
+    let cmds: Vec<Vec<Fp61>> = (0..k as u64).map(|i| vec![Fp61::from_u64(i)]).collect();
+    match cluster.step(cmds) {
+        Ok(r) if r.correct => "ok",
+        _ => "FAIL",
+    }
+}
+
+fn main() {
+    println!("F-A — K(N) scaling (storage efficiency γ = K), with empirical");
+    println!("decode checks at b = µN corrupt nodes (N ≤ 64 to keep runtime sane).");
+
+    for (label, sync, fractions) in [
+        (
+            "synchronous (Theorem 1)",
+            SynchronyMode::Synchronous,
+            [0.2f64, 1.0 / 3.0, 0.4],
+        ),
+        (
+            "partially synchronous (Theorem 2)",
+            SynchronyMode::PartiallySynchronous,
+            [0.1, 0.2, 0.3],
+        ),
+    ] {
+        for d in [1u32, 2, 3] {
+            let mut rows = Vec::new();
+            for n in [8usize, 16, 32, 64, 128, 256] {
+                let mut row = vec![n.to_string()];
+                for &mu in &fractions {
+                    let b = (mu * n as f64).floor() as usize;
+                    let k = csm_max_machines(n, b, d, sync);
+                    let check = if n <= 64 {
+                        empirical_ok(n, k, b, d, sync)
+                    } else {
+                        "-"
+                    };
+                    row.push(format!("{k} ({check})"));
+                }
+                rows.push(row);
+            }
+            let headers: Vec<String> = std::iter::once("N".to_string())
+                .chain(fractions.iter().map(|m| format!("K @ frac={m:.2}")))
+                .collect();
+            let hdr_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+            print_table(&format!("{label}, d = {d}"), &hdr_refs, &rows);
+        }
+    }
+
+    // slope check: K should double when N doubles
+    println!("\nslope check (synchronous, µ=1/3, d=1): K(2N)/K(N) ≈ 2:");
+    let mut prev = 0usize;
+    for n in [32usize, 64, 128, 256, 512] {
+        let k = csm_max_machines(n, n / 3, 1, SynchronyMode::Synchronous);
+        if prev > 0 {
+            println!("  N={n}: K={k}, ratio {:.2}", k as f64 / prev as f64);
+        }
+        prev = k;
+    }
+}

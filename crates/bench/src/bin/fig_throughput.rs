@@ -1,0 +1,109 @@
+//! **F-B: throughput scaling (§6, Table 1 throughput column)** — the total
+//! coding cost of the naive distributed path vs the centralized worker's
+//! fast polynomial algorithms, and the resulting per-node throughput
+//! `λ = K / (mean per-node ops)` for all schemes.
+//!
+//! Paper claim: per-node coding cost drops from `O(K) = O(N)` (so `λ`
+//! stalls at `Θ(1)` per unit work) to `O(log²N log log N)` amortized via
+//! delegation, giving `λ = Θ(N / log²N log log N)`. Our fast arithmetic is
+//! subproduct-tree + Karatsuba (`O(N^{1.58} log N)` total, still strongly
+//! sub-`N²`), so the *shape* — centralized total ≪ distributed total, gap
+//! widening with `N` — is what to check.
+//!
+//! Run: `cargo run --release -p csm-bench --bin fig_throughput`
+
+use csm_algebra::{count, Counting, Field, Fp61};
+use csm_bench::{fmt, print_table};
+use csm_core::metrics::csm_max_machines;
+use csm_core::{Codebook, CodingMode, CsmClusterBuilder, SynchronyMode};
+use csm_statemachine::machines::bank_machine;
+
+type C = Counting<Fp61>;
+
+fn g(v: u64) -> C {
+    C::from_u64(v)
+}
+
+fn main() {
+    println!("F-B part 1 — total encoding cost across the network (one coordinate):");
+    println!("distributed = N nodes × Σ_k c_ik·X_k;  centralized = interpolate + multi-eval.");
+    let mut rows = Vec::new();
+    for n in [8usize, 16, 32, 64, 128, 256, 512] {
+        let k = csm_max_machines(n, n / 3, 1, SynchronyMode::Synchronous);
+        let cb: Codebook<C> = Codebook::new(n, k).unwrap();
+        let values: Vec<C> = (0..k as u64).map(|i| g(i * 13 + 1)).collect();
+
+        let (_, dist) = count::measure(|| {
+            for i in 0..n {
+                let _ = cb.encode_at(i, &values);
+            }
+        });
+        let (_, fast) = count::measure(|| {
+            let _ = cb.encode_all_fast(&values);
+        });
+        rows.push(vec![
+            n.to_string(),
+            k.to_string(),
+            dist.total().to_string(),
+            fast.total().to_string(),
+            fmt(dist.total() as f64 / fast.total().max(1) as f64),
+        ]);
+    }
+    print_table(
+        "total encoding ops: distributed vs centralized-fast",
+        &["N", "K", "distributed", "centralized", "ratio"],
+        &rows,
+    );
+
+    println!("\nF-B part 2 — full-round per-node throughput λ = K / mean-ops:");
+    let mut rows = Vec::new();
+    for n in [8usize, 16, 32, 48] {
+        let b = n / 4;
+        let k = csm_max_machines(n, b, 1, SynchronyMode::Synchronous);
+        let states: Vec<Vec<C>> = (0..k as u64).map(|i| vec![g(i + 1)]).collect();
+        let cmds: Vec<Vec<C>> = (0..k as u64).map(|i| vec![g(i + 2)]).collect();
+
+        let run = |coding: CodingMode| -> (f64, f64) {
+            let mut cluster = CsmClusterBuilder::<C>::new(n, k)
+                .transition(bank_machine::<C>())
+                .initial_states(states.clone())
+                .coding(coding)
+                .assumed_faults(b)
+                .build()
+                .unwrap();
+            let r = cluster.step(cmds.clone()).unwrap();
+            let mean = r.ops.mean_per_node().max(1.0);
+            (k as f64 / mean, mean)
+        };
+        let (lam_dist, mean_dist) = run(CodingMode::Distributed);
+        let (lam_cent, mean_cent) = run(CodingMode::Centralized {
+            epsilon: 1e-4,
+            mu: 0.25,
+        });
+        rows.push(vec![
+            n.to_string(),
+            k.to_string(),
+            fmt(mean_dist),
+            fmt(mean_cent),
+            format!("{lam_dist:.2e}"),
+            format!("{lam_cent:.2e}"),
+            fmt(lam_cent / lam_dist),
+        ]);
+    }
+    print_table(
+        "λ: CSM distributed vs CSM centralized (INTERMIX-verified)",
+        &[
+            "N",
+            "K",
+            "mean ops dist",
+            "mean ops cent",
+            "λ dist",
+            "λ cent",
+            "λ gain",
+        ],
+        &rows,
+    );
+    println!("\nreading: the distributed decode is the per-node bottleneck (O(N³) BW");
+    println!("per node); centralizing coding at one worker + O(1) commoner checks");
+    println!("recovers throughput scaling with N — the Theorem 1 λ column.");
+}

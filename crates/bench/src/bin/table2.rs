@@ -1,0 +1,168 @@
+//! **Table 2 regenerator**: the bounds on the number of malicious nodes
+//! `b` for input consensus, successful decoding, and output delivery —
+//! each probed empirically around the boundary.
+//!
+//! Run: `cargo run --release -p csm-bench --bin table2`
+
+use csm_algebra::{Field, Fp61};
+use csm_bench::print_table;
+use csm_core::client::accept_replies;
+use csm_core::metrics::Table2Bounds;
+use csm_core::{CsmClusterBuilder, CsmError, FaultSpec, SynchronyMode};
+use csm_statemachine::machines::bank_machine;
+
+fn decode_probe(n: usize, k: usize, b: usize, sync: SynchronyMode) -> bool {
+    let mut builder = CsmClusterBuilder::<Fp61>::new(n, k)
+        .transition(bank_machine::<Fp61>())
+        .initial_states((0..k as u64).map(|i| vec![Fp61::from_u64(i + 1)]).collect())
+        .synchrony(sync)
+        .assumed_faults(b)
+        .seed(100 + b as u64);
+    for i in 0..b {
+        builder = builder.fault(i, FaultSpec::CorruptResult);
+    }
+    let Ok(mut cluster) = builder.build() else {
+        return false;
+    };
+    let cmds: Vec<Vec<Fp61>> = (0..k as u64).map(|i| vec![Fp61::from_u64(i)]).collect();
+    match cluster.step(cmds) {
+        Ok(r) => r.correct,
+        Err(CsmError::Decoding(_)) => false,
+        Err(e) => panic!("unexpected: {e}"),
+    }
+}
+
+fn delivery_probe(n: usize, b: usize) -> bool {
+    let good = vec![Fp61::from_u64(7)];
+    let replies: Vec<Option<Vec<Fp61>>> = (0..n)
+        .map(|i| {
+            if i < b {
+                Some(vec![Fp61::from_u64(999 + i as u64)])
+            } else {
+                Some(good.clone())
+            }
+        })
+        .collect();
+    accept_replies(&replies, b + 1).is_accepted()
+}
+
+fn main() {
+    let n = 24;
+    let k = 3;
+    let d = 1;
+    let t = Table2Bounds { n, k, d };
+    println!("Table 2 — upper bounds on b (N = {n}, K = {k}, d = {d})");
+    println!("each bound column shows: formula bound | empirical pass at bound | empirical fail at bound+1");
+
+    let mut rows = Vec::new();
+    for sync in [
+        SynchronyMode::Synchronous,
+        SynchronyMode::PartiallySynchronous,
+    ] {
+        let consensus_bound = (0..n)
+            .take_while(|&b| t.consensus_ok(b, sync))
+            .last()
+            .unwrap_or(0);
+        let decode_bound = (0..n)
+            .take_while(|&b| t.decoding_ok(b, sync))
+            .last()
+            .unwrap_or(0);
+        let delivery_bound = (0..n).take_while(|&b| t.delivery_ok(b)).last().unwrap_or(0);
+
+        let dec_at = decode_probe(n, k, decode_bound, sync);
+        let dec_over = decode_probe(n, k, decode_bound + 1, sync);
+        let del_at = delivery_probe(n, delivery_bound);
+        let del_over = delivery_probe(n, delivery_bound + 1);
+
+        rows.push(vec![
+            format!("{sync:?}"),
+            match sync {
+                SynchronyMode::Synchronous => format!("b+1 ≤ N (b ≤ {consensus_bound})"),
+                SynchronyMode::PartiallySynchronous => {
+                    format!("3b+1 ≤ N (b ≤ {consensus_bound})")
+                }
+            },
+            match sync {
+                SynchronyMode::Synchronous => {
+                    format!("2b+1 ≤ N−d(K−1) (b ≤ {decode_bound})")
+                }
+                SynchronyMode::PartiallySynchronous => {
+                    format!("3b+1 ≤ N−d(K−1) (b ≤ {decode_bound})")
+                }
+            },
+            format!("{}|{}", pass(dec_at), fail(dec_over)),
+            format!("2b+1 ≤ N (b ≤ {delivery_bound})"),
+            format!("{}|{}", pass(del_at), fail(del_over)),
+        ]);
+    }
+    print_table(
+        "bounds and empirical probes",
+        &[
+            "network",
+            "input consensus",
+            "decoding bound",
+            "decode @b|@b+1",
+            "delivery bound",
+            "deliver @b|@b+1",
+        ],
+        &rows,
+    );
+
+    // degree sweep for the decoding bound
+    let mut rows = Vec::new();
+    for d in [1u32, 2, 3] {
+        let t = Table2Bounds { n, k, d };
+        let bound = (0..n)
+            .take_while(|&b| t.decoding_ok(b, SynchronyMode::Synchronous))
+            .last()
+            .unwrap_or(0);
+        rows.push(vec![
+            d.to_string(),
+            bound.to_string(),
+            pass(decode_probe_degree(n, k, d, bound)).into(),
+            fail(decode_probe_degree(n, k, d, bound + 1)).into(),
+        ]);
+    }
+    print_table(
+        "decoding bound vs transition degree (synchronous)",
+        &["d", "b_max = ⌊(N−d(K−1)−1)/2⌋", "pass @ b_max", "fail @ b_max+1"],
+        &rows,
+    );
+}
+
+fn decode_probe_degree(n: usize, k: usize, d: u32, b: usize) -> bool {
+    use csm_statemachine::machines::power_machine;
+    let mut builder = CsmClusterBuilder::<Fp61>::new(n, k)
+        .transition(power_machine::<Fp61>(d))
+        .initial_states((0..k as u64).map(|i| vec![Fp61::from_u64(i + 2)]).collect())
+        .assumed_faults(b)
+        .seed(55 + b as u64);
+    for i in 0..b {
+        builder = builder.fault(i, FaultSpec::CorruptResult);
+    }
+    let Ok(mut cluster) = builder.build() else {
+        return false;
+    };
+    let cmds: Vec<Vec<Fp61>> = (0..k as u64).map(|i| vec![Fp61::from_u64(i)]).collect();
+    match cluster.step(cmds) {
+        Ok(r) => r.correct,
+        Err(CsmError::Decoding(_)) => false,
+        Err(e) => panic!("unexpected: {e}"),
+    }
+}
+
+fn pass(ok: bool) -> &'static str {
+    if ok {
+        "PASS"
+    } else {
+        "fail!"
+    }
+}
+
+fn fail(ok: bool) -> &'static str {
+    if ok {
+        "PASSED?!"
+    } else {
+        "fails(expected)"
+    }
+}

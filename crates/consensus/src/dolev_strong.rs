@@ -1,0 +1,443 @@
+//! Dolev–Strong authenticated broadcast.
+//!
+//! The synchronous-network "Byzantine generals" protocol of §3: a leader
+//! proposes a value; after `f + 1` rounds of signature-chained relaying,
+//! every honest node outputs the same value (the leader's value, if the
+//! leader is honest), tolerating **any** number `b ≤ f < N` of Byzantine
+//! nodes thanks to message authentication — this is the `b + 1 ≤ N` column
+//! of Table 2.
+//!
+//! Protocol (round length `Δ`):
+//!
+//! 1. Round 0: the leader signs its value and multicasts it.
+//! 2. A node receiving a value with a valid chain of `r` distinct
+//!    signatures (leader's first) in round `≥ r` *extracts* the value; if
+//!    the chain is short enough to still propagate (`r ≤ f`), the node
+//!    appends its signature and relays.
+//! 3. At time `(f+1)·Δ + 1`, a node outputs the unique extracted value, or
+//!    `None` (⊥) if it extracted zero or several values.
+
+use csm_network::auth::{KeyRegistry, Signature};
+use csm_network::{Context, NodeId, Process, Simulator, SynchronyModel};
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::hash::Hash;
+use std::rc::Rc;
+
+/// A value propagated with its signature chain.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ChainedValue<V> {
+    /// The proposed value.
+    pub value: V,
+    /// Signatures over the value; `sigs[0]` must be the leader's.
+    pub sigs: Vec<Signature>,
+}
+
+impl<V: Hash> ChainedValue<V> {
+    /// Validates the chain: non-empty, leader first, distinct signers, all
+    /// signatures verify.
+    pub fn is_valid(&self, registry: &KeyRegistry, leader: NodeId) -> bool {
+        let Some(first) = self.sigs.first() else {
+            return false;
+        };
+        if first.signer != leader {
+            return false;
+        }
+        let mut seen = BTreeSet::new();
+        for sig in &self.sigs {
+            if !seen.insert(sig.signer) {
+                return false;
+            }
+            if !registry.verify(&self.value, sig) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Configuration for one broadcast instance.
+#[derive(Debug, Clone)]
+pub struct DsConfig {
+    /// Number of nodes.
+    pub n: usize,
+    /// Fault-tolerance parameter: the protocol runs `f + 1` rounds and
+    /// tolerates up to `f` Byzantine nodes (any `f < n`).
+    pub f: usize,
+    /// The broadcasting leader.
+    pub leader: NodeId,
+    /// Round length (synchronous latency bound).
+    pub delta: u64,
+    /// RNG / key seed.
+    pub seed: u64,
+}
+
+/// Per-node behaviour in a broadcast instance.
+#[derive(Debug, Clone)]
+pub enum DsBehavior<V> {
+    /// Follows the protocol. The leader's proposal is carried in
+    /// [`DsConfig::leader`]'s entry.
+    Honest {
+        /// Leader's proposal (ignored for non-leaders).
+        proposal: Option<V>,
+    },
+    /// A Byzantine leader sending `a` to even-index nodes and `b` to
+    /// odd-index nodes in round 0 (equivocation).
+    EquivocatingLeader {
+        /// Value sent to even-index nodes.
+        a: V,
+        /// Value sent to odd-index nodes.
+        b: V,
+    },
+    /// Sends nothing and relays nothing (crash/withholding).
+    Silent,
+    /// Relays honestly but, as leader, delays its proposal to a subset: it
+    /// sends only to the single node `target` in round 0, testing the
+    /// round-counting acceptance rule.
+    LateLeader {
+        /// The value eventually proposed.
+        proposal: V,
+        /// The only node initially contacted.
+        target: NodeId,
+    },
+}
+
+/// Result of one broadcast instance.
+#[derive(Debug, Clone)]
+pub struct DsOutcome<V> {
+    /// Each node's decision (`None` = ⊥). Byzantine nodes' entries are
+    /// whatever their behaviour produced and should be ignored.
+    pub decisions: Vec<Option<V>>,
+    /// Which nodes were honest.
+    pub honest: Vec<bool>,
+}
+
+impl<V: PartialEq> DsOutcome<V> {
+    /// Whether all honest nodes decided the same (possibly ⊥) value —
+    /// Consistency in §2.1. ⊥ (None) counts as a decision in Dolev–Strong.
+    pub fn consistent(&self) -> bool {
+        let mut iter = self
+            .decisions
+            .iter()
+            .zip(&self.honest)
+            .filter(|(_, &h)| h)
+            .map(|(d, _)| d);
+        let Some(first) = iter.next() else {
+            return true;
+        };
+        iter.all(|d| d == first)
+    }
+}
+
+type Board<V> = Rc<RefCell<Vec<Option<V>>>>;
+
+struct DsNode<V> {
+    id: NodeId,
+    cfg: DsConfig,
+    behavior: DsBehavior<V>,
+    registry: Rc<KeyRegistry>,
+    extracted: Vec<V>,
+    relayed: Vec<V>,
+    board: Board<V>,
+}
+
+impl<V: Clone + Eq + Hash + 'static> DsNode<V> {
+    fn relay_deadline(&self) -> usize {
+        self.cfg.f
+    }
+
+    fn try_extract(&mut self, cv: ChainedValue<V>, ctx: &mut Context<ChainedValue<V>>) {
+        let round = (ctx.now() / self.cfg.delta) as usize;
+        if round > self.cfg.f + 1 {
+            return; // too late to accept anything
+        }
+        if !cv.is_valid(&self.registry, self.cfg.leader) {
+            return;
+        }
+        if cv.sigs.len() < round {
+            // chain too short to have arrived honestly this late
+            return;
+        }
+        if !self.extracted.contains(&cv.value) {
+            self.extracted.push(cv.value.clone());
+        }
+        let already_signed = cv.sigs.iter().any(|s| s.signer == self.id);
+        if !already_signed
+            && cv.sigs.len() <= self.relay_deadline()
+            && !self.relayed.contains(&cv.value)
+        {
+            self.relayed.push(cv.value.clone());
+            let mut sigs = cv.sigs;
+            sigs.push(self.registry.sign(self.id, &cv.value));
+            ctx.multicast_others(ChainedValue {
+                value: cv.value,
+                sigs,
+            });
+        }
+    }
+
+    fn decide(&mut self) {
+        let decision = if self.extracted.len() == 1 {
+            Some(self.extracted[0].clone())
+        } else {
+            None
+        };
+        self.board.borrow_mut()[self.id.0] = decision;
+    }
+}
+
+const DECIDE_TOKEN: u64 = u64::MAX;
+
+impl<V: Clone + Eq + Hash + 'static> Process<ChainedValue<V>> for DsNode<V> {
+    fn on_start(&mut self, ctx: &mut Context<ChainedValue<V>>) {
+        // decision timer for everyone
+        ctx.set_timer((self.cfg.f as u64 + 1) * self.cfg.delta + 1, DECIDE_TOKEN);
+        if self.id != self.cfg.leader {
+            return;
+        }
+        match &self.behavior {
+            DsBehavior::Honest { proposal } => {
+                let value = proposal.clone().expect("honest leader must propose");
+                let sig = self.registry.sign(self.id, &value);
+                let cv = ChainedValue {
+                    value: value.clone(),
+                    sigs: vec![sig],
+                };
+                self.extracted.push(value.clone());
+                self.relayed.push(value);
+                ctx.multicast_others(cv);
+            }
+            DsBehavior::EquivocatingLeader { a, b } => {
+                for i in 0..ctx.num_nodes() {
+                    if NodeId(i) == self.id {
+                        continue;
+                    }
+                    let v = if i % 2 == 0 { a.clone() } else { b.clone() };
+                    let sig = self.registry.sign(self.id, &v);
+                    ctx.send(NodeId(i), ChainedValue { value: v, sigs: vec![sig] });
+                }
+            }
+            DsBehavior::Silent => {}
+            DsBehavior::LateLeader { proposal, target } => {
+                let sig = self.registry.sign(self.id, proposal);
+                ctx.send(
+                    *target,
+                    ChainedValue {
+                        value: proposal.clone(),
+                        sigs: vec![sig],
+                    },
+                );
+            }
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        _from: NodeId,
+        msg: ChainedValue<V>,
+        ctx: &mut Context<ChainedValue<V>>,
+    ) {
+        match self.behavior {
+            DsBehavior::Silent => {}
+            // Byzantine leaders still *relay* honestly in this model; their
+            // fault is the initial equivocation/withholding.
+            _ => self.try_extract(msg, ctx),
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, _ctx: &mut Context<ChainedValue<V>>) {
+        if token == DECIDE_TOKEN {
+            self.decide();
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.board.borrow()[self.id.0].is_some() || false
+    }
+}
+
+/// Runs one Dolev–Strong broadcast under the given per-node behaviours.
+///
+/// # Panics
+///
+/// Panics if `behaviors.len() != cfg.n`, if the leader entry is
+/// `Honest { proposal: None }`, or if `cfg.f >= cfg.n`.
+pub fn run_broadcast<V: Clone + Eq + Hash + std::fmt::Debug + 'static>(
+    cfg: &DsConfig,
+    behaviors: Vec<DsBehavior<V>>,
+) -> DsOutcome<V> {
+    assert_eq!(behaviors.len(), cfg.n, "one behaviour per node");
+    assert!(cfg.f < cfg.n, "fault parameter must be below n");
+    let registry = Rc::new(KeyRegistry::new(cfg.n, cfg.seed));
+    let board: Board<V> = Rc::new(RefCell::new(vec![None; cfg.n]));
+    let honest: Vec<bool> = behaviors
+        .iter()
+        .map(|b| matches!(b, DsBehavior::Honest { .. }))
+        .collect();
+    let nodes: Vec<Box<dyn Process<ChainedValue<V>>>> = behaviors
+        .into_iter()
+        .enumerate()
+        .map(|(i, behavior)| {
+            Box::new(DsNode {
+                id: NodeId(i),
+                cfg: cfg.clone(),
+                behavior,
+                registry: Rc::clone(&registry),
+                extracted: Vec::new(),
+                relayed: Vec::new(),
+                board: Rc::clone(&board),
+            }) as Box<dyn Process<ChainedValue<V>>>
+        })
+        .collect();
+    let mut sim = Simulator::new(
+        SynchronyModel::Synchronous { delta: cfg.delta },
+        cfg.seed,
+        nodes,
+    );
+    // the decide timers fire at (f+1)Δ+1; run a bit past that
+    sim.run((cfg.f as u64 + 3) * cfg.delta + 2);
+    let decisions = board.borrow().clone();
+    DsOutcome { decisions, honest }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(n: usize, f: usize) -> DsConfig {
+        DsConfig {
+            n,
+            f,
+            leader: NodeId(0),
+            delta: 1,
+            seed: 1234,
+        }
+    }
+
+    fn honest<V: Clone>(proposal: Option<V>) -> DsBehavior<V> {
+        DsBehavior::Honest { proposal }
+    }
+
+    #[test]
+    fn honest_leader_all_decide_value() {
+        let c = cfg(5, 2);
+        let mut behaviors = vec![honest(Some(42u64))];
+        behaviors.extend((1..5).map(|_| honest(None)));
+        let out = run_broadcast(&c, behaviors);
+        assert!(out.consistent());
+        for (d, h) in out.decisions.iter().zip(&out.honest) {
+            assert!(!h || *d == Some(42));
+        }
+    }
+
+    #[test]
+    fn equivocating_leader_consistent_bot() {
+        let c = cfg(6, 2);
+        let mut behaviors: Vec<DsBehavior<u64>> =
+            vec![DsBehavior::EquivocatingLeader { a: 1, b: 2 }];
+        behaviors.extend((1..6).map(|_| honest(None)));
+        let out = run_broadcast(&c, behaviors);
+        assert!(out.consistent(), "decisions: {:?}", out.decisions);
+        // every honest node extracted both values and output ⊥
+        for (i, d) in out.decisions.iter().enumerate() {
+            if out.honest[i] {
+                assert_eq!(*d, None);
+            }
+        }
+    }
+
+    #[test]
+    fn silent_leader_decides_bot() {
+        let c = cfg(4, 1);
+        let mut behaviors: Vec<DsBehavior<u64>> = vec![DsBehavior::Silent];
+        behaviors.extend((1..4).map(|_| honest(None)));
+        let out = run_broadcast(&c, behaviors);
+        assert!(out.consistent());
+        assert!(out
+            .decisions
+            .iter()
+            .zip(&out.honest)
+            .all(|(d, &h)| !h || d.is_none()));
+    }
+
+    #[test]
+    fn late_leader_still_consistent() {
+        // Leader sends only to node 1 in round 0; node 1 relays, so with
+        // f ≥ 1 everyone still extracts the value in time.
+        let c = cfg(5, 2);
+        let mut behaviors: Vec<DsBehavior<u64>> = vec![DsBehavior::LateLeader {
+            proposal: 7,
+            target: NodeId(1),
+        }];
+        behaviors.extend((1..5).map(|_| honest(None)));
+        let out = run_broadcast(&c, behaviors);
+        assert!(out.consistent(), "decisions: {:?}", out.decisions);
+        // honest nodes all agree (either all 7 via relay, or all ⊥)
+        let honest_decisions: Vec<_> = out
+            .decisions
+            .iter()
+            .zip(&out.honest)
+            .filter(|(_, &h)| h)
+            .map(|(d, _)| d.clone())
+            .collect();
+        assert!(honest_decisions.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(honest_decisions[0], Some(7));
+    }
+
+    #[test]
+    fn silent_relayers_do_not_break_agreement() {
+        // f = 3 faulty silent relayers out of n = 7.
+        let c = cfg(7, 3);
+        let mut behaviors = vec![honest(Some(99u64))];
+        behaviors.extend((1..4).map(|_| honest(None)));
+        behaviors.extend((4..7).map(|_| DsBehavior::Silent));
+        let out = run_broadcast(&c, behaviors);
+        assert!(out.consistent());
+        for i in 0..4 {
+            assert_eq!(out.decisions[i], Some(99));
+        }
+    }
+
+    #[test]
+    fn tolerates_f_equal_n_minus_1() {
+        // the b+1 <= N bound: even with every other node Byzantine, the
+        // lone honest node remains self-consistent.
+        let c = cfg(4, 3);
+        let mut behaviors: Vec<DsBehavior<u64>> =
+            vec![DsBehavior::EquivocatingLeader { a: 5, b: 6 }];
+        behaviors.push(honest(None));
+        behaviors.extend((2..4).map(|_| DsBehavior::Silent));
+        let out = run_broadcast(&c, behaviors);
+        assert!(out.consistent());
+    }
+
+    #[test]
+    fn chain_validation_rejects_bad_chains() {
+        let registry = KeyRegistry::new(3, 9);
+        let leader = NodeId(0);
+        let v = 10u64;
+        let good = ChainedValue {
+            value: v,
+            sigs: vec![registry.sign(leader, &v)],
+        };
+        assert!(good.is_valid(&registry, leader));
+        // empty chain
+        assert!(!ChainedValue::<u64> { value: v, sigs: vec![] }.is_valid(&registry, leader));
+        // wrong first signer
+        let bad = ChainedValue {
+            value: v,
+            sigs: vec![registry.sign(NodeId(1), &v)],
+        };
+        assert!(!bad.is_valid(&registry, leader));
+        // duplicate signer
+        let dup = ChainedValue {
+            value: v,
+            sigs: vec![registry.sign(leader, &v), registry.sign(leader, &v)],
+        };
+        assert!(!dup.is_valid(&registry, leader));
+        // forged signature on different value
+        let mut forged = good.clone();
+        forged.value = 11;
+        assert!(!forged.is_valid(&registry, leader));
+    }
+}

@@ -1,0 +1,726 @@
+//! A PBFT-style three-phase consensus protocol for partially synchronous
+//! networks (§3): pre-prepare → prepare → commit, with exponential-backoff
+//! view changes. Tolerates `f` Byzantine nodes with `n ≥ 3f + 1` — the
+//! `3b + 1 ≤ N` column of Table 2.
+//!
+//! Single-shot: each instance decides one value (in CSM, the vector of
+//! input commands for one round; instances for later rounds run in parallel
+//! with execution, which is why §2.2 excludes consensus cost from the
+//! throughput metric).
+//!
+//! Simplifications relative to Castro–Liskov, none affecting the measured
+//! properties:
+//!
+//! * single-shot (no sequence-number windows, no checkpointing);
+//! * `prepared` is certified by `2f + 1` *prepare* signatures (the primary's
+//!   pre-prepare is folded into its prepare vote);
+//! * the new-view message carries the full view-change messages and the
+//!   value they justify.
+
+use csm_network::auth::{KeyRegistry, Signature};
+use csm_network::{Context, NodeId, Process, Simulator, SynchronyModel};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::hash::Hash;
+use std::rc::Rc;
+
+/// Domain-separated signing payloads (what each signature covers).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum SignDomain<V> {
+    Prepare(u64, V),
+    Commit(u64, V),
+    ViewChange(u64, Option<(u64, V)>),
+}
+
+/// A certificate that a value was *prepared* in some view: `2f + 1`
+/// prepare signatures.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PreparedCert<V> {
+    /// View in which the value prepared.
+    pub view: u64,
+    /// The prepared value.
+    pub value: V,
+    /// `2f + 1` distinct prepare signatures over `(view, value)`.
+    pub sigs: Vec<Signature>,
+}
+
+impl<V: Clone + Eq + Hash> PreparedCert<V> {
+    fn is_valid(&self, registry: &KeyRegistry, quorum: usize) -> bool {
+        let payload = SignDomain::Prepare(self.view, self.value.clone());
+        let mut signers = BTreeSet::new();
+        for sig in &self.sigs {
+            if !signers.insert(sig.signer) || !registry.verify(&payload, sig) {
+                return false;
+            }
+        }
+        signers.len() >= quorum
+    }
+}
+
+/// One view-change vote.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ViewChangeMsg<V> {
+    /// The view being moved to.
+    pub new_view: u64,
+    /// The sender's prepared certificate, if any.
+    pub prepared: Option<PreparedCert<V>>,
+    /// Signature over `(new_view, prepared summary)`.
+    pub sig: Signature,
+}
+
+/// Protocol messages.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PbftMessage<V> {
+    /// Primary's proposal for a view.
+    PrePrepare {
+        /// View number.
+        view: u64,
+        /// Proposed value.
+        value: V,
+        /// Primary's signature over `(view, value)` in the prepare domain
+        /// (the pre-prepare doubles as the primary's prepare vote).
+        sig: Signature,
+    },
+    /// A replica's prepare vote.
+    Prepare {
+        /// View number.
+        view: u64,
+        /// Voted value.
+        value: V,
+        /// Signature over the prepare payload.
+        sig: Signature,
+    },
+    /// A replica's commit vote.
+    Commit {
+        /// View number.
+        view: u64,
+        /// Voted value.
+        value: V,
+        /// Signature over the commit payload.
+        sig: Signature,
+    },
+    /// A view-change vote.
+    ViewChange(ViewChangeMsg<V>),
+    /// The new primary's view installation.
+    NewView {
+        /// The new view.
+        view: u64,
+        /// Value chosen per the view-change rule.
+        value: V,
+        /// The `2f + 1` view-change messages justifying the choice.
+        justification: Vec<ViewChangeMsg<V>>,
+    },
+}
+
+/// Configuration of a PBFT instance.
+#[derive(Debug, Clone)]
+pub struct PbftConfig {
+    /// Number of nodes (`n ≥ 3f + 1`).
+    pub n: usize,
+    /// Fault-tolerance parameter.
+    pub f: usize,
+    /// Post-GST latency bound.
+    pub delta: u64,
+    /// Global stabilization time.
+    pub gst: u64,
+    /// Base view timeout (doubled each view).
+    pub base_timeout: u64,
+    /// RNG / key seed.
+    pub seed: u64,
+}
+
+impl PbftConfig {
+    /// Quorum size `2f + 1`.
+    pub fn quorum(&self) -> usize {
+        2 * self.f + 1
+    }
+
+    /// Timeout for a view (exponential backoff, capped to avoid overflow).
+    pub fn timeout(&self, view: u64) -> u64 {
+        self.base_timeout.saturating_mul(1 << view.min(20))
+    }
+
+    /// Primary of a view (round-robin).
+    pub fn primary(&self, view: u64) -> NodeId {
+        NodeId((view % self.n as u64) as usize)
+    }
+}
+
+/// Per-node behaviour.
+#[derive(Debug, Clone)]
+pub enum PbftBehavior<V> {
+    /// Follows the protocol, proposing `proposal` when primary.
+    Honest {
+        /// Value to propose when this node is (or becomes) primary.
+        proposal: V,
+    },
+    /// As primary, sends conflicting pre-prepares to the two halves of the
+    /// network; otherwise behaves honestly.
+    EquivocatingPrimary {
+        /// Value for even-index replicas.
+        a: V,
+        /// Value for odd-index replicas.
+        b: V,
+    },
+    /// Sends nothing at all (crash).
+    Silent,
+}
+
+/// Result of a PBFT run.
+#[derive(Debug, Clone)]
+pub struct PbftOutcome<V> {
+    /// Each node's decision (`None` = undecided when the run stopped).
+    pub decisions: Vec<Option<V>>,
+    /// Which nodes were honest.
+    pub honest: Vec<bool>,
+    /// Time of the last decision among honest nodes, if all decided.
+    pub decided_by: Option<u64>,
+}
+
+impl<V: PartialEq> PbftOutcome<V> {
+    /// Safety: no two decided honest nodes differ (undecided nodes are
+    /// allowed — PBFT never decides conflicting values, but may not
+    /// terminate within the simulated horizon).
+    pub fn safe(&self) -> bool {
+        crate::consistent(&self.decisions, &self.honest)
+    }
+
+    /// Liveness within the horizon: every honest node decided.
+    pub fn live(&self) -> bool {
+        self.decisions
+            .iter()
+            .zip(&self.honest)
+            .all(|(d, &h)| !h || d.is_some())
+    }
+}
+
+type Board<V> = Rc<RefCell<Vec<(Option<V>, u64)>>>;
+
+struct PbftNode<V> {
+    id: NodeId,
+    cfg: PbftConfig,
+    behavior: PbftBehavior<V>,
+    registry: Rc<KeyRegistry>,
+    view: u64,
+    /// Set while waiting for a NewView for `view` (don't vote meanwhile).
+    view_changing: bool,
+    pre_prepared: Option<V>,
+    prepare_votes: BTreeMap<u64, Vec<(NodeId, V)>>,
+    commit_votes: BTreeMap<u64, Vec<(NodeId, V)>>,
+    prepared: Option<PreparedCert<V>>,
+    view_changes: BTreeMap<u64, Vec<ViewChangeMsg<V>>>,
+    decided: Option<V>,
+    board: Board<V>,
+}
+
+impl<V: Clone + Eq + Hash + std::fmt::Debug + 'static> PbftNode<V> {
+    fn quorum(&self) -> usize {
+        self.cfg.quorum()
+    }
+
+    fn proposal(&self) -> V {
+        match &self.behavior {
+            PbftBehavior::Honest { proposal } => proposal.clone(),
+            PbftBehavior::EquivocatingPrimary { a, .. } => a.clone(),
+            PbftBehavior::Silent => unreachable!("silent nodes never propose"),
+        }
+    }
+
+    fn enter_view(&mut self, view: u64, ctx: &mut Context<PbftMessage<V>>) {
+        self.view = view;
+        self.view_changing = false;
+        self.pre_prepared = None;
+        ctx.set_timer(self.cfg.timeout(view), view);
+    }
+
+    fn lead_view(&mut self, view: u64, ctx: &mut Context<PbftMessage<V>>, value: V) {
+        match &self.behavior {
+            PbftBehavior::EquivocatingPrimary { a, b } => {
+                let (a, b) = (a.clone(), b.clone());
+                for i in 0..ctx.num_nodes() {
+                    let v = if i % 2 == 0 { a.clone() } else { b.clone() };
+                    let sig = self
+                        .registry
+                        .sign(self.id, &SignDomain::Prepare(view, v.clone()));
+                    ctx.send(NodeId(i), PbftMessage::PrePrepare { view, value: v, sig });
+                }
+            }
+            _ => {
+                let sig = self
+                    .registry
+                    .sign(self.id, &SignDomain::Prepare(view, value.clone()));
+                ctx.broadcast(PbftMessage::PrePrepare { view, value, sig });
+            }
+        }
+    }
+
+    fn on_pre_prepare(
+        &mut self,
+        view: u64,
+        value: V,
+        sig: Signature,
+        ctx: &mut Context<PbftMessage<V>>,
+    ) {
+        if view != self.view || self.view_changing || self.decided.is_some() {
+            return;
+        }
+        if sig.signer != self.cfg.primary(view)
+            || !self
+                .registry
+                .verify(&SignDomain::Prepare(view, value.clone()), &sig)
+        {
+            return;
+        }
+        if self.pre_prepared.is_some() {
+            return; // only the first pre-prepare in a view is honoured
+        }
+        self.pre_prepared = Some(value.clone());
+        // count the primary's pre-prepare as its prepare vote
+        self.record_prepare(sig.signer, view, value.clone(), ctx);
+        let my_sig = self
+            .registry
+            .sign(self.id, &SignDomain::Prepare(view, value.clone()));
+        ctx.broadcast(PbftMessage::Prepare {
+            view,
+            value,
+            sig: my_sig,
+        });
+    }
+
+    fn record_prepare(
+        &mut self,
+        signer: NodeId,
+        view: u64,
+        value: V,
+        ctx: &mut Context<PbftMessage<V>>,
+    ) {
+        if view != self.view || self.decided.is_some() {
+            return;
+        }
+        let quorum = self.quorum();
+        let votes = self.prepare_votes.entry(view).or_default();
+        if votes.iter().any(|(s, _)| *s == signer) {
+            return;
+        }
+        votes.push((signer, value.clone()));
+        let matching = votes.iter().filter(|(_, v)| *v == value).count();
+        if matching >= quorum && self.prepared.as_ref().map(|c| c.view) != Some(view) {
+            // assemble the certificate from the actual signatures we could
+            // re-derive; for the simulation the signer set is what matters,
+            // so sign on behalf of the collected votes' payloads we saw.
+            let sigs: Vec<Signature> = votes
+                .iter()
+                .filter(|(_, v)| *v == value)
+                .map(|(s, v)| self.registry.sign(*s, &SignDomain::Prepare(view, v.clone())))
+                .collect();
+            self.prepared = Some(PreparedCert {
+                view,
+                value: value.clone(),
+                sigs,
+            });
+            let sig = self
+                .registry
+                .sign(self.id, &SignDomain::Commit(view, value.clone()));
+            ctx.broadcast(PbftMessage::Commit { view, value, sig });
+        }
+    }
+
+    fn on_prepare(
+        &mut self,
+        view: u64,
+        value: V,
+        sig: Signature,
+        ctx: &mut Context<PbftMessage<V>>,
+    ) {
+        if self.view_changing
+            || !self
+                .registry
+                .verify(&SignDomain::Prepare(view, value.clone()), &sig)
+        {
+            return;
+        }
+        self.record_prepare(sig.signer, view, value, ctx);
+    }
+
+    fn on_commit(&mut self, view: u64, value: V, sig: Signature, ctx: &mut Context<PbftMessage<V>>) {
+        if self.decided.is_some()
+            || !self
+                .registry
+                .verify(&SignDomain::Commit(view, value.clone()), &sig)
+        {
+            return;
+        }
+        let votes = self.commit_votes.entry(view).or_default();
+        if votes.iter().any(|(s, _)| *s == sig.signer) {
+            return;
+        }
+        votes.push((sig.signer, value.clone()));
+        let matching = votes.iter().filter(|(_, v)| *v == value).count();
+        if matching >= self.quorum() {
+            self.decided = Some(value.clone());
+            self.board.borrow_mut()[self.id.0] = (Some(value), ctx.now());
+        }
+    }
+
+    fn start_view_change(&mut self, new_view: u64, ctx: &mut Context<PbftMessage<V>>) {
+        if self.decided.is_some() || new_view <= self.view && self.view_changing {
+            return;
+        }
+        self.view = new_view;
+        self.view_changing = true;
+        let summary = self
+            .prepared
+            .as_ref()
+            .map(|c| (c.view, c.value.clone()));
+        let sig = self
+            .registry
+            .sign(self.id, &SignDomain::ViewChange(new_view, summary));
+        let vc = ViewChangeMsg {
+            new_view,
+            prepared: self.prepared.clone(),
+            sig,
+        };
+        ctx.broadcast(PbftMessage::ViewChange(vc));
+        // keep a timer running so we can skip further if the new primary
+        // is also faulty
+        ctx.set_timer(self.cfg.timeout(new_view), new_view);
+    }
+
+    fn on_view_change(&mut self, vc: ViewChangeMsg<V>, ctx: &mut Context<PbftMessage<V>>) {
+        if self.decided.is_some() {
+            return;
+        }
+        let summary = vc.prepared.as_ref().map(|c| (c.view, c.value.clone()));
+        if !self
+            .registry
+            .verify(&SignDomain::ViewChange(vc.new_view, summary), &vc.sig)
+        {
+            return;
+        }
+        if let Some(cert) = &vc.prepared {
+            if !cert.is_valid(&self.registry, self.quorum()) {
+                return;
+            }
+        }
+        let entry = self.view_changes.entry(vc.new_view).or_default();
+        if entry.iter().any(|m| m.sig.signer == vc.sig.signer) {
+            return;
+        }
+        entry.push(vc.clone());
+        let count = entry.len();
+        let nv = vc.new_view;
+        // join rule: seeing f+1 view changes for a higher view
+        if count >= self.cfg.f + 1 && nv > self.view && !self.view_changing {
+            self.start_view_change(nv, ctx);
+        }
+        // primary rule: with 2f+1 view changes, install the new view
+        if count >= self.quorum() && self.cfg.primary(nv) == self.id && nv >= self.view {
+            let justification = self.view_changes[&nv].clone();
+            let value = Self::choose_value(&justification).unwrap_or_else(|| self.proposal());
+            self.enter_view(nv, ctx);
+            ctx.broadcast(PbftMessage::NewView {
+                view: nv,
+                value: value.clone(),
+                justification,
+            });
+            // primary's own pre-prepare handling happens on receipt of its
+            // broadcast NewView (broadcast includes self)
+        }
+    }
+
+    /// The view-change value rule: adopt the prepared value with the
+    /// highest view among the justification, if any.
+    fn choose_value(justification: &[ViewChangeMsg<V>]) -> Option<V> {
+        justification
+            .iter()
+            .filter_map(|m| m.prepared.as_ref())
+            .max_by_key(|c| c.view)
+            .map(|c| c.value.clone())
+    }
+
+    fn on_new_view(
+        &mut self,
+        view: u64,
+        value: V,
+        justification: Vec<ViewChangeMsg<V>>,
+        from: NodeId,
+        ctx: &mut Context<PbftMessage<V>>,
+    ) {
+        if self.decided.is_some() || view < self.view || from != self.cfg.primary(view) {
+            return;
+        }
+        // validate justification: 2f+1 distinct valid view-change sigs
+        let mut signers = BTreeSet::new();
+        for vc in &justification {
+            if vc.new_view != view {
+                return;
+            }
+            let summary = vc.prepared.as_ref().map(|c| (c.view, c.value.clone()));
+            if !self
+                .registry
+                .verify(&SignDomain::ViewChange(view, summary), &vc.sig)
+            {
+                return;
+            }
+            if let Some(cert) = &vc.prepared {
+                if !cert.is_valid(&self.registry, self.quorum()) {
+                    return;
+                }
+            }
+            signers.insert(vc.sig.signer);
+        }
+        if signers.len() < self.quorum() {
+            return;
+        }
+        // value rule check
+        if let Some(required) = Self::choose_value(&justification) {
+            if required != value {
+                return;
+            }
+        }
+        self.enter_view(view, ctx);
+        // treat the new-view as the pre-prepare for this view
+        let sig = self
+            .registry
+            .sign(from, &SignDomain::Prepare(view, value.clone()));
+        self.on_pre_prepare(view, value, sig, ctx);
+    }
+}
+
+impl<V: Clone + Eq + Hash + std::fmt::Debug + 'static> Process<PbftMessage<V>> for PbftNode<V> {
+    fn on_start(&mut self, ctx: &mut Context<PbftMessage<V>>) {
+        if matches!(self.behavior, PbftBehavior::Silent) {
+            return;
+        }
+        self.enter_view(0, ctx);
+        if self.cfg.primary(0) == self.id {
+            let value = self.proposal();
+            self.lead_view(0, ctx, value);
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        from: NodeId,
+        msg: PbftMessage<V>,
+        ctx: &mut Context<PbftMessage<V>>,
+    ) {
+        if matches!(self.behavior, PbftBehavior::Silent) {
+            return;
+        }
+        match msg {
+            PbftMessage::PrePrepare { view, value, sig } => {
+                self.on_pre_prepare(view, value, sig, ctx)
+            }
+            PbftMessage::Prepare { view, value, sig } => self.on_prepare(view, value, sig, ctx),
+            PbftMessage::Commit { view, value, sig } => self.on_commit(view, value, sig, ctx),
+            PbftMessage::ViewChange(vc) => self.on_view_change(vc, ctx),
+            PbftMessage::NewView {
+                view,
+                value,
+                justification,
+            } => self.on_new_view(view, value, justification, from, ctx),
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Context<PbftMessage<V>>) {
+        if matches!(self.behavior, PbftBehavior::Silent) || self.decided.is_some() {
+            return;
+        }
+        // token = the view whose timeout fired
+        if token == self.view {
+            self.start_view_change(self.view + 1, ctx);
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.decided.is_some() || matches!(self.behavior, PbftBehavior::Silent)
+    }
+}
+
+/// Runs one PBFT instance under the given behaviours; the value decided is
+/// one of the honest proposals or a Byzantine primary's proposal — PBFT
+/// guarantees agreement, not honest-origin (validity in CSM comes from
+/// clients' signatures on commands, checked at proposal time).
+///
+/// # Panics
+///
+/// Panics if `behaviors.len() != cfg.n` or `cfg.n < 3*cfg.f + 1`.
+pub fn run_pbft<V: Clone + Eq + Hash + std::fmt::Debug + 'static>(
+    cfg: &PbftConfig,
+    behaviors: Vec<PbftBehavior<V>>,
+    max_time: u64,
+) -> PbftOutcome<V> {
+    assert_eq!(behaviors.len(), cfg.n, "one behaviour per node");
+    assert!(cfg.n >= 3 * cfg.f + 1, "PBFT requires n >= 3f + 1");
+    let registry = Rc::new(KeyRegistry::new(cfg.n, cfg.seed));
+    let board: Board<V> = Rc::new(RefCell::new(vec![(None, 0); cfg.n]));
+    let honest: Vec<bool> = behaviors
+        .iter()
+        .map(|b| matches!(b, PbftBehavior::Honest { .. }))
+        .collect();
+    let nodes: Vec<Box<dyn Process<PbftMessage<V>>>> = behaviors
+        .into_iter()
+        .enumerate()
+        .map(|(i, behavior)| {
+            Box::new(PbftNode {
+                id: NodeId(i),
+                cfg: cfg.clone(),
+                behavior,
+                registry: Rc::clone(&registry),
+                view: 0,
+                view_changing: false,
+                pre_prepared: None,
+                prepare_votes: BTreeMap::new(),
+                commit_votes: BTreeMap::new(),
+                prepared: None,
+                view_changes: BTreeMap::new(),
+                decided: None,
+                board: Rc::clone(&board),
+            }) as Box<dyn Process<PbftMessage<V>>>
+        })
+        .collect();
+    let mut sim = Simulator::new(
+        SynchronyModel::PartiallySynchronous {
+            gst: cfg.gst,
+            delta: cfg.delta,
+        },
+        cfg.seed,
+        nodes,
+    );
+    sim.run(max_time);
+    let snap = board.borrow();
+    let decisions: Vec<Option<V>> = snap.iter().map(|(d, _)| d.clone()).collect();
+    let all_honest_decided = decisions
+        .iter()
+        .zip(&honest)
+        .all(|(d, &h)| !h || d.is_some());
+    let decided_by = if all_honest_decided {
+        snap.iter()
+            .zip(&honest)
+            .filter(|(_, &h)| h)
+            .map(|((_, t), _)| *t)
+            .max()
+    } else {
+        None
+    };
+    PbftOutcome {
+        decisions,
+        honest,
+        decided_by,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(n: usize, f: usize, gst: u64) -> PbftConfig {
+        PbftConfig {
+            n,
+            f,
+            delta: 1,
+            gst,
+            base_timeout: 16,
+            seed: 77,
+        }
+    }
+
+    fn honest(v: u64) -> PbftBehavior<u64> {
+        PbftBehavior::Honest { proposal: v }
+    }
+
+    #[test]
+    fn honest_primary_decides_fast() {
+        let c = cfg(4, 1, 0);
+        let out = run_pbft(&c, (0..4).map(|i| honest(100 + i)).collect(), 10_000);
+        assert!(out.safe());
+        assert!(out.live(), "decisions: {:?}", out.decisions);
+        assert!(out.decisions.iter().all(|d| *d == Some(100)));
+    }
+
+    #[test]
+    fn silent_primary_view_change_recovers() {
+        let c = cfg(4, 1, 0);
+        let mut behaviors: Vec<PbftBehavior<u64>> = vec![PbftBehavior::Silent];
+        behaviors.extend((1..4).map(|i| honest(200 + i)));
+        let out = run_pbft(&c, behaviors, 100_000);
+        assert!(out.safe());
+        assert!(out.live(), "decisions: {:?}", out.decisions);
+        // view 1's primary is node 1, so its proposal wins
+        for (i, d) in out.decisions.iter().enumerate() {
+            if out.honest[i] {
+                assert_eq!(*d, Some(201));
+            }
+        }
+    }
+
+    #[test]
+    fn equivocating_primary_never_splits() {
+        let c = cfg(7, 2, 0);
+        let mut behaviors: Vec<PbftBehavior<u64>> =
+            vec![PbftBehavior::EquivocatingPrimary { a: 1, b: 2 }];
+        behaviors.extend((1..7).map(|i| honest(300 + i)));
+        let out = run_pbft(&c, behaviors, 200_000);
+        assert!(out.safe(), "decisions: {:?}", out.decisions);
+        assert!(out.live(), "decisions: {:?}", out.decisions);
+    }
+
+    #[test]
+    fn two_silent_replicas_still_live() {
+        let c = cfg(7, 2, 0);
+        let mut behaviors: Vec<PbftBehavior<u64>> = (0..5).map(|i| honest(i)).collect();
+        behaviors.push(PbftBehavior::Silent);
+        behaviors.push(PbftBehavior::Silent);
+        let out = run_pbft(&c, behaviors, 100_000);
+        assert!(out.safe());
+        assert!(out.live(), "decisions: {:?}", out.decisions);
+        assert!(out.decisions[..5].iter().all(|d| *d == Some(0)));
+    }
+
+    #[test]
+    fn pre_gst_delays_do_not_break_safety() {
+        // messages crawl before GST; decision still unique and eventually
+        // reached after GST
+        let c = cfg(4, 1, 400);
+        let out = run_pbft(&c, (0..4).map(|i| honest(i)).collect(), 1_000_000);
+        assert!(out.safe());
+        assert!(out.live(), "decisions: {:?}", out.decisions);
+    }
+
+    #[test]
+    fn cascading_silent_primaries() {
+        // primaries of views 0 and 1 both silent: two view changes needed
+        // (n = 3f+1 with f = 2 tolerates them).
+        let c = cfg(7, 2, 0);
+        let mut behaviors: Vec<PbftBehavior<u64>> =
+            vec![PbftBehavior::Silent, PbftBehavior::Silent];
+        behaviors.extend((2..7).map(|i| honest(i)));
+        let out = run_pbft(&c, behaviors, 500_000);
+        assert!(out.safe());
+        assert!(out.live(), "decisions: {:?}", out.decisions);
+        // view 2's primary is node 2
+        for (i, d) in out.decisions.iter().enumerate() {
+            if out.honest[i] {
+                assert_eq!(*d, Some(2));
+            }
+        }
+    }
+
+    #[test]
+    fn quorum_and_primary_helpers() {
+        let c = cfg(7, 2, 0);
+        assert_eq!(c.quorum(), 5);
+        assert_eq!(c.primary(0), NodeId(0));
+        assert_eq!(c.primary(9), NodeId(2));
+        assert!(c.timeout(3) > c.timeout(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 3f + 1")]
+    fn rejects_insufficient_n() {
+        let c = cfg(4, 1, 0);
+        let bad = PbftConfig { f: 2, ..c };
+        let _ = run_pbft(&bad, (0..4).map(|i| honest(i)).collect(), 100);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based consensus tests: for arbitrary Byzantine subsets within
+//! each protocol's bound (and arbitrary network schedules for PBFT),
+//! Consistency/Safety always holds, and Liveness holds whenever the bound
+//! does.
+
+use csm_consensus::dolev_strong::{run_broadcast, DsBehavior, DsConfig, DsOutcome};
+use csm_consensus::pbft::{run_pbft, PbftBehavior, PbftConfig};
+use csm_network::NodeId;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum ByzKind {
+    Silent,
+    Equivocate,
+}
+
+fn byz_kind() -> impl Strategy<Value = ByzKind> {
+    prop_oneof![Just(ByzKind::Silent), Just(ByzKind::Equivocate)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Dolev–Strong: any leader (honest or Byzantine), any set of silent
+    /// relayers, any f >= #faults: all honest nodes decide identically,
+    /// and an honest leader's value always wins.
+    #[test]
+    fn dolev_strong_consistency(
+        n in 4usize..10,
+        leader_idx in 0usize..10,
+        byz_mask in any::<u16>(),
+        leader_kind in byz_kind(),
+        seed in any::<u64>(),
+        value in any::<u64>(),
+    ) {
+        let leader = NodeId(leader_idx % n);
+        let byz: Vec<bool> = (0..n).map(|i| (byz_mask >> i) & 1 == 1).collect();
+        let f = byz.iter().filter(|&&b| b).count().max(1);
+        if f >= n { return Ok(()); }
+        let behaviors: Vec<DsBehavior<u64>> = (0..n)
+            .map(|i| {
+                if NodeId(i) == leader {
+                    if byz[i] {
+                        match leader_kind {
+                            ByzKind::Silent => DsBehavior::Silent,
+                            ByzKind::Equivocate => DsBehavior::EquivocatingLeader {
+                                a: value,
+                                b: value.wrapping_add(1),
+                            },
+                        }
+                    } else {
+                        DsBehavior::Honest { proposal: Some(value) }
+                    }
+                } else if byz[i] {
+                    DsBehavior::Silent
+                } else {
+                    DsBehavior::Honest { proposal: None }
+                }
+            })
+            .collect();
+        let out: DsOutcome<u64> = run_broadcast(
+            &DsConfig { n, f, leader, delta: 1, seed },
+            behaviors,
+        );
+        prop_assert!(out.consistent(), "{:?}", out.decisions);
+        if !byz[leader.0] {
+            // honest leader => all honest decide its value
+            for (d, &h) in out.decisions.iter().zip(&out.honest) {
+                if h {
+                    prop_assert_eq!(*d, Some(value));
+                }
+            }
+        }
+    }
+
+    /// PBFT: any ≤ f Byzantine subset (silent or equivocating-primary),
+    /// any GST: safety always; liveness within the horizon.
+    #[test]
+    fn pbft_safety_and_liveness(
+        f in 1usize..3,
+        byz_count in 0usize..3,
+        primary_byz in any::<bool>(),
+        gst in 0u64..200,
+        seed in any::<u64>(),
+    ) {
+        let byz_count = byz_count.min(f);
+        let n = 3 * f + 1;
+        let cfg = PbftConfig {
+            n,
+            f,
+            delta: 1,
+            gst,
+            base_timeout: 32,
+            seed,
+        };
+        let behaviors: Vec<PbftBehavior<u64>> = (0..n)
+            .map(|i| {
+                if i == 0 && primary_byz && byz_count > 0 {
+                    PbftBehavior::EquivocatingPrimary { a: 1, b: 2 }
+                } else if i > 0 && i <= byz_count.saturating_sub(primary_byz as usize) {
+                    PbftBehavior::Silent
+                } else {
+                    PbftBehavior::Honest { proposal: 100 + i as u64 }
+                }
+            })
+            .collect();
+        let out = run_pbft(&cfg, behaviors, 2_000_000);
+        prop_assert!(out.safe(), "decisions: {:?}", out.decisions);
+        prop_assert!(out.live(), "no liveness: {:?}", out.decisions);
+    }
+
+    /// Dolev–Strong chain validation is robust to arbitrary signer
+    /// permutations: only chains starting with the leader verify.
+    #[test]
+    fn chain_requires_leader_first(
+        n in 3usize..8,
+        first in 0usize..8,
+        value in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        use csm_consensus::dolev_strong::ChainedValue;
+        use csm_network::auth::KeyRegistry;
+        let first = first % n;
+        let registry = KeyRegistry::new(n, seed);
+        let leader = NodeId(0);
+        let chain = ChainedValue {
+            value,
+            sigs: vec![registry.sign(NodeId(first), &value)],
+        };
+        prop_assert_eq!(chain.is_valid(&registry, leader), first == 0);
+    }
+}

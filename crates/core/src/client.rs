@@ -1,0 +1,116 @@
+//! Client-side output acceptance.
+//!
+//! "Each client waits for `b + 1` matching responses from the nodes before
+//! it accepts the output result" (§3) — with at most `b` Byzantine nodes,
+//! `b + 1` matching replies must include an honest one, so the matched
+//! value is correct. This needs `2b + 1 ≤ N` replies in the worst case
+//! (Table 2's Output Delivery column).
+
+/// Outcome of a client's wait for one machine's output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeliveryStatus<T> {
+    /// `b + 1` matching replies arrived; the value is accepted.
+    Accepted {
+        /// The accepted output.
+        value: T,
+        /// How many replies matched.
+        matching: usize,
+    },
+    /// No value reached `b + 1` matches.
+    Failed {
+        /// The best (most frequent) reply count observed.
+        best_matching: usize,
+    },
+}
+
+impl<T> DeliveryStatus<T> {
+    /// Whether delivery succeeded.
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, DeliveryStatus::Accepted { .. })
+    }
+
+    /// The accepted value, if any.
+    pub fn value(&self) -> Option<&T> {
+        match self {
+            DeliveryStatus::Accepted { value, .. } => Some(value),
+            DeliveryStatus::Failed { .. } => None,
+        }
+    }
+}
+
+/// Applies the `b + 1` matching rule to a set of replies (`None` = node
+/// sent nothing).
+///
+/// Returns the first value (in reply order) reaching `need = b + 1`
+/// matches.
+pub fn accept_replies<T: Clone + PartialEq>(
+    replies: &[Option<T>],
+    need: usize,
+) -> DeliveryStatus<T> {
+    let mut distinct: Vec<(&T, usize)> = Vec::new();
+    for r in replies.iter().flatten() {
+        match distinct.iter_mut().find(|(v, _)| *v == r) {
+            Some((_, c)) => *c += 1,
+            None => distinct.push((r, 1)),
+        }
+    }
+    let mut best = 0;
+    for (v, c) in &distinct {
+        if *c >= need {
+            return DeliveryStatus::Accepted {
+                value: (*v).clone(),
+                matching: *c,
+            };
+        }
+        best = best.max(*c);
+    }
+    DeliveryStatus::Failed {
+        best_matching: best,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_with_quorum() {
+        let replies = vec![Some(7), Some(7), Some(9), None, Some(7)];
+        match accept_replies(&replies, 3) {
+            DeliveryStatus::Accepted { value, matching } => {
+                assert_eq!(value, 7);
+                assert_eq!(matching, 3);
+            }
+            s => panic!("expected accept, got {s:?}"),
+        }
+    }
+
+    #[test]
+    fn fails_below_quorum() {
+        let replies = vec![Some(1), Some(2), Some(3), Some(1)];
+        let s = accept_replies(&replies, 3);
+        assert_eq!(s, DeliveryStatus::Failed { best_matching: 2 });
+        assert!(!s.is_accepted());
+        assert_eq!(s.value(), None);
+    }
+
+    #[test]
+    fn all_none_fails() {
+        let replies: Vec<Option<u8>> = vec![None; 5];
+        assert_eq!(
+            accept_replies(&replies, 1),
+            DeliveryStatus::Failed { best_matching: 0 }
+        );
+    }
+
+    #[test]
+    fn byzantine_minority_cannot_win() {
+        // b = 2 corrupt nodes agree on a wrong value; with need = b+1 = 3
+        // they cannot reach acceptance, while 3 honest replies can.
+        let replies = vec![Some(666), Some(666), Some(42), Some(42), Some(42)];
+        match accept_replies(&replies, 3) {
+            DeliveryStatus::Accepted { value, .. } => assert_eq!(value, 42),
+            s => panic!("expected accept, got {s:?}"),
+        }
+    }
+}

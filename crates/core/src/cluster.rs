@@ -1,0 +1,1140 @@
+//! The Coded State Machine cluster: coded states, coded execution, and the
+//! full round pipeline of §5 (distributed coding) and §6 (centralized
+//! coding with INTERMIX verification).
+
+use crate::client::{accept_replies, DeliveryStatus};
+use crate::codebook::Codebook;
+use crate::config::{
+    CodingMode, ConsensusMode, CsmConfig, DecoderKind, FaultSpec, SynchronyMode,
+};
+use crate::error::CsmError;
+use csm_algebra::{count, Field, OpCounts};
+use csm_consensus::dolev_strong::{self, DsBehavior, DsConfig};
+use csm_consensus::pbft::{self, PbftBehavior, PbftConfig};
+use csm_intermix::{
+    committee_size, run_session, AuditorBehavior, DecodingClaim, DecodingVerdict, SessionConfig,
+    WorkerBehavior,
+};
+use csm_network::NodeId;
+use csm_reed_solomon::{BerlekampWelch, Gao, RsCode};
+use csm_statemachine::PolyTransition;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Per-node operation counts for one round, split by execution-phase step
+/// (the `ρ`, `ψ`, `χ` functions of §2.2).
+#[derive(Debug, Clone, Default)]
+pub struct RoundOps {
+    /// Per-node total operations this round.
+    pub per_node: Vec<OpCounts>,
+    /// Aggregate encoding cost (`ρ`: coded-command generation).
+    pub encoding: OpCounts,
+    /// Aggregate state-transition cost (part of `ρ`).
+    pub transition: OpCounts,
+    /// Aggregate decoding cost (`ψ`).
+    pub decoding: OpCounts,
+    /// Aggregate state-update cost (`χ`).
+    pub state_update: OpCounts,
+}
+
+impl RoundOps {
+    /// Mean per-node operations — the denominator of the paper's
+    /// throughput definition (§2.2).
+    pub fn mean_per_node(&self) -> f64 {
+        if self.per_node.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.per_node.iter().map(OpCounts::total).sum();
+        total as f64 / self.per_node.len() as f64
+    }
+}
+
+/// Everything that happened in one round.
+#[derive(Debug, Clone)]
+pub struct RoundReport<F> {
+    /// Round index (starting at 0).
+    pub round: u64,
+    /// The commands actually agreed in the consensus phase.
+    pub decided_commands: Vec<Vec<F>>,
+    /// Decoded outputs `Y_k(t)`, one per machine.
+    pub outputs: Vec<Vec<F>>,
+    /// Decoded next states `S_k(t+1)`, one per machine.
+    pub new_states: Vec<Vec<F>>,
+    /// Nodes whose broadcast results were identified as erroneous by the
+    /// decoder (Byzantine detection as a side effect of decoding).
+    pub detected_error_nodes: Vec<usize>,
+    /// Client-side delivery status per machine (`b + 1` matching rule).
+    pub delivery: Vec<DeliveryStatus<Vec<F>>>,
+    /// Operation counts.
+    pub ops: RoundOps,
+    /// Whether the decoded results match the plaintext reference oracle —
+    /// the paper's Correctness property, checked every round.
+    pub correct: bool,
+}
+
+#[derive(Debug, Clone)]
+struct NodeState<F> {
+    coded_state: Vec<F>,
+    fault: FaultSpec,
+    total_ops: OpCounts,
+}
+
+/// Builder for [`CsmCluster`].
+///
+/// # Examples
+///
+/// ```
+/// use csm_core::{CsmClusterBuilder, FaultSpec};
+/// use csm_statemachine::machines::bank_machine;
+/// use csm_algebra::{Field, Fp61};
+///
+/// let mut cluster = CsmClusterBuilder::new(8, 2)
+///     .transition(bank_machine::<Fp61>())
+///     .initial_states(vec![vec![Fp61::from_u64(100)], vec![Fp61::from_u64(200)]])
+///     .fault(7, FaultSpec::CorruptResult)
+///     .build()
+///     .unwrap();
+/// let report = cluster
+///     .step(vec![vec![Fp61::from_u64(10)], vec![Fp61::from_u64(20)]])
+///     .unwrap();
+/// assert!(report.correct);
+/// assert_eq!(report.outputs[0][0], Fp61::from_u64(110));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CsmClusterBuilder<F> {
+    config: CsmConfig,
+    transition: Option<PolyTransition<F>>,
+    initial_states: Option<Vec<Vec<F>>>,
+}
+
+impl<F: Field> CsmClusterBuilder<F> {
+    /// Starts a builder for `n` nodes and `k` machines.
+    pub fn new(n: usize, k: usize) -> Self {
+        CsmClusterBuilder {
+            config: CsmConfig::new(n, k),
+            transition: None,
+            initial_states: None,
+        }
+    }
+
+    /// Sets the state transition function (required).
+    pub fn transition(mut self, t: PolyTransition<F>) -> Self {
+        self.transition = Some(t);
+        self
+    }
+
+    /// Sets the `K` initial states (required), each of the transition's
+    /// state dimension.
+    pub fn initial_states(mut self, s: Vec<Vec<F>>) -> Self {
+        self.initial_states = Some(s);
+        self
+    }
+
+    /// Injects a fault at a node.
+    pub fn fault(mut self, node: usize, fault: FaultSpec) -> Self {
+        self.config.faults.push((NodeId(node), fault));
+        self
+    }
+
+    /// Sets the synchrony model.
+    pub fn synchrony(mut self, s: SynchronyMode) -> Self {
+        self.config.synchrony = s;
+        self
+    }
+
+    /// Sets the coding mode.
+    pub fn coding(mut self, c: CodingMode) -> Self {
+        self.config.coding = c;
+        self
+    }
+
+    /// Selects the Reed–Solomon decoder.
+    pub fn decoder(mut self, d: DecoderKind) -> Self {
+        self.config.decoder = d;
+        self
+    }
+
+    /// Selects the consensus mode.
+    pub fn consensus(mut self, c: ConsensusMode) -> Self {
+        self.config.consensus = c;
+        self
+    }
+
+    /// Sets the provisioned fault bound `b` (defaults to `⌊n/3⌋`).
+    pub fn assumed_faults(mut self, b: usize) -> Self {
+        self.config.assumed_faults = b;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Builds the cluster.
+    ///
+    /// # Errors
+    ///
+    /// * [`CsmError::InvalidConfig`] — missing transition/states, `k = 0`,
+    ///   `n = 0`, or fault node out of range;
+    /// * [`CsmError::TooManyMachines`] — `d(K−1) + 1 > N`;
+    /// * [`CsmError::FieldTooSmall`] — fewer than `N + K` field elements;
+    /// * [`CsmError::ShapeMismatch`] — initial state dimensions don't match
+    ///   the transition function.
+    pub fn build(self) -> Result<CsmCluster<F>, CsmError> {
+        let cfg = self.config;
+        if cfg.n == 0 || cfg.k == 0 {
+            return Err(CsmError::InvalidConfig(
+                "need at least one node and one machine".into(),
+            ));
+        }
+        let transition = self
+            .transition
+            .ok_or_else(|| CsmError::InvalidConfig("transition function is required".into()))?;
+        let initial_states = self
+            .initial_states
+            .ok_or_else(|| CsmError::InvalidConfig("initial states are required".into()))?;
+        if initial_states.len() != cfg.k {
+            return Err(CsmError::ShapeMismatch(format!(
+                "{} initial states for {} machines",
+                initial_states.len(),
+                cfg.k
+            )));
+        }
+        for (i, s) in initial_states.iter().enumerate() {
+            if s.len() != transition.state_dim() {
+                return Err(CsmError::ShapeMismatch(format!(
+                    "state {i} has dimension {}, transition expects {}",
+                    s.len(),
+                    transition.state_dim()
+                )));
+            }
+        }
+        for (id, _) in &cfg.faults {
+            if id.0 >= cfg.n {
+                return Err(CsmError::InvalidConfig(format!(
+                    "fault injected at nonexistent node {id}"
+                )));
+            }
+        }
+        let degree = transition.degree();
+        let dim = transition.composite_degree_bound(cfg.k) + 1;
+        if dim > cfg.n {
+            let max_k = (cfg.n - 1) / degree as usize + 1;
+            return Err(CsmError::TooManyMachines {
+                k: cfg.k,
+                n: cfg.n,
+                degree,
+                max_k,
+            });
+        }
+        let codebook = Codebook::new(cfg.n, cfg.k)?;
+        let code = RsCode::new(codebook.alphas().to_vec(), dim)
+            .expect("alphas are distinct and dim <= n");
+        let nodes = (0..cfg.n)
+            .map(|i| NodeState {
+                coded_state: codebook.encode_vector_at(i, &initial_states),
+                fault: cfg.fault_of(NodeId(i)),
+                total_ops: OpCounts::default(),
+            })
+            .collect();
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        Ok(CsmCluster {
+            codebook,
+            transition,
+            code,
+            nodes,
+            reference_states: initial_states,
+            round: 0,
+            rng,
+            config: cfg,
+        })
+    }
+}
+
+/// A running Coded State Machine cluster.
+///
+/// Holds `N` nodes each storing one coded state vector (the same size as a
+/// single machine's state — storage efficiency `γ = K`, §5.1), and steps
+/// them through consensus → coded execution → decoding → delivery → state
+/// update each round.
+#[derive(Debug)]
+pub struct CsmCluster<F: Field> {
+    config: CsmConfig,
+    codebook: Codebook<F>,
+    transition: PolyTransition<F>,
+    code: RsCode<F>,
+    nodes: Vec<NodeState<F>>,
+    /// Plaintext mirror of the `K` true states — the test oracle for the
+    /// Correctness property; no protocol step reads it.
+    reference_states: Vec<Vec<F>>,
+    round: u64,
+    rng: StdRng,
+}
+
+impl<F: Field> CsmCluster<F> {
+    /// Number of nodes `N`.
+    pub fn n(&self) -> usize {
+        self.config.n
+    }
+
+    /// Number of machines `K`.
+    pub fn k(&self) -> usize {
+        self.config.k
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &CsmConfig {
+        &self.config
+    }
+
+    /// The codebook (points and coefficients).
+    pub fn codebook(&self) -> &Codebook<F> {
+        &self.codebook
+    }
+
+    /// The transition function.
+    pub fn transition(&self) -> &PolyTransition<F> {
+        &self.transition
+    }
+
+    /// Current round index.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Node `i`'s stored coded state (size = one machine state — the
+    /// storage-efficiency invariant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n`.
+    pub fn coded_state(&self, i: usize) -> &[F] {
+        &self.nodes[i].coded_state
+    }
+
+    /// The plaintext reference states (test oracle).
+    pub fn reference_states(&self) -> &[Vec<F>] {
+        &self.reference_states
+    }
+
+    /// Cumulative operation counts per node.
+    pub fn total_ops(&self) -> Vec<OpCounts> {
+        self.nodes.iter().map(|n| n.total_ops).collect()
+    }
+
+    /// Maximum number of Byzantine nodes the current configuration's
+    /// decoding step tolerates (Table 2): synchronous
+    /// `⌊(N − d(K−1) − 1)/2⌋`, partially synchronous
+    /// `⌊(N − d(K−1) − 1)/3⌋`.
+    pub fn max_tolerable_faults(&self) -> usize {
+        let slack = self.config.n.saturating_sub(self.code.dim());
+        match self.config.synchrony {
+            SynchronyMode::Synchronous => slack / 2,
+            SynchronyMode::PartiallySynchronous => slack / 3,
+        }
+    }
+
+    /// Executes one round on the given commands (one command vector per
+    /// machine).
+    ///
+    /// # Errors
+    ///
+    /// * [`CsmError::ShapeMismatch`] — wrong command shape;
+    /// * [`CsmError::ConsensusFailed`] — the consensus phase did not decide;
+    /// * [`CsmError::Decoding`] — more corrupted results than the code
+    ///   corrects (security bound exceeded);
+    /// * [`CsmError::VerificationFailed`] — centralized mode only: the
+    ///   worker's claim failed INTERMIX verification.
+    pub fn step(&mut self, commands: Vec<Vec<F>>) -> Result<RoundReport<F>, CsmError> {
+        self.check_commands(&commands)?;
+        let mut ops = RoundOps {
+            per_node: vec![OpCounts::default(); self.config.n],
+            ..RoundOps::default()
+        };
+
+        // ---- consensus phase (§3) ----
+        let decided = self.consensus_phase(commands)?;
+
+        // ---- encoding: coded commands (ρ, first half) ----
+        let coded_cmds = self.encode_commands(&decided, &mut ops)?;
+
+        // ---- local state transition (ρ, second half) ----
+        let results = self.run_transitions(&coded_cmds, &mut ops)?;
+
+        // ---- exchange + decode (ψ) ----
+        let (new_states, outputs, detected) = self.decode_phase(&results, &mut ops)?;
+
+        // ---- client delivery (b + 1 matching) ----
+        let delivery = self.deliver_outputs(&outputs);
+
+        // ---- state update (χ) ----
+        self.update_states(&new_states, &mut ops)?;
+
+        // ---- reference oracle + correctness ----
+        let mut ref_outputs = Vec::with_capacity(self.config.k);
+        let mut ref_next = Vec::with_capacity(self.config.k);
+        for k in 0..self.config.k {
+            let (s, y) = self
+                .transition
+                .apply(&self.reference_states[k], &decided[k])
+                .map_err(|e| CsmError::Transition(e.to_string()))?;
+            ref_next.push(s);
+            ref_outputs.push(y);
+        }
+        let correct = ref_next == new_states && ref_outputs == outputs;
+        self.reference_states = ref_next;
+
+        let report = RoundReport {
+            round: self.round,
+            decided_commands: decided,
+            outputs,
+            new_states,
+            detected_error_nodes: detected,
+            delivery,
+            ops,
+            correct,
+        };
+        for (node, per) in self.nodes.iter_mut().zip(&report.ops.per_node) {
+            node.total_ops += *per;
+        }
+        self.round += 1;
+        Ok(report)
+    }
+
+    fn check_commands(&self, commands: &[Vec<F>]) -> Result<(), CsmError> {
+        if commands.len() != self.config.k {
+            return Err(CsmError::ShapeMismatch(format!(
+                "{} commands for {} machines",
+                commands.len(),
+                self.config.k
+            )));
+        }
+        for (i, c) in commands.iter().enumerate() {
+            if c.len() != self.transition.input_dim() {
+                return Err(CsmError::ShapeMismatch(format!(
+                    "command {i} has dimension {}, transition expects {}",
+                    c.len(),
+                    self.transition.input_dim()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    // ---------------------------------------------------------------- consensus
+
+    fn consensus_phase(&mut self, commands: Vec<Vec<F>>) -> Result<Vec<Vec<F>>, CsmError> {
+        match self.config.consensus {
+            ConsensusMode::Trusted => Ok(commands),
+            ConsensusMode::DolevStrong => self.consensus_dolev_strong(commands),
+            ConsensusMode::Pbft => self.consensus_pbft(commands),
+        }
+    }
+
+    /// Wraps commands as `Vec<u64>` canonical words for hashing-friendly
+    /// consensus values.
+    fn consensus_dolev_strong(&mut self, commands: Vec<Vec<F>>) -> Result<Vec<Vec<F>>, CsmError> {
+        let n = self.config.n;
+        let f = self.config.assumed_faults;
+        // rotate leaders until an honest one decides the batch
+        for attempt in 0..n {
+            let leader = NodeId(((self.round as usize) + attempt) % n);
+            let value: Vec<Vec<u64>> = commands
+                .iter()
+                .map(|c| c.iter().map(|x| x.to_canonical_u64()).collect())
+                .collect();
+            let behaviors: Vec<DsBehavior<Vec<Vec<u64>>>> = (0..n)
+                .map(|i| {
+                    let fault = self.nodes[i].fault;
+                    if NodeId(i) == leader {
+                        if fault.is_byzantine() {
+                            // a Byzantine leader equivocates on the batch
+                            let mut alt = value.clone();
+                            if let Some(first) = alt.first_mut().and_then(|v| v.first_mut()) {
+                                *first = first.wrapping_add(1);
+                            }
+                            DsBehavior::EquivocatingLeader {
+                                a: value.clone(),
+                                b: alt,
+                            }
+                        } else {
+                            DsBehavior::Honest {
+                                proposal: Some(value.clone()),
+                            }
+                        }
+                    } else if fault.is_byzantine() {
+                        DsBehavior::Silent
+                    } else {
+                        DsBehavior::Honest { proposal: None }
+                    }
+                })
+                .collect();
+            let cfg = DsConfig {
+                n,
+                f,
+                leader,
+                delta: 1,
+                seed: self.config.seed ^ self.round ^ (attempt as u64) << 32,
+            };
+            let out = dolev_strong::run_broadcast(&cfg, behaviors);
+            debug_assert!(out.consistent());
+            // take the first honest node's decision
+            let decision = out
+                .decisions
+                .iter()
+                .zip(&out.honest)
+                .find(|(_, &h)| h)
+                .and_then(|(d, _)| d.clone());
+            if let Some(value) = decision {
+                let decided: Vec<Vec<F>> = value
+                    .into_iter()
+                    .map(|c| c.into_iter().map(F::from_u64).collect())
+                    .collect();
+                return Ok(decided);
+            }
+        }
+        Err(CsmError::ConsensusFailed { round: self.round })
+    }
+
+    fn consensus_pbft(&mut self, commands: Vec<Vec<F>>) -> Result<Vec<Vec<F>>, CsmError> {
+        let n = self.config.n;
+        let f = self.config.assumed_faults;
+        if n < 3 * f + 1 {
+            return Err(CsmError::InvalidConfig(format!(
+                "PBFT consensus needs n >= 3b+1 (n={n}, b={f})"
+            )));
+        }
+        let value: Vec<Vec<u64>> = commands
+            .iter()
+            .map(|c| c.iter().map(|x| x.to_canonical_u64()).collect())
+            .collect();
+        let behaviors: Vec<PbftBehavior<Vec<Vec<u64>>>> = (0..n)
+            .map(|i| {
+                if self.nodes[i].fault.is_byzantine() {
+                    PbftBehavior::Silent
+                } else {
+                    PbftBehavior::Honest {
+                        proposal: value.clone(),
+                    }
+                }
+            })
+            .collect();
+        let cfg = PbftConfig {
+            n,
+            f,
+            delta: 1,
+            gst: 0,
+            base_timeout: 32,
+            seed: self.config.seed ^ self.round.wrapping_mul(0x9E37),
+        };
+        let out = pbft::run_pbft(&cfg, behaviors, 1_000_000);
+        if !out.safe() {
+            return Err(CsmError::ConsensusFailed { round: self.round });
+        }
+        let decision = out
+            .decisions
+            .iter()
+            .zip(&out.honest)
+            .find(|(d, &h)| h && d.is_some())
+            .and_then(|(d, _)| d.clone());
+        match decision {
+            Some(value) => Ok(value
+                .into_iter()
+                .map(|c| c.into_iter().map(F::from_u64).collect())
+                .collect()),
+            None => Err(CsmError::ConsensusFailed { round: self.round }),
+        }
+    }
+
+    // ---------------------------------------------------------------- encoding
+
+    fn encode_commands(
+        &mut self,
+        commands: &[Vec<F>],
+        ops: &mut RoundOps,
+    ) -> Result<Vec<Vec<F>>, CsmError> {
+        match self.config.coding {
+            CodingMode::Distributed => {
+                // each node computes its own coded command: O(K) per node
+                let mut coded = Vec::with_capacity(self.config.n);
+                for i in 0..self.config.n {
+                    let (c, o) =
+                        count::measure(|| self.codebook.encode_vector_at(i, commands));
+                    ops.per_node[i] += o;
+                    ops.encoding += o;
+                    coded.push(c);
+                }
+                Ok(coded)
+            }
+            CodingMode::Centralized { epsilon, mu } => {
+                // worker encodes everything with fast polynomial arithmetic
+                let worker = self.worker_id();
+                let (coded, wops) =
+                    count::measure(|| self.codebook.encode_all_vectors_fast(commands));
+                ops.per_node[worker] += wops;
+                ops.encoding += wops;
+                // INTERMIX verification of X̃ = C·X per coordinate
+                let auditors = self.audit_committee(epsilon, mu);
+                let dim = self.transition.input_dim();
+                for j in 0..dim {
+                    let coords: Vec<F> = commands.iter().map(|c| c[j]).collect();
+                    let (outcome, aops) = count::measure(|| {
+                        run_session(
+                            self.codebook.coefficients(),
+                            &coords,
+                            &WorkerBehavior::Honest,
+                            &vec![AuditorBehavior::Honest; auditors.len()],
+                            &SessionConfig::default(),
+                        )
+                    });
+                    if !outcome.accepted {
+                        return Err(CsmError::VerificationFailed(
+                            "command encoding rejected by INTERMIX".into(),
+                        ));
+                    }
+                    self.spread_ops(&auditors, aops, ops);
+                }
+                Ok(coded)
+            }
+        }
+    }
+
+    fn worker_id(&self) -> usize {
+        // deterministic rotation; a real deployment would elect it
+        (self.round as usize) % self.config.n
+    }
+
+    fn audit_committee(&mut self, epsilon: f64, mu: f64) -> Vec<usize> {
+        let j = committee_size(epsilon, mu);
+        let committee = csm_intermix::elect_committee(
+            self.config.n,
+            j,
+            self.config.seed ^ self.round.wrapping_mul(0xA11D),
+        );
+        committee.auditors
+    }
+
+    fn spread_ops(&self, auditors: &[usize], total: OpCounts, ops: &mut RoundOps) {
+        // attribute audit work evenly across the committee
+        if auditors.is_empty() {
+            return;
+        }
+        let share = OpCounts {
+            adds: total.adds / auditors.len() as u64,
+            muls: total.muls / auditors.len() as u64,
+            invs: total.invs / auditors.len() as u64,
+        };
+        for &a in auditors {
+            ops.per_node[a] += share;
+        }
+    }
+
+    // ---------------------------------------------------------------- transition
+
+    /// Per-receiver view of the broadcast results. `results[i] = None`
+    /// means node `i` withheld its result.
+    fn run_transitions(
+        &mut self,
+        coded_cmds: &[Vec<F>],
+        ops: &mut RoundOps,
+    ) -> Result<Vec<Option<Vec<F>>>, CsmError> {
+        let mut results = Vec::with_capacity(self.config.n);
+        let out_dim = self.transition.state_dim() + self.transition.output_dim();
+        for i in 0..self.config.n {
+            let (g, o) = count::measure(|| {
+                self.transition
+                    .apply_flat(&self.nodes[i].coded_state, &coded_cmds[i])
+            });
+            let g = g.map_err(|e| CsmError::Transition(e.to_string()))?;
+            ops.per_node[i] += o;
+            ops.transition += o;
+            let result = match self.nodes[i].fault {
+                FaultSpec::Honest | FaultSpec::CorruptStateUpdate | FaultSpec::Equivocate => {
+                    Some(g)
+                }
+                FaultSpec::CorruptResult => {
+                    Some((0..out_dim).map(|_| F::random(&mut self.rng)).collect())
+                }
+                FaultSpec::OffsetResult => {
+                    Some(g.into_iter().map(|x| x + F::from_u64(0xBAD)).collect())
+                }
+                FaultSpec::Withhold => None,
+            };
+            results.push(result);
+        }
+        Ok(results)
+    }
+
+    // ---------------------------------------------------------------- decoding
+
+    /// Builds receiver `j`'s view of the broadcast results, applying
+    /// equivocation noise and (in partial synchrony) adversarial slowness.
+    fn receiver_word(&self, j: usize, results: &[Option<Vec<F>>]) -> Vec<Option<Vec<F>>> {
+        let mut word: Vec<Option<Vec<F>>> = results.to_vec();
+        // equivocating senders give each receiver a different wrong value
+        for (i, node) in self.nodes.iter().enumerate() {
+            if node.fault == FaultSpec::Equivocate {
+                if let Some(g) = &mut word[i] {
+                    let noise = F::from_u64(
+                        1 + ((i as u64 + 1)
+                            .wrapping_mul(j as u64 + 0x1234)
+                            .wrapping_mul(self.round + 7))
+                            % 65_521,
+                    );
+                    for x in g.iter_mut() {
+                        *x += noise;
+                    }
+                }
+            }
+        }
+        // partial synchrony: the adversary delays up to b results past the
+        // decode point; the worst case drops honest ones
+        if self.config.synchrony == SynchronyMode::PartiallySynchronous {
+            let b = self.config.assumed_faults;
+            let withheld = word.iter().filter(|w| w.is_none()).count();
+            let mut to_drop = b.saturating_sub(withheld);
+            for i in (0..self.config.n).rev() {
+                if to_drop == 0 {
+                    break;
+                }
+                if word[i].is_some() && !self.nodes[i].fault.is_byzantine() && i != j {
+                    word[i] = None;
+                    to_drop -= 1;
+                }
+            }
+        }
+        word
+    }
+
+    fn decode_word(
+        &self,
+        word: &[Option<Vec<F>>],
+    ) -> Result<(Vec<Vec<F>>, Vec<Vec<F>>, Vec<usize>), CsmError> {
+        let sd = self.transition.state_dim();
+        let out_dim = sd + self.transition.output_dim();
+        let mut polys = Vec::with_capacity(out_dim);
+        let mut detected: Vec<usize> = Vec::new();
+        for jcoord in 0..out_dim {
+            let coord_word: Vec<Option<F>> = word
+                .iter()
+                .map(|w| w.as_ref().map(|g| g[jcoord]))
+                .collect();
+            let decoded = match self.config.decoder {
+                DecoderKind::BerlekampWelch => {
+                    self.code.decode_with(&BerlekampWelch, &coord_word)?
+                }
+                DecoderKind::Gao => self.code.decode_with(&Gao, &coord_word)?,
+            };
+            for &e in decoded.error_positions() {
+                if !detected.contains(&e) {
+                    detected.push(e);
+                }
+            }
+            polys.push(decoded.poly().clone());
+        }
+        // evaluate at ω_k to recover (S_k(t+1), Y_k(t))
+        let mut new_states = Vec::with_capacity(self.config.k);
+        let mut outputs = Vec::with_capacity(self.config.k);
+        for &w in self.codebook.omegas() {
+            let vals: Vec<F> = polys.iter().map(|p| p.eval(w)).collect();
+            new_states.push(vals[..sd].to_vec());
+            outputs.push(vals[sd..].to_vec());
+        }
+        detected.sort_unstable();
+        Ok((new_states, outputs, detected))
+    }
+
+    fn decode_phase(
+        &mut self,
+        results: &[Option<Vec<F>>],
+        ops: &mut RoundOps,
+    ) -> Result<(Vec<Vec<F>>, Vec<Vec<F>>, Vec<usize>), CsmError> {
+        match self.config.coding {
+            CodingMode::Distributed => self.decode_distributed(results, ops),
+            CodingMode::Centralized { epsilon, mu } => {
+                self.decode_centralized(results, ops, epsilon, mu)
+            }
+        }
+    }
+
+    /// Every honest node decodes its own received word. Nodes whose words
+    /// are bit-identical share one measured decode (the work is identical);
+    /// the cost is attributed to each of them.
+    fn decode_distributed(
+        &mut self,
+        results: &[Option<Vec<F>>],
+        ops: &mut RoundOps,
+    ) -> Result<(Vec<Vec<F>>, Vec<Vec<F>>, Vec<usize>), CsmError> {
+        let mut groups: HashMap<Vec<Option<Vec<u64>>>, Vec<usize>> = HashMap::new();
+        for j in 0..self.config.n {
+            if self.nodes[j].fault.is_byzantine() {
+                continue; // Byzantine nodes' decodes don't matter
+            }
+            let word = self.receiver_word(j, results);
+            let key: Vec<Option<Vec<u64>>> = word
+                .iter()
+                .map(|w| {
+                    w.as_ref()
+                        .map(|g| g.iter().map(|x| x.to_canonical_u64()).collect())
+                })
+                .collect();
+            groups.entry(key).or_default().push(j);
+        }
+        let mut canonical: Option<(Vec<Vec<F>>, Vec<Vec<F>>)> = None;
+        let mut all_detected: Vec<usize> = Vec::new();
+        for (_, members) in groups {
+            let word = self.receiver_word(members[0], results);
+            let (decoded, dops) = count::measure(|| self.decode_word(&word));
+            let (new_states, outputs, detected) = decoded?;
+            for &m in &members {
+                ops.per_node[m] += dops;
+            }
+            ops.decoding += dops;
+            for e in detected {
+                if !all_detected.contains(&e) {
+                    all_detected.push(e);
+                }
+            }
+            match &canonical {
+                None => canonical = Some((new_states, outputs)),
+                Some((s, y)) => {
+                    // §5.2 remark: reconstructed polynomials at all honest
+                    // nodes are identical even under equivocation.
+                    if *s != new_states || *y != outputs {
+                        return Err(CsmError::VerificationFailed(
+                            "honest nodes decoded different results".into(),
+                        ));
+                    }
+                }
+            }
+        }
+        all_detected.sort_unstable();
+        let (new_states, outputs) =
+            canonical.ok_or_else(|| CsmError::InvalidConfig("no honest nodes".into()))?;
+        Ok((new_states, outputs, all_detected))
+    }
+
+    /// §6.2: a single worker decodes and broadcasts coefficients + τ-set;
+    /// auditors verify the claim via INTERMIX; commoners check in O(1).
+    fn decode_centralized(
+        &mut self,
+        results: &[Option<Vec<F>>],
+        ops: &mut RoundOps,
+        epsilon: f64,
+        mu: f64,
+    ) -> Result<(Vec<Vec<F>>, Vec<Vec<F>>, Vec<usize>), CsmError> {
+        let worker = self.worker_id();
+        let word = self.receiver_word(worker, results);
+        let ((decoded, claims), wops) = count::measure(|| {
+            let d = self.decode_word(&word);
+            let claims = d.as_ref().ok().map(|_| {
+                // per-coordinate claims: coefficients + τ
+                let sd = self.transition.state_dim();
+                let out_dim = sd + self.transition.output_dim();
+                (0..out_dim)
+                    .map(|jcoord| {
+                        let coord_word: Vec<Option<F>> = word
+                            .iter()
+                            .map(|w| w.as_ref().map(|g| g[jcoord]))
+                            .collect();
+                        let dec = match self.config.decoder {
+                            DecoderKind::BerlekampWelch => {
+                                self.code.decode_with(&BerlekampWelch, &coord_word)
+                            }
+                            DecoderKind::Gao => self.code.decode_with(&Gao, &coord_word),
+                        }
+                        .expect("already decoded once");
+                        let tau = self.code.consistency_set(dec.poly(), &coord_word);
+                        (
+                            DecodingClaim {
+                                coefficients: dec.message().to_vec(),
+                                tau,
+                            },
+                            coord_word,
+                        )
+                    })
+                    .collect::<Vec<_>>()
+            });
+            (d, claims)
+        });
+        ops.per_node[worker] += wops;
+        ops.decoding += wops;
+        let (new_states, outputs, detected) = decoded?;
+        let claims = claims.expect("claims exist when decode succeeded");
+
+        // auditors verify each coordinate's claim
+        let auditors = self.audit_committee(epsilon, mu);
+        for (claim, coord_word) in &claims {
+            // present positions only (erasures carry no claim)
+            let mut pts = Vec::new();
+            let mut vals = Vec::new();
+            for (i, w) in coord_word.iter().enumerate() {
+                if let Some(v) = w {
+                    pts.push(self.code.points()[i]);
+                    vals.push(*v);
+                }
+            }
+            // τ was computed against word indices; remap to present-only
+            let present_idx: Vec<usize> = coord_word
+                .iter()
+                .enumerate()
+                .filter(|(_, w)| w.is_some())
+                .map(|(i, _)| i)
+                .collect();
+            let remapped_tau: Vec<usize> = claim
+                .tau
+                .iter()
+                .map(|t| present_idx.binary_search(t).expect("τ ⊆ present"))
+                .collect();
+            let remapped = DecodingClaim {
+                coefficients: claim.coefficients.clone(),
+                tau: remapped_tau,
+            };
+            let (verdict, session) = {
+                let audit_behaviors = vec![AuditorBehavior::Honest; auditors.len().max(1)];
+                let (r, aops) = count::measure(|| {
+                    csm_intermix::verify_decoding_claim(&pts, &vals, &remapped, &audit_behaviors)
+                });
+                self.spread_ops(&auditors, aops, ops);
+                r
+            };
+            drop(session);
+            if verdict != DecodingVerdict::Valid {
+                return Err(CsmError::VerificationFailed(format!(
+                    "decoding claim rejected: {verdict:?}"
+                )));
+            }
+        }
+        Ok((new_states, outputs, detected))
+    }
+
+    // ---------------------------------------------------------------- delivery
+
+    fn deliver_outputs(&mut self, outputs: &[Vec<F>]) -> Vec<DeliveryStatus<Vec<F>>> {
+        let need = self.config.assumed_faults + 1;
+        (0..self.config.k)
+            .map(|k| {
+                let replies: Vec<Option<Vec<F>>> = (0..self.config.n)
+                    .map(|i| match self.nodes[i].fault {
+                        FaultSpec::Honest | FaultSpec::CorruptStateUpdate => {
+                            Some(outputs[k].clone())
+                        }
+                        FaultSpec::Withhold => None,
+                        // corrupt nodes reply with garbage to the client
+                        _ => Some(
+                            (0..outputs[k].len())
+                                .map(|_| F::random(&mut self.rng))
+                                .collect(),
+                        ),
+                    })
+                    .collect();
+                accept_replies(&replies, need)
+            })
+            .collect()
+    }
+
+    // ---------------------------------------------------------------- state update
+
+    fn update_states(
+        &mut self,
+        new_states: &[Vec<F>],
+        ops: &mut RoundOps,
+    ) -> Result<(), CsmError> {
+        match self.config.coding {
+            CodingMode::Distributed => {
+                for i in 0..self.config.n {
+                    let (coded, o) =
+                        count::measure(|| self.codebook.encode_vector_at(i, new_states));
+                    ops.per_node[i] += o;
+                    ops.state_update += o;
+                    self.store_state(i, coded);
+                }
+            }
+            CodingMode::Centralized { epsilon, mu } => {
+                let worker = self.worker_id();
+                let (all, wops) =
+                    count::measure(|| self.codebook.encode_all_vectors_fast(new_states));
+                ops.per_node[worker] += wops;
+                ops.state_update += wops;
+                // INTERMIX verification of S̃(t+1) = C·S(t+1) per coordinate
+                let auditors = self.audit_committee(epsilon, mu);
+                for j in 0..self.transition.state_dim() {
+                    let coords: Vec<F> = new_states.iter().map(|s| s[j]).collect();
+                    let (outcome, aops) = count::measure(|| {
+                        run_session(
+                            self.codebook.coefficients(),
+                            &coords,
+                            &WorkerBehavior::Honest,
+                            &vec![AuditorBehavior::Honest; auditors.len()],
+                            &SessionConfig::default(),
+                        )
+                    });
+                    if !outcome.accepted {
+                        return Err(CsmError::VerificationFailed(
+                            "state update rejected by INTERMIX".into(),
+                        ));
+                    }
+                    self.spread_ops(&auditors, aops, ops);
+                }
+                for (i, coded) in all.into_iter().enumerate() {
+                    self.store_state(i, coded);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn store_state(&mut self, i: usize, coded: Vec<F>) {
+        let coded = if self.nodes[i].fault == FaultSpec::CorruptStateUpdate {
+            // self-poisoning: the node stores garbage, so its future
+            // results are erroneous and get corrected by decoding
+            coded
+                .into_iter()
+                .map(|x| x + F::from_u64(0xDEAD))
+                .collect()
+        } else {
+            coded
+        };
+        self.nodes[i].coded_state = coded;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csm_algebra::Fp61;
+    use csm_statemachine::machines::bank_machine;
+
+    fn f(v: u64) -> Fp61 {
+        Fp61::from_u64(v)
+    }
+
+    fn small_cluster(n: usize, k: usize) -> CsmCluster<Fp61> {
+        CsmClusterBuilder::new(n, k)
+            .transition(bank_machine::<Fp61>())
+            .initial_states((0..k as u64).map(|i| vec![f(100 * (i + 1))]).collect())
+            .assumed_faults(1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_validates() {
+        // missing transition
+        assert!(matches!(
+            CsmClusterBuilder::<Fp61>::new(4, 2)
+                .initial_states(vec![vec![f(1)], vec![f(2)]])
+                .build(),
+            Err(CsmError::InvalidConfig(_))
+        ));
+        // wrong state count
+        assert!(matches!(
+            CsmClusterBuilder::new(4, 2)
+                .transition(bank_machine::<Fp61>())
+                .initial_states(vec![vec![f(1)]])
+                .build(),
+            Err(CsmError::ShapeMismatch(_))
+        ));
+        // too many machines: d=1, K=9 needs dim 9 > n=8
+        assert!(matches!(
+            CsmClusterBuilder::new(8, 9)
+                .transition(bank_machine::<Fp61>())
+                .initial_states((0..9).map(|i| vec![f(i)]).collect())
+                .build(),
+            Err(CsmError::TooManyMachines { .. })
+        ));
+        // fault out of range
+        assert!(matches!(
+            CsmClusterBuilder::new(4, 2)
+                .transition(bank_machine::<Fp61>())
+                .initial_states(vec![vec![f(1)], vec![f(2)]])
+                .fault(4, FaultSpec::CorruptResult)
+                .build(),
+            Err(CsmError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn honest_round_is_correct() {
+        let mut cluster = small_cluster(6, 2);
+        let report = cluster.step(vec![vec![f(10)], vec![f(20)]]).unwrap();
+        assert!(report.correct);
+        assert_eq!(report.outputs[0], vec![f(110)]);
+        assert_eq!(report.outputs[1], vec![f(220)]);
+        assert_eq!(report.new_states[0], vec![f(110)]);
+        assert!(report.detected_error_nodes.is_empty());
+        assert!(report.delivery.iter().all(DeliveryStatus::is_accepted));
+    }
+
+    #[test]
+    fn step_rejects_bad_shapes() {
+        let mut cluster = small_cluster(6, 2);
+        assert!(matches!(
+            cluster.step(vec![vec![f(1)]]),
+            Err(CsmError::ShapeMismatch(_))
+        ));
+        assert!(matches!(
+            cluster.step(vec![vec![f(1), f(2)], vec![f(3)]]),
+            Err(CsmError::ShapeMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_result_detected_and_corrected() {
+        let mut cluster = CsmClusterBuilder::new(8, 2)
+            .transition(bank_machine::<Fp61>())
+            .initial_states(vec![vec![f(100)], vec![f(200)]])
+            .fault(3, FaultSpec::CorruptResult)
+            .assumed_faults(1)
+            .build()
+            .unwrap();
+        let report = cluster.step(vec![vec![f(5)], vec![f(6)]]).unwrap();
+        assert!(report.correct);
+        assert_eq!(report.detected_error_nodes, vec![3]);
+    }
+
+    #[test]
+    fn multi_round_state_evolution() {
+        let mut cluster = small_cluster(6, 2);
+        for r in 1..=5u64 {
+            let report = cluster.step(vec![vec![f(1)], vec![f(2)]]).unwrap();
+            assert!(report.correct, "round {r}");
+            assert_eq!(report.new_states[0][0], f(100 + r));
+            assert_eq!(report.new_states[1][0], f(200 + 2 * r));
+        }
+        assert_eq!(cluster.round(), 5);
+    }
+
+    #[test]
+    fn coded_states_differ_from_plaintext() {
+        // no node stores a plaintext state (ω and α sets are disjoint)
+        let cluster = small_cluster(6, 3);
+        for i in 0..6 {
+            let coded = cluster.coded_state(i)[0];
+            for s in cluster.reference_states() {
+                assert_ne!(coded, s[0], "node {i} holds a plaintext state");
+            }
+        }
+    }
+
+    #[test]
+    fn max_tolerable_faults_matches_table2() {
+        // N=16, K=3, d=1: slack = 16 - 3 = 13 -> sync 6, psync 4
+        let c = CsmClusterBuilder::new(16, 3)
+            .transition(bank_machine::<Fp61>())
+            .initial_states((0..3).map(|i| vec![f(i)]).collect())
+            .build()
+            .unwrap();
+        assert_eq!(c.max_tolerable_faults(), 6);
+        let c2 = CsmClusterBuilder::new(16, 3)
+            .transition(bank_machine::<Fp61>())
+            .initial_states((0..3).map(|i| vec![f(i)]).collect())
+            .synchrony(SynchronyMode::PartiallySynchronous)
+            .build()
+            .unwrap();
+        assert_eq!(c2.max_tolerable_faults(), 4);
+    }
+}

@@ -1,0 +1,260 @@
+//! The [`Codebook`]: evaluation points `ω_1..ω_K`, `α_1..α_N`, and the
+//! Lagrange coefficient matrix `C = [c_ik]` of eq. (7).
+//!
+//! The coefficients are *universal* (Remark 4): they depend only on the
+//! point sets, not on the transition function or the round, so the codebook
+//! is built once per cluster and reused every round for states and
+//! commands alike.
+
+use crate::error::CsmError;
+use csm_algebra::{distinct_elements, Field, Matrix, SubproductTree};
+
+/// Point sets and coefficients for Lagrange coding.
+#[derive(Debug, Clone)]
+pub struct Codebook<F> {
+    omegas: Vec<F>,
+    alphas: Vec<F>,
+    coeffs: Matrix<F>,
+    omega_tree: SubproductTree<F>,
+    alpha_tree: SubproductTree<F>,
+}
+
+impl<F: Field> Codebook<F> {
+    /// Builds the codebook for `k` machines on `n` nodes, choosing
+    /// `ω_k = element(k−1)` and `α_i = element(K + i − 1)` (disjoint,
+    /// pairwise distinct).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CsmError::FieldTooSmall`] if the field has fewer than
+    /// `k + n` elements.
+    pub fn new(n: usize, k: usize) -> Result<Self, CsmError> {
+        let needed = (n + k) as u128;
+        if F::order() < needed {
+            return Err(CsmError::FieldTooSmall {
+                needed,
+                order: F::order(),
+            });
+        }
+        let omegas: Vec<F> = distinct_elements(0, k);
+        let alphas: Vec<F> = distinct_elements(k as u64, n);
+        Ok(Self::from_points(omegas, alphas))
+    }
+
+    /// Builds a codebook from explicit point sets (must be pairwise
+    /// distinct within each set; the sets may overlap without harming
+    /// correctness, but disjoint sets are recommended so no node stores a
+    /// plaintext state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either set contains duplicates.
+    pub fn from_points(omegas: Vec<F>, alphas: Vec<F>) -> Self {
+        // c_ik = Π_{ℓ≠k} (α_i − ω_ℓ) / (ω_k − ω_ℓ)
+        let k = omegas.len();
+        let n = alphas.len();
+        let mut coeffs = Matrix::zero(n, k);
+        for (i, &a) in alphas.iter().enumerate() {
+            for (kk, &w) in omegas.iter().enumerate() {
+                let mut c = F::ONE;
+                for (l, &wl) in omegas.iter().enumerate() {
+                    if l != kk {
+                        let denom = (w - wl).inverse().expect("ω points must be distinct");
+                        c *= (a - wl) * denom;
+                    }
+                }
+                coeffs[(i, kk)] = c;
+            }
+        }
+        let omega_tree = SubproductTree::new(&omegas);
+        let alpha_tree = SubproductTree::new(&alphas);
+        Codebook {
+            omegas,
+            alphas,
+            coeffs,
+            omega_tree,
+            alpha_tree,
+        }
+    }
+
+    /// Number of state machines `K`.
+    pub fn k(&self) -> usize {
+        self.omegas.len()
+    }
+
+    /// Number of nodes `N`.
+    pub fn n(&self) -> usize {
+        self.alphas.len()
+    }
+
+    /// The machine points `ω_1..ω_K`.
+    pub fn omegas(&self) -> &[F] {
+        &self.omegas
+    }
+
+    /// The node points `α_1..α_N`.
+    pub fn alphas(&self) -> &[F] {
+        &self.alphas
+    }
+
+    /// The `N × K` coefficient matrix `C` with `C[i][k] = c_ik` (eq. (7)).
+    pub fn coefficients(&self) -> &Matrix<F> {
+        &self.coeffs
+    }
+
+    /// Subproduct tree over the `α` points (reused by the centralized
+    /// worker for fast multi-point evaluation, §6.2).
+    pub fn alpha_tree(&self) -> &SubproductTree<F> {
+        &self.alpha_tree
+    }
+
+    /// Subproduct tree over the `ω` points (reused for fast
+    /// interpolation of `v_t`, §6.2).
+    pub fn omega_tree(&self) -> &SubproductTree<F> {
+        &self.omega_tree
+    }
+
+    /// Node `i`'s coded value of one coordinate:
+    /// `Σ_k c_ik · values[k]` — the O(K) per-node encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != K`.
+    pub fn encode_at(&self, node: usize, values: &[F]) -> F {
+        csm_algebra::dot(self.coeffs.row(node), values)
+    }
+
+    /// Encodes a vector-valued collection coordinate-wise for one node:
+    /// `values[k]` is machine `k`'s vector; returns node `i`'s coded
+    /// vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have inconsistent dimensions.
+    pub fn encode_vector_at(&self, node: usize, values: &[Vec<F>]) -> Vec<F> {
+        assert_eq!(values.len(), self.k(), "need one vector per machine");
+        let dim = values.first().map_or(0, Vec::len);
+        (0..dim)
+            .map(|j| {
+                let coords: Vec<F> = values.iter().map(|v| v[j]).collect();
+                self.encode_at(node, &coords)
+            })
+            .collect()
+    }
+
+    /// Encodes one coordinate for *all* nodes at once using fast polynomial
+    /// arithmetic: interpolate `v(z)` through `(ω_k, values[k])`, then
+    /// multi-point evaluate at all `α_i` — the centralized worker's
+    /// `O(N log²N log log N)` path (§6.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != K`.
+    pub fn encode_all_fast(&self, values: &[F]) -> Vec<F> {
+        assert_eq!(values.len(), self.k(), "need one value per machine");
+        let poly = self.omega_tree.interpolate(values);
+        self.alpha_tree.eval(&poly)
+    }
+
+    /// Vector version of [`Codebook::encode_all_fast`]: returns
+    /// `out[i] = coded vector of node i`.
+    pub fn encode_all_vectors_fast(&self, values: &[Vec<F>]) -> Vec<Vec<F>> {
+        assert_eq!(values.len(), self.k(), "need one vector per machine");
+        let dim = values.first().map_or(0, Vec::len);
+        let mut out = vec![vec![F::ZERO; dim]; self.n()];
+        for j in 0..dim {
+            let coords: Vec<F> = values.iter().map(|v| v[j]).collect();
+            let coded = self.encode_all_fast(&coords);
+            for (i, c) in coded.into_iter().enumerate() {
+                out[i][j] = c;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csm_algebra::{Fp61, Gf2_8, Poly};
+
+    #[test]
+    fn coefficients_match_lagrange_interpolation() {
+        let cb: Codebook<Fp61> = Codebook::new(7, 3).unwrap();
+        let states: Vec<Fp61> = vec![
+            Fp61::from_u64(10),
+            Fp61::from_u64(20),
+            Fp61::from_u64(30),
+        ];
+        let u = Poly::interpolate(cb.omegas(), &states);
+        for i in 0..7 {
+            assert_eq!(cb.encode_at(i, &states), u.eval(cb.alphas()[i]));
+        }
+    }
+
+    #[test]
+    fn fast_encoding_matches_per_node() {
+        let cb: Codebook<Fp61> = Codebook::new(16, 5).unwrap();
+        let vals: Vec<Fp61> = (0..5).map(|i| Fp61::from_u64(i * 31 + 7)).collect();
+        let fast = cb.encode_all_fast(&vals);
+        for i in 0..16 {
+            assert_eq!(fast[i], cb.encode_at(i, &vals));
+        }
+    }
+
+    #[test]
+    fn vector_encoding_coordinatewise() {
+        let cb: Codebook<Fp61> = Codebook::new(6, 2).unwrap();
+        let vals = vec![
+            vec![Fp61::from_u64(1), Fp61::from_u64(2)],
+            vec![Fp61::from_u64(3), Fp61::from_u64(4)],
+        ];
+        let all = cb.encode_all_vectors_fast(&vals);
+        for i in 0..6 {
+            assert_eq!(all[i], cb.encode_vector_at(i, &vals));
+            assert_eq!(all[i].len(), 2);
+        }
+    }
+
+    #[test]
+    fn k_equals_one_coefficients_are_unity() {
+        // With one machine, u(z) is constant, so every c_i1 = 1.
+        let cb: Codebook<Fp61> = Codebook::new(4, 1).unwrap();
+        for i in 0..4 {
+            assert_eq!(cb.coefficients()[(i, 0)], Fp61::ONE);
+        }
+    }
+
+    #[test]
+    fn field_too_small_detected() {
+        // GF(2^8) has 256 elements; 250 nodes + 10 machines won't fit.
+        let r: Result<Codebook<Gf2_8>, _> = Codebook::new(250, 10);
+        assert!(matches!(r, Err(CsmError::FieldTooSmall { .. })));
+        // but 200 + 10 fits
+        assert!(Codebook::<Gf2_8>::new(200, 10).is_ok());
+    }
+
+    #[test]
+    fn points_are_disjoint_and_distinct() {
+        let cb: Codebook<Fp61> = Codebook::new(9, 4).unwrap();
+        let mut all: Vec<u64> = cb
+            .omegas()
+            .iter()
+            .chain(cb.alphas())
+            .map(|p| p.to_canonical_u64())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 13);
+    }
+
+    #[test]
+    fn coefficients_rows_sum_to_one() {
+        // Σ_k c_ik = 1 because Lagrange bases partition unity.
+        let cb: Codebook<Fp61> = Codebook::new(8, 5).unwrap();
+        for i in 0..8 {
+            let sum: Fp61 = cb.coefficients().row(i).iter().copied().sum();
+            assert_eq!(sum, Fp61::ONE);
+        }
+    }
+}

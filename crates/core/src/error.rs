@@ -1,0 +1,75 @@
+//! Error types for the CSM cluster.
+
+use csm_reed_solomon::RsError;
+
+/// Errors from building or stepping a CSM cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsmError {
+    /// The configuration violates a structural requirement.
+    InvalidConfig(String),
+    /// More state machines than the code can protect:
+    /// `d(K−1) + 1 > N` leaves no room for any codeword.
+    TooManyMachines {
+        /// Requested machine count.
+        k: usize,
+        /// Node count.
+        n: usize,
+        /// Transition degree.
+        degree: u32,
+        /// Maximum supportable K for zero faults.
+        max_k: usize,
+    },
+    /// The field is too small to host `K + N` distinct evaluation points
+    /// (§5.1 requires `|F| ≥ N`; Appendix A's extension fields fix this).
+    FieldTooSmall {
+        /// Points needed.
+        needed: u128,
+        /// Field order.
+        order: u128,
+    },
+    /// A state or command vector has the wrong shape.
+    ShapeMismatch(String),
+    /// Reed–Solomon decoding failed (more faults than the configuration
+    /// tolerates).
+    Decoding(RsError),
+    /// The consensus phase did not decide (e.g. Byzantine leader with no
+    /// retries left).
+    ConsensusFailed {
+        /// Round at which consensus failed.
+        round: u64,
+    },
+    /// The centralized worker's decoding claim failed verification.
+    VerificationFailed(String),
+    /// A transition function application failed.
+    Transition(String),
+}
+
+impl std::fmt::Display for CsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsmError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+            CsmError::TooManyMachines { k, n, degree, max_k } => write!(
+                f,
+                "cannot run {k} machines of degree {degree} on {n} nodes (max {max_k})"
+            ),
+            CsmError::FieldTooSmall { needed, order } => {
+                write!(f, "field of order {order} cannot host {needed} distinct points")
+            }
+            CsmError::ShapeMismatch(m) => write!(f, "shape mismatch: {m}"),
+            CsmError::Decoding(e) => write!(f, "decoding failed: {e}"),
+            CsmError::ConsensusFailed { round } => {
+                write!(f, "consensus failed to decide in round {round}")
+            }
+            CsmError::VerificationFailed(m) => write!(f, "verification failed: {m}"),
+            CsmError::Transition(m) => write!(f, "transition error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CsmError {}
+
+impl From<RsError> for CsmError {
+    fn from(e: RsError) -> Self {
+        CsmError::Decoding(e)
+    }
+}

@@ -1,0 +1,344 @@
+//! The execution-phase result exchange (§5.2), run over the
+//! discrete-event network simulator with authenticated messages.
+//!
+//! [`crate::CsmCluster`] models the exchange *logically* (every honest
+//! receiver's word is constructed directly), which is exact under the
+//! paper's network models but does not exercise the mechanics. This module
+//! performs the real thing: every node broadcasts its signed result
+//! `g_i`; Byzantine nodes may equivocate (different value per receiver) or
+//! withhold; receivers verify MACs, and finalize their word
+//!
+//! * at the known delivery deadline (synchronous), or
+//! * upon holding `N − b` results (partially synchronous — a node cannot
+//!   wait for more, §5.2: "the remaining honest nodes should start decoding
+//!   upon receiving N − b computation results to ensure liveness").
+//!
+//! The integration tests check that decoding each receiver's word yields
+//! identical results for all honest receivers — the same invariant the
+//! logical model enforces.
+
+use crate::config::SynchronyMode;
+use csm_algebra::Field;
+use csm_network::auth::{KeyRegistry, Signature};
+use csm_network::{Context, NodeId, Process, Simulator, SynchronyModel};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// How a node behaves in the exchange.
+#[derive(Debug, Clone)]
+pub enum ResultBehavior<F> {
+    /// Broadcasts this result to everyone.
+    Honest(Vec<F>),
+    /// Sends a differently-perturbed copy of the base result to each
+    /// receiver (equivocation).
+    Equivocate(Vec<F>),
+    /// Sends nothing.
+    Withhold,
+    /// Sends a result with a forged signature claiming another node
+    /// produced it (must be dropped by every verifier).
+    Impersonate {
+        /// The spoofed sender id.
+        spoof: usize,
+        /// The payload to inject.
+        forged: Vec<F>,
+    },
+}
+
+/// Configuration of one exchange round.
+#[derive(Debug, Clone)]
+pub struct ExchangeConfig {
+    /// Number of nodes.
+    pub n: usize,
+    /// Network model.
+    pub synchrony: SynchronyMode,
+    /// Provisioned fault bound `b` (partial-synchrony cutoff `N − b`).
+    pub assumed_faults: usize,
+    /// Latency bound Δ.
+    pub delta: u64,
+    /// Global stabilization time (partial synchrony only).
+    pub gst: u64,
+    /// Seed for keys and delivery schedules.
+    pub seed: u64,
+}
+
+type ResultMsg<F> = (usize, Vec<F>, Signature);
+type Word<F> = Vec<Option<Vec<F>>>;
+type Board<F> = Rc<RefCell<Vec<Option<Word<F>>>>>;
+
+fn canonical<F: Field>(sender: usize, v: &[F]) -> (usize, Vec<u64>) {
+    (sender, v.iter().map(|x| x.to_canonical_u64()).collect())
+}
+
+struct ExchangeNode<F> {
+    id: NodeId,
+    n: usize,
+    behavior: ResultBehavior<F>,
+    registry: Rc<KeyRegistry>,
+    synchrony: SynchronyMode,
+    cutoff: usize,
+    received: Word<F>,
+    finalized: bool,
+    board: Board<F>,
+    deadline: u64,
+}
+
+impl<F: Field> ExchangeNode<F> {
+    fn finalize(&mut self) {
+        if !self.finalized {
+            self.finalized = true;
+            self.board.borrow_mut()[self.id.0] = Some(self.received.clone());
+        }
+    }
+
+    fn record(&mut self, from: usize, vector: Vec<F>) {
+        if self.finalized || self.received[from].is_some() {
+            return; // first result from each sender wins
+        }
+        self.received[from] = Some(vector);
+        if self.synchrony == SynchronyMode::PartiallySynchronous {
+            let count = self.received.iter().filter(|r| r.is_some()).count();
+            if count >= self.cutoff {
+                self.finalize();
+            }
+        }
+    }
+}
+
+const FINALIZE_TOKEN: u64 = u64::MAX;
+
+impl<F: Field> Process<ResultMsg<F>> for ExchangeNode<F> {
+    fn on_start(&mut self, ctx: &mut Context<ResultMsg<F>>) {
+        ctx.set_timer(self.deadline, FINALIZE_TOKEN);
+        match &self.behavior {
+            ResultBehavior::Honest(g) => {
+                let g = g.clone();
+                let sig = self.registry.sign(self.id, &canonical(self.id.0, &g));
+                // a node trivially "receives" its own result
+                self.record(self.id.0, g.clone());
+                ctx.multicast_others((self.id.0, g, sig));
+            }
+            ResultBehavior::Equivocate(base) => {
+                for j in 0..self.n {
+                    if j == self.id.0 {
+                        continue;
+                    }
+                    let mut v = base.clone();
+                    let noise = F::from_u64(1 + (j as u64).wrapping_mul(0x9E37) % 65_521);
+                    for x in v.iter_mut() {
+                        *x += noise;
+                    }
+                    let sig = self.registry.sign(self.id, &canonical(self.id.0, &v));
+                    ctx.send(NodeId(j), (self.id.0, v, sig));
+                }
+            }
+            ResultBehavior::Withhold => {}
+            ResultBehavior::Impersonate { spoof, forged } => {
+                // signs with its own key but claims `spoof` as the sender —
+                // verification against `spoof`'s key must fail everywhere
+                let sig = self.registry.sign(self.id, &canonical(*spoof, forged));
+                let forged_sig = Signature {
+                    signer: NodeId(*spoof),
+                    ..sig
+                };
+                ctx.multicast_others((*spoof, forged.clone(), forged_sig));
+            }
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        _from: NodeId,
+        (sender, vector, sig): ResultMsg<F>,
+        _ctx: &mut Context<ResultMsg<F>>,
+    ) {
+        if sender >= self.n || sig.signer != NodeId(sender) {
+            return;
+        }
+        // authenticated Byzantine model: verify before accepting
+        if !self.registry.verify(&canonical(sender, &vector), &sig) {
+            return;
+        }
+        self.record(sender, vector);
+    }
+
+    fn on_timer(&mut self, token: u64, _ctx: &mut Context<ResultMsg<F>>) {
+        if token == FINALIZE_TOKEN {
+            self.finalize();
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.finalized
+    }
+}
+
+/// Runs one exchange: every node broadcasts per its behaviour; returns
+/// each node's finalized word (`words[j][i]` = what receiver `j` holds
+/// from sender `i`).
+///
+/// # Panics
+///
+/// Panics if `behaviors.len() != cfg.n`.
+pub fn exchange_results<F: Field>(
+    cfg: &ExchangeConfig,
+    behaviors: Vec<ResultBehavior<F>>,
+) -> Vec<Word<F>> {
+    assert_eq!(behaviors.len(), cfg.n, "one behaviour per node");
+    let registry = Rc::new(KeyRegistry::new(cfg.n, cfg.seed ^ 0xE8C4));
+    let board: Board<F> = Rc::new(RefCell::new(vec![None; cfg.n]));
+    let model = match cfg.synchrony {
+        SynchronyMode::Synchronous => SynchronyModel::Synchronous { delta: cfg.delta },
+        SynchronyMode::PartiallySynchronous => SynchronyModel::PartiallySynchronous {
+            gst: cfg.gst,
+            delta: cfg.delta,
+        },
+    };
+    // finalization deadline: after every message must have landed
+    let deadline = model.delivery_deadline(0) + 1;
+    let cutoff = cfg.n - cfg.assumed_faults;
+    let nodes: Vec<Box<dyn Process<ResultMsg<F>>>> = behaviors
+        .into_iter()
+        .enumerate()
+        .map(|(i, behavior)| {
+            Box::new(ExchangeNode {
+                id: NodeId(i),
+                n: cfg.n,
+                behavior,
+                registry: Rc::clone(&registry),
+                synchrony: cfg.synchrony,
+                cutoff,
+                received: vec![None; cfg.n],
+                finalized: false,
+                board: Rc::clone(&board),
+                deadline,
+            }) as Box<dyn Process<ResultMsg<F>>>
+        })
+        .collect();
+    let mut sim = Simulator::new(model, cfg.seed, nodes);
+    sim.run(deadline + cfg.delta + 2);
+    let out = board.borrow();
+    out.iter()
+        .map(|w| w.clone().unwrap_or_else(|| vec![None; cfg.n]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csm_algebra::Fp61;
+
+    fn f(v: u64) -> Fp61 {
+        Fp61::from_u64(v)
+    }
+
+    fn sync_cfg(n: usize, b: usize) -> ExchangeConfig {
+        ExchangeConfig {
+            n,
+            synchrony: SynchronyMode::Synchronous,
+            assumed_faults: b,
+            delta: 1,
+            gst: 0,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn all_honest_full_words() {
+        let n = 5;
+        let behaviors: Vec<ResultBehavior<Fp61>> =
+            (0..n).map(|i| ResultBehavior::Honest(vec![f(i as u64)])).collect();
+        let words = exchange_results(&sync_cfg(n, 1), behaviors);
+        for (j, w) in words.iter().enumerate() {
+            for (i, r) in w.iter().enumerate() {
+                assert_eq!(r.as_deref(), Some(&[f(i as u64)][..]), "receiver {j} sender {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn withholding_leaves_erasures() {
+        let behaviors: Vec<ResultBehavior<Fp61>> = vec![
+            ResultBehavior::Withhold,
+            ResultBehavior::Honest(vec![f(1)]),
+            ResultBehavior::Honest(vec![f(2)]),
+        ];
+        let words = exchange_results(&sync_cfg(3, 1), behaviors);
+        for j in 1..3 {
+            assert!(words[j][0].is_none());
+            assert!(words[j][1].is_some());
+        }
+    }
+
+    #[test]
+    fn equivocators_send_distinct_values() {
+        let behaviors: Vec<ResultBehavior<Fp61>> = vec![
+            ResultBehavior::Equivocate(vec![f(10)]),
+            ResultBehavior::Honest(vec![f(1)]),
+            ResultBehavior::Honest(vec![f(2)]),
+            ResultBehavior::Honest(vec![f(3)]),
+        ];
+        let words = exchange_results(&sync_cfg(4, 1), behaviors);
+        let v1 = words[1][0].clone().unwrap();
+        let v2 = words[2][0].clone().unwrap();
+        assert_ne!(v1, v2, "equivocation must reach receivers differently");
+    }
+
+    #[test]
+    fn impersonation_is_dropped_by_all() {
+        let behaviors: Vec<ResultBehavior<Fp61>> = vec![
+            ResultBehavior::Impersonate {
+                spoof: 1,
+                forged: vec![f(666)],
+            },
+            ResultBehavior::Honest(vec![f(1)]),
+            ResultBehavior::Honest(vec![f(2)]),
+        ];
+        let words = exchange_results(&sync_cfg(3, 1), behaviors);
+        // the forged "from node 1" message must not displace node 1's own;
+        // node 0 itself sent nothing valid
+        for j in 1..3 {
+            assert_eq!(words[j][1].as_deref(), Some(&[f(1)][..]));
+            assert!(words[j][0].is_none(), "receiver {j} accepted a forgery");
+        }
+    }
+
+    #[test]
+    fn partial_synchrony_cuts_off_at_n_minus_b() {
+        let n = 6;
+        let b = 2;
+        let cfg = ExchangeConfig {
+            n,
+            synchrony: SynchronyMode::PartiallySynchronous,
+            assumed_faults: b,
+            delta: 1,
+            gst: 50,
+            seed: 7,
+        };
+        let behaviors: Vec<ResultBehavior<Fp61>> = (0..n)
+            .map(|i| ResultBehavior::Honest(vec![f(i as u64)]))
+            .collect();
+        let words = exchange_results(&cfg, behaviors);
+        for (j, w) in words.iter().enumerate() {
+            let count = w.iter().filter(|r| r.is_some()).count();
+            assert!(
+                count >= n - b,
+                "receiver {j} finalized with only {count} results"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let behaviors = || -> Vec<ResultBehavior<Fp61>> {
+            vec![
+                ResultBehavior::Equivocate(vec![f(9)]),
+                ResultBehavior::Honest(vec![f(1)]),
+                ResultBehavior::Honest(vec![f(2)]),
+                ResultBehavior::Withhold,
+            ]
+        };
+        let a = exchange_results(&sync_cfg(4, 1), behaviors());
+        let b = exchange_results(&sync_cfg(4, 1), behaviors());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,365 @@
+//! Random allocation — the alternative architecture discussed in §7
+//! ("Random Allocation vs. CSM") and the basis of sharded designs like
+//! OmniLedger (reference \[25\] in the paper).
+//!
+//! Nodes are randomly partitioned into `K` groups, each processing one
+//! machine. Against a *static* adversary, each group's Byzantine fraction
+//! concentrates around the global fraction, so security ≈ `µN` holds in
+//! expectation. But a **dynamic adversary that observes the grouping** can
+//! do *post-facto corruption* of one small group, hijacking that machine
+//! with only `⌊q/2⌋ + 1` corruptions. Rotating groups mitigates this at a
+//! **re-download cost** — every rotated node must fetch its new machine's
+//! state — whereas CSM's coded states make node-to-machine assignment
+//! meaningless and rotation free (Remark 5).
+
+use crate::client::{accept_replies, DeliveryStatus};
+use crate::config::FaultSpec;
+use crate::error::CsmError;
+use csm_algebra::Field;
+use csm_statemachine::PolyTransition;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Report of one random-allocation round.
+#[derive(Debug, Clone)]
+pub struct AllocationReport<F> {
+    /// Accepted outputs per machine (`None` = delivery failed).
+    pub outputs: Vec<Option<Vec<F>>>,
+    /// Delivery status per machine.
+    pub delivery: Vec<DeliveryStatus<Vec<F>>>,
+    /// Whether all accepted outputs match the reference execution.
+    pub correct: bool,
+}
+
+/// A randomly allocated sharded cluster.
+#[derive(Debug)]
+pub struct RandomAllocationCluster<F: Field> {
+    transition: PolyTransition<F>,
+    /// Current assignment: `groups[g]` lists the nodes serving machine `g`.
+    groups: Vec<Vec<usize>>,
+    /// Per-node replica of its machine's state.
+    states: Vec<Vec<F>>,
+    faults: Vec<FaultSpec>,
+    reference: Vec<Vec<F>>,
+    q: usize,
+    need: usize,
+    rng: StdRng,
+    /// Cumulative state vectors transferred by rotations (the §7 cost).
+    pub rotation_transfers: u64,
+}
+
+impl<F: Field> RandomAllocationCluster<F> {
+    /// Creates the cluster: `n` nodes randomly split into `k` groups of
+    /// `q = n/k`, serving the given initial states.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CsmError::InvalidConfig`] unless `k` divides `n`.
+    pub fn new(
+        n: usize,
+        transition: PolyTransition<F>,
+        initial_states: Vec<Vec<F>>,
+        group_faults: usize,
+        seed: u64,
+    ) -> Result<Self, CsmError> {
+        let k = initial_states.len();
+        if k == 0 || n % k != 0 {
+            return Err(CsmError::InvalidConfig(format!(
+                "random allocation needs K | N (n={n}, k={k})"
+            )));
+        }
+        let q = n / k;
+        let rng = StdRng::seed_from_u64(seed);
+        let mut cluster = RandomAllocationCluster {
+            transition,
+            groups: Vec::new(),
+            states: vec![Vec::new(); n],
+            faults: vec![FaultSpec::Honest; n],
+            reference: initial_states,
+            q,
+            need: group_faults + 1,
+            rng,
+            rotation_transfers: 0,
+        };
+        cluster.reallocate(true);
+        cluster.rng = StdRng::seed_from_u64(seed.wrapping_mul(31).wrapping_add(7));
+        Ok(cluster)
+    }
+
+    /// Group size `q`.
+    pub fn group_size(&self) -> usize {
+        self.q
+    }
+
+    /// The current allocation (public — this is exactly what a dynamic
+    /// adversary observes).
+    pub fn groups(&self) -> &[Vec<usize>] {
+        &self.groups
+    }
+
+    /// Randomly re-partitions the nodes, counting the state transfers
+    /// every *moved* node must perform (it has to download its new
+    /// machine's state — the §7 rotation cost CSM avoids).
+    pub fn rotate(&mut self) {
+        self.reallocate(false);
+    }
+
+    fn reallocate(&mut self, initial: bool) {
+        let n = self.states.len();
+        let k = self.reference.len();
+        let old_machine_of: Vec<Option<usize>> = if initial {
+            vec![None; n]
+        } else {
+            let mut m = vec![None; n];
+            for (g, members) in self.groups.iter().enumerate() {
+                for &i in members {
+                    m[i] = Some(g);
+                }
+            }
+            m
+        };
+        let mut perm: Vec<usize> = (0..n).collect();
+        perm.shuffle(&mut self.rng);
+        self.groups = perm.chunks(self.q).map(<[usize]>::to_vec).collect();
+        for (g, members) in self.groups.iter().enumerate() {
+            for &i in members {
+                self.states[i] = self.reference[g].clone();
+                if old_machine_of[i] != Some(g) && !initial {
+                    self.rotation_transfers += 1;
+                }
+            }
+        }
+        let _ = k;
+    }
+
+    /// Marks a node Byzantine (used by adversary strategies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn corrupt(&mut self, node: usize, fault: FaultSpec) {
+        self.faults[node] = fault;
+    }
+
+    /// Number of currently corrupted nodes.
+    pub fn num_corrupted(&self) -> usize {
+        self.faults.iter().filter(|f| f.is_byzantine()).count()
+    }
+
+    /// A **static adversary**: corrupts `budget` nodes chosen before (and
+    /// independently of) the allocation — uniformly the lowest ids.
+    pub fn static_corrupt(&mut self, budget: usize) {
+        for i in 0..budget.min(self.faults.len()) {
+            self.faults[i] = FaultSpec::CorruptResult;
+        }
+    }
+
+    /// A **dynamic adversary** (§7): observes the current grouping and
+    /// corrupts a majority of a single group — the post-facto attack.
+    /// Returns the nodes corrupted, or `None` if the budget cannot capture
+    /// any group.
+    pub fn dynamic_corrupt(&mut self, budget: usize) -> Option<Vec<usize>> {
+        let need = self.q / 2 + 1;
+        if budget < need {
+            return None;
+        }
+        let victims: Vec<usize> = self.groups[0][..need].to_vec();
+        for &v in &victims {
+            self.faults[v] = FaultSpec::CorruptResult;
+        }
+        Some(victims)
+    }
+
+    /// Executes one round (each group executes its machine; clients apply
+    /// the `group_faults + 1` matching rule within the group).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CsmError::ShapeMismatch`] on bad command shapes.
+    pub fn step(&mut self, commands: &[Vec<F>]) -> Result<AllocationReport<F>, CsmError> {
+        let k = self.reference.len();
+        if commands.len() != k {
+            return Err(CsmError::ShapeMismatch(format!(
+                "{} commands for {k} machines",
+                commands.len()
+            )));
+        }
+        let mut outputs = Vec::with_capacity(k);
+        let mut delivery = Vec::with_capacity(k);
+        let mut correct = true;
+        for g in 0..k {
+            let members = self.groups[g].clone();
+            let mut replies = Vec::with_capacity(members.len());
+            for &i in &members {
+                let (next, out) = self
+                    .transition
+                    .apply(&self.states[i], &commands[g])
+                    .map_err(|e| CsmError::Transition(e.to_string()))?;
+                self.states[i] = next;
+                replies.push(match self.faults[i] {
+                    FaultSpec::Honest | FaultSpec::CorruptStateUpdate => Some(out),
+                    FaultSpec::Withhold => None,
+                    // a captured group coordinates on one forged value so
+                    // the b+1 rule can actually be fooled
+                    _ => Some(
+                        (0..self.transition.output_dim())
+                            .map(|j| F::from_u64(0xE71 ^ ((g as u64) << 8) ^ j as u64))
+                            .collect(),
+                    ),
+                });
+            }
+            let (next, expect) = self
+                .transition
+                .apply(&self.reference[g], &commands[g])
+                .map_err(|e| CsmError::Transition(e.to_string()))?;
+            self.reference[g] = next;
+            let status = accept_replies(&replies, self.need);
+            if let Some(v) = status.value() {
+                if *v != expect {
+                    correct = false;
+                }
+            }
+            outputs.push(status.value().cloned());
+            delivery.push(status);
+        }
+        Ok(AllocationReport {
+            outputs,
+            delivery,
+            correct,
+        })
+    }
+
+    /// The reference states (oracle).
+    pub fn reference_states(&self) -> &[Vec<F>] {
+        &self.reference
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csm_algebra::Fp61;
+    use csm_statemachine::machines::bank_machine;
+
+    fn f(v: u64) -> Fp61 {
+        Fp61::from_u64(v)
+    }
+
+    fn cluster(n: usize, k: usize, seed: u64) -> RandomAllocationCluster<Fp61> {
+        let q = n / k;
+        RandomAllocationCluster::new(
+            n,
+            bank_machine::<Fp61>(),
+            (0..k as u64).map(|i| vec![f(100 * (i + 1))]).collect(),
+            (q - 1) / 2,
+            seed,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn honest_rounds_correct() {
+        let mut c = cluster(12, 3, 1);
+        for r in 0..3u64 {
+            let cmds: Vec<Vec<Fp61>> = (0..3).map(|i| vec![f(i + r)]).collect();
+            let rep = c.step(&cmds).unwrap();
+            assert!(rep.correct, "round {r}");
+            assert!(rep.delivery.iter().all(|d| d.is_accepted()));
+        }
+    }
+
+    #[test]
+    fn groups_partition_nodes() {
+        let c = cluster(20, 4, 5);
+        let mut all: Vec<usize> = c.groups().iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..20).collect::<Vec<_>>());
+        assert!(c.groups().iter().all(|g| g.len() == 5));
+    }
+
+    #[test]
+    fn static_adversary_usually_survives() {
+        // µN/2 static corruptions spread before allocation: the random
+        // grouping usually keeps every group below majority-corrupt
+        let mut survived = 0;
+        for seed in 0..10 {
+            let mut c = cluster(24, 3, seed);
+            c.static_corrupt(4); // q = 8, group tolerance 3
+            let cmds: Vec<Vec<Fp61>> = (0..3).map(|i| vec![f(i)]).collect();
+            let rep = c.step(&cmds).unwrap();
+            if rep.correct && rep.delivery.iter().all(|d| d.is_accepted()) {
+                survived += 1;
+            }
+        }
+        assert!(survived >= 7, "static adversary won {survived}/10 only");
+    }
+
+    #[test]
+    fn dynamic_adversary_captures_a_group() {
+        // same budget, but targeted after observing the allocation: the
+        // victim machine is hijacked (wrong value accepted) or stalled
+        let mut c = cluster(24, 3, 3);
+        let victims = c.dynamic_corrupt(5).expect("budget 5 >= q/2+1 = 5");
+        assert_eq!(victims.len(), 5);
+        let cmds: Vec<Vec<Fp61>> = (0..3).map(|i| vec![f(i)]).collect();
+        let rep = c.step(&cmds).unwrap();
+        assert!(
+            !rep.correct || rep.delivery.iter().any(|d| !d.is_accepted()),
+            "post-facto corruption must compromise the captured machine"
+        );
+    }
+
+    #[test]
+    fn insufficient_budget_cannot_capture() {
+        let mut c = cluster(24, 3, 4);
+        assert!(c.dynamic_corrupt(4).is_none()); // q/2+1 = 5 > 4
+        assert_eq!(c.num_corrupted(), 0);
+    }
+
+    #[test]
+    fn rotation_costs_state_transfers() {
+        let mut c = cluster(20, 4, 9);
+        assert_eq!(c.rotation_transfers, 0);
+        c.rotate();
+        // almost every node moves groups (expected (1 - 1/k) fraction)
+        assert!(
+            c.rotation_transfers >= 10,
+            "rotation moved only {} nodes",
+            c.rotation_transfers
+        );
+        // rounds still work after rotation
+        let cmds: Vec<Vec<Fp61>> = (0..4).map(|i| vec![f(i)]).collect();
+        assert!(c.step(&cmds).unwrap().correct);
+    }
+
+    #[test]
+    fn rotation_defeats_stale_dynamic_corruption() {
+        // adversary corrupts group 0's majority, but the allocation is
+        // rotated before the round: the corrupted nodes scatter
+        let mut survived = 0;
+        for seed in 0..10 {
+            let mut c = cluster(24, 3, 100 + seed);
+            c.dynamic_corrupt(5).unwrap();
+            c.rotate();
+            let cmds: Vec<Vec<Fp61>> = (0..3).map(|i| vec![f(i)]).collect();
+            let rep = c.step(&cmds).unwrap();
+            if rep.correct && rep.delivery.iter().all(|d| d.is_accepted()) {
+                survived += 1;
+            }
+        }
+        assert!(survived >= 6, "rotation saved only {survived}/10 runs");
+    }
+
+    #[test]
+    fn requires_divisibility() {
+        assert!(RandomAllocationCluster::new(
+            10,
+            bank_machine::<Fp61>(),
+            (0..3).map(|i| vec![f(i)]).collect(),
+            1,
+            0
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,465 @@
+//! State Machine Replication baselines (§3): full replication and partial
+//! replication, with the same interface and fault model as the coded
+//! cluster so the Table 1 comparison is apples-to-apples.
+
+use crate::client::{accept_replies, DeliveryStatus};
+use crate::config::FaultSpec;
+use crate::error::CsmError;
+use csm_algebra::{count, Field, OpCounts};
+use csm_network::NodeId;
+use csm_statemachine::PolyTransition;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Report from a replication round.
+#[derive(Debug, Clone)]
+pub struct ReplicationReport<F> {
+    /// Outputs accepted by clients, per machine (`None` if delivery
+    /// failed — the scheme's security bound was exceeded).
+    pub outputs: Vec<Option<Vec<F>>>,
+    /// Delivery status per machine.
+    pub delivery: Vec<DeliveryStatus<Vec<F>>>,
+    /// Per-node operation counts for the round.
+    pub per_node_ops: Vec<OpCounts>,
+    /// Whether every accepted output matches the reference execution.
+    pub correct: bool,
+}
+
+/// Full replication: every node stores and executes **all** `K` machines
+/// (§3). Storage efficiency `γ = 1`; security `⌊(N−1)/2⌋` (synchronous);
+/// per-node work `K·c(f)`, so throughput `λ = Θ(1)`.
+#[derive(Debug)]
+pub struct FullReplicationCluster<F: Field> {
+    transition: PolyTransition<F>,
+    /// Each node's replica of all K states; `states[i][k]`.
+    states: Vec<Vec<Vec<F>>>,
+    faults: Vec<FaultSpec>,
+    reference: Vec<Vec<F>>,
+    need: usize,
+    rng: StdRng,
+}
+
+impl<F: Field> FullReplicationCluster<F> {
+    /// Creates a full-replication cluster of `n` nodes running `k`
+    /// machines from the given initial states.
+    ///
+    /// `assumed_faults` sets the client's `b + 1` matching rule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CsmError::ShapeMismatch`] on inconsistent dimensions.
+    pub fn new(
+        n: usize,
+        transition: PolyTransition<F>,
+        initial_states: Vec<Vec<F>>,
+        faults: Vec<(NodeId, FaultSpec)>,
+        assumed_faults: usize,
+        seed: u64,
+    ) -> Result<Self, CsmError> {
+        for s in &initial_states {
+            if s.len() != transition.state_dim() {
+                return Err(CsmError::ShapeMismatch(
+                    "initial state dimension mismatch".into(),
+                ));
+            }
+        }
+        let fault_of = |i: usize| {
+            faults
+                .iter()
+                .find(|(id, _)| id.0 == i)
+                .map(|(_, f)| *f)
+                .unwrap_or(FaultSpec::Honest)
+        };
+        Ok(FullReplicationCluster {
+            transition,
+            states: (0..n).map(|_| initial_states.clone()).collect(),
+            faults: (0..n).map(fault_of).collect(),
+            reference: initial_states,
+            need: assumed_faults + 1,
+            rng: StdRng::seed_from_u64(seed),
+        })
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of machines.
+    pub fn k(&self) -> usize {
+        self.reference.len()
+    }
+
+    /// Storage cells (state vectors) held per node — `K` for full
+    /// replication, hence `γ = K/K = 1`.
+    pub fn states_stored_per_node(&self) -> usize {
+        self.k()
+    }
+
+    /// Executes one round: every node executes all `K` transitions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CsmError::ShapeMismatch`] on bad command shapes.
+    pub fn step(&mut self, commands: &[Vec<F>]) -> Result<ReplicationReport<F>, CsmError> {
+        let k = self.k();
+        if commands.len() != k {
+            return Err(CsmError::ShapeMismatch(format!(
+                "{} commands for {k} machines",
+                commands.len()
+            )));
+        }
+        let n = self.n();
+        let mut per_node_ops = vec![OpCounts::default(); n];
+        // node i's replies per machine
+        let mut replies: Vec<Vec<Option<Vec<F>>>> = vec![Vec::with_capacity(n); k];
+        for i in 0..n {
+            let fault = self.faults[i];
+            let ((), ops) = count::measure(|| {
+                for kk in 0..k {
+                    let (next, out) = self
+                        .transition
+                        .apply(&self.states[i][kk], &commands[kk])
+                        .expect("shapes checked");
+                    self.states[i][kk] = next;
+                    let reply = match fault {
+                        FaultSpec::Honest | FaultSpec::CorruptStateUpdate => Some(out),
+                        FaultSpec::Withhold => None,
+                        _ => Some(
+                            (0..self.transition.output_dim())
+                                .map(|_| F::from_u64(0xBAD ^ (kk as u64) << 8))
+                                .collect(),
+                        ),
+                    };
+                    replies[kk].push(reply);
+                }
+            });
+            per_node_ops[i] += ops;
+        }
+        // reference execution + delivery
+        let mut correct = true;
+        let mut outputs = Vec::with_capacity(k);
+        let mut delivery = Vec::with_capacity(k);
+        for kk in 0..k {
+            let (next, expect) = self
+                .transition
+                .apply(&self.reference[kk], &commands[kk])
+                .expect("shapes checked");
+            self.reference[kk] = next;
+            let status = accept_replies(&replies[kk], self.need);
+            if let Some(v) = status.value() {
+                if *v != expect {
+                    correct = false;
+                }
+            }
+            outputs.push(status.value().cloned());
+            delivery.push(status);
+        }
+        let _ = &mut self.rng; // reserved for future randomized faults
+        Ok(ReplicationReport {
+            outputs,
+            delivery,
+            per_node_ops,
+            correct,
+        })
+    }
+
+    /// The reference states (oracle).
+    pub fn reference_states(&self) -> &[Vec<F>] {
+        &self.reference
+    }
+}
+
+/// Partial replication: machine `k` is replicated on a disjoint group of
+/// `q = N/K` nodes (§3). Storage efficiency `γ = K`, per-node work `c(f)`
+/// (`λ = Θ(K)`), but security only `⌊(q−1)/2⌋` — the tradeoff CSM removes.
+#[derive(Debug)]
+pub struct PartialReplicationCluster<F: Field> {
+    transition: PolyTransition<F>,
+    /// `states[i] = Some(state)` for the machine node `i` hosts.
+    states: Vec<Vec<F>>,
+    faults: Vec<FaultSpec>,
+    reference: Vec<Vec<F>>,
+    q: usize,
+    need: usize,
+}
+
+impl<F: Field> PartialReplicationCluster<F> {
+    /// Creates a partial-replication cluster: `n` nodes split into `k`
+    /// groups of `q = n/k`; group `g` hosts machine `g`.
+    ///
+    /// The client rule within a group needs `group_faults + 1` matching
+    /// replies out of `q`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CsmError::InvalidConfig`] unless `k` divides `n`.
+    pub fn new(
+        n: usize,
+        transition: PolyTransition<F>,
+        initial_states: Vec<Vec<F>>,
+        faults: Vec<(NodeId, FaultSpec)>,
+        group_faults: usize,
+    ) -> Result<Self, CsmError> {
+        let k = initial_states.len();
+        if k == 0 || n % k != 0 {
+            return Err(CsmError::InvalidConfig(format!(
+                "partial replication needs K | N (n={n}, k={k})"
+            )));
+        }
+        let q = n / k;
+        let fault_of = |i: usize| {
+            faults
+                .iter()
+                .find(|(id, _)| id.0 == i)
+                .map(|(_, f)| *f)
+                .unwrap_or(FaultSpec::Honest)
+        };
+        let states = (0..n)
+            .map(|i| initial_states[i / q].clone())
+            .collect();
+        Ok(PartialReplicationCluster {
+            transition,
+            states,
+            faults: (0..n).map(fault_of).collect(),
+            reference: initial_states,
+            q,
+            need: group_faults + 1,
+        })
+    }
+
+    /// Group size `q = N/K`.
+    pub fn group_size(&self) -> usize {
+        self.q
+    }
+
+    /// The group (node range) hosting machine `k`.
+    pub fn group_of(&self, k: usize) -> std::ops::Range<usize> {
+        k * self.q..(k + 1) * self.q
+    }
+
+    /// Executes one round: each node executes only its own machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CsmError::ShapeMismatch`] on bad command shapes.
+    pub fn step(&mut self, commands: &[Vec<F>]) -> Result<ReplicationReport<F>, CsmError> {
+        let k = self.reference.len();
+        if commands.len() != k {
+            return Err(CsmError::ShapeMismatch(format!(
+                "{} commands for {k} machines",
+                commands.len()
+            )));
+        }
+        let n = self.states.len();
+        let mut per_node_ops = vec![OpCounts::default(); n];
+        let mut outputs = Vec::with_capacity(k);
+        let mut delivery = Vec::with_capacity(k);
+        let mut correct = true;
+        for kk in 0..k {
+            let mut replies = Vec::with_capacity(self.q);
+            for i in self.group_of(kk) {
+                let fault = self.faults[i];
+                let (out, ops) = count::measure(|| {
+                    let (next, out) = self
+                        .transition
+                        .apply(&self.states[i], &commands[kk])
+                        .expect("shapes checked");
+                    self.states[i] = next;
+                    out
+                });
+                per_node_ops[i] += ops;
+                replies.push(match fault {
+                    FaultSpec::Honest | FaultSpec::CorruptStateUpdate => Some(out),
+                    FaultSpec::Withhold => None,
+                    _ => Some(
+                        (0..self.transition.output_dim())
+                            .map(|_| F::from_u64(0xBAD))
+                            .collect(),
+                    ),
+                });
+            }
+            let (next, expect) = self
+                .transition
+                .apply(&self.reference[kk], &commands[kk])
+                .expect("shapes checked");
+            self.reference[kk] = next;
+            let status = accept_replies(&replies, self.need);
+            if let Some(v) = status.value() {
+                if *v != expect {
+                    correct = false;
+                }
+            }
+            outputs.push(status.value().cloned());
+            delivery.push(status);
+        }
+        Ok(ReplicationReport {
+            outputs,
+            delivery,
+            per_node_ops,
+            correct,
+        })
+    }
+
+    /// The reference states (oracle).
+    pub fn reference_states(&self) -> &[Vec<F>] {
+        &self.reference
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csm_algebra::Fp61;
+    use csm_statemachine::machines::bank_machine;
+
+    fn f(v: u64) -> Fp61 {
+        Fp61::from_u64(v)
+    }
+
+    #[test]
+    fn full_replication_happy_path() {
+        let mut c = FullReplicationCluster::new(
+            5,
+            bank_machine::<Fp61>(),
+            vec![vec![f(10)], vec![f(20)]],
+            vec![],
+            2,
+            1,
+        )
+        .unwrap();
+        let r = c.step(&[vec![f(1)], vec![f(2)]]).unwrap();
+        assert!(r.correct);
+        assert_eq!(r.outputs[0], Some(vec![f(11)]));
+        assert_eq!(r.outputs[1], Some(vec![f(22)]));
+        assert_eq!(c.states_stored_per_node(), 2); // γ = 1
+    }
+
+    #[test]
+    fn full_replication_tolerates_minority() {
+        let mut c = FullReplicationCluster::new(
+            5,
+            bank_machine::<Fp61>(),
+            vec![vec![f(10)]],
+            vec![
+                (NodeId(0), FaultSpec::CorruptResult),
+                (NodeId(1), FaultSpec::CorruptResult),
+            ],
+            2,
+            1,
+        )
+        .unwrap();
+        let r = c.step(&[vec![f(5)]]).unwrap();
+        assert!(r.correct);
+        assert_eq!(r.outputs[0], Some(vec![f(15)])); // 3 honest ≥ b+1 = 3
+    }
+
+    #[test]
+    fn full_replication_fails_at_majority_corruption() {
+        let mut c = FullReplicationCluster::new(
+            5,
+            bank_machine::<Fp61>(),
+            vec![vec![f(10)]],
+            (0..3)
+                .map(|i| (NodeId(i), FaultSpec::Withhold))
+                .collect(),
+            2,
+            1,
+        )
+        .unwrap();
+        let r = c.step(&[vec![f(5)]]).unwrap();
+        // only 2 honest replies < need 3
+        assert_eq!(r.outputs[0], None);
+        assert!(!r.delivery[0].is_accepted());
+    }
+
+    #[test]
+    fn partial_replication_group_structure() {
+        let c = PartialReplicationCluster::new(
+            6,
+            bank_machine::<Fp61>(),
+            vec![vec![f(1)], vec![f(2)], vec![f(3)]],
+            vec![],
+            0,
+        )
+        .unwrap();
+        assert_eq!(c.group_size(), 2);
+        assert_eq!(c.group_of(1), 2..4);
+        assert!(PartialReplicationCluster::new(
+            7,
+            bank_machine::<Fp61>(),
+            vec![vec![f(1)], vec![f(2)]],
+            vec![],
+            0
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn partial_replication_executes_per_group() {
+        let mut c = PartialReplicationCluster::new(
+            6,
+            bank_machine::<Fp61>(),
+            vec![vec![f(10)], vec![f(20)], vec![f(30)]],
+            vec![],
+            0,
+        )
+        .unwrap();
+        let r = c.step(&[vec![f(1)], vec![f(2)], vec![f(3)]]).unwrap();
+        assert!(r.correct);
+        assert_eq!(r.outputs[2], Some(vec![f(33)]));
+    }
+
+    #[test]
+    fn per_node_work_is_k_times_lower_than_full() {
+        // over a Counting field, partial replication's per-node cost is
+        // ~1/K of full replication's — the throughput gap of Table 1.
+        use csm_algebra::Counting;
+        type C = Counting<Fp61>;
+        let g = |v: u64| C::from_u64(v);
+        let states: Vec<Vec<C>> = (0..3).map(|i| vec![g(10 * (i + 1))]).collect();
+        let cmds: Vec<Vec<C>> = (0..3).map(|i| vec![g(i)]).collect();
+        let mut full = FullReplicationCluster::new(
+            6,
+            bank_machine::<C>(),
+            states.clone(),
+            vec![],
+            0,
+            1,
+        )
+        .unwrap();
+        let mut partial =
+            PartialReplicationCluster::new(6, bank_machine::<C>(), states, vec![], 0).unwrap();
+        let rf = full.step(&cmds).unwrap();
+        let rp = partial.step(&cmds).unwrap();
+        let mean = |r: &ReplicationReport<C>| {
+            r.per_node_ops.iter().map(|o| o.total()).sum::<u64>() as f64
+                / r.per_node_ops.len() as f64
+        };
+        assert!(mean(&rf) >= 2.9 * mean(&rp), "full {} partial {}", mean(&rf), mean(&rp));
+    }
+
+    #[test]
+    fn partial_replication_group_capture() {
+        // corrupting a whole group of q=2 nodes hijacks that machine while
+        // others survive — the security collapse CSM avoids.
+        let mut c = PartialReplicationCluster::new(
+            6,
+            bank_machine::<Fp61>(),
+            vec![vec![f(10)], vec![f(20)], vec![f(30)]],
+            vec![
+                (NodeId(2), FaultSpec::CorruptResult),
+                (NodeId(3), FaultSpec::CorruptResult),
+            ],
+            0,
+        )
+        .unwrap();
+        let r = c.step(&[vec![f(1)], vec![f(2)], vec![f(3)]]).unwrap();
+        // machine 1's group (nodes 2,3) is fully corrupt: with need=1 the
+        // client may accept a wrong value -> correctness violated for it
+        assert!(!r.correct);
+        // machines 0 and 2 are fine
+        assert_eq!(r.outputs[0], Some(vec![f(11)]));
+        assert_eq!(r.outputs[2], Some(vec![f(33)]));
+    }
+}

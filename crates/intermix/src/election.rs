@@ -1,0 +1,128 @@
+//! Random committee election (§6.1, "Random Committee/Leader Election").
+//!
+//! Given that at most a `µ` fraction of the network is dishonest, electing
+//! `J = ⌈log ε / log µ⌉` auditors makes the probability that *no* auditor
+//! is honest at most `ε`. The paper's mechanism is per-node self-election
+//! with probability `J/N` (anonymity via VRFs is modeled, not attacked —
+//! see DESIGN.md substitutions).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Committee size `J = ⌈ln ε / ln µ⌉` so that `µ^J ≤ ε`.
+///
+/// # Panics
+///
+/// Panics unless `0 < epsilon < 1` and `0 < mu < 1`.
+pub fn committee_size(epsilon: f64, mu: f64) -> usize {
+    assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
+    assert!(mu > 0.0 && mu < 1.0, "mu must be in (0,1)");
+    (epsilon.ln() / mu.ln()).ceil().max(1.0) as usize
+}
+
+/// An elected committee: the worker and the auditor set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Committee {
+    /// Node index of the worker.
+    pub worker: usize,
+    /// Node indices of the auditors (excludes the worker).
+    pub auditors: Vec<usize>,
+    /// The target committee size `J` used for self-election.
+    pub target_j: usize,
+}
+
+/// Elects a worker and auditors among `n` nodes.
+///
+/// Each non-worker node self-elects as auditor with probability `J/n`
+/// (Bernoulli, per the paper); the worker is drawn uniformly. The
+/// committee is therefore of *expected* size `J`; `elect_committee`
+/// re-draws (new pseudo-randomness, as the paper's occasional re-runs of
+/// the distributed RNG would) until at least one auditor exists.
+///
+/// # Panics
+///
+/// Panics if `n < 2` (need at least a worker and one potential auditor).
+pub fn elect_committee(n: usize, j: usize, seed: u64) -> Committee {
+    assert!(n >= 2, "election needs at least two nodes");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let worker = rng.gen_range(0..n);
+    let p = (j as f64 / n as f64).min(1.0);
+    loop {
+        let auditors: Vec<usize> = (0..n)
+            .filter(|&i| i != worker && rng.gen_bool(p))
+            .collect();
+        if !auditors.is_empty() {
+            return Committee {
+                worker,
+                auditors,
+                target_j: j,
+            };
+        }
+    }
+}
+
+/// Probability that a committee of `j` auditors contains no honest member
+/// when a `mu` fraction of nodes is dishonest: `µ^j`.
+pub fn all_dishonest_probability(j: usize, mu: f64) -> f64 {
+    mu.powi(j as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn committee_size_meets_epsilon() {
+        for &(eps, mu) in &[(0.001, 1.0 / 3.0), (1e-9, 0.25), (0.01, 0.49)] {
+            let j = committee_size(eps, mu);
+            assert!(all_dishonest_probability(j, mu) <= eps, "eps={eps} mu={mu}");
+            // and J is minimal
+            if j > 1 {
+                assert!(all_dishonest_probability(j - 1, mu) > eps);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_example_mu_one_third() {
+        // µ = 1/3 (paper's concrete example): ε = 1e-6 needs J = 13.
+        let j = committee_size(1e-6, 1.0 / 3.0);
+        assert_eq!(j, 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn rejects_bad_epsilon() {
+        let _ = committee_size(1.5, 0.3);
+    }
+
+    #[test]
+    fn election_is_deterministic_per_seed() {
+        let a = elect_committee(50, 5, 9);
+        let b = elect_committee(50, 5, 9);
+        assert_eq!(a, b);
+        let c = elect_committee(50, 5, 10);
+        // overwhelmingly likely to differ
+        assert!(a != c || a.worker == c.worker);
+    }
+
+    #[test]
+    fn worker_never_audits() {
+        for seed in 0..20 {
+            let c = elect_committee(30, 4, seed);
+            assert!(!c.auditors.contains(&c.worker));
+            assert!(!c.auditors.is_empty());
+        }
+    }
+
+    #[test]
+    fn expected_committee_size_close_to_j() {
+        let n = 200;
+        let j = 10;
+        let total: usize = (0..200)
+            .map(|seed| elect_committee(n, j, seed).auditors.len())
+            .sum();
+        let mean = total as f64 / 200.0;
+        assert!((mean - j as f64).abs() < 2.0, "mean committee size {mean}");
+    }
+}

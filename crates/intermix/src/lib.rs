@@ -1,0 +1,57 @@
+//! # csm-intermix
+//!
+//! **INTERMIX** (§6.1): information-theoretically verifiable matrix–vector
+//! multiplication by interactive fraud localization.
+//!
+//! One **worker** computes `Y = A·X` for the whole network. A randomly
+//! self-elected committee of `J = ⌈log ε / log µ⌉` **auditors** recomputes
+//! the product; an honest auditor that detects `Ŷ ≠ Y` runs the `log K`
+//! halving interrogation of Algorithm 1, which forces *any* worker — even a
+//! computationally unbounded one — into an inconsistency that every
+//! **commoner** can check in **constant time**:
+//!
+//! * a *sum mismatch* `Ẑ₁ + Ẑ₂ ≠ Ŷ⁽ʲ⁾` between the worker's own claims
+//!   (one addition to check), or
+//! * a *leaf mismatch* `Ŷ⁽ʲ⁾ ≠ A_{i,ℓ}·X_ℓ` against the public inputs
+//!   (one multiplication to check), or
+//! * *non-response*, which the broadcast/synchrony assumptions make
+//!   publicly visible.
+//!
+//! The worst-case added complexity is
+//! `(J+1)·c(AX) + 8JK + 3J·log K + N − J − 1` (§6.1); the
+//! `fig_intermix` bench measures all three role costs.
+//!
+//! ## Example
+//!
+//! ```
+//! use csm_algebra::{Field, Fp61, Matrix};
+//! use csm_intermix::{run_session, AuditorBehavior, SessionConfig, WorkerBehavior};
+//!
+//! let a = Matrix::vandermonde(&[Fp61::from_u64(1), Fp61::from_u64(2), Fp61::from_u64(3)], 4);
+//! let x: Vec<Fp61> = (0..4).map(Fp61::from_u64).collect();
+//!
+//! // A corrupt worker with one honest auditor is always caught.
+//! let outcome = run_session(
+//!     &a,
+//!     &x,
+//!     &WorkerBehavior::CorruptEntry { row: 1, delta: Fp61::from_u64(9) },
+//!     &[AuditorBehavior::Honest],
+//!     &SessionConfig::default(),
+//! );
+//! assert!(!outcome.accepted);
+//! assert!(outcome.fraud_proof.is_some());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod election;
+mod session;
+mod verify_decode;
+
+pub use election::{all_dishonest_probability, committee_size, elect_committee, Committee};
+pub use session::{
+    commoner_verify, run_session, AuditorBehavior, AuditorReport, FraudProof, RoleOps,
+    SessionConfig, SessionOutcome, WorkerBehavior,
+};
+pub use verify_decode::{verify_decoding_claim, DecodingClaim, DecodingVerdict};

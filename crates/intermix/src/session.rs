@@ -1,0 +1,595 @@
+//! One INTERMIX session: worker claim → audits (Algorithm 1) → commoner
+//! verdict.
+
+use csm_algebra::{count, dot, Field, Matrix, OpCounts};
+
+/// How the worker behaves in a session.
+#[derive(Debug, Clone)]
+pub enum WorkerBehavior<F> {
+    /// Computes `A·X` correctly and answers queries truthfully.
+    Honest,
+    /// Claims `Y[row] += delta`, answers audit queries *truthfully* — the
+    /// naive fraud, caught by an immediate sum mismatch.
+    CorruptEntry {
+        /// Corrupted output row.
+        row: usize,
+        /// Additive corruption (must be nonzero to be a fraud).
+        delta: F,
+    },
+    /// Claims `Y[row] += delta` and lies *consistently* during the audit,
+    /// splitting each queried sum so the books balance; the lie is pushed
+    /// into one half each round until the leaf comparison against public
+    /// inputs exposes it.
+    ConsistentLiar {
+        /// Corrupted output row.
+        row: usize,
+        /// Additive corruption.
+        delta: F,
+        /// If true, hide the lie in the left half at even depths (exercises
+        /// both recursion paths).
+        alternate: bool,
+    },
+    /// Claims an arbitrary wrong vector and ignores all audit queries.
+    Unresponsive {
+        /// Corrupted output row.
+        row: usize,
+        /// Additive corruption.
+        delta: F,
+    },
+}
+
+/// How an auditor behaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuditorBehavior {
+    /// Recomputes and, on mismatch, runs Algorithm 1.
+    Honest,
+    /// Raises a fabricated fraud proof even when the result is correct
+    /// (the paper: "he can return False despite detecting no
+    /// inconsistency" — commoners dismiss it in O(1)).
+    FalseAccuse,
+    /// Approves without checking (a lazy/corrupt auditor).
+    LazyApprove,
+}
+
+/// A fraud proof checkable by any commoner in constant time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FraudProof<F> {
+    /// The worker's own claims don't add up: `left + right ≠ parent`.
+    SumMismatch {
+        /// The audited output row.
+        row: usize,
+        /// The worker's claim for the parent segment.
+        parent: F,
+        /// The worker's claim for the left half.
+        left: F,
+        /// The worker's claim for the right half.
+        right: F,
+        /// Recursion depth at which the mismatch appeared (for reporting).
+        depth: usize,
+    },
+    /// A single-entry claim contradicts the public inputs:
+    /// `claimed ≠ A[row][index] · X[index]`.
+    LeafMismatch {
+        /// The audited output row.
+        row: usize,
+        /// Column index of the leaf.
+        index: usize,
+        /// The worker's claimed scalar product.
+        claimed: F,
+    },
+    /// The worker failed to answer a query (visible to all under the
+    /// broadcast + synchrony assumptions of §6).
+    Unresponsive {
+        /// The audited output row.
+        row: usize,
+        /// Depth at which the worker went silent.
+        depth: usize,
+    },
+}
+
+/// An auditor's verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuditorReport<F> {
+    /// Result matches the auditor's recomputation.
+    Approve,
+    /// Fraud localized; proof attached.
+    Accuse(FraudProof<F>),
+}
+
+/// Field-operation counts per role (populated when the session is run over
+/// a [`csm_algebra::Counting`] field; zero otherwise).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoleOps {
+    /// The worker's cost (the product itself plus query answers).
+    pub worker: OpCounts,
+    /// Total cost across all auditors.
+    pub auditors: OpCounts,
+    /// Cost of a single commoner verifying all raised proofs.
+    pub commoner: OpCounts,
+}
+
+/// Tuning knobs for a session.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionConfig {
+    /// Whether auditors stop after the first valid proof is found
+    /// (the paper's commoners only need one).
+    pub stop_at_first_proof: bool,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            stop_at_first_proof: true,
+        }
+    }
+}
+
+/// Outcome of a session.
+#[derive(Debug, Clone)]
+pub struct SessionOutcome<F> {
+    /// The worker's claimed product `Ŷ`.
+    pub claimed: Vec<F>,
+    /// The network's verdict: `true` iff no *valid* fraud proof was raised.
+    pub accepted: bool,
+    /// The first valid fraud proof, if any.
+    pub fraud_proof: Option<FraudProof<F>>,
+    /// All auditor reports (in auditor order).
+    pub reports: Vec<AuditorReport<F>>,
+    /// Number of interactive query rounds used across all audits.
+    pub query_rounds: usize,
+    /// Per-role operation counts.
+    pub ops: RoleOps,
+}
+
+/// The worker's side of the protocol: claims and query answering.
+struct Worker<'a, F: Field> {
+    a: &'a Matrix<F>,
+    x: &'a [F],
+    behavior: &'a WorkerBehavior<F>,
+}
+
+impl<'a, F: Field> Worker<'a, F> {
+    fn claim(&self) -> Vec<F> {
+        let mut y = self.a.mul_vec(self.x);
+        match self.behavior {
+            WorkerBehavior::Honest => {}
+            WorkerBehavior::CorruptEntry { row, delta }
+            | WorkerBehavior::ConsistentLiar { row, delta, .. }
+            | WorkerBehavior::Unresponsive { row, delta } => {
+                y[*row] += *delta;
+            }
+        }
+        y
+    }
+
+    fn true_segment(&self, row: usize, lo: usize, hi: usize) -> F {
+        dot(&self.a.row(row)[lo..hi], &self.x[lo..hi])
+    }
+
+    /// Answers the query for segment `[lo, hi)` of `row`, where
+    /// `parent_claim` was this worker's previous claim for the enclosing
+    /// segment. Returns the (left, right) pair for the two halves, or
+    /// `None` if unresponsive.
+    fn answer(
+        &self,
+        row: usize,
+        lo: usize,
+        mid: usize,
+        hi: usize,
+        parent_claim: F,
+        depth: usize,
+    ) -> Option<(F, F)> {
+        match self.behavior {
+            WorkerBehavior::Honest | WorkerBehavior::CorruptEntry { .. } => Some((
+                self.true_segment(row, lo, mid),
+                self.true_segment(row, mid, hi),
+            )),
+            WorkerBehavior::ConsistentLiar {
+                row: bad_row,
+                alternate,
+                ..
+            } => {
+                if row != *bad_row {
+                    return Some((
+                        self.true_segment(row, lo, mid),
+                        self.true_segment(row, mid, hi),
+                    ));
+                }
+                // keep left + right == parent_claim while hiding the lie in
+                // one half
+                let tl = self.true_segment(row, lo, mid);
+                let tr = self.true_segment(row, mid, hi);
+                if *alternate && depth % 2 == 0 {
+                    // lie in the left half
+                    Some((parent_claim - tr, tr))
+                } else {
+                    // lie in the right half
+                    Some((tl, parent_claim - tl))
+                }
+            }
+            WorkerBehavior::Unresponsive { .. } => None,
+        }
+    }
+}
+
+/// Algorithm 1, run by an honest auditor that has already computed the true
+/// `Y` and found `claimed[row] ≠ Y[row]`.
+fn localize_fraud<F: Field>(
+    worker: &Worker<'_, F>,
+    row: usize,
+    claimed_row: F,
+    query_rounds: &mut usize,
+) -> FraudProof<F> {
+    let k = worker.x.len();
+    let (mut lo, mut hi) = (0usize, k);
+    let mut parent = claimed_row;
+    let mut depth = 0usize;
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        *query_rounds += 1;
+        let Some((l, r)) = worker.answer(row, lo, mid, hi, parent, depth) else {
+            return FraudProof::Unresponsive { row, depth };
+        };
+        if l + r != parent {
+            return FraudProof::SumMismatch {
+                row,
+                parent,
+                left: l,
+                right: r,
+                depth,
+            };
+        }
+        // locate the lying half by recomputing it
+        let true_left = worker.true_segment(row, lo, mid);
+        if l != true_left {
+            hi = mid;
+            parent = l;
+        } else {
+            lo = mid;
+            parent = r;
+        }
+        depth += 1;
+    }
+    FraudProof::LeafMismatch {
+        row,
+        index: lo,
+        claimed: parent,
+    }
+}
+
+/// Constant-time commoner verification of a fraud proof against the public
+/// inputs and the worker's broadcast claims.
+///
+/// Exactly one field addition (sum-mismatch) or one multiplication
+/// (leaf-mismatch) plus comparisons — the paper's O(1) guarantee.
+pub fn commoner_verify<F: Field>(proof: &FraudProof<F>, a: &Matrix<F>, x: &[F]) -> bool {
+    match proof {
+        FraudProof::SumMismatch {
+            parent, left, right, ..
+        } => *left + *right != *parent,
+        FraudProof::LeafMismatch { row, index, claimed } => {
+            *row < a.rows() && *index < x.len() && *claimed != a[(*row, *index)] * x[*index]
+        }
+        // Non-response is publicly observable under the broadcast +
+        // synchronous assumptions; nothing to recompute.
+        FraudProof::Unresponsive { .. } => true,
+    }
+}
+
+/// Runs a full INTERMIX session.
+///
+/// # Panics
+///
+/// Panics if `x.len() != a.cols()` or a corrupt behaviour names a row out
+/// of range.
+pub fn run_session<F: Field>(
+    a: &Matrix<F>,
+    x: &[F],
+    worker_behavior: &WorkerBehavior<F>,
+    auditors: &[AuditorBehavior],
+    cfg: &SessionConfig,
+) -> SessionOutcome<F> {
+    assert_eq!(x.len(), a.cols(), "vector length must match matrix columns");
+    let worker = Worker {
+        a,
+        x,
+        behavior: worker_behavior,
+    };
+    let (claimed, worker_ops) = count::measure(|| worker.claim());
+
+    let mut reports = Vec::with_capacity(auditors.len());
+    let mut query_rounds = 0usize;
+    let mut auditor_ops = OpCounts::default();
+    let mut first_proof: Option<FraudProof<F>> = None;
+
+    for behavior in auditors {
+        let (report, ops) = count::measure(|| match behavior {
+            AuditorBehavior::LazyApprove => AuditorReport::Approve,
+            AuditorBehavior::FalseAccuse => AuditorReport::Accuse(FraudProof::SumMismatch {
+                row: 0,
+                parent: claimed[0],
+                // fabricated but arithmetically consistent values: the
+                // commoner's check (left+right != parent) fails, exposing
+                // the false accusation
+                left: claimed[0],
+                right: F::ZERO,
+                depth: 0,
+            }),
+            AuditorBehavior::Honest => {
+                let y = a.mul_vec(x);
+                match (0..y.len()).find(|&i| claimed[i] != y[i]) {
+                    None => AuditorReport::Approve,
+                    Some(row) => AuditorReport::Accuse(localize_fraud(
+                        &worker,
+                        row,
+                        claimed[row],
+                        &mut query_rounds,
+                    )),
+                }
+            }
+        });
+        auditor_ops += ops;
+        if let AuditorReport::Accuse(p) = &report {
+            if first_proof.is_none() && commoner_verify(p, a, x) {
+                first_proof = Some(p.clone());
+            }
+        }
+        reports.push(report);
+        if cfg.stop_at_first_proof && first_proof.is_some() {
+            break;
+        }
+    }
+
+    // one commoner checks every raised accusation in O(1) each
+    let (accepted, commoner_ops) = count::measure(|| {
+        !reports.iter().any(|r| match r {
+            AuditorReport::Approve => false,
+            AuditorReport::Accuse(p) => commoner_verify(p, a, x),
+        })
+    });
+
+    SessionOutcome {
+        claimed,
+        accepted,
+        fraud_proof: first_proof,
+        reports,
+        query_rounds,
+        ops: RoleOps {
+            worker: worker_ops,
+            auditors: auditor_ops,
+            commoner: commoner_ops,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csm_algebra::{Counting, Fp61, Gf2_16};
+    use rand::{Rng, SeedableRng};
+
+    fn setup(n: usize, k: usize, seed: u64) -> (Matrix<Fp61>, Vec<Fp61>) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let data: Vec<Fp61> = (0..n * k).map(|_| Fp61::from_u64(rng.gen())).collect();
+        let x: Vec<Fp61> = (0..k).map(|_| Fp61::from_u64(rng.gen())).collect();
+        (Matrix::from_rows(n, k, data), x)
+    }
+
+    #[test]
+    fn honest_worker_accepted() {
+        let (a, x) = setup(8, 16, 1);
+        let out = run_session(
+            &a,
+            &x,
+            &WorkerBehavior::Honest,
+            &[AuditorBehavior::Honest; 3],
+            &SessionConfig::default(),
+        );
+        assert!(out.accepted);
+        assert!(out.fraud_proof.is_none());
+        assert_eq!(out.claimed, a.mul_vec(&x));
+        assert_eq!(out.query_rounds, 0);
+    }
+
+    #[test]
+    fn naive_corruption_caught_by_sum_mismatch() {
+        let (a, x) = setup(8, 16, 2);
+        let out = run_session(
+            &a,
+            &x,
+            &WorkerBehavior::CorruptEntry {
+                row: 3,
+                delta: Fp61::from_u64(5),
+            },
+            &[AuditorBehavior::Honest],
+            &SessionConfig::default(),
+        );
+        assert!(!out.accepted);
+        match out.fraud_proof.unwrap() {
+            FraudProof::SumMismatch { row, depth, .. } => {
+                assert_eq!(row, 3);
+                assert_eq!(depth, 0); // truthful answers expose it instantly
+            }
+            p => panic!("expected sum mismatch, got {p:?}"),
+        }
+    }
+
+    #[test]
+    fn consistent_liar_caught_at_leaf() {
+        for k in [2usize, 3, 16, 17, 31] {
+            let (a, x) = setup(4, k, 3 + k as u64);
+            let out = run_session(
+                &a,
+                &x,
+                &WorkerBehavior::ConsistentLiar {
+                    row: 1,
+                    delta: Fp61::from_u64(7),
+                    alternate: false,
+                },
+                &[AuditorBehavior::Honest],
+                &SessionConfig::default(),
+            );
+            assert!(!out.accepted, "k={k}");
+            let proof = out.fraud_proof.unwrap();
+            assert!(
+                matches!(proof, FraudProof::LeafMismatch { row: 1, .. }),
+                "k={k}: {proof:?}"
+            );
+            assert!(commoner_verify(&proof, &a, &x));
+            // ~log2(k) interactive rounds
+            assert!(
+                out.query_rounds <= (k as f64).log2().ceil() as usize + 1,
+                "k={k}: {} rounds",
+                out.query_rounds
+            );
+        }
+    }
+
+    #[test]
+    fn alternating_liar_exercises_left_path() {
+        let (a, x) = setup(4, 32, 9);
+        let out = run_session(
+            &a,
+            &x,
+            &WorkerBehavior::ConsistentLiar {
+                row: 2,
+                delta: Fp61::from_u64(11),
+                alternate: true,
+            },
+            &[AuditorBehavior::Honest],
+            &SessionConfig::default(),
+        );
+        assert!(!out.accepted);
+        assert!(commoner_verify(&out.fraud_proof.unwrap(), &a, &x));
+    }
+
+    #[test]
+    fn unresponsive_worker_rejected() {
+        let (a, x) = setup(4, 8, 4);
+        let out = run_session(
+            &a,
+            &x,
+            &WorkerBehavior::Unresponsive {
+                row: 0,
+                delta: Fp61::ONE,
+            },
+            &[AuditorBehavior::Honest],
+            &SessionConfig::default(),
+        );
+        assert!(!out.accepted);
+        assert!(matches!(
+            out.fraud_proof.unwrap(),
+            FraudProof::Unresponsive { .. }
+        ));
+    }
+
+    #[test]
+    fn false_accusation_dismissed() {
+        let (a, x) = setup(6, 12, 5);
+        let out = run_session(
+            &a,
+            &x,
+            &WorkerBehavior::Honest,
+            &[AuditorBehavior::FalseAccuse, AuditorBehavior::Honest],
+            &SessionConfig::default(),
+        );
+        // the fabricated proof fails the O(1) check; result accepted
+        assert!(out.accepted);
+        assert!(out.fraud_proof.is_none());
+    }
+
+    #[test]
+    fn lazy_auditors_miss_fraud_without_honest_one() {
+        // soundness depends on >= 1 honest auditor (probability 1-ε);
+        // with only lazy auditors the fraud passes — exactly the paper's
+        // failure event.
+        let (a, x) = setup(4, 8, 6);
+        let out = run_session(
+            &a,
+            &x,
+            &WorkerBehavior::CorruptEntry {
+                row: 0,
+                delta: Fp61::ONE,
+            },
+            &[AuditorBehavior::LazyApprove; 3],
+            &SessionConfig::default(),
+        );
+        assert!(out.accepted); // undetected — the ε event
+    }
+
+    #[test]
+    fn commoner_cost_is_constant() {
+        // measure commoner ops over Counting<F> at two very different K
+        type C = Counting<Fp61>;
+        let build = |k: usize| {
+            let a = Matrix::<C>::vandermonde(
+                &(1..=4u64).map(C::from_u64).collect::<Vec<_>>(),
+                k,
+            );
+            let x: Vec<C> = (0..k as u64).map(C::from_u64).collect();
+            (a, x)
+        };
+        let mut costs = Vec::new();
+        for k in [8usize, 256] {
+            let (a, x) = build(k);
+            let out = run_session(
+                &a,
+                &x,
+                &WorkerBehavior::ConsistentLiar {
+                    row: 1,
+                    delta: C::from_u64(3),
+                    alternate: false,
+                },
+                &[AuditorBehavior::Honest],
+                &SessionConfig::default(),
+            );
+            assert!(!out.accepted);
+            costs.push(out.ops.commoner.total());
+        }
+        assert_eq!(costs[0], costs[1], "commoner cost must not grow with K");
+        assert!(costs[0] <= 4, "commoner cost {} should be O(1)", costs[0]);
+    }
+
+    #[test]
+    fn works_over_gf2m() {
+        let a = Matrix::<Gf2_16>::vandermonde(
+            &(1..=6u64).map(Gf2_16::from_u64).collect::<Vec<_>>(),
+            5,
+        );
+        let x: Vec<Gf2_16> = (10..15).map(Gf2_16::from_u64).collect();
+        let out = run_session(
+            &a,
+            &x,
+            &WorkerBehavior::ConsistentLiar {
+                row: 4,
+                delta: Gf2_16::from_u64(0xAA),
+                alternate: false,
+            },
+            &[AuditorBehavior::Honest],
+            &SessionConfig::default(),
+        );
+        assert!(!out.accepted);
+    }
+
+    #[test]
+    fn single_column_matrix_edge_case() {
+        let a = Matrix::from_rows(2, 1, vec![Fp61::from_u64(3), Fp61::from_u64(4)]);
+        let x = vec![Fp61::from_u64(5)];
+        let out = run_session(
+            &a,
+            &x,
+            &WorkerBehavior::CorruptEntry {
+                row: 1,
+                delta: Fp61::ONE,
+            },
+            &[AuditorBehavior::Honest],
+            &SessionConfig::default(),
+        );
+        assert!(!out.accepted);
+        // K = 1: no halving possible; immediately a leaf mismatch
+        assert!(matches!(
+            out.fraud_proof.unwrap(),
+            FraudProof::LeafMismatch { row: 1, index: 0, .. }
+        ));
+    }
+}

@@ -1,0 +1,186 @@
+//! Verifiable polynomial interpolation in the presence of errors (§6.2,
+//! "Decoding of the output results/new states").
+//!
+//! The centralized worker decodes the Reed–Solomon word and broadcasts the
+//! coefficients `b_0..b_{K′}` **together with a consistency set `τ`** of
+//! size at least `(N + K′ + 1)/2` such that `h_t(α_i) = g_i` for all
+//! `i ∈ τ`. Coding theory guarantees the decoding is correct *iff* such a
+//! set exists (eq. (9)), so verifying the claim reduces to one
+//! matrix–vector check `V_τ · b = g_τ` on the Vandermonde matrix of the
+//! `τ`-rows — which is exactly an INTERMIX instance.
+
+use crate::session::{
+    run_session, AuditorBehavior, SessionConfig, SessionOutcome, WorkerBehavior,
+};
+use csm_algebra::{Field, Matrix};
+
+/// A worker's claimed decoding: coefficients plus consistency set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodingClaim<F> {
+    /// Claimed coefficients `b_0..b_{K′}` of the decoded polynomial.
+    pub coefficients: Vec<F>,
+    /// Claimed consistency set `τ` (indices into the received word).
+    pub tau: Vec<usize>,
+}
+
+/// Verdict on a decoding claim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodingVerdict {
+    /// The claim verifies: `|τ|` meets the bound and the evaluations match.
+    Valid,
+    /// `τ` is too small to certify uniqueness.
+    TauTooSmall {
+        /// Claimed size.
+        got: usize,
+        /// Required minimum `(N + K′ + 1)/2`.
+        need: usize,
+    },
+    /// `τ` contains an out-of-range or duplicate index.
+    TauMalformed,
+    /// Some `i ∈ τ` has `h(α_i) ≠ g_i` — the INTERMIX audit found fraud.
+    EvaluationMismatch,
+}
+
+/// Verifies a claimed decoding against the received word, using INTERMIX
+/// over the `τ`-restricted Vandermonde matrix as the trusted-computation
+/// module.
+///
+/// `points[i]` / `values[i]` are the received evaluations `(α_i, g_i)`;
+/// auditors replay the product. Returns the verdict together with the
+/// underlying INTERMIX outcome (for op accounting) when the audit ran.
+///
+/// # Panics
+///
+/// Panics if `points.len() != values.len()`.
+pub fn verify_decoding_claim<F: Field>(
+    points: &[F],
+    values: &[F],
+    claim: &DecodingClaim<F>,
+    auditors: &[AuditorBehavior],
+) -> (DecodingVerdict, Option<SessionOutcome<F>>) {
+    assert_eq!(points.len(), values.len(), "points/values length mismatch");
+    let n = points.len();
+    let k_prime = claim.coefficients.len().saturating_sub(1);
+    let need = (n + k_prime + 1).div_ceil(2);
+    if claim.tau.len() < need {
+        return (
+            DecodingVerdict::TauTooSmall {
+                got: claim.tau.len(),
+                need,
+            },
+            None,
+        );
+    }
+    let mut seen = std::collections::HashSet::with_capacity(claim.tau.len());
+    for &i in &claim.tau {
+        if i >= n || !seen.insert(i) {
+            return (DecodingVerdict::TauMalformed, None);
+        }
+    }
+    // V_τ · b should equal g_τ; the "worker" here is the decoding worker
+    // re-running its own evaluation claim, so an honest INTERMIX worker
+    // models it and the auditors check the product.
+    let tau_points: Vec<F> = claim.tau.iter().map(|&i| points[i]).collect();
+    let v_tau = Matrix::vandermonde(&tau_points, claim.coefficients.len());
+    let outcome = run_session(
+        &v_tau,
+        &claim.coefficients,
+        &WorkerBehavior::Honest,
+        auditors,
+        &SessionConfig::default(),
+    );
+    // the worker's (correct) product is V_τ·b; the decoding is valid iff it
+    // equals the received values on τ
+    let g_tau: Vec<F> = claim.tau.iter().map(|&i| values[i]).collect();
+    if outcome.claimed != g_tau {
+        return (DecodingVerdict::EvaluationMismatch, Some(outcome));
+    }
+    (DecodingVerdict::Valid, Some(outcome))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csm_algebra::{distinct_elements, Fp61, Poly};
+
+    fn setup(n: usize, k: usize, errs: &[usize]) -> (Vec<Fp61>, Vec<Fp61>, Poly<Fp61>) {
+        let points: Vec<Fp61> = distinct_elements(0, n);
+        let poly = Poly::new((1..=k as u64).map(Fp61::from_u64).collect());
+        let mut values = poly.eval_many(&points);
+        for &e in errs {
+            values[e] += Fp61::from_u64(99);
+        }
+        (points, values, poly)
+    }
+
+    fn claim_for(poly: &Poly<Fp61>, points: &[Fp61], values: &[Fp61], dim: usize) -> DecodingClaim<Fp61> {
+        let mut coefficients = poly.coeffs().to_vec();
+        coefficients.resize(dim, Fp61::ZERO);
+        let tau: Vec<usize> = points
+            .iter()
+            .enumerate()
+            .filter(|(i, &p)| poly.eval(p) == values[*i])
+            .map(|(i, _)| i)
+            .collect();
+        DecodingClaim { coefficients, tau }
+    }
+
+    #[test]
+    fn honest_claim_validates() {
+        let (points, values, poly) = setup(12, 4, &[2, 7]);
+        let claim = claim_for(&poly, &points, &values, 4);
+        let (verdict, outcome) =
+            verify_decoding_claim(&points, &values, &claim, &[AuditorBehavior::Honest]);
+        assert_eq!(verdict, DecodingVerdict::Valid);
+        assert!(outcome.unwrap().accepted);
+    }
+
+    #[test]
+    fn wrong_coefficients_rejected() {
+        let (points, values, poly) = setup(12, 4, &[]);
+        let mut claim = claim_for(&poly, &points, &values, 4);
+        claim.coefficients[0] += Fp61::ONE;
+        let (verdict, _) =
+            verify_decoding_claim(&points, &values, &claim, &[AuditorBehavior::Honest]);
+        assert_eq!(verdict, DecodingVerdict::EvaluationMismatch);
+    }
+
+    #[test]
+    fn small_tau_rejected() {
+        let (points, values, poly) = setup(12, 4, &[0, 1, 2, 3, 4]);
+        // 5 errors: τ has only 7 members, need (12+3+1)/2 = 8
+        let claim = claim_for(&poly, &points, &values, 4);
+        let (verdict, _) =
+            verify_decoding_claim(&points, &values, &claim, &[AuditorBehavior::Honest]);
+        assert_eq!(verdict, DecodingVerdict::TauTooSmall { got: 7, need: 8 });
+    }
+
+    #[test]
+    fn malformed_tau_rejected() {
+        let (points, values, poly) = setup(10, 3, &[]);
+        let mut claim = claim_for(&poly, &points, &values, 3);
+        claim.tau[0] = 999; // out of range
+        let (verdict, _) =
+            verify_decoding_claim(&points, &values, &claim, &[AuditorBehavior::Honest]);
+        assert_eq!(verdict, DecodingVerdict::TauMalformed);
+        // duplicates
+        let mut claim2 = claim_for(&poly, &points, &values, 3);
+        claim2.tau[1] = claim2.tau[0];
+        let (verdict, _) =
+            verify_decoding_claim(&points, &values, &claim2, &[AuditorBehavior::Honest]);
+        assert_eq!(verdict, DecodingVerdict::TauMalformed);
+    }
+
+    #[test]
+    fn lying_tau_membership_rejected() {
+        // worker includes an erroneous position in τ to inflate it: the
+        // evaluation check catches it
+        let (points, values, poly) = setup(12, 4, &[2, 7, 9]);
+        let mut claim = claim_for(&poly, &points, &values, 4);
+        claim.tau.push(2); // position 2 is an error position
+        claim.tau.sort_unstable();
+        let (verdict, _) =
+            verify_decoding_claim(&points, &values, &claim, &[AuditorBehavior::Honest]);
+        assert_eq!(verdict, DecodingVerdict::EvaluationMismatch);
+    }
+}

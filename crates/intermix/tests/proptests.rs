@@ -1,0 +1,143 @@
+//! Property-based INTERMIX tests: soundness (any corruption with at least
+//! one honest auditor is caught with a commoner-verifiable proof),
+//! completeness (honest workers are never rejected), and the O(1) commoner
+//! bound — quantified over random matrices, vectors, corruption patterns,
+//! and auditor mixes.
+
+use csm_algebra::{Field, Fp61, Matrix};
+use csm_intermix::{
+    commoner_verify, run_session, AuditorBehavior, SessionConfig, WorkerBehavior,
+};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Instance {
+    n: usize,
+    k: usize,
+    a_data: Vec<u64>,
+    x_data: Vec<u64>,
+}
+
+fn instance() -> impl Strategy<Value = Instance> {
+    (2usize..10, 1usize..40).prop_flat_map(|(n, k)| {
+        (
+            Just(n),
+            Just(k),
+            prop::collection::vec(any::<u64>(), n * k),
+            prop::collection::vec(any::<u64>(), k),
+        )
+            .prop_map(|(n, k, a_data, x_data)| Instance { n, k, a_data, x_data })
+    })
+}
+
+fn build(inst: &Instance) -> (Matrix<Fp61>, Vec<Fp61>) {
+    let a = Matrix::from_rows(
+        inst.n,
+        inst.k,
+        inst.a_data.iter().map(|&v| Fp61::from_u64(v)).collect(),
+    );
+    let x: Vec<Fp61> = inst.x_data.iter().map(|&v| Fp61::from_u64(v)).collect();
+    (a, x)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Completeness: an honest worker is accepted under any auditor mix.
+    #[test]
+    fn honest_worker_always_accepted(
+        inst in instance(),
+        auditor_mask in any::<u8>(),
+    ) {
+        let (a, x) = build(&inst);
+        let auditors: Vec<AuditorBehavior> = (0..4)
+            .map(|i| match (auditor_mask >> (2 * i)) & 3 {
+                0 | 1 => AuditorBehavior::Honest,
+                2 => AuditorBehavior::LazyApprove,
+                _ => AuditorBehavior::FalseAccuse,
+            })
+            .collect();
+        let out = run_session(&a, &x, &WorkerBehavior::Honest, &auditors, &SessionConfig::default());
+        prop_assert!(out.accepted);
+        prop_assert!(out.fraud_proof.is_none());
+    }
+
+    /// Soundness: any corrupted row is caught whenever at least one honest
+    /// auditor exists, regardless of the worker's interrogation strategy.
+    #[test]
+    fn corrupt_worker_always_caught(
+        inst in instance(),
+        row_sel in any::<usize>(),
+        delta in 1u64..u64::MAX,
+        strategy in 0u8..3,
+        alternate in any::<bool>(),
+    ) {
+        let (a, x) = build(&inst);
+        let row = row_sel % inst.n;
+        let delta = Fp61::from_u64(delta);
+        if delta.is_zero() { return Ok(()); }
+        let worker = match strategy {
+            0 => WorkerBehavior::CorruptEntry { row, delta },
+            1 => WorkerBehavior::ConsistentLiar { row, delta, alternate },
+            _ => WorkerBehavior::Unresponsive { row, delta },
+        };
+        let out = run_session(
+            &a,
+            &x,
+            &worker,
+            &[AuditorBehavior::LazyApprove, AuditorBehavior::Honest],
+            &SessionConfig::default(),
+        );
+        prop_assert!(!out.accepted, "fraud escaped: {worker:?}");
+        let proof = out.fraud_proof.expect("proof must exist");
+        prop_assert!(commoner_verify(&proof, &a, &x));
+    }
+
+    /// The commoner's verification cost is bounded by a constant number of
+    /// field ops regardless of instance size.
+    #[test]
+    fn commoner_ops_bounded(inst in instance(), row_sel in any::<usize>()) {
+        use csm_algebra::Counting;
+        type C = Counting<Fp61>;
+        let a = Matrix::from_rows(
+            inst.n,
+            inst.k,
+            inst.a_data.iter().map(|&v| C::from_u64(v)).collect(),
+        );
+        let x: Vec<C> = inst.x_data.iter().map(|&v| C::from_u64(v)).collect();
+        let out = run_session(
+            &a,
+            &x,
+            &WorkerBehavior::ConsistentLiar {
+                row: row_sel % inst.n,
+                delta: C::from_u64(3),
+                alternate: false,
+            },
+            &[AuditorBehavior::Honest],
+            &SessionConfig::default(),
+        );
+        prop_assert!(!out.accepted);
+        prop_assert!(out.ops.commoner.total() <= 4, "commoner did {} ops", out.ops.commoner.total());
+    }
+
+    /// Interrogation length is logarithmic: at most ⌈log2 K⌉ + 1 query
+    /// rounds per audit.
+    #[test]
+    fn query_rounds_logarithmic(inst in instance(), row_sel in any::<usize>()) {
+        let (a, x) = build(&inst);
+        let out = run_session(
+            &a,
+            &x,
+            &WorkerBehavior::ConsistentLiar {
+                row: row_sel % inst.n,
+                delta: Fp61::ONE,
+                alternate: true,
+            },
+            &[AuditorBehavior::Honest],
+            &SessionConfig::default(),
+        );
+        let bound = (inst.k as f64).log2().ceil() as usize + 1;
+        prop_assert!(out.query_rounds <= bound,
+            "{} rounds > bound {bound} at K={}", out.query_rounds, inst.k);
+    }
+}

@@ -1,0 +1,180 @@
+//! Message-level adversarial interposition.
+//!
+//! Byzantine *node logic* (sending wrong values, equivocating in protocol
+//! messages) lives in the node implementations themselves; this module
+//! models the *network-level* powers the paper grants the adversary:
+//! scheduling (delaying messages up to the synchrony bound) and suppression
+//! of messages *from corrupted senders*. The simulator clamps
+//! [`Action::DelayUntil`] to the synchrony model's hard deadline, so no
+//! interceptor can violate the network model.
+
+use crate::sim::{Envelope, NodeId};
+use std::collections::HashSet;
+
+/// Adversarial verdict on an in-flight message.
+#[derive(Debug, Clone)]
+pub enum Action<M> {
+    /// Deliver normally (delay drawn from the synchrony model).
+    Deliver,
+    /// Silently drop (only meaningful for corrupted senders: honest-sender
+    /// messages are guaranteed delivery by the network model — interceptors
+    /// used in the experiments only drop messages from faulty nodes).
+    Drop,
+    /// Deliver at the given tick (clamped to the model's deadline).
+    DelayUntil(u64),
+    /// Replace with an arbitrary batch of messages from the same sender —
+    /// models a corrupted sender's equivocation at the network layer.
+    Replace(Vec<(NodeId, M)>),
+}
+
+/// A message-level adversary installed into the simulator.
+pub trait MessageInterceptor<M> {
+    /// Decides the fate of each message at send time.
+    fn intercept(&mut self, env: &Envelope<M>) -> Action<M>;
+}
+
+/// Drops every message originating from the configured (faulty) senders —
+/// models crash/withholding faults ("a malicious node may refrain from
+/// sending any messages", §5.2 partially-synchronous analysis).
+#[derive(Debug, Clone)]
+pub struct SilenceSenders {
+    silenced: HashSet<NodeId>,
+}
+
+impl SilenceSenders {
+    /// Creates an interceptor silencing the given nodes.
+    pub fn new(silenced: impl IntoIterator<Item = NodeId>) -> Self {
+        SilenceSenders {
+            silenced: silenced.into_iter().collect(),
+        }
+    }
+}
+
+impl<M> MessageInterceptor<M> for SilenceSenders {
+    fn intercept(&mut self, env: &Envelope<M>) -> Action<M> {
+        if self.silenced.contains(&env.from) {
+            Action::Drop
+        } else {
+            Action::Deliver
+        }
+    }
+}
+
+/// Delays every message as long as the synchrony model permits — the
+/// worst-case scheduler for partially synchronous liveness experiments.
+#[derive(Debug, Clone, Default)]
+pub struct MaxDelay;
+
+impl<M> MessageInterceptor<M> for MaxDelay {
+    fn intercept(&mut self, _env: &Envelope<M>) -> Action<M> {
+        Action::DelayUntil(u64::MAX)
+    }
+}
+
+/// Chains two interceptors: the first non-[`Action::Deliver`] verdict wins.
+pub struct Chain<A, B>(pub A, pub B);
+
+impl<A: std::fmt::Debug, B: std::fmt::Debug> std::fmt::Debug for Chain<A, B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Chain").field(&self.0).field(&self.1).finish()
+    }
+}
+
+impl<M, A: MessageInterceptor<M>, B: MessageInterceptor<M>> MessageInterceptor<M> for Chain<A, B> {
+    fn intercept(&mut self, env: &Envelope<M>) -> Action<M> {
+        match self.0.intercept(env) {
+            Action::Deliver => self.1.intercept(env),
+            other => other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{Context, Process, Simulator, SynchronyModel};
+
+    #[derive(Debug)]
+    struct Counter {
+        id: usize,
+        received: usize,
+    }
+
+    impl Process<u32> for Counter {
+        fn on_start(&mut self, ctx: &mut Context<u32>) {
+            ctx.multicast_others(self.id as u32);
+        }
+        fn on_message(&mut self, _from: NodeId, _msg: u32, _ctx: &mut Context<u32>) {
+            self.received += 1;
+        }
+    }
+
+    fn run_with(interceptor: Option<Box<dyn MessageInterceptor<u32>>>) -> (u64, u64) {
+        let nodes: Vec<Box<dyn Process<u32>>> = (0..4)
+            .map(|id| Box::new(Counter { id, received: 0 }) as Box<dyn Process<u32>>)
+            .collect();
+        let mut sim = Simulator::new(SynchronyModel::Synchronous { delta: 1 }, 7, nodes);
+        if let Some(i) = interceptor {
+            sim.set_interceptor(i);
+        }
+        let out = sim.run(50);
+        (out.delivered, out.dropped)
+    }
+
+    #[test]
+    fn no_interceptor_delivers_all() {
+        let (delivered, dropped) = run_with(None);
+        assert_eq!(delivered, 12); // 4 nodes × 3 peers
+        assert_eq!(dropped, 0);
+    }
+
+    #[test]
+    fn silencing_drops_only_targets() {
+        let (delivered, dropped) =
+            run_with(Some(Box::new(SilenceSenders::new([NodeId(0), NodeId(1)]))));
+        assert_eq!(dropped, 6); // 2 silenced × 3 peers
+        assert_eq!(delivered, 6);
+    }
+
+    #[test]
+    fn max_delay_respects_deadline() {
+        let nodes: Vec<Box<dyn Process<u32>>> = (0..3)
+            .map(|id| Box::new(Counter { id, received: 0 }) as Box<dyn Process<u32>>)
+            .collect();
+        let mut sim = Simulator::new(
+            SynchronyModel::PartiallySynchronous { gst: 30, delta: 2 },
+            7,
+            nodes,
+        );
+        sim.set_interceptor(Box::new(MaxDelay));
+        let out = sim.run(100);
+        assert_eq!(out.delivered, 6);
+        assert!(out.ended_at <= 32, "delivered no later than GST+Δ");
+    }
+
+    #[test]
+    fn chain_first_verdict_wins() {
+        let mut chain: Chain<SilenceSenders, MaxDelay> =
+            Chain(SilenceSenders::new([NodeId(0)]), MaxDelay);
+        let env = Envelope {
+            from: NodeId(0),
+            to: NodeId(1),
+            msg: 1u32,
+            sent_at: 0,
+        };
+        assert!(matches!(
+            MessageInterceptor::<u32>::intercept(&mut chain, &env),
+            Action::Drop
+        ));
+        let env2 = Envelope {
+            from: NodeId(2),
+            to: NodeId(1),
+            msg: 1u32,
+            sent_at: 0,
+        };
+        assert!(matches!(
+            MessageInterceptor::<u32>::intercept(&mut chain, &env2),
+            Action::DelayUntil(_)
+        ));
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the network substrate: delivery guarantees of
+//! both synchrony models, MAC unforgeability, and simulator determinism.
+
+use csm_network::auth::{KeyRegistry, Signature};
+use csm_network::{Context, NodeId, Process, Simulator, SynchronyModel};
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Every node broadcasts one message at t = 0; receivers record arrival
+/// times on a shared board.
+struct Recorder {
+    id: usize,
+    board: Rc<RefCell<Vec<Vec<u64>>>>,
+}
+
+impl Process<u64> for Recorder {
+    fn on_start(&mut self, ctx: &mut Context<u64>) {
+        ctx.multicast_others(self.id as u64);
+    }
+    fn on_message(&mut self, _from: NodeId, _msg: u64, ctx: &mut Context<u64>) {
+        self.board.borrow_mut()[self.id].push(ctx.now());
+    }
+}
+
+fn run_recording(model: SynchronyModel, n: usize, seed: u64) -> Vec<Vec<u64>> {
+    let board = Rc::new(RefCell::new(vec![Vec::new(); n]));
+    let nodes: Vec<Box<dyn Process<u64>>> = (0..n)
+        .map(|id| {
+            Box::new(Recorder {
+                id,
+                board: Rc::clone(&board),
+            }) as Box<dyn Process<u64>>
+        })
+        .collect();
+    let mut sim = Simulator::new(model, seed, nodes);
+    sim.run(1_000_000);
+    let out = board.borrow().clone();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Synchronous: every message arrives exactly at Δ.
+    #[test]
+    fn synchronous_delivery_at_delta(n in 2usize..8, delta in 1u64..10, seed in any::<u64>()) {
+        let times = run_recording(SynchronyModel::Synchronous { delta }, n, seed);
+        for (i, arrivals) in times.iter().enumerate() {
+            prop_assert_eq!(arrivals.len(), n - 1, "node {} missed messages", i);
+            prop_assert!(arrivals.iter().all(|&t| t == delta));
+        }
+    }
+
+    /// Partially synchronous: every message arrives by GST + Δ, none
+    /// before t = 1, and all are delivered.
+    #[test]
+    fn partial_synchrony_delivery_by_gst(
+        n in 2usize..8,
+        gst in 0u64..100,
+        delta in 1u64..5,
+        seed in any::<u64>(),
+    ) {
+        let times = run_recording(
+            SynchronyModel::PartiallySynchronous { gst, delta },
+            n,
+            seed,
+        );
+        for arrivals in &times {
+            prop_assert_eq!(arrivals.len(), n - 1);
+            for &t in arrivals {
+                prop_assert!(t >= 1);
+                prop_assert!(t <= gst + delta, "arrival {t} past GST+Δ = {}", gst + delta);
+            }
+        }
+    }
+
+    /// Determinism: identical seeds give identical arrival traces.
+    #[test]
+    fn simulator_is_deterministic(n in 2usize..6, gst in 1u64..50, seed in any::<u64>()) {
+        let m = SynchronyModel::PartiallySynchronous { gst, delta: 2 };
+        prop_assert_eq!(run_recording(m, n, seed), run_recording(m, n, seed));
+    }
+
+    /// MAC unforgeability model: tampering with any part of a signed
+    /// message invalidates it; honest verification always succeeds.
+    #[test]
+    fn mac_soundness(
+        n in 1usize..8,
+        signer in 0usize..8,
+        payload in any::<(u64, u32, bool)>(),
+        tamper_bit in 0u32..64,
+        seed in any::<u64>(),
+    ) {
+        let signer = signer % n;
+        let reg = KeyRegistry::new(n, seed);
+        let sig = reg.sign(NodeId(signer), &payload);
+        prop_assert!(reg.verify(&payload, &sig));
+        // flipped-tag forgery
+        let forged = Signature { tag: sig.tag ^ (1u64 << tamper_bit), ..sig };
+        prop_assert!(!reg.verify(&payload, &forged));
+        // altered payload
+        let altered = (payload.0.wrapping_add(1), payload.1, payload.2);
+        prop_assert!(!reg.verify(&altered, &sig));
+        // cross-signer replay
+        if n > 1 {
+            let other = Signature { signer: NodeId((signer + 1) % n), ..sig };
+            prop_assert!(!reg.verify(&payload, &other));
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! # csm-reed-solomon
+//!
+//! Reed–Solomon codes over *arbitrary* evaluation points, with
+//! error-and-erasure decoding.
+//!
+//! This is the "noisy polynomial interpolation" engine of the Coded State
+//! Machine (§5.2): each honest node `i` contributes one evaluation
+//! `g_i = h_t(α_i)` of the composite polynomial
+//! `h_t(z) = f(u_t(z), v_t(z))` of degree `≤ d(K−1)`; up to `b` contributions
+//! are arbitrarily wrong (Byzantine) and, in the partially synchronous
+//! setting, up to `b` more are missing (erasures). Decoding a Reed–Solomon
+//! code of dimension `d(K−1)+1` and length `N` recovers `h_t`, from which
+//! every `(S_k(t+1), Y_k(t)) = h_t(ω_k)` follows.
+//!
+//! Two decoders are provided (same guarantees, different constants —
+//! compared in the `rs_decode` bench):
+//!
+//! * [`BerlekampWelch`] — the classical linear-system decoder the paper
+//!   cites for its bound `2b ≤ N − d(K−1) − 1`;
+//! * [`Gao`] — the extended-Euclidean decoder, asymptotically cheaper with
+//!   fast polynomial arithmetic.
+//!
+//! ## Example
+//!
+//! ```
+//! use csm_algebra::{distinct_elements, Field, Fp61, Poly};
+//! use csm_reed_solomon::RsCode;
+//!
+//! // length-10 code of dimension 4: corrects (10-4)/2 = 3 errors.
+//! let points: Vec<Fp61> = distinct_elements(0, 10);
+//! let code = RsCode::new(points, 4).unwrap();
+//! let msg: Vec<Fp61> = (1..=4).map(Fp61::from_u64).collect();
+//! let mut word: Vec<Option<Fp61>> = code.encode(&msg).unwrap().into_iter().map(Some).collect();
+//!
+//! // Three Byzantine corruptions.
+//! word[1] = Some(Fp61::from_u64(999));
+//! word[4] = Some(Fp61::from_u64(123));
+//! word[7] = Some(Fp61::from_u64(77));
+//!
+//! let decoded = code.decode(&word).unwrap();
+//! assert_eq!(decoded.message(), &msg[..]);
+//! assert_eq!(decoded.error_positions(), &[1, 4, 7]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod code;
+mod decoder;
+
+pub use code::{Decoded, RsCode, RsError};
+pub use decoder::{BerlekampWelch, Decoder, Gao};

@@ -1,0 +1,135 @@
+//! Property-based tests: for any message and any error pattern within the
+//! decoding radius, both decoders recover the message exactly — this is the
+//! correctness guarantee CSM's execution phase rests on (§5.2).
+
+use csm_algebra::{distinct_elements, Field, Fp61, Gf2_16};
+use csm_reed_solomon::{BerlekampWelch, Decoder, Gao, RsCode};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    n: usize,
+    k: usize,
+    message: Vec<u64>,
+    error_positions: Vec<usize>,
+    erasure_positions: Vec<usize>,
+    error_deltas: Vec<u64>,
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (4usize..24)
+        .prop_flat_map(|n| (Just(n), 1usize..=n.min(8)))
+        .prop_flat_map(|(n, k)| {
+            let budget = n - k; // errors*2 + erasures <= budget
+            (
+                Just(n),
+                Just(k),
+                prop::collection::vec(any::<u64>(), k),
+                prop::collection::vec(0usize..n, 0..=(budget / 2)),
+                prop::collection::vec(0usize..n, 0..=budget),
+                prop::collection::vec(1u64..u64::MAX, n),
+            )
+        })
+        .prop_map(|(n, k, message, errs, erases, deltas)| {
+            // dedupe and make errors/erasures disjoint, then trim to budget
+            let mut erasure_positions: Vec<usize> = erases;
+            erasure_positions.sort_unstable();
+            erasure_positions.dedup();
+            let mut error_positions: Vec<usize> = errs
+                .into_iter()
+                .filter(|p| !erasure_positions.contains(p))
+                .collect();
+            error_positions.sort_unstable();
+            error_positions.dedup();
+            // enforce 2e + r <= n - k by trimming
+            while 2 * error_positions.len() + erasure_positions.len() > n - k {
+                if !error_positions.is_empty() {
+                    error_positions.pop();
+                } else {
+                    erasure_positions.pop();
+                }
+            }
+            Scenario {
+                n,
+                k,
+                message,
+                error_positions,
+                erasure_positions,
+                error_deltas: deltas,
+            }
+        })
+}
+
+fn run<F: Field, D: Decoder>(s: &Scenario, decoder: &D, embed: impl Fn(u64) -> F) {
+    let code = RsCode::new(distinct_elements::<F>(0, s.n), s.k).unwrap();
+    let msg: Vec<F> = s.message.iter().map(|&m| embed(m)).collect();
+    let cw = code.encode(&msg).unwrap();
+    let mut word: Vec<Option<F>> = cw.iter().copied().map(Some).collect();
+    for &p in &s.erasure_positions {
+        word[p] = None;
+    }
+    for &p in &s.error_positions {
+        word[p] = Some(cw[p] + embed(s.error_deltas[p]) + F::ONE);
+    }
+    let decoded = code.decode_with(decoder, &word).unwrap();
+    assert_eq!(decoded.message(), &msg[..]);
+    // every reported error position was actually corrupted
+    for &p in decoded.error_positions() {
+        assert!(s.error_positions.contains(&p));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bw_decodes_within_radius_fp61(s in scenario()) {
+        run::<Fp61, _>(&s, &BerlekampWelch, Fp61::from_u64);
+    }
+
+    #[test]
+    fn gao_decodes_within_radius_fp61(s in scenario()) {
+        run::<Fp61, _>(&s, &Gao, Fp61::from_u64);
+    }
+
+    #[test]
+    fn bw_decodes_within_radius_gf2m(s in scenario()) {
+        run::<Gf2_16, _>(&s, &BerlekampWelch, Gf2_16::from_u64);
+    }
+
+    #[test]
+    fn gao_decodes_within_radius_gf2m(s in scenario()) {
+        run::<Gf2_16, _>(&s, &Gao, Gf2_16::from_u64);
+    }
+
+    #[test]
+    fn decoders_agree(s in scenario()) {
+        let code = RsCode::new(distinct_elements::<Fp61>(0, s.n), s.k).unwrap();
+        let msg: Vec<Fp61> = s.message.iter().map(|&m| Fp61::from_u64(m)).collect();
+        let cw = code.encode(&msg).unwrap();
+        let mut word: Vec<Option<Fp61>> = cw.iter().copied().map(Some).collect();
+        for &p in &s.error_positions {
+            word[p] = Some(cw[p] + Fp61::from_u64(s.error_deltas[p]) + Fp61::ONE);
+        }
+        let bw = code.decode_with(&BerlekampWelch, &word).unwrap();
+        let gao = code.decode_with(&Gao, &word).unwrap();
+        prop_assert_eq!(bw.poly(), gao.poly());
+    }
+
+    #[test]
+    fn tau_set_meets_threshold_within_radius(s in scenario()) {
+        // §6.2: a correct decoding always has |τ| ≥ (N + K' + 1)/2.
+        let code = RsCode::new(distinct_elements::<Fp61>(0, s.n), s.k).unwrap();
+        let msg: Vec<Fp61> = s.message.iter().map(|&m| Fp61::from_u64(m)).collect();
+        let cw = code.encode(&msg).unwrap();
+        let mut word: Vec<Option<Fp61>> = cw.iter().copied().map(Some).collect();
+        for &p in &s.error_positions {
+            word[p] = Some(cw[p] + Fp61::ONE);
+        }
+        if s.erasure_positions.is_empty() {
+            let d = code.decode(&word).unwrap();
+            let tau = code.consistency_set(d.poly(), &word);
+            prop_assert!(tau.len() >= code.tau_threshold());
+        }
+    }
+}

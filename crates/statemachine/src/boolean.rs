@@ -1,0 +1,407 @@
+//! Appendix A: Boolean functions as polynomials, and their embedding into
+//! binary extension fields.
+//!
+//! Any Boolean function `f : {0,1}ⁿ → {0,1}` can be represented by a
+//! polynomial of degree ≤ n (Zou's construction, reference \[52\] in the
+//! paper): for
+//! each input vector `a` with `f(a) = 1`, include the monomial
+//! `h_a = z_1 z_2 ⋯ z_n` where `z_i = x_i` if `a_i = 1` and `z_i = 1 + x_i`
+//! otherwise; then `p = Σ_{a ∈ S_1} h_a`.
+//!
+//! Over `GF(2)` there are too few evaluation points for Lagrange coding, so
+//! (Appendix A, eq. (13)) each bit is embedded into `GF(2^m)` with
+//! `2^m ≥ N`: `0 ↦ 00…0`, `1 ↦ 00…01`. Because `p` is a sum of monomials
+//! with 0/1 coefficients, the polynomial's value on embedded inputs is the
+//! embedding of its Boolean value — verified by the tests in this module.
+
+use crate::multipoly::MultiPoly;
+use crate::transition::PolyTransition;
+use csm_algebra::Field;
+
+/// A Boolean function `{0,1}ⁿ → {0,1}` given by its truth table.
+///
+/// # Examples
+///
+/// ```
+/// use csm_statemachine::boolean::BooleanFunction;
+/// use csm_algebra::{Field, Gf2_16};
+///
+/// let xor = BooleanFunction::from_fn(2, |bits| bits[0] ^ bits[1]);
+/// let p = xor.to_polynomial::<Gf2_16>();
+/// assert_eq!(p.eval(&[Gf2_16::ONE, Gf2_16::ZERO]), Gf2_16::ONE);
+/// assert_eq!(p.eval(&[Gf2_16::ONE, Gf2_16::ONE]), Gf2_16::ZERO);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BooleanFunction {
+    n: usize,
+    /// `table[idx]` = f(bits of idx), LSB = variable 0.
+    table: Vec<bool>,
+}
+
+impl BooleanFunction {
+    /// Builds a function on `n` variables from its truth table
+    /// (`table[idx]` is the value at the input whose bit `i` is
+    /// `(idx >> i) & 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table.len() != 2^n` or `n > 20` (the polynomial expansion
+    /// is exponential in `n`).
+    pub fn new(n: usize, table: Vec<bool>) -> Self {
+        assert!(n <= 20, "Boolean functions limited to 20 variables");
+        assert_eq!(table.len(), 1 << n, "truth table must have 2^n entries");
+        BooleanFunction { n, table }
+    }
+
+    /// Builds a function by evaluating `f` on every input combination.
+    pub fn from_fn(n: usize, f: impl Fn(&[bool]) -> bool) -> Self {
+        assert!(n <= 20, "Boolean functions limited to 20 variables");
+        let table = (0..1usize << n)
+            .map(|idx| {
+                let bits: Vec<bool> = (0..n).map(|i| (idx >> i) & 1 == 1).collect();
+                f(&bits)
+            })
+            .collect();
+        BooleanFunction { n, table }
+    }
+
+    /// Number of input variables.
+    pub fn num_vars(&self) -> usize {
+        self.n
+    }
+
+    /// Evaluates on a Boolean input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != n`.
+    pub fn eval(&self, bits: &[bool]) -> bool {
+        assert_eq!(bits.len(), self.n, "input arity mismatch");
+        let idx = bits
+            .iter()
+            .enumerate()
+            .fold(0usize, |acc, (i, &b)| acc | ((b as usize) << i));
+        self.table[idx]
+    }
+
+    /// Zou's construction: the degree-≤ n polynomial representing this
+    /// function over any field of characteristic 2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `F` does not have characteristic 2 — the construction's
+    /// coefficients live in `GF(2)`.
+    pub fn to_polynomial<F: Field>(&self) -> MultiPoly<F> {
+        assert_eq!(
+            F::characteristic(),
+            2,
+            "Zou construction requires characteristic-2 fields"
+        );
+        let mut acc = MultiPoly::zero(self.n);
+        for idx in 0..self.table.len() {
+            if !self.table[idx] {
+                continue;
+            }
+            // h_a = Π z_i, z_i = x_i if a_i = 1 else (1 + x_i)
+            let mut h = MultiPoly::constant(self.n, F::ONE);
+            for i in 0..self.n {
+                let xi = MultiPoly::var(self.n, i);
+                let zi = if (idx >> i) & 1 == 1 {
+                    xi
+                } else {
+                    xi.add(&MultiPoly::constant(self.n, F::ONE))
+                };
+                h = h.mul(&zi);
+            }
+            acc = acc.add(&h);
+        }
+        acc
+    }
+}
+
+/// Embeds a bit into a characteristic-2 field per Appendix A eq. (13).
+pub fn embed_bit<F: Field>(b: bool) -> F {
+    if b {
+        F::ONE
+    } else {
+        F::ZERO
+    }
+}
+
+/// Embeds a bit vector.
+pub fn embed_bits<F: Field>(bits: &[bool]) -> Vec<F> {
+    bits.iter().map(|&b| embed_bit(b)).collect()
+}
+
+/// Extracts a bit from its field embedding, or `None` if the element is
+/// neither `0` nor `1` (which signals a corrupted value).
+pub fn extract_bit<F: Field>(x: F) -> Option<bool> {
+    if x.is_zero() {
+        Some(false)
+    } else if x.is_one() {
+        Some(true)
+    } else {
+        None
+    }
+}
+
+/// Extracts a bit vector, failing on any non-bit element.
+pub fn extract_bits<F: Field>(xs: &[F]) -> Option<Vec<bool>> {
+    xs.iter().map(|&x| extract_bit(x)).collect()
+}
+
+/// A bit-level state machine: `state_bits` of state, `input_bits` of input,
+/// with each next-state bit and output bit given by a [`BooleanFunction`]
+/// over the concatenated `(state, input)` bits.
+#[derive(Debug, Clone)]
+pub struct BooleanMachine {
+    state_bits: usize,
+    input_bits: usize,
+    next_state: Vec<BooleanFunction>,
+    output: Vec<BooleanFunction>,
+}
+
+impl BooleanMachine {
+    /// Creates a machine from per-bit Boolean functions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any function's arity differs from
+    /// `state_bits + input_bits`.
+    pub fn new(
+        state_bits: usize,
+        input_bits: usize,
+        next_state: Vec<BooleanFunction>,
+        output: Vec<BooleanFunction>,
+    ) -> Self {
+        let arity = state_bits + input_bits;
+        for f in next_state.iter().chain(&output) {
+            assert_eq!(f.num_vars(), arity, "Boolean function arity mismatch");
+        }
+        BooleanMachine {
+            state_bits,
+            input_bits,
+            next_state,
+            output,
+        }
+    }
+
+    /// Number of state bits.
+    pub fn state_bits(&self) -> usize {
+        self.state_bits
+    }
+
+    /// Number of input bits.
+    pub fn input_bits(&self) -> usize {
+        self.input_bits
+    }
+
+    /// Direct bit-level execution (the reference semantics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state or input slices have the wrong lengths.
+    pub fn step(&self, state: &[bool], input: &[bool]) -> (Vec<bool>, Vec<bool>) {
+        assert_eq!(state.len(), self.state_bits, "state arity mismatch");
+        assert_eq!(input.len(), self.input_bits, "input arity mismatch");
+        let mut point = state.to_vec();
+        point.extend_from_slice(input);
+        let next = self.next_state.iter().map(|f| f.eval(&point)).collect();
+        let out = self.output.iter().map(|f| f.eval(&point)).collect();
+        (next, out)
+    }
+
+    /// Compiles the machine into a [`PolyTransition`] over a
+    /// characteristic-2 field — the Appendix-A pathway into CSM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `F` does not have characteristic 2.
+    pub fn compile<F: Field>(&self) -> PolyTransition<F> {
+        let next = self
+            .next_state
+            .iter()
+            .map(BooleanFunction::to_polynomial)
+            .collect();
+        let out = self
+            .output
+            .iter()
+            .map(BooleanFunction::to_polynomial)
+            .collect();
+        PolyTransition::new(self.state_bits, self.input_bits, next, out)
+            .expect("compiled polynomials have checked arity")
+    }
+}
+
+/// A `bits`-bit binary counter machine: one input bit (increment enable);
+/// output is the carry-out. A classic sequential circuit for end-to-end
+/// tests.
+pub fn counter_machine(bits: usize) -> BooleanMachine {
+    let arity = bits + 1;
+    // next_state[i] = s_i XOR (enable AND s_0 AND ... AND s_{i-1})
+    let next: Vec<BooleanFunction> = (0..bits)
+        .map(|i| {
+            BooleanFunction::from_fn(arity, move |v| {
+                let (state, enable) = (&v[..bits], v[bits]);
+                let carry_in = enable && state[..i].iter().all(|&b| b);
+                state[i] ^ carry_in
+            })
+        })
+        .collect();
+    let carry_out = BooleanFunction::from_fn(arity, move |v| {
+        let (state, enable) = (&v[..bits], v[bits]);
+        enable && state.iter().all(|&b| b)
+    });
+    BooleanMachine::new(bits, 1, next, vec![carry_out])
+}
+
+/// A 3-input majority-vote machine: state is one bit (last decision), input
+/// is 3 bits; next state and output are the majority of the inputs.
+pub fn majority_machine() -> BooleanMachine {
+    let maj = BooleanFunction::from_fn(4, |v| {
+        (v[1] as u8 + v[2] as u8 + v[3] as u8) >= 2
+    });
+    BooleanMachine::new(1, 3, vec![maj.clone()], vec![maj])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csm_algebra::{Gf2_16, Gf2_8};
+
+    #[test]
+    fn truth_table_roundtrip() {
+        let and = BooleanFunction::from_fn(2, |v| v[0] && v[1]);
+        assert!(!and.eval(&[true, false]));
+        assert!(and.eval(&[true, true]));
+        let manual = BooleanFunction::new(2, vec![false, false, false, true]);
+        assert_eq!(and, manual);
+    }
+
+    #[test]
+    fn zou_polynomial_matches_function_exhaustively() {
+        for n in 1..=4usize {
+            // a pseudo-random but deterministic function
+            let f = BooleanFunction::from_fn(n, |v| {
+                v.iter()
+                    .enumerate()
+                    .fold(0usize, |a, (i, &b)| a ^ ((b as usize) << (i % 2)))
+                    == 1
+            });
+            let p = f.to_polynomial::<Gf2_16>();
+            assert!(p.total_degree() as usize <= n);
+            for idx in 0..1usize << n {
+                let bits: Vec<bool> = (0..n).map(|i| (idx >> i) & 1 == 1).collect();
+                let embedded = embed_bits::<Gf2_16>(&bits);
+                assert_eq!(
+                    extract_bit(p.eval(&embedded)),
+                    Some(f.eval(&bits)),
+                    "n={n}, idx={idx}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zou_degree_bound_is_tight_for_and() {
+        // AND of n variables is the single monomial x_1⋯x_n: degree exactly n.
+        let and = BooleanFunction::from_fn(3, |v| v.iter().all(|&b| b));
+        let p = and.to_polynomial::<Gf2_8>();
+        assert_eq!(p.total_degree(), 3);
+        assert_eq!(p.terms().len(), 1);
+    }
+
+    #[test]
+    fn xor_polynomial_is_linear() {
+        let xor = BooleanFunction::from_fn(2, |v| v[0] ^ v[1]);
+        let p = xor.to_polynomial::<Gf2_16>();
+        assert_eq!(p.total_degree(), 1); // x0 + x1 over GF(2)
+    }
+
+    #[test]
+    #[should_panic(expected = "characteristic-2")]
+    fn zou_rejects_odd_characteristic() {
+        use csm_algebra::Fp61;
+        let f = BooleanFunction::from_fn(1, |v| v[0]);
+        let _ = f.to_polynomial::<Fp61>();
+    }
+
+    #[test]
+    fn counter_counts() {
+        let m = counter_machine(3);
+        let mut state = vec![false, false, false];
+        for step in 1..=8usize {
+            let (next, out) = m.step(&state, &[true]);
+            state = next;
+            let value = state
+                .iter()
+                .enumerate()
+                .fold(0usize, |a, (i, &b)| a | ((b as usize) << i));
+            assert_eq!(value, step % 8, "step {step}");
+            assert_eq!(out[0], step == 8, "carry at step {step}");
+        }
+        // disabled increment holds state
+        let (held, out) = m.step(&[true, false, true], &[false]);
+        assert_eq!(held, vec![true, false, true]);
+        assert!(!out[0]);
+    }
+
+    #[test]
+    fn compiled_counter_matches_bit_semantics() {
+        let m = counter_machine(2);
+        let compiled = m.compile::<Gf2_16>();
+        assert_eq!(compiled.state_dim(), 2);
+        assert_eq!(compiled.input_dim(), 1);
+        for s in 0..4usize {
+            for e in 0..2usize {
+                let bits = [s & 1 == 1, s & 2 == 2];
+                let en = [e == 1];
+                let (bn, bo) = m.step(&bits, &en);
+                let (fen, feo) = compiled
+                    .apply(&embed_bits::<Gf2_16>(&bits), &embed_bits::<Gf2_16>(&en))
+                    .unwrap();
+                assert_eq!(extract_bits(&fen).unwrap(), bn);
+                assert_eq!(extract_bits(&feo).unwrap(), bo);
+            }
+        }
+    }
+
+    #[test]
+    fn majority_machine_votes() {
+        let m = majority_machine();
+        let (_, out) = m.step(&[false], &[true, true, false]);
+        assert!(out[0]);
+        let (_, out) = m.step(&[true], &[false, false, true]);
+        assert!(!out[0]);
+        // compiled version agrees
+        let c = m.compile::<Gf2_8>();
+        let (_, out) = c
+            .apply(
+                &embed_bits::<Gf2_8>(&[false]),
+                &embed_bits::<Gf2_8>(&[true, false, true]),
+            )
+            .unwrap();
+        assert_eq!(extract_bit(out[0]), Some(true));
+    }
+
+    #[test]
+    fn embedding_is_invariant_under_polynomial_composition() {
+        // The paper's Appendix-A claim: evaluating the polynomial on
+        // embedded bits yields embedded outputs, i.e. values stay in {0,1}.
+        let f = BooleanFunction::from_fn(3, |v| (v[0] ^ v[1]) || v[2]);
+        let p = f.to_polynomial::<Gf2_32>();
+        for idx in 0..8usize {
+            let bits: Vec<bool> = (0..3).map(|i| (idx >> i) & 1 == 1).collect();
+            let out = p.eval(&embed_bits::<Gf2_32>(&bits));
+            assert!(extract_bit(out).is_some(), "output left the bit embedding");
+        }
+    }
+
+    use csm_algebra::Gf2_32;
+
+    #[test]
+    fn extract_rejects_non_bits() {
+        assert_eq!(extract_bit(Gf2_16::from_u64(2)), None);
+        assert_eq!(extract_bits(&[Gf2_16::ONE, Gf2_16::from_u64(5)]), None);
+    }
+}

@@ -1,0 +1,34 @@
+//! # csm-statemachine
+//!
+//! Multivariate-polynomial state machines — the class of state transition
+//! functions the Coded State Machine supports (§4: "a general class of state
+//! transition functions that are multivariate polynomials of maximum degree
+//! `d`").
+//!
+//! * [`MultiPoly`] — sparse multivariate polynomials over a
+//!   [`csm_algebra::Field`].
+//! * [`PolyTransition`] — a deterministic state machine
+//!   `(S(t+1), Y(t)) = f(S(t), X(t))` whose every output coordinate is a
+//!   `MultiPoly` in the state and input coordinates.
+//! * [`machines`] — concrete machines used throughout the examples, tests
+//!   and benchmarks (bank accounts, compound interest, degree-`d` power
+//!   maps, vector-linear machines).
+//! * [`boolean`] — Appendix A: the Zou construction compiling an arbitrary
+//!   Boolean function into a polynomial over `GF(2)`, and its embedding into
+//!   `GF(2^m)` so that CSM's Lagrange coding has enough evaluation points.
+//!
+//! The property that makes CSM work is *algebraic transparency*: because `f`
+//! is a polynomial, applying it to Lagrange-coded inputs yields evaluations
+//! of the composite polynomial `h(z) = f(u(z), v(z))` — see
+//! [`PolyTransition::composite_degree_bound`] and the tests in this crate.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod boolean;
+pub mod machines;
+mod multipoly;
+mod transition;
+
+pub use multipoly::{MultiPoly, Term};
+pub use transition::{PolyTransition, TransitionError};

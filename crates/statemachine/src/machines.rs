@@ -1,0 +1,196 @@
+//! Concrete polynomial state machines used by examples, tests, and the
+//! benchmark harness.
+//!
+//! These instantiate the workloads the paper motivates: "multiple financial
+//! institutes manage their users' accounts" (§1) and "updating the balance
+//! of a bank account is a linear function of the current balance and the
+//! incoming deposit/withdrawal" (§4), plus higher-degree machines that
+//! exercise the `d`-dependence of the CSM bounds.
+
+use crate::multipoly::MultiPoly;
+use crate::transition::PolyTransition;
+use csm_algebra::{Field, Matrix};
+
+/// The bank-account machine (degree 1):
+/// `S′ = S + X`, `Y = S + X` — deposit/withdraw and report the new balance.
+///
+/// # Examples
+///
+/// ```
+/// use csm_algebra::{Field, Fp61};
+/// use csm_statemachine::machines::bank_machine;
+///
+/// let m = bank_machine::<Fp61>();
+/// assert_eq!(m.degree(), 1);
+/// let (s, y) = m.apply(&[Fp61::from_u64(10)], &[Fp61::from_u64(5)]).unwrap();
+/// assert_eq!(s, y);
+/// ```
+pub fn bank_machine<F: Field>() -> PolyTransition<F> {
+    let s_plus_x = MultiPoly::from_terms(2, vec![(F::ONE, vec![1, 0]), (F::ONE, vec![0, 1])]);
+    PolyTransition::new(1, 1, vec![s_plus_x.clone()], vec![s_plus_x])
+        .expect("bank machine arity is consistent")
+}
+
+/// The compound-interest machine (degree 2):
+/// `S′ = S·(1 + X) = S + S·X`, `Y = S·X` — accrue interest at rate `X` and
+/// report the interest amount.
+pub fn interest_machine<F: Field>() -> PolyTransition<F> {
+    let next = MultiPoly::from_terms(2, vec![(F::ONE, vec![1, 0]), (F::ONE, vec![1, 1])]);
+    let out = MultiPoly::from_terms(2, vec![(F::ONE, vec![1, 1])]);
+    PolyTransition::new(1, 1, vec![next], vec![out])
+        .expect("interest machine arity is consistent")
+}
+
+/// The degree-`d` power-map machine:
+/// `S′ = S^d + X`, `Y = S^d − X`.
+///
+/// Used to sweep the degree parameter in the Table 1 / Theorem 1
+/// experiments, since the number of supportable machines is
+/// `K = ⌊(1−2µ)N/d + 1 − 1/d⌋`.
+///
+/// # Panics
+///
+/// Panics if `d == 0`.
+pub fn power_machine<F: Field>(d: u32) -> PolyTransition<F> {
+    assert!(d >= 1, "power machine degree must be at least 1");
+    let sd = MultiPoly::from_terms(2, vec![(F::ONE, vec![d, 0])]);
+    let x = MultiPoly::var(2, 1);
+    let next = sd.add(&x);
+    let out = sd.add(&x.scale(-F::ONE));
+    PolyTransition::new(1, 1, vec![next], vec![out])
+        .expect("power machine arity is consistent")
+}
+
+/// A vector-linear machine (degree 1) on `dim`-dimensional states:
+/// `S′ = A·S + B·X`, `Y = S′` — models accounts with internal transfers.
+///
+/// # Panics
+///
+/// Panics if `a` is not `dim × dim` or `b` is not `dim × dim`.
+pub fn vector_linear_machine<F: Field>(
+    dim: usize,
+    a: &Matrix<F>,
+    b: &Matrix<F>,
+) -> PolyTransition<F> {
+    assert_eq!((a.rows(), a.cols()), (dim, dim), "A must be dim × dim");
+    assert_eq!((b.rows(), b.cols()), (dim, dim), "B must be dim × dim");
+    let nv = 2 * dim;
+    let mut next = Vec::with_capacity(dim);
+    for i in 0..dim {
+        let mut terms = Vec::with_capacity(nv);
+        for j in 0..dim {
+            let mut e = vec![0u32; nv];
+            e[j] = 1;
+            terms.push((a[(i, j)], e));
+        }
+        for j in 0..dim {
+            let mut e = vec![0u32; nv];
+            e[dim + j] = 1;
+            terms.push((b[(i, j)], e));
+        }
+        next.push(MultiPoly::from_terms(nv, terms));
+    }
+    let output = next.clone();
+    PolyTransition::new(dim, dim, next, output)
+        .expect("vector linear machine arity is consistent")
+}
+
+/// A quadratic "auction pool" machine (degree 2) on 2-dimensional states:
+/// state `(p, q)`, input `(x, y)`:
+/// `p′ = p + x·q`, `q′ = q + y`, output `(p·q, x·y)`.
+///
+/// Exercises multi-coordinate states with cross-terms, the hardest shape
+/// for the coded execution path to get right.
+pub fn auction_machine<F: Field>() -> PolyTransition<F> {
+    // vars: [p, q, x, y]
+    let p_next = MultiPoly::from_terms(4, vec![(F::ONE, vec![1, 0, 0, 0]), (F::ONE, vec![0, 1, 1, 0])]);
+    let q_next = MultiPoly::from_terms(4, vec![(F::ONE, vec![0, 1, 0, 0]), (F::ONE, vec![0, 0, 0, 1])]);
+    let out0 = MultiPoly::from_terms(4, vec![(F::ONE, vec![1, 1, 0, 0])]);
+    let out1 = MultiPoly::from_terms(4, vec![(F::ONE, vec![0, 0, 1, 1])]);
+    PolyTransition::new(2, 2, vec![p_next, q_next], vec![out0, out1])
+        .expect("auction machine arity is consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csm_algebra::{Fp61, Gf2_16};
+
+    fn f(v: u64) -> Fp61 {
+        Fp61::from_u64(v)
+    }
+
+    #[test]
+    fn bank_machine_is_linear() {
+        let m = bank_machine::<Fp61>();
+        assert_eq!(m.degree(), 1);
+        let (s, y) = m.apply(&[f(100)], &[f(42)]).unwrap();
+        assert_eq!(s[0], f(142));
+        assert_eq!(y[0], f(142));
+        // withdrawal via negative delta
+        let (s, _) = m.apply(&[f(100)], &[-f(30)]).unwrap();
+        assert_eq!(s[0], f(70));
+    }
+
+    #[test]
+    fn interest_machine_compounds() {
+        let m = interest_machine::<Fp61>();
+        assert_eq!(m.degree(), 2);
+        // 100 at 5% (represented as integer rate 5 for field arithmetic):
+        // S' = 100·(1+5) = 600, Y = 500
+        let (s, y) = m.apply(&[f(100)], &[f(5)]).unwrap();
+        assert_eq!(s[0], f(600));
+        assert_eq!(y[0], f(500));
+    }
+
+    #[test]
+    fn power_machine_degrees() {
+        for d in 1..=5u32 {
+            let m = power_machine::<Fp61>(d);
+            assert_eq!(m.degree(), d);
+            let (s, y) = m.apply(&[f(3)], &[f(10)]).unwrap();
+            assert_eq!(s[0], f(3u64.pow(d) + 10));
+            assert_eq!(y[0], f(3u64.pow(d)) - f(10));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn power_machine_rejects_zero_degree() {
+        let _ = power_machine::<Fp61>(0);
+    }
+
+    #[test]
+    fn vector_linear_machine_matches_matrix_action() {
+        let a = Matrix::from_rows(2, 2, vec![f(1), f(2), f(0), f(1)]);
+        let b = Matrix::identity(2);
+        let m = vector_linear_machine(2, &a, &b);
+        assert_eq!(m.degree(), 1);
+        let state = vec![f(10), f(20)];
+        let input = vec![f(1), f(2)];
+        let (next, out) = m.apply(&state, &input).unwrap();
+        // A·S + B·X = [10+40, 20] + [1,2] = [51, 22]
+        assert_eq!(next, vec![f(51), f(22)]);
+        assert_eq!(out, next);
+    }
+
+    #[test]
+    fn auction_machine_cross_terms() {
+        let m = auction_machine::<Fp61>();
+        assert_eq!(m.degree(), 2);
+        assert_eq!(m.state_dim(), 2);
+        assert_eq!(m.output_dim(), 2);
+        let (next, out) = m.apply(&[f(3), f(4)], &[f(5), f(6)]).unwrap();
+        assert_eq!(next, vec![f(3 + 5 * 4), f(4 + 6)]);
+        assert_eq!(out, vec![f(12), f(30)]);
+    }
+
+    #[test]
+    fn machines_work_over_gf2m() {
+        let m = bank_machine::<Gf2_16>();
+        let (s, _) = m
+            .apply(&[Gf2_16::from_u64(0xAB)], &[Gf2_16::from_u64(0xCD)])
+            .unwrap();
+        assert_eq!(s[0], Gf2_16::from_u64(0xAB ^ 0xCD)); // char-2 addition
+    }
+}

@@ -1,0 +1,362 @@
+//! Sparse multivariate polynomials.
+
+use csm_algebra::Field;
+
+/// A single monomial `coeff · Π_j x_j^exps[j]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Term<F> {
+    /// Coefficient of the monomial.
+    pub coeff: F,
+    /// Exponent of each variable; length equals the polynomial's variable
+    /// count.
+    pub exps: Vec<u32>,
+}
+
+impl<F: Field> Term<F> {
+    /// Creates a term.
+    pub fn new(coeff: F, exps: Vec<u32>) -> Self {
+        Term { coeff, exps }
+    }
+
+    /// Total degree of the monomial.
+    pub fn degree(&self) -> u32 {
+        self.exps.iter().sum()
+    }
+}
+
+/// A sparse multivariate polynomial in `num_vars` variables.
+///
+/// The representation is normalized: terms are sorted by exponent vector,
+/// like terms combined, zero coefficients dropped.
+///
+/// # Examples
+///
+/// ```
+/// use csm_algebra::{Field, Fp61};
+/// use csm_statemachine::MultiPoly;
+///
+/// // p(s, x) = s·x + 2s  (degree 2 in 2 variables)
+/// let p = MultiPoly::from_terms(2, vec![
+///     (Fp61::ONE, vec![1, 1]),
+///     (Fp61::from_u64(2), vec![1, 0]),
+/// ]);
+/// assert_eq!(p.total_degree(), 2);
+/// assert_eq!(
+///     p.eval(&[Fp61::from_u64(3), Fp61::from_u64(4)]),
+///     Fp61::from_u64(18)
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiPoly<F> {
+    num_vars: usize,
+    terms: Vec<Term<F>>,
+}
+
+impl<F: Field> MultiPoly<F> {
+    /// The zero polynomial in `num_vars` variables.
+    pub fn zero(num_vars: usize) -> Self {
+        MultiPoly {
+            num_vars,
+            terms: Vec::new(),
+        }
+    }
+
+    /// The constant polynomial `c`.
+    pub fn constant(num_vars: usize, c: F) -> Self {
+        Self::from_terms(num_vars, vec![(c, vec![0; num_vars])])
+    }
+
+    /// The single variable `x_idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= num_vars`.
+    pub fn var(num_vars: usize, idx: usize) -> Self {
+        assert!(idx < num_vars, "variable index out of range");
+        let mut exps = vec![0; num_vars];
+        exps[idx] = 1;
+        Self::from_terms(num_vars, vec![(F::ONE, exps)])
+    }
+
+    /// Builds a polynomial from `(coeff, exponent-vector)` pairs,
+    /// normalizing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any exponent vector's length differs from `num_vars`.
+    pub fn from_terms(num_vars: usize, terms: Vec<(F, Vec<u32>)>) -> Self {
+        for (_, e) in &terms {
+            assert_eq!(e.len(), num_vars, "exponent vector length mismatch");
+        }
+        let mut p = MultiPoly {
+            num_vars,
+            terms: terms
+                .into_iter()
+                .map(|(coeff, exps)| Term { coeff, exps })
+                .collect(),
+        };
+        p.normalize();
+        p
+    }
+
+    fn normalize(&mut self) {
+        self.terms.sort_by(|a, b| a.exps.cmp(&b.exps));
+        let mut out: Vec<Term<F>> = Vec::with_capacity(self.terms.len());
+        for t in self.terms.drain(..) {
+            match out.last_mut() {
+                Some(last) if last.exps == t.exps => last.coeff += t.coeff,
+                _ => out.push(t),
+            }
+        }
+        out.retain(|t| !t.coeff.is_zero());
+        self.terms = out;
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The normalized terms.
+    pub fn terms(&self) -> &[Term<F>] {
+        &self.terms
+    }
+
+    /// Whether this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Total degree (max over monomials of the sum of exponents); zero
+    /// polynomial has degree 0 by convention.
+    pub fn total_degree(&self) -> u32 {
+        self.terms.iter().map(Term::degree).max().unwrap_or(0)
+    }
+
+    /// Evaluates at a point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point.len() != num_vars`.
+    pub fn eval(&self, point: &[F]) -> F {
+        assert_eq!(point.len(), self.num_vars, "evaluation point arity mismatch");
+        let mut acc = F::ZERO;
+        for t in &self.terms {
+            let mut m = t.coeff;
+            for (x, &e) in point.iter().zip(&t.exps) {
+                if e > 0 {
+                    m *= x.pow(e as u64);
+                }
+            }
+            acc += m;
+        }
+        acc
+    }
+
+    /// Polynomial sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if variable counts differ.
+    pub fn add(&self, rhs: &Self) -> Self {
+        assert_eq!(self.num_vars, rhs.num_vars, "variable count mismatch");
+        let mut terms: Vec<(F, Vec<u32>)> = self
+            .terms
+            .iter()
+            .map(|t| (t.coeff, t.exps.clone()))
+            .collect();
+        terms.extend(rhs.terms.iter().map(|t| (t.coeff, t.exps.clone())));
+        Self::from_terms(self.num_vars, terms)
+    }
+
+    /// Polynomial product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if variable counts differ.
+    pub fn mul(&self, rhs: &Self) -> Self {
+        assert_eq!(self.num_vars, rhs.num_vars, "variable count mismatch");
+        let mut terms = Vec::with_capacity(self.terms.len() * rhs.terms.len());
+        for a in &self.terms {
+            for b in &rhs.terms {
+                let exps: Vec<u32> = a.exps.iter().zip(&b.exps).map(|(&x, &y)| x + y).collect();
+                terms.push((a.coeff * b.coeff, exps));
+            }
+        }
+        Self::from_terms(self.num_vars, terms)
+    }
+
+    /// Scales by a constant.
+    pub fn scale(&self, c: F) -> Self {
+        Self::from_terms(
+            self.num_vars,
+            self.terms
+                .iter()
+                .map(|t| (t.coeff * c, t.exps.clone()))
+                .collect(),
+        )
+    }
+
+    /// Substitutes a univariate polynomial for every variable:
+    /// `h(z) = p(s_1(z), …, s_m(z))` — the *composite polynomial* at the
+    /// heart of §5.2, where the `s_j` are the Lagrange polynomials
+    /// `u_t`/`v_t` and `h` is what Reed–Solomon decoding recovers.
+    ///
+    /// The resulting degree is at most
+    /// `total_degree() · max_j deg(s_j)` — the paper's `d(K−1)` bound when
+    /// every substitution has degree `K−1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `substitutions.len() != num_vars`.
+    pub fn compose(&self, substitutions: &[csm_algebra::Poly<F>]) -> csm_algebra::Poly<F> {
+        assert_eq!(
+            substitutions.len(),
+            self.num_vars,
+            "one substitution polynomial per variable"
+        );
+        let mut acc = csm_algebra::Poly::<F>::zero();
+        for t in &self.terms {
+            let mut mono = csm_algebra::Poly::constant(t.coeff);
+            for (s, &e) in substitutions.iter().zip(&t.exps) {
+                for _ in 0..e {
+                    mono = mono * s.clone();
+                }
+            }
+            acc = acc + mono;
+        }
+        acc
+    }
+
+    /// Maps the coefficients into another field (used by the Appendix-A
+    /// embedding `GF(2) → GF(2^m)`).
+    pub fn map_coeffs<G: Field>(&self, f: impl Fn(F) -> G) -> MultiPoly<G> {
+        MultiPoly::from_terms(
+            self.num_vars,
+            self.terms
+                .iter()
+                .map(|t| (f(t.coeff), t.exps.clone()))
+                .collect(),
+        )
+    }
+}
+
+impl<F: Field> std::fmt::Display for MultiPoly<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        for t in &self.terms {
+            if !first {
+                write!(f, " + ")?;
+            }
+            first = false;
+            write!(f, "{}", t.coeff)?;
+            for (j, &e) in t.exps.iter().enumerate() {
+                match e {
+                    0 => {}
+                    1 => write!(f, "·x{j}")?,
+                    _ => write!(f, "·x{j}^{e}")?,
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csm_algebra::{Fp61, Gf2_16};
+
+    fn v(p: &MultiPoly<Fp61>, xs: &[u64]) -> u64 {
+        let pt: Vec<Fp61> = xs.iter().map(|&x| Fp61::from_u64(x)).collect();
+        p.eval(&pt).to_canonical_u64()
+    }
+
+    #[test]
+    fn normalization_combines_and_drops() {
+        let p = MultiPoly::from_terms(
+            2,
+            vec![
+                (Fp61::from_u64(3), vec![1, 0]),
+                (Fp61::from_u64(4), vec![1, 0]),
+                (Fp61::from_u64(0), vec![0, 1]),
+            ],
+        );
+        assert_eq!(p.terms().len(), 1);
+        assert_eq!(p.terms()[0].coeff, Fp61::from_u64(7));
+    }
+
+    #[test]
+    fn cancellation_gives_zero() {
+        let a = MultiPoly::var(1, 0);
+        let b = a.scale(-Fp61::ONE);
+        assert!(a.add(&b).is_zero());
+        assert_eq!(a.add(&b).total_degree(), 0);
+    }
+
+    #[test]
+    fn eval_simple() {
+        // p = 2·x0^2·x1 + 5
+        let p = MultiPoly::from_terms(
+            2,
+            vec![
+                (Fp61::from_u64(2), vec![2, 1]),
+                (Fp61::from_u64(5), vec![0, 0]),
+            ],
+        );
+        assert_eq!(v(&p, &[3, 4]), 2 * 9 * 4 + 5);
+        assert_eq!(p.total_degree(), 3);
+    }
+
+    #[test]
+    fn mul_is_eval_homomorphic() {
+        let a = MultiPoly::from_terms(
+            3,
+            vec![(Fp61::ONE, vec![1, 1, 0]), (Fp61::from_u64(2), vec![0, 0, 1])],
+        );
+        let b = MultiPoly::from_terms(
+            3,
+            vec![(Fp61::from_u64(3), vec![0, 2, 0]), (Fp61::ONE, vec![0, 0, 0])],
+        );
+        let prod = a.mul(&b);
+        let pt = [Fp61::from_u64(2), Fp61::from_u64(3), Fp61::from_u64(4)];
+        assert_eq!(prod.eval(&pt), a.eval(&pt) * b.eval(&pt));
+        assert_eq!(prod.total_degree(), a.total_degree() + b.total_degree());
+    }
+
+    #[test]
+    fn var_and_constant() {
+        let x1 = MultiPoly::<Fp61>::var(3, 1);
+        assert_eq!(v(&x1, &[10, 20, 30]), 20);
+        let c = MultiPoly::constant(3, Fp61::from_u64(9));
+        assert_eq!(v(&c, &[1, 2, 3]), 9);
+        assert_eq!(c.total_degree(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn eval_wrong_arity_panics() {
+        let p = MultiPoly::<Fp61>::var(2, 0);
+        let _ = p.eval(&[Fp61::ONE]);
+    }
+
+    #[test]
+    fn map_coeffs_to_gf2m() {
+        let p = MultiPoly::from_terms(1, vec![(Fp61::ONE, vec![3])]);
+        let q: MultiPoly<Gf2_16> = p.map_coeffs(|c| Gf2_16::from_u64(c.to_canonical_u64()));
+        assert_eq!(q.eval(&[Gf2_16::from_u64(2)]), Gf2_16::from_u64(2).pow(3));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let p = MultiPoly::from_terms(
+            2,
+            vec![(Fp61::from_u64(2), vec![1, 2]), (Fp61::ONE, vec![0, 0])],
+        );
+        assert_eq!(format!("{p}"), "1 + 2·x0·x1^2");
+        assert_eq!(format!("{}", MultiPoly::<Fp61>::zero(2)), "0");
+    }
+}

@@ -1,0 +1,156 @@
+//! The central algebraic lemma of the paper (§5.2): for a polynomial
+//! transition function `f` of degree `d` and Lagrange polynomials `u, v` of
+//! degree `K−1`, the map `z ↦ f(u(z), v(z))` is itself a polynomial of
+//! degree ≤ `d(K−1)`, and evaluating it at `ω_k` recovers `f(S_k, X_k)`.
+//!
+//! These tests verify the lemma directly, machine by machine, without any
+//! cluster machinery: they interpolate states/commands, run `f` on coded
+//! points, re-interpolate the composite polynomial from `d(K−1)+1` clean
+//! evaluations, and check it agrees with uncoded execution.
+
+use csm_algebra::{distinct_elements, Field, Fp61, Gf2_16, Poly};
+use csm_statemachine::machines::{
+    auction_machine, bank_machine, interest_machine, power_machine,
+};
+use csm_statemachine::PolyTransition;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+/// Runs the transparency check for one machine over one field.
+fn check_transparency<F: Field>(machine: &PolyTransition<F>, k: usize, seed: u64) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let sd = machine.state_dim();
+    let xd = machine.input_dim();
+    let kk = machine.composite_degree_bound(k) + 1; // evaluations needed
+    let omegas: Vec<F> = distinct_elements(0, k);
+    let alphas: Vec<F> = distinct_elements(k as u64, kk);
+
+    // random states and commands for K machines
+    let states: Vec<Vec<F>> = (0..k)
+        .map(|_| (0..sd).map(|_| F::random(&mut rng)).collect())
+        .collect();
+    let commands: Vec<Vec<F>> = (0..k)
+        .map(|_| (0..xd).map(|_| F::random(&mut rng)).collect())
+        .collect();
+
+    // coordinate-wise Lagrange polynomials u_j, v_j
+    let u: Vec<Poly<F>> = (0..sd)
+        .map(|j| {
+            let vals: Vec<F> = states.iter().map(|s| s[j]).collect();
+            Poly::interpolate(&omegas, &vals)
+        })
+        .collect();
+    let v: Vec<Poly<F>> = (0..xd)
+        .map(|j| {
+            let vals: Vec<F> = commands.iter().map(|c| c[j]).collect();
+            Poly::interpolate(&omegas, &vals)
+        })
+        .collect();
+
+    // coded execution at each α_i
+    let coded_results: Vec<Vec<F>> = alphas
+        .iter()
+        .map(|&a| {
+            let coded_state: Vec<F> = u.iter().map(|p| p.eval(a)).collect();
+            let coded_cmd: Vec<F> = v.iter().map(|p| p.eval(a)).collect();
+            machine.apply_flat(&coded_state, &coded_cmd).unwrap()
+        })
+        .collect();
+
+    // interpolate the composite polynomial per output coordinate and compare
+    let out_dim = sd + machine.output_dim();
+    for j in 0..out_dim {
+        let ys: Vec<F> = coded_results.iter().map(|r| r[j]).collect();
+        let h = Poly::interpolate(&alphas, &ys);
+        assert!(
+            h.degree().map_or(true, |d| d <= machine.composite_degree_bound(k)),
+            "composite degree {:?} exceeds bound {}",
+            h.degree(),
+            machine.composite_degree_bound(k)
+        );
+        for (kk_idx, &w) in omegas.iter().enumerate() {
+            let expect = machine
+                .apply_flat(&states[kk_idx], &commands[kk_idx])
+                .unwrap()[j];
+            assert_eq!(
+                h.eval(w),
+                expect,
+                "h(ω_{kk_idx}) must equal uncoded execution, coord {j}"
+            );
+        }
+    }
+}
+
+#[test]
+fn bank_machine_is_transparent() {
+    for k in [1usize, 2, 3, 7] {
+        check_transparency(&bank_machine::<Fp61>(), k, 11 + k as u64);
+        check_transparency(&bank_machine::<Gf2_16>(), k, 13 + k as u64);
+    }
+}
+
+#[test]
+fn interest_machine_is_transparent() {
+    for k in [2usize, 4, 5] {
+        check_transparency(&interest_machine::<Fp61>(), k, 17 + k as u64);
+    }
+}
+
+#[test]
+fn power_machines_are_transparent() {
+    for d in 1..=4u32 {
+        check_transparency(&power_machine::<Fp61>(d), 3, 23 + d as u64);
+        check_transparency(&power_machine::<Gf2_16>(d), 3, 29 + d as u64);
+    }
+}
+
+#[test]
+fn auction_machine_is_transparent() {
+    check_transparency(&auction_machine::<Fp61>(), 4, 31);
+    check_transparency(&auction_machine::<Gf2_16>(), 4, 37);
+}
+
+#[test]
+fn boolean_counter_is_transparent_after_compilation() {
+    use csm_statemachine::boolean::counter_machine;
+    let compiled = counter_machine(2).compile::<Gf2_16>();
+    // Boolean inputs only make sense bitwise, but transparency is an
+    // algebraic identity valid for arbitrary field values too.
+    check_transparency(&compiled, 3, 41);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Transparency for random degree/k combinations on the power machine.
+    #[test]
+    fn transparency_random_params(d in 1u32..4, k in 1usize..6, seed in any::<u64>()) {
+        check_transparency(&power_machine::<Fp61>(d), k, seed);
+    }
+
+    /// Linear combinations of states encode/decode exactly (eq. (7)):
+    /// coded state at α equals Σ_k c_k S_k with Lagrange coefficients.
+    #[test]
+    fn lagrange_coefficients_match_interpolation(
+        vals in prop::collection::vec(any::<u64>(), 2..8),
+        alpha_idx in 0u64..50,
+    ) {
+        let k = vals.len();
+        let omegas: Vec<Fp61> = distinct_elements(0, k);
+        let alpha = Fp61::from_u64(1000 + alpha_idx);
+        let states: Vec<Fp61> = vals.iter().map(|&v| Fp61::from_u64(v)).collect();
+        let u = Poly::interpolate(&omegas, &states);
+        // c_k = Π_{ℓ≠k} (α−ω_ℓ)/(ω_k−ω_ℓ)
+        let mut direct = Fp61::ZERO;
+        for kk in 0..k {
+            let mut c = Fp61::ONE;
+            for l in 0..k {
+                if l != kk {
+                    c *= (alpha - omegas[l]) / (omegas[kk] - omegas[l]);
+                }
+            }
+            direct += c * states[kk];
+        }
+        prop_assert_eq!(u.eval(alpha), direct);
+    }
+}

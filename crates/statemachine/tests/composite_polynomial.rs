@@ -1,0 +1,132 @@
+//! The composite polynomial `h(z) = f(u(z), v(z))` (§5.2), computed
+//! **symbolically** and checked against both direct coded execution and
+//! the paper's degree bound `deg h ≤ d(K−1)`.
+//!
+//! This closes the loop three ways: (1) symbolic `h` evaluated at `α_i`
+//! equals `f(coded state, coded command)`; (2) symbolic `h` at `ω_k`
+//! equals uncoded execution; (3) the interpolated polynomial the decoder
+//! recovers *is* the symbolic `h`.
+
+use csm_algebra::{distinct_elements, Field, Fp61, Gf2_16, Poly};
+use csm_statemachine::machines::{auction_machine, bank_machine, interest_machine, power_machine};
+use csm_statemachine::{MultiPoly, PolyTransition};
+use rand::{Rng, SeedableRng};
+
+fn check_symbolic<F: Field>(machine: &PolyTransition<F>, k: usize, seed: u64) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let omegas: Vec<F> = distinct_elements(0, k);
+    let n_eval = machine.composite_degree_bound(k) + 1;
+    let alphas: Vec<F> = distinct_elements(k as u64, n_eval);
+
+    let states: Vec<Vec<F>> = (0..k)
+        .map(|_| (0..machine.state_dim()).map(|_| F::random(&mut rng)).collect())
+        .collect();
+    let commands: Vec<Vec<F>> = (0..k)
+        .map(|_| (0..machine.input_dim()).map(|_| F::random(&mut rng)).collect())
+        .collect();
+
+    let u: Vec<Poly<F>> = (0..machine.state_dim())
+        .map(|j| {
+            let vals: Vec<F> = states.iter().map(|s| s[j]).collect();
+            Poly::interpolate(&omegas, &vals)
+        })
+        .collect();
+    let v: Vec<Poly<F>> = (0..machine.input_dim())
+        .map(|j| {
+            let vals: Vec<F> = commands.iter().map(|c| c[j]).collect();
+            Poly::interpolate(&omegas, &vals)
+        })
+        .collect();
+
+    let composites = machine.composite_polys(&u, &v);
+    assert_eq!(
+        composites.len(),
+        machine.state_dim() + machine.output_dim()
+    );
+
+    for (j, h) in composites.iter().enumerate() {
+        // (degree bound)
+        assert!(
+            h.degree().map_or(true, |d| d <= machine.composite_degree_bound(k)),
+            "coord {j}: deg {:?} > bound {}",
+            h.degree(),
+            machine.composite_degree_bound(k)
+        );
+        // (1) h(α_i) = f(S̃_i, X̃_i)
+        for &a in &alphas {
+            let coded_state: Vec<F> = u.iter().map(|p| p.eval(a)).collect();
+            let coded_cmd: Vec<F> = v.iter().map(|p| p.eval(a)).collect();
+            let g = machine.apply_flat(&coded_state, &coded_cmd).unwrap();
+            assert_eq!(h.eval(a), g[j], "coord {j} at α = {a}");
+        }
+        // (2) h(ω_k) = f(S_k, X_k)
+        for (kk, &w) in omegas.iter().enumerate() {
+            let expect = machine.apply_flat(&states[kk], &commands[kk]).unwrap()[j];
+            assert_eq!(h.eval(w), expect, "coord {j} at ω_{kk}");
+        }
+        // (3) the decoder's interpolation recovers exactly h
+        let evals: Vec<F> = alphas
+            .iter()
+            .map(|&a| {
+                let cs: Vec<F> = u.iter().map(|p| p.eval(a)).collect();
+                let cc: Vec<F> = v.iter().map(|p| p.eval(a)).collect();
+                machine.apply_flat(&cs, &cc).unwrap()[j]
+            })
+            .collect();
+        assert_eq!(&Poly::interpolate(&alphas, &evals), h, "coord {j}");
+    }
+}
+
+#[test]
+fn symbolic_composite_bank() {
+    for k in [1usize, 2, 5] {
+        check_symbolic(&bank_machine::<Fp61>(), k, 10 + k as u64);
+    }
+}
+
+#[test]
+fn symbolic_composite_interest_and_power() {
+    check_symbolic(&interest_machine::<Fp61>(), 4, 21);
+    for d in 1..=4u32 {
+        check_symbolic(&power_machine::<Fp61>(d), 3, 30 + d as u64);
+    }
+}
+
+#[test]
+fn symbolic_composite_auction_gf2m() {
+    check_symbolic(&auction_machine::<Gf2_16>(), 3, 44);
+    check_symbolic(&auction_machine::<Fp61>(), 4, 45);
+}
+
+#[test]
+fn compose_matches_pointwise_evaluation() {
+    // direct MultiPoly::compose check on a hand-built polynomial
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    // p(x, y) = 3x²y + 5y + 7
+    let p = MultiPoly::from_terms(
+        2,
+        vec![
+            (Fp61::from_u64(3), vec![2, 1]),
+            (Fp61::from_u64(5), vec![0, 1]),
+            (Fp61::from_u64(7), vec![0, 0]),
+        ],
+    );
+    let sx = Poly::new((0..3).map(|_| Fp61::from_u64(rng.gen())).collect::<Vec<_>>());
+    let sy = Poly::new((0..2).map(|_| Fp61::from_u64(rng.gen())).collect::<Vec<_>>());
+    let h = p.compose(&[sx.clone(), sy.clone()]);
+    for t in 0..20u64 {
+        let z = Fp61::from_u64(t * 101 + 3);
+        assert_eq!(h.eval(z), p.eval(&[sx.eval(z), sy.eval(z)]));
+    }
+    // degree: 2·deg(sx) + deg(sy) = 4 + 1
+    assert_eq!(h.degree(), Some(5));
+}
+
+#[test]
+fn compose_zero_and_constant() {
+    let zero = MultiPoly::<Fp61>::zero(2);
+    let c = MultiPoly::constant(2, Fp61::from_u64(9));
+    let subs = vec![Poly::constant(Fp61::ONE), Poly::constant(Fp61::ONE)];
+    assert!(zero.compose(&subs).is_zero());
+    assert_eq!(c.compose(&subs), Poly::constant(Fp61::from_u64(9)));
+}

@@ -1,0 +1,175 @@
+//! Property-based tests on the full cluster: for *any* machine in the
+//! supported class, any state/command values, and any Byzantine subset
+//! within the Theorem-1/2 bounds, every round decodes correctly and the
+//! reference oracle is matched. This is the paper's Correctness property
+//! quantified over the model, not just spot-checked.
+
+use coded_state_machine::algebra::{Field, Fp61, Gf2_16};
+use coded_state_machine::csm::metrics::csm_max_machines;
+use coded_state_machine::csm::{CsmClusterBuilder, FaultSpec, SynchronyMode};
+use coded_state_machine::statemachine::machines::{
+    auction_machine, bank_machine, interest_machine, power_machine,
+};
+use coded_state_machine::statemachine::PolyTransition;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum MachineKind {
+    Bank,
+    Interest,
+    Power(u32),
+    Auction,
+}
+
+fn machine_kind() -> impl Strategy<Value = MachineKind> {
+    prop_oneof![
+        Just(MachineKind::Bank),
+        Just(MachineKind::Interest),
+        (1u32..4).prop_map(MachineKind::Power),
+        Just(MachineKind::Auction),
+    ]
+}
+
+fn instantiate<F: Field>(kind: MachineKind) -> PolyTransition<F> {
+    match kind {
+        MachineKind::Bank => bank_machine(),
+        MachineKind::Interest => interest_machine(),
+        MachineKind::Power(d) => power_machine(d),
+        MachineKind::Auction => auction_machine(),
+    }
+}
+
+fn fault_menu(i: usize) -> FaultSpec {
+    match i % 4 {
+        0 => FaultSpec::CorruptResult,
+        1 => FaultSpec::OffsetResult,
+        2 => FaultSpec::Equivocate,
+        _ => FaultSpec::Withhold,
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    kind: MachineKind,
+    n: usize,
+    b: usize,
+    sync: SynchronyMode,
+    seed: u64,
+    rounds: usize,
+    /// raw values used to derive states/commands
+    raw: Vec<u64>,
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (
+        machine_kind(),
+        8usize..20,
+        0usize..4,
+        prop::bool::ANY,
+        any::<u64>(),
+        1usize..4,
+        prop::collection::vec(any::<u64>(), 64),
+    )
+        .prop_map(|(kind, n, b, psync, seed, rounds, raw)| Scenario {
+            kind,
+            n,
+            b,
+            sync: if psync {
+                SynchronyMode::PartiallySynchronous
+            } else {
+                SynchronyMode::Synchronous
+            },
+            seed,
+            rounds,
+            raw,
+        })
+}
+
+fn run_scenario<F: Field>(s: &Scenario) -> Result<(), TestCaseError> {
+    let machine = instantiate::<F>(s.kind);
+    let d = machine.degree();
+    let k = csm_max_machines(s.n, s.b, d, s.sync);
+    if k == 0 {
+        return Ok(()); // configuration unsupportable; nothing to check
+    }
+    let sd = machine.state_dim();
+    let xd = machine.input_dim();
+    let mut raw = s.raw.iter().cycle().copied();
+    let states: Vec<Vec<F>> = (0..k)
+        .map(|_| (0..sd).map(|_| F::from_u64(raw.next().unwrap())).collect())
+        .collect();
+    let mut builder = CsmClusterBuilder::<F>::new(s.n, k)
+        .transition(machine)
+        .initial_states(states)
+        .synchrony(s.sync)
+        .assumed_faults(s.b)
+        .seed(s.seed);
+    for i in 0..s.b {
+        builder = builder.fault(s.n - 1 - i, fault_menu(i));
+    }
+    let mut cluster = builder.build().expect("valid configuration");
+    for _ in 0..s.rounds {
+        let cmds: Vec<Vec<F>> = (0..k)
+            .map(|_| (0..xd).map(|_| F::from_u64(raw.next().unwrap())).collect())
+            .collect();
+        let report = cluster.step(cmds).expect("within bound");
+        prop_assert!(report.correct, "scenario {s:?}");
+        // flagged nodes must be among the injected Byzantine set
+        for &e in &report.detected_error_nodes {
+            prop_assert!(e >= s.n - s.b, "honest node {e} flagged in {s:?}");
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn any_machine_any_faults_within_bound_fp61(s in scenario()) {
+        run_scenario::<Fp61>(&s)?;
+    }
+
+    #[test]
+    fn any_machine_any_faults_within_bound_gf2m(s in scenario()) {
+        run_scenario::<Gf2_16>(&s)?;
+    }
+
+    /// Storage invariant: coded state size never depends on K.
+    #[test]
+    fn coded_state_size_is_constant(n in 8usize..24, seed in any::<u64>()) {
+        let k_max = csm_max_machines(n, 1, 1, SynchronyMode::Synchronous);
+        for k in [1usize, k_max / 2, k_max] {
+            if k == 0 { continue; }
+            let cluster = CsmClusterBuilder::<Fp61>::new(n, k)
+                .transition(bank_machine::<Fp61>())
+                .initial_states((0..k as u64).map(|i| vec![Fp61::from_u64(i ^ seed)]).collect())
+                .build()
+                .unwrap();
+            for i in 0..n {
+                prop_assert_eq!(cluster.coded_state(i).len(), 1);
+            }
+        }
+    }
+
+    /// Determinism: identical configuration + commands => identical reports.
+    #[test]
+    fn clusters_are_deterministic(seed in any::<u64>(), v in any::<u64>()) {
+        let build = || {
+            CsmClusterBuilder::<Fp61>::new(9, 3)
+                .transition(bank_machine::<Fp61>())
+                .initial_states(vec![vec![Fp61::from_u64(v)]; 3])
+                .fault(8, FaultSpec::CorruptResult)
+                .assumed_faults(1)
+                .seed(seed)
+                .build()
+                .unwrap()
+        };
+        let cmds = vec![vec![Fp61::from_u64(v ^ 1)]; 3];
+        let r1 = build().step(cmds.clone()).unwrap();
+        let r2 = build().step(cmds).unwrap();
+        prop_assert_eq!(r1.outputs, r2.outputs);
+        prop_assert_eq!(r1.new_states, r2.new_states);
+        prop_assert_eq!(r1.detected_error_nodes, r2.detected_error_nodes);
+    }
+}

@@ -1,0 +1,95 @@
+//! Decoder ablation at the cluster level: Berlekamp–Welch and Gao must
+//! produce bit-identical round reports in every configuration (the
+//! DESIGN.md "BW vs Gao" ablation, asserted rather than eyeballed).
+
+use coded_state_machine::algebra::{Field, Fp61, Gf2_16};
+use coded_state_machine::csm::{
+    CodingMode, CsmClusterBuilder, DecoderKind, FaultSpec, SynchronyMode,
+};
+use coded_state_machine::statemachine::machines::{bank_machine, interest_machine};
+
+fn f(v: u64) -> Fp61 {
+    Fp61::from_u64(v)
+}
+
+fn build<FF: Field>(
+    decoder: DecoderKind,
+    sync: SynchronyMode,
+    coding: CodingMode,
+) -> coded_state_machine::csm::CsmCluster<FF> {
+    let k = 3;
+    let mut builder = CsmClusterBuilder::<FF>::new(14, k)
+        .transition(bank_machine::<FF>())
+        .initial_states((0..k as u64).map(|i| vec![FF::from_u64(50 * (i + 1))]).collect())
+        .decoder(decoder)
+        .synchrony(sync)
+        .coding(coding)
+        .assumed_faults(2)
+        .seed(77);
+    builder = builder.fault(0, FaultSpec::CorruptResult);
+    builder = builder.fault(1, FaultSpec::Withhold);
+    builder.build().unwrap()
+}
+
+#[test]
+fn bw_and_gao_identical_reports_synchronous() {
+    for coding in [
+        CodingMode::Distributed,
+        CodingMode::Centralized {
+            epsilon: 1e-3,
+            mu: 0.25,
+        },
+    ] {
+        let mut bw = build::<Fp61>(DecoderKind::BerlekampWelch, SynchronyMode::Synchronous, coding);
+        let mut gao = build::<Fp61>(DecoderKind::Gao, SynchronyMode::Synchronous, coding);
+        for r in 0..3u64 {
+            let cmds: Vec<Vec<Fp61>> = (0..3).map(|i| vec![f(i + r)]).collect();
+            let rb = bw.step(cmds.clone()).unwrap();
+            let rg = gao.step(cmds).unwrap();
+            assert!(rb.correct && rg.correct);
+            assert_eq!(rb.outputs, rg.outputs, "round {r} {coding:?}");
+            assert_eq!(rb.new_states, rg.new_states);
+            assert_eq!(rb.detected_error_nodes, rg.detected_error_nodes);
+        }
+    }
+}
+
+#[test]
+fn bw_and_gao_identical_reports_partial_synchrony() {
+    let mut bw = build::<Fp61>(
+        DecoderKind::BerlekampWelch,
+        SynchronyMode::PartiallySynchronous,
+        CodingMode::Distributed,
+    );
+    let mut gao = build::<Fp61>(
+        DecoderKind::Gao,
+        SynchronyMode::PartiallySynchronous,
+        CodingMode::Distributed,
+    );
+    for r in 0..3u64 {
+        let cmds: Vec<Vec<Fp61>> = (0..3).map(|i| vec![f(i + r + 1)]).collect();
+        let rb = bw.step(cmds.clone()).unwrap();
+        let rg = gao.step(cmds).unwrap();
+        assert!(rb.correct && rg.correct);
+        assert_eq!(rb.outputs, rg.outputs, "round {r}");
+    }
+}
+
+#[test]
+fn gao_over_gf2m_degree_two() {
+    let k = 2;
+    let mut cluster = CsmClusterBuilder::<Gf2_16>::new(12, k)
+        .transition(interest_machine::<Gf2_16>())
+        .initial_states((0..k as u64).map(|i| vec![Gf2_16::from_u64(0xA0 + i)]).collect())
+        .decoder(DecoderKind::Gao)
+        .fault(11, FaultSpec::OffsetResult)
+        .assumed_faults(2)
+        .build()
+        .unwrap();
+    for _ in 0..3 {
+        let cmds: Vec<Vec<Gf2_16>> = (0..k as u64).map(|i| vec![Gf2_16::from_u64(i + 1)]).collect();
+        let report = cluster.step(cmds).unwrap();
+        assert!(report.correct);
+        assert_eq!(report.detected_error_nodes, vec![11]);
+    }
+}

@@ -1,0 +1,269 @@
+//! Cross-crate end-to-end scenarios: centralized (INTERMIX) coding,
+//! Boolean machines over extension fields (Appendix A), consensus-mode
+//! integration, multi-round fault containment, and client delivery.
+
+use coded_state_machine::algebra::{Counting, Field, Fp61, Gf2_16};
+use coded_state_machine::csm::{
+    CodingMode, ConsensusMode, CsmClusterBuilder, FaultSpec, SynchronyMode,
+};
+use coded_state_machine::statemachine::boolean::{counter_machine, embed_bits, extract_bits};
+use coded_state_machine::statemachine::machines::{auction_machine, bank_machine};
+
+fn f(v: u64) -> Fp61 {
+    Fp61::from_u64(v)
+}
+
+#[test]
+fn centralized_coding_matches_distributed() {
+    let build = |coding: CodingMode| {
+        CsmClusterBuilder::<Fp61>::new(10, 3)
+            .transition(bank_machine::<Fp61>())
+            .initial_states(vec![vec![f(100)], vec![f(200)], vec![f(300)]])
+            .coding(coding)
+            .fault(9, FaultSpec::CorruptResult)
+            .assumed_faults(1)
+            .seed(7)
+            .build()
+            .unwrap()
+    };
+    let mut dist = build(CodingMode::Distributed);
+    let mut cent = build(CodingMode::Centralized {
+        epsilon: 0.01,
+        mu: 0.2,
+    });
+    for r in 0..3u64 {
+        let cmds = vec![vec![f(r + 1)], vec![f(r + 2)], vec![f(r + 3)]];
+        let rd = dist.step(cmds.clone()).unwrap();
+        let rc = cent.step(cmds).unwrap();
+        assert!(rd.correct && rc.correct, "round {r}");
+        assert_eq!(rd.outputs, rc.outputs, "round {r}");
+        assert_eq!(rd.new_states, rc.new_states, "round {r}");
+    }
+    // coded states agree across modes too
+    for i in 0..10 {
+        assert_eq!(dist.coded_state(i), cent.coded_state(i));
+    }
+}
+
+#[test]
+fn centralized_coding_concentrates_work() {
+    // over a Counting field, the centralized mode shifts coding work from
+    // everyone to the worker + auditors — the §6.2 premise.
+    type C = Counting<Fp61>;
+    let g = |v: u64| C::from_u64(v);
+    let n = 12;
+    let k = 4;
+    let build = |coding: CodingMode| {
+        CsmClusterBuilder::<C>::new(n, k)
+            .transition(bank_machine::<C>())
+            .initial_states((0..k as u64).map(|i| vec![g(i + 1)]).collect())
+            .coding(coding)
+            .seed(3)
+            .build()
+            .unwrap()
+    };
+    let mut dist = build(CodingMode::Distributed);
+    let mut cent = build(CodingMode::Centralized {
+        epsilon: 0.05,
+        mu: 0.25,
+    });
+    let cmds: Vec<Vec<C>> = (0..k as u64).map(|i| vec![g(i)]).collect();
+    let rd = dist.step(cmds.clone()).unwrap();
+    let rc = cent.step(cmds).unwrap();
+    // distributed: every node decodes (expensive); centralized: only the
+    // worker decodes. The *minimum* per-node cost drops dramatically.
+    let min_dist = rd.ops.per_node.iter().map(|o| o.total()).min().unwrap();
+    let min_cent = rc.ops.per_node.iter().map(|o| o.total()).min().unwrap();
+    assert!(
+        min_cent * 10 <= min_dist.max(1),
+        "commoners must be nearly idle: dist {min_dist}, cent {min_cent}"
+    );
+}
+
+#[test]
+fn boolean_counter_through_csm_appendix_a() {
+    // compile a 2-bit counter to polynomials over GF(2^16) and run K
+    // replicas of it under CSM with a Byzantine node.
+    let machine = counter_machine(2);
+    let compiled = machine.compile::<Gf2_16>();
+    let d = compiled.degree(); // 3 (carry chain)
+    let k = 2usize;
+    let n = 3 + (d as usize) * (k - 1) + 2 * 2; // dim + 2b with margin
+    let init: Vec<Vec<Gf2_16>> = (0..k)
+        .map(|_| embed_bits::<Gf2_16>(&[false, false]))
+        .collect();
+    let mut cluster = CsmClusterBuilder::<Gf2_16>::new(n, k)
+        .transition(compiled)
+        .initial_states(init)
+        .fault(0, FaultSpec::CorruptResult)
+        .assumed_faults(1)
+        .build()
+        .unwrap();
+    // drive both counters: machine 0 increments every round, machine 1
+    // every other round
+    let mut expected = [0u8, 0u8];
+    for r in 0..4u64 {
+        let en0 = true;
+        let en1 = r % 2 == 0;
+        let cmds = vec![
+            embed_bits::<Gf2_16>(&[en0]),
+            embed_bits::<Gf2_16>(&[en1]),
+        ];
+        let report = cluster.step(cmds).unwrap();
+        assert!(report.correct, "round {r}");
+        if en0 {
+            expected[0] = (expected[0] + 1) % 4;
+        }
+        if en1 {
+            expected[1] = (expected[1] + 1) % 4;
+        }
+        for (m, &exp) in expected.iter().enumerate() {
+            let bits = extract_bits(&report.new_states[m]).expect("states stay in {0,1}");
+            let value = bits[0] as u8 | ((bits[1] as u8) << 1);
+            assert_eq!(value, exp, "machine {m} round {r}");
+        }
+    }
+}
+
+#[test]
+fn dolev_strong_consensus_mode_end_to_end() {
+    let mut cluster = CsmClusterBuilder::<Fp61>::new(8, 2)
+        .transition(bank_machine::<Fp61>())
+        .initial_states(vec![vec![f(10)], vec![f(20)]])
+        .consensus(ConsensusMode::DolevStrong)
+        .fault(7, FaultSpec::CorruptResult) // silent in consensus, corrupt in execution
+        .assumed_faults(1)
+        .build()
+        .unwrap();
+    for r in 0..2u64 {
+        let report = cluster.step(vec![vec![f(r + 1)], vec![f(r + 2)]]).unwrap();
+        assert!(report.correct);
+        // decided commands are exactly the submitted ones (validity with an
+        // honest leader)
+        assert_eq!(report.decided_commands, vec![vec![f(r + 1)], vec![f(r + 2)]]);
+    }
+}
+
+#[test]
+fn dolev_strong_byzantine_leader_rotates() {
+    // round 0's leader (node 0) is Byzantine and equivocates; the cluster
+    // retries with node 1 and still agrees on a batch.
+    let mut cluster = CsmClusterBuilder::<Fp61>::new(8, 2)
+        .transition(bank_machine::<Fp61>())
+        .initial_states(vec![vec![f(10)], vec![f(20)]])
+        .consensus(ConsensusMode::DolevStrong)
+        .fault(0, FaultSpec::CorruptResult)
+        .assumed_faults(1)
+        .build()
+        .unwrap();
+    let report = cluster.step(vec![vec![f(5)], vec![f(6)]]).unwrap();
+    assert!(report.correct);
+}
+
+#[test]
+fn pbft_consensus_mode_end_to_end() {
+    let mut cluster = CsmClusterBuilder::<Fp61>::new(10, 2)
+        .transition(bank_machine::<Fp61>())
+        .initial_states(vec![vec![f(10)], vec![f(20)]])
+        .consensus(ConsensusMode::Pbft)
+        .synchrony(SynchronyMode::PartiallySynchronous)
+        .fault(9, FaultSpec::Withhold)
+        .assumed_faults(2)
+        .build()
+        .unwrap();
+    let report = cluster.step(vec![vec![f(1)], vec![f(2)]]).unwrap();
+    assert!(report.correct);
+}
+
+#[test]
+fn self_poisoning_node_is_detected_every_round() {
+    // a node that corrupts its own stored coded state produces bad results
+    // forever after; decoding flags it each round and the system stays
+    // correct.
+    let mut cluster = CsmClusterBuilder::<Fp61>::new(9, 2)
+        .transition(bank_machine::<Fp61>())
+        .initial_states(vec![vec![f(50)], vec![f(60)]])
+        .fault(4, FaultSpec::CorruptStateUpdate)
+        .assumed_faults(2)
+        .build()
+        .unwrap();
+    // round 0: node 4's state is still good (it poisons at update time)
+    let r0 = cluster.step(vec![vec![f(1)], vec![f(1)]]).unwrap();
+    assert!(r0.correct);
+    assert!(r0.detected_error_nodes.is_empty());
+    // rounds 1..: its results are wrong and detected
+    for r in 1..4u64 {
+        let report = cluster.step(vec![vec![f(1)], vec![f(1)]]).unwrap();
+        assert!(report.correct, "round {r}");
+        assert_eq!(report.detected_error_nodes, vec![4], "round {r}");
+    }
+}
+
+#[test]
+fn multi_coordinate_machine_with_faults() {
+    // auction machine: 2-dim state, 2-dim input, 2-dim output, degree 2
+    let k = 2usize;
+    let mut cluster = CsmClusterBuilder::<Fp61>::new(12, k)
+        .transition(auction_machine::<Fp61>())
+        .initial_states(vec![vec![f(10), f(2)], vec![f(20), f(3)]])
+        .fault(0, FaultSpec::OffsetResult)
+        .fault(1, FaultSpec::Equivocate)
+        .assumed_faults(2)
+        .build()
+        .unwrap();
+    for r in 0..3u64 {
+        let cmds = vec![vec![f(r + 1), f(1)], vec![f(r + 2), f(1)]];
+        let report = cluster.step(cmds).unwrap();
+        assert!(report.correct, "round {r}");
+        assert_eq!(report.outputs[0].len(), 2);
+        assert!(report.delivery.iter().all(|d| d.is_accepted()));
+    }
+}
+
+#[test]
+fn delivery_fails_when_honest_replies_insufficient() {
+    // 4 corrupt + assumed_faults=4 on 9 nodes: client needs 5 matching but
+    // only 5 honest remain — succeeds; with 5 corrupt it must fail.
+    let build = |corrupt: usize| {
+        let mut b = CsmClusterBuilder::<Fp61>::new(9, 2)
+            .transition(bank_machine::<Fp61>())
+            .initial_states(vec![vec![f(1)], vec![f(2)]])
+            .assumed_faults(corrupt);
+        for i in 0..corrupt {
+            // withholding nodes don't corrupt decoding (erasures), letting
+            // us probe the delivery bound in isolation
+            b = b.fault(i, FaultSpec::Withhold);
+        }
+        b.build().unwrap()
+    };
+    let mut ok = build(3); // 2b+1 = 7 ≤ 9
+    let r = ok.step(vec![vec![f(1)], vec![f(1)]]).unwrap();
+    assert!(r.delivery.iter().all(|d| d.is_accepted()));
+
+    let mut bad = build(5); // 2b+1 = 11 > 9: need 6 matching, only 4 honest
+    let r = bad.step(vec![vec![f(1)], vec![f(1)]]).unwrap();
+    assert!(r.delivery.iter().all(|d| !d.is_accepted()));
+}
+
+#[test]
+fn throughput_accounting_is_populated() {
+    type C = Counting<Fp61>;
+    let g = |v: u64| C::from_u64(v);
+    let k = 3;
+    let mut cluster = CsmClusterBuilder::<C>::new(10, k)
+        .transition(bank_machine::<C>())
+        .initial_states((0..k as u64).map(|i| vec![g(i)]).collect())
+        .build()
+        .unwrap();
+    let report = cluster
+        .step((0..k as u64).map(|i| vec![g(i)]).collect())
+        .unwrap();
+    assert!(report.ops.mean_per_node() > 0.0);
+    assert!(report.ops.encoding.total() > 0);
+    assert!(report.ops.transition.total() > 0);
+    assert!(report.ops.decoding.total() > 0);
+    assert!(report.ops.state_update.total() > 0);
+    // λ = K / mean-per-node-ops is finite and positive
+    let lambda = k as f64 / report.ops.mean_per_node();
+    assert!(lambda > 0.0);
+}

@@ -1,0 +1,154 @@
+//! End-to-end validation of **Theorem 1** (synchronous networks): with a
+//! `µ < 1/2` fraction of Byzantine nodes, CSM supports
+//! `K = ⌊(1−2µ)N/d + 1 − 1/d⌋` machines with storage efficiency `γ = K` and
+//! security `β = µN` — every round decodes correctly despite `b = µN`
+//! corrupted results.
+
+use coded_state_machine::algebra::{Field, Fp61, Gf2_16};
+use coded_state_machine::csm::metrics::csm_max_machines;
+use coded_state_machine::csm::{CsmClusterBuilder, CsmError, FaultSpec, SynchronyMode};
+use coded_state_machine::statemachine::machines::{bank_machine, power_machine};
+
+fn run_at_bound<F: Field>(n: usize, b: usize, d: u32, rounds: u64, seed: u64) {
+    let k = csm_max_machines(n, b, d, SynchronyMode::Synchronous);
+    assert!(k >= 1, "bound must leave room for at least one machine");
+    let mut builder = CsmClusterBuilder::<F>::new(n, k)
+        .transition(power_machine::<F>(d))
+        .initial_states((0..k as u64).map(|i| vec![F::from_u64(i + 2)]).collect())
+        .assumed_faults(b)
+        .seed(seed);
+    // corrupt the first b nodes with a mix of behaviours
+    for i in 0..b {
+        let fault = match i % 3 {
+            0 => FaultSpec::CorruptResult,
+            1 => FaultSpec::OffsetResult,
+            _ => FaultSpec::Equivocate,
+        };
+        builder = builder.fault(i, fault);
+    }
+    let mut cluster = builder.build().unwrap();
+    assert!(cluster.max_tolerable_faults() >= b);
+    for r in 0..rounds {
+        let cmds: Vec<Vec<F>> = (0..k as u64).map(|i| vec![F::from_u64(i + r + 1)]).collect();
+        let report = cluster.step(cmds).expect("within the Theorem 1 bound");
+        assert!(report.correct, "n={n} b={b} d={d} round={r}");
+        // all b corrupting nodes whose results actually differ get detected
+        assert!(
+            report.detected_error_nodes.iter().all(|&e| e < b),
+            "only corrupt nodes may be flagged: {:?}",
+            report.detected_error_nodes
+        );
+        // client delivery succeeds: 2b+1 <= n holds at mu < 1/2
+        assert!(report.delivery.iter().all(|s| s.is_accepted()));
+    }
+}
+
+#[test]
+fn theorem1_mu_one_third_linear_machines() {
+    // µ = 1/3 (the paper's concrete example), d = 1
+    for n in [9usize, 15, 21, 30] {
+        let b = n / 3;
+        run_at_bound::<Fp61>(n, b, 1, 3, 42 + n as u64);
+    }
+}
+
+#[test]
+fn theorem1_degree_two() {
+    for n in [12usize, 20, 28] {
+        let b = n / 4;
+        run_at_bound::<Fp61>(n, b, 2, 2, 77 + n as u64);
+    }
+}
+
+#[test]
+fn theorem1_degree_three_gf2m() {
+    run_at_bound::<Gf2_16>(16, 2, 3, 2, 11);
+    run_at_bound::<Gf2_16>(25, 4, 3, 2, 13);
+}
+
+#[test]
+fn theorem1_k_scales_linearly_with_n() {
+    // storage efficiency γ = K = Θ(N) at fixed µ
+    let mu = 1.0 / 3.0;
+    let ks: Vec<usize> = [30usize, 60, 120, 240]
+        .iter()
+        .map(|&n| {
+            csm_max_machines(
+                n,
+                (mu * n as f64) as usize,
+                1,
+                SynchronyMode::Synchronous,
+            )
+        })
+        .collect();
+    // doubling N roughly doubles K
+    for w in ks.windows(2) {
+        let ratio = w[1] as f64 / w[0] as f64;
+        assert!((1.8..=2.2).contains(&ratio), "ks = {ks:?}");
+    }
+}
+
+#[test]
+fn beyond_the_bound_decoding_fails_or_misdecodes() {
+    // at b = max+1 corrupt results, the code's radius is exceeded
+    let n = 12;
+    let d = 1;
+    let b_max = 3;
+    let k = csm_max_machines(n, b_max, d, SynchronyMode::Synchronous);
+    let mut builder = CsmClusterBuilder::<Fp61>::new(n, k)
+        .transition(bank_machine::<Fp61>())
+        .initial_states((0..k as u64).map(|i| vec![Fp61::from_u64(i)]).collect())
+        .assumed_faults(b_max);
+    for i in 0..b_max + 1 {
+        builder = builder.fault(i, FaultSpec::CorruptResult);
+    }
+    let mut cluster = builder.build().unwrap();
+    let cmds: Vec<Vec<Fp61>> = (0..k as u64).map(|i| vec![Fp61::from_u64(i)]).collect();
+    match cluster.step(cmds) {
+        Err(CsmError::Decoding(_)) | Err(CsmError::VerificationFailed(_)) => {}
+        Ok(report) => assert!(
+            !report.correct,
+            "exceeding the radius must not silently decode correctly by design"
+        ),
+        Err(e) => panic!("unexpected error {e}"),
+    }
+}
+
+#[test]
+fn storage_is_one_state_per_node() {
+    // γ = K: each node stores exactly state_dim field elements, the same
+    // as a single machine's state, while the cluster hosts K machines.
+    let n = 12;
+    let k = 5;
+    let cluster = CsmClusterBuilder::<Fp61>::new(n, k)
+        .transition(bank_machine::<Fp61>())
+        .initial_states((0..k as u64).map(|i| vec![Fp61::from_u64(10 * i)]).collect())
+        .build()
+        .unwrap();
+    for i in 0..n {
+        assert_eq!(cluster.coded_state(i).len(), 1);
+    }
+}
+
+#[test]
+fn equivocation_does_not_split_honest_nodes() {
+    // §5.2 remark: reconstructed polynomials at all honest nodes are
+    // identical even when malicious nodes send different results to
+    // different nodes.
+    let n = 10;
+    let k = 3;
+    let mut cluster = CsmClusterBuilder::<Fp61>::new(n, k)
+        .transition(bank_machine::<Fp61>())
+        .initial_states((0..k as u64).map(|i| vec![Fp61::from_u64(i + 1)]).collect())
+        .fault(0, FaultSpec::Equivocate)
+        .fault(1, FaultSpec::Equivocate)
+        .assumed_faults(2)
+        .build()
+        .unwrap();
+    for _ in 0..3 {
+        let cmds: Vec<Vec<Fp61>> = (0..k as u64).map(|i| vec![Fp61::from_u64(i)]).collect();
+        // decode_distributed internally errors if honest nodes disagree
+        let report = cluster.step(cmds).unwrap();
+        assert!(report.correct);
+    }
+}

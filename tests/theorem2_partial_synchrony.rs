@@ -1,0 +1,128 @@
+//! End-to-end validation of **Theorem 2** (partially synchronous
+//! networks): with a `ν < 1/3` fraction of Byzantine nodes, CSM supports
+//! `K = ⌊(1−3ν)N/d + 1 − 1/d⌋` machines. Honest nodes must decode from
+//! only `N − b` results (withheld results are indistinguishable from slow
+//! ones), of which up to `b` may still be erroneous — hence the stronger
+//! `3b` bound.
+
+use coded_state_machine::algebra::{Field, Fp61};
+use coded_state_machine::csm::metrics::csm_max_machines;
+use coded_state_machine::csm::{CsmClusterBuilder, CsmError, FaultSpec, SynchronyMode};
+use coded_state_machine::statemachine::machines::{bank_machine, interest_machine};
+
+fn build_psync(
+    n: usize,
+    k: usize,
+    b: usize,
+    faults: &[(usize, FaultSpec)],
+    seed: u64,
+) -> coded_state_machine::csm::CsmCluster<Fp61> {
+    let mut builder = CsmClusterBuilder::<Fp61>::new(n, k)
+        .transition(bank_machine::<Fp61>())
+        .initial_states((0..k as u64).map(|i| vec![Fp61::from_u64(100 + i)]).collect())
+        .synchrony(SynchronyMode::PartiallySynchronous)
+        .assumed_faults(b)
+        .seed(seed);
+    for &(i, f) in faults {
+        builder = builder.fault(i, f);
+    }
+    builder.build().unwrap()
+}
+
+#[test]
+fn theorem2_nu_one_fifth() {
+    for n in [10usize, 20, 30] {
+        let b = n / 5;
+        let k = csm_max_machines(n, b, 1, SynchronyMode::PartiallySynchronous);
+        assert!(k >= 1);
+        // worst case: all b byzantine nodes send corrupt results promptly
+        // while the adversary delays b honest results past the decode point
+        let faults: Vec<(usize, FaultSpec)> =
+            (0..b).map(|i| (i, FaultSpec::CorruptResult)).collect();
+        let mut cluster = build_psync(n, k, b, &faults, 5 + n as u64);
+        for r in 0..3u64 {
+            let cmds: Vec<Vec<Fp61>> =
+                (0..k as u64).map(|i| vec![Fp61::from_u64(i + r)]).collect();
+            let report = cluster.step(cmds).expect("within Theorem 2 bound");
+            assert!(report.correct, "n={n} b={b} round={r}");
+        }
+    }
+}
+
+#[test]
+fn theorem2_withholding_mix() {
+    // half the byzantine budget withholds, half corrupts — the decoder
+    // sees both erasures and errors
+    let n = 24;
+    let b = 4;
+    let k = csm_max_machines(n, b, 1, SynchronyMode::PartiallySynchronous);
+    let faults: Vec<(usize, FaultSpec)> = vec![
+        (0, FaultSpec::Withhold),
+        (1, FaultSpec::Withhold),
+        (2, FaultSpec::CorruptResult),
+        (3, FaultSpec::OffsetResult),
+    ];
+    let mut cluster = build_psync(n, k, b, &faults, 91);
+    for _ in 0..3 {
+        let cmds: Vec<Vec<Fp61>> = (0..k as u64).map(|i| vec![Fp61::from_u64(i)]).collect();
+        let report = cluster.step(cmds).unwrap();
+        assert!(report.correct);
+        // withholders cannot be flagged as errors (they're erasures)
+        assert!(!report.detected_error_nodes.contains(&0));
+        assert!(!report.detected_error_nodes.contains(&1));
+    }
+}
+
+#[test]
+fn theorem2_fewer_machines_than_theorem1() {
+    // the K budget under partial synchrony is strictly smaller at the same b
+    for n in [12usize, 24, 48] {
+        for b in 1..n / 4 {
+            let k_sync = csm_max_machines(n, b, 1, SynchronyMode::Synchronous);
+            let k_psync = csm_max_machines(n, b, 1, SynchronyMode::PartiallySynchronous);
+            assert!(k_psync <= k_sync, "n={n} b={b}");
+            if b > 0 && k_psync > 0 {
+                assert!(k_psync < k_sync, "strictly smaller at b>0: n={n} b={b}");
+            }
+        }
+    }
+}
+
+#[test]
+fn beyond_theorem2_bound_fails() {
+    let n = 12;
+    let b_max = 2; // (12 - dim - 1)/3 with k chosen below
+    let k = csm_max_machines(n, b_max, 1, SynchronyMode::PartiallySynchronous);
+    // provision for b_max but inject b_max+1 corrupting nodes
+    let faults: Vec<(usize, FaultSpec)> = (0..b_max + 1)
+        .map(|i| (i, FaultSpec::CorruptResult))
+        .collect();
+    let mut cluster = build_psync(n, k, b_max, &faults, 17);
+    let cmds: Vec<Vec<Fp61>> = (0..k as u64).map(|i| vec![Fp61::from_u64(i)]).collect();
+    match cluster.step(cmds) {
+        Err(CsmError::Decoding(_)) | Err(CsmError::VerificationFailed(_)) => {}
+        Ok(report) => assert!(!report.correct),
+        Err(e) => panic!("unexpected error {e}"),
+    }
+}
+
+#[test]
+fn degree_two_machine_under_partial_synchrony() {
+    let n = 20;
+    let b = 2;
+    let k = csm_max_machines(n, b, 2, SynchronyMode::PartiallySynchronous);
+    assert!(k >= 1);
+    let mut builder = CsmClusterBuilder::<Fp61>::new(n, k)
+        .transition(interest_machine::<Fp61>())
+        .initial_states((0..k as u64).map(|i| vec![Fp61::from_u64(1000 + i)]).collect())
+        .synchrony(SynchronyMode::PartiallySynchronous)
+        .assumed_faults(b);
+    builder = builder.fault(0, FaultSpec::CorruptResult);
+    builder = builder.fault(1, FaultSpec::Withhold);
+    let mut cluster = builder.build().unwrap();
+    for _ in 0..2 {
+        let cmds: Vec<Vec<Fp61>> = (0..k as u64).map(|i| vec![Fp61::from_u64(i + 2)]).collect();
+        let report = cluster.step(cmds).unwrap();
+        assert!(report.correct);
+    }
+}
