@@ -191,8 +191,14 @@ mod tests {
     fn arithmetic_matches_base_field() {
         let a = C::from_u64(123456);
         let b = C::from_u64(654321);
-        assert_eq!((a * b).into_inner(), Fp61::from_u64(123456) * Fp61::from_u64(654321));
-        assert_eq!((a + b).into_inner(), Fp61::from_u64(123456) + Fp61::from_u64(654321));
+        assert_eq!(
+            (a * b).into_inner(),
+            Fp61::from_u64(123456) * Fp61::from_u64(654321)
+        );
+        assert_eq!(
+            (a + b).into_inner(),
+            Fp61::from_u64(123456) + Fp61::from_u64(654321)
+        );
         assert_eq!(a.pow(17).into_inner(), Fp61::from_u64(123456).pow(17));
     }
 

@@ -53,7 +53,10 @@ impl<F: Field> SubproductTree<F> {
     ///
     /// Panics if `points` is empty.
     pub fn new(points: &[F]) -> Self {
-        assert!(!points.is_empty(), "subproduct tree needs at least one point");
+        assert!(
+            !points.is_empty(),
+            "subproduct tree needs at least one point"
+        );
         let leaves: Vec<Poly<F>> = points
             .iter()
             .map(|&x| Poly::new(vec![-x, F::ONE]))
@@ -132,13 +135,8 @@ impl<F: Field> SubproductTree<F> {
         // m'(x_i) via fast evaluation of the derivative.
         let mp = self.master().derivative();
         let denoms = self.eval(&mp);
-        let inv = F::batch_inverse(&denoms)
-            .expect("duplicate interpolation points (m'(x_i) = 0)");
-        let weights: Vec<F> = values
-            .iter()
-            .zip(&inv)
-            .map(|(&v, &d)| v * d)
-            .collect();
+        let inv = F::batch_inverse(&denoms).expect("duplicate interpolation points (m'(x_i) = 0)");
+        let weights: Vec<F> = values.iter().zip(&inv).map(|(&v, &d)| v * d).collect();
         self.combine_rec(self.levels.len() - 1, 0, &weights)
     }
 

@@ -183,6 +183,7 @@ mod tests {
     use super::*;
     use crate::{Fp61, Gf2_16, Gf2_8};
 
+    #[allow(clippy::eq_op)] // `a - a` / `a / a` are the axioms under test
     fn field_axioms<F: Field>(elems: &[F]) {
         for &a in elems {
             assert_eq!(a + F::ZERO, a);
@@ -220,7 +221,9 @@ mod tests {
 
     #[test]
     fn axioms_fp61() {
-        let elems: Vec<Fp61> = (0..12).map(|i| Fp61::from_u64(i * 0x9E3779B9 + 3)).collect();
+        let elems: Vec<Fp61> = (0..12)
+            .map(|i| Fp61::from_u64(i * 0x9E3779B9 + 3))
+            .collect();
         field_axioms(&elems);
     }
 

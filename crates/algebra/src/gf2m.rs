@@ -267,7 +267,9 @@ mod tests {
         if frob(m) != 0b10 {
             return false;
         }
-        let prime_divisors: Vec<u32> = (2..=m).filter(|p| m % p == 0 && is_prime(*p)).collect();
+        let prime_divisors: Vec<u32> = (2..=m)
+            .filter(|p| m.is_multiple_of(*p) && is_prime(*p))
+            .collect();
         for p in prime_divisors {
             let h = frob(m / p) ^ 0b10; // x^(2^(m/p)) - x
             if binary_poly_gcd(h, modulus) != 1 {
@@ -278,7 +280,10 @@ mod tests {
     }
 
     fn is_prime(n: u32) -> bool {
-        n >= 2 && (2..n).take_while(|d| d * d <= n).all(|d| n % d != 0)
+        n >= 2
+            && (2..n)
+                .take_while(|d| d * d <= n)
+                .all(|d| !n.is_multiple_of(d))
     }
 
     fn binary_poly_gcd(mut a: u64, mut b: u64) -> u64 {
@@ -307,8 +312,7 @@ mod tests {
         assert!(is_irreducible(Gf2_8::MODULUS, 8));
         assert!(is_irreducible(Gf2_16::MODULUS, 16));
         assert!(is_irreducible(Gf2_32::MODULUS, 32));
-        // Sanity: a reducible polynomial is rejected.
-        assert!(!is_irreducible(0b101 << 6 | 0b100_0001, 8) || true);
+        // Sanity: reducible polynomials are rejected.
         assert!(!is_irreducible(0x100, 8)); // x^8 = (x)^8
         assert!(!is_irreducible(0x102, 8)); // divisible by x
     }

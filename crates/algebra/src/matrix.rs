@@ -98,9 +98,7 @@ impl<F: Field> Matrix<F> {
     /// Panics if `x.len() != cols`.
     pub fn mul_vec(&self, x: &[F]) -> Vec<F> {
         assert_eq!(x.len(), self.cols, "vector length must equal column count");
-        (0..self.rows)
-            .map(|i| dot(self.row(i), x))
-            .collect()
+        (0..self.rows).map(|i| dot(self.row(i), x)).collect()
     }
 
     /// Matrix–matrix product `A·B`.
@@ -160,7 +158,7 @@ impl<F: Field> Matrix<F> {
             for j in c..self.cols {
                 aug[(r, j)] *= inv;
             }
-            rhs[r] = rhs[r] * inv;
+            rhs[r] *= inv;
             for i in 0..self.rows {
                 if i != r && !aug[(i, c)].is_zero() {
                     let f = aug[(i, c)];
@@ -334,11 +332,7 @@ mod tests {
     #[test]
     fn solve_full_rank() {
         let a = m(3, 3, &[2, 1, 1, 1, 3, 2, 1, 0, 0]);
-        let x_true: Vec<Fp61> = vec![
-            Fp61::from_u64(5),
-            Fp61::from_u64(7),
-            Fp61::from_u64(11),
-        ];
+        let x_true: Vec<Fp61> = vec![Fp61::from_u64(5), Fp61::from_u64(7), Fp61::from_u64(11)];
         let b = a.mul_vec(&x_true);
         let x = a.solve(&b).unwrap();
         assert_eq!(a.mul_vec(&x), b);

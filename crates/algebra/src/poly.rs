@@ -253,7 +253,7 @@ impl<F: Field> Poly<F> {
         let mut u1 = Self::zero();
         let mut v0 = Self::zero();
         let mut v1 = Self::one();
-        while r0.degree().map_or(false, |d| d >= stop_degree) {
+        while r0.degree().is_some_and(|d| d >= stop_degree) {
             if r1.is_zero() {
                 // The Euclidean remainder sequence continues ..., r0, 0; the
                 // zero remainder is the first with degree < stop_degree.
@@ -577,7 +577,7 @@ mod tests {
         let a = p(&[1, 2, 3, 4, 5, 6, 7]);
         let b = p(&[7, 5, 3, 1, 8]);
         let (r, u, v) = a.partial_xgcd(&b, 3);
-        assert!(r.degree().map_or(true, |d| d < 3));
+        assert!(r.degree().is_none_or(|d| d < 3));
         assert_eq!(u * a + v * b, r);
     }
 

@@ -1,8 +1,7 @@
 //! Property-based tests for field, polynomial, and matrix invariants.
 
 use csm_algebra::{
-    dot, fast_eval_many, fast_interpolate, Field, Fp61, Gf2_16, Gf2_8, Matrix, Poly,
-    SubproductTree,
+    dot, fast_eval_many, fast_interpolate, Field, Fp61, Gf2_16, Gf2_8, Matrix, Poly, SubproductTree,
 };
 use proptest::prelude::*;
 
@@ -102,7 +101,7 @@ proptest! {
     fn poly_div_rem_reconstructs(a in poly_fp(30), b in poly_fp(12)) {
         if !b.is_zero() {
             let (q, r) = a.div_rem(&b);
-            prop_assert!(r.degree().map_or(true, |dr| dr < b.degree().unwrap()));
+            prop_assert!(r.degree().is_none_or(|dr| dr < b.degree().unwrap()));
             prop_assert_eq!(q * b + r, a);
         }
     }
@@ -146,7 +145,7 @@ proptest! {
         let pts: Vec<Gf2_16> = (0..vals.len() as u64).map(|i| Gf2_16::from_u64(i + 1)).collect();
         let tree = SubproductTree::new(&pts);
         let p = tree.interpolate(&vals);
-        prop_assert!(p.degree().map_or(true, |d| d < vals.len()));
+        prop_assert!(p.degree().is_none_or(|d| d < vals.len()));
         prop_assert_eq!(tree.eval(&p), vals);
     }
 

@@ -5,7 +5,9 @@
 use csm_algebra::{Field, Fp61, Gf2_16, Gf2_32, Gf2_8, OpCounts};
 use proptest::prelude::*;
 
-fn roundtrip<T: serde::Serialize + for<'de> serde::Deserialize<'de> + PartialEq + std::fmt::Debug>(
+fn roundtrip<
+    T: serde::Serialize + for<'de> serde::Deserialize<'de> + PartialEq + std::fmt::Debug,
+>(
     value: &T,
 ) {
     let json = serde_json::to_string(value).expect("serialize");

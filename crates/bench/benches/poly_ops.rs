@@ -9,7 +9,11 @@ fn setup(n: usize) -> (Vec<Fp61>, Vec<Fp61>, Poly<Fp61>) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
     let points: Vec<Fp61> = distinct_elements(0, n);
     let values: Vec<Fp61> = (0..n).map(|_| Fp61::from_u64(rng.gen())).collect();
-    let poly = Poly::new((0..n).map(|_| Fp61::from_u64(rng.gen())).collect::<Vec<_>>());
+    let poly = Poly::new(
+        (0..n)
+            .map(|_| Fp61::from_u64(rng.gen()))
+            .collect::<Vec<_>>(),
+    );
     (points, values, poly)
 }
 

@@ -1,0 +1,75 @@
+//! Transport throughput: frames/second moved through the in-memory
+//! channel mesh vs. real loopback TCP, for small (Ping) and result-sized
+//! frames. Seeds the perf trajectory for batching / sharding PRs: the gap
+//! between the two backends is the budget later transport work can spend.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csm_network::auth::KeyRegistry;
+use csm_network::NodeId;
+use csm_transport::mem::MemMesh;
+use csm_transport::tcp::TcpMesh;
+use csm_transport::{Frame, Payload, Transport};
+use std::sync::Arc;
+use std::time::Duration;
+
+const BATCH: usize = 256;
+
+fn result_frame(reg: &KeyRegistry, values: usize) -> Frame {
+    Frame::sign(
+        Payload::Result {
+            round: 1,
+            sender: 0,
+            values: (0..values as u64).collect(),
+        },
+        reg,
+        NodeId(0),
+    )
+}
+
+/// Sends `BATCH` frames from node 0 to node 1 and drains them — one
+/// round-trip through encode → (channel | socket) → decode → verify.
+fn pump<T: Transport>(sender: &T, receiver: &T, frame: &Frame) {
+    for _ in 0..BATCH {
+        sender
+            .send(NodeId(1), frame.clone())
+            .expect("bench send failed");
+    }
+    for _ in 0..BATCH {
+        receiver
+            .recv_timeout(Duration::from_secs(5))
+            .expect("bench recv failed");
+    }
+}
+
+fn benches(c: &mut Criterion) {
+    let registry = Arc::new(KeyRegistry::new(2, 7));
+    let mem = MemMesh::build(Arc::clone(&registry));
+    let tcp = TcpMesh::launch_loopback(Arc::clone(&registry)).expect("loopback mesh");
+
+    let mut group = c.benchmark_group("transport_frames");
+    for (label, values) in [
+        ("ping_sized", 0usize),
+        ("result_16", 16),
+        ("result_256", 256),
+    ] {
+        let frame = result_frame(&registry, values);
+        group.bench_with_input(BenchmarkId::new("mem", label), &frame, |b, frame| {
+            b.iter(|| pump(&mem[0], &mem[1], frame));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("tcp_loopback", label),
+            &frame,
+            |b, frame| {
+                b.iter(|| pump(&tcp[0], &tcp[1], frame));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = group;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = benches
+}
+criterion_main!(group);

@@ -58,8 +58,14 @@ fn main() {
         ]);
     }
     print_table(
-        &format!("n-bit counters on N = 32 nodes, b = 2 Byzantine (GF(2^16))"),
-        &["state bits", "degree d", "K supported", "mean ops/node", "λ × 1e6"],
+        "n-bit counters on N = 32 nodes, b = 2 Byzantine (GF(2^16))",
+        &[
+            "state bits",
+            "degree d",
+            "K supported",
+            "mean ops/node",
+            "λ × 1e6",
+        ],
         &rows,
     );
     println!("\nreading: Zou-compiled machines have degree up to the carry-chain");

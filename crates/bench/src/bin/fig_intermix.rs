@@ -7,9 +7,7 @@
 
 use csm_algebra::{count, Counting, Field, Fp61, Matrix};
 use csm_bench::{fmt, print_table};
-use csm_intermix::{
-    committee_size, run_session, AuditorBehavior, SessionConfig, WorkerBehavior,
-};
+use csm_intermix::{committee_size, run_session, AuditorBehavior, SessionConfig, WorkerBehavior};
 use rand::{Rng, SeedableRng};
 
 type C = Counting<Fp61>;
@@ -26,11 +24,7 @@ fn main() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(3);
 
     for k in [16usize, 64, 256, 1024] {
-        let a = Matrix::from_rows(
-            n,
-            k,
-            (0..n * k).map(|_| C::from_u64(rng.gen())).collect(),
-        );
+        let a = Matrix::from_rows(n, k, (0..n * k).map(|_| C::from_u64(rng.gen())).collect());
         let x: Vec<C> = (0..k).map(|_| C::from_u64(rng.gen())).collect();
         let auditors = vec![AuditorBehavior::Honest; j];
 
@@ -39,9 +33,16 @@ fn main() {
         let baseline = single.total() * n as u64;
 
         // honest session
-        let honest = run_session(&a, &x, &WorkerBehavior::Honest, &auditors, &SessionConfig::default());
+        let honest = run_session(
+            &a,
+            &x,
+            &WorkerBehavior::Honest,
+            &auditors,
+            &SessionConfig::default(),
+        );
         assert!(honest.accepted);
-        let h_total = honest.ops.worker.total() + honest.ops.auditors.total()
+        let h_total = honest.ops.worker.total()
+            + honest.ops.auditors.total()
             + honest.ops.commoner.total() * (n as u64 - 1 - j as u64);
         rows_honest.push(vec![
             k.to_string(),
@@ -92,7 +93,14 @@ fn main() {
 
     print_table(
         "honest worker (no fraud): measured ops per role",
-        &["K", "worker", "auditors(total)", "commoner", "N·c(AX) baseline", "savings×"],
+        &[
+            "K",
+            "worker",
+            "auditors(total)",
+            "commoner",
+            "N·c(AX) baseline",
+            "savings×",
+        ],
         &rows_honest,
     );
     print_table(

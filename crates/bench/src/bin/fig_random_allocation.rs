@@ -87,9 +87,18 @@ fn main() {
     for budget in [3usize, 5, 7, 9] {
         rows.push(vec![
             budget.to_string(),
-            format!("{:.0}%", 100.0 * survival_random_alloc(n, k, budget, false, false)),
-            format!("{:.0}%", 100.0 * survival_random_alloc(n, k, budget, true, false)),
-            format!("{:.0}%", 100.0 * survival_random_alloc(n, k, budget, true, true)),
+            format!(
+                "{:.0}%",
+                100.0 * survival_random_alloc(n, k, budget, false, false)
+            ),
+            format!(
+                "{:.0}%",
+                100.0 * survival_random_alloc(n, k, budget, true, false)
+            ),
+            format!(
+                "{:.0}%",
+                100.0 * survival_random_alloc(n, k, budget, true, true)
+            ),
             format!("{:.0}%", 100.0 * survival_csm(n, k, budget)),
         ]);
     }
@@ -122,9 +131,17 @@ fn main() {
         c.rotation_transfers,
         c.rotation_transfers as f64 / 10.0
     );
-    println!("expected (1−1/K)·N = {:.1}); CSM rotates for free — coded states never move.",
-        (1.0 - 1.0 / k as f64) * n as f64);
-    println!("\nreading: the dynamic adversary needs only q/2+1 = {} corruptions to", q / 2 + 1);
+    println!(
+        "expected (1−1/K)·N = {:.1}); CSM rotates for free — coded states never move.",
+        (1.0 - 1.0 / k as f64) * n as f64
+    );
+    println!(
+        "\nreading: the dynamic adversary needs only q/2+1 = {} corruptions to",
+        q / 2 + 1
+    );
     println!("hijack one shard under random allocation (security Θ(N/K)), while CSM");
-    println!("tolerates ⌊(N−K)/2⌋ = {} anywhere — the §7 comparison.", (n - k) / 2);
+    println!(
+        "tolerates ⌊(N−K)/2⌋ = {} anywhere — the §7 comparison.",
+        (n - k) / 2
+    );
 }

@@ -27,8 +27,7 @@ fn partial_survives(n: usize, k: usize, b: usize) -> bool {
         .collect();
     let states: Vec<Vec<Fp61>> = (0..k as u64).map(|i| vec![f(i + 1)]).collect();
     let mut c =
-        PartialReplicationCluster::new(n, bank_machine::<Fp61>(), states, faults, group_b)
-            .unwrap();
+        PartialReplicationCluster::new(n, bank_machine::<Fp61>(), states, faults, group_b).unwrap();
     let cmds: Vec<Vec<Fp61>> = (0..k as u64).map(|i| vec![f(i)]).collect();
     let r = c.step(&cmds).unwrap();
     r.correct && r.delivery.iter().all(|d| d.is_accepted())
@@ -71,7 +70,10 @@ fn main() {
             .take_while(|&b| partial_survives(n, k, b))
             .last()
             .unwrap_or(0);
-        let emp_csm = (0..=n).take_while(|&b| csm_survives(n, k, b)).last().unwrap_or(0);
+        let emp_csm = (0..=n)
+            .take_while(|&b| csm_survives(n, k, b))
+            .last()
+            .unwrap_or(0);
 
         rows.push(vec![
             k.to_string(),

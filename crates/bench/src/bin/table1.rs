@@ -43,15 +43,9 @@ fn measure(n: usize, k: usize, d: u32, b: usize, seed: u64) -> (Measured, Measur
         .collect();
 
     // full replication
-    let mut full = FullReplicationCluster::new(
-        n,
-        machine.clone(),
-        states.clone(),
-        faults.clone(),
-        b,
-        seed,
-    )
-    .unwrap();
+    let mut full =
+        FullReplicationCluster::new(n, machine.clone(), states.clone(), faults.clone(), b, seed)
+            .unwrap();
     let rf = full.step(&cmds).unwrap();
     let full_m = Measured {
         lambda: k as f64 / mean_total(&rf.per_node_ops).max(1.0),
@@ -62,7 +56,7 @@ fn measure(n: usize, k: usize, d: u32, b: usize, seed: u64) -> (Measured, Measur
     // partial replication (same global fault budget, which may capture a
     // group — that is the point); uses the largest divisor of n that is
     // <= k so groups are well-formed
-    let k_part = (1..=k).rev().find(|kk| n % kk == 0).unwrap_or(1);
+    let k_part = (1..=k).rev().find(|kk| n.is_multiple_of(*kk)).unwrap_or(1);
     let partial_m = {
         let q = n / k_part;
         let group_b = (q.saturating_sub(1)) / 2;

@@ -125,7 +125,12 @@ fn main() {
     }
     print_table(
         "decoding bound vs transition degree (synchronous)",
-        &["d", "b_max = ⌊(N−d(K−1)−1)/2⌋", "pass @ b_max", "fail @ b_max+1"],
+        &[
+            "d",
+            "b_max = ⌊(N−d(K−1)−1)/2⌋",
+            "pass @ b_max",
+            "fail @ b_max+1",
+        ],
         &rows,
     );
 }

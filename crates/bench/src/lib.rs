@@ -92,8 +92,16 @@ mod tests {
     #[test]
     fn mean_and_max() {
         let counts = vec![
-            OpCounts { adds: 1, muls: 1, invs: 0 },
-            OpCounts { adds: 3, muls: 3, invs: 0 },
+            OpCounts {
+                adds: 1,
+                muls: 1,
+                invs: 0,
+            },
+            OpCounts {
+                adds: 3,
+                muls: 3,
+                invs: 0,
+            },
         ];
         assert_eq!(mean_total(&counts), 4.0);
         assert_eq!(max_total(&counts), 6);

@@ -214,7 +214,13 @@ impl<V: Clone + Eq + Hash + 'static> Process<ChainedValue<V>> for DsNode<V> {
                     }
                     let v = if i % 2 == 0 { a.clone() } else { b.clone() };
                     let sig = self.registry.sign(self.id, &v);
-                    ctx.send(NodeId(i), ChainedValue { value: v, sigs: vec![sig] });
+                    ctx.send(
+                        NodeId(i),
+                        ChainedValue {
+                            value: v,
+                            sigs: vec![sig],
+                        },
+                    );
                 }
             }
             DsBehavior::Silent => {}
@@ -252,7 +258,7 @@ impl<V: Clone + Eq + Hash + 'static> Process<ChainedValue<V>> for DsNode<V> {
     }
 
     fn is_done(&self) -> bool {
-        self.board.borrow()[self.id.0].is_some() || false
+        self.board.borrow()[self.id.0].is_some()
     }
 }
 
@@ -378,7 +384,7 @@ mod tests {
             .iter()
             .zip(&out.honest)
             .filter(|(_, &h)| h)
-            .map(|(d, _)| d.clone())
+            .map(|(d, _)| *d)
             .collect();
         assert!(honest_decisions.windows(2).all(|w| w[0] == w[1]));
         assert_eq!(honest_decisions[0], Some(7));
@@ -422,7 +428,11 @@ mod tests {
         };
         assert!(good.is_valid(&registry, leader));
         // empty chain
-        assert!(!ChainedValue::<u64> { value: v, sigs: vec![] }.is_valid(&registry, leader));
+        assert!(!ChainedValue::<u64> {
+            value: v,
+            sigs: vec![]
+        }
+        .is_valid(&registry, leader));
         // wrong first signer
         let bad = ChainedValue {
             value: v,

@@ -242,7 +242,14 @@ impl<V: Clone + Eq + Hash + std::fmt::Debug + 'static> PbftNode<V> {
                     let sig = self
                         .registry
                         .sign(self.id, &SignDomain::Prepare(view, v.clone()));
-                    ctx.send(NodeId(i), PbftMessage::PrePrepare { view, value: v, sig });
+                    ctx.send(
+                        NodeId(i),
+                        PbftMessage::PrePrepare {
+                            view,
+                            value: v,
+                            sig,
+                        },
+                    );
                 }
             }
             _ => {
@@ -311,7 +318,10 @@ impl<V: Clone + Eq + Hash + std::fmt::Debug + 'static> PbftNode<V> {
             let sigs: Vec<Signature> = votes
                 .iter()
                 .filter(|(_, v)| *v == value)
-                .map(|(s, v)| self.registry.sign(*s, &SignDomain::Prepare(view, v.clone())))
+                .map(|(s, v)| {
+                    self.registry
+                        .sign(*s, &SignDomain::Prepare(view, v.clone()))
+                })
                 .collect();
             self.prepared = Some(PreparedCert {
                 view,
@@ -342,7 +352,13 @@ impl<V: Clone + Eq + Hash + std::fmt::Debug + 'static> PbftNode<V> {
         self.record_prepare(sig.signer, view, value, ctx);
     }
 
-    fn on_commit(&mut self, view: u64, value: V, sig: Signature, ctx: &mut Context<PbftMessage<V>>) {
+    fn on_commit(
+        &mut self,
+        view: u64,
+        value: V,
+        sig: Signature,
+        ctx: &mut Context<PbftMessage<V>>,
+    ) {
         if self.decided.is_some()
             || !self
                 .registry
@@ -368,10 +384,7 @@ impl<V: Clone + Eq + Hash + std::fmt::Debug + 'static> PbftNode<V> {
         }
         self.view = new_view;
         self.view_changing = true;
-        let summary = self
-            .prepared
-            .as_ref()
-            .map(|c| (c.view, c.value.clone()));
+        let summary = self.prepared.as_ref().map(|c| (c.view, c.value.clone()));
         let sig = self
             .registry
             .sign(self.id, &SignDomain::ViewChange(new_view, summary));
@@ -410,7 +423,7 @@ impl<V: Clone + Eq + Hash + std::fmt::Debug + 'static> PbftNode<V> {
         let count = entry.len();
         let nv = vc.new_view;
         // join rule: seeing f+1 view changes for a higher view
-        if count >= self.cfg.f + 1 && nv > self.view && !self.view_changing {
+        if count > self.cfg.f && nv > self.view && !self.view_changing {
             self.start_view_change(nv, ctx);
         }
         // primary rule: with 2f+1 view changes, install the new view
@@ -499,12 +512,7 @@ impl<V: Clone + Eq + Hash + std::fmt::Debug + 'static> Process<PbftMessage<V>> f
         }
     }
 
-    fn on_message(
-        &mut self,
-        from: NodeId,
-        msg: PbftMessage<V>,
-        ctx: &mut Context<PbftMessage<V>>,
-    ) {
+    fn on_message(&mut self, from: NodeId, msg: PbftMessage<V>, ctx: &mut Context<PbftMessage<V>>) {
         if matches!(self.behavior, PbftBehavior::Silent) {
             return;
         }
@@ -552,7 +560,7 @@ pub fn run_pbft<V: Clone + Eq + Hash + std::fmt::Debug + 'static>(
     max_time: u64,
 ) -> PbftOutcome<V> {
     assert_eq!(behaviors.len(), cfg.n, "one behaviour per node");
-    assert!(cfg.n >= 3 * cfg.f + 1, "PBFT requires n >= 3f + 1");
+    assert!(cfg.n > 3 * cfg.f, "PBFT requires n >= 3f + 1");
     let registry = Rc::new(KeyRegistry::new(cfg.n, cfg.seed));
     let board: Board<V> = Rc::new(RefCell::new(vec![(None, 0); cfg.n]));
     let honest: Vec<bool> = behaviors
@@ -669,7 +677,7 @@ mod tests {
     #[test]
     fn two_silent_replicas_still_live() {
         let c = cfg(7, 2, 0);
-        let mut behaviors: Vec<PbftBehavior<u64>> = (0..5).map(|i| honest(i)).collect();
+        let mut behaviors: Vec<PbftBehavior<u64>> = (0..5).map(honest).collect();
         behaviors.push(PbftBehavior::Silent);
         behaviors.push(PbftBehavior::Silent);
         let out = run_pbft(&c, behaviors, 100_000);
@@ -683,7 +691,7 @@ mod tests {
         // messages crawl before GST; decision still unique and eventually
         // reached after GST
         let c = cfg(4, 1, 400);
-        let out = run_pbft(&c, (0..4).map(|i| honest(i)).collect(), 1_000_000);
+        let out = run_pbft(&c, (0..4).map(honest).collect(), 1_000_000);
         assert!(out.safe());
         assert!(out.live(), "decisions: {:?}", out.decisions);
     }
@@ -695,7 +703,7 @@ mod tests {
         let c = cfg(7, 2, 0);
         let mut behaviors: Vec<PbftBehavior<u64>> =
             vec![PbftBehavior::Silent, PbftBehavior::Silent];
-        behaviors.extend((2..7).map(|i| honest(i)));
+        behaviors.extend((2..7).map(honest));
         let out = run_pbft(&c, behaviors, 500_000);
         assert!(out.safe());
         assert!(out.live(), "decisions: {:?}", out.decisions);
@@ -721,6 +729,6 @@ mod tests {
     fn rejects_insufficient_n() {
         let c = cfg(4, 1, 0);
         let bad = PbftConfig { f: 2, ..c };
-        let _ = run_pbft(&bad, (0..4).map(|i| honest(i)).collect(), 100);
+        let _ = run_pbft(&bad, (0..4).map(honest).collect(), 100);
     }
 }

@@ -4,9 +4,7 @@
 
 use crate::client::{accept_replies, DeliveryStatus};
 use crate::codebook::Codebook;
-use crate::config::{
-    CodingMode, ConsensusMode, CsmConfig, DecoderKind, FaultSpec, SynchronyMode,
-};
+use crate::config::{CodingMode, ConsensusMode, CsmConfig, DecoderKind, FaultSpec, SynchronyMode};
 use crate::error::CsmError;
 use csm_algebra::{count, Field, OpCounts};
 use csm_consensus::dolev_strong::{self, DsBehavior, DsConfig};
@@ -231,8 +229,8 @@ impl<F: Field> CsmClusterBuilder<F> {
             });
         }
         let codebook = Codebook::new(cfg.n, cfg.k)?;
-        let code = RsCode::new(codebook.alphas().to_vec(), dim)
-            .expect("alphas are distinct and dim <= n");
+        let code =
+            RsCode::new(codebook.alphas().to_vec(), dim).expect("alphas are distinct and dim <= n");
         let nodes = (0..cfg.n)
             .map(|i| NodeState {
                 coded_state: codebook.encode_vector_at(i, &initial_states),
@@ -561,8 +559,7 @@ impl<F: Field> CsmCluster<F> {
                 // each node computes its own coded command: O(K) per node
                 let mut coded = Vec::with_capacity(self.config.n);
                 for i in 0..self.config.n {
-                    let (c, o) =
-                        count::measure(|| self.codebook.encode_vector_at(i, commands));
+                    let (c, o) = count::measure(|| self.codebook.encode_vector_at(i, commands));
                     ops.per_node[i] += o;
                     ops.encoding += o;
                     coded.push(c);
@@ -718,10 +715,8 @@ impl<F: Field> CsmCluster<F> {
         let mut polys = Vec::with_capacity(out_dim);
         let mut detected: Vec<usize> = Vec::new();
         for jcoord in 0..out_dim {
-            let coord_word: Vec<Option<F>> = word
-                .iter()
-                .map(|w| w.as_ref().map(|g| g[jcoord]))
-                .collect();
+            let coord_word: Vec<Option<F>> =
+                word.iter().map(|w| w.as_ref().map(|g| g[jcoord])).collect();
             let decoded = match self.config.decoder {
                 DecoderKind::BerlekampWelch => {
                     self.code.decode_with(&BerlekampWelch, &coord_word)?
@@ -836,10 +831,8 @@ impl<F: Field> CsmCluster<F> {
                 let out_dim = sd + self.transition.output_dim();
                 (0..out_dim)
                     .map(|jcoord| {
-                        let coord_word: Vec<Option<F>> = word
-                            .iter()
-                            .map(|w| w.as_ref().map(|g| g[jcoord]))
-                            .collect();
+                        let coord_word: Vec<Option<F>> =
+                            word.iter().map(|w| w.as_ref().map(|g| g[jcoord])).collect();
                         let dec = match self.config.decoder {
                             DecoderKind::BerlekampWelch => {
                                 self.code.decode_with(&BerlekampWelch, &coord_word)
@@ -938,11 +931,7 @@ impl<F: Field> CsmCluster<F> {
 
     // ---------------------------------------------------------------- state update
 
-    fn update_states(
-        &mut self,
-        new_states: &[Vec<F>],
-        ops: &mut RoundOps,
-    ) -> Result<(), CsmError> {
+    fn update_states(&mut self, new_states: &[Vec<F>], ops: &mut RoundOps) -> Result<(), CsmError> {
         match self.config.coding {
             CodingMode::Distributed => {
                 for i in 0..self.config.n {
@@ -991,10 +980,7 @@ impl<F: Field> CsmCluster<F> {
         let coded = if self.nodes[i].fault == FaultSpec::CorruptStateUpdate {
             // self-poisoning: the node stores garbage, so its future
             // results are erroneous and get corrected by decoding
-            coded
-                .into_iter()
-                .map(|x| x + F::from_u64(0xDEAD))
-                .collect()
+            coded.into_iter().map(|x| x + F::from_u64(0xDEAD)).collect()
         } else {
             coded
         };

@@ -181,11 +181,7 @@ mod tests {
     #[test]
     fn coefficients_match_lagrange_interpolation() {
         let cb: Codebook<Fp61> = Codebook::new(7, 3).unwrap();
-        let states: Vec<Fp61> = vec![
-            Fp61::from_u64(10),
-            Fp61::from_u64(20),
-            Fp61::from_u64(30),
-        ];
+        let states: Vec<Fp61> = vec![Fp61::from_u64(10), Fp61::from_u64(20), Fp61::from_u64(30)];
         let u = Poly::interpolate(cb.omegas(), &states);
         for i in 0..7 {
             assert_eq!(cb.encode_at(i, &states), u.eval(cb.alphas()[i]));

@@ -147,10 +147,9 @@ impl<F: Field> CommandPool<F> {
         }
         let sequence = self.sequences[client.0];
         self.sequences[client.0] += 1;
-        let sig = self.registry.sign(
-            NodeId(client.0),
-            &auth_payload(machine, sequence, &payload),
-        );
+        let sig = self
+            .registry
+            .sign(NodeId(client.0), &auth_payload(machine, sequence, &payload));
         let cmd = SubmittedCommand {
             client,
             machine,

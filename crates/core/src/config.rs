@@ -17,10 +17,11 @@ pub enum SynchronyMode {
 }
 
 /// Where the coding work happens (§5.2 vs §6.2).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum CodingMode {
     /// Every node encodes its own coded command (O(K) each) and decodes
     /// the full result vector itself (§5.2).
+    #[default]
     Distributed,
     /// A single worker performs all encoding/decoding with fast polynomial
     /// algorithms; a random committee of auditors verifies via INTERMIX
@@ -31,12 +32,6 @@ pub enum CodingMode {
         /// Assumed adversarial fraction (for committee sizing).
         mu: f64,
     },
-}
-
-impl Default for CodingMode {
-    fn default() -> Self {
-        CodingMode::Distributed
-    }
 }
 
 /// Which Reed–Solomon decoder nodes use.

@@ -48,12 +48,20 @@ impl std::fmt::Display for CsmError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CsmError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
-            CsmError::TooManyMachines { k, n, degree, max_k } => write!(
+            CsmError::TooManyMachines {
+                k,
+                n,
+                degree,
+                max_k,
+            } => write!(
                 f,
                 "cannot run {k} machines of degree {degree} on {n} nodes (max {max_k})"
             ),
             CsmError::FieldTooSmall { needed, order } => {
-                write!(f, "field of order {order} cannot host {needed} distinct points")
+                write!(
+                    f,
+                    "field of order {order} cannot host {needed} distinct points"
+                )
             }
             CsmError::ShapeMismatch(m) => write!(f, "shape mismatch: {m}"),
             CsmError::Decoding(e) => write!(f, "decoding failed: {e}"),

@@ -62,11 +62,111 @@ pub struct ExchangeConfig {
 }
 
 type ResultMsg<F> = (usize, Vec<F>, Signature);
-type Word<F> = Vec<Option<Vec<F>>>;
+
+/// A receiver's word: slot `i` holds the (first, authenticated) result
+/// received from sender `i`, or `None` for an erasure.
+pub type Word<F> = Vec<Option<Vec<F>>>;
+
 type Board<F> = Rc<RefCell<Vec<Option<Word<F>>>>>;
 
-fn canonical<F: Field>(sender: usize, v: &[F]) -> (usize, Vec<u64>) {
+/// Canonical form of a result message: sender id plus the canonical
+/// `u64` encoding of every field element. The simulator MACs this tuple
+/// directly; the transport runtime uses the same canonical `u64`s as the
+/// wire payload but MACs the encoded frame bytes (which also cover the
+/// round number), so tags from one path do **not** verify on the other —
+/// the shared piece is the field-element canonicalization, not the
+/// signature domain.
+pub fn canonical<F: Field>(sender: usize, v: &[F]) -> (usize, Vec<u64>) {
     (sender, v.iter().map(|x| x.to_canonical_u64()).collect())
+}
+
+/// The multiplicative-noise schedule an equivocator uses: receiver `j`
+/// gets the base result perturbed by this value, so any two receivers can
+/// prove the equivocation against each other. Shared by the simulator and
+/// the transport runtime so tests can cross-check both paths.
+pub fn equivocation_noise(receiver: usize) -> u64 {
+    1 + (receiver as u64).wrapping_mul(0x9E37) % 65_521
+}
+
+/// The pure §5.2 receiver finalization state machine, independent of any
+/// I/O substrate. The discrete-event simulator ([`exchange_results`]) and
+/// the real transport runtime (`csm-node`) both drive this one
+/// implementation:
+///
+/// * [`record`](Self::record) — first result from each sender wins; under
+///   partial synchrony the word freezes as soon as `N − b` results are
+///   held (§5.2 liveness cutoff).
+/// * [`on_deadline`](Self::on_deadline) — under synchrony the word
+///   freezes at the known delivery deadline Δ.
+#[derive(Debug, Clone)]
+pub struct ReceiverCore<F> {
+    synchrony: SynchronyMode,
+    cutoff: usize,
+    received: Word<F>,
+    finalized: bool,
+}
+
+impl<F: Clone> ReceiverCore<F> {
+    /// A fresh receiver for an `n`-node exchange provisioned for
+    /// `assumed_faults` Byzantine nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assumed_faults >= n`.
+    pub fn new(n: usize, synchrony: SynchronyMode, assumed_faults: usize) -> Self {
+        assert!(assumed_faults < n, "cutoff N - b must be positive");
+        ReceiverCore {
+            synchrony,
+            cutoff: n - assumed_faults,
+            received: vec![None; n],
+            finalized: false,
+        }
+    }
+
+    /// Accepts an authenticated result from `from`. Returns `true` if this
+    /// record finalized the word (partial-synchrony cutoff reached).
+    /// Results arriving after finalization, duplicate senders, and
+    /// out-of-range senders are ignored.
+    pub fn record(&mut self, from: usize, vector: Vec<F>) -> bool {
+        if self.finalized || from >= self.received.len() || self.received[from].is_some() {
+            return false;
+        }
+        self.received[from] = Some(vector);
+        if self.synchrony == SynchronyMode::PartiallySynchronous
+            && self.results_held() >= self.cutoff
+        {
+            self.finalized = true;
+            return true;
+        }
+        false
+    }
+
+    /// The Δ-deadline fired: freeze the word regardless of how many
+    /// results are held (synchronous model; also the partial-synchrony
+    /// fallback when the cutoff is never reached).
+    pub fn on_deadline(&mut self) {
+        self.finalized = true;
+    }
+
+    /// Whether the word is frozen.
+    pub fn is_finalized(&self) -> bool {
+        self.finalized
+    }
+
+    /// Number of results currently held.
+    pub fn results_held(&self) -> usize {
+        self.received.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// The current word (final iff [`is_finalized`](Self::is_finalized)).
+    pub fn word(&self) -> &Word<F> {
+        &self.received
+    }
+
+    /// Consumes the core, yielding the word.
+    pub fn into_word(self) -> Word<F> {
+        self.received
+    }
 }
 
 struct ExchangeNode<F> {
@@ -74,32 +174,22 @@ struct ExchangeNode<F> {
     n: usize,
     behavior: ResultBehavior<F>,
     registry: Rc<KeyRegistry>,
-    synchrony: SynchronyMode,
-    cutoff: usize,
-    received: Word<F>,
-    finalized: bool,
+    core: ReceiverCore<F>,
     board: Board<F>,
     deadline: u64,
 }
 
 impl<F: Field> ExchangeNode<F> {
-    fn finalize(&mut self) {
-        if !self.finalized {
-            self.finalized = true;
-            self.board.borrow_mut()[self.id.0] = Some(self.received.clone());
+    fn publish(&mut self) {
+        let mut board = self.board.borrow_mut();
+        if board[self.id.0].is_none() {
+            board[self.id.0] = Some(self.core.word().clone());
         }
     }
 
     fn record(&mut self, from: usize, vector: Vec<F>) {
-        if self.finalized || self.received[from].is_some() {
-            return; // first result from each sender wins
-        }
-        self.received[from] = Some(vector);
-        if self.synchrony == SynchronyMode::PartiallySynchronous {
-            let count = self.received.iter().filter(|r| r.is_some()).count();
-            if count >= self.cutoff {
-                self.finalize();
-            }
+        if self.core.record(from, vector) {
+            self.publish();
         }
     }
 }
@@ -123,7 +213,7 @@ impl<F: Field> Process<ResultMsg<F>> for ExchangeNode<F> {
                         continue;
                     }
                     let mut v = base.clone();
-                    let noise = F::from_u64(1 + (j as u64).wrapping_mul(0x9E37) % 65_521);
+                    let noise = F::from_u64(equivocation_noise(j));
                     for x in v.iter_mut() {
                         *x += noise;
                     }
@@ -163,12 +253,13 @@ impl<F: Field> Process<ResultMsg<F>> for ExchangeNode<F> {
 
     fn on_timer(&mut self, token: u64, _ctx: &mut Context<ResultMsg<F>>) {
         if token == FINALIZE_TOKEN {
-            self.finalize();
+            self.core.on_deadline();
+            self.publish();
         }
     }
 
     fn is_done(&self) -> bool {
-        self.finalized
+        self.core.is_finalized()
     }
 }
 
@@ -195,7 +286,6 @@ pub fn exchange_results<F: Field>(
     };
     // finalization deadline: after every message must have landed
     let deadline = model.delivery_deadline(0) + 1;
-    let cutoff = cfg.n - cfg.assumed_faults;
     let nodes: Vec<Box<dyn Process<ResultMsg<F>>>> = behaviors
         .into_iter()
         .enumerate()
@@ -205,10 +295,7 @@ pub fn exchange_results<F: Field>(
                 n: cfg.n,
                 behavior,
                 registry: Rc::clone(&registry),
-                synchrony: cfg.synchrony,
-                cutoff,
-                received: vec![None; cfg.n],
-                finalized: false,
+                core: ReceiverCore::new(cfg.n, cfg.synchrony, cfg.assumed_faults),
                 board: Rc::clone(&board),
                 deadline,
             }) as Box<dyn Process<ResultMsg<F>>>
@@ -245,12 +332,17 @@ mod tests {
     #[test]
     fn all_honest_full_words() {
         let n = 5;
-        let behaviors: Vec<ResultBehavior<Fp61>> =
-            (0..n).map(|i| ResultBehavior::Honest(vec![f(i as u64)])).collect();
+        let behaviors: Vec<ResultBehavior<Fp61>> = (0..n)
+            .map(|i| ResultBehavior::Honest(vec![f(i as u64)]))
+            .collect();
         let words = exchange_results(&sync_cfg(n, 1), behaviors);
         for (j, w) in words.iter().enumerate() {
             for (i, r) in w.iter().enumerate() {
-                assert_eq!(r.as_deref(), Some(&[f(i as u64)][..]), "receiver {j} sender {i}");
+                assert_eq!(
+                    r.as_deref(),
+                    Some(&[f(i as u64)][..]),
+                    "receiver {j} sender {i}"
+                );
             }
         }
     }
@@ -325,6 +417,47 @@ mod tests {
                 "receiver {j} finalized with only {count} results"
             );
         }
+    }
+
+    #[test]
+    fn receiver_core_first_result_wins() {
+        let mut core: ReceiverCore<Fp61> = ReceiverCore::new(4, SynchronyMode::Synchronous, 1);
+        assert!(!core.record(1, vec![f(10)]));
+        assert!(!core.record(1, vec![f(99)])); // duplicate sender ignored
+        assert!(!core.record(7, vec![f(1)])); // out of range ignored
+        assert_eq!(core.word()[1].as_deref(), Some(&[f(10)][..]));
+        assert_eq!(core.results_held(), 1);
+        assert!(!core.is_finalized());
+        core.on_deadline();
+        assert!(core.is_finalized());
+        assert!(!core.record(2, vec![f(2)])); // post-finalization ignored
+        assert_eq!(core.results_held(), 1);
+    }
+
+    #[test]
+    fn receiver_core_partial_synchrony_cutoff() {
+        let (n, b) = (6, 2);
+        let mut core: ReceiverCore<Fp61> =
+            ReceiverCore::new(n, SynchronyMode::PartiallySynchronous, b);
+        for i in 0..n - b - 1 {
+            assert!(!core.record(i, vec![f(i as u64)]));
+        }
+        assert!(!core.is_finalized());
+        // the (N - b)-th result freezes the word
+        assert!(core.record(n - b - 1, vec![f(9)]));
+        assert!(core.is_finalized());
+        assert_eq!(core.results_held(), n - b);
+    }
+
+    #[test]
+    fn receiver_core_synchronous_never_cuts_off_early() {
+        let n = 5;
+        let mut core: ReceiverCore<Fp61> = ReceiverCore::new(n, SynchronyMode::Synchronous, 2);
+        for i in 0..n {
+            assert!(!core.record(i, vec![f(i as u64)]));
+        }
+        // synchronous receivers wait for the deadline even with all results
+        assert!(!core.is_finalized());
     }
 
     #[test]

@@ -32,7 +32,5 @@ pub mod replication;
 
 pub use cluster::{CsmCluster, CsmClusterBuilder, RoundOps, RoundReport};
 pub use codebook::Codebook;
-pub use config::{
-    CodingMode, ConsensusMode, CsmConfig, DecoderKind, FaultSpec, SynchronyMode,
-};
+pub use config::{CodingMode, ConsensusMode, CsmConfig, DecoderKind, FaultSpec, SynchronyMode};
 pub use error::CsmError;

@@ -132,6 +132,7 @@ pub struct Table2Bounds {
     pub d: u32,
 }
 
+#[allow(clippy::int_plus_one)] // keep the bounds exactly as the paper states them
 impl Table2Bounds {
     /// Input-consensus bound: `b + 1 ≤ N` (sync) / `3b + 1 ≤ N` (psync).
     pub fn consensus_ok(&self, b: usize, sync: SynchronyMode) -> bool {

@@ -93,7 +93,10 @@ impl<F: Field> PipelinedDriver<F> {
     /// # Errors
     ///
     /// Propagates the first [`CsmError`] from any round.
-    pub fn run(mut self, batches: Vec<Vec<Vec<F>>>) -> Result<(PipelineRun<F>, CsmCluster<F>), CsmError> {
+    pub fn run(
+        mut self,
+        batches: Vec<Vec<Vec<F>>>,
+    ) -> Result<(PipelineRun<F>, CsmCluster<F>), CsmError> {
         let rounds = batches.len() as u64;
         let mut reports = Vec::with_capacity(batches.len());
         // The pipeline: consensus(t+1) overlaps execute(t). Functionally the

@@ -64,7 +64,7 @@ impl<F: Field> RandomAllocationCluster<F> {
         seed: u64,
     ) -> Result<Self, CsmError> {
         let k = initial_states.len();
-        if k == 0 || n % k != 0 {
+        if k == 0 || !n.is_multiple_of(k) {
             return Err(CsmError::InvalidConfig(format!(
                 "random allocation needs K | N (n={n}, k={k})"
             )));
@@ -321,11 +321,15 @@ mod tests {
     fn rotation_costs_state_transfers() {
         let mut c = cluster(20, 4, 9);
         assert_eq!(c.rotation_transfers, 0);
+        // most nodes move groups per rotation (expected (1 - 1/k) fraction);
+        // accumulate over several rotations so the bound is robust to the
+        // RNG stream rather than hinging on a single draw
         c.rotate();
-        // almost every node moves groups (expected (1 - 1/k) fraction)
+        c.rotate();
+        c.rotate();
         assert!(
-            c.rotation_transfers >= 10,
-            "rotation moved only {} nodes",
+            c.rotation_transfers >= 30,
+            "3 rotations moved only {} nodes (expected ~45)",
             c.rotation_transfers
         );
         // rounds still work after rotation

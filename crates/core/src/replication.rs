@@ -202,7 +202,7 @@ impl<F: Field> PartialReplicationCluster<F> {
         group_faults: usize,
     ) -> Result<Self, CsmError> {
         let k = initial_states.len();
-        if k == 0 || n % k != 0 {
+        if k == 0 || !n.is_multiple_of(k) {
             return Err(CsmError::InvalidConfig(format!(
                 "partial replication needs K | N (n={n}, k={k})"
             )));
@@ -215,9 +215,7 @@ impl<F: Field> PartialReplicationCluster<F> {
                 .map(|(_, f)| *f)
                 .unwrap_or(FaultSpec::Honest)
         };
-        let states = (0..n)
-            .map(|i| initial_states[i / q].clone())
-            .collect();
+        let states = (0..n).map(|i| initial_states[i / q].clone()).collect();
         Ok(PartialReplicationCluster {
             transition,
             states,
@@ -360,9 +358,7 @@ mod tests {
             5,
             bank_machine::<Fp61>(),
             vec![vec![f(10)]],
-            (0..3)
-                .map(|i| (NodeId(i), FaultSpec::Withhold))
-                .collect(),
+            (0..3).map(|i| (NodeId(i), FaultSpec::Withhold)).collect(),
             2,
             1,
         )
@@ -419,15 +415,9 @@ mod tests {
         let g = |v: u64| C::from_u64(v);
         let states: Vec<Vec<C>> = (0..3).map(|i| vec![g(10 * (i + 1))]).collect();
         let cmds: Vec<Vec<C>> = (0..3).map(|i| vec![g(i)]).collect();
-        let mut full = FullReplicationCluster::new(
-            6,
-            bank_machine::<C>(),
-            states.clone(),
-            vec![],
-            0,
-            1,
-        )
-        .unwrap();
+        let mut full =
+            FullReplicationCluster::new(6, bank_machine::<C>(), states.clone(), vec![], 0, 1)
+                .unwrap();
         let mut partial =
             PartialReplicationCluster::new(6, bank_machine::<C>(), states, vec![], 0).unwrap();
         let rf = full.step(&cmds).unwrap();
@@ -436,7 +426,12 @@ mod tests {
             r.per_node_ops.iter().map(|o| o.total()).sum::<u64>() as f64
                 / r.per_node_ops.len() as f64
         };
-        assert!(mean(&rf) >= 2.9 * mean(&rp), "full {} partial {}", mean(&rf), mean(&rp));
+        assert!(
+            mean(&rf) >= 2.9 * mean(&rp),
+            "full {} partial {}",
+            mean(&rf),
+            mean(&rp)
+        );
     }
 
     #[test]

@@ -48,9 +48,7 @@ pub fn elect_committee(n: usize, j: usize, seed: u64) -> Committee {
     let worker = rng.gen_range(0..n);
     let p = (j as f64 / n as f64).min(1.0);
     loop {
-        let auditors: Vec<usize> = (0..n)
-            .filter(|&i| i != worker && rng.gen_bool(p))
-            .collect();
+        let auditors: Vec<usize> = (0..n).filter(|&i| i != worker && rng.gen_bool(p)).collect();
         if !auditors.is_empty() {
             return Committee {
                 worker,

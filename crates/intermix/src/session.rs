@@ -199,7 +199,7 @@ impl<'a, F: Field> Worker<'a, F> {
                 // one half
                 let tl = self.true_segment(row, lo, mid);
                 let tr = self.true_segment(row, mid, hi);
-                if *alternate && depth % 2 == 0 {
+                if *alternate && depth.is_multiple_of(2) {
                     // lie in the left half
                     Some((parent_claim - tr, tr))
                 } else {
@@ -265,11 +265,16 @@ fn localize_fraud<F: Field>(
 pub fn commoner_verify<F: Field>(proof: &FraudProof<F>, a: &Matrix<F>, x: &[F]) -> bool {
     match proof {
         FraudProof::SumMismatch {
-            parent, left, right, ..
+            parent,
+            left,
+            right,
+            ..
         } => *left + *right != *parent,
-        FraudProof::LeafMismatch { row, index, claimed } => {
-            *row < a.rows() && *index < x.len() && *claimed != a[(*row, *index)] * x[*index]
-        }
+        FraudProof::LeafMismatch {
+            row,
+            index,
+            claimed,
+        } => *row < a.rows() && *index < x.len() && *claimed != a[(*row, *index)] * x[*index],
         // Non-response is publicly observable under the broadcast +
         // synchronous assumptions; nothing to recompute.
         FraudProof::Unresponsive { .. } => true,
@@ -522,10 +527,7 @@ mod tests {
         // measure commoner ops over Counting<F> at two very different K
         type C = Counting<Fp61>;
         let build = |k: usize| {
-            let a = Matrix::<C>::vandermonde(
-                &(1..=4u64).map(C::from_u64).collect::<Vec<_>>(),
-                k,
-            );
+            let a = Matrix::<C>::vandermonde(&(1..=4u64).map(C::from_u64).collect::<Vec<_>>(), k);
             let x: Vec<C> = (0..k as u64).map(C::from_u64).collect();
             (a, x)
         };
@@ -552,10 +554,8 @@ mod tests {
 
     #[test]
     fn works_over_gf2m() {
-        let a = Matrix::<Gf2_16>::vandermonde(
-            &(1..=6u64).map(Gf2_16::from_u64).collect::<Vec<_>>(),
-            5,
-        );
+        let a =
+            Matrix::<Gf2_16>::vandermonde(&(1..=6u64).map(Gf2_16::from_u64).collect::<Vec<_>>(), 5);
         let x: Vec<Gf2_16> = (10..15).map(Gf2_16::from_u64).collect();
         let out = run_session(
             &a,
@@ -589,7 +589,11 @@ mod tests {
         // K = 1: no halving possible; immediately a leaf mismatch
         assert!(matches!(
             out.fraud_proof.unwrap(),
-            FraudProof::LeafMismatch { row: 1, index: 0, .. }
+            FraudProof::LeafMismatch {
+                row: 1,
+                index: 0,
+                ..
+            }
         ));
     }
 }

@@ -9,9 +9,7 @@
 //! matrix–vector check `V_τ · b = g_τ` on the Vandermonde matrix of the
 //! `τ`-rows — which is exactly an INTERMIX instance.
 
-use crate::session::{
-    run_session, AuditorBehavior, SessionConfig, SessionOutcome, WorkerBehavior,
-};
+use crate::session::{run_session, AuditorBehavior, SessionConfig, SessionOutcome, WorkerBehavior};
 use csm_algebra::{Field, Matrix};
 
 /// A worker's claimed decoding: coefficients plus consistency set.
@@ -113,7 +111,12 @@ mod tests {
         (points, values, poly)
     }
 
-    fn claim_for(poly: &Poly<Fp61>, points: &[Fp61], values: &[Fp61], dim: usize) -> DecodingClaim<Fp61> {
+    fn claim_for(
+        poly: &Poly<Fp61>,
+        points: &[Fp61],
+        values: &[Fp61],
+        dim: usize,
+    ) -> DecodingClaim<Fp61> {
         let mut coefficients = poly.coeffs().to_vec();
         coefficients.resize(dim, Fp61::ZERO);
         let tau: Vec<usize> = points

@@ -5,9 +5,7 @@
 //! and auditor mixes.
 
 use csm_algebra::{Field, Fp61, Matrix};
-use csm_intermix::{
-    commoner_verify, run_session, AuditorBehavior, SessionConfig, WorkerBehavior,
-};
+use csm_intermix::{commoner_verify, run_session, AuditorBehavior, SessionConfig, WorkerBehavior};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -26,7 +24,12 @@ fn instance() -> impl Strategy<Value = Instance> {
             prop::collection::vec(any::<u64>(), n * k),
             prop::collection::vec(any::<u64>(), k),
         )
-            .prop_map(|(n, k, a_data, x_data)| Instance { n, k, a_data, x_data })
+            .prop_map(|(n, k, a_data, x_data)| Instance {
+                n,
+                k,
+                a_data,
+                x_data,
+            })
     })
 }
 

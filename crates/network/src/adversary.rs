@@ -76,7 +76,10 @@ pub struct Chain<A, B>(pub A, pub B);
 
 impl<A: std::fmt::Debug, B: std::fmt::Debug> std::fmt::Debug for Chain<A, B> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_tuple("Chain").field(&self.0).field(&self.1).finish()
+        f.debug_tuple("Chain")
+            .field(&self.0)
+            .field(&self.1)
+            .finish()
     }
 }
 

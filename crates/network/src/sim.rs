@@ -548,7 +548,10 @@ mod tests {
     #[test]
     fn run_respects_max_time() {
         let mut sim = Simulator::new(
-            SynchronyModel::PartiallySynchronous { gst: 1000, delta: 1 },
+            SynchronyModel::PartiallySynchronous {
+                gst: 1000,
+                delta: 1,
+            },
             5,
             pingpong_nodes(3),
         );

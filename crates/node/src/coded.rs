@@ -1,0 +1,242 @@
+//! End-to-end coded execution state for one node hosting the §5–§6
+//! pipeline: **encode** (Lagrange-code the plaintext states and commands
+//! at this node's evaluation point), **execute** (apply the transition
+//! polynomial to the coded values), **exchange** (broadcast the coded
+//! result — done by [`crate::NodeRuntime`]), **decode** (Reed–Solomon
+//! recover every machine's plaintext result from the finalized word).
+//!
+//! Commands are derived deterministically from `(seed, round)` so all
+//! nodes agree on the round's inputs without a separate ordering phase;
+//! the ordering/consensus stage of the paper is out of scope here and is
+//! provided by `csm_consensus` in the simulator pipeline.
+
+use csm_algebra::{distinct_elements, Field, Poly};
+use csm_core::exchange::Word;
+use csm_reed_solomon::RsCode;
+use csm_statemachine::machines::bank_machine;
+use csm_statemachine::PolyTransition;
+
+/// Outcome of one committed round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundCommit<F> {
+    /// Round number.
+    pub round: u64,
+    /// Decoded per-machine results `(next_state, output)` flattened as
+    /// the transition's flat vector.
+    pub results: Vec<Vec<F>>,
+    /// Order-sensitive digest of `results` (what nodes gossip in
+    /// `Commit` frames).
+    pub digest: u64,
+    /// How many word slots held results when decoding.
+    pub results_held: usize,
+}
+
+/// One node's view of the coded bank cluster (`K` bank machines on `N`
+/// nodes).
+#[derive(Debug)]
+pub struct CodedBankNode<F: Field> {
+    id: usize,
+    n: usize,
+    k: usize,
+    seed: u64,
+    machine: PolyTransition<F>,
+    omegas: Vec<F>,
+    alphas: Vec<F>,
+    code: RsCode<F>,
+    /// Plaintext state of every machine (scalar for the bank machine),
+    /// advanced after each decoded round.
+    states: Vec<F>,
+}
+
+impl<F: Field> CodedBankNode<F> {
+    /// Sets up node `id` of an `n`-node, `k`-machine coded bank cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, `id >= n`, or the code is undersized for `n`.
+    pub fn new(id: usize, n: usize, k: usize, seed: u64) -> Self {
+        assert!(k > 0 && id < n, "invalid coded cluster shape");
+        let machine = bank_machine::<F>();
+        let omegas: Vec<F> = distinct_elements(0, k);
+        let alphas: Vec<F> = distinct_elements(k as u64, n);
+        let dim = machine.composite_degree_bound(k) + 1;
+        let code = RsCode::new(alphas.clone(), dim).expect("valid RS code");
+        let states = (0..k as u64).map(|i| F::from_u64(100 * (i + 1))).collect();
+        CodedBankNode {
+            id,
+            n,
+            k,
+            seed,
+            machine,
+            omegas,
+            alphas,
+            code,
+            states,
+        }
+    }
+
+    /// Number of machines.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Current plaintext states (what every honest node agrees on).
+    pub fn states(&self) -> &[F] {
+        &self.states
+    }
+
+    /// The deterministic command vector all nodes derive for `round`.
+    pub fn commands(&self, round: u64) -> Vec<F> {
+        (0..self.k as u64)
+            .map(|m| F::from_u64(mix(self.seed ^ mix(round) ^ mix(m)) % 1_000))
+            .collect()
+    }
+
+    /// **Encode + execute**: this node's coded result
+    /// `g_i = f(u(α_i), v(α_i))` for `round`.
+    pub fn my_coded_result(&self, round: u64) -> Vec<F> {
+        let cmds = self.commands(round);
+        let u = Poly::interpolate(&self.omegas, &self.states);
+        let v = Poly::interpolate(&self.omegas, &cmds);
+        let coded_state = vec![u.eval(self.alphas[self.id])];
+        let coded_cmd = vec![v.eval(self.alphas[self.id])];
+        self.machine
+            .apply_flat(&coded_state, &coded_cmd)
+            .expect("coded execution matches machine arity")
+    }
+
+    /// **Decode**: recovers every machine's flat result from a finalized
+    /// word, or `None` if the word is undecodable (too many
+    /// errors/erasures).
+    pub fn decode(&self, word: &Word<F>) -> Option<Vec<Vec<F>>> {
+        let coords = self.machine.state_dim() + self.machine.output_dim();
+        let mut per_machine = vec![Vec::with_capacity(coords); self.k];
+        for coord in 0..coords {
+            let coord_word: Vec<Option<F>> = word
+                .iter()
+                .map(|w| w.as_ref().and_then(|g| g.get(coord).copied()))
+                .collect();
+            let decoded = self.code.decode(&coord_word).ok()?;
+            for (m, &w) in self.omegas.iter().enumerate() {
+                per_machine[m].push(decoded.poly().eval(w));
+            }
+        }
+        Some(per_machine)
+    }
+
+    /// Decodes and commits `round`: advances the plaintext states to the
+    /// decoded next states and returns the commit record.
+    pub fn commit_round(&mut self, round: u64, word: &Word<F>) -> Option<RoundCommit<F>> {
+        let results = self.decode(word)?;
+        self.advance(&results);
+        let digest = digest_results(&results);
+        Some(RoundCommit {
+            round,
+            results,
+            digest,
+            results_held: word.iter().filter(|w| w.is_some()).count(),
+        })
+    }
+
+    /// Advances the plaintext states from a round's per-machine results
+    /// (the flat vector's leading state coordinate for the bank machine).
+    pub fn advance(&mut self, results: &[Vec<F>]) {
+        debug_assert_eq!(results.len(), self.k);
+        for (state, result) in self.states.iter_mut().zip(results) {
+            *state = result[0];
+        }
+    }
+
+    /// The reference (uncoded) execution of `round` from the current
+    /// states — what honest nodes must decode to.
+    pub fn expected_results(&self, round: u64) -> Vec<Vec<F>> {
+        let cmds = self.commands(round);
+        self.states
+            .iter()
+            .zip(&cmds)
+            .map(|(&s, &x)| {
+                self.machine
+                    .apply_flat(&[s], &[x])
+                    .expect("reference execution matches machine arity")
+            })
+            .collect()
+    }
+
+    /// Fault bound check: with `b` Byzantine nodes, can the word still
+    /// decode? (`3b + 1 ≤ N − d(K−1)` per Theorem 1.)
+    pub fn supports_faults(&self, b: usize) -> bool {
+        let dim = self.machine.composite_degree_bound(self.k) + 1;
+        3 * b < self.n.saturating_sub(dim - 1)
+    }
+}
+
+/// Order-sensitive digest over canonical field encodings (SplitMix64
+/// chaining — consistent across processes).
+pub fn digest_results<F: Field>(results: &[Vec<F>]) -> u64 {
+    let mut acc = 0x9E37_79B9_7F4A_7C15u64;
+    for row in results {
+        for v in row {
+            acc = mix(acc ^ v.to_canonical_u64());
+        }
+        acc = mix(acc ^ 0xA5A5);
+    }
+    acc
+}
+
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csm_algebra::Fp61;
+
+    #[test]
+    fn coded_results_decode_to_reference() {
+        let k = 3;
+        let n = 12;
+        let mut nodes: Vec<CodedBankNode<Fp61>> =
+            (0..n).map(|i| CodedBankNode::new(i, n, k, 42)).collect();
+        for round in 0..3 {
+            let expected = nodes[0].expected_results(round);
+            // build a full word out of every node's coded result
+            let word: Word<Fp61> = (0..n)
+                .map(|i| Some(nodes[i].my_coded_result(round)))
+                .collect();
+            let mut digests = Vec::new();
+            for node in &mut nodes {
+                let commit = node.commit_round(round, &word).expect("decodes");
+                assert_eq!(commit.results, expected, "round {round}");
+                digests.push(commit.digest);
+            }
+            digests.dedup();
+            assert_eq!(digests.len(), 1, "all nodes agree on the digest");
+        }
+    }
+
+    #[test]
+    fn decode_tolerates_errors_within_bound() {
+        let (n, k) = (12, 2);
+        let node = CodedBankNode::<Fp61>::new(0, n, k, 7);
+        assert!(node.supports_faults(2));
+        let mut word: Word<Fp61> = (0..n)
+            .map(|i| Some(CodedBankNode::<Fp61>::new(i, n, k, 7).my_coded_result(0)))
+            .collect();
+        // one corrupted, one withheld
+        word[3] = Some(vec![Fp61::from_u64(666), Fp61::from_u64(667)]);
+        word[5] = None;
+        let expected = node.expected_results(0);
+        assert_eq!(node.decode(&word).expect("decodes"), expected);
+    }
+
+    #[test]
+    fn commands_are_deterministic_across_nodes() {
+        let a = CodedBankNode::<Fp61>::new(0, 8, 2, 5).commands(9);
+        let b = CodedBankNode::<Fp61>::new(7, 8, 2, 5).commands(9);
+        assert_eq!(a, b);
+    }
+}

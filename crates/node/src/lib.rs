@@ -1,0 +1,271 @@
+//! # csm-node
+//!
+//! Hosts one CSM node end-to-end over real I/O: **encode → execute →
+//! exchange → decode**, with the §5.2 result exchange running on a
+//! [`csm_transport::Transport`] (in-process channels or loopback/LAN TCP)
+//! instead of the discrete-event simulator.
+//!
+//! * [`NodeRuntime`] — the exchange protocol driver (Δ-deadline and
+//!   `N − b` cutoff finalization over [`csm_core::exchange::ReceiverCore`]).
+//! * [`CodedBankNode`] — per-node coded execution state for the bank
+//!   machine workload.
+//! * [`run_node`] — the full multi-round node loop used by the `csm-node`
+//!   binary, the TCP cluster example, and the integration tests.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod coded;
+pub mod runtime;
+
+pub use coded::{digest_results, CodedBankNode, RoundCommit};
+pub use runtime::{ExchangeTiming, NodeRuntime};
+
+use csm_algebra::{Field, Fp61};
+use csm_core::exchange::ResultBehavior;
+use csm_network::auth::KeyRegistry;
+use csm_transport::Transport;
+use std::str::FromStr;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How a node behaves in every round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BehaviorKind {
+    /// Broadcast the true coded result.
+    Honest,
+    /// Send a differently-perturbed result to each receiver.
+    Equivocate,
+    /// Send nothing.
+    Withhold,
+    /// Forge frames claiming the next node produced them.
+    Impersonate,
+}
+
+impl FromStr for BehaviorKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "honest" => Ok(BehaviorKind::Honest),
+            "equivocate" => Ok(BehaviorKind::Equivocate),
+            "withhold" => Ok(BehaviorKind::Withhold),
+            "impersonate" => Ok(BehaviorKind::Impersonate),
+            other => Err(format!(
+                "unknown behavior {other:?} (want honest|equivocate|withhold|impersonate)"
+            )),
+        }
+    }
+}
+
+/// Shape and schedule of a node run.
+#[derive(Debug, Clone)]
+pub struct NodeSpec {
+    /// Number of machines `K`.
+    pub k: usize,
+    /// Shared seed for states, commands, and keys.
+    pub seed: u64,
+    /// Rounds to run.
+    pub rounds: u64,
+    /// This node's behavior.
+    pub behavior: BehaviorKind,
+}
+
+/// What one node observed over its run.
+#[derive(Debug, Clone)]
+pub struct NodeReport {
+    /// The node id.
+    pub id: usize,
+    /// Per-round commits; `None` where the word failed to decode.
+    pub commits: Vec<Option<RoundCommit<Fp61>>>,
+}
+
+impl NodeReport {
+    /// The digests of the successfully committed rounds.
+    pub fn digests(&self) -> Vec<(u64, u64)> {
+        self.commits
+            .iter()
+            .flatten()
+            .map(|c| (c.round, c.digest))
+            .collect()
+    }
+}
+
+/// Runs the full multi-round node loop: per round, encode+execute the
+/// coded result, exchange it per the node's behavior, decode the
+/// finalized word, advance state, and gossip the commit digest.
+///
+/// Byzantine nodes still decode and advance their own state (they
+/// receive everyone else's honest results), so they stay resynchronized
+/// with the cluster — matching the paper's model where Byzantine nodes
+/// are faulty toward *others*, not necessarily internally broken.
+pub fn run_node<T: Transport>(
+    transport: T,
+    registry: Arc<KeyRegistry>,
+    timing: ExchangeTiming,
+    spec: &NodeSpec,
+) -> NodeReport {
+    let n = transport.n();
+    let id = transport.local_id().0;
+    let mut rt = NodeRuntime::new(transport, registry, timing);
+    let mut coded = CodedBankNode::<Fp61>::new(id, n, spec.k, spec.seed);
+    let mut commits = Vec::with_capacity(spec.rounds as usize);
+    for round in 0..spec.rounds {
+        let g = coded.my_coded_result(round);
+        let behavior = match spec.behavior {
+            BehaviorKind::Honest => ResultBehavior::Honest(g),
+            BehaviorKind::Equivocate => {
+                ResultBehavior::Equivocate(g.into_iter().map(|x| x + Fp61::from_u64(77)).collect())
+            }
+            BehaviorKind::Withhold => ResultBehavior::Withhold,
+            BehaviorKind::Impersonate => ResultBehavior::Impersonate {
+                spoof: (id + 1) % n,
+                forged: vec![Fp61::from_u64(0xBAD); 2],
+            },
+        };
+        let word = rt.run_exchange_round(round, &behavior);
+        let commit = coded.commit_round(round, &word);
+        if let Some(c) = &commit {
+            rt.announce_commit(round, c.digest);
+        }
+        commits.push(commit);
+    }
+    NodeReport { id, commits }
+}
+
+/// Builds the key registry every node of a cluster derives from the
+/// shared seed (stand-in for PKI setup; see `csm_network::auth`).
+pub fn cluster_registry(n: usize, seed: u64) -> Arc<KeyRegistry> {
+    Arc::new(KeyRegistry::new(n, seed ^ 0xC5_11))
+}
+
+/// Default Δ for loopback meshes: comfortably above loopback RTT while
+/// keeping multi-round runs fast.
+pub fn loopback_delta() -> Duration {
+    Duration::from_millis(250)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csm_core::SynchronyMode;
+    use csm_transport::mem::MemMesh;
+    use std::collections::BTreeMap;
+    use std::thread;
+
+    fn run_cluster(
+        n: usize,
+        k: usize,
+        rounds: u64,
+        timing: ExchangeTiming,
+        behavior_of: impl Fn(usize) -> BehaviorKind,
+    ) -> Vec<NodeReport> {
+        let registry = cluster_registry(n, 77);
+        let mesh = MemMesh::build(Arc::clone(&registry));
+        let mut handles = Vec::new();
+        for (i, transport) in mesh.into_iter().enumerate() {
+            let registry = Arc::clone(&registry);
+            let timing = timing.clone();
+            let spec = NodeSpec {
+                k,
+                seed: 77,
+                rounds,
+                behavior: behavior_of(i),
+            };
+            handles.push(thread::spawn(move || {
+                run_node(transport, registry, timing, &spec)
+            }));
+        }
+        let mut reports: Vec<NodeReport> = handles
+            .into_iter()
+            .map(|h| h.join().expect("node thread panicked"))
+            .collect();
+        reports.sort_by_key(|r| r.id);
+        reports
+    }
+
+    fn assert_honest_agreement(reports: &[NodeReport], byzantine: &[usize], rounds: u64) {
+        let mut per_round: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        for report in reports {
+            if byzantine.contains(&report.id) {
+                continue;
+            }
+            assert_eq!(
+                report.digests().len(),
+                rounds as usize,
+                "honest node {} committed every round",
+                report.id
+            );
+            for (round, digest) in report.digests() {
+                per_round.entry(round).or_default().push(digest);
+            }
+        }
+        for (round, digests) in per_round {
+            assert!(
+                digests.windows(2).all(|w| w[0] == w[1]),
+                "round {round}: honest digests diverge: {digests:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn mem_cluster_all_honest_synchronous() {
+        let timing = ExchangeTiming::synchronous(1, Duration::from_millis(150));
+        let reports = run_cluster(5, 2, 3, timing, |_| BehaviorKind::Honest);
+        assert_honest_agreement(&reports, &[], 3);
+    }
+
+    #[test]
+    fn mem_cluster_survives_equivocator_partial_sync() {
+        let n = 8;
+        let timing = ExchangeTiming::partially_synchronous(1, Duration::from_secs(5));
+        let reports = run_cluster(n, 2, 4, timing, |i| {
+            if i == 0 {
+                BehaviorKind::Equivocate
+            } else {
+                BehaviorKind::Honest
+            }
+        });
+        assert_honest_agreement(&reports, &[0], 4);
+    }
+
+    #[test]
+    fn mem_cluster_survives_withholder_synchronous() {
+        let n = 8;
+        let timing = ExchangeTiming::synchronous(1, Duration::from_millis(250));
+        let reports = run_cluster(n, 2, 3, timing, |i| {
+            if i == 3 {
+                BehaviorKind::Withhold
+            } else {
+                BehaviorKind::Honest
+            }
+        });
+        assert_honest_agreement(&reports, &[3], 3);
+        // withheld slots are erasures at every honest receiver — but the
+        // withholder itself still commits from others' results
+        assert_eq!(reports[3].digests().len(), 3);
+    }
+
+    #[test]
+    fn mem_cluster_drops_impersonator_frames() {
+        let n = 8;
+        let timing = ExchangeTiming::synchronous(1, Duration::from_millis(250));
+        let reports = run_cluster(n, 2, 2, timing, |i| {
+            if i == 5 {
+                BehaviorKind::Impersonate
+            } else {
+                BehaviorKind::Honest
+            }
+        });
+        assert_honest_agreement(&reports, &[5], 2);
+    }
+
+    #[test]
+    fn timing_constructors() {
+        let s = ExchangeTiming::synchronous(2, Duration::from_millis(100));
+        assert_eq!(s.synchrony, SynchronyMode::Synchronous);
+        let p = ExchangeTiming::partially_synchronous(2, Duration::from_secs(1));
+        assert_eq!(p.synchrony, SynchronyMode::PartiallySynchronous);
+        assert_eq!(p.delta, p.max_wait);
+    }
+}

@@ -1,0 +1,336 @@
+//! The `csm-node` binary: hosts one CSM node end-to-end over TCP, or
+//! launches a whole loopback cluster as separate OS processes.
+//!
+//! ```text
+//! # one node (usually spawned by `launch`):
+//! csm-node run --id 0 --n 8 --k 2 --faults 1 --rounds 5 --seed 42 \
+//!              --ports 42100,42101,...  [--behavior equivocate] [--partial-sync]
+//!
+//! # a full multi-process cluster on loopback:
+//! csm-node launch --n 8 --k 2 --faults 1 --rounds 5 --seed 42 \
+//!                 [--byzantine 0:equivocate] [--partial-sync]
+//! ```
+//!
+//! `launch` spawns `n` child `csm-node run` processes, collects their
+//! per-round commit digests from stdout, and exits non-zero unless every
+//! honest node committed every round with identical digests.
+
+use csm_network::NodeId;
+use csm_node::{cluster_registry, run_node, BehaviorKind, ExchangeTiming, NodeSpec};
+use csm_transport::tcp::TcpTransport;
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader};
+use std::net::{SocketAddr, TcpListener};
+use std::process::{Command, Stdio};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[derive(Debug, Clone)]
+struct CommonArgs {
+    n: usize,
+    k: usize,
+    faults: usize,
+    rounds: u64,
+    seed: u64,
+    partial_sync: bool,
+    delta_ms: u64,
+}
+
+impl Default for CommonArgs {
+    fn default() -> Self {
+        CommonArgs {
+            n: 8,
+            k: 2,
+            faults: 1,
+            rounds: 5,
+            seed: 42,
+            partial_sync: false,
+            delta_ms: 250,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  csm-node run --id I --ports P0,P1,.. [--n N --k K --faults B --rounds R \
+         --seed S --behavior KIND --partial-sync --delta-ms D]\n  csm-node launch [--n N --k K \
+         --faults B --rounds R --seed S --byzantine ID:KIND --partial-sync --delta-ms D]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_common(args: &mut CommonArgs, flag: &str, value: &str) -> bool {
+    match flag {
+        "--n" => args.n = value.parse().expect("--n"),
+        "--k" => args.k = value.parse().expect("--k"),
+        "--faults" => args.faults = value.parse().expect("--faults"),
+        "--rounds" => args.rounds = value.parse().expect("--rounds"),
+        "--seed" => args.seed = value.parse().expect("--seed"),
+        "--delta-ms" => args.delta_ms = value.parse().expect("--delta-ms"),
+        _ => return false,
+    }
+    true
+}
+
+fn timing(args: &CommonArgs) -> ExchangeTiming {
+    if args.partial_sync {
+        // the N − b cutoff drives finalization; --delta-ms scales the
+        // hard fallback so a dead network cannot wedge a round
+        // (40 × the default 250ms Δ = the former fixed 10s fallback)
+        let fallback = Duration::from_millis(args.delta_ms.max(1)) * 40;
+        ExchangeTiming::partially_synchronous(args.faults, fallback)
+    } else {
+        ExchangeTiming::synchronous(args.faults, Duration::from_millis(args.delta_ms))
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    match argv.get(1).map(String::as_str) {
+        Some("run") => cmd_run(&argv[2..]),
+        Some("launch") => cmd_launch(&argv[2..]),
+        _ => usage(),
+    }
+}
+
+fn cmd_run(rest: &[String]) {
+    let mut common = CommonArgs::default();
+    let mut id: Option<usize> = None;
+    let mut ports: Vec<u16> = Vec::new();
+    let mut behavior = BehaviorKind::Honest;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--partial-sync" {
+            common.partial_sync = true;
+            continue;
+        }
+        let value = it.next().unwrap_or_else(|| usage());
+        if parse_common(&mut common, flag, value) {
+            continue;
+        }
+        match flag.as_str() {
+            "--id" => id = Some(value.parse().expect("--id")),
+            "--ports" => {
+                ports = value
+                    .split(',')
+                    .map(|p| p.parse().expect("--ports"))
+                    .collect()
+            }
+            "--behavior" => {
+                behavior = value.parse().unwrap_or_else(|e| {
+                    eprintln!("--behavior: {e}");
+                    std::process::exit(2);
+                })
+            }
+            _ => usage(),
+        }
+    }
+    let id = id.unwrap_or_else(|| usage());
+    if ports.len() != common.n || id >= common.n {
+        eprintln!("need exactly --n ports and --id < --n");
+        std::process::exit(2);
+    }
+
+    let registry = cluster_registry(common.n, common.seed);
+    let listen: SocketAddr = format!("127.0.0.1:{}", ports[id]).parse().expect("addr");
+    let transport =
+        TcpTransport::bind(NodeId(id), Arc::clone(&registry), listen).unwrap_or_else(|e| {
+            eprintln!("node {id}: bind {listen} failed: {e}");
+            std::process::exit(1);
+        });
+    let addrs: Vec<SocketAddr> = ports
+        .iter()
+        .map(|p| format!("127.0.0.1:{p}").parse().expect("addr"))
+        .collect();
+    transport.set_peer_addrs(&addrs);
+    if let Err(e) = transport.connect_all(Duration::from_secs(10)) {
+        eprintln!("node {id}: connect failed: {e}");
+        std::process::exit(1);
+    }
+
+    let spec = NodeSpec {
+        k: common.k,
+        seed: common.seed,
+        rounds: common.rounds,
+        behavior,
+    };
+    let report = run_node(transport, registry, timing(&common), &spec);
+    for commit in report.commits.iter().flatten() {
+        // machine-readable line the launcher parses
+        println!(
+            "COMMIT node={} round={} digest={:#018x} held={}",
+            report.id, commit.round, commit.digest, commit.results_held
+        );
+    }
+    let committed = report.digests().len() as u64;
+    println!(
+        "DONE node={} committed={}/{}",
+        report.id, committed, common.rounds
+    );
+    if behavior == BehaviorKind::Honest && committed < common.rounds {
+        std::process::exit(1);
+    }
+}
+
+/// Reserves `n` distinct loopback ports by briefly binding them.
+fn reserve_ports(n: usize) -> Vec<u16> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("reserve port"))
+        .collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().expect("local addr").port())
+        .collect()
+}
+
+fn cmd_launch(rest: &[String]) {
+    let mut common = CommonArgs::default();
+    let mut byzantine: BTreeMap<usize, BehaviorKind> = BTreeMap::new();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--partial-sync" {
+            common.partial_sync = true;
+            continue;
+        }
+        let value = it.next().unwrap_or_else(|| usage());
+        if parse_common(&mut common, flag, value) {
+            continue;
+        }
+        match flag.as_str() {
+            "--byzantine" => {
+                let (id, kind) = value.split_once(':').unwrap_or_else(|| usage());
+                byzantine.insert(
+                    id.parse().expect("--byzantine id"),
+                    kind.parse().unwrap_or_else(|e| {
+                        eprintln!("--byzantine: {e}");
+                        std::process::exit(2);
+                    }),
+                );
+            }
+            _ => usage(),
+        }
+    }
+    if byzantine.is_empty() {
+        byzantine.insert(0, BehaviorKind::Equivocate);
+    }
+    if byzantine.len() > common.faults {
+        eprintln!(
+            "{} Byzantine nodes exceed the provisioned fault bound b = {} (raise --faults)",
+            byzantine.len(),
+            common.faults
+        );
+        std::process::exit(2);
+    }
+
+    let ports = reserve_ports(common.n);
+    let ports_arg = ports
+        .iter()
+        .map(u16::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
+    let exe = std::env::current_exe().expect("current exe");
+
+    println!(
+        "launching {} csm-node processes on loopback (k={}, b={}, rounds={}, {}), byzantine: {:?}",
+        common.n,
+        common.k,
+        common.faults,
+        common.rounds,
+        if common.partial_sync {
+            "partial-sync"
+        } else {
+            "synchronous"
+        },
+        byzantine
+    );
+
+    let children: Vec<_> = (0..common.n)
+        .map(|id| {
+            let behavior = byzantine.get(&id).copied().unwrap_or(BehaviorKind::Honest);
+            let behavior_arg = match behavior {
+                BehaviorKind::Honest => "honest",
+                BehaviorKind::Equivocate => "equivocate",
+                BehaviorKind::Withhold => "withhold",
+                BehaviorKind::Impersonate => "impersonate",
+            };
+            let mut cmd = Command::new(&exe);
+            cmd.arg("run")
+                .args(["--id", &id.to_string()])
+                .args(["--n", &common.n.to_string()])
+                .args(["--k", &common.k.to_string()])
+                .args(["--faults", &common.faults.to_string()])
+                .args(["--rounds", &common.rounds.to_string()])
+                .args(["--seed", &common.seed.to_string()])
+                .args(["--delta-ms", &common.delta_ms.to_string()])
+                .args(["--ports", &ports_arg])
+                .args(["--behavior", behavior_arg])
+                .stdout(Stdio::piped())
+                .stderr(Stdio::inherit());
+            if common.partial_sync {
+                cmd.arg("--partial-sync");
+            }
+            (id, cmd.spawn().expect("spawn child node"))
+        })
+        .collect();
+
+    // digests[round] -> node -> digest value
+    let mut digests: BTreeMap<u64, BTreeMap<usize, String>> = BTreeMap::new();
+    let mut failures = Vec::new();
+    for (id, mut child) in children {
+        let stdout = child.stdout.take().expect("piped stdout");
+        for line in BufReader::new(stdout).lines() {
+            let line = line.expect("child stdout");
+            println!("[node {id}] {line}");
+            if let Some(rest) = line.strip_prefix("COMMIT ") {
+                let mut round = None;
+                let mut digest = None;
+                for field in rest.split_whitespace() {
+                    if let Some(v) = field.strip_prefix("round=") {
+                        round = v.parse::<u64>().ok();
+                    } else if let Some(v) = field.strip_prefix("digest=") {
+                        digest = Some(v.to_string());
+                    }
+                }
+                if let (Some(r), Some(d)) = (round, digest) {
+                    digests.entry(r).or_default().insert(id, d);
+                }
+            }
+        }
+        let status = child.wait().expect("child exit status");
+        if !status.success() {
+            failures.push(id);
+        }
+    }
+
+    let honest: Vec<usize> = (0..common.n)
+        .filter(|i| !byzantine.contains_key(i))
+        .collect();
+    let mut ok = failures.is_empty();
+    for round in 0..common.rounds {
+        let row = digests.get(&round);
+        let values: Vec<&String> = honest
+            .iter()
+            .filter_map(|i| row.and_then(|r| r.get(i)))
+            .collect();
+        if values.len() != honest.len() || values.windows(2).any(|w| w[0] != w[1]) {
+            println!("round {round}: HONEST NODES DISAGREE OR MISSING: {row:?}");
+            ok = false;
+        } else {
+            println!(
+                "round {round}: {} honest nodes committed digest {}",
+                values.len(),
+                values[0]
+            );
+        }
+    }
+    if ok {
+        println!(
+            "cluster OK: {} rounds committed identically by {} honest nodes",
+            common.rounds,
+            honest.len()
+        );
+    } else {
+        println!("cluster FAILED (exit statuses: {failures:?})");
+        std::process::exit(1);
+    }
+}

@@ -224,7 +224,7 @@ impl<F: Field> RsCode<F> {
     /// Verifies a claimed decoding and packages it, computing corrected
     /// codeword and error positions.
     fn finish(&self, poly: Poly<F>, word: &[Option<F>]) -> Result<Decoded<F>, RsError> {
-        if poly.degree().map_or(false, |d| d >= self.dim) {
+        if poly.degree().is_some_and(|d| d >= self.dim) {
             return Err(RsError::DecodingFailure);
         }
         let codeword = poly.eval_many(&self.points);
@@ -379,7 +379,8 @@ mod tests {
     #[test]
     fn too_many_erasures_detected() {
         let c = code_fp(6, 4);
-        let word: Vec<Option<Fp61>> = vec![Some(Fp61::ONE), Some(Fp61::ONE), None, None, None, None];
+        let word: Vec<Option<Fp61>> =
+            vec![Some(Fp61::ONE), Some(Fp61::ONE), None, None, None, None];
         assert_eq!(
             c.decode(&word),
             Err(RsError::TooManyErasures { present: 2, dim: 4 })
@@ -392,7 +393,10 @@ mod tests {
         let word: Vec<Option<Fp61>> = vec![Some(Fp61::ONE); 5];
         assert!(matches!(
             c.decode(&word),
-            Err(RsError::LengthMismatch { got: 5, expected: 6 })
+            Err(RsError::LengthMismatch {
+                got: 5,
+                expected: 6
+            })
         ));
     }
 

@@ -80,7 +80,7 @@ impl Decoder for BerlekampWelch {
             return Err(RsError::DecodingFailure);
         }
         let (p, rem) = q_poly.div_rem(&e_poly);
-        if !rem.is_zero() || p.degree().map_or(false, |d| d >= k) {
+        if !rem.is_zero() || p.degree().is_some_and(|d| d >= k) {
             return Err(RsError::DecodingFailure);
         }
         Ok(p)
@@ -113,7 +113,7 @@ impl Decoder for Gao {
             return Err(RsError::DecodingFailure);
         }
         let (p, rem) = g.div_rem(&v);
-        if !rem.is_zero() || p.degree().map_or(false, |d| d >= k) {
+        if !rem.is_zero() || p.degree().is_some_and(|d| d >= k) {
             return Err(RsError::DecodingFailure);
         }
         Ok(p)
@@ -202,16 +202,17 @@ mod tests {
     fn beyond_radius_is_error_or_wrong() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let xs: Vec<Fp61> = distinct_elements(0, 10);
-        let msg = Poly::new((0..4).map(|_| Fp61::from_u64(rng.gen())).collect::<Vec<_>>());
+        let msg = Poly::new(
+            (0..4)
+                .map(|_| Fp61::from_u64(rng.gen()))
+                .collect::<Vec<_>>(),
+        );
         let mut ys = msg.eval_many(&xs);
         for j in 0..4 {
             // radius is 3
             ys[j] += Fp61::from_u64(rng.gen_range(1..999));
         }
-        for out in [
-            BerlekampWelch.decode(&xs, &ys, 4),
-            Gao.decode(&xs, &ys, 4),
-        ] {
+        for out in [BerlekampWelch.decode(&xs, &ys, 4), Gao.decode(&xs, &ys, 4)] {
             match out {
                 Err(RsError::DecodingFailure) => {}
                 Ok(p) => assert_ne!(p, msg),

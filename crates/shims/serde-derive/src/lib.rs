@@ -1,0 +1,226 @@
+//! Derive macros for the offline serde shim.
+//!
+//! Hand-rolled token parsing (no `syn`/`quote` available offline)
+//! supporting exactly the shapes this workspace derives:
+//!
+//! * structs with named fields: `struct S { a: u64, b: u64 }`
+//! * newtype tuple structs: `struct S(u64);`
+//!
+//! Named structs map to JSON objects with fields in declaration order;
+//! newtype structs are transparent (they serialize as their inner value),
+//! matching real serde's behavior.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Named(Vec<String>),
+    Newtype,
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+fn is_ident(tt: &TokenTree, s: &str) -> bool {
+    matches!(tt, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+/// Parses the derive input down to the struct name and field list.
+fn parse(input: TokenStream) -> Result<Input, String> {
+    let mut iter = input.into_iter().peekable();
+    loop {
+        match iter.peek() {
+            None => return Err("expected `struct`".into()),
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the attribute group
+            }
+            Some(tt) if is_ident(tt, "pub") => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            Some(tt) if is_ident(tt, "struct") => {
+                iter.next();
+                break;
+            }
+            Some(tt) => return Err(format!("unsupported item start: {tt}")),
+        }
+    }
+    let name = match iter.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected struct name, found {other:?}")),
+    };
+    match iter.next() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            Err("generic structs are not supported by the serde shim derive".into())
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Input {
+            name,
+            shape: Shape::Named(parse_named_fields(g.stream())?),
+        }),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            // Count top-level fields: the shim supports exactly one.
+            let mut depth = 0usize;
+            let mut fields = 1usize;
+            let mut any = false;
+            for tt in g.stream() {
+                any = true;
+                match tt {
+                    TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                    TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+                    TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => fields += 1,
+                    _ => {}
+                }
+            }
+            if !any || fields != 1 {
+                return Err("only newtype (single-field) tuple structs are supported".into());
+            }
+            Ok(Input {
+                name,
+                shape: Shape::Newtype,
+            })
+        }
+        other => Err(format!("unsupported struct body: {other:?}")),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match iter.peek() {
+                None => return Ok(fields),
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next();
+                }
+                Some(tt) if is_ident(tt, "pub") => {
+                    iter.next();
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                Some(_) => break,
+            }
+        }
+        let name = match iter.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected ':' after field, found {other:?}")),
+        }
+        // Consume the type up to a top-level comma.
+        let mut depth = 0usize;
+        loop {
+            match iter.peek() {
+                None => {
+                    fields.push(name);
+                    return Ok(fields);
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    depth += 1;
+                    iter.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    depth = depth.saturating_sub(1);
+                    iter.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => {
+                    iter.next();
+                    break;
+                }
+                Some(_) => {
+                    iter.next();
+                }
+            }
+        }
+        fields.push(name);
+    }
+}
+
+/// Derives the shim's `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::Newtype => "::serde::Serialize::serialize_json(&self.0, out);".to_string(),
+        Shape::Named(fields) => {
+            let mut body = String::from("out.push('{');\n");
+            for (i, f) in fields.iter().enumerate() {
+                if i > 0 {
+                    body.push_str("out.push(',');\n");
+                }
+                body.push_str(&format!(
+                    "out.push_str(\"\\\"{f}\\\":\");\n::serde::Serialize::serialize_json(&self.{f}, out);\n"
+                ));
+            }
+            body.push_str("out.push('}');");
+            body
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+            fn serialize_json(&self, out: &mut ::std::string::String) {{\n{body}\n}}\n\
+        }}"
+    )
+    .parse()
+    .expect("serialize impl parses")
+}
+
+/// Derives the shim's `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::Newtype => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::deserialize_json(p)?))")
+        }
+        Shape::Named(fields) => {
+            let mut body = String::from("p.expect(b'{')?;\n");
+            for (i, f) in fields.iter().enumerate() {
+                if i > 0 {
+                    body.push_str("p.expect(b',')?;\n");
+                }
+                body.push_str(&format!(
+                    "p.expect_key(\"{f}\")?;\nlet {f} = ::serde::Deserialize::deserialize_json(p)?;\n"
+                ));
+            }
+            body.push_str("p.expect(b'}')?;\n");
+            body.push_str(&format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                fields.join(", ")
+            ));
+            body
+        }
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+            fn deserialize_json(p: &mut ::serde::json::Parser<'_>) -> ::std::result::Result<Self, ::serde::json::Error> {{\n{body}\n}}\n\
+        }}"
+    )
+    .parse()
+    .expect("deserialize impl parses")
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}

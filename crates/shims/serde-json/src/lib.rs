@@ -1,0 +1,43 @@
+//! Offline stand-in for `serde_json` (see `crates/shims/README.md`):
+//! `to_string` / `from_str` over the shim serde's JSON data model.
+
+pub use serde::json::Error;
+
+/// Serializes `value` to a JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+/// Deserializes a value from a JSON string, requiring full consumption.
+pub fn from_str<T: for<'de> serde::Deserialize<'de>>(s: &str) -> Result<T, Error> {
+    let mut parser = serde::json::Parser::new(s);
+    let value = T::deserialize_json(&mut parser)?;
+    parser.finish()?;
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(from_str::<u64>("42").unwrap(), 42);
+        assert_eq!(from_str::<i64>(" -7 ").unwrap(), -7);
+        assert_eq!(to_string(&vec![1u64, 2, 3]).unwrap(), "[1,2,3]");
+        assert_eq!(from_str::<Vec<u64>>("[1,2,3]").unwrap(), vec![1, 2, 3]);
+        assert_eq!(from_str::<Vec<u64>>("[]").unwrap(), Vec::<u64>::new());
+        assert!(from_str::<u64>("12 trailing").is_err());
+        assert!(from_str::<u8>("300").is_err());
+    }
+
+    #[test]
+    fn strings_escape() {
+        let s = "a\"b\\c\nd".to_string();
+        let json = to_string(&s).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), s);
+    }
+}

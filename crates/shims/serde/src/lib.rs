@@ -1,0 +1,314 @@
+//! Offline stand-in for `serde` (see `crates/shims/README.md`).
+//!
+//! The data model is JSON: [`Serialize`] writes JSON text, and
+//! [`Deserialize`] reads it back through [`json::Parser`]. The derive
+//! macros (re-exported from `csm-serde-derive`) support plain structs with
+//! named fields and newtype tuple structs — the shapes this workspace
+//! derives. `serde_json`'s shim `to_string` / `from_str` drive these
+//! traits.
+
+pub use csm_serde_derive::{Deserialize, Serialize};
+
+/// JSON text model: parser and error type.
+pub mod json {
+    use std::fmt;
+
+    /// A (de)serialization error with a short description.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error {
+        message: String,
+    }
+
+    impl Error {
+        /// Builds an error.
+        pub fn new(message: impl Into<String>) -> Self {
+            Error {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "json error: {}", self.message)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// A cursor over JSON text.
+    #[derive(Debug)]
+    pub struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> Parser<'a> {
+        /// Starts parsing `input`.
+        pub fn new(input: &'a str) -> Self {
+            Parser {
+                bytes: input.as_bytes(),
+                pos: 0,
+            }
+        }
+
+        /// Skips ASCII whitespace.
+        pub fn skip_ws(&mut self) {
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        /// Peeks the next non-whitespace byte.
+        pub fn peek(&mut self) -> Option<u8> {
+            self.skip_ws();
+            self.bytes.get(self.pos).copied()
+        }
+
+        /// Consumes the expected punctuation byte.
+        pub fn expect(&mut self, c: u8) -> Result<(), Error> {
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(&b) if b == c => {
+                    self.pos += 1;
+                    Ok(())
+                }
+                other => Err(Error::new(format!(
+                    "expected '{}', found {:?} at byte {}",
+                    c as char,
+                    other.map(|b| *b as char),
+                    self.pos
+                ))),
+            }
+        }
+
+        /// Consumes a JSON string and returns its unescaped contents.
+        pub fn parse_string(&mut self) -> Result<String, Error> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.bytes.get(self.pos) {
+                    None => return Err(Error::new("unterminated string")),
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        match self.bytes.get(self.pos) {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'r') => out.push('\r'),
+                            other => {
+                                return Err(Error::new(format!(
+                                    "unsupported escape {:?}",
+                                    other.map(|b| *b as char)
+                                )))
+                            }
+                        }
+                        self.pos += 1;
+                    }
+                    Some(&b) => {
+                        // Multi-byte UTF-8 sequences pass through verbatim.
+                        out.push(b as char);
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+
+        /// Consumes an object key followed by `:` and checks it equals
+        /// `expected` (the derive shim writes fields in declaration order).
+        pub fn expect_key(&mut self, expected: &str) -> Result<(), Error> {
+            let key = self.parse_string()?;
+            if key != expected {
+                return Err(Error::new(format!(
+                    "expected key \"{expected}\", found \"{key}\""
+                )));
+            }
+            self.expect(b':')
+        }
+
+        /// Consumes an optionally-signed integer literal.
+        pub fn parse_integer(&mut self) -> Result<i128, Error> {
+            self.skip_ws();
+            let start = self.pos;
+            if self.bytes.get(self.pos) == Some(&b'-') {
+                self.pos += 1;
+            }
+            while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                .map_err(|_| Error::new("invalid utf-8 in number"))?;
+            text.parse::<i128>()
+                .map_err(|_| Error::new(format!("invalid integer {text:?} at byte {start}")))
+        }
+
+        /// Consumes `true` or `false`.
+        pub fn parse_bool(&mut self) -> Result<bool, Error> {
+            self.skip_ws();
+            if self.bytes[self.pos..].starts_with(b"true") {
+                self.pos += 4;
+                Ok(true)
+            } else if self.bytes[self.pos..].starts_with(b"false") {
+                self.pos += 5;
+                Ok(false)
+            } else {
+                Err(Error::new(format!("expected bool at byte {}", self.pos)))
+            }
+        }
+
+        /// Fails unless all input is consumed (barring trailing space).
+        pub fn finish(&mut self) -> Result<(), Error> {
+            self.skip_ws();
+            if self.pos == self.bytes.len() {
+                Ok(())
+            } else {
+                Err(Error::new(format!("trailing input at byte {}", self.pos)))
+            }
+        }
+    }
+
+    /// Escapes and writes a JSON string literal.
+    pub fn write_string(s: &str, out: &mut String) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+}
+
+/// Types that can write themselves as JSON.
+pub trait Serialize {
+    /// Appends this value's JSON encoding to `out`.
+    fn serialize_json(&self, out: &mut String);
+}
+
+/// Types that can read themselves back from JSON.
+///
+/// The lifetime parameter exists for signature compatibility with real
+/// serde bounds (`for<'de> Deserialize<'de>`); the shim always produces
+/// owned values.
+pub trait Deserialize<'de>: Sized {
+    /// Parses one value from `p`.
+    fn deserialize_json(p: &mut json::Parser<'_>) -> Result<Self, json::Error>;
+}
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize_json(p: &mut json::Parser<'_>) -> Result<Self, json::Error> {
+                let v = p.parse_integer()?;
+                <$t>::try_from(v).map_err(|_| json::Error::new(
+                    concat!("integer out of range for ", stringify!($t)),
+                ))
+            }
+        }
+    )*};
+}
+impl_serde_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize_json(p: &mut json::Parser<'_>) -> Result<Self, json::Error> {
+        p.parse_bool()
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        json::write_string(self, out);
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        json::write_string(self, out);
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize_json(p: &mut json::Parser<'_>) -> Result<Self, json::Error> {
+        p.parse_string()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Vec<T> {
+    fn deserialize_json(p: &mut json::Parser<'_>) -> Result<Self, json::Error> {
+        p.expect(b'[')?;
+        let mut out = Vec::new();
+        if p.peek() == Some(b']') {
+            p.expect(b']')?;
+            return Ok(out);
+        }
+        loop {
+            out.push(T::deserialize_json(p)?);
+            match p.peek() {
+                Some(b',') => p.expect(b',')?,
+                Some(b']') => {
+                    p.expect(b']')?;
+                    return Ok(out);
+                }
+                other => {
+                    return Err(json::Error::new(format!(
+                        "expected ',' or ']', found {:?}",
+                        other.map(|b| b as char)
+                    )))
+                }
+            }
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            None => out.push_str("null"),
+            Some(v) => v.serialize_json(out),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}

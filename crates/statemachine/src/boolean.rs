@@ -258,9 +258,7 @@ pub fn counter_machine(bits: usize) -> BooleanMachine {
 /// A 3-input majority-vote machine: state is one bit (last decision), input
 /// is 3 bits; next state and output are the majority of the inputs.
 pub fn majority_machine() -> BooleanMachine {
-    let maj = BooleanFunction::from_fn(4, |v| {
-        (v[1] as u8 + v[2] as u8 + v[3] as u8) >= 2
-    });
+    let maj = BooleanFunction::from_fn(4, |v| (v[1] as u8 + v[2] as u8 + v[3] as u8) >= 2);
     BooleanMachine::new(1, 3, vec![maj.clone()], vec![maj])
 }
 

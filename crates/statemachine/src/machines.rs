@@ -37,8 +37,7 @@ pub fn bank_machine<F: Field>() -> PolyTransition<F> {
 pub fn interest_machine<F: Field>() -> PolyTransition<F> {
     let next = MultiPoly::from_terms(2, vec![(F::ONE, vec![1, 0]), (F::ONE, vec![1, 1])]);
     let out = MultiPoly::from_terms(2, vec![(F::ONE, vec![1, 1])]);
-    PolyTransition::new(1, 1, vec![next], vec![out])
-        .expect("interest machine arity is consistent")
+    PolyTransition::new(1, 1, vec![next], vec![out]).expect("interest machine arity is consistent")
 }
 
 /// The degree-`d` power-map machine:
@@ -57,8 +56,7 @@ pub fn power_machine<F: Field>(d: u32) -> PolyTransition<F> {
     let x = MultiPoly::var(2, 1);
     let next = sd.add(&x);
     let out = sd.add(&x.scale(-F::ONE));
-    PolyTransition::new(1, 1, vec![next], vec![out])
-        .expect("power machine arity is consistent")
+    PolyTransition::new(1, 1, vec![next], vec![out]).expect("power machine arity is consistent")
 }
 
 /// A vector-linear machine (degree 1) on `dim`-dimensional states:
@@ -91,8 +89,7 @@ pub fn vector_linear_machine<F: Field>(
         next.push(MultiPoly::from_terms(nv, terms));
     }
     let output = next.clone();
-    PolyTransition::new(dim, dim, next, output)
-        .expect("vector linear machine arity is consistent")
+    PolyTransition::new(dim, dim, next, output).expect("vector linear machine arity is consistent")
 }
 
 /// A quadratic "auction pool" machine (degree 2) on 2-dimensional states:
@@ -103,8 +100,14 @@ pub fn vector_linear_machine<F: Field>(
 /// for the coded execution path to get right.
 pub fn auction_machine<F: Field>() -> PolyTransition<F> {
     // vars: [p, q, x, y]
-    let p_next = MultiPoly::from_terms(4, vec![(F::ONE, vec![1, 0, 0, 0]), (F::ONE, vec![0, 1, 1, 0])]);
-    let q_next = MultiPoly::from_terms(4, vec![(F::ONE, vec![0, 1, 0, 0]), (F::ONE, vec![0, 0, 0, 1])]);
+    let p_next = MultiPoly::from_terms(
+        4,
+        vec![(F::ONE, vec![1, 0, 0, 0]), (F::ONE, vec![0, 1, 1, 0])],
+    );
+    let q_next = MultiPoly::from_terms(
+        4,
+        vec![(F::ONE, vec![0, 1, 0, 0]), (F::ONE, vec![0, 0, 0, 1])],
+    );
     let out0 = MultiPoly::from_terms(4, vec![(F::ONE, vec![1, 1, 0, 0])]);
     let out1 = MultiPoly::from_terms(4, vec![(F::ONE, vec![0, 0, 1, 1])]);
     PolyTransition::new(2, 2, vec![p_next, q_next], vec![out0, out1])

@@ -139,7 +139,11 @@ impl<F: Field> MultiPoly<F> {
     ///
     /// Panics if `point.len() != num_vars`.
     pub fn eval(&self, point: &[F]) -> F {
-        assert_eq!(point.len(), self.num_vars, "evaluation point arity mismatch");
+        assert_eq!(
+            point.len(),
+            self.num_vars,
+            "evaluation point arity mismatch"
+        );
         let mut acc = F::ZERO;
         for t in &self.terms {
             let mut m = t.coeff;
@@ -315,11 +319,17 @@ mod tests {
     fn mul_is_eval_homomorphic() {
         let a = MultiPoly::from_terms(
             3,
-            vec![(Fp61::ONE, vec![1, 1, 0]), (Fp61::from_u64(2), vec![0, 0, 1])],
+            vec![
+                (Fp61::ONE, vec![1, 1, 0]),
+                (Fp61::from_u64(2), vec![0, 0, 1]),
+            ],
         );
         let b = MultiPoly::from_terms(
             3,
-            vec![(Fp61::from_u64(3), vec![0, 2, 0]), (Fp61::ONE, vec![0, 0, 0])],
+            vec![
+                (Fp61::from_u64(3), vec![0, 2, 0]),
+                (Fp61::ONE, vec![0, 0, 0]),
+            ],
         );
         let prod = a.mul(&b);
         let pt = [Fp61::from_u64(2), Fp61::from_u64(3), Fp61::from_u64(4)];

@@ -28,9 +28,16 @@ impl std::fmt::Display for TransitionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TransitionError::ArityMismatch { expected, got } => {
-                write!(f, "component polynomial has {got} variables, expected {expected}")
+                write!(
+                    f,
+                    "component polynomial has {got} variables, expected {expected}"
+                )
             }
-            TransitionError::DimensionMismatch { what, expected, got } => {
+            TransitionError::DimensionMismatch {
+                what,
+                expected,
+                got,
+            } => {
                 write!(f, "{what} vector has length {got}, expected {expected}")
             }
         }
@@ -197,8 +204,16 @@ impl<F: Field> PolyTransition<F> {
         u: &[csm_algebra::Poly<F>],
         v: &[csm_algebra::Poly<F>],
     ) -> Vec<csm_algebra::Poly<F>> {
-        assert_eq!(u.len(), self.state_dim, "one u-polynomial per state coordinate");
-        assert_eq!(v.len(), self.input_dim, "one v-polynomial per input coordinate");
+        assert_eq!(
+            u.len(),
+            self.state_dim,
+            "one u-polynomial per state coordinate"
+        );
+        assert_eq!(
+            v.len(),
+            self.input_dim,
+            "one v-polynomial per input coordinate"
+        );
         let mut subs = u.to_vec();
         subs.extend_from_slice(v);
         self.next_state
@@ -265,7 +280,13 @@ mod tests {
     fn arity_checked_at_construction() {
         let bad = MultiPoly::<Fp61>::var(3, 0);
         let err = PolyTransition::new(1, 1, vec![bad], vec![]).unwrap_err();
-        assert_eq!(err, TransitionError::ArityMismatch { expected: 2, got: 3 });
+        assert_eq!(
+            err,
+            TransitionError::ArityMismatch {
+                expected: 2,
+                got: 3
+            }
+        );
     }
 
     #[test]
@@ -283,13 +304,7 @@ mod tests {
 
     #[test]
     fn constant_machine_degree_floor() {
-        let m = PolyTransition::new(
-            1,
-            1,
-            vec![MultiPoly::constant(2, f(9))],
-            vec![],
-        )
-        .unwrap();
+        let m = PolyTransition::new(1, 1, vec![MultiPoly::constant(2, f(9))], vec![]).unwrap();
         assert_eq!(m.degree(), 1);
     }
 
@@ -298,9 +313,7 @@ mod tests {
         use csm_algebra::Counting;
         let m = product_machine();
         let counted: PolyTransition<Counting<Fp61>> = m.map_field(Counting);
-        let (next, out) = counted
-            .apply(&[Counting(f(7))], &[Counting(f(5))])
-            .unwrap();
+        let (next, out) = counted.apply(&[Counting(f(7))], &[Counting(f(5))]).unwrap();
         assert_eq!(next[0].into_inner(), f(12));
         assert_eq!(out[0].into_inner(), f(35));
     }

@@ -9,9 +9,7 @@
 //! evaluations, and check it agrees with uncoded execution.
 
 use csm_algebra::{distinct_elements, Field, Fp61, Gf2_16, Poly};
-use csm_statemachine::machines::{
-    auction_machine, bank_machine, interest_machine, power_machine,
-};
+use csm_statemachine::machines::{auction_machine, bank_machine, interest_machine, power_machine};
 use csm_statemachine::PolyTransition;
 use proptest::prelude::*;
 use rand::SeedableRng;
@@ -63,7 +61,8 @@ fn check_transparency<F: Field>(machine: &PolyTransition<F>, k: usize, seed: u64
         let ys: Vec<F> = coded_results.iter().map(|r| r[j]).collect();
         let h = Poly::interpolate(&alphas, &ys);
         assert!(
-            h.degree().map_or(true, |d| d <= machine.composite_degree_bound(k)),
+            h.degree()
+                .is_none_or(|d| d <= machine.composite_degree_bound(k)),
             "composite degree {:?} exceeds bound {}",
             h.degree(),
             machine.composite_degree_bound(k)

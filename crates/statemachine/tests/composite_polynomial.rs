@@ -19,10 +19,18 @@ fn check_symbolic<F: Field>(machine: &PolyTransition<F>, k: usize, seed: u64) {
     let alphas: Vec<F> = distinct_elements(k as u64, n_eval);
 
     let states: Vec<Vec<F>> = (0..k)
-        .map(|_| (0..machine.state_dim()).map(|_| F::random(&mut rng)).collect())
+        .map(|_| {
+            (0..machine.state_dim())
+                .map(|_| F::random(&mut rng))
+                .collect()
+        })
         .collect();
     let commands: Vec<Vec<F>> = (0..k)
-        .map(|_| (0..machine.input_dim()).map(|_| F::random(&mut rng)).collect())
+        .map(|_| {
+            (0..machine.input_dim())
+                .map(|_| F::random(&mut rng))
+                .collect()
+        })
         .collect();
 
     let u: Vec<Poly<F>> = (0..machine.state_dim())
@@ -39,15 +47,13 @@ fn check_symbolic<F: Field>(machine: &PolyTransition<F>, k: usize, seed: u64) {
         .collect();
 
     let composites = machine.composite_polys(&u, &v);
-    assert_eq!(
-        composites.len(),
-        machine.state_dim() + machine.output_dim()
-    );
+    assert_eq!(composites.len(), machine.state_dim() + machine.output_dim());
 
     for (j, h) in composites.iter().enumerate() {
         // (degree bound)
         assert!(
-            h.degree().map_or(true, |d| d <= machine.composite_degree_bound(k)),
+            h.degree()
+                .is_none_or(|d| d <= machine.composite_degree_bound(k)),
             "coord {j}: deg {:?} > bound {}",
             h.degree(),
             machine.composite_degree_bound(k)
@@ -111,8 +117,16 @@ fn compose_matches_pointwise_evaluation() {
             (Fp61::from_u64(7), vec![0, 0]),
         ],
     );
-    let sx = Poly::new((0..3).map(|_| Fp61::from_u64(rng.gen())).collect::<Vec<_>>());
-    let sy = Poly::new((0..2).map(|_| Fp61::from_u64(rng.gen())).collect::<Vec<_>>());
+    let sx = Poly::new(
+        (0..3)
+            .map(|_| Fp61::from_u64(rng.gen()))
+            .collect::<Vec<_>>(),
+    );
+    let sy = Poly::new(
+        (0..2)
+            .map(|_| Fp61::from_u64(rng.gen()))
+            .collect::<Vec<_>>(),
+    );
     let h = p.compose(&[sx.clone(), sy.clone()]);
     for t in 0..20u64 {
         let z = Fp61::from_u64(t * 101 + 3);

@@ -1,0 +1,363 @@
+//! Authenticated protocol frames.
+//!
+//! On the wire a frame is `[u32 LE body length][body]`, where the body is
+//!
+//! ```text
+//! u8  WIRE_VERSION
+//! ..  payload (tagged union, see [`Payload`])
+//! u64 signer id
+//! u64 MAC tag over the encoded payload bytes
+//! ```
+//!
+//! The MAC reuses [`csm_network::auth::KeyRegistry`] — the same
+//! MAC-for-signature substitution the simulator uses for the paper's
+//! authenticated-Byzantine model (§2.1): Byzantine nodes can say anything
+//! with their *own* key, but cannot forge frames attributed to others.
+
+use crate::wire::{Wire, WireError, WireReader};
+use csm_network::auth::{KeyRegistry, Signature};
+use csm_network::NodeId;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Current wire format version.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Upper bound on a frame body; larger length prefixes are rejected
+/// before any allocation (64 MiB).
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// The protocol messages carried by the transport. Field elements travel
+/// in canonical `u64` form ([`csm_algebra::Field::to_canonical_u64`]) so
+/// frames are field-agnostic.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Payload {
+    /// A §5.2 execution result `g_i`: `values` is the flat coded result
+    /// vector claimed to come from node `sender` in `round`.
+    Result {
+        /// Exchange round number.
+        round: u64,
+        /// Claimed producer of the result.
+        sender: u64,
+        /// Canonical field-element encoding of the result vector.
+        values: Vec<u64>,
+    },
+    /// A commit announcement: the sender finalized `round` with the given
+    /// digest of its decoded outputs (used by launchers/monitors to check
+    /// honest-node agreement).
+    Commit {
+        /// Committed round number.
+        round: u64,
+        /// Announcing node.
+        sender: u64,
+        /// Order-sensitive digest of the decoded outputs.
+        digest: u64,
+    },
+    /// Liveness / benchmarking probe.
+    Ping {
+        /// Echoed nonce.
+        nonce: u64,
+    },
+}
+
+const TAG_RESULT: u8 = 0;
+const TAG_COMMIT: u8 = 1;
+const TAG_PING: u8 = 2;
+
+impl Wire for Payload {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Payload::Result {
+                round,
+                sender,
+                values,
+            } => {
+                out.push(TAG_RESULT);
+                round.encode(out);
+                sender.encode(out);
+                values.encode(out);
+            }
+            Payload::Commit {
+                round,
+                sender,
+                digest,
+            } => {
+                out.push(TAG_COMMIT);
+                round.encode(out);
+                sender.encode(out);
+                digest.encode(out);
+            }
+            Payload::Ping { nonce } => {
+                out.push(TAG_PING);
+                nonce.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            TAG_RESULT => Ok(Payload::Result {
+                round: u64::decode(r)?,
+                sender: u64::decode(r)?,
+                values: Vec::<u64>::decode(r)?,
+            }),
+            TAG_COMMIT => Ok(Payload::Commit {
+                round: u64::decode(r)?,
+                sender: u64::decode(r)?,
+                digest: u64::decode(r)?,
+            }),
+            TAG_PING => Ok(Payload::Ping {
+                nonce: u64::decode(r)?,
+            }),
+            t => Err(WireError::UnknownTag(t)),
+        }
+    }
+}
+
+/// A payload plus the signature naming its claimed producer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// The message.
+    pub payload: Payload,
+    /// MAC over the encoded payload, claiming `sig.signer` produced it.
+    pub sig: Signature,
+}
+
+impl Frame {
+    /// Signs `payload` as `signer` (the honest path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `signer` is not registered.
+    pub fn sign(payload: Payload, registry: &KeyRegistry, signer: NodeId) -> Self {
+        let bytes = payload.to_bytes();
+        let sig = registry.sign(signer, &bytes);
+        Frame { payload, sig }
+    }
+
+    /// Signs `payload` with `real_signer`'s key but *claims* it came from
+    /// `claimed` — the impersonation attack. Verification against
+    /// `claimed`'s key must fail at every receiver.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `real_signer` is not registered.
+    pub fn forge(
+        payload: Payload,
+        registry: &KeyRegistry,
+        real_signer: NodeId,
+        claimed: NodeId,
+    ) -> Self {
+        let bytes = payload.to_bytes();
+        let sig = registry.sign(real_signer, &bytes);
+        Frame {
+            payload,
+            sig: Signature {
+                signer: claimed,
+                ..sig
+            },
+        }
+    }
+
+    /// Verifies the MAC against the claimed signer's key.
+    pub fn verify(&self, registry: &KeyRegistry) -> bool {
+        registry.verify(&self.payload.to_bytes(), &self.sig)
+    }
+
+    /// Writes `[len][body]` to `w`.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let mut body = Vec::new();
+        body.push(WIRE_VERSION);
+        self.payload.encode(&mut body);
+        (self.sig.signer.0 as u64).encode(&mut body);
+        self.sig.tag.encode(&mut body);
+        let len = u32::try_from(body.len()).expect("frame fits u32");
+        w.write_all(&len.to_le_bytes())?;
+        w.write_all(&body)
+    }
+
+    /// Encodes the full `[len][body]` framing into a buffer.
+    pub fn to_wire_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.write_to(&mut out).expect("vec write cannot fail");
+        out
+    }
+
+    /// Reads one `[len][body]` frame from `r`.
+    pub fn read_from<R: Read>(r: &mut R) -> Result<Self, FrameReadError> {
+        let mut len_bytes = [0u8; 4];
+        r.read_exact(&mut len_bytes)?;
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        if len > MAX_FRAME_BYTES {
+            return Err(FrameReadError::TooLarge(len));
+        }
+        let mut body = vec![0u8; len];
+        r.read_exact(&mut body)?;
+        Self::decode_body(&body).map_err(FrameReadError::Malformed)
+    }
+
+    /// Decodes a frame body (everything after the length prefix).
+    pub fn decode_body(body: &[u8]) -> Result<Self, BodyError> {
+        let mut reader = WireReader::new(body);
+        let version = u8::decode(&mut reader).map_err(BodyError::Wire)?;
+        if version != WIRE_VERSION {
+            return Err(BodyError::Version(version));
+        }
+        let payload = Payload::decode(&mut reader).map_err(BodyError::Wire)?;
+        let signer = u64::decode(&mut reader).map_err(BodyError::Wire)?;
+        let tag = u64::decode(&mut reader).map_err(BodyError::Wire)?;
+        reader.finish().map_err(BodyError::Wire)?;
+        Ok(Frame {
+            payload,
+            sig: Signature {
+                signer: NodeId(signer as usize),
+                tag,
+            },
+        })
+    }
+}
+
+/// Why a frame body failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BodyError {
+    /// Unknown wire version.
+    Version(u8),
+    /// Codec failure.
+    Wire(WireError),
+}
+
+impl fmt::Display for BodyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BodyError::Version(v) => write!(f, "unsupported wire version {v}"),
+            BodyError::Wire(e) => write!(f, "malformed frame: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BodyError {}
+
+/// Why reading a frame from a stream failed.
+#[derive(Debug)]
+pub enum FrameReadError {
+    /// Underlying I/O failure (includes EOF).
+    Io(io::Error),
+    /// Length prefix exceeded [`MAX_FRAME_BYTES`].
+    TooLarge(usize),
+    /// Body failed to decode.
+    Malformed(BodyError),
+}
+
+impl From<io::Error> for FrameReadError {
+    fn from(e: io::Error) -> Self {
+        FrameReadError::Io(e)
+    }
+}
+
+impl fmt::Display for FrameReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameReadError::Io(e) => write!(f, "i/o: {e}"),
+            FrameReadError::TooLarge(n) => write!(f, "frame of {n} bytes exceeds cap"),
+            FrameReadError::Malformed(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameReadError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry() -> KeyRegistry {
+        KeyRegistry::new(4, 99)
+    }
+
+    fn sample_payloads() -> Vec<Payload> {
+        vec![
+            Payload::Result {
+                round: 3,
+                sender: 1,
+                values: vec![5, 6, 7],
+            },
+            Payload::Commit {
+                round: 3,
+                sender: 2,
+                digest: 0xFEED,
+            },
+            Payload::Ping { nonce: 42 },
+        ]
+    }
+
+    #[test]
+    fn frame_roundtrip_all_payloads() {
+        let reg = registry();
+        for payload in sample_payloads() {
+            let frame = Frame::sign(payload.clone(), &reg, NodeId(1));
+            let bytes = frame.to_wire_bytes();
+            let mut cursor = &bytes[..];
+            let back = Frame::read_from(&mut cursor).unwrap();
+            assert_eq!(back, frame);
+            assert!(back.verify(&reg));
+        }
+    }
+
+    #[test]
+    fn tampered_payload_fails_mac() {
+        let reg = registry();
+        let frame = Frame::sign(
+            Payload::Result {
+                round: 1,
+                sender: 0,
+                values: vec![10, 20],
+            },
+            &reg,
+            NodeId(0),
+        );
+        let mut bytes = frame.to_wire_bytes();
+        // flip one bit inside the payload (skip the 4-byte length + version)
+        bytes[8] ^= 1;
+        let back = Frame::read_from(&mut &bytes[..]).unwrap();
+        assert!(!back.verify(&reg), "tampered frame must fail verification");
+    }
+
+    #[test]
+    fn forged_signer_fails_mac() {
+        let reg = registry();
+        let frame = Frame::forge(
+            Payload::Result {
+                round: 1,
+                sender: 2,
+                values: vec![1],
+            },
+            &reg,
+            NodeId(0),
+            NodeId(2),
+        );
+        assert!(!frame.verify(&reg), "impersonation must fail verification");
+    }
+
+    #[test]
+    fn oversize_length_prefix_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(u32::MAX).to_le_bytes());
+        bytes.extend_from_slice(&[0; 16]);
+        assert!(matches!(
+            Frame::read_from(&mut &bytes[..]),
+            Err(FrameReadError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let reg = registry();
+        let frame = Frame::sign(Payload::Ping { nonce: 1 }, &reg, NodeId(0));
+        let mut bytes = frame.to_wire_bytes();
+        bytes[4] = 9; // version byte
+        assert!(matches!(
+            Frame::read_from(&mut &bytes[..]),
+            Err(FrameReadError::Malformed(BodyError::Version(9)))
+        ));
+    }
+}

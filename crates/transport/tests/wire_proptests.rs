@@ -1,0 +1,114 @@
+//! Property tests for the wire format (C-WIRE): every frame type
+//! round-trips through the full `[len][body]` framing, MAC verification
+//! accepts exactly the untampered frames, and arbitrary byte mutations
+//! are either rejected by the codec or fail authentication — never
+//! accepted as a different valid authenticated frame.
+
+use csm_network::auth::KeyRegistry;
+use csm_network::NodeId;
+use csm_transport::{Frame, Payload, Wire};
+use proptest::prelude::*;
+
+const N: usize = 8;
+
+fn registry() -> KeyRegistry {
+    KeyRegistry::new(N, 0xFEED)
+}
+
+fn payload() -> impl Strategy<Value = Payload> {
+    prop_oneof![
+        (
+            any::<u64>(),
+            0u64..N as u64,
+            prop::collection::vec(any::<u64>(), 0..12)
+        )
+            .prop_map(|(round, sender, values)| Payload::Result {
+                round,
+                sender,
+                values
+            }),
+        (any::<u64>(), 0u64..N as u64, any::<u64>()).prop_map(|(round, sender, digest)| {
+            Payload::Commit {
+                round,
+                sender,
+                digest,
+            }
+        }),
+        any::<u64>().prop_map(|nonce| Payload::Ping { nonce }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn payload_roundtrips(p in payload()) {
+        let bytes = p.to_bytes();
+        prop_assert_eq!(Payload::from_bytes(&bytes).expect("decodes"), p);
+    }
+
+    #[test]
+    fn signed_frame_roundtrips_and_verifies(p in payload(), signer in 0usize..N) {
+        let reg = registry();
+        let frame = Frame::sign(p, &reg, NodeId(signer));
+        let bytes = frame.to_wire_bytes();
+        let back = Frame::read_from(&mut &bytes[..]).expect("reads back");
+        prop_assert_eq!(&back, &frame);
+        prop_assert!(back.verify(&reg), "genuine frame must verify");
+    }
+
+    #[test]
+    fn byte_flips_never_yield_a_different_valid_frame(
+        p in payload(),
+        signer in 0usize..N,
+        flip_byte in any::<u8>(),
+        pos_pick in any::<u64>(),
+    ) {
+        prop_assume!(flip_byte != 0); // xor 0 is the identity
+        let reg = registry();
+        let frame = Frame::sign(p, &reg, NodeId(signer));
+        let mut bytes = frame.to_wire_bytes();
+        // flip within the body (skip the 4-byte length prefix so the
+        // frame stays readable at all; truncation is covered separately)
+        let body_len = bytes.len() - 4;
+        let pos = 4 + (pos_pick as usize % body_len);
+        bytes[pos] ^= flip_byte;
+        match Frame::read_from(&mut &bytes[..]) {
+            Err(_) => {} // codec rejected the mutation
+            Ok(mutated) => {
+                // decodable mutations must fail authentication unless the
+                // mutation landed outside the authenticated content and
+                // reconstructed the identical frame
+                if mutated != frame {
+                    prop_assert!(
+                        !mutated.verify(&reg),
+                        "tampered frame verified: flipped byte {} with {:#x}",
+                        pos,
+                        flip_byte
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_frames_rejected(p in payload(), signer in 0usize..N, cut in any::<u64>()) {
+        let reg = registry();
+        let frame = Frame::sign(p, &reg, NodeId(signer));
+        let bytes = frame.to_wire_bytes();
+        let keep = cut as usize % bytes.len(); // strictly shorter
+        prop_assert!(Frame::read_from(&mut &bytes[..keep]).is_err());
+    }
+
+    #[test]
+    fn impersonation_always_fails_verification(
+        p in payload(),
+        real in 0usize..N,
+        claimed in 0usize..N,
+    ) {
+        prop_assume!(real != claimed);
+        let reg = registry();
+        let forged = Frame::forge(p, &reg, NodeId(real), NodeId(claimed));
+        prop_assert!(!forged.verify(&reg));
+    }
+}

@@ -8,9 +8,7 @@
 
 use coded_state_machine::algebra::{Field, Fp61};
 use coded_state_machine::csm::metrics::csm_max_machines;
-use coded_state_machine::csm::{
-    ConsensusMode, CsmClusterBuilder, FaultSpec, SynchronyMode,
-};
+use coded_state_machine::csm::{ConsensusMode, CsmClusterBuilder, FaultSpec, SynchronyMode};
 use coded_state_machine::statemachine::machines::bank_machine;
 use rand::{Rng, SeedableRng};
 

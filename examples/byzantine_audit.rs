@@ -7,7 +7,7 @@
 
 use coded_state_machine::algebra::{Field, Fp61, Matrix};
 use coded_state_machine::intermix::{
-    commoner_verify, committee_size, elect_committee, run_session, AuditorBehavior, FraudProof,
+    committee_size, commoner_verify, elect_committee, run_session, AuditorBehavior, FraudProof,
     SessionConfig, WorkerBehavior,
 };
 use rand::{Rng, SeedableRng};
@@ -35,7 +35,13 @@ fn main() {
     let auditors = vec![AuditorBehavior::Honest; committee.auditors.len()];
 
     // --- honest run ---
-    let honest = run_session(&a, &x, &WorkerBehavior::Honest, &auditors, &SessionConfig::default());
+    let honest = run_session(
+        &a,
+        &x,
+        &WorkerBehavior::Honest,
+        &auditors,
+        &SessionConfig::default(),
+    );
     println!("honest worker: accepted = {}", honest.accepted);
     assert!(honest.accepted);
 
@@ -48,10 +54,17 @@ fn main() {
     let out = run_session(&a, &x, &corrupt, &auditors, &SessionConfig::default());
     println!("\ncorrupt worker (consistent liar on row 17):");
     println!("  accepted = {}", out.accepted);
-    println!("  interactive query rounds used: {} (≈ log2 {k} = {})",
-        out.query_rounds, (k as f64).log2() as usize);
+    println!(
+        "  interactive query rounds used: {} (≈ log2 {k} = {})",
+        out.query_rounds,
+        (k as f64).log2() as usize
+    );
     match out.fraud_proof.as_ref().expect("fraud must be localized") {
-        FraudProof::LeafMismatch { row, index, claimed } => {
+        FraudProof::LeafMismatch {
+            row,
+            index,
+            claimed,
+        } => {
             println!("  fraud localized to A[{row}][{index}]·X[{index}]: worker claimed {claimed}");
             println!(
                 "  commoner check (one multiplication): claimed ≠ {} -> {}",
@@ -71,7 +84,9 @@ fn main() {
         &[AuditorBehavior::FalseAccuse, AuditorBehavior::Honest],
         &SessionConfig::default(),
     );
-    println!("\nfalse accusation against an honest worker: accepted = {} (alert dismissed in O(1))",
-        framed.accepted);
+    println!(
+        "\nfalse accusation against an honest worker: accepted = {} (alert dismissed in O(1))",
+        framed.accepted
+    );
     assert!(framed.accepted);
 }

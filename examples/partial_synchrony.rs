@@ -18,8 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let k = csm_max_machines(n, b, 2, SynchronyMode::PartiallySynchronous);
     println!("partial synchrony: N = {n}, ν·N = {b} Byzantine, degree-2 machine");
     println!("Theorem 2 budget: K = ⌊(1−3ν)N/d + 1 − 1/d⌋ = {k} machines");
-    println!("(synchronous networks would support {} — the price of not trusting",
-        csm_max_machines(n, b, 2, SynchronyMode::Synchronous));
+    println!(
+        "(synchronous networks would support {} — the price of not trusting",
+        csm_max_machines(n, b, 2, SynchronyMode::Synchronous)
+    );
     println!("the clock is a third of the fault budget instead of half)\n");
 
     let mut cluster = CsmClusterBuilder::new(n, k)

@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nround 1:");
     println!("  account 0 balance -> {}", report.new_states[0][0]);
     println!("  account 1 balance -> {}", report.new_states[1][0]);
-    println!("  Byzantine nodes detected by decoding: {:?}", report.detected_error_nodes);
+    println!(
+        "  Byzantine nodes detected by decoding: {:?}",
+        report.detected_error_nodes
+    );
     println!("  correct vs reference execution: {}", report.correct);
     assert_eq!(report.new_states[0][0], f(150));
     assert_eq!(report.new_states[1][0], f(170));

@@ -20,7 +20,11 @@ fn build<FF: Field>(
     let k = 3;
     let mut builder = CsmClusterBuilder::<FF>::new(14, k)
         .transition(bank_machine::<FF>())
-        .initial_states((0..k as u64).map(|i| vec![FF::from_u64(50 * (i + 1))]).collect())
+        .initial_states(
+            (0..k as u64)
+                .map(|i| vec![FF::from_u64(50 * (i + 1))])
+                .collect(),
+        )
         .decoder(decoder)
         .synchrony(sync)
         .coding(coding)
@@ -40,7 +44,11 @@ fn bw_and_gao_identical_reports_synchronous() {
             mu: 0.25,
         },
     ] {
-        let mut bw = build::<Fp61>(DecoderKind::BerlekampWelch, SynchronyMode::Synchronous, coding);
+        let mut bw = build::<Fp61>(
+            DecoderKind::BerlekampWelch,
+            SynchronyMode::Synchronous,
+            coding,
+        );
         let mut gao = build::<Fp61>(DecoderKind::Gao, SynchronyMode::Synchronous, coding);
         for r in 0..3u64 {
             let cmds: Vec<Vec<Fp61>> = (0..3).map(|i| vec![f(i + r)]).collect();
@@ -80,14 +88,20 @@ fn gao_over_gf2m_degree_two() {
     let k = 2;
     let mut cluster = CsmClusterBuilder::<Gf2_16>::new(12, k)
         .transition(interest_machine::<Gf2_16>())
-        .initial_states((0..k as u64).map(|i| vec![Gf2_16::from_u64(0xA0 + i)]).collect())
+        .initial_states(
+            (0..k as u64)
+                .map(|i| vec![Gf2_16::from_u64(0xA0 + i)])
+                .collect(),
+        )
         .decoder(DecoderKind::Gao)
         .fault(11, FaultSpec::OffsetResult)
         .assumed_faults(2)
         .build()
         .unwrap();
     for _ in 0..3 {
-        let cmds: Vec<Vec<Gf2_16>> = (0..k as u64).map(|i| vec![Gf2_16::from_u64(i + 1)]).collect();
+        let cmds: Vec<Vec<Gf2_16>> = (0..k as u64)
+            .map(|i| vec![Gf2_16::from_u64(i + 1)])
+            .collect();
         let report = cluster.step(cmds).unwrap();
         assert!(report.correct);
         assert_eq!(report.detected_error_nodes, vec![11]);

@@ -105,10 +105,7 @@ fn boolean_counter_through_csm_appendix_a() {
     for r in 0..4u64 {
         let en0 = true;
         let en1 = r % 2 == 0;
-        let cmds = vec![
-            embed_bits::<Gf2_16>(&[en0]),
-            embed_bits::<Gf2_16>(&[en1]),
-        ];
+        let cmds = vec![embed_bits::<Gf2_16>(&[en0]), embed_bits::<Gf2_16>(&[en1])];
         let report = cluster.step(cmds).unwrap();
         assert!(report.correct, "round {r}");
         if en0 {
@@ -140,7 +137,10 @@ fn dolev_strong_consensus_mode_end_to_end() {
         assert!(report.correct);
         // decided commands are exactly the submitted ones (validity with an
         // honest leader)
-        assert_eq!(report.decided_commands, vec![vec![f(r + 1)], vec![f(r + 2)]]);
+        assert_eq!(
+            report.decided_commands,
+            vec![vec![f(r + 1)], vec![f(r + 2)]]
+        );
     }
 }
 

@@ -37,9 +37,9 @@ fn coded_results(
             let g = machine.apply_flat(&coded_state, &coded_cmd).unwrap();
             match fault_of(i) {
                 None => ResultBehavior::Honest(g),
-                Some("equivocate") => ResultBehavior::Equivocate(
-                    g.into_iter().map(|x| x + f(77)).collect(),
-                ),
+                Some("equivocate") => {
+                    ResultBehavior::Equivocate(g.into_iter().map(|x| x + f(77)).collect())
+                }
                 Some("withhold") => ResultBehavior::Withhold,
                 Some("impersonate") => ResultBehavior::Impersonate {
                     spoof: (i + 1) % n,
@@ -68,10 +68,8 @@ fn decode_word(
     let omegas: Vec<Fp61> = distinct_elements(0, k);
     let mut per_machine = vec![Vec::new(); k];
     for coord in 0..2 {
-        let coord_word: Vec<Option<Fp61>> = word
-            .iter()
-            .map(|w| w.as_ref().map(|g| g[coord]))
-            .collect();
+        let coord_word: Vec<Option<Fp61>> =
+            word.iter().map(|w| w.as_ref().map(|g| g[coord])).collect();
         let decoded = code.decode(&coord_word).ok()?;
         for (kk, &w) in omegas.iter().enumerate() {
             per_machine[kk].push(decoded.poly().eval(w));
@@ -138,13 +136,8 @@ fn partially_synchronous_exchange_then_decode() {
 #[test]
 fn impersonation_cannot_poison_decoding() {
     let (n, k, b) = (10usize, 2usize, 1usize);
-    let (behaviors, code, expected) = coded_results(n, k, |i| {
-        if i == 9 {
-            Some("impersonate")
-        } else {
-            None
-        }
-    });
+    let (behaviors, code, expected) =
+        coded_results(n, k, |i| if i == 9 { Some("impersonate") } else { None });
     let cfg = ExchangeConfig {
         n,
         synchrony: SynchronyMode::Synchronous,

@@ -41,7 +41,12 @@ fn decoding_bound_synchronous_is_tight() {
         .unwrap();
     assert_eq!(b_max, 6);
     assert!(decode_succeeds(16, 3, b_max, SynchronyMode::Synchronous));
-    assert!(!decode_succeeds(16, 3, b_max + 1, SynchronyMode::Synchronous));
+    assert!(!decode_succeeds(
+        16,
+        3,
+        b_max + 1,
+        SynchronyMode::Synchronous
+    ));
 }
 
 #[test]
@@ -97,7 +102,7 @@ fn output_delivery_bound_is_tight() {
             })
             .collect();
         let status = accept_replies(&replies, b + 1);
-        let bound_holds = 2 * b + 1 <= n;
+        let bound_holds = 2 * b < n;
         assert_eq!(
             status.is_accepted(),
             bound_holds,
@@ -117,9 +122,7 @@ fn consensus_bound_dolev_strong_any_b_below_n() {
     // reaches agreement among the honest (leader honest here).
     let n = 6;
     let f = 4;
-    let mut behaviors: Vec<DsBehavior<u64>> = vec![DsBehavior::Honest {
-        proposal: Some(55),
-    }];
+    let mut behaviors: Vec<DsBehavior<u64>> = vec![DsBehavior::Honest { proposal: Some(55) }];
     behaviors.push(DsBehavior::Honest { proposal: None });
     behaviors.extend((2..n).map(|_| DsBehavior::Silent));
     let out = run_broadcast(

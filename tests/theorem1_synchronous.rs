@@ -29,7 +29,9 @@ fn run_at_bound<F: Field>(n: usize, b: usize, d: u32, rounds: u64, seed: u64) {
     let mut cluster = builder.build().unwrap();
     assert!(cluster.max_tolerable_faults() >= b);
     for r in 0..rounds {
-        let cmds: Vec<Vec<F>> = (0..k as u64).map(|i| vec![F::from_u64(i + r + 1)]).collect();
+        let cmds: Vec<Vec<F>> = (0..k as u64)
+            .map(|i| vec![F::from_u64(i + r + 1)])
+            .collect();
         let report = cluster.step(cmds).expect("within the Theorem 1 bound");
         assert!(report.correct, "n={n} b={b} d={d} round={r}");
         // all b corrupting nodes whose results actually differ get detected
@@ -72,14 +74,7 @@ fn theorem1_k_scales_linearly_with_n() {
     let mu = 1.0 / 3.0;
     let ks: Vec<usize> = [30usize, 60, 120, 240]
         .iter()
-        .map(|&n| {
-            csm_max_machines(
-                n,
-                (mu * n as f64) as usize,
-                1,
-                SynchronyMode::Synchronous,
-            )
-        })
+        .map(|&n| csm_max_machines(n, (mu * n as f64) as usize, 1, SynchronyMode::Synchronous))
         .collect();
     // doubling N roughly doubles K
     for w in ks.windows(2) {
@@ -122,7 +117,11 @@ fn storage_is_one_state_per_node() {
     let k = 5;
     let cluster = CsmClusterBuilder::<Fp61>::new(n, k)
         .transition(bank_machine::<Fp61>())
-        .initial_states((0..k as u64).map(|i| vec![Fp61::from_u64(10 * i)]).collect())
+        .initial_states(
+            (0..k as u64)
+                .map(|i| vec![Fp61::from_u64(10 * i)])
+                .collect(),
+        )
         .build()
         .unwrap();
     for i in 0..n {

@@ -19,7 +19,11 @@ fn build_psync(
 ) -> coded_state_machine::csm::CsmCluster<Fp61> {
     let mut builder = CsmClusterBuilder::<Fp61>::new(n, k)
         .transition(bank_machine::<Fp61>())
-        .initial_states((0..k as u64).map(|i| vec![Fp61::from_u64(100 + i)]).collect())
+        .initial_states(
+            (0..k as u64)
+                .map(|i| vec![Fp61::from_u64(100 + i)])
+                .collect(),
+        )
         .synchrony(SynchronyMode::PartiallySynchronous)
         .assumed_faults(b)
         .seed(seed);
@@ -41,8 +45,7 @@ fn theorem2_nu_one_fifth() {
             (0..b).map(|i| (i, FaultSpec::CorruptResult)).collect();
         let mut cluster = build_psync(n, k, b, &faults, 5 + n as u64);
         for r in 0..3u64 {
-            let cmds: Vec<Vec<Fp61>> =
-                (0..k as u64).map(|i| vec![Fp61::from_u64(i + r)]).collect();
+            let cmds: Vec<Vec<Fp61>> = (0..k as u64).map(|i| vec![Fp61::from_u64(i + r)]).collect();
             let report = cluster.step(cmds).expect("within Theorem 2 bound");
             assert!(report.correct, "n={n} b={b} round={r}");
         }
@@ -114,7 +117,11 @@ fn degree_two_machine_under_partial_synchrony() {
     assert!(k >= 1);
     let mut builder = CsmClusterBuilder::<Fp61>::new(n, k)
         .transition(interest_machine::<Fp61>())
-        .initial_states((0..k as u64).map(|i| vec![Fp61::from_u64(1000 + i)]).collect())
+        .initial_states(
+            (0..k as u64)
+                .map(|i| vec![Fp61::from_u64(1000 + i)])
+                .collect(),
+        )
         .synchrony(SynchronyMode::PartiallySynchronous)
         .assumed_faults(b);
     builder = builder.fault(0, FaultSpec::CorruptResult);
