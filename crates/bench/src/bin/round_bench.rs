@@ -1,0 +1,238 @@
+//! Machine-readable round-throughput baseline: runs the same coded bank
+//! workload through every execution substrate × scheduling mode and
+//! writes `BENCH_round.json` at the repo root, so perf trajectories can
+//! accumulate across commits.
+//!
+//! Configurations (all `N = 8`, `K = 2`, one equivocator, seed 42):
+//!
+//! | backend    | sequential                        | pipelined |
+//! |------------|-----------------------------------|-----------|
+//! | `sim`      | `CsmCluster::step` wall clock     | modeled: the §2.2 two-stage latency model applied to the measured step time (`modeled: true` in the JSON) |
+//! | `mem-mesh` | staged rounds over in-process channels | staging overlapped via `run_pipelined` |
+//! | `tcp`      | staged rounds over loopback sockets    | staging overlapped via `run_pipelined` |
+//!
+//! The mem/TCP rows measure real wall clock of the slowest node; rounds
+//! are dominated by the (deliberately small here) staging window and
+//! Δ-deadline, so `rounds_per_sec` is a scheduling metric, not a CPU one
+//! — `csm_round` in `benches/` covers pure computation cost.
+//!
+//! ```sh
+//! cargo run --release -p csm-bench --bin round_bench
+//! ```
+
+use csm_algebra::{Field, Fp61};
+use csm_core::pipeline::StageLatencies;
+use csm_core::{CsmClusterBuilder, FaultSpec};
+use csm_node::{
+    bank_spec, cluster_registry, run_pipelined, BehaviorKind, ExchangeTiming, PipelineConfig,
+    PipelineReport,
+};
+use csm_statemachine::machines::bank_machine;
+use csm_transport::mem::MemMesh;
+use csm_transport::tcp::TcpMesh;
+use csm_transport::Transport;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+const N: usize = 8;
+const K: usize = 2;
+const FAULTS: usize = 1;
+const ROUNDS: u64 = 6;
+const SEED: u64 = 42;
+/// Wall-clock pacing for the real backends, kept small so the bench is
+/// CI-friendly; the *ratio* between modes is what trends matter for.
+const DELTA: Duration = Duration::from_millis(60);
+const STAGE_DELTA: Duration = Duration::from_millis(40);
+
+#[derive(Debug)]
+struct Row {
+    backend: &'static str,
+    mode: &'static str,
+    rounds_per_sec: f64,
+    wall_ms: f64,
+    modeled: bool,
+}
+
+fn behavior_of(id: usize) -> BehaviorKind {
+    if id == 0 {
+        BehaviorKind::Equivocate
+    } else {
+        BehaviorKind::Honest
+    }
+}
+
+/// The simulator path: step a cluster with one equivocator and measure
+/// wall clock; the pipelined variant applies the §2.2 latency model
+/// (consensus overlapped with execution) to the measured per-round time.
+fn bench_sim() -> (Row, Row) {
+    let mut cluster = CsmClusterBuilder::<Fp61>::new(N, K)
+        .transition(bank_machine())
+        .initial_states(
+            (0..K as u64)
+                .map(|i| vec![Fp61::from_u64(100 * (i + 1))])
+                .collect(),
+        )
+        .fault(0, FaultSpec::Equivocate)
+        .assumed_faults(FAULTS)
+        .seed(SEED)
+        .build()
+        .expect("valid cluster");
+    let started = Instant::now();
+    for r in 0..ROUNDS {
+        let report = cluster
+            .step(vec![vec![Fp61::from_u64(r + 1)]; K])
+            .expect("within bound");
+        assert!(report.correct);
+    }
+    let wall = started.elapsed();
+    // the simulator has no wall-clock network phases, so both modes apply
+    // the §2.2 two-stage model (mirrors csm_core::pipeline) with
+    // consensus = the staging window the real backends pay and
+    // execution = the measured step time; `modeled: true` marks them
+    let per_round_us = (wall.as_micros() as u64 / ROUNDS).max(1);
+    let lat = StageLatencies {
+        consensus: STAGE_DELTA.as_micros() as u64,
+        execution: per_round_us,
+    };
+    let row = |mode: &'static str, makespan_us: u64| {
+        let modeled_wall = Duration::from_micros(makespan_us);
+        Row {
+            backend: "sim",
+            mode,
+            rounds_per_sec: ROUNDS as f64 / modeled_wall.as_secs_f64(),
+            wall_ms: modeled_wall.as_secs_f64() * 1e3,
+            modeled: true,
+        }
+    };
+    (
+        row("sequential", lat.sequential_makespan(ROUNDS)),
+        row("pipelined", lat.pipelined_makespan(ROUNDS)),
+    )
+}
+
+/// Runs a full cluster of `run_pipelined` nodes over prebuilt transports
+/// and returns the slowest node's wall clock.
+fn run_cluster<T: Transport + 'static>(transports: Vec<T>, cfg: &PipelineConfig) -> Duration {
+    let registry = cluster_registry(N, SEED);
+    // one spec per cluster: the codebook behind the Arc<CodedMachine> is
+    // built once, nodes differ only in behavior
+    let base = bank_spec(N, K, SEED, ROUNDS, BehaviorKind::Honest).expect("valid spec");
+    let handles: Vec<_> = transports
+        .into_iter()
+        .enumerate()
+        .map(|(id, transport)| {
+            let registry = Arc::clone(&registry);
+            let cfg = cfg.clone();
+            let mut spec = base.clone();
+            spec.behavior = behavior_of(id);
+            thread::spawn(move || {
+                let timing = ExchangeTiming::synchronous(FAULTS, DELTA);
+                run_pipelined(transport, registry, timing, &spec, &cfg)
+            })
+        })
+        .collect();
+    let reports: Vec<PipelineReport<Fp61>> = handles
+        .into_iter()
+        .map(|h| h.join().expect("node thread"))
+        .collect();
+    for r in &reports {
+        if r.report.id != 0 {
+            assert_eq!(
+                r.report.digests().len(),
+                ROUNDS as usize,
+                "honest node {} must commit every round",
+                r.report.id
+            );
+        }
+    }
+    reports.iter().map(|r| r.elapsed).max().expect("nonempty")
+}
+
+fn bench_real(backend: &'static str) -> (Row, Row) {
+    let quorum = N - FAULTS;
+    let registry = cluster_registry(N, SEED);
+    let mut rows = Vec::new();
+    for (mode, cfg) in [
+        (
+            "sequential",
+            PipelineConfig::sequential(STAGE_DELTA, quorum),
+        ),
+        ("pipelined", PipelineConfig::pipelined(STAGE_DELTA, quorum)),
+    ] {
+        let wall = match backend {
+            "mem-mesh" => run_cluster(MemMesh::build(Arc::clone(&registry)), &cfg),
+            "tcp" => run_cluster(
+                TcpMesh::launch_loopback(Arc::clone(&registry)).expect("bind loopback"),
+                &cfg,
+            ),
+            _ => unreachable!("unknown backend"),
+        };
+        rows.push(Row {
+            backend,
+            mode,
+            rounds_per_sec: ROUNDS as f64 / wall.as_secs_f64(),
+            wall_ms: wall.as_secs_f64() * 1e3,
+            modeled: false,
+        });
+    }
+    let pipe = rows.pop().expect("two rows");
+    let seq = rows.pop().expect("two rows");
+    (seq, pipe)
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    let (a, b) = bench_sim();
+    rows.extend([a, b]);
+    for backend in ["mem-mesh", "tcp"] {
+        let (a, b) = bench_real(backend);
+        rows.extend([a, b]);
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"round_throughput\",\n");
+    json.push_str(&format!(
+        "  \"n\": {N},\n  \"k\": {K},\n  \"rounds\": {ROUNDS},\n  \"faults\": {FAULTS},\n"
+    ));
+    json.push_str(&format!(
+        "  \"delta_ms\": {},\n  \"stage_delta_ms\": {},\n",
+        DELTA.as_millis(),
+        STAGE_DELTA.as_millis()
+    ));
+    json.push_str("  \"machine\": \"bank\",\n  \"configs\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"backend\": \"{}\", \"mode\": \"{}\", \"rounds_per_sec\": {:.3}, \
+             \"wall_ms\": {:.3}, \"modeled\": {}}}{}\n",
+            r.backend,
+            r.mode,
+            r.rounds_per_sec,
+            r.wall_ms,
+            r.modeled,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    println!("{json}");
+    std::fs::write("BENCH_round.json", &json).expect("write BENCH_round.json");
+    eprintln!("wrote BENCH_round.json");
+
+    // trend guard: pipelining must not be slower than sequential on the
+    // real backends (mirrors the CI smoke assertion on the TCP example)
+    for backend in ["mem-mesh", "tcp"] {
+        let get = |mode: &str| {
+            rows.iter()
+                .find(|r| r.backend == backend && r.mode == mode)
+                .expect("row exists")
+                .rounds_per_sec
+        };
+        let speedup = get("pipelined") / get("sequential");
+        eprintln!("{backend}: pipelined/sequential = {speedup:.2}x");
+        assert!(
+            speedup > 1.0,
+            "{backend}: pipelining regressed below sequential ({speedup:.3}x)"
+        );
+    }
+}

@@ -1,10 +1,18 @@
-//! The Coded State Machine cluster: coded states, coded execution, and the
-//! full round pipeline of §5 (distributed coding) and §6 (centralized
+//! The Coded State Machine cluster: the discrete-event-style driver for
+//! the full round pipeline of §5 (distributed coding) and §6 (centralized
 //! coding with INTERMIX verification).
+//!
+//! Since the [`crate::engine`] extraction, this module owns only what is
+//! simulator-specific: the consensus phase, the *logical* exchange
+//! ([`crate::engine::sim_receiver_word`]), operation accounting, client
+//! delivery, and the plaintext reference oracle. The per-round coded
+//! lifecycle itself — encode → execute → decode → update — lives in
+//! [`RoundEngine`], one per node, exactly the engines `csm-node` drives
+//! over real sockets.
 
 use crate::client::{accept_replies, DeliveryStatus};
-use crate::codebook::Codebook;
 use crate::config::{CodingMode, ConsensusMode, CsmConfig, DecoderKind, FaultSpec, SynchronyMode};
+use crate::engine::{sim_receiver_word, CodedMachine, DecodedRound, RoundEngine};
 use crate::error::CsmError;
 use csm_algebra::{count, Field, OpCounts};
 use csm_consensus::dolev_strong::{self, DsBehavior, DsConfig};
@@ -14,11 +22,11 @@ use csm_intermix::{
     WorkerBehavior,
 };
 use csm_network::NodeId;
-use csm_reed_solomon::{BerlekampWelch, Gao, RsCode};
 use csm_statemachine::PolyTransition;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Per-node operation counts for one round, split by execution-phase step
 /// (the `ρ`, `ψ`, `χ` functions of §2.2).
@@ -69,13 +77,11 @@ pub struct RoundReport<F> {
     /// Whether the decoded results match the plaintext reference oracle —
     /// the paper's Correctness property, checked every round.
     pub correct: bool,
-}
-
-#[derive(Debug, Clone)]
-struct NodeState<F> {
-    coded_state: Vec<F>,
-    fault: FaultSpec,
-    total_ops: OpCounts,
+    /// Order-sensitive digest of the decoded flat results — the *same*
+    /// digest a `csm-node` runtime gossips in its `Commit` frame for this
+    /// round ([`crate::digest::digest_results`]), so simulated and real
+    /// runs of one scenario can be cross-checked.
+    pub digest: u64,
 }
 
 /// Builder for [`CsmCluster`].
@@ -183,33 +189,12 @@ impl<F: Field> CsmClusterBuilder<F> {
     ///   the transition function.
     pub fn build(self) -> Result<CsmCluster<F>, CsmError> {
         let cfg = self.config;
-        if cfg.n == 0 || cfg.k == 0 {
-            return Err(CsmError::InvalidConfig(
-                "need at least one node and one machine".into(),
-            ));
-        }
         let transition = self
             .transition
             .ok_or_else(|| CsmError::InvalidConfig("transition function is required".into()))?;
         let initial_states = self
             .initial_states
             .ok_or_else(|| CsmError::InvalidConfig("initial states are required".into()))?;
-        if initial_states.len() != cfg.k {
-            return Err(CsmError::ShapeMismatch(format!(
-                "{} initial states for {} machines",
-                initial_states.len(),
-                cfg.k
-            )));
-        }
-        for (i, s) in initial_states.iter().enumerate() {
-            if s.len() != transition.state_dim() {
-                return Err(CsmError::ShapeMismatch(format!(
-                    "state {i} has dimension {}, transition expects {}",
-                    s.len(),
-                    transition.state_dim()
-                )));
-            }
-        }
         for (id, _) in &cfg.faults {
             if id.0 >= cfg.n {
                 return Err(CsmError::InvalidConfig(format!(
@@ -217,33 +202,18 @@ impl<F: Field> CsmClusterBuilder<F> {
                 )));
             }
         }
-        let degree = transition.degree();
-        let dim = transition.composite_degree_bound(cfg.k) + 1;
-        if dim > cfg.n {
-            let max_k = (cfg.n - 1) / degree as usize + 1;
-            return Err(CsmError::TooManyMachines {
-                k: cfg.k,
-                n: cfg.n,
-                degree,
-                max_k,
-            });
-        }
-        let codebook = Codebook::new(cfg.n, cfg.k)?;
-        let code =
-            RsCode::new(codebook.alphas().to_vec(), dim).expect("alphas are distinct and dim <= n");
-        let nodes = (0..cfg.n)
-            .map(|i| NodeState {
-                coded_state: codebook.encode_vector_at(i, &initial_states),
-                fault: cfg.fault_of(NodeId(i)),
-                total_ops: OpCounts::default(),
+        let machine = Arc::new(CodedMachine::new(cfg.n, cfg.k, transition, cfg.decoder)?);
+        let engines = (0..cfg.n)
+            .map(|i| {
+                RoundEngine::new(Arc::clone(&machine), i, &initial_states)
+                    .map(|e| e.with_fault(cfg.fault_of(NodeId(i))))
             })
-            .collect();
+            .collect::<Result<Vec<_>, _>>()?;
         let rng = StdRng::seed_from_u64(cfg.seed);
         Ok(CsmCluster {
-            codebook,
-            transition,
-            code,
-            nodes,
+            machine,
+            engines,
+            total_ops: vec![OpCounts::default(); cfg.n],
             reference_states: initial_states,
             round: 0,
             rng,
@@ -254,17 +224,16 @@ impl<F: Field> CsmClusterBuilder<F> {
 
 /// A running Coded State Machine cluster.
 ///
-/// Holds `N` nodes each storing one coded state vector (the same size as a
-/// single machine's state — storage efficiency `γ = K`, §5.1), and steps
-/// them through consensus → coded execution → decoding → delivery → state
-/// update each round.
+/// Holds `N` [`RoundEngine`]s each storing one coded state vector (the
+/// same size as a single machine's state — storage efficiency `γ = K`,
+/// §5.1), and steps them through consensus → coded execution → decoding →
+/// delivery → state update each round.
 #[derive(Debug)]
 pub struct CsmCluster<F: Field> {
     config: CsmConfig,
-    codebook: Codebook<F>,
-    transition: PolyTransition<F>,
-    code: RsCode<F>,
-    nodes: Vec<NodeState<F>>,
+    machine: Arc<CodedMachine<F>>,
+    engines: Vec<RoundEngine<F>>,
+    total_ops: Vec<OpCounts>,
     /// Plaintext mirror of the `K` true states — the test oracle for the
     /// Correctness property; no protocol step reads it.
     reference_states: Vec<Vec<F>>,
@@ -288,14 +257,19 @@ impl<F: Field> CsmCluster<F> {
         &self.config
     }
 
+    /// The shared coded machine (codebook, transition, code, decoder).
+    pub fn machine(&self) -> &Arc<CodedMachine<F>> {
+        &self.machine
+    }
+
     /// The codebook (points and coefficients).
-    pub fn codebook(&self) -> &Codebook<F> {
-        &self.codebook
+    pub fn codebook(&self) -> &crate::codebook::Codebook<F> {
+        self.machine.codebook()
     }
 
     /// The transition function.
     pub fn transition(&self) -> &PolyTransition<F> {
-        &self.transition
+        self.machine.transition()
     }
 
     /// Current round index.
@@ -310,7 +284,7 @@ impl<F: Field> CsmCluster<F> {
     ///
     /// Panics if `i >= n`.
     pub fn coded_state(&self, i: usize) -> &[F] {
-        &self.nodes[i].coded_state
+        self.engines[i].coded_state()
     }
 
     /// The plaintext reference states (test oracle).
@@ -320,7 +294,7 @@ impl<F: Field> CsmCluster<F> {
 
     /// Cumulative operation counts per node.
     pub fn total_ops(&self) -> Vec<OpCounts> {
-        self.nodes.iter().map(|n| n.total_ops).collect()
+        self.total_ops.clone()
     }
 
     /// Maximum number of Byzantine nodes the current configuration's
@@ -328,11 +302,15 @@ impl<F: Field> CsmCluster<F> {
     /// `⌊(N − d(K−1) − 1)/2⌋`, partially synchronous
     /// `⌊(N − d(K−1) − 1)/3⌋`.
     pub fn max_tolerable_faults(&self) -> usize {
-        let slack = self.config.n.saturating_sub(self.code.dim());
-        match self.config.synchrony {
-            SynchronyMode::Synchronous => slack / 2,
-            SynchronyMode::PartiallySynchronous => slack / 3,
-        }
+        self.machine.max_tolerable_faults(self.config.synchrony)
+    }
+
+    fn fault(&self, i: usize) -> FaultSpec {
+        self.engines[i].fault()
+    }
+
+    fn faults(&self) -> Vec<FaultSpec> {
+        self.engines.iter().map(RoundEngine::fault).collect()
     }
 
     /// Executes one round on the given commands (one command vector per
@@ -347,7 +325,7 @@ impl<F: Field> CsmCluster<F> {
     /// * [`CsmError::VerificationFailed`] — centralized mode only: the
     ///   worker's claim failed INTERMIX verification.
     pub fn step(&mut self, commands: Vec<Vec<F>>) -> Result<RoundReport<F>, CsmError> {
-        self.check_commands(&commands)?;
+        self.machine.check_commands(&commands)?;
         let mut ops = RoundOps {
             per_node: vec![OpCounts::default(); self.config.n],
             ..RoundOps::default()
@@ -363,63 +341,45 @@ impl<F: Field> CsmCluster<F> {
         let results = self.run_transitions(&coded_cmds, &mut ops)?;
 
         // ---- exchange + decode (ψ) ----
-        let (new_states, outputs, detected) = self.decode_phase(&results, &mut ops)?;
+        let decoded = self.decode_phase(&results, &mut ops)?;
 
         // ---- client delivery (b + 1 matching) ----
-        let delivery = self.deliver_outputs(&outputs);
+        let delivery = self.deliver_outputs(&decoded.outputs);
 
         // ---- state update (χ) ----
-        self.update_states(&new_states, &mut ops)?;
+        self.update_states(&decoded.new_states, &mut ops)?;
 
         // ---- reference oracle + correctness ----
         let mut ref_outputs = Vec::with_capacity(self.config.k);
         let mut ref_next = Vec::with_capacity(self.config.k);
         for k in 0..self.config.k {
             let (s, y) = self
-                .transition
+                .machine
+                .transition()
                 .apply(&self.reference_states[k], &decided[k])
                 .map_err(|e| CsmError::Transition(e.to_string()))?;
             ref_next.push(s);
             ref_outputs.push(y);
         }
-        let correct = ref_next == new_states && ref_outputs == outputs;
+        let correct = ref_next == decoded.new_states && ref_outputs == decoded.outputs;
         self.reference_states = ref_next;
 
         let report = RoundReport {
             round: self.round,
             decided_commands: decided,
-            outputs,
-            new_states,
-            detected_error_nodes: detected,
+            digest: decoded.digest(),
+            outputs: decoded.outputs,
+            new_states: decoded.new_states,
+            detected_error_nodes: decoded.detected_error_nodes,
             delivery,
             ops,
             correct,
         };
-        for (node, per) in self.nodes.iter_mut().zip(&report.ops.per_node) {
-            node.total_ops += *per;
+        for (total, per) in self.total_ops.iter_mut().zip(&report.ops.per_node) {
+            *total += *per;
         }
         self.round += 1;
         Ok(report)
-    }
-
-    fn check_commands(&self, commands: &[Vec<F>]) -> Result<(), CsmError> {
-        if commands.len() != self.config.k {
-            return Err(CsmError::ShapeMismatch(format!(
-                "{} commands for {} machines",
-                commands.len(),
-                self.config.k
-            )));
-        }
-        for (i, c) in commands.iter().enumerate() {
-            if c.len() != self.transition.input_dim() {
-                return Err(CsmError::ShapeMismatch(format!(
-                    "command {i} has dimension {}, transition expects {}",
-                    c.len(),
-                    self.transition.input_dim()
-                )));
-            }
-        }
-        Ok(())
     }
 
     // ---------------------------------------------------------------- consensus
@@ -446,7 +406,7 @@ impl<F: Field> CsmCluster<F> {
                 .collect();
             let behaviors: Vec<DsBehavior<Vec<Vec<u64>>>> = (0..n)
                 .map(|i| {
-                    let fault = self.nodes[i].fault;
+                    let fault = self.fault(i);
                     if NodeId(i) == leader {
                         if fault.is_byzantine() {
                             // a Byzantine leader equivocates on the batch
@@ -511,7 +471,7 @@ impl<F: Field> CsmCluster<F> {
             .collect();
         let behaviors: Vec<PbftBehavior<Vec<Vec<u64>>>> = (0..n)
             .map(|i| {
-                if self.nodes[i].fault.is_byzantine() {
+                if self.fault(i).is_byzantine() {
                     PbftBehavior::Silent
                 } else {
                     PbftBehavior::Honest {
@@ -559,7 +519,7 @@ impl<F: Field> CsmCluster<F> {
                 // each node computes its own coded command: O(K) per node
                 let mut coded = Vec::with_capacity(self.config.n);
                 for i in 0..self.config.n {
-                    let (c, o) = count::measure(|| self.codebook.encode_vector_at(i, commands));
+                    let (c, o) = count::measure(|| self.engines[i].encode_commands(commands));
                     ops.per_node[i] += o;
                     ops.encoding += o;
                     coded.push(c);
@@ -570,17 +530,17 @@ impl<F: Field> CsmCluster<F> {
                 // worker encodes everything with fast polynomial arithmetic
                 let worker = self.worker_id();
                 let (coded, wops) =
-                    count::measure(|| self.codebook.encode_all_vectors_fast(commands));
+                    count::measure(|| self.machine.codebook().encode_all_vectors_fast(commands));
                 ops.per_node[worker] += wops;
                 ops.encoding += wops;
                 // INTERMIX verification of X̃ = C·X per coordinate
                 let auditors = self.audit_committee(epsilon, mu);
-                let dim = self.transition.input_dim();
+                let dim = self.machine.transition().input_dim();
                 for j in 0..dim {
                     let coords: Vec<F> = commands.iter().map(|c| c[j]).collect();
                     let (outcome, aops) = count::measure(|| {
                         run_session(
-                            self.codebook.coefficients(),
+                            self.machine.codebook().coefficients(),
                             &coords,
                             &WorkerBehavior::Honest,
                             &vec![AuditorBehavior::Honest; auditors.len()],
@@ -631,128 +591,56 @@ impl<F: Field> CsmCluster<F> {
 
     // ---------------------------------------------------------------- transition
 
-    /// Per-receiver view of the broadcast results. `results[i] = None`
-    /// means node `i` withheld its result.
+    /// Per-sender broadcast results. `results[i] = None` means node `i`
+    /// withheld its result.
     fn run_transitions(
         &mut self,
         coded_cmds: &[Vec<F>],
         ops: &mut RoundOps,
     ) -> Result<Vec<Option<Vec<F>>>, CsmError> {
         let mut results = Vec::with_capacity(self.config.n);
-        let out_dim = self.transition.state_dim() + self.transition.output_dim();
         for i in 0..self.config.n {
-            let (g, o) = count::measure(|| {
-                self.transition
-                    .apply_flat(&self.nodes[i].coded_state, &coded_cmds[i])
-            });
-            let g = g.map_err(|e| CsmError::Transition(e.to_string()))?;
+            let (g, o) = count::measure(|| self.engines[i].execute_coded(&coded_cmds[i]));
+            let g = g?;
             ops.per_node[i] += o;
             ops.transition += o;
-            let result = match self.nodes[i].fault {
-                FaultSpec::Honest | FaultSpec::CorruptStateUpdate | FaultSpec::Equivocate => {
-                    Some(g)
-                }
-                FaultSpec::CorruptResult => {
-                    Some((0..out_dim).map(|_| F::random(&mut self.rng)).collect())
-                }
-                FaultSpec::OffsetResult => {
-                    Some(g.into_iter().map(|x| x + F::from_u64(0xBAD)).collect())
-                }
-                FaultSpec::Withhold => None,
-            };
-            results.push(result);
+            results.push(self.engines[i].apply_result_fault(g, &mut self.rng));
         }
         Ok(results)
     }
 
     // ---------------------------------------------------------------- decoding
 
-    /// Builds receiver `j`'s view of the broadcast results, applying
-    /// equivocation noise and (in partial synchrony) adversarial slowness.
-    fn receiver_word(&self, j: usize, results: &[Option<Vec<F>>]) -> Vec<Option<Vec<F>>> {
-        let mut word: Vec<Option<Vec<F>>> = results.to_vec();
-        // equivocating senders give each receiver a different wrong value
-        for (i, node) in self.nodes.iter().enumerate() {
-            if node.fault == FaultSpec::Equivocate {
-                if let Some(g) = &mut word[i] {
-                    let noise = F::from_u64(
-                        1 + ((i as u64 + 1)
-                            .wrapping_mul(j as u64 + 0x1234)
-                            .wrapping_mul(self.round + 7))
-                            % 65_521,
-                    );
-                    for x in g.iter_mut() {
-                        *x += noise;
-                    }
-                }
-            }
-        }
-        // partial synchrony: the adversary delays up to b results past the
-        // decode point; the worst case drops honest ones
-        if self.config.synchrony == SynchronyMode::PartiallySynchronous {
-            let b = self.config.assumed_faults;
-            let withheld = word.iter().filter(|w| w.is_none()).count();
-            let mut to_drop = b.saturating_sub(withheld);
-            for i in (0..self.config.n).rev() {
-                if to_drop == 0 {
-                    break;
-                }
-                if word[i].is_some() && !self.nodes[i].fault.is_byzantine() && i != j {
-                    word[i] = None;
-                    to_drop -= 1;
-                }
-            }
-        }
-        word
-    }
-
-    fn decode_word(
-        &self,
-        word: &[Option<Vec<F>>],
-    ) -> Result<(Vec<Vec<F>>, Vec<Vec<F>>, Vec<usize>), CsmError> {
-        let sd = self.transition.state_dim();
-        let out_dim = sd + self.transition.output_dim();
-        let mut polys = Vec::with_capacity(out_dim);
-        let mut detected: Vec<usize> = Vec::new();
-        for jcoord in 0..out_dim {
-            let coord_word: Vec<Option<F>> =
-                word.iter().map(|w| w.as_ref().map(|g| g[jcoord])).collect();
-            let decoded = match self.config.decoder {
-                DecoderKind::BerlekampWelch => {
-                    self.code.decode_with(&BerlekampWelch, &coord_word)?
-                }
-                DecoderKind::Gao => self.code.decode_with(&Gao, &coord_word)?,
-            };
-            for &e in decoded.error_positions() {
-                if !detected.contains(&e) {
-                    detected.push(e);
-                }
-            }
-            polys.push(decoded.poly().clone());
-        }
-        // evaluate at ω_k to recover (S_k(t+1), Y_k(t))
-        let mut new_states = Vec::with_capacity(self.config.k);
-        let mut outputs = Vec::with_capacity(self.config.k);
-        for &w in self.codebook.omegas() {
-            let vals: Vec<F> = polys.iter().map(|p| p.eval(w)).collect();
-            new_states.push(vals[..sd].to_vec());
-            outputs.push(vals[sd..].to_vec());
-        }
-        detected.sort_unstable();
-        Ok((new_states, outputs, detected))
-    }
-
     fn decode_phase(
         &mut self,
         results: &[Option<Vec<F>>],
         ops: &mut RoundOps,
-    ) -> Result<(Vec<Vec<F>>, Vec<Vec<F>>, Vec<usize>), CsmError> {
+    ) -> Result<DecodedRound<F>, CsmError> {
         match self.config.coding {
             CodingMode::Distributed => self.decode_distributed(results, ops),
             CodingMode::Centralized { epsilon, mu } => {
                 self.decode_centralized(results, ops, epsilon, mu)
             }
         }
+    }
+
+    /// Receiver `j`'s logical-exchange word ([`sim_receiver_word`]).
+    /// `faults` is [`Self::faults`], computed once per decode phase —
+    /// this runs up to twice per receiver per round.
+    fn receiver_word(
+        &self,
+        j: usize,
+        results: &[Option<Vec<F>>],
+        faults: &[FaultSpec],
+    ) -> Vec<Option<Vec<F>>> {
+        sim_receiver_word(
+            results,
+            j,
+            faults,
+            self.config.synchrony,
+            self.config.assumed_faults,
+            self.round,
+        )
     }
 
     /// Every honest node decodes its own received word. Nodes whose words
@@ -762,13 +650,14 @@ impl<F: Field> CsmCluster<F> {
         &mut self,
         results: &[Option<Vec<F>>],
         ops: &mut RoundOps,
-    ) -> Result<(Vec<Vec<F>>, Vec<Vec<F>>, Vec<usize>), CsmError> {
+    ) -> Result<DecodedRound<F>, CsmError> {
+        let faults = self.faults();
         let mut groups: HashMap<Vec<Option<Vec<u64>>>, Vec<usize>> = HashMap::new();
         for j in 0..self.config.n {
-            if self.nodes[j].fault.is_byzantine() {
+            if faults[j].is_byzantine() {
                 continue; // Byzantine nodes' decodes don't matter
             }
-            let word = self.receiver_word(j, results);
+            let word = self.receiver_word(j, results, &faults);
             let key: Vec<Option<Vec<u64>>> = word
                 .iter()
                 .map(|w| {
@@ -778,27 +667,27 @@ impl<F: Field> CsmCluster<F> {
                 .collect();
             groups.entry(key).or_default().push(j);
         }
-        let mut canonical: Option<(Vec<Vec<F>>, Vec<Vec<F>>)> = None;
+        let mut canonical: Option<DecodedRound<F>> = None;
         let mut all_detected: Vec<usize> = Vec::new();
         for (_, members) in groups {
-            let word = self.receiver_word(members[0], results);
-            let (decoded, dops) = count::measure(|| self.decode_word(&word));
-            let (new_states, outputs, detected) = decoded?;
+            let word = self.receiver_word(members[0], results, &faults);
+            let (decoded, dops) = count::measure(|| self.machine.decode_word(&word));
+            let decoded = decoded?;
             for &m in &members {
                 ops.per_node[m] += dops;
             }
             ops.decoding += dops;
-            for e in detected {
+            for &e in &decoded.detected_error_nodes {
                 if !all_detected.contains(&e) {
                     all_detected.push(e);
                 }
             }
             match &canonical {
-                None => canonical = Some((new_states, outputs)),
-                Some((s, y)) => {
+                None => canonical = Some(decoded),
+                Some(c) => {
                     // §5.2 remark: reconstructed polynomials at all honest
                     // nodes are identical even under equivocation.
-                    if *s != new_states || *y != outputs {
+                    if c.new_states != decoded.new_states || c.outputs != decoded.outputs {
                         return Err(CsmError::VerificationFailed(
                             "honest nodes decoded different results".into(),
                         ));
@@ -807,9 +696,10 @@ impl<F: Field> CsmCluster<F> {
             }
         }
         all_detected.sort_unstable();
-        let (new_states, outputs) =
+        let mut decoded =
             canonical.ok_or_else(|| CsmError::InvalidConfig("no honest nodes".into()))?;
-        Ok((new_states, outputs, all_detected))
+        decoded.detected_error_nodes = all_detected;
+        Ok(decoded)
     }
 
     /// §6.2: a single worker decodes and broadcasts coefficients + τ-set;
@@ -820,27 +710,23 @@ impl<F: Field> CsmCluster<F> {
         ops: &mut RoundOps,
         epsilon: f64,
         mu: f64,
-    ) -> Result<(Vec<Vec<F>>, Vec<Vec<F>>, Vec<usize>), CsmError> {
+    ) -> Result<DecodedRound<F>, CsmError> {
         let worker = self.worker_id();
-        let word = self.receiver_word(worker, results);
+        let word = self.receiver_word(worker, results, &self.faults());
         let ((decoded, claims), wops) = count::measure(|| {
-            let d = self.decode_word(&word);
+            let d = self.machine.decode_word(&word);
             let claims = d.as_ref().ok().map(|_| {
                 // per-coordinate claims: coefficients + τ
-                let sd = self.transition.state_dim();
-                let out_dim = sd + self.transition.output_dim();
+                let out_dim = self.machine.result_dim();
                 (0..out_dim)
                     .map(|jcoord| {
                         let coord_word: Vec<Option<F>> =
                             word.iter().map(|w| w.as_ref().map(|g| g[jcoord])).collect();
-                        let dec = match self.config.decoder {
-                            DecoderKind::BerlekampWelch => {
-                                self.code.decode_with(&BerlekampWelch, &coord_word)
-                            }
-                            DecoderKind::Gao => self.code.decode_with(&Gao, &coord_word),
-                        }
-                        .expect("already decoded once");
-                        let tau = self.code.consistency_set(dec.poly(), &coord_word);
+                        let dec = self
+                            .machine
+                            .decode_coordinate(&coord_word)
+                            .expect("already decoded once");
+                        let tau = self.machine.code().consistency_set(dec.poly(), &coord_word);
                         (
                             DecodingClaim {
                                 coefficients: dec.message().to_vec(),
@@ -855,7 +741,7 @@ impl<F: Field> CsmCluster<F> {
         });
         ops.per_node[worker] += wops;
         ops.decoding += wops;
-        let (new_states, outputs, detected) = decoded?;
+        let decoded = decoded?;
         let claims = claims.expect("claims exist when decode succeeded");
 
         // auditors verify each coordinate's claim
@@ -866,7 +752,7 @@ impl<F: Field> CsmCluster<F> {
             let mut vals = Vec::new();
             for (i, w) in coord_word.iter().enumerate() {
                 if let Some(v) = w {
-                    pts.push(self.code.points()[i]);
+                    pts.push(self.machine.code().points()[i]);
                     vals.push(*v);
                 }
             }
@@ -901,7 +787,7 @@ impl<F: Field> CsmCluster<F> {
                 )));
             }
         }
-        Ok((new_states, outputs, detected))
+        Ok(decoded)
     }
 
     // ---------------------------------------------------------------- delivery
@@ -911,7 +797,7 @@ impl<F: Field> CsmCluster<F> {
         (0..self.config.k)
             .map(|k| {
                 let replies: Vec<Option<Vec<F>>> = (0..self.config.n)
-                    .map(|i| match self.nodes[i].fault {
+                    .map(|i| match self.fault(i) {
                         FaultSpec::Honest | FaultSpec::CorruptStateUpdate => {
                             Some(outputs[k].clone())
                         }
@@ -935,26 +821,25 @@ impl<F: Field> CsmCluster<F> {
         match self.config.coding {
             CodingMode::Distributed => {
                 for i in 0..self.config.n {
-                    let (coded, o) =
-                        count::measure(|| self.codebook.encode_vector_at(i, new_states));
+                    let (coded, o) = count::measure(|| self.machine.encode_state_at(i, new_states));
                     ops.per_node[i] += o;
                     ops.state_update += o;
-                    self.store_state(i, coded);
+                    self.engines[i].install_state(coded);
                 }
             }
             CodingMode::Centralized { epsilon, mu } => {
                 let worker = self.worker_id();
                 let (all, wops) =
-                    count::measure(|| self.codebook.encode_all_vectors_fast(new_states));
+                    count::measure(|| self.machine.codebook().encode_all_vectors_fast(new_states));
                 ops.per_node[worker] += wops;
                 ops.state_update += wops;
                 // INTERMIX verification of S̃(t+1) = C·S(t+1) per coordinate
                 let auditors = self.audit_committee(epsilon, mu);
-                for j in 0..self.transition.state_dim() {
+                for j in 0..self.machine.transition().state_dim() {
                     let coords: Vec<F> = new_states.iter().map(|s| s[j]).collect();
                     let (outcome, aops) = count::measure(|| {
                         run_session(
-                            self.codebook.coefficients(),
+                            self.machine.codebook().coefficients(),
                             &coords,
                             &WorkerBehavior::Honest,
                             &vec![AuditorBehavior::Honest; auditors.len()],
@@ -969,22 +854,11 @@ impl<F: Field> CsmCluster<F> {
                     self.spread_ops(&auditors, aops, ops);
                 }
                 for (i, coded) in all.into_iter().enumerate() {
-                    self.store_state(i, coded);
+                    self.engines[i].install_state(coded);
                 }
             }
         }
         Ok(())
-    }
-
-    fn store_state(&mut self, i: usize, coded: Vec<F>) {
-        let coded = if self.nodes[i].fault == FaultSpec::CorruptStateUpdate {
-            // self-poisoning: the node stores garbage, so its future
-            // results are erroneous and get corrected by decoding
-            coded.into_iter().map(|x| x + F::from_u64(0xDEAD)).collect()
-        } else {
-            coded
-        };
-        self.nodes[i].coded_state = coded;
     }
 }
 
@@ -1122,5 +996,18 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(c2.max_tolerable_faults(), 4);
+    }
+
+    #[test]
+    fn report_digest_matches_shared_digest_of_results() {
+        let mut cluster = small_cluster(6, 2);
+        let report = cluster.step(vec![vec![f(10)], vec![f(20)]]).unwrap();
+        let flat: Vec<Vec<Fp61>> = report
+            .new_states
+            .iter()
+            .zip(&report.outputs)
+            .map(|(s, y)| s.iter().chain(y).copied().collect())
+            .collect();
+        assert_eq!(report.digest, crate::digest::digest_results(&flat));
     }
 }

@@ -1,0 +1,63 @@
+//! Order-sensitive result digests shared by the simulator and the node
+//! runtime.
+//!
+//! Both paths must announce and compare *the same* digest for a round's
+//! decoded results: the `csm-node` runtime gossips it in `Commit` frames,
+//! and the simulator exposes it on [`crate::RoundReport`] so tests can
+//! cross-check a real cluster against a simulated one. Keeping the mixing
+//! function in one place is what makes that comparison meaningful.
+
+use csm_algebra::Field;
+
+/// SplitMix64 finalizer — the workspace's standard cheap mixer (also used
+/// by the deterministic command derivation in `csm-node`).
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Order-sensitive digest over canonical field encodings (SplitMix64
+/// chaining — consistent across processes and across the simulator /
+/// runtime boundary).
+///
+/// `results[k]` is machine `k`'s flat decoded vector
+/// `(S_k(t+1), Y_k(t))`; the digest covers every coordinate in order plus
+/// a per-row separator, so permuted or truncated results digest
+/// differently.
+pub fn digest_results<F: Field>(results: &[Vec<F>]) -> u64 {
+    let mut acc = 0x9E37_79B9_7F4A_7C15u64;
+    for row in results {
+        for v in row {
+            acc = splitmix64(acc ^ v.to_canonical_u64());
+        }
+        acc = splitmix64(acc ^ 0xA5A5);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csm_algebra::Fp61;
+
+    fn f(v: u64) -> Fp61 {
+        Fp61::from_u64(v)
+    }
+
+    #[test]
+    fn digest_is_order_sensitive() {
+        let a = digest_results(&[vec![f(1), f(2)], vec![f(3)]]);
+        let b = digest_results(&[vec![f(2), f(1)], vec![f(3)]]);
+        let c = digest_results(&[vec![f(1)], vec![f(2), f(3)]]);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn digest_is_deterministic() {
+        let rows = vec![vec![f(7), f(8)], vec![f(9)]];
+        assert_eq!(digest_results(&rows), digest_results(&rows));
+    }
+}

@@ -1,0 +1,743 @@
+//! The sans-I/O per-round coded-execution engine — the shared execution
+//! spine between the discrete-event simulator ([`crate::CsmCluster`]) and
+//! the real transport runtime (`csm-node`).
+//!
+//! # The event contract
+//!
+//! The engine performs *no* I/O and owns *no* clock. Each §2.2 round is a
+//! fixed sequence of pure calls, and everything between them — how the
+//! coded results cross the network, when the receiver's word freezes, who
+//! runs consensus — belongs to the driver:
+//!
+//! 1. **ρ (encode + execute)** — [`RoundEngine::execute`]: Lagrange-encode
+//!    the round's agreed command batch at this node's evaluation point and
+//!    apply the transition polynomial to the stored coded state, yielding
+//!    the coded result `g_i` to broadcast. Drivers that account encoding
+//!    and transition cost separately use [`RoundEngine::encode_commands`]
+//!    and [`RoundEngine::execute_coded`] instead.
+//! 2. **exchange** — *driver-owned*. The simulator constructs every
+//!    receiver's word logically ([`sim_receiver_word`]); the runtime runs
+//!    the §5.2 protocol over real sockets
+//!    (`csm_core::exchange::ReceiverCore`). The engine only defines *what*
+//!    a Byzantine node injects, via [`RoundEngine::result_action`].
+//! 3. **ψ (decode)** — [`RoundEngine::decode`]: Reed–Solomon-recover every
+//!    machine's plaintext `(S_k(t+1), Y_k(t))` from a finalized word,
+//!    identifying erroneous broadcasters as a side effect.
+//! 4. **χ (state update)** — [`RoundEngine::commit`]: re-encode the decoded
+//!    next states into this node's coded state (storage stays one
+//!    machine-state wide — the γ = K invariant) and advance the round
+//!    counter, returning the [`RoundCommit`] record whose digest honest
+//!    nodes gossip.
+//!
+//! Because the same [`CodedMachine`] (codebook + transition + decoder) and
+//! the same [`RoundEngine`] steps run under both drivers, any
+//! [`csm_statemachine::PolyTransition`] — bank accounts, compiled Boolean
+//! circuits, arbitrary multivariate-polynomial machines — behaves
+//! identically in simulation and over MemMesh / TCP. The
+//! `engine_equivalence` integration tests assert exactly that.
+
+use crate::codebook::Codebook;
+use crate::config::{DecoderKind, FaultSpec, SynchronyMode};
+use crate::digest::digest_results;
+use crate::error::CsmError;
+use crate::exchange::Word;
+use csm_algebra::Field;
+use csm_reed_solomon::{BerlekampWelch, Decoded, Gao, RsCode};
+use csm_statemachine::PolyTransition;
+use rand::Rng;
+use std::sync::Arc;
+
+/// The immutable, node-independent half of the engine: the coded machine
+/// itself. One instance is shared (via [`Arc`]) by every node of a
+/// cluster — the codebook coefficients are universal (Remark 4), so there
+/// is nothing per-node about them.
+#[derive(Debug)]
+pub struct CodedMachine<F: Field> {
+    codebook: Codebook<F>,
+    transition: PolyTransition<F>,
+    code: RsCode<F>,
+    decoder: DecoderKind,
+}
+
+impl<F: Field> CodedMachine<F> {
+    /// Builds the coded machine for `k` copies of `transition` spread over
+    /// `n` nodes.
+    ///
+    /// # Errors
+    ///
+    /// * [`CsmError::InvalidConfig`] — `n = 0` or `k = 0`;
+    /// * [`CsmError::TooManyMachines`] — `d(K−1) + 1 > N`;
+    /// * [`CsmError::FieldTooSmall`] — fewer than `N + K` field elements.
+    pub fn new(
+        n: usize,
+        k: usize,
+        transition: PolyTransition<F>,
+        decoder: DecoderKind,
+    ) -> Result<Self, CsmError> {
+        if n == 0 || k == 0 {
+            return Err(CsmError::InvalidConfig(
+                "need at least one node and one machine".into(),
+            ));
+        }
+        let degree = transition.degree();
+        let dim = transition.composite_degree_bound(k) + 1;
+        if dim > n {
+            let max_k = (n - 1) / degree as usize + 1;
+            return Err(CsmError::TooManyMachines {
+                k,
+                n,
+                degree,
+                max_k,
+            });
+        }
+        let codebook = Codebook::new(n, k)?;
+        let code =
+            RsCode::new(codebook.alphas().to_vec(), dim).expect("alphas are distinct and dim <= n");
+        Ok(CodedMachine {
+            codebook,
+            transition,
+            code,
+            decoder,
+        })
+    }
+
+    /// Number of nodes `N`.
+    pub fn n(&self) -> usize {
+        self.codebook.n()
+    }
+
+    /// Number of machines `K`.
+    pub fn k(&self) -> usize {
+        self.codebook.k()
+    }
+
+    /// The transition function.
+    pub fn transition(&self) -> &PolyTransition<F> {
+        &self.transition
+    }
+
+    /// The codebook (points and coefficients).
+    pub fn codebook(&self) -> &Codebook<F> {
+        &self.codebook
+    }
+
+    /// The Reed–Solomon code over the `α` points.
+    pub fn code(&self) -> &RsCode<F> {
+        &self.code
+    }
+
+    /// Which decoder [`Self::decode_coordinate`] runs.
+    pub fn decoder(&self) -> DecoderKind {
+        self.decoder
+    }
+
+    /// Width of one flat result vector `g_i = (S'(α_i), Y(α_i))`.
+    pub fn result_dim(&self) -> usize {
+        self.transition.state_dim() + self.transition.output_dim()
+    }
+
+    /// Validates a command batch (one vector per machine, each of the
+    /// transition's input dimension).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CsmError::ShapeMismatch`] describing the first offender.
+    pub fn check_commands(&self, commands: &[Vec<F>]) -> Result<(), CsmError> {
+        if commands.len() != self.k() {
+            return Err(CsmError::ShapeMismatch(format!(
+                "{} commands for {} machines",
+                commands.len(),
+                self.k()
+            )));
+        }
+        for (i, c) in commands.iter().enumerate() {
+            if c.len() != self.transition.input_dim() {
+                return Err(CsmError::ShapeMismatch(format!(
+                    "command {i} has dimension {}, transition expects {}",
+                    c.len(),
+                    self.transition.input_dim()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates a state set (one vector per machine, each of the
+    /// transition's state dimension).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CsmError::ShapeMismatch`] describing the first offender.
+    pub fn check_states(&self, states: &[Vec<F>]) -> Result<(), CsmError> {
+        if states.len() != self.k() {
+            return Err(CsmError::ShapeMismatch(format!(
+                "{} initial states for {} machines",
+                states.len(),
+                self.k()
+            )));
+        }
+        for (i, s) in states.iter().enumerate() {
+            if s.len() != self.transition.state_dim() {
+                return Err(CsmError::ShapeMismatch(format!(
+                    "state {i} has dimension {}, transition expects {}",
+                    s.len(),
+                    self.transition.state_dim()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Node `node`'s coded command vector `X̃_i = v(α_i)` — the O(K)
+    /// per-node encoding (ρ, first half).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch shape is wrong (use [`Self::check_commands`]
+    /// first on untrusted input).
+    pub fn encode_command_at(&self, node: usize, commands: &[Vec<F>]) -> Vec<F> {
+        self.codebook.encode_vector_at(node, commands)
+    }
+
+    /// Node `node`'s coded state `S̃_i = u(α_i)` from plaintext states
+    /// (used at initialization and for the χ update).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state shape is wrong (use [`Self::check_states`]
+    /// first on untrusted input).
+    pub fn encode_state_at(&self, node: usize, states: &[Vec<F>]) -> Vec<F> {
+        self.codebook.encode_vector_at(node, states)
+    }
+
+    /// Decodes one coordinate's word with the configured decoder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CsmError::Decoding`] if the word holds more corrupted
+    /// results than the code corrects.
+    pub fn decode_coordinate(&self, coord_word: &[Option<F>]) -> Result<Decoded<F>, CsmError> {
+        let decoded = match self.decoder {
+            DecoderKind::BerlekampWelch => self.code.decode_with(&BerlekampWelch, coord_word)?,
+            DecoderKind::Gao => self.code.decode_with(&Gao, coord_word)?,
+        };
+        Ok(decoded)
+    }
+
+    /// **ψ**: decodes a finalized word into every machine's next state and
+    /// output, plus the nodes whose broadcasts were identified as
+    /// erroneous. Present slots whose vectors have the wrong width (a
+    /// validly-MAC'd but malformed Byzantine result) count as erasures.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CsmError::Decoding`] if any coordinate's word holds more
+    /// corrupted results than the code corrects (security bound exceeded).
+    pub fn decode_word(&self, word: &Word<F>) -> Result<DecodedRound<F>, CsmError> {
+        let sd = self.transition.state_dim();
+        let out_dim = self.result_dim();
+        fn usable<F>(w: &Option<Vec<F>>, dim: usize) -> Option<&Vec<F>> {
+            w.as_ref().filter(|g| g.len() == dim)
+        }
+        let results_held = word.iter().filter(|w| usable(w, out_dim).is_some()).count();
+        let mut polys = Vec::with_capacity(out_dim);
+        let mut detected: Vec<usize> = Vec::new();
+        for jcoord in 0..out_dim {
+            let coord_word: Vec<Option<F>> = word
+                .iter()
+                .map(|w| usable(w, out_dim).map(|g| g[jcoord]))
+                .collect();
+            let decoded = self.decode_coordinate(&coord_word)?;
+            for &e in decoded.error_positions() {
+                if !detected.contains(&e) {
+                    detected.push(e);
+                }
+            }
+            polys.push(decoded.poly().clone());
+        }
+        // evaluate at ω_k to recover (S_k(t+1), Y_k(t))
+        let mut new_states = Vec::with_capacity(self.k());
+        let mut outputs = Vec::with_capacity(self.k());
+        for &w in self.codebook.omegas() {
+            let vals: Vec<F> = polys.iter().map(|p| p.eval(w)).collect();
+            new_states.push(vals[..sd].to_vec());
+            outputs.push(vals[sd..].to_vec());
+        }
+        detected.sort_unstable();
+        Ok(DecodedRound {
+            new_states,
+            outputs,
+            detected_error_nodes: detected,
+            results_held,
+        })
+    }
+
+    /// Maximum number of Byzantine nodes decoding tolerates (Table 2):
+    /// synchronous `⌊(N − d(K−1) − 1)/2⌋`, partially synchronous
+    /// `⌊(N − d(K−1) − 1)/3⌋`.
+    pub fn max_tolerable_faults(&self, synchrony: SynchronyMode) -> usize {
+        let slack = self.n().saturating_sub(self.code.dim());
+        match synchrony {
+            SynchronyMode::Synchronous => slack / 2,
+            SynchronyMode::PartiallySynchronous => slack / 3,
+        }
+    }
+}
+
+/// The plaintext recovery of one round at one receiver — what ψ yields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodedRound<F> {
+    /// Decoded next states `S_k(t+1)`, one per machine.
+    pub new_states: Vec<Vec<F>>,
+    /// Decoded outputs `Y_k(t)`, one per machine.
+    pub outputs: Vec<Vec<F>>,
+    /// Nodes whose broadcast results were identified as erroneous by the
+    /// decoder (Byzantine detection as a side effect of decoding).
+    pub detected_error_nodes: Vec<usize>,
+    /// How many usable word slots held results when decoding.
+    pub results_held: usize,
+}
+
+impl<F: Field> DecodedRound<F> {
+    /// Per-machine flat result vectors `(S_k(t+1), Y_k(t))` — the layout
+    /// the digest covers, identical between simulator and runtime.
+    pub fn results(&self) -> Vec<Vec<F>> {
+        self.new_states
+            .iter()
+            .zip(&self.outputs)
+            .map(|(s, y)| s.iter().chain(y).copied().collect())
+            .collect()
+    }
+
+    /// Order-sensitive digest of [`Self::results`]
+    /// ([`crate::digest::digest_results`]).
+    pub fn digest(&self) -> u64 {
+        digest_results(&self.results())
+    }
+}
+
+/// Outcome of one committed round at one node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundCommit<F> {
+    /// Round number.
+    pub round: u64,
+    /// Decoded per-machine flat results `(S_k(t+1), Y_k(t))`.
+    pub results: Vec<Vec<F>>,
+    /// Order-sensitive digest of `results` (what nodes gossip in `Commit`
+    /// frames).
+    pub digest: u64,
+    /// How many word slots held usable results when decoding.
+    pub results_held: usize,
+}
+
+/// What a node hands its exchange driver for broadcasting: the sans-I/O
+/// expression of the execution-phase fault model. Per-receiver
+/// perturbation (equivocation noise schedules) and wire-level attacks
+/// (impersonation) are the driver's business.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResultAction<F> {
+    /// Broadcast this vector to everyone (honest, or an already-corrupted
+    /// variant for [`FaultSpec::CorruptResult`] / [`FaultSpec::OffsetResult`]).
+    Broadcast(Vec<F>),
+    /// Send a differently-perturbed copy of this base vector to each
+    /// receiver.
+    Equivocate(Vec<F>),
+    /// Send nothing.
+    Withhold,
+}
+
+/// One node's stateful view of the coded cluster: its coded state, its
+/// fault behavior, and its round counter, over a shared [`CodedMachine`].
+#[derive(Debug, Clone)]
+pub struct RoundEngine<F: Field> {
+    machine: Arc<CodedMachine<F>>,
+    node: usize,
+    fault: FaultSpec,
+    coded_state: Vec<F>,
+    round: u64,
+}
+
+impl<F: Field> RoundEngine<F> {
+    /// Sets up node `node`'s engine with the cluster's plaintext initial
+    /// states (immediately encoded — only the coded state is stored).
+    ///
+    /// # Errors
+    ///
+    /// * [`CsmError::InvalidConfig`] — `node >= N`;
+    /// * [`CsmError::ShapeMismatch`] — wrong state shapes.
+    pub fn new(
+        machine: Arc<CodedMachine<F>>,
+        node: usize,
+        initial_states: &[Vec<F>],
+    ) -> Result<Self, CsmError> {
+        if node >= machine.n() {
+            return Err(CsmError::InvalidConfig(format!(
+                "node {node} out of range for {} nodes",
+                machine.n()
+            )));
+        }
+        machine.check_states(initial_states)?;
+        let coded_state = machine.encode_state_at(node, initial_states);
+        Ok(RoundEngine {
+            machine,
+            node,
+            fault: FaultSpec::Honest,
+            coded_state,
+            round: 0,
+        })
+    }
+
+    /// Assigns the node's execution-phase fault behavior.
+    pub fn with_fault(mut self, fault: FaultSpec) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// This node's id.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// The shared coded machine.
+    pub fn machine(&self) -> &Arc<CodedMachine<F>> {
+        &self.machine
+    }
+
+    /// This node's fault behavior.
+    pub fn fault(&self) -> FaultSpec {
+        self.fault
+    }
+
+    /// Next round to execute (commits so far).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The stored coded state (one machine-state wide — the
+    /// storage-efficiency invariant).
+    pub fn coded_state(&self) -> &[F] {
+        &self.coded_state
+    }
+
+    /// ρ, first half: this node's coded command vector for an agreed
+    /// batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed batch (drivers validate via
+    /// [`CodedMachine::check_commands`]).
+    pub fn encode_commands(&self, commands: &[Vec<F>]) -> Vec<F> {
+        self.machine.encode_command_at(self.node, commands)
+    }
+
+    /// ρ, second half: applies the transition polynomial to the stored
+    /// coded state and an already-encoded command, yielding the honest
+    /// coded result `g_i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CsmError::Transition`] on arity mismatch.
+    pub fn execute_coded(&self, coded_cmd: &[F]) -> Result<Vec<F>, CsmError> {
+        self.machine
+            .transition()
+            .apply_flat(&self.coded_state, coded_cmd)
+            .map_err(|e| CsmError::Transition(e.to_string()))
+    }
+
+    /// The whole ρ step: encode the batch at this node's point and run the
+    /// transition. Equivalent to `execute_coded(&encode_commands(..))`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CsmError::ShapeMismatch`] on a malformed batch or
+    /// [`CsmError::Transition`] on arity mismatch.
+    pub fn execute(&self, commands: &[Vec<F>]) -> Result<Vec<F>, CsmError> {
+        self.machine.check_commands(commands)?;
+        self.execute_coded(&self.encode_commands(commands))
+    }
+
+    /// Applies this node's result fault to an honest coded result, in the
+    /// simulator's semantics: `None` means withheld, equivocators return
+    /// the honest base (per-receiver noise is the exchange layer's job).
+    pub fn apply_result_fault<R: Rng + ?Sized>(&self, g: Vec<F>, rng: &mut R) -> Option<Vec<F>> {
+        match self.fault {
+            FaultSpec::Honest | FaultSpec::CorruptStateUpdate | FaultSpec::Equivocate => Some(g),
+            FaultSpec::CorruptResult => Some((0..g.len()).map(|_| F::random(rng)).collect()),
+            FaultSpec::OffsetResult => {
+                Some(g.into_iter().map(|x| x + F::from_u64(0xBAD)).collect())
+            }
+            FaultSpec::Withhold => None,
+        }
+    }
+
+    /// Applies this node's result fault as a broadcast instruction for an
+    /// exchange driver.
+    pub fn result_action<R: Rng + ?Sized>(&self, g: Vec<F>, rng: &mut R) -> ResultAction<F> {
+        match self.fault {
+            FaultSpec::Equivocate => ResultAction::Equivocate(g),
+            FaultSpec::Withhold => ResultAction::Withhold,
+            _ => match self.apply_result_fault(g, rng) {
+                Some(v) => ResultAction::Broadcast(v),
+                None => ResultAction::Withhold,
+            },
+        }
+    }
+
+    /// ψ: decodes a finalized word (delegates to
+    /// [`CodedMachine::decode_word`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CsmError::Decoding`] when the security bound is exceeded.
+    pub fn decode(&self, word: &Word<F>) -> Result<DecodedRound<F>, CsmError> {
+        self.machine.decode_word(word)
+    }
+
+    /// Installs an externally-encoded next coded state (the simulator's
+    /// centralized χ path), applying [`FaultSpec::CorruptStateUpdate`]
+    /// self-poisoning, and advances the round counter.
+    pub fn install_state(&mut self, coded: Vec<F>) {
+        self.coded_state = if self.fault == FaultSpec::CorruptStateUpdate {
+            // self-poisoning: the node stores garbage, so its future
+            // results are erroneous and get corrected by decoding
+            coded.into_iter().map(|x| x + F::from_u64(0xDEAD)).collect()
+        } else {
+            coded
+        };
+        self.round += 1;
+    }
+
+    /// χ: re-encodes the decoded next states into this node's coded state
+    /// and returns the commit record for the round just finished.
+    pub fn commit(&mut self, decoded: &DecodedRound<F>) -> RoundCommit<F> {
+        let results = decoded.results();
+        let commit = RoundCommit {
+            round: self.round,
+            digest: digest_results(&results),
+            results,
+            results_held: decoded.results_held,
+        };
+        let coded = self.machine.encode_state_at(self.node, &decoded.new_states);
+        self.install_state(coded);
+        commit
+    }
+
+    /// Decode-then-commit convenience for runtime drivers: `None` if the
+    /// word is undecodable (the driver skips the round's commit
+    /// announcement, matching the protocol's "too many faults" outcome).
+    pub fn commit_word(&mut self, word: &Word<F>) -> Option<RoundCommit<F>> {
+        let decoded = self.decode(word).ok()?;
+        Some(self.commit(&decoded))
+    }
+}
+
+/// The simulator's logical §5.2 exchange: receiver `j`'s view of the
+/// broadcast results, with equivocation noise and (in partial synchrony)
+/// worst-case adversarial slowness applied. `results[i] = None` means node
+/// `i` withheld.
+///
+/// Exact under the paper's network models; the runtime path exercises the
+/// real mechanics instead ([`crate::exchange`], `csm-node`). Shared here
+/// so `CsmCluster` and the engine-equivalence tests apply one definition.
+pub fn sim_receiver_word<F: Field>(
+    results: &[Option<Vec<F>>],
+    receiver: usize,
+    faults: &[FaultSpec],
+    synchrony: SynchronyMode,
+    assumed_faults: usize,
+    round: u64,
+) -> Word<F> {
+    let n = results.len();
+    let mut word: Word<F> = results.to_vec();
+    // equivocating senders give each receiver a different wrong value
+    for (i, fault) in faults.iter().enumerate() {
+        if *fault == FaultSpec::Equivocate {
+            if let Some(g) = &mut word[i] {
+                let noise = F::from_u64(
+                    1 + ((i as u64 + 1)
+                        .wrapping_mul(receiver as u64 + 0x1234)
+                        .wrapping_mul(round + 7))
+                        % 65_521,
+                );
+                for x in g.iter_mut() {
+                    *x += noise;
+                }
+            }
+        }
+    }
+    // partial synchrony: the adversary delays up to b results past the
+    // decode point; the worst case drops honest ones
+    if synchrony == SynchronyMode::PartiallySynchronous {
+        let withheld = word.iter().filter(|w| w.is_none()).count();
+        let mut to_drop = assumed_faults.saturating_sub(withheld);
+        for i in (0..n).rev() {
+            if to_drop == 0 {
+                break;
+            }
+            if word[i].is_some() && !faults[i].is_byzantine() && i != receiver {
+                word[i] = None;
+                to_drop -= 1;
+            }
+        }
+    }
+    word
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csm_algebra::Fp61;
+    use csm_statemachine::machines::{auction_machine, bank_machine};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn f(v: u64) -> Fp61 {
+        Fp61::from_u64(v)
+    }
+
+    fn machine(n: usize, k: usize) -> Arc<CodedMachine<Fp61>> {
+        Arc::new(CodedMachine::new(n, k, bank_machine(), DecoderKind::default()).unwrap())
+    }
+
+    fn engines(m: &Arc<CodedMachine<Fp61>>, states: &[Vec<Fp61>]) -> Vec<RoundEngine<Fp61>> {
+        (0..m.n())
+            .map(|i| RoundEngine::new(Arc::clone(m), i, states).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn machine_validates_shape() {
+        assert!(matches!(
+            CodedMachine::<Fp61>::new(0, 1, bank_machine(), DecoderKind::default()),
+            Err(CsmError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            CodedMachine::<Fp61>::new(8, 9, bank_machine(), DecoderKind::default()),
+            Err(CsmError::TooManyMachines { .. })
+        ));
+        let m = machine(8, 2);
+        assert!(m.check_commands(&[vec![f(1)]]).is_err());
+        assert!(m.check_commands(&[vec![f(1)], vec![f(2), f(3)]]).is_err());
+        assert!(m.check_commands(&[vec![f(1)], vec![f(2)]]).is_ok());
+    }
+
+    #[test]
+    fn full_round_recovers_reference_execution() {
+        let m = machine(8, 2);
+        let states = vec![vec![f(100)], vec![f(200)]];
+        let mut nodes = engines(&m, &states);
+        let commands = vec![vec![f(10)], vec![f(20)]];
+        let word: Word<Fp61> = nodes
+            .iter()
+            .map(|e| Some(e.execute(&commands).unwrap()))
+            .collect();
+        let mut digests = Vec::new();
+        for e in &mut nodes {
+            let decoded = e.decode(&word).unwrap();
+            assert_eq!(decoded.new_states, vec![vec![f(110)], vec![f(220)]]);
+            assert_eq!(decoded.outputs, vec![vec![f(110)], vec![f(220)]]);
+            assert!(decoded.detected_error_nodes.is_empty());
+            let commit = e.commit(&decoded);
+            assert_eq!(commit.round, 0);
+            assert_eq!(e.round(), 1);
+            digests.push(commit.digest);
+        }
+        digests.dedup();
+        assert_eq!(digests.len(), 1, "all nodes agree on the digest");
+    }
+
+    #[test]
+    fn corrupt_and_malformed_results_are_handled() {
+        let m = machine(10, 2);
+        let states = vec![vec![f(5)], vec![f(6)]];
+        let nodes = engines(&m, &states);
+        let commands = vec![vec![f(1)], vec![f(2)]];
+        let mut word: Word<Fp61> = nodes
+            .iter()
+            .map(|e| Some(e.execute(&commands).unwrap()))
+            .collect();
+        word[3] = Some(vec![f(666), f(667)]); // corrupted (right width)
+        word[5] = Some(vec![f(1)]); // malformed width -> erasure
+        word[7] = None; // withheld
+        let decoded = nodes[0].decode(&word).unwrap();
+        assert_eq!(decoded.new_states, vec![vec![f(6)], vec![f(8)]]);
+        assert_eq!(decoded.detected_error_nodes, vec![3]);
+        assert_eq!(decoded.results_held, 8);
+    }
+
+    #[test]
+    fn result_faults_follow_spec() {
+        let m = machine(6, 2);
+        let states = vec![vec![f(1)], vec![f(2)]];
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = vec![f(10), f(20)];
+        let honest = RoundEngine::new(Arc::clone(&m), 0, &states).unwrap();
+        assert_eq!(
+            honest.apply_result_fault(g.clone(), &mut rng),
+            Some(g.clone())
+        );
+        let withhold = RoundEngine::new(Arc::clone(&m), 1, &states)
+            .unwrap()
+            .with_fault(FaultSpec::Withhold);
+        assert_eq!(withhold.apply_result_fault(g.clone(), &mut rng), None);
+        assert_eq!(
+            withhold.result_action(g.clone(), &mut rng),
+            ResultAction::Withhold
+        );
+        let offset = RoundEngine::new(Arc::clone(&m), 2, &states)
+            .unwrap()
+            .with_fault(FaultSpec::OffsetResult);
+        assert_eq!(
+            offset.apply_result_fault(g.clone(), &mut rng),
+            Some(vec![f(10) + f(0xBAD), f(20) + f(0xBAD)])
+        );
+        let equiv = RoundEngine::new(Arc::clone(&m), 3, &states)
+            .unwrap()
+            .with_fault(FaultSpec::Equivocate);
+        assert_eq!(
+            equiv.result_action(g.clone(), &mut rng),
+            ResultAction::Equivocate(g)
+        );
+    }
+
+    #[test]
+    fn multi_coordinate_machine_roundtrips() {
+        let m =
+            Arc::new(CodedMachine::<Fp61>::new(9, 2, auction_machine(), DecoderKind::Gao).unwrap());
+        let states = vec![vec![f(3), f(4)], vec![f(5), f(6)]];
+        let mut nodes: Vec<RoundEngine<Fp61>> = (0..9)
+            .map(|i| RoundEngine::new(Arc::clone(&m), i, &states).unwrap())
+            .collect();
+        let commands = vec![vec![f(1), f(2)], vec![f(3), f(4)]];
+        let word: Word<Fp61> = nodes
+            .iter()
+            .map(|e| Some(e.execute(&commands).unwrap()))
+            .collect();
+        let decoded = nodes[0].decode(&word).unwrap();
+        // reference execution
+        for k in 0..2 {
+            let (s, y) = m.transition().apply(&states[k], &commands[k]).unwrap();
+            assert_eq!(decoded.new_states[k], s);
+            assert_eq!(decoded.outputs[k], y);
+        }
+        // committing re-encodes: the next round's honest results still decode
+        for e in &mut nodes {
+            e.commit(&decoded);
+        }
+        let word2: Word<Fp61> = nodes
+            .iter()
+            .map(|e| Some(e.execute(&commands).unwrap()))
+            .collect();
+        assert!(nodes[0].decode(&word2).is_ok());
+    }
+
+    #[test]
+    fn sim_receiver_word_perturbs_equivocators_per_receiver() {
+        let results = vec![Some(vec![f(9)]), Some(vec![f(1)]), Some(vec![f(2)])];
+        let faults = [FaultSpec::Equivocate, FaultSpec::Honest, FaultSpec::Honest];
+        let w1 = sim_receiver_word(&results, 1, &faults, SynchronyMode::Synchronous, 1, 0);
+        let w2 = sim_receiver_word(&results, 2, &faults, SynchronyMode::Synchronous, 1, 0);
+        assert_ne!(w1[0], w2[0], "equivocation differs per receiver");
+        assert_eq!(w1[1], results[1]);
+    }
+}

@@ -7,6 +7,11 @@
 //! `t + 1`'s batch runs concurrently (in simulated time). The driver
 //! verifies the pipeline preserves output equivalence with sequential
 //! stepping and accounts for the makespan difference.
+//!
+//! This is the *model*; the wall-clock realization over real sockets is
+//! `csm_node::run_pipelined`, which overlaps round `t + 1`'s staged-batch
+//! gossip with round `t`'s exchange Δ-wait and measures the same
+//! `(c + e) / max(c, e)` speedup in real time.
 
 use crate::cluster::{CsmCluster, RoundReport};
 use crate::error::CsmError;

@@ -4,26 +4,68 @@
 //! ```text
 //! # one node (usually spawned by `launch`):
 //! csm-node run --id 0 --n 8 --k 2 --faults 1 --rounds 5 --seed 42 \
-//!              --ports 42100,42101,...  [--behavior equivocate] [--partial-sync]
+//!              --ports 42100,42101,...  [--machine counter] \
+//!              [--behavior equivocate] [--partial-sync]
 //!
 //! # a full multi-process cluster on loopback:
 //! csm-node launch --n 8 --k 2 --faults 1 --rounds 5 --seed 42 \
+//!                 [--machine bank|counter|auction] \
 //!                 [--byzantine 0:equivocate] [--partial-sync]
 //! ```
 //!
 //! `launch` spawns `n` child `csm-node run` processes, collects their
 //! per-round commit digests from stdout, and exits non-zero unless every
-//! honest node committed every round with identical digests.
+//! honest node committed every round with identical digests. The
+//! `--machine` flag selects which `csm-statemachine` workload the shared
+//! `RoundEngine` runs — the runtime is machine-agnostic.
 
+use csm_algebra::Field;
 use csm_network::NodeId;
-use csm_node::{cluster_registry, run_node, BehaviorKind, ExchangeTiming, NodeSpec};
+use csm_node::{
+    auction_spec, bank_spec, cluster_registry, counter_spec, run_node, BehaviorKind, EngineSpec,
+    ExchangeTiming, NodeReport,
+};
 use csm_transport::tcp::TcpTransport;
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader};
 use std::net::{SocketAddr, TcpListener};
 use std::process::{Command, Stdio};
+use std::str::FromStr;
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Which `csm-statemachine` workload the engine runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MachineKind {
+    Bank,
+    Counter,
+    Auction,
+}
+
+impl FromStr for MachineKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "bank" => Ok(MachineKind::Bank),
+            "counter" => Ok(MachineKind::Counter),
+            "auction" => Ok(MachineKind::Auction),
+            other => Err(format!(
+                "unknown machine {other:?} (want bank|counter|auction)"
+            )),
+        }
+    }
+}
+
+impl MachineKind {
+    fn as_str(&self) -> &'static str {
+        match self {
+            MachineKind::Bank => "bank",
+            MachineKind::Counter => "counter",
+            MachineKind::Auction => "auction",
+        }
+    }
+}
 
 #[derive(Debug, Clone)]
 struct CommonArgs {
@@ -34,6 +76,7 @@ struct CommonArgs {
     seed: u64,
     partial_sync: bool,
     delta_ms: u64,
+    machine: MachineKind,
 }
 
 impl Default for CommonArgs {
@@ -46,6 +89,7 @@ impl Default for CommonArgs {
             seed: 42,
             partial_sync: false,
             delta_ms: 250,
+            machine: MachineKind::Bank,
         }
     }
 }
@@ -53,8 +97,9 @@ impl Default for CommonArgs {
 fn usage() -> ! {
     eprintln!(
         "usage:\n  csm-node run --id I --ports P0,P1,.. [--n N --k K --faults B --rounds R \
-         --seed S --behavior KIND --partial-sync --delta-ms D]\n  csm-node launch [--n N --k K \
-         --faults B --rounds R --seed S --byzantine ID:KIND --partial-sync --delta-ms D]"
+         --seed S --machine M --behavior KIND --partial-sync --delta-ms D]\n  csm-node launch \
+         [--n N --k K --faults B --rounds R --seed S --machine M --byzantine ID:KIND \
+         --partial-sync --delta-ms D]"
     );
     std::process::exit(2)
 }
@@ -67,6 +112,12 @@ fn parse_common(args: &mut CommonArgs, flag: &str, value: &str) -> bool {
         "--rounds" => args.rounds = value.parse().expect("--rounds"),
         "--seed" => args.seed = value.parse().expect("--seed"),
         "--delta-ms" => args.delta_ms = value.parse().expect("--delta-ms"),
+        "--machine" => {
+            args.machine = value.parse().unwrap_or_else(|e| {
+                eprintln!("--machine: {e}");
+                std::process::exit(2);
+            })
+        }
         _ => return false,
     }
     true
@@ -148,27 +199,69 @@ fn cmd_run(rest: &[String]) {
         std::process::exit(1);
     }
 
-    let spec = NodeSpec {
-        k: common.k,
-        seed: common.seed,
-        rounds: common.rounds,
-        behavior,
+    let report = match common.machine {
+        MachineKind::Bank => run_spec(
+            transport,
+            registry,
+            &common,
+            bank_spec(common.n, common.k, common.seed, common.rounds, behavior),
+        ),
+        MachineKind::Counter => run_spec(
+            transport,
+            registry,
+            &common,
+            counter_spec(common.n, common.k, 2, common.seed, common.rounds, behavior),
+        ),
+        MachineKind::Auction => run_spec(
+            transport,
+            registry,
+            &common,
+            auction_spec(common.n, common.k, common.seed, common.rounds, behavior),
+        ),
     };
-    let report = run_node(transport, registry, timing(&common), &spec);
-    for commit in report.commits.iter().flatten() {
+    for (round, digest, held) in &report.commits {
         // machine-readable line the launcher parses
         println!(
-            "COMMIT node={} round={} digest={:#018x} held={}",
-            report.id, commit.round, commit.digest, commit.results_held
+            "COMMIT node={} round={round} digest={digest:#018x} held={held}",
+            report.id
         );
     }
-    let committed = report.digests().len() as u64;
+    let committed = report.commits.len() as u64;
     println!(
         "DONE node={} committed={}/{}",
         report.id, committed, common.rounds
     );
     if behavior == BehaviorKind::Honest && committed < common.rounds {
         std::process::exit(1);
+    }
+}
+
+/// Field-erased summary of a run (the launcher only needs digests).
+struct RunSummary {
+    id: usize,
+    /// `(round, digest, results_held)` of every committed round.
+    commits: Vec<(u64, u64, usize)>,
+}
+
+fn run_spec<F: Field>(
+    transport: TcpTransport,
+    registry: Arc<csm_network::auth::KeyRegistry>,
+    common: &CommonArgs,
+    spec: Result<EngineSpec<F>, csm_core::CsmError>,
+) -> RunSummary {
+    let spec = spec.unwrap_or_else(|e| {
+        eprintln!("invalid machine configuration: {e}");
+        std::process::exit(2);
+    });
+    let report: NodeReport<F> = run_node(transport, registry, timing(common), &spec);
+    RunSummary {
+        id: report.id,
+        commits: report
+            .commits
+            .iter()
+            .flatten()
+            .map(|c| (c.round, c.digest, c.results_held))
+            .collect(),
     }
 }
 
@@ -231,8 +324,10 @@ fn cmd_launch(rest: &[String]) {
     let exe = std::env::current_exe().expect("current exe");
 
     println!(
-        "launching {} csm-node processes on loopback (k={}, b={}, rounds={}, {}), byzantine: {:?}",
+        "launching {} csm-node processes on loopback (machine={}, k={}, b={}, rounds={}, {}), \
+         byzantine: {:?}",
         common.n,
+        common.machine.as_str(),
         common.k,
         common.faults,
         common.rounds,
@@ -262,6 +357,7 @@ fn cmd_launch(rest: &[String]) {
                 .args(["--rounds", &common.rounds.to_string()])
                 .args(["--seed", &common.seed.to_string()])
                 .args(["--delta-ms", &common.delta_ms.to_string()])
+                .args(["--machine", common.machine.as_str()])
                 .args(["--ports", &ports_arg])
                 .args(["--behavior", behavior_arg])
                 .stdout(Stdio::piped())

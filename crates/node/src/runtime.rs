@@ -85,6 +85,10 @@ pub struct NodeRuntime<T: Transport> {
     pending: BTreeMap<u64, Vec<Frame>>,
     /// Commit announcements seen, per round and announcing node.
     commits: BTreeMap<u64, BTreeMap<usize, u64>>,
+    /// Staged command-batch votes seen, per round and voting node (the
+    /// §2.2 pipelining carrier: votes for round `t + 1` arrive while
+    /// round `t`'s exchange is in flight).
+    stages: BTreeMap<u64, BTreeMap<usize, Vec<Vec<u64>>>>,
     /// Highest round already run; results at or below it are stale.
     finished_round: Option<u64>,
 }
@@ -98,6 +102,7 @@ impl<T: Transport> NodeRuntime<T> {
             timing,
             pending: BTreeMap::new(),
             commits: BTreeMap::new(),
+            stages: BTreeMap::new(),
             finished_round: None,
         }
     }
@@ -167,6 +172,7 @@ impl<T: Transport> NodeRuntime<T> {
         // used; commit digests are kept for a trailing window only (long
         // multi-round runs must not accumulate history without bound)
         self.pending = self.pending.split_off(&(finished + 1));
+        self.stages = self.stages.split_off(&(finished + 1));
         self.commits = self
             .commits
             .split_off(&finished.saturating_sub(ROUND_LOOKAHEAD));
@@ -273,6 +279,29 @@ impl<T: Transport> NodeRuntime<T> {
                         .insert(frame.sig.signer.0, *digest);
                 }
             }
+            Payload::Stage {
+                round: r,
+                sender,
+                commands,
+            } => {
+                // same identity binding and bounded window as results;
+                // first vote per (round, signer) wins, and oversized
+                // batches are not retained
+                let done = self.finished_round;
+                let in_window = done.is_none_or(|d| *r > d)
+                    && *r <= done.map_or(ROUND_LOOKAHEAD, |d| d.saturating_add(ROUND_LOOKAHEAD));
+                // count the outer vectors too: a batch of millions of
+                // *empty* rows is as hostile as one of millions of values
+                let size: usize = commands.len() + commands.iter().map(Vec::len).sum::<usize>();
+                if *sender != frame.sig.signer.0 as u64 || !in_window || size > PENDING_MAX_VALUES {
+                    return;
+                }
+                self.stages
+                    .entry(*r)
+                    .or_default()
+                    .entry(frame.sig.signer.0)
+                    .or_insert_with(|| commands.clone());
+            }
             Payload::Ping { .. } => {}
         }
     }
@@ -312,6 +341,92 @@ impl<T: Transport> NodeRuntime<T> {
         );
         let _ = self.transport.broadcast_others(frame);
         self.commits.entry(round).or_default().insert(me.0, digest);
+    }
+
+    /// Broadcasts this node's staged command-batch vote for a (typically
+    /// future) `round` and records its own vote. The §2.2 pipelining
+    /// primitive: drivers announce round `t + 1`'s batch before running
+    /// round `t`'s exchange, so the staging latency overlaps execution.
+    pub fn announce_stage(&mut self, round: u64, commands: Vec<Vec<u64>>) {
+        let me = self.id();
+        let frame = Frame::sign(
+            Payload::Stage {
+                round,
+                sender: me.0 as u64,
+                commands: commands.clone(),
+            },
+            &self.registry,
+            me,
+        );
+        let _ = self.transport.broadcast_others(frame);
+        self.stages.entry(round).or_default().insert(me.0, commands);
+    }
+
+    /// The staged batch for `round` if at least `quorum` recorded votes
+    /// agree on it bit-for-bit (Byzantine votes differ and simply don't
+    /// count toward any quorum).
+    pub fn staged_batch(&self, round: u64, quorum: usize) -> Option<Vec<Vec<u64>>> {
+        let votes = self.stages.get(&round)?;
+        let mut counts: BTreeMap<&Vec<Vec<u64>>, usize> = BTreeMap::new();
+        for batch in votes.values() {
+            let c = counts.entry(batch).or_insert(0);
+            *c += 1;
+            if *c >= quorum {
+                return Some(batch.clone());
+            }
+        }
+        None
+    }
+
+    /// Number of staged votes held for `round`.
+    pub fn stage_votes(&self, round: u64) -> usize {
+        self.stages.get(&round).map_or(0, BTreeMap::len)
+    }
+
+    /// Absorbs inbound frames (results for future rounds, commits, stage
+    /// votes) until `deadline`. Returns how long it actually blocked —
+    /// zero when the deadline already passed, which is exactly the
+    /// pipelined case: the staging window elapsed during the previous
+    /// round's exchange.
+    pub fn pump_until(&mut self, deadline: Instant) -> Duration {
+        let started = Instant::now();
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match self.transport.recv_timeout(deadline - now) {
+                Ok(frame) => self.absorb(frame),
+                Err(RecvError::Timeout) => break,
+                Err(RecvError::Disconnected) => break,
+            }
+        }
+        started.elapsed()
+    }
+
+    /// Waits until a `quorum`-matching staged batch for `round` is held
+    /// (or `timeout` passes). Returns the agreed batch, or `None` when the
+    /// quorum never formed — callers fall back to their own derivation.
+    pub fn wait_for_stage(
+        &mut self,
+        round: u64,
+        quorum: usize,
+        timeout: Duration,
+    ) -> Option<Vec<Vec<u64>>> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(batch) = self.staged_batch(round, quorum) {
+                return Some(batch);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            match self.transport.recv_timeout(deadline - now) {
+                Ok(frame) => self.absorb(frame),
+                Err(_) => return None,
+            }
+        }
     }
 
     /// Waits until at least `quorum` commit digests for `round` are held

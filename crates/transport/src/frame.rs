@@ -58,11 +58,25 @@ pub enum Payload {
         /// Echoed nonce.
         nonce: u64,
     },
+    /// A staged command batch for a *future* round — the §2.2 pipelining
+    /// carrier: nodes vote on round `t + 1`'s batch while round `t`'s
+    /// execution phase is still in flight, so the consensus/staging
+    /// latency overlaps execution instead of serializing with it.
+    Stage {
+        /// The round this batch is for.
+        round: u64,
+        /// Voting node.
+        sender: u64,
+        /// Canonical field-element encoding of the command batch (one
+        /// vector per machine).
+        commands: Vec<Vec<u64>>,
+    },
 }
 
 const TAG_RESULT: u8 = 0;
 const TAG_COMMIT: u8 = 1;
 const TAG_PING: u8 = 2;
+const TAG_STAGE: u8 = 3;
 
 impl Wire for Payload {
     fn encode(&self, out: &mut Vec<u8>) {
@@ -91,6 +105,16 @@ impl Wire for Payload {
                 out.push(TAG_PING);
                 nonce.encode(out);
             }
+            Payload::Stage {
+                round,
+                sender,
+                commands,
+            } => {
+                out.push(TAG_STAGE);
+                round.encode(out);
+                sender.encode(out);
+                commands.encode(out);
+            }
         }
     }
 
@@ -108,6 +132,11 @@ impl Wire for Payload {
             }),
             TAG_PING => Ok(Payload::Ping {
                 nonce: u64::decode(r)?,
+            }),
+            TAG_STAGE => Ok(Payload::Stage {
+                round: u64::decode(r)?,
+                sender: u64::decode(r)?,
+                commands: Vec::<Vec<u64>>::decode(r)?,
             }),
             t => Err(WireError::UnknownTag(t)),
         }
@@ -287,6 +316,11 @@ mod tests {
                 digest: 0xFEED,
             },
             Payload::Ping { nonce: 42 },
+            Payload::Stage {
+                round: 4,
+                sender: 3,
+                commands: vec![vec![1, 2], vec![3]],
+            },
         ]
     }
 

@@ -35,6 +35,16 @@ fn payload() -> impl Strategy<Value = Payload> {
             }
         }),
         any::<u64>().prop_map(|nonce| Payload::Ping { nonce }),
+        (
+            any::<u64>(),
+            0u64..N as u64,
+            prop::collection::vec(prop::collection::vec(any::<u64>(), 0..4), 0..5)
+        )
+            .prop_map(|(round, sender, commands)| Payload::Stage {
+                round,
+                sender,
+                commands
+            }),
     ]
 }
 

@@ -1,11 +1,14 @@
 //! The `networked_exchange.rs` invariants, re-proven over **real loopback
 //! TCP** instead of the discrete-event simulator: the §5.2 exchange runs
-//! through `csm-transport` sockets driven by `csm-node`'s `NodeRuntime`,
-//! under equivocation, withholding, and impersonation, in both synchrony
-//! models — and all honest receivers decode identical, correct words.
+//! through `csm-transport` sockets driven by `csm-node`'s `NodeRuntime`
+//! and the shared sans-I/O `RoundEngine`, under equivocation, withholding,
+//! and impersonation, in both synchrony models — and all honest receivers
+//! decode identical, correct words.
 
 use coded_state_machine::algebra::Fp61;
-use csm_node::{cluster_registry, run_node, BehaviorKind, ExchangeTiming, NodeSpec};
+use csm_node::{
+    bank_spec, cluster_registry, run_node, BehaviorKind, EngineSpec, ExchangeTiming, NodeReport,
+};
 use csm_transport::tcp::TcpMesh;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -18,7 +21,7 @@ fn run_tcp_cluster(
     rounds: u64,
     timing: ExchangeTiming,
     behavior_of: impl Fn(usize) -> BehaviorKind,
-) -> Vec<csm_node::NodeReport> {
+) -> Vec<NodeReport<Fp61>> {
     let registry = cluster_registry(n, 1234);
     let mesh = TcpMesh::launch_loopback(Arc::clone(&registry)).expect("bind loopback mesh");
     let handles: Vec<_> = mesh
@@ -27,12 +30,7 @@ fn run_tcp_cluster(
         .map(|(i, transport)| {
             let registry = Arc::clone(&registry);
             let timing = timing.clone();
-            let spec = NodeSpec {
-                k,
-                seed: 1234,
-                rounds,
-                behavior: behavior_of(i),
-            };
+            let spec = bank_spec(n, k, 1234, rounds, behavior_of(i)).expect("valid bank spec");
             thread::spawn(move || run_node(transport, registry, timing, &spec))
         })
         .collect();
@@ -47,7 +45,7 @@ fn run_tcp_cluster(
 /// Asserts every honest node committed every round and all honest
 /// commits agree, returning the per-round digests.
 fn assert_agreement(
-    reports: &[csm_node::NodeReport],
+    reports: &[NodeReport<Fp61>],
     byzantine: &[usize],
     rounds: u64,
 ) -> BTreeMap<u64, u64> {
@@ -174,9 +172,17 @@ fn tcp_decoded_outputs_match_reference_execution() {
         }
     });
     assert_agreement(&reports, &[0], rounds);
-    let mut reference = csm_node::CodedBankNode::<Fp61>::new(1, n, k, 1234);
+    // plaintext reference execution from the shared spec
+    let spec: EngineSpec<Fp61> = bank_spec(n, k, 1234, rounds, BehaviorKind::Honest).unwrap();
+    let mut states = spec.initial_states.clone();
+    let sd = spec.machine.transition().state_dim();
     for round in 0..rounds {
-        let expected = reference.expected_results(round);
+        let cmds = spec.commands(round);
+        let expected: Vec<Vec<Fp61>> = states
+            .iter()
+            .zip(&cmds)
+            .map(|(s, x)| spec.machine.transition().apply_flat(s, x).unwrap())
+            .collect();
         for report in &reports[1..] {
             let got = &report.commits[round as usize]
                 .as_ref()
@@ -188,6 +194,6 @@ fn tcp_decoded_outputs_match_reference_execution() {
                 report.id
             );
         }
-        reference.advance(&expected);
+        states = expected.iter().map(|r| r[..sd].to_vec()).collect();
     }
 }
