@@ -7,7 +7,7 @@
 //!
 //! | backend    | sequential                        | pipelined |
 //! |------------|-----------------------------------|-----------|
-//! | `sim`      | `CsmCluster::step` wall clock     | modeled: the §2.2 two-stage latency model applied to the measured step time (`modeled: true` in the JSON) |
+//! | `sim`      | modeled: the §2.2 two-stage latency model with consensus = the real backends' staging window and execution = the exchange Δ plus the measured `CsmCluster::step` CPU time (`modeled: true` in the JSON) | same model, pipelined makespan |
 //! | `mem-mesh` | staged rounds over in-process channels | staging overlapped via `run_pipelined` |
 //! | `tcp`      | staged rounds over loopback sockets    | staging overlapped via `run_pipelined` |
 //!
@@ -21,6 +21,7 @@
 //! ```
 
 use csm_algebra::{Field, Fp61};
+use csm_core::metrics::LatencyHistogram;
 use csm_core::pipeline::StageLatencies;
 use csm_core::{CsmClusterBuilder, FaultSpec};
 use csm_node::{
@@ -51,6 +52,10 @@ struct Row {
     mode: &'static str,
     rounds_per_sec: f64,
     wall_ms: f64,
+    /// Per-round wall-time percentiles across every node's rounds (absent
+    /// for the modeled sim rows).
+    round_p50_ms: Option<f64>,
+    round_p99_ms: Option<f64>,
     modeled: bool,
 }
 
@@ -89,11 +94,17 @@ fn bench_sim() -> (Row, Row) {
     // the simulator has no wall-clock network phases, so both modes apply
     // the §2.2 two-stage model (mirrors csm_core::pipeline) with
     // consensus = the staging window the real backends pay and
-    // execution = the measured step time; `modeled: true` marks them
-    let per_round_us = (wall.as_micros() as u64 / ROUNDS).max(1);
+    // execution = the exchange Δ-deadline *plus* the measured step CPU
+    // time; `modeled: true` marks them. Modeling execution as CPU time
+    // alone (as this bench once did) omits the Δ window the real
+    // backends' execution phase blocks on, which made the pipelined and
+    // sequential sim rows nearly identical (~24.9 rounds/s both) while
+    // the real backends showed the expected ~1.5× staging overlap — the
+    // sim rows were misleading, not the backends.
+    let per_round_cpu_us = (wall.as_micros() as u64 / ROUNDS).max(1);
     let lat = StageLatencies {
         consensus: STAGE_DELTA.as_micros() as u64,
-        execution: per_round_us,
+        execution: DELTA.as_micros() as u64 + per_round_cpu_us,
     };
     let row = |mode: &'static str, makespan_us: u64| {
         let modeled_wall = Duration::from_micros(makespan_us);
@@ -102,6 +113,8 @@ fn bench_sim() -> (Row, Row) {
             mode,
             rounds_per_sec: ROUNDS as f64 / modeled_wall.as_secs_f64(),
             wall_ms: modeled_wall.as_secs_f64() * 1e3,
+            round_p50_ms: None,
+            round_p99_ms: None,
             modeled: true,
         }
     };
@@ -112,8 +125,12 @@ fn bench_sim() -> (Row, Row) {
 }
 
 /// Runs a full cluster of `run_pipelined` nodes over prebuilt transports
-/// and returns the slowest node's wall clock.
-fn run_cluster<T: Transport + 'static>(transports: Vec<T>, cfg: &PipelineConfig) -> Duration {
+/// and returns the slowest node's wall clock plus the per-round wall-time
+/// distribution across all nodes.
+fn run_cluster<T: Transport + 'static>(
+    transports: Vec<T>,
+    cfg: &PipelineConfig,
+) -> (Duration, LatencyHistogram) {
     let registry = cluster_registry(N, SEED);
     // one spec per cluster: the codebook behind the Arc<CodedMachine> is
     // built once, nodes differ only in behavior
@@ -146,7 +163,14 @@ fn run_cluster<T: Transport + 'static>(transports: Vec<T>, cfg: &PipelineConfig)
             );
         }
     }
-    reports.iter().map(|r| r.elapsed).max().expect("nonempty")
+    let mut rounds = LatencyHistogram::new();
+    for r in &reports {
+        for &d in &r.round_wall {
+            rounds.record(d);
+        }
+    }
+    let wall = reports.iter().map(|r| r.elapsed).max().expect("nonempty");
+    (wall, rounds)
 }
 
 fn bench_real(backend: &'static str) -> (Row, Row) {
@@ -160,7 +184,7 @@ fn bench_real(backend: &'static str) -> (Row, Row) {
         ),
         ("pipelined", PipelineConfig::pipelined(STAGE_DELTA, quorum)),
     ] {
-        let wall = match backend {
+        let (wall, rounds) = match backend {
             "mem-mesh" => run_cluster(MemMesh::build(Arc::clone(&registry)), &cfg),
             "tcp" => run_cluster(
                 TcpMesh::launch_loopback(Arc::clone(&registry)).expect("bind loopback"),
@@ -173,6 +197,8 @@ fn bench_real(backend: &'static str) -> (Row, Row) {
             mode,
             rounds_per_sec: ROUNDS as f64 / wall.as_secs_f64(),
             wall_ms: wall.as_secs_f64() * 1e3,
+            round_p50_ms: Some(rounds.p50().as_secs_f64() * 1e3),
+            round_p99_ms: Some(rounds.p99().as_secs_f64() * 1e3),
             modeled: false,
         });
     }
@@ -202,13 +228,20 @@ fn main() {
     ));
     json.push_str("  \"machine\": \"bank\",\n  \"configs\": [\n");
     for (i, r) in rows.iter().enumerate() {
+        let percentiles = match (r.round_p50_ms, r.round_p99_ms) {
+            (Some(p50), Some(p99)) => {
+                format!(", \"round_p50_ms\": {p50:.3}, \"round_p99_ms\": {p99:.3}")
+            }
+            _ => String::new(),
+        };
         json.push_str(&format!(
             "    {{\"backend\": \"{}\", \"mode\": \"{}\", \"rounds_per_sec\": {:.3}, \
-             \"wall_ms\": {:.3}, \"modeled\": {}}}{}\n",
+             \"wall_ms\": {:.3}{}, \"modeled\": {}}}{}\n",
             r.backend,
             r.mode,
             r.rounds_per_sec,
             r.wall_ms,
+            percentiles,
             r.modeled,
             if i + 1 < rows.len() { "," } else { "" }
         ));
@@ -219,9 +252,11 @@ fn main() {
     std::fs::write("BENCH_round.json", &json).expect("write BENCH_round.json");
     eprintln!("wrote BENCH_round.json");
 
-    // trend guard: pipelining must not be slower than sequential on the
+    // trend guard: pipelining must not be slower than sequential — on the
     // real backends (mirrors the CI smoke assertion on the TCP example)
-    for backend in ["mem-mesh", "tcp"] {
+    // and now also on the corrected sim model, whose execution stage
+    // includes the Δ window and therefore shows the staging overlap
+    for backend in ["sim", "mem-mesh", "tcp"] {
         let get = |mode: &str| {
             rows.iter()
                 .find(|r| r.backend == backend && r.mode == mode)

@@ -1,0 +1,142 @@
+//! Machine-readable client-workload baseline: drives hundreds of
+//! concurrent closed-loop `csm-client` endpoints against a live gateway
+//! cluster ({mem-mesh, tcp} × client counts) and writes
+//! `BENCH_workload.json` at the repo root — the client-visible
+//! commit-latency/throughput trajectory every future scaling PR is
+//! measured through.
+//!
+//! Every configuration runs `N = 8`, `K = 4`, `b = 2` with node 0
+//! equivocating (results *and* replies) and node 1 withholding both, and
+//! is verified end to end before its row is recorded: all submitted
+//! commands commit, every accepted output reproduces the reference bank
+//! balance chain, and honest nodes agree on all commit digests.
+//!
+//! ```sh
+//! cargo run --release -p csm-bench --bin workload_bench
+//! WORKLOAD_SMOKE=1 cargo run --release -p csm-bench --bin workload_bench  # CI-sized
+//! ```
+
+use csm_bench::workload::{
+    one_equivocator_one_withholder, run_mem_workload, run_tcp_workload, verify_bank_outcome,
+    WorkloadConfig, WorkloadOutcome,
+};
+use std::time::Duration;
+
+const N: usize = 8;
+const K: usize = 4;
+const FAULTS: usize = 2;
+const SEED: u64 = 42;
+const DELTA: Duration = Duration::from_millis(40);
+/// The two result-phase Byzantine nodes every config runs with.
+const BYZANTINE: [usize; 2] = [0, 1];
+
+#[derive(Debug)]
+struct Row {
+    backend: &'static str,
+    clients: usize,
+    commands: u64,
+    committed: u64,
+    p50_ms: f64,
+    p99_ms: f64,
+    max_ms: f64,
+    cmds_per_sec: f64,
+    wall_ms: f64,
+}
+
+fn run_config(backend: &'static str, clients: usize, commands_per_client: usize) -> Row {
+    let cfg = WorkloadConfig {
+        cluster: N,
+        shards: K,
+        assumed_faults: FAULTS,
+        clients,
+        commands_per_client,
+        delta: DELTA,
+        queue_cap: 4096,
+        seed: SEED,
+    };
+    let outcome: WorkloadOutcome = match backend {
+        "mem-mesh" => run_mem_workload(&cfg, one_equivocator_one_withholder),
+        "tcp" => run_tcp_workload(&cfg, one_equivocator_one_withholder),
+        _ => unreachable!("unknown backend"),
+    };
+    verify_bank_outcome(&cfg, &outcome, &BYZANTINE)
+        .unwrap_or_else(|e| panic!("{backend}/{clients} clients failed verification: {e}"));
+    let lat = outcome.merged_latencies();
+    eprintln!(
+        "{backend}: {clients} clients x {commands_per_client} cmds -> {} committed, \
+         p50 {:.0}ms p99 {:.0}ms, {:.1} cmds/s",
+        outcome.committed(),
+        lat.p50().as_secs_f64() * 1e3,
+        lat.p99().as_secs_f64() * 1e3,
+        outcome.commands_per_sec()
+    );
+    Row {
+        backend,
+        clients,
+        commands: (clients * commands_per_client) as u64,
+        committed: outcome.committed(),
+        p50_ms: lat.p50().as_secs_f64() * 1e3,
+        p99_ms: lat.p99().as_secs_f64() * 1e3,
+        max_ms: lat.max().as_secs_f64() * 1e3,
+        cmds_per_sec: outcome.commands_per_sec(),
+        wall_ms: outcome.client_elapsed.as_secs_f64() * 1e3,
+    }
+}
+
+fn main() {
+    // CI smoke keeps the fleet small; the full run sweeps to 100 clients
+    // per backend (the ROADMAP's client-scale baseline)
+    let smoke = std::env::var("WORKLOAD_SMOKE").is_ok();
+    let sweeps: &[(usize, usize)] = if smoke {
+        &[(12, 1)]
+    } else {
+        &[(24, 2), (100, 2)]
+    };
+
+    let mut rows = Vec::new();
+    for backend in ["mem-mesh", "tcp"] {
+        for &(clients, commands) in sweeps {
+            rows.push(run_config(backend, clients, commands));
+        }
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"client_workload\",\n");
+    json.push_str(&format!(
+        "  \"n\": {N},\n  \"k\": {K},\n  \"faults\": {FAULTS},\n  \
+         \"byzantine\": \"node0 equivocates, node1 withholds\",\n  \
+         \"delta_ms\": {},\n  \"machine\": \"bank\",\n",
+        DELTA.as_millis()
+    ));
+    json.push_str("  \"configs\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"backend\": \"{}\", \"clients\": {}, \"commands\": {}, \
+             \"committed\": {}, \"p50_ms\": {:.1}, \"p99_ms\": {:.1}, \"max_ms\": {:.1}, \
+             \"cmds_per_sec\": {:.1}, \"wall_ms\": {:.1}}}{}\n",
+            r.backend,
+            r.clients,
+            r.commands,
+            r.committed,
+            r.p50_ms,
+            r.p99_ms,
+            r.max_ms,
+            r.cmds_per_sec,
+            r.wall_ms,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    println!("{json}");
+    if !smoke {
+        std::fs::write("BENCH_workload.json", &json).expect("write BENCH_workload.json");
+        eprintln!("wrote BENCH_workload.json");
+    }
+
+    // hard guarantees, already checked per-config by verify_bank_outcome:
+    // every submitted command committed despite the equivocator/withholder
+    for r in &rows {
+        assert_eq!(r.committed, r.commands, "{}: lost commands", r.backend);
+    }
+}

@@ -18,6 +18,8 @@
 
 #![warn(missing_docs)]
 
+pub mod workload;
+
 use csm_algebra::OpCounts;
 
 /// Renders an aligned text table (the binaries' output format).

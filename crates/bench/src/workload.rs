@@ -1,0 +1,388 @@
+//! Shared closed-loop client-workload harness: spawns a gateway cluster
+//! (`csm_node::run_gateway`) plus `M` concurrent `csm_client` endpoints on
+//! one transport mesh, drives a bank workload to completion, and verifies
+//! end-to-end correctness (every accepted output matches the reference
+//! bank execution, honest nodes agree on every committed digest).
+//!
+//! Used by the `workload_bench` binary, the `client_cluster` example, and
+//! the `client_gateway` integration tests — one harness, three callers,
+//! so the measured path and the tested path are the same code.
+
+use csm_algebra::{Field, Fp61};
+use csm_client::{ClientConfig, CsmClient, Receipt};
+use csm_core::metrics::LatencyHistogram;
+use csm_core::DecoderKind;
+use csm_network::auth::KeyRegistry;
+use csm_node::{
+    mesh_registry, run_gateway, BehaviorKind, CodedMachine, ExchangeTiming, GatewayConfig,
+    GatewayReport, GatewaySpec,
+};
+use csm_statemachine::machines::bank_machine;
+use csm_transport::mem::MemMesh;
+use csm_transport::tcp::TcpMesh;
+use csm_transport::Transport;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Shape of one closed-loop bank workload run.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Cluster size `N`.
+    pub cluster: usize,
+    /// Number of bank shards `K`.
+    pub shards: usize,
+    /// Provisioned fault bound `b` (echo quorum `N − b`, client accept
+    /// threshold `b + 1`).
+    pub assumed_faults: usize,
+    /// Concurrent closed-loop clients.
+    pub clients: usize,
+    /// Deposits each client submits (sequentially — closed loop).
+    pub commands_per_client: usize,
+    /// The exchange Δ.
+    pub delta: Duration,
+    /// Gateway admission cap.
+    pub queue_cap: usize,
+    /// Key/registry seed.
+    pub seed: u64,
+}
+
+impl WorkloadConfig {
+    /// Shard a client submits to (fixed per client).
+    pub fn shard_of(&self, client_idx: usize) -> usize {
+        client_idx % self.shards
+    }
+
+    /// The deterministic deposit amount for a client's `i`-th command.
+    pub fn amount(client_idx: usize, i: usize) -> u64 {
+        1 + ((client_idx as u64 * 31 + i as u64 * 7) % 97)
+    }
+
+    /// Initial balance of a shard.
+    pub fn initial_balance(shard: usize) -> u64 {
+        100 * (shard as u64 + 1)
+    }
+
+    /// Total deposits this run will submit to `shard`.
+    pub fn total_deposited(&self, shard: usize) -> u64 {
+        (0..self.clients)
+            .filter(|&c| self.shard_of(c) == shard)
+            .map(|c| {
+                (0..self.commands_per_client)
+                    .map(|i| Self::amount(c, i))
+                    .sum::<u64>()
+            })
+            .sum()
+    }
+}
+
+/// One client's view of the run.
+#[derive(Debug)]
+pub struct ClientOutcome {
+    /// Client index (0-based; registry id is `cluster + index`).
+    pub index: usize,
+    /// Accepted commands, in submission order.
+    pub receipts: Vec<Receipt>,
+    /// Commands that never reached the reply quorum.
+    pub failures: u64,
+    /// Commit latencies of the accepted commands.
+    pub latencies: LatencyHistogram,
+}
+
+/// The whole run's outcome.
+#[derive(Debug)]
+pub struct WorkloadOutcome {
+    /// Per-client results, by client index.
+    pub clients: Vec<ClientOutcome>,
+    /// Per-node gateway reports, by node id.
+    pub nodes: Vec<GatewayReport<Fp61>>,
+    /// Wall clock from first submission to last node joined.
+    pub elapsed: Duration,
+    /// Wall clock until the last *client* finished (the throughput
+    /// denominator — node shutdown drains are excluded).
+    pub client_elapsed: Duration,
+}
+
+impl WorkloadOutcome {
+    /// All clients' commit latencies merged.
+    pub fn merged_latencies(&self) -> LatencyHistogram {
+        let mut all = LatencyHistogram::new();
+        for c in &self.clients {
+            all.merge(&c.latencies);
+        }
+        all
+    }
+
+    /// Total accepted commands.
+    pub fn committed(&self) -> u64 {
+        self.clients.iter().map(|c| c.receipts.len() as u64).sum()
+    }
+
+    /// Accepted commands per second of client wall-clock.
+    pub fn commands_per_sec(&self) -> f64 {
+        self.committed() as f64 / self.client_elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// The standard Byzantine cast: node 0 equivocates (results *and*
+/// replies), node 1 withholds both. Within `b = 2`.
+pub fn one_equivocator_one_withholder(id: usize) -> BehaviorKind {
+    match id {
+        0 => BehaviorKind::Equivocate,
+        1 => BehaviorKind::Withhold,
+        _ => BehaviorKind::Honest,
+    }
+}
+
+/// Runs the workload over prebuilt transports (`cluster` node endpoints
+/// followed by `clients` client endpoints, as `MemMesh::build` /
+/// `TcpMesh::launch_loopback` lay them out).
+///
+/// # Panics
+///
+/// Panics if the transport count is not `cluster + clients` or a thread
+/// dies.
+pub fn run_bank_workload<T: Transport + 'static>(
+    transports: Vec<T>,
+    registry: Arc<KeyRegistry>,
+    cfg: &WorkloadConfig,
+    behavior_of: impl Fn(usize) -> BehaviorKind,
+) -> WorkloadOutcome {
+    assert_eq!(
+        transports.len(),
+        cfg.cluster + cfg.clients,
+        "mesh must host the cluster plus every client"
+    );
+    let machine = Arc::new(
+        CodedMachine::<Fp61>::new(
+            cfg.cluster,
+            cfg.shards,
+            bank_machine(),
+            DecoderKind::default(),
+        )
+        .expect("workload shape within Theorem-1 bounds"),
+    );
+    let initial_states: Vec<Vec<Fp61>> = (0..cfg.shards)
+        .map(|s| vec![Fp61::from_u64(WorkloadConfig::initial_balance(s))])
+        .collect();
+    let timing = ExchangeTiming::synchronous(cfg.assumed_faults, cfg.delta).with_full_finalize();
+    let gw_cfg = {
+        let mut c = GatewayConfig::new(cfg.cluster, cfg.assumed_faults, &timing);
+        c.queue_cap = cfg.queue_cap;
+        c
+    };
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = Instant::now();
+
+    let mut transports = transports;
+    let client_transports = transports.split_off(cfg.cluster);
+    let mut node_handles = Vec::new();
+    for (id, transport) in transports.into_iter().enumerate() {
+        let registry = Arc::clone(&registry);
+        let timing = timing.clone();
+        let gw_cfg = gw_cfg.clone();
+        let stop = Arc::clone(&stop);
+        let spec = GatewaySpec {
+            machine: Arc::clone(&machine),
+            initial_states: initial_states.clone(),
+            behavior: behavior_of(id),
+        };
+        node_handles.push(
+            thread::Builder::new()
+                .name(format!("csm-gw-{id}"))
+                .spawn(move || run_gateway(transport, registry, timing, &spec, &gw_cfg, &stop))
+                .expect("spawn gateway thread"),
+        );
+    }
+
+    let client_cfg = ClientConfig {
+        cluster: cfg.cluster,
+        assumed_faults: cfg.assumed_faults,
+        reply_timeout: cfg.delta * 8 + Duration::from_millis(500),
+        max_attempts: 20,
+    };
+    let mut client_handles = Vec::new();
+    for (index, transport) in client_transports.into_iter().enumerate() {
+        let registry = Arc::clone(&registry);
+        let client_cfg = client_cfg.clone();
+        let cfg = cfg.clone();
+        client_handles.push(
+            thread::Builder::new()
+                .name(format!("csm-client-{index}"))
+                .spawn(move || {
+                    let mut client = CsmClient::new(transport, registry, client_cfg);
+                    let shard = cfg.shard_of(index) as u64;
+                    let mut outcome = ClientOutcome {
+                        index,
+                        receipts: Vec::with_capacity(cfg.commands_per_client),
+                        failures: 0,
+                        latencies: LatencyHistogram::new(),
+                    };
+                    for i in 0..cfg.commands_per_client {
+                        match client.submit(shard, vec![WorkloadConfig::amount(index, i)]) {
+                            Ok(receipt) => {
+                                outcome.latencies.record(receipt.latency);
+                                outcome.receipts.push(receipt);
+                            }
+                            Err(_) => outcome.failures += 1,
+                        }
+                    }
+                    outcome
+                })
+                .expect("spawn client thread"),
+        );
+    }
+
+    let mut clients: Vec<ClientOutcome> = client_handles
+        .into_iter()
+        .map(|h| h.join().expect("client thread"))
+        .collect();
+    clients.sort_by_key(|c| c.index);
+    let client_elapsed = started.elapsed();
+    stop.store(true, Ordering::Relaxed);
+    let mut nodes: Vec<GatewayReport<Fp61>> = node_handles
+        .into_iter()
+        .map(|h| h.join().expect("gateway thread"))
+        .collect();
+    nodes.sort_by_key(|r| r.id);
+    WorkloadOutcome {
+        clients,
+        nodes,
+        elapsed: started.elapsed(),
+        client_elapsed,
+    }
+}
+
+/// Runs the workload on an in-process channel mesh.
+pub fn run_mem_workload(
+    cfg: &WorkloadConfig,
+    behavior_of: impl Fn(usize) -> BehaviorKind,
+) -> WorkloadOutcome {
+    let registry = mesh_registry(cfg.cluster, cfg.clients, cfg.seed);
+    let transports = MemMesh::build(Arc::clone(&registry));
+    run_bank_workload(transports, registry, cfg, behavior_of)
+}
+
+/// Runs the workload on a loopback TCP mesh (real sockets end to end).
+pub fn run_tcp_workload(
+    cfg: &WorkloadConfig,
+    behavior_of: impl Fn(usize) -> BehaviorKind,
+) -> WorkloadOutcome {
+    let registry = mesh_registry(cfg.cluster, cfg.clients, cfg.seed);
+    let transports = TcpMesh::launch_loopback(Arc::clone(&registry)).expect("bind loopback mesh");
+    run_bank_workload(transports, registry, cfg, behavior_of)
+}
+
+/// Verifies the outcome against the reference bank execution:
+///
+/// * every client command was accepted (no quorum failures);
+/// * per shard, replaying the accepted receipts in commit-round order
+///   reproduces the exact balance chain `initial + running deposits` —
+///   so no accepted output can deviate from the honest state machine;
+/// * honest nodes' commit digests agree round by round.
+///
+/// Returns a human-readable error on the first violation.
+pub fn verify_bank_outcome(
+    cfg: &WorkloadConfig,
+    outcome: &WorkloadOutcome,
+    byzantine: &[usize],
+) -> Result<(), String> {
+    for c in &outcome.clients {
+        if c.failures > 0 || c.receipts.len() != cfg.commands_per_client {
+            return Err(format!(
+                "client {} committed {}/{} commands ({} failures)",
+                c.index,
+                c.receipts.len(),
+                cfg.commands_per_client,
+                c.failures
+            ));
+        }
+    }
+    // balance-chain check per shard
+    for shard in 0..cfg.shards {
+        let mut ledger: Vec<(u64, u64, u64)> = Vec::new(); // (round, amount, balance)
+        for c in &outcome.clients {
+            if cfg.shard_of(c.index) != shard {
+                continue;
+            }
+            for (i, r) in c.receipts.iter().enumerate() {
+                // bank result is the flat (S', Y) pair, both = new balance
+                if r.output.len() != 2 || r.output[0] != r.output[1] {
+                    return Err(format!(
+                        "client {} receipt {i}: malformed bank output {:?}",
+                        c.index, r.output
+                    ));
+                }
+                ledger.push((r.round, WorkloadConfig::amount(c.index, i), r.output[0]));
+            }
+        }
+        ledger.sort_unstable();
+        let mut balance = WorkloadConfig::initial_balance(shard);
+        for (round, amount, accepted) in &ledger {
+            balance += amount;
+            if *accepted != balance {
+                return Err(format!(
+                    "shard {shard} round {round}: accepted balance {accepted} != reference {balance}"
+                ));
+            }
+        }
+        if balance != WorkloadConfig::initial_balance(shard) + cfg.total_deposited(shard) {
+            return Err(format!(
+                "shard {shard}: final balance {balance} mismatches total"
+            ));
+        }
+    }
+    // honest digest agreement, keyed by absolute round (reports only
+    // retain a trailing window, and nodes may stop on different rounds)
+    let honest: Vec<_> = outcome
+        .nodes
+        .iter()
+        .filter(|r| !byzantine.contains(&r.id))
+        .collect();
+    if let Some(first) = honest.first() {
+        let reference: std::collections::BTreeMap<u64, u64> = first.digests().into_iter().collect();
+        for other in &honest[1..] {
+            for (round, digest) in other.digests() {
+                if let Some(expected) = reference.get(&round) {
+                    if *expected != digest {
+                        return Err(format!(
+                            "round {round}: honest nodes {} and {} diverge",
+                            first.id, other.id
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_mem_workload_commits_and_verifies() {
+        let cfg = WorkloadConfig {
+            cluster: 6,
+            shards: 2,
+            assumed_faults: 1,
+            clients: 4,
+            commands_per_client: 2,
+            delta: Duration::from_millis(40),
+            queue_cap: 64,
+            seed: 11,
+        };
+        let outcome = run_mem_workload(&cfg, |id| {
+            if id == 0 {
+                BehaviorKind::Equivocate
+            } else {
+                BehaviorKind::Honest
+            }
+        });
+        verify_bank_outcome(&cfg, &outcome, &[0]).expect("outcome verifies");
+        assert_eq!(outcome.committed(), 8);
+        assert!(outcome.merged_latencies().p99() > Duration::ZERO);
+    }
+}

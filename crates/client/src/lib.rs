@@ -1,0 +1,247 @@
+//! # csm-client
+//!
+//! The client side of a CSM deployment (§1/§3): an external client
+//! broadcasts a signed command to the `N`-node cluster and accepts the
+//! output only after **`b + 1` bit-identical replies** from distinct
+//! nodes — with at most `b` Byzantine nodes, any `b + 1` matching replies
+//! include an honest one, so the accepted value is correct. The matching
+//! rule itself is [`csm_core::client::accept_replies`]; this crate runs
+//! it over a real [`csm_transport::Transport`].
+//!
+//! Clients share the nodes' transport mesh and key registry: ids
+//! `0..cluster` are nodes, ids `cluster..` are clients (see
+//! `csm_node::mesh_registry`), so client submissions are MAC'd like every
+//! other frame and nodes bind the submission to the signing key —
+//! a Byzantine node cannot submit commands in a client's name.
+//!
+//! Submission is **at-least-once with idempotent admission**: a client
+//! that times out re-sends the same `(client, seq)` command, the node-side
+//! gateway deduplicates and answers retries of committed commands from a
+//! reply cache, and the sequence number only advances once accepted — so
+//! a command is executed at most once however many times it is sent.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use csm_core::client::{accept_replies, DeliveryStatus};
+use csm_network::auth::KeyRegistry;
+use csm_transport::{Frame, Payload, RecvError, Transport};
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Client-side timing and quorum parameters.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Protocol mesh size `N` (node ids `0..cluster`).
+    pub cluster: usize,
+    /// Provisioned fault bound `b`: outputs are accepted at `b + 1`
+    /// matching replies.
+    pub assumed_faults: usize,
+    /// How long one submission attempt waits for the reply quorum before
+    /// re-sending.
+    pub reply_timeout: Duration,
+    /// Total attempts (first send + retries) before giving up.
+    pub max_attempts: u32,
+}
+
+impl ClientConfig {
+    /// A config with sane retry defaults.
+    pub fn new(cluster: usize, assumed_faults: usize, reply_timeout: Duration) -> Self {
+        assert!(assumed_faults < cluster, "need b < N");
+        ClientConfig {
+            cluster,
+            assumed_faults,
+            reply_timeout,
+            max_attempts: 10,
+        }
+    }
+
+    /// The acceptance threshold `b + 1`.
+    pub fn need(&self) -> usize {
+        self.assumed_faults + 1
+    }
+}
+
+/// Proof of one accepted command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Receipt {
+    /// The shard the command ran on.
+    pub shard: u64,
+    /// The command's sequence number.
+    pub seq: u64,
+    /// The round that committed it (agreed by the reply quorum).
+    pub round: u64,
+    /// The accepted output: the shard's flat `(S', Y)` result in
+    /// canonical `u64` form.
+    pub output: Vec<u64>,
+    /// How many replies matched (≥ `b + 1`).
+    pub matching: usize,
+    /// Submit-to-accept wall-clock latency (includes retries).
+    pub latency: Duration,
+    /// Attempts used (1 = no retry).
+    pub attempts: u32,
+}
+
+/// Why a submission failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// No value reached `b + 1` matching replies within every attempt.
+    NoQuorum {
+        /// The command's sequence number.
+        seq: u64,
+        /// Best matching count observed across all replies.
+        best_matching: usize,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::NoQuorum { seq, best_matching } => write!(
+                f,
+                "command seq {seq}: no output reached the reply quorum (best {best_matching})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// One client endpoint: submits commands and enforces the `b + 1` rule.
+#[derive(Debug)]
+pub struct CsmClient<T: Transport> {
+    transport: T,
+    registry: Arc<KeyRegistry>,
+    cfg: ClientConfig,
+    next_seq: u64,
+}
+
+impl<T: Transport> CsmClient<T> {
+    /// Wraps a client transport endpoint (its `local_id` must lie outside
+    /// the cluster range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the endpoint id is a cluster node id.
+    pub fn new(transport: T, registry: Arc<KeyRegistry>, cfg: ClientConfig) -> Self {
+        assert!(
+            transport.local_id().0 >= cfg.cluster,
+            "client id {} collides with the cluster 0..{}",
+            transport.local_id().0,
+            cfg.cluster
+        );
+        CsmClient {
+            transport,
+            registry,
+            cfg,
+            next_seq: 0,
+        }
+    }
+
+    /// This client's registry id.
+    pub fn id(&self) -> u64 {
+        self.transport.local_id().0 as u64
+    }
+
+    /// The next sequence number to be used.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Submits `command` (canonical field elements) to `shard` on every
+    /// cluster node and blocks until `b + 1` nodes reply with the same
+    /// `(round, output)`, retrying per the config. The sequence number
+    /// advances only on acceptance, so retries and re-submissions after
+    /// an error stay idempotent.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::NoQuorum`] when every attempt times out short of
+    /// the quorum — the command may or may not have committed; re-calling
+    /// re-uses the same sequence number and cannot double-execute.
+    pub fn submit(&mut self, shard: u64, command: Vec<u64>) -> Result<Receipt, ClientError> {
+        let seq = self.next_seq;
+        let me = self.transport.local_id();
+        let frame = Frame::sign(
+            Payload::Submit {
+                shard,
+                client: me.0 as u64,
+                seq,
+                command,
+            },
+            &self.registry,
+            me,
+        );
+        let started = Instant::now();
+        // first (round, output) per replying node, kept across attempts —
+        // replies to an earlier attempt still count toward the quorum
+        let mut by_node: Vec<Option<(u64, Vec<u64>)>> = vec![None; self.cfg.cluster];
+        let mut best = 0;
+        for attempt in 1..=self.cfg.max_attempts {
+            let _ = self.transport.broadcast_upto(self.cfg.cluster, &frame);
+            let deadline = Instant::now() + self.cfg.reply_timeout;
+            loop {
+                match accept_replies(&by_node, self.cfg.need()) {
+                    DeliveryStatus::Accepted {
+                        value: (round, output),
+                        matching,
+                    } => {
+                        self.next_seq += 1;
+                        return Ok(Receipt {
+                            shard,
+                            seq,
+                            round,
+                            output,
+                            matching,
+                            latency: started.elapsed(),
+                            attempts: attempt,
+                        });
+                    }
+                    DeliveryStatus::Failed { best_matching } => best = best.max(best_matching),
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                match self.transport.recv_timeout(deadline - now) {
+                    Ok(reply) => self.record(&mut by_node, shard, seq, reply),
+                    Err(RecvError::Timeout) => break,
+                    Err(RecvError::Disconnected) => break,
+                }
+            }
+        }
+        Err(ClientError::NoQuorum {
+            seq,
+            best_matching: best,
+        })
+    }
+
+    /// Records one inbound frame if it is a reply from a cluster node to
+    /// this command; anything else (stray gossip, stale replies) is
+    /// dropped. First reply per node wins — an honest node only ever
+    /// sends one, so a Byzantine node cannot improve its count by
+    /// spamming.
+    fn record(&self, by_node: &mut [Option<(u64, Vec<u64>)>], shard: u64, seq: u64, frame: Frame) {
+        let Payload::Reply {
+            shard: r_shard,
+            round,
+            client,
+            seq: r_seq,
+            output,
+        } = frame.payload
+        else {
+            return;
+        };
+        let node = frame.sig.signer.0;
+        if node >= self.cfg.cluster
+            || client != self.id()
+            || r_seq != seq
+            || r_shard != shard
+            || by_node[node].is_some()
+        {
+            return;
+        }
+        by_node[node] = Some((round, output));
+    }
+}

@@ -1,5 +1,6 @@
 //! The paper's three performance metrics (§2.2) and the analytic formulas
-//! of Table 1 / Table 2, as code.
+//! of Table 1 / Table 2, as code — plus the measurement primitives the
+//! benchmark harnesses share ([`LatencyHistogram`]).
 //!
 //! * **Security** `β`: maximum tolerable Byzantine nodes.
 //! * **Storage efficiency** `γ = K·log|S| / log|W|`: machines supported at
@@ -8,6 +9,162 @@
 //!   per unit of per-node computation.
 
 use crate::config::SynchronyMode;
+use std::time::Duration;
+
+/// Sub-buckets per power of two: each octave of the microsecond range is
+/// split into `2^SUB_BITS` linear buckets, bounding the relative
+/// quantile error at `2^-SUB_BITS` (≈ 6%).
+const SUB_BITS: u32 = 4;
+/// Total fixed bucket count covering the full `u64` microsecond range.
+const BUCKETS: usize = ((64 - SUB_BITS as usize) + 1) << SUB_BITS;
+
+/// A fixed-bucket latency histogram (HDR-style: linear sub-buckets inside
+/// exponential octaves), for commit-latency percentiles in the benchmark
+/// harnesses. Memory is constant (`BUCKETS` counters) regardless of how
+/// many samples are recorded, merging is bucket-wise addition, and
+/// quantiles carry a bounded ≈6% relative error — unlike the exact-but-
+/// unbounded `Vec<Duration>`-and-sort approach it replaces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum_us: u128,
+    min_us: u64,
+    max_us: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum_us: 0,
+            min_us: u64::MAX,
+            max_us: 0,
+        }
+    }
+
+    /// The bucket index for a microsecond value.
+    fn bucket(us: u64) -> usize {
+        let sub = 1u64 << SUB_BITS;
+        if us < sub {
+            return us as usize;
+        }
+        // highest set bit defines the octave; the next SUB_BITS bits pick
+        // the linear sub-bucket within it
+        let top = 63 - us.leading_zeros();
+        let octave = (top - SUB_BITS + 1) as usize;
+        let within = ((us >> (top - SUB_BITS)) & (sub - 1)) as usize;
+        (octave << SUB_BITS) + within
+    }
+
+    /// A representative (lower-bound) microsecond value for a bucket —
+    /// the inverse of [`Self::bucket`] up to sub-bucket resolution.
+    fn bucket_floor(idx: usize) -> u64 {
+        let sub = 1usize << SUB_BITS;
+        if idx < sub {
+            return idx as u64;
+        }
+        let octave = (idx >> SUB_BITS) as u32;
+        let within = (idx & (sub - 1)) as u64;
+        let base = 1u64 << (octave + SUB_BITS - 1);
+        base + (within << (octave - 1))
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, d: Duration) {
+        self.record_us(u64::try_from(d.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Records one latency sample given in microseconds.
+    pub fn record_us(&mut self, us: u64) {
+        self.counts[Self::bucket(us)] += 1;
+        self.count += 1;
+        self.sum_us += us as u128;
+        self.min_us = self.min_us.min(us);
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency (zero when empty).
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_micros((self.sum_us / self.count as u128) as u64)
+    }
+
+    /// Smallest recorded sample (zero when empty).
+    pub fn min(&self) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_micros(self.min_us)
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> Duration {
+        Duration::from_micros(self.max_us)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the matching bucket's lower
+    /// bound, clamped to the exact observed min/max. Zero when empty.
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        if rank >= self.count {
+            return Duration::from_micros(self.max_us);
+        }
+        let mut seen = 0;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let us = Self::bucket_floor(idx).clamp(self.min_us, self.max_us);
+                return Duration::from_micros(us);
+            }
+        }
+        Duration::from_micros(self.max_us)
+    }
+
+    /// Median.
+    pub fn p50(&self) -> Duration {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> Duration {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> Duration {
+        self.quantile(0.99)
+    }
+
+    /// Adds every sample of `other` into `self` (bucket-wise).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_us += other.sum_us;
+        self.min_us = self.min_us.min(other.min_us);
+        self.max_us = self.max_us.max(other.max_us);
+    }
+}
 
 /// Analytic Table 1 row for one scheme at given parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -161,6 +318,89 @@ impl Table2Bounds {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn histogram_bucket_floor_inverts_bucket() {
+        // the floor of a value's bucket never exceeds the value, and is
+        // within the sub-bucket resolution (2^-SUB_BITS relative)
+        let mut v = 1u64;
+        while v < u64::MAX / 3 {
+            for us in [v, v + 1, 3 * v / 2] {
+                let idx = LatencyHistogram::bucket(us);
+                let floor = LatencyHistogram::bucket_floor(idx);
+                assert!(floor <= us, "floor {floor} > value {us}");
+                let err = us - floor;
+                assert!(
+                    (err as f64) <= (us as f64) / (1 << SUB_BITS) as f64 + 1.0,
+                    "bucket error {err} too large for {us}"
+                );
+            }
+            v *= 2;
+        }
+        // buckets are monotone in the value
+        let mut last = 0;
+        for us in (0..100_000u64).step_by(37) {
+            let b = LatencyHistogram::bucket(us);
+            assert!(b >= last);
+            last = b;
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_on_uniform_range() {
+        let mut h = LatencyHistogram::new();
+        for us in 1..=10_000u64 {
+            h.record_us(us);
+        }
+        assert_eq!(h.count(), 10_000);
+        let within = |got: Duration, want_us: u64| {
+            let got = got.as_micros() as f64;
+            let want = want_us as f64;
+            assert!(
+                (got - want).abs() / want < 0.08,
+                "quantile {got} too far from {want}"
+            );
+        };
+        within(h.p50(), 5_000);
+        within(h.p90(), 9_000);
+        within(h.p99(), 9_900);
+        within(h.mean(), 5_000);
+        assert_eq!(h.min(), Duration::from_micros(1));
+        assert_eq!(h.max(), Duration::from_micros(10_000));
+        // extremes are exact
+        assert_eq!(h.quantile(0.0), Duration::from_micros(1));
+        assert_eq!(h.quantile(1.0).as_micros() as u64, 10_000);
+    }
+
+    #[test]
+    fn histogram_merge_equals_combined_recording() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut both = LatencyHistogram::new();
+        for i in 0..1000u64 {
+            let us = 17 + i * 13;
+            if i % 2 == 0 {
+                a.record_us(us);
+            } else {
+                b.record_us(us);
+            }
+            both.record_us(us);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+
+    #[test]
+    fn histogram_empty_and_single() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p99(), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_millis(3));
+        assert_eq!(h.p50(), Duration::from_millis(3));
+        assert_eq!(h.p99(), Duration::from_millis(3));
+    }
 
     #[test]
     fn csm_k_formula_matches_paper_examples() {

@@ -1,0 +1,797 @@
+//! The node-side client gateway: admission, batching, and reply fan-out.
+//!
+//! This is the layer that turns a CSM cluster from a script-driven
+//! protocol exercise into a request-serving system (§1/§3 deployment
+//! model): external clients broadcast signed [`Payload::Submit`] frames to
+//! the nodes, the per-round leader batches pending commands into the
+//! round's command vector, the batch is agreed via the existing
+//! staged-vote machinery, and after the round commits every node fans
+//! [`Payload::Reply`] frames back to the submitting clients, who accept an
+//! output only after `b + 1` bit-identical replies (`csm-client`).
+//!
+//! # Batch agreement
+//!
+//! Unlike the script-driven loops ([`crate::run_node`],
+//! [`crate::run_pipelined`]), client-fed batches differ between nodes (a
+//! submission may not have reached everyone when a round starts), so the
+//! batch must be *agreed*, not derived. The gateway uses a
+//! leader-echo protocol over the existing [`Payload::Stage`] votes:
+//!
+//! 1. the round's leader (`round mod N`, rotating so a faulty leader
+//!    cannot starve the system) proposes its pending batch as its stage
+//!    vote;
+//! 2. every follower that receives a *valid* proposal within the staging
+//!    timeout echoes it bit-for-bit as its own vote;
+//! 3. a node adopts the batch once `N − b` identical votes are held;
+//!    otherwise it falls back to the **empty batch** — a deterministic
+//!    fallback every honest node shares (falling back to one's *own*
+//!    pending batch, as the script-driven pipeline does, would diverge).
+//!
+//! A leader that withholds costs the cluster one empty round (commands
+//! stay queued and the next leader re-proposes them). A leader that
+//! *equivocates on the batch* is caught by the echo quorum under
+//! synchrony in all but razor-thin timing windows; closing that window
+//! for real needs the full Dolev–Strong relay (`csm-consensus`), which is
+//! an open ROADMAP item. Note the Byzantine behaviors implemented today
+//! ([`BehaviorKind`]) misbehave in the *execution* phase, not the staging
+//! phase.
+//!
+//! # Admission control
+//!
+//! Submissions are deduplicated by `(client, seq)` and admission is
+//! bounded ([`GatewayConfig::queue_cap`] pending commands plus the
+//! runtime's fixed-size inbox), so a flooding client cannot grow a node's
+//! memory: beyond the caps, submissions are dropped and the client's
+//! timeout/retry path provides backpressure. Retries of an
+//! already-committed command are answered from a per-client reply cache
+//! instead of re-executing — the gateway is idempotent per `(client,
+//! seq)`.
+
+use crate::runtime::{ExchangeTiming, NodeRuntime};
+use crate::{wire_behavior, BehaviorKind, CodedMachine, RoundCommit, RoundEngine};
+use csm_algebra::Field;
+use csm_network::auth::KeyRegistry;
+use csm_network::NodeId;
+use csm_transport::{Frame, Payload, Transport};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One admitted client command: the unit the leader batches. Carries the
+/// client's own `Submit` MAC tag so validators can re-verify authorship —
+/// a Byzantine *leader* cannot fabricate a command in a client's name
+/// (the paper's Validity property, §2.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchEntry {
+    /// Submitting client's registry id.
+    pub client: u64,
+    /// Client sequence number (the dedup key, with `client`).
+    pub seq: u64,
+    /// Target shard (machine index).
+    pub shard: usize,
+    /// The client's MAC tag over its `Submit` payload (proof the client
+    /// authorized exactly this `(shard, seq, command)`).
+    pub sig_tag: u64,
+    /// Canonical field-element encoding of the command vector.
+    pub command: Vec<u64>,
+}
+
+impl BatchEntry {
+    /// The `Submit` payload this entry claims the client signed.
+    fn submit_payload(&self) -> Payload {
+        Payload::Submit {
+            shard: self.shard as u64,
+            client: self.client,
+            seq: self.seq,
+            command: self.command.clone(),
+        }
+    }
+
+    /// Verifies the client's MAC over the claimed submission.
+    pub fn verify(&self, registry: &KeyRegistry) -> bool {
+        use csm_transport::Wire;
+        registry.verify(
+            &self.submit_payload().to_bytes(),
+            &csm_network::auth::Signature {
+                signer: NodeId(self.client as usize),
+                tag: self.sig_tag,
+            },
+        )
+    }
+}
+
+/// Encodes a batch as `Stage` rows: `[client, seq, shard, sig_tag,
+/// command...]`.
+pub fn encode_batch(batch: &[BatchEntry]) -> Vec<Vec<u64>> {
+    batch
+        .iter()
+        .map(|e| {
+            let mut row = Vec::with_capacity(4 + e.command.len());
+            row.extend([e.client, e.seq, e.shard as u64, e.sig_tag]);
+            row.extend(&e.command);
+            row
+        })
+        .collect()
+}
+
+/// Decodes and validates `Stage` rows back into a batch: every row must
+/// be well-shaped for the machine, target a distinct shard, name a
+/// client id outside the cluster range, and carry a valid client MAC
+/// over the claimed submission (so a Byzantine leader cannot forge
+/// commands). Returns `None` on any violation (followers refuse to echo
+/// an invalid proposal; adopters fall back to the empty batch).
+pub fn decode_batch(
+    rows: &[Vec<u64>],
+    shards: usize,
+    input_dim: usize,
+    cluster: usize,
+    registry: &KeyRegistry,
+) -> Option<Vec<BatchEntry>> {
+    if rows.len() > shards {
+        return None;
+    }
+    let mut used_shards = BTreeSet::new();
+    let mut batch = Vec::with_capacity(rows.len());
+    for row in rows {
+        if row.len() != 4 + input_dim {
+            return None;
+        }
+        let (client, seq, shard, sig_tag) = (row[0], row[1], row[2] as usize, row[3]);
+        if shard >= shards || !used_shards.insert(shard) || (client as usize) < cluster {
+            return None;
+        }
+        let entry = BatchEntry {
+            client,
+            seq,
+            shard,
+            sig_tag,
+            command: row[4..].to_vec(),
+        };
+        if !entry.verify(registry) {
+            return None;
+        }
+        batch.push(entry);
+    }
+    Some(batch)
+}
+
+/// Gateway tuning knobs.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Protocol mesh size `N` (ids `0..cluster` are nodes; the rest of
+    /// the transport mesh is clients).
+    pub cluster: usize,
+    /// Provisioned fault bound `b`: the echo quorum is `N − b` and
+    /// clients accept at `b + 1` matching replies.
+    pub assumed_faults: usize,
+    /// Maximum pending admitted commands; submissions beyond this are
+    /// rejected (dropped — the client retries) so a flood cannot OOM a
+    /// node.
+    pub queue_cap: usize,
+    /// How long to wait for the leader's proposal, and again for the echo
+    /// quorum, before falling back to the empty batch.
+    pub stage_timeout: Duration,
+    /// Hard cap on rounds (a backstop for driver bugs; the stop flag is
+    /// the normal shutdown path).
+    pub max_rounds: u64,
+    /// How many trailing rounds of commit records the report retains — a
+    /// long-lived gateway must not grow history without bound.
+    pub commit_history: usize,
+    /// Pause after a round whose batch was empty (inbound frames are
+    /// still absorbed), so an idle cluster does not spin the staging and
+    /// exchange machinery at network speed.
+    pub idle_pause: Duration,
+    /// Maximum *pending* commands per client: a single flooding client
+    /// fills its own quota, not the shared queue, so it cannot starve
+    /// other clients' admission.
+    pub client_quota: usize,
+}
+
+impl GatewayConfig {
+    /// Defaults scaled from the exchange timing: the staging timeout
+    /// tracks the exchange Δ so one slow round cannot cascade.
+    pub fn new(cluster: usize, assumed_faults: usize, timing: &ExchangeTiming) -> Self {
+        assert!(assumed_faults < cluster, "need b < N");
+        GatewayConfig {
+            cluster,
+            assumed_faults,
+            queue_cap: 4096,
+            stage_timeout: timing.delta * 4 + Duration::from_millis(500),
+            max_rounds: u64::MAX,
+            commit_history: 1 << 16,
+            idle_pause: timing.delta / 4,
+            client_quota: 64,
+        }
+    }
+
+    /// The echo quorum `N − b`.
+    pub fn quorum(&self) -> usize {
+        self.cluster - self.assumed_faults
+    }
+}
+
+/// What the gateway executes: the coded machine plus this node's
+/// execution-phase behavior.
+#[derive(Debug, Clone)]
+pub struct GatewaySpec<F: Field> {
+    /// The coded machine shared by the cluster.
+    pub machine: Arc<CodedMachine<F>>,
+    /// Plaintext initial states, one per shard.
+    pub initial_states: Vec<Vec<F>>,
+    /// This node's behavior — Byzantine nodes also corrupt or withhold
+    /// their *replies*, which is exactly what the client-side `b + 1`
+    /// acceptance rule defends against.
+    pub behavior: BehaviorKind,
+}
+
+/// Monotonic admission/reply counters for one gateway node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GatewayStats {
+    /// Submissions admitted into the pending queue.
+    pub admitted: u64,
+    /// Submissions dropped because the queue was at capacity.
+    pub rejected_full: u64,
+    /// Submissions dropped as malformed (bad shard or command shape).
+    pub rejected_invalid: u64,
+    /// Submissions ignored as duplicates of a queued command.
+    pub duplicates: u64,
+    /// Retries of an already-committed command answered from the reply
+    /// cache (no re-execution).
+    pub replayed: u64,
+    /// Replies sent after commits (cache replays not included).
+    pub replies_sent: u64,
+    /// Rounds that executed the empty batch because no quorum formed.
+    pub stage_fallbacks: u64,
+    /// Rounds whose agreed batch was empty (idle or fallback).
+    pub empty_rounds: u64,
+    /// Submissions dropped at the per-client pending quota.
+    pub rejected_quota: u64,
+    /// `Submit` frames dropped at the runtime inbox cap.
+    pub inbox_dropped: u64,
+    /// The node detected (via `b + 1` peers agreeing on a commit digest
+    /// it does not hold) that its state diverged, and fail-stopped
+    /// instead of contributing wrong results.
+    pub desynced: bool,
+}
+
+/// The admission state: pending queue, dedup index, and reply cache.
+#[derive(Debug, Default)]
+struct Admission {
+    queue: VecDeque<BatchEntry>,
+    queued: BTreeSet<(u64, u64)>,
+    /// Pending-command count per client (the fairness quota).
+    pending_per_client: BTreeMap<u64, usize>,
+    /// Per client: highest committed seq and its cached `Reply` payload.
+    done: BTreeMap<u64, (u64, Payload)>,
+    stats: GatewayStats,
+}
+
+impl Admission {
+    /// Runs the admission pass over freshly drained `Submit` frames.
+    /// Returns cache replays to send (`(client, payload)` pairs).
+    fn admit(
+        &mut self,
+        frames: Vec<Frame>,
+        shards: usize,
+        input_dim: usize,
+        cfg: &GatewayConfig,
+    ) -> Vec<(u64, Payload)> {
+        let mut replays = Vec::new();
+        for frame in frames {
+            let sig_tag = frame.sig.tag;
+            let Payload::Submit {
+                shard,
+                client,
+                seq,
+                command,
+            } = frame.payload
+            else {
+                continue;
+            };
+            match self.done.get(&client) {
+                Some((done_seq, payload)) if *done_seq == seq => {
+                    // a retry of the latest committed command: answer from
+                    // the cache, do not re-execute
+                    self.stats.replayed += 1;
+                    replays.push((client, payload.clone()));
+                    continue;
+                }
+                Some((done_seq, _)) if *done_seq > seq => continue, // stale
+                _ => {}
+            }
+            if self.queued.contains(&(client, seq)) {
+                self.stats.duplicates += 1;
+                continue;
+            }
+            if shard as usize >= shards || command.len() != input_dim {
+                self.stats.rejected_invalid += 1;
+                continue;
+            }
+            if *self.pending_per_client.get(&client).unwrap_or(&0) >= cfg.client_quota {
+                // one client flooding fills its own quota, not the queue
+                self.stats.rejected_quota += 1;
+                continue;
+            }
+            if self.queue.len() >= cfg.queue_cap {
+                self.stats.rejected_full += 1;
+                continue;
+            }
+            self.queued.insert((client, seq));
+            *self.pending_per_client.entry(client).or_insert(0) += 1;
+            self.queue.push_back(BatchEntry {
+                client,
+                seq,
+                shard: shard as usize,
+                sig_tag,
+                command,
+            });
+            self.stats.admitted += 1;
+        }
+        replays
+    }
+
+    /// The leader's proposal: the oldest pending command per shard (at
+    /// most one — a round executes one transition per machine). Entries
+    /// stay queued until they appear in a *committed* batch.
+    fn build_batch(&self, shards: usize) -> Vec<BatchEntry> {
+        let mut used = BTreeSet::new();
+        let mut batch = Vec::new();
+        for entry in &self.queue {
+            if used.len() == shards {
+                break;
+            }
+            if used.insert(entry.shard) {
+                batch.push(entry.clone());
+            }
+        }
+        batch
+    }
+
+    /// Records a committed entry: caches its reply, drops it from the
+    /// queue, and advances the client's dedup horizon.
+    fn record_done(&mut self, entry: &BatchEntry, reply: Payload) {
+        let advance = self
+            .done
+            .get(&entry.client)
+            .is_none_or(|(s, _)| *s < entry.seq);
+        if advance {
+            self.done.insert(entry.client, (entry.seq, reply));
+        }
+        if self.queued.remove(&(entry.client, entry.seq)) {
+            self.queue
+                .retain(|e| (e.client, e.seq) != (entry.client, entry.seq));
+            if let Some(n) = self.pending_per_client.get_mut(&entry.client) {
+                *n = n.saturating_sub(1);
+            }
+        }
+    }
+}
+
+/// What one gateway node observed over its run.
+#[derive(Debug, Clone)]
+pub struct GatewayReport<F> {
+    /// The node id.
+    pub id: usize,
+    /// Trailing-window commit records (`None` where the word failed to
+    /// decode); index `i` is round `first_recorded_round + i`.
+    pub commits: Vec<Option<RoundCommit<F>>>,
+    /// The round `commits[0]` corresponds to (non-zero once the
+    /// [`GatewayConfig::commit_history`] window has slid).
+    pub first_recorded_round: u64,
+    /// Rounds run before the stop flag (or `max_rounds`) ended the loop.
+    pub rounds: u64,
+    /// Admission/reply counters.
+    pub stats: GatewayStats,
+}
+
+impl<F> GatewayReport<F> {
+    /// The digests of the successfully committed (retained) rounds.
+    pub fn digests(&self) -> Vec<(u64, u64)> {
+        self.commits
+            .iter()
+            .flatten()
+            .map(|c| (c.round, c.digest))
+            .collect()
+    }
+}
+
+/// Runs one node of a client-serving CSM cluster until `stop` is raised:
+/// admit submissions, agree each round's batch behind the rotating
+/// leader, execute/exchange/decode it, and fan replies back to clients.
+///
+/// # Panics
+///
+/// Panics if the spec's machine does not match `cfg.cluster` or the
+/// initial states are malformed.
+pub fn run_gateway<F: Field, T: Transport>(
+    transport: T,
+    registry: Arc<KeyRegistry>,
+    timing: ExchangeTiming,
+    spec: &GatewaySpec<F>,
+    cfg: &GatewayConfig,
+    stop: &AtomicBool,
+) -> GatewayReport<F> {
+    let cluster = cfg.cluster;
+    assert_eq!(
+        spec.machine.n(),
+        cluster,
+        "machine sized for a different cluster"
+    );
+    let shards = spec.machine.k();
+    let input_dim = spec.machine.transition().input_dim();
+    let id = transport.local_id().0;
+    assert!(id < cluster, "gateway runs on cluster nodes only");
+    let keys = Arc::clone(&registry);
+    let mut rt = NodeRuntime::with_cluster(transport, registry, timing, cluster);
+    let mut engine = RoundEngine::new(Arc::clone(&spec.machine), id, &spec.initial_states)
+        .expect("spec states match the machine");
+    let mut admission = Admission::default();
+    let mut commits: VecDeque<Option<RoundCommit<F>>> = VecDeque::new();
+    let mut first_recorded_round = 0u64;
+    let mut round = 0u64;
+
+    while !stop.load(Ordering::Relaxed) && round < cfg.max_rounds {
+        // fail-stop safety net: if b + 1 peers agree on a digest for a
+        // recent round that this node did not commit, its state has
+        // diverged (a missed batch or failed decode) — stop contributing
+        // results rather than act as an extra Byzantine node
+        if desynced(&rt, &commits, first_recorded_round, round, cfg, id) {
+            admission.stats.desynced = true;
+            break;
+        }
+
+        for (client, payload) in admission.admit(rt.take_client_frames(), shards, input_dim, cfg) {
+            // cache replays go through the same Byzantine reply filter as
+            // first-time replies: a withholder stays silent on retries too
+            if let Some(payload) = reply_after_fault(payload, spec.behavior) {
+                rt.send_signed(NodeId(client as usize), payload);
+            }
+        }
+
+        // leader-echo staging: propose / echo, then adopt at quorum
+        let leader = (round % cluster as u64) as usize;
+        if id == leader {
+            let rows = encode_batch(&admission.build_batch(shards));
+            rt.announce_stage(round, rows);
+        } else if let Some(rows) = rt.wait_for_stage_from(round, leader, cfg.stage_timeout) {
+            let valid =
+                decode_batch(&rows, shards, input_dim, cluster, &keys).is_some_and(|batch| {
+                    // refuse to echo a replayed command: commits advanced
+                    // the dedup horizon on every honest node alike
+                    batch.iter().all(|e| {
+                        admission
+                            .done
+                            .get(&e.client)
+                            .is_none_or(|(s, _)| *s < e.seq)
+                    })
+                });
+            if valid {
+                rt.announce_stage(round, rows);
+            }
+        }
+        let agreed = rt.wait_for_stage(round, cfg.quorum(), cfg.stage_timeout);
+        if agreed.is_none() {
+            admission.stats.stage_fallbacks += 1;
+        }
+        let batch = agreed
+            .as_deref()
+            .and_then(|rows| decode_batch(rows, shards, input_dim, cluster, &keys))
+            .unwrap_or_default();
+        if batch.is_empty() {
+            admission.stats.empty_rounds += 1;
+        }
+
+        // expand to the full K-wide command vector; idle shards run the
+        // all-zero command (a no-op for machines like the bank)
+        let mut commands = vec![vec![F::ZERO; input_dim]; shards];
+        for entry in &batch {
+            commands[entry.shard] = entry.command.iter().map(|&v| F::from_u64(v)).collect();
+        }
+
+        let g = engine.execute(&commands).expect("validated batch shape");
+        let behavior = wire_behavior(id, cluster, spec.machine.result_dim(), spec.behavior, g);
+        let word = rt.run_exchange_round(round, &behavior);
+        let commit = engine.commit_word(&word);
+        if let Some(c) = &commit {
+            rt.announce_commit(round, c.digest);
+            for entry in &batch {
+                let reply = reply_payload(entry, c);
+                admission.record_done(entry, reply.clone());
+                if let Some(reply) = reply_after_fault(reply, spec.behavior) {
+                    rt.send_signed(NodeId(entry.client as usize), reply);
+                    admission.stats.replies_sent += 1;
+                }
+            }
+        }
+        commits.push_back(commit);
+        // a long-lived gateway must not grow per-round history without
+        // bound: keep a trailing window only
+        if commits.len() > cfg.commit_history {
+            commits.pop_front();
+            first_recorded_round += 1;
+        }
+        round += 1;
+        // idle pacing: an empty round over a fast mesh would otherwise
+        // spin the staging/exchange machinery at network speed; the pause
+        // still absorbs inbound submissions, so admission is not delayed
+        if batch.is_empty() && !stop.load(Ordering::Relaxed) {
+            rt.pump_until(Instant::now() + cfg.idle_pause);
+        }
+    }
+
+    let mut stats = admission.stats;
+    stats.inbox_dropped = rt.inbox_dropped();
+    GatewayReport {
+        id,
+        commits: commits.into(),
+        first_recorded_round,
+        rounds: round,
+        stats,
+    }
+}
+
+/// How many trailing rounds the desync check inspects (commit gossip for
+/// a round keeps arriving during the following rounds).
+const DESYNC_WINDOW: u64 = 4;
+
+/// Whether `b + 1` peers announced a common commit digest this node does
+/// not hold for any recent round. At most `b` Byzantine peers exist, so
+/// such agreement proves an honest majority committed a round this node
+/// missed or decoded differently — its coded state has diverged, and
+/// continuing would feed wrong results into every future exchange. The
+/// empty-batch staging fallback is only *probabilistically* shared under
+/// adversarial timing (see the module docs), so this is the backstop
+/// that turns a divergence into a visible fail-stop.
+fn desynced<F>(
+    rt: &NodeRuntime<impl Transport>,
+    commits: &VecDeque<Option<RoundCommit<F>>>,
+    first_recorded_round: u64,
+    round: u64,
+    cfg: &GatewayConfig,
+    id: usize,
+) -> bool {
+    for past in round.saturating_sub(DESYNC_WINDOW)..round {
+        if past < first_recorded_round {
+            continue; // history window slid past it; nothing to compare
+        }
+        let own = commits
+            .get((past - first_recorded_round) as usize)
+            .and_then(|c| c.as_ref().map(|c| c.digest));
+        let Some(votes) = rt.commit_digest_votes(past) else {
+            continue;
+        };
+        let mut tallies: BTreeMap<u64, usize> = BTreeMap::new();
+        for (&node, &digest) in votes {
+            if node != id {
+                *tallies.entry(digest).or_insert(0) += 1;
+            }
+        }
+        for (&digest, &count) in &tallies {
+            // count > b is the b + 1 threshold: more voters than the
+            // Byzantine population can muster
+            if count > cfg.assumed_faults && own != Some(digest) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// The honest reply for a committed entry.
+fn reply_payload<F: Field>(entry: &BatchEntry, commit: &RoundCommit<F>) -> Payload {
+    Payload::Reply {
+        shard: entry.shard as u64,
+        round: commit.round,
+        client: entry.client,
+        seq: entry.seq,
+        output: commit.results[entry.shard]
+            .iter()
+            .map(|x| x.to_canonical_u64())
+            .collect(),
+    }
+}
+
+/// Applies the node's Byzantine behavior to the reply path: equivocators
+/// send a corrupted output (each client must survive `b` wrong replies),
+/// withholders send nothing. This is what the client-side `b + 1` rule is
+/// tested against.
+fn reply_after_fault(reply: Payload, behavior: BehaviorKind) -> Option<Payload> {
+    match behavior {
+        BehaviorKind::Withhold => None,
+        BehaviorKind::Equivocate => {
+            let Payload::Reply {
+                shard,
+                round,
+                client,
+                seq,
+                output,
+            } = reply
+            else {
+                return Some(reply);
+            };
+            Some(Payload::Reply {
+                shard,
+                round,
+                client,
+                seq,
+                output: output.into_iter().map(|v| v.wrapping_add(77)).collect(),
+            })
+        }
+        BehaviorKind::Honest | BehaviorKind::Impersonate => Some(reply),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry() -> KeyRegistry {
+        KeyRegistry::new(10, 5)
+    }
+
+    /// A batch entry carrying the genuine client MAC for its submission.
+    fn entry(
+        reg: &KeyRegistry,
+        client: u64,
+        seq: u64,
+        shard: usize,
+        command: Vec<u64>,
+    ) -> BatchEntry {
+        let mut e = BatchEntry {
+            client,
+            seq,
+            shard,
+            sig_tag: 0,
+            command,
+        };
+        use csm_transport::Wire;
+        e.sig_tag = reg
+            .sign(NodeId(client as usize), &e.submit_payload().to_bytes())
+            .tag;
+        e
+    }
+
+    fn test_cfg(queue_cap: usize) -> GatewayConfig {
+        let timing = ExchangeTiming::synchronous(1, Duration::from_millis(50));
+        let mut cfg = GatewayConfig::new(8, 1, &timing);
+        cfg.queue_cap = queue_cap;
+        cfg
+    }
+
+    #[test]
+    fn batch_roundtrip() {
+        let reg = registry();
+        let batch = vec![
+            entry(&reg, 8, 3, 0, vec![10]),
+            entry(&reg, 9, 0, 1, vec![20]),
+        ];
+        let rows = encode_batch(&batch);
+        assert_eq!(decode_batch(&rows, 2, 1, 8, &reg), Some(batch));
+    }
+
+    #[test]
+    fn decode_rejects_malformed_batches() {
+        let reg = registry();
+        let good = encode_batch(&[entry(&reg, 8, 0, 0, vec![1])]);
+        assert!(decode_batch(&good, 2, 1, 8, &reg).is_some());
+        // duplicate shard
+        let dup = encode_batch(&[entry(&reg, 8, 0, 0, vec![1]), entry(&reg, 9, 0, 0, vec![2])]);
+        assert!(decode_batch(&dup, 2, 1, 8, &reg).is_none());
+        // shard out of range
+        let far = encode_batch(&[entry(&reg, 8, 0, 5, vec![1])]);
+        assert!(decode_batch(&far, 2, 1, 8, &reg).is_none());
+        // wrong command width
+        let wide = encode_batch(&[entry(&reg, 8, 0, 0, vec![1, 2])]);
+        assert!(decode_batch(&wide, 2, 1, 8, &reg).is_none());
+        // client id inside the cluster range
+        let node_client = encode_batch(&[entry(&reg, 3, 0, 0, vec![1])]);
+        assert!(decode_batch(&node_client, 2, 1, 8, &reg).is_none());
+        // more rows than shards
+        let over = encode_batch(&[entry(&reg, 8, 0, 0, vec![1]), entry(&reg, 9, 0, 1, vec![2])]);
+        assert!(decode_batch(&over, 1, 1, 8, &reg).is_none());
+    }
+
+    #[test]
+    fn decode_rejects_forged_client_commands() {
+        // a Byzantine leader fabricating a command in client 8's name
+        // cannot produce the client's MAC: validators refuse the batch
+        let reg = registry();
+        let mut forged = entry(&reg, 8, 0, 0, vec![1]);
+        forged.command = vec![7_000_000]; // the "fake deposit" attack
+        assert!(!forged.verify(&reg));
+        let rows = encode_batch(&[forged]);
+        assert!(decode_batch(&rows, 2, 1, 8, &reg).is_none());
+        // signing with the *leader's* key (node 3) instead doesn't help
+        let mut wrong_key = entry(&reg, 8, 0, 0, vec![1]);
+        use csm_transport::Wire;
+        wrong_key.sig_tag = reg
+            .sign(NodeId(3), &wrong_key.submit_payload().to_bytes())
+            .tag;
+        assert!(decode_batch(&encode_batch(&[wrong_key]), 2, 1, 8, &reg).is_none());
+    }
+
+    #[test]
+    fn admission_dedups_and_bounds() {
+        let reg = registry();
+        let submit = |client: u64, seq: u64, shard: u64, v: u64| {
+            Frame::sign(
+                Payload::Submit {
+                    shard,
+                    client,
+                    seq,
+                    command: vec![v],
+                },
+                &reg,
+                NodeId(client as usize),
+            )
+        };
+        let mut adm = Admission::default();
+        let cfg = test_cfg(2);
+        let replays = adm.admit(
+            vec![
+                submit(8, 0, 0, 10),
+                submit(8, 0, 0, 10), // duplicate of a queued command
+                submit(9, 0, 1, 20),
+                submit(9, 1, 9, 30), // bad shard
+                submit(9, 2, 0, 40), // over the cap of 2
+            ],
+            2,
+            1,
+            &cfg,
+        );
+        assert!(replays.is_empty());
+        assert_eq!(adm.stats.admitted, 2);
+        assert_eq!(adm.stats.duplicates, 1);
+        assert_eq!(adm.stats.rejected_invalid, 1);
+        assert_eq!(adm.stats.rejected_full, 1);
+
+        // the leader batches one command per shard, entries carry the
+        // client's submit MAC
+        let batch = adm.build_batch(2);
+        assert_eq!(batch.len(), 2);
+        assert!(batch.iter().all(|e| e.verify(&reg)));
+
+        // commit entry (8, 0): retrying it replays the cached reply
+        let reply = Payload::Reply {
+            shard: 0,
+            round: 0,
+            client: 8,
+            seq: 0,
+            output: vec![110, 110],
+        };
+        adm.record_done(&entry(&reg, 8, 0, 0, vec![10]), reply.clone());
+        assert_eq!(adm.queue.len(), 1);
+        let replays = adm.admit(vec![submit(8, 0, 0, 10)], 2, 1, &cfg);
+        assert_eq!(replays, vec![(8, reply)]);
+        assert_eq!(adm.stats.replayed, 1);
+    }
+
+    #[test]
+    fn per_client_quota_preserves_fairness() {
+        let reg = registry();
+        let submit = |client: u64, seq: u64| {
+            Frame::sign(
+                Payload::Submit {
+                    shard: 0,
+                    client,
+                    seq,
+                    command: vec![1],
+                },
+                &reg,
+                NodeId(client as usize),
+            )
+        };
+        let mut cfg = test_cfg(100);
+        cfg.client_quota = 3;
+        let mut adm = Admission::default();
+        // client 8 floods 10 distinct seqs; client 9 submits one command
+        let mut frames: Vec<Frame> = (0..10).map(|s| submit(8, s)).collect();
+        frames.push(submit(9, 0));
+        adm.admit(frames, 1, 1, &cfg);
+        assert_eq!(adm.stats.rejected_quota, 7, "flood capped at the quota");
+        // the flooder holds 3 slots, the other client still got in
+        assert_eq!(adm.stats.admitted, 4);
+        assert!(adm.queued.contains(&(9, 0)));
+    }
+}

@@ -14,15 +14,21 @@
 //! * [`run_node`] — the sequential multi-round node loop.
 //! * [`pipeline::run_pipelined`] — the same loop with round `t + 1`'s
 //!   staging overlapped with round `t`'s execution (§2.2).
+//! * [`gateway::run_gateway`] — the client-serving loop: admit external
+//!   `Submit` frames, agree each round's batch behind a rotating leader,
+//!   and fan `Reply` frames back to clients after commit (the §1/§3
+//!   deployment model; the client side is the `csm-client` crate).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod gateway;
 pub mod pipeline;
 pub mod runtime;
 
 pub use csm_core::digest::digest_results;
 pub use csm_core::engine::{CodedMachine, DecodedRound, RoundCommit, RoundEngine};
+pub use gateway::{run_gateway, GatewayConfig, GatewayReport, GatewaySpec, GatewayStats};
 pub use pipeline::{run_pipelined, PipelineConfig, PipelineReport};
 pub use runtime::{ExchangeTiming, NodeRuntime};
 
@@ -323,6 +329,15 @@ pub fn run_node<F: Field, T: Transport>(
 /// shared seed (stand-in for PKI setup; see `csm_network::auth`).
 pub fn cluster_registry(n: usize, seed: u64) -> Arc<KeyRegistry> {
     Arc::new(KeyRegistry::new(n, seed ^ 0xC5_11))
+}
+
+/// Builds the key registry for a client-serving deployment: ids
+/// `0..cluster` are the CSM nodes, ids `cluster..cluster + clients` are
+/// client endpoints on the same mesh. Key derivation matches
+/// [`cluster_registry`], so node identities are unchanged by adding
+/// clients.
+pub fn mesh_registry(cluster: usize, clients: usize, seed: u64) -> Arc<KeyRegistry> {
+    Arc::new(KeyRegistry::new(cluster + clients, seed ^ 0xC5_11))
 }
 
 /// Default Δ for loopback meshes: comfortably above loopback RTT while

@@ -93,6 +93,9 @@ pub struct PipelineReport<F> {
     /// Rounds where the quorum never formed and the node fell back to its
     /// own derived batch.
     pub stage_fallbacks: u64,
+    /// Wall-clock duration of each round (staging wait + execute +
+    /// exchange + commit), for latency-distribution reporting.
+    pub round_wall: Vec<Duration>,
 }
 
 /// Runs the multi-round node loop with staged, optionally pipelined
@@ -121,9 +124,11 @@ pub fn run_pipelined<F: Field, T: Transport>(
     let mut staged_at: BTreeMap<u64, Instant> = BTreeMap::new();
     let mut stage_blocked = Duration::ZERO;
     let mut stage_fallbacks = 0u64;
+    let mut round_wall = Vec::with_capacity(spec.rounds as usize);
     let started = Instant::now();
 
     for round in 0..spec.rounds {
+        let round_started = Instant::now();
         // send staging votes for this round and the window ahead (bounded
         // in-flight: at most `window + 1` rounds are ever staged early)
         let horizon = round.saturating_add(cfg.window).min(spec.rounds - 1);
@@ -162,6 +167,7 @@ pub fn run_pipelined<F: Field, T: Transport>(
         }
         commits.push(commit);
         staged_at.remove(&round);
+        round_wall.push(round_started.elapsed());
     }
 
     PipelineReport {
@@ -169,6 +175,7 @@ pub fn run_pipelined<F: Field, T: Transport>(
         elapsed: started.elapsed(),
         stage_blocked,
         stage_fallbacks,
+        round_wall,
     }
 }
 

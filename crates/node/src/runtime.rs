@@ -23,7 +23,7 @@ use csm_core::SynchronyMode;
 use csm_network::auth::KeyRegistry;
 use csm_network::NodeId;
 use csm_transport::{Frame, Payload, RecvError, Transport};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -36,6 +36,11 @@ const ROUND_LOOKAHEAD: u64 = 64;
 /// are `state_dim + output_dim` elements, so this is generous while
 /// keeping the pending buffer's worst case small.
 const PENDING_MAX_VALUES: usize = 4096;
+
+/// Cap on buffered client `Submit` frames awaiting the gateway's admission
+/// pass. A flood beyond this is dropped (clients time out and retry), so
+/// unadmitted traffic can never grow a node's memory without bound.
+const CLIENT_INBOX_CAP: usize = 8192;
 
 /// Timing and synchrony parameters of the exchange.
 #[derive(Debug, Clone)]
@@ -50,6 +55,12 @@ pub struct ExchangeTiming {
     /// Hard upper bound on any wait (partial-synchrony fallback so a dead
     /// network cannot wedge the node).
     pub max_wait: Duration,
+    /// Freeze the word as soon as results from *all* `N` senders are held:
+    /// a full word cannot change, so waiting out the Δ-deadline adds
+    /// latency and no information. Off by default — with it on, rounds
+    /// complete at network speed when every node is live, which changes
+    /// the staging-overlap economics pipelining benchmarks measure.
+    pub finalize_on_full: bool,
 }
 
 impl ExchangeTiming {
@@ -60,6 +71,7 @@ impl ExchangeTiming {
             assumed_faults,
             delta,
             max_wait: delta * 4 + Duration::from_secs(2),
+            finalize_on_full: false,
         }
     }
 
@@ -70,7 +82,15 @@ impl ExchangeTiming {
             assumed_faults,
             delta: max_wait,
             max_wait,
+            finalize_on_full: false,
         }
+    }
+
+    /// Enables full-word early finalization (see
+    /// [`ExchangeTiming::finalize_on_full`]).
+    pub fn with_full_finalize(mut self) -> Self {
+        self.finalize_on_full = true;
+        self
     }
 }
 
@@ -80,6 +100,10 @@ pub struct NodeRuntime<T: Transport> {
     transport: T,
     registry: Arc<KeyRegistry>,
     timing: ExchangeTiming,
+    /// Protocol mesh size: ids `0..cluster` are CSM nodes; larger ids on
+    /// the same transport mesh (and in the same key registry) are client
+    /// endpoints, which never participate in exchange/staging/commits.
+    cluster: usize,
     /// Result frames that arrived for rounds we have not started yet
     /// (real networks have no round barrier — fast peers run ahead).
     pending: BTreeMap<u64, Vec<Frame>>,
@@ -89,20 +113,50 @@ pub struct NodeRuntime<T: Transport> {
     /// §2.2 pipelining carrier: votes for round `t + 1` arrive while
     /// round `t`'s exchange is in flight).
     stages: BTreeMap<u64, BTreeMap<usize, Vec<Vec<u64>>>>,
+    /// Authenticated client `Submit` frames awaiting the gateway's
+    /// admission pass (bounded by [`CLIENT_INBOX_CAP`]).
+    client_inbox: VecDeque<Frame>,
+    /// `Submit` frames dropped because the inbox was full.
+    inbox_dropped: u64,
     /// Highest round already run; results at or below it are stale.
     finished_round: Option<u64>,
 }
 
 impl<T: Transport> NodeRuntime<T> {
-    /// Wraps a transport endpoint.
+    /// Wraps a transport endpoint whose whole mesh is the cluster (no
+    /// client endpoints).
     pub fn new(transport: T, registry: Arc<KeyRegistry>, timing: ExchangeTiming) -> Self {
+        let cluster = transport.n();
+        Self::with_cluster(transport, registry, timing, cluster)
+    }
+
+    /// Wraps a transport endpoint on a mesh shared with client endpoints:
+    /// only ids `0..cluster` are protocol peers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is zero or exceeds the mesh size.
+    pub fn with_cluster(
+        transport: T,
+        registry: Arc<KeyRegistry>,
+        timing: ExchangeTiming,
+        cluster: usize,
+    ) -> Self {
+        assert!(
+            cluster > 0 && cluster <= transport.n(),
+            "cluster size {cluster} out of range for mesh of {}",
+            transport.n()
+        );
         NodeRuntime {
             transport,
             registry,
             timing,
+            cluster,
             pending: BTreeMap::new(),
             commits: BTreeMap::new(),
             stages: BTreeMap::new(),
+            client_inbox: VecDeque::new(),
+            inbox_dropped: 0,
             finished_round: None,
         }
     }
@@ -112,9 +166,10 @@ impl<T: Transport> NodeRuntime<T> {
         self.transport.local_id()
     }
 
-    /// Mesh size.
+    /// Protocol mesh size `N` (the cluster; the transport mesh may be
+    /// larger when clients share it).
     pub fn n(&self) -> usize {
-        self.transport.n()
+        self.cluster
     }
 
     /// Access to the underlying transport (e.g. for stats).
@@ -147,6 +202,10 @@ impl<T: Transport> NodeRuntime<T> {
         loop {
             if core.is_finalized() {
                 // partial synchrony: the N − b cutoff fired in record()
+                break;
+            }
+            if self.timing.finalize_on_full && core.results_held() == n {
+                // a full word is immutable; no point waiting out Δ
                 break;
             }
             let stop_at = match self.timing.synchrony {
@@ -192,7 +251,7 @@ impl<T: Transport> NodeRuntime<T> {
                 let frame = Frame::sign(result_payload(round, me.0, g), &self.registry, me);
                 // a node trivially "receives" its own result
                 core.record(me.0, g.clone());
-                let _ = self.transport.broadcast_others(frame);
+                let _ = self.transport.broadcast_upto(self.cluster, &frame);
             }
             ResultBehavior::Equivocate(base) => {
                 for j in 0..n {
@@ -218,7 +277,7 @@ impl<T: Transport> NodeRuntime<T> {
                     me,
                     NodeId(*spoof),
                 );
-                let _ = self.transport.broadcast_others(frame);
+                let _ = self.transport.broadcast_upto(self.cluster, &frame);
             }
         }
     }
@@ -237,7 +296,8 @@ impl<T: Transport> NodeRuntime<T> {
 
     /// Handles a frame outside the context of an active exchange round:
     /// commits are recorded, results for not-yet-run rounds are buffered,
-    /// stale results and pings are dropped.
+    /// client submissions go to the bounded inbox, stale results and pings
+    /// are dropped.
     ///
     /// Buffering is bounded so a validly-keyed Byzantine peer cannot grow
     /// memory without limit: only rounds within [`ROUND_LOOKAHEAD`] of the
@@ -245,7 +305,15 @@ impl<T: Transport> NodeRuntime<T> {
     /// (first wins, like [`ReceiverCore::record`]), and oversized result
     /// vectors are not retained.
     fn absorb(&mut self, frame: Frame) {
+        // exchange/staging/commit gossip is only meaningful from cluster
+        // peers; a client key must not be able to inject protocol state
+        let from_cluster = frame.sig.signer.0 < self.cluster;
         match &frame.payload {
+            Payload::Result { .. } | Payload::Commit { .. } | Payload::Stage { .. }
+                if !from_cluster =>
+            {
+                // drop: protocol frame signed by a non-cluster identity
+            }
             Payload::Result {
                 round: r, values, ..
             } => {
@@ -302,6 +370,27 @@ impl<T: Transport> NodeRuntime<T> {
                     .entry(frame.sig.signer.0)
                     .or_insert_with(|| commands.clone());
             }
+            Payload::Submit {
+                client, command, ..
+            } => {
+                // identity binding: the claimed client must be the MAC
+                // signer and must be a *client* id (past the cluster
+                // range) — nodes cannot pose as clients and vice versa
+                let signer = frame.sig.signer.0 as u64;
+                if *client != signer
+                    || (signer as usize) < self.cluster
+                    || command.len() > PENDING_MAX_VALUES
+                {
+                    return;
+                }
+                if self.client_inbox.len() >= CLIENT_INBOX_CAP {
+                    self.inbox_dropped += 1;
+                    return;
+                }
+                self.client_inbox.push_back(frame);
+            }
+            // replies are client-bound; a node receiving one drops it
+            Payload::Reply { .. } => {}
             Payload::Ping { .. } => {}
         }
     }
@@ -339,7 +428,7 @@ impl<T: Transport> NodeRuntime<T> {
             &self.registry,
             me,
         );
-        let _ = self.transport.broadcast_others(frame);
+        let _ = self.transport.broadcast_upto(self.cluster, &frame);
         self.commits.entry(round).or_default().insert(me.0, digest);
     }
 
@@ -358,7 +447,7 @@ impl<T: Transport> NodeRuntime<T> {
             &self.registry,
             me,
         );
-        let _ = self.transport.broadcast_others(frame);
+        let _ = self.transport.broadcast_upto(self.cluster, &frame);
         self.stages.entry(round).or_default().insert(me.0, commands);
     }
 
@@ -427,6 +516,55 @@ impl<T: Transport> NodeRuntime<T> {
                 Err(_) => return None,
             }
         }
+    }
+
+    /// Waits until a specific `voter`'s staged-batch vote for `round` is
+    /// held (or `timeout` passes) — how gateway followers pick up the
+    /// round leader's proposal before echoing it.
+    pub fn wait_for_stage_from(
+        &mut self,
+        round: u64,
+        voter: usize,
+        timeout: Duration,
+    ) -> Option<Vec<Vec<u64>>> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(batch) = self.stages.get(&round).and_then(|v| v.get(&voter)) {
+                return Some(batch.clone());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            match self.transport.recv_timeout(deadline - now) {
+                Ok(frame) => self.absorb(frame),
+                Err(_) => return None,
+            }
+        }
+    }
+
+    /// Drains the buffered client `Submit` frames (authenticated, identity
+    /// bound, but not yet admitted — that's the gateway's job).
+    pub fn take_client_frames(&mut self) -> Vec<Frame> {
+        self.client_inbox.drain(..).collect()
+    }
+
+    /// The commit digests announced for `round`, by announcing node (as
+    /// absorbed so far; `None` if nothing was retained for that round).
+    pub fn commit_digest_votes(&self, round: u64) -> Option<&BTreeMap<usize, u64>> {
+        self.commits.get(&round)
+    }
+
+    /// How many client submissions were dropped at the inbox cap.
+    pub fn inbox_dropped(&self) -> u64 {
+        self.inbox_dropped
+    }
+
+    /// Signs `payload` as this node and sends it to one mesh endpoint
+    /// (typically a client, for `Reply` fan-out).
+    pub fn send_signed(&self, to: NodeId, payload: Payload) {
+        let frame = Frame::sign(payload, &self.registry, self.id());
+        let _ = self.transport.send(to, frame);
     }
 
     /// Waits until at least `quorum` commit digests for `round` are held

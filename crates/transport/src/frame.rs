@@ -71,12 +71,46 @@ pub enum Payload {
         /// vector per machine).
         commands: Vec<Vec<u64>>,
     },
+    /// A client command submission (§1/§3 deployment model: external
+    /// clients drive the cluster). The signer is the client; nodes bind
+    /// the wire identity to `client` and deduplicate by `(client, seq)`,
+    /// so a retried submission is idempotent.
+    Submit {
+        /// Target state machine (shard) index.
+        shard: u64,
+        /// Submitting client's registry id (must equal the MAC signer).
+        client: u64,
+        /// Client-chosen sequence number, expected to increase by one per
+        /// accepted command (the dedup/replay key).
+        seq: u64,
+        /// Canonical field-element encoding of the command vector.
+        command: Vec<u64>,
+    },
+    /// A node's post-commit answer to a [`Payload::Submit`]: the decoded
+    /// result of the client's shard for the round that executed the
+    /// command. Clients accept an output only after `b + 1` bit-identical
+    /// replies from distinct nodes (§3).
+    Reply {
+        /// The shard the command ran on.
+        shard: u64,
+        /// The round that committed the command.
+        round: u64,
+        /// The client the reply is addressed to.
+        client: u64,
+        /// Echo of the command's sequence number.
+        seq: u64,
+        /// Canonical field-element encoding of the shard's flat result
+        /// `(S'(t+1), Y(t))`.
+        output: Vec<u64>,
+    },
 }
 
 const TAG_RESULT: u8 = 0;
 const TAG_COMMIT: u8 = 1;
 const TAG_PING: u8 = 2;
 const TAG_STAGE: u8 = 3;
+const TAG_SUBMIT: u8 = 4;
+const TAG_REPLY: u8 = 5;
 
 impl Wire for Payload {
     fn encode(&self, out: &mut Vec<u8>) {
@@ -115,6 +149,32 @@ impl Wire for Payload {
                 sender.encode(out);
                 commands.encode(out);
             }
+            Payload::Submit {
+                shard,
+                client,
+                seq,
+                command,
+            } => {
+                out.push(TAG_SUBMIT);
+                shard.encode(out);
+                client.encode(out);
+                seq.encode(out);
+                command.encode(out);
+            }
+            Payload::Reply {
+                shard,
+                round,
+                client,
+                seq,
+                output,
+            } => {
+                out.push(TAG_REPLY);
+                shard.encode(out);
+                round.encode(out);
+                client.encode(out);
+                seq.encode(out);
+                output.encode(out);
+            }
         }
     }
 
@@ -137,6 +197,19 @@ impl Wire for Payload {
                 round: u64::decode(r)?,
                 sender: u64::decode(r)?,
                 commands: Vec::<Vec<u64>>::decode(r)?,
+            }),
+            TAG_SUBMIT => Ok(Payload::Submit {
+                shard: u64::decode(r)?,
+                client: u64::decode(r)?,
+                seq: u64::decode(r)?,
+                command: Vec::<u64>::decode(r)?,
+            }),
+            TAG_REPLY => Ok(Payload::Reply {
+                shard: u64::decode(r)?,
+                round: u64::decode(r)?,
+                client: u64::decode(r)?,
+                seq: u64::decode(r)?,
+                output: Vec::<u64>::decode(r)?,
             }),
             t => Err(WireError::UnknownTag(t)),
         }
@@ -320,6 +393,19 @@ mod tests {
                 round: 4,
                 sender: 3,
                 commands: vec![vec![1, 2], vec![3]],
+            },
+            Payload::Submit {
+                shard: 1,
+                client: 9,
+                seq: 17,
+                command: vec![250],
+            },
+            Payload::Reply {
+                shard: 1,
+                round: 6,
+                client: 9,
+                seq: 17,
+                output: vec![350, 350],
             },
         ]
     }

@@ -138,8 +138,16 @@ pub trait Transport: Send {
     /// first error (if any) is returned afterwards — one dead or stalled
     /// peer must not starve the rest of the broadcast.
     fn broadcast_others(&self, frame: Frame) -> Result<(), SendError> {
+        self.broadcast_upto(self.n(), &frame)
+    }
+
+    /// Sends a frame to peers `0..limit` except this node — the
+    /// cluster-scoped broadcast used when the mesh also hosts client
+    /// endpoints (ids `>= limit`) that must not receive protocol gossip.
+    /// Best-effort like [`broadcast_others`](Self::broadcast_others).
+    fn broadcast_upto(&self, limit: usize, frame: &Frame) -> Result<(), SendError> {
         let mut first_err = None;
-        for peer in 0..self.n() {
+        for peer in 0..limit.min(self.n()) {
             if peer != self.local_id().0 {
                 if let Err(e) = self.send(NodeId(peer), frame.clone()) {
                     first_err.get_or_insert(e);

@@ -67,11 +67,11 @@ impl Transport for MemTransport {
             .map_err(|_| SendError::Disconnected(to))
     }
 
-    fn broadcast_others(&self, frame: Frame) -> Result<(), SendError> {
+    fn broadcast_upto(&self, limit: usize, frame: &Frame) -> Result<(), SendError> {
         // encode once and share the bytes; best-effort across peers
         let bytes = frame.to_wire_bytes();
         let mut first_err = None;
-        for (peer, tx) in self.peers.iter().enumerate() {
+        for (peer, tx) in self.peers.iter().take(limit).enumerate() {
             if peer == self.id.0 {
                 continue;
             }

@@ -310,12 +310,12 @@ impl Transport for TcpTransport {
         self.send_bytes(to, &frame.to_wire_bytes())
     }
 
-    fn broadcast_others(&self, frame: Frame) -> Result<(), SendError> {
+    fn broadcast_upto(&self, limit: usize, frame: &Frame) -> Result<(), SendError> {
         // encode once; best-effort delivery to every peer so one stalled
         // or dead peer cannot starve the rest of the broadcast
         let bytes = frame.to_wire_bytes();
         let mut first_err = None;
-        for peer in 0..self.n() {
+        for peer in 0..limit.min(self.n()) {
             if peer == self.id.0 {
                 continue;
             }

@@ -1,12 +1,16 @@
 //! The paper's **Validity** and **Liveness** properties (§2.1), end to
 //! end: clients submit signed commands to pools; every decided batch
 //! consists of genuinely submitted commands; every submitted command is
-//! eventually executed.
+//! eventually executed. Plus the client-side **Output Delivery** rule
+//! (§3): `b + 1` matching replies can never deliver a value only
+//! Byzantine nodes vouch for.
 
 use coded_state_machine::algebra::{Field, Fp61};
+use coded_state_machine::csm::client::{accept_replies, DeliveryStatus};
 use coded_state_machine::csm::commands::{ClientId, CommandPool};
 use coded_state_machine::csm::{ConsensusMode, CsmClusterBuilder, FaultSpec};
 use coded_state_machine::statemachine::machines::bank_machine;
+use proptest::prelude::*;
 
 fn f(v: u64) -> Fp61 {
     Fp61::from_u64(v)
@@ -85,6 +89,87 @@ fn liveness_every_command_eventually_executes() {
     // final balances = all commands applied exactly once
     assert_eq!(cluster.reference_states()[0][0], f(5));
     assert_eq!(cluster.reference_states()[1][0], f(6));
+}
+
+proptest! {
+    /// Output Delivery safety (§3, Table 2): with at most `b` Byzantine
+    /// repliers and the threshold `need = b + 1`, no collusion — all `b`
+    /// agreeing on one wrong value, the worst case — can get a wrong
+    /// value accepted; anything accepted is the honest value.
+    #[test]
+    fn byzantine_collusion_never_delivers_wrong_value(
+        roles in prop::collection::vec(0u8..3, 3..24),
+        collude in prop::bool::ANY,
+    ) {
+        const HONEST: u64 = 42;
+        const WRONG: u64 = 666;
+        // role 0: honest node that replied; 1: Byzantine; 2: silent/slow
+        let b = roles.iter().filter(|&&r| r == 1).count();
+        let replies: Vec<Option<u64>> = roles
+            .iter()
+            .map(|r| match r {
+                0 => Some(HONEST),
+                // colluding Byzantine nodes all push the same wrong
+                // value; non-colluding ones mimic the honest reply (the
+                // strongest *denial* and *confusion* strategies)
+                1 => Some(if collude { WRONG } else { HONEST }),
+                _ => None,
+            })
+            .collect();
+        let need = b + 1;
+        let honest_matching = roles.iter().filter(|&&r| r == 0).count()
+            + if collude { 0 } else { b };
+        match accept_replies(&replies, need) {
+            DeliveryStatus::Accepted { value, matching } => {
+                prop_assert_eq!(value, HONEST);
+                prop_assert!(matching >= need);
+            }
+            DeliveryStatus::Failed { best_matching } => {
+                // failure is only legitimate when too few honest-valued
+                // replies arrived — b+1 honest replies guarantee delivery
+                prop_assert!(honest_matching < need);
+                prop_assert!(best_matching <= honest_matching.max(b));
+            }
+        }
+    }
+
+    /// The threshold is exactly `b + 1`: at `need = b` a colluding
+    /// Byzantine set *can* deliver its value — the rule's tightness.
+    #[test]
+    fn threshold_below_b_plus_one_is_unsafe(b in 1usize..6) {
+        let replies: Vec<Option<u64>> = (0..b).map(|_| Some(666u64)).collect();
+        let status = accept_replies(&replies, b);
+        prop_assert!(matches!(status, DeliveryStatus::Accepted { value: 666, .. }));
+        // while b + 1 refuses the same collusion
+        let status = accept_replies(&replies, b + 1);
+        prop_assert!(!status.is_accepted());
+    }
+}
+
+#[test]
+fn accept_replies_is_first_to_threshold_in_reply_order() {
+    // two values both reach the threshold; the winner is the value whose
+    // *earliest replies* appear first in slot order, because candidates
+    // are registered by first appearance and scanned in that order — the
+    // documented first-to-threshold semantics, deterministic for a fixed
+    // reply vector regardless of when replies arrived
+    let replies = vec![Some(7u64), Some(9), Some(9), Some(7)];
+    match accept_replies(&replies, 2) {
+        DeliveryStatus::Accepted { value, matching } => {
+            assert_eq!(value, 7, "first-seen candidate wins the tie");
+            assert_eq!(matching, 2);
+        }
+        s => panic!("expected accept, got {s:?}"),
+    }
+    // order flipped: the other value is registered first and wins
+    let replies = vec![Some(9u64), Some(7), Some(7), Some(9)];
+    match accept_replies(&replies, 2) {
+        DeliveryStatus::Accepted { value, .. } => assert_eq!(value, 9),
+        s => panic!("expected accept, got {s:?}"),
+    }
+    // `None` slots never form a candidate and never break ordering
+    let replies = vec![None, Some(5u64), None, Some(5)];
+    assert!(accept_replies(&replies, 2).is_accepted());
 }
 
 #[test]
