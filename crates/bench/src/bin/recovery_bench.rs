@@ -1,0 +1,219 @@
+//! Machine-readable recovery baseline: measures (a) raw `snapshot + WAL`
+//! replay time as the log grows and (b) end-to-end kill-and-rejoin
+//! latency across snapshot intervals, and writes `BENCH_recovery.json` at
+//! the repo root — the durability-cost trajectory future PRs trend
+//! against.
+//!
+//! Every rejoin row runs the full harness (`csm_bench::recovery`): an
+//! `N = 8`, `K = 2`, `b = 2` durable cluster with node 0 equivocating,
+//! honest node 5 hard-killed mid-workload and restarted against its
+//! store, verified end to end (zero lost committed commands, honest
+//! digest agreement, ≥ 3 post-rejoin commits) before the row is recorded.
+//!
+//! Trend guards (assertions, mirroring the other benches): WAL replay
+//! must recover every appended record; each rejoin must replay at most
+//! one snapshot interval's worth of log; and the victim must actually
+//! commit after the restart.
+//!
+//! ```sh
+//! cargo run --release -p csm-bench --bin recovery_bench
+//! RECOVERY_SMOKE=1 cargo run --release -p csm-bench --bin recovery_bench  # CI-sized
+//! ```
+
+use csm_bench::recovery::{
+    one_equivocator, run_mem_rejoin, scratch_dir, verify_rejoin_outcome, RejoinConfig,
+};
+use csm_storage::{CommitRecord, NodeStore};
+use std::time::Instant;
+
+#[derive(Debug)]
+struct WalRow {
+    records: u64,
+    bytes: u64,
+    replay_ms: f64,
+    records_per_sec: f64,
+}
+
+/// Measures opening a store whose log holds `records` bank-sized commit
+/// records (cold scan + CRC check + decode of every frame).
+fn bench_wal_replay(records: u64) -> WalRow {
+    let dir = scratch_dir(&format!("walbench-{records}"));
+    let fingerprint = 0xBEEF;
+    {
+        let (mut store, _) = NodeStore::open(&dir, fingerprint).expect("open store");
+        for round in 0..records {
+            store
+                .append_commit(&CommitRecord {
+                    round,
+                    digest: round.wrapping_mul(0x9E37_79B9),
+                    // one bank deposit row: [client, seq, shard, sig_tag, amount]
+                    batch: vec![vec![8, round, 0, 0xFACE, 1 + round % 97]],
+                    state_delta: vec![round % 1000],
+                })
+                .expect("append");
+        }
+    }
+    let started = Instant::now();
+    let (store, recovered) = NodeStore::open(&dir, fingerprint).expect("reopen store");
+    let replay = started.elapsed();
+    assert_eq!(
+        recovered.records.len() as u64,
+        records,
+        "replay must recover every appended record"
+    );
+    assert!(
+        !recovered.torn_tail,
+        "clean log must not report a torn tail"
+    );
+    let bytes = store.wal_bytes();
+    let _ = std::fs::remove_dir_all(&dir);
+    WalRow {
+        records,
+        bytes,
+        replay_ms: replay.as_secs_f64() * 1e3,
+        records_per_sec: records as f64 / replay.as_secs_f64().max(1e-9),
+    }
+}
+
+#[derive(Debug)]
+struct RejoinRow {
+    snapshot_interval: u64,
+    committed: u64,
+    wal_replayed: u64,
+    recovered_round: u64,
+    transferred: bool,
+    startup_ms: f64,
+    first_commit_ms: f64,
+    victim_commits_after: u64,
+}
+
+fn bench_rejoin(snapshot_interval: u64) -> RejoinRow {
+    let dir = scratch_dir(&format!("rejoinbench-{snapshot_interval}"));
+    let mut cfg = RejoinConfig::small(0xBE9C ^ snapshot_interval);
+    cfg.snapshot_interval = snapshot_interval;
+    cfg.clients = 6;
+    cfg.commands_per_client = 4;
+    cfg.kill_after = 8;
+    let outcome = run_mem_rejoin(&dir, &cfg, one_equivocator);
+    verify_rejoin_outcome(&cfg, &outcome, &[0])
+        .unwrap_or_else(|e| panic!("interval {snapshot_interval}: verification failed: {e}"));
+    let recovery = outcome
+        .post_report
+        .recovery
+        .clone()
+        .expect("recovery info present");
+    // trend guards: the snapshot cadence bounds the replayed log, and the
+    // victim must have really rejoined
+    assert!(
+        recovery.wal_records_replayed < snapshot_interval.max(1),
+        "interval {snapshot_interval}: replayed {} records",
+        recovery.wal_records_replayed
+    );
+    let after = outcome.victim_commits_after_restart() as u64;
+    assert!(
+        after >= cfg.post_rounds,
+        "victim did not commit after rejoin"
+    );
+    let committed: u64 = outcome
+        .clients
+        .iter()
+        .map(|c| c.receipts.len() as u64)
+        .sum();
+    let _ = std::fs::remove_dir_all(&dir);
+    RejoinRow {
+        snapshot_interval,
+        committed,
+        wal_replayed: recovery.wal_records_replayed,
+        recovered_round: recovery.recovered_round,
+        transferred: recovery.startup_transfer.is_some(),
+        startup_ms: recovery.startup.as_secs_f64() * 1e3,
+        first_commit_ms: recovery
+            .first_commit_after
+            .map_or(f64::NAN, |d| d.as_secs_f64() * 1e3),
+        victim_commits_after: after,
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("RECOVERY_SMOKE").is_ok();
+    let wal_sizes: &[u64] = if smoke { &[64, 256] } else { &[64, 1024, 8192] };
+    let intervals: &[u64] = if smoke { &[4] } else { &[2, 16] };
+
+    let wal_rows: Vec<WalRow> = wal_sizes.iter().map(|&r| bench_wal_replay(r)).collect();
+    for r in &wal_rows {
+        eprintln!(
+            "wal replay: {} records ({} KiB) in {:.2} ms ({:.0} rec/s)",
+            r.records,
+            r.bytes / 1024,
+            r.replay_ms,
+            r.records_per_sec
+        );
+    }
+    let rejoin_rows: Vec<RejoinRow> = intervals.iter().map(|&i| bench_rejoin(i)).collect();
+    for r in &rejoin_rows {
+        eprintln!(
+            "rejoin @ interval {}: replayed {} WAL records to round {}, transfer {}, \
+             startup {:.0} ms, first new commit {:.0} ms",
+            r.snapshot_interval,
+            r.wal_replayed,
+            r.recovered_round,
+            if r.transferred { "yes" } else { "no" },
+            r.startup_ms,
+            r.first_commit_ms
+        );
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"recovery\",\n");
+    json.push_str(
+        "  \"n\": 8,\n  \"k\": 2,\n  \"faults\": 2,\n  \"byzantine\": \"node0 equivocates\",\n  \
+         \"machine\": \"bank\",\n  \"victim\": 5,\n",
+    );
+    json.push_str("  \"wal_replay\": [\n");
+    for (i, r) in wal_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"records\": {}, \"bytes\": {}, \"replay_ms\": {:.3}, \
+             \"records_per_sec\": {:.0}}}{}\n",
+            r.records,
+            r.bytes,
+            r.replay_ms,
+            r.records_per_sec,
+            if i + 1 < wal_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n  \"rejoin\": [\n");
+    for (i, r) in rejoin_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"backend\": \"mem-mesh\", \"snapshot_interval\": {}, \"committed\": {}, \
+             \"wal_replayed\": {}, \"recovered_round\": {}, \"transferred\": {}, \
+             \"startup_ms\": {:.1}, \"first_commit_ms\": {:.1}, \"victim_commits_after\": {}}}{}\n",
+            r.snapshot_interval,
+            r.committed,
+            r.wal_replayed,
+            r.recovered_round,
+            r.transferred,
+            r.startup_ms,
+            r.first_commit_ms,
+            r.victim_commits_after,
+            if i + 1 < rejoin_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    println!("{json}");
+    if !smoke {
+        std::fs::write("BENCH_recovery.json", &json).expect("write BENCH_recovery.json");
+        eprintln!("wrote BENCH_recovery.json");
+    }
+
+    // trend guard: replay throughput must not collapse as the log grows
+    // (linear scan — the per-record cost of the longest log stays within
+    // 8x of the shortest, a loose bound over fs-cache noise)
+    if let (Some(first), Some(last)) = (wal_rows.first(), wal_rows.last()) {
+        let ratio = first.records_per_sec / last.records_per_sec.max(1e-9);
+        assert!(
+            ratio < 8.0,
+            "WAL replay throughput collapsed with log length ({ratio:.1}x slower)"
+        );
+    }
+}

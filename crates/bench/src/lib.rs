@@ -18,6 +18,7 @@
 
 #![warn(missing_docs)]
 
+pub mod recovery;
 pub mod workload;
 
 use csm_algebra::OpCounts;

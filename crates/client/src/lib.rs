@@ -83,12 +83,33 @@ pub struct Receipt {
     pub attempts: u32,
 }
 
+/// Proof of one accepted read-only query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryReceipt {
+    /// The queried shard.
+    pub shard: u64,
+    /// The query id used.
+    pub qid: u64,
+    /// The committed round the value belongs to (agreed by the quorum).
+    pub round: u64,
+    /// The accepted shard state `S_k` in canonical `u64` form.
+    pub value: Vec<u64>,
+    /// How many replies matched (≥ `b + 1`).
+    pub matching: usize,
+    /// Query-to-accept wall-clock latency (includes retries).
+    pub latency: Duration,
+    /// Attempts used (1 = no retry).
+    pub attempts: u32,
+}
+
 /// Why a submission failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ClientError {
-    /// No value reached `b + 1` matching replies within every attempt.
+    /// No value reached `b + 1` matching replies within every attempt
+    /// (`seq` is the command's sequence number, or the query id for a
+    /// read-only query).
     NoQuorum {
-        /// The command's sequence number.
+        /// The command's sequence number (or query id).
         seq: u64,
         /// Best matching count observed across all replies.
         best_matching: usize,
@@ -115,6 +136,7 @@ pub struct CsmClient<T: Transport> {
     registry: Arc<KeyRegistry>,
     cfg: ClientConfig,
     next_seq: u64,
+    next_qid: u64,
 }
 
 impl<T: Transport> CsmClient<T> {
@@ -136,6 +158,7 @@ impl<T: Transport> CsmClient<T> {
             registry,
             cfg,
             next_seq: 0,
+            next_qid: 0,
         }
     }
 
@@ -215,6 +238,116 @@ impl<T: Transport> CsmClient<T> {
             seq,
             best_matching: best,
         })
+    }
+
+    /// Reads a shard's *committed, durable* state without consuming a
+    /// round: broadcasts a signed [`Payload::Query`] and blocks until
+    /// `b + 1` nodes reply with the same `(round, value)` pair, retrying
+    /// per the config. With at most `b` Byzantine nodes, the accepted
+    /// pair includes an honest voucher, so a read can never observe a
+    /// value no honest node committed (and, on durable clusters, logged).
+    ///
+    /// Reads are served from each node's latest committed round, and the
+    /// first `(round, value)` pair to reach `b + 1` matches wins — honest
+    /// nodes lag each other by a round, so successive queries may observe
+    /// rounds that go *backwards*, and a read racing a write may observe
+    /// the pre-write state. Within one accepted receipt the
+    /// `(round, value)` pair is a real committed state; callers needing
+    /// read-your-write re-query until `round` reaches their receipt's
+    /// round.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::NoQuorum`] when every attempt times out short of
+    /// the quorum — e.g. nodes sit at different committed rounds during
+    /// an active burst; retrying is always safe (reads have no effects).
+    pub fn query(&mut self, shard: u64) -> Result<QueryReceipt, ClientError> {
+        let qid = self.next_qid;
+        self.next_qid += 1;
+        let me = self.transport.local_id();
+        let frame = Frame::sign(
+            Payload::Query {
+                shard,
+                client: me.0 as u64,
+                qid,
+            },
+            &self.registry,
+            me,
+        );
+        let started = Instant::now();
+        let mut best = 0;
+        for attempt in 1..=self.cfg.max_attempts {
+            // unlike submissions, replies are not pooled across attempts:
+            // nodes answer from their *current* committed round, so a
+            // fresh attempt re-samples a consistent quorum
+            let mut by_node: Vec<Option<(u64, Vec<u64>)>> = vec![None; self.cfg.cluster];
+            let _ = self.transport.broadcast_upto(self.cfg.cluster, &frame);
+            let deadline = Instant::now() + self.cfg.reply_timeout;
+            loop {
+                match accept_replies(&by_node, self.cfg.need()) {
+                    DeliveryStatus::Accepted {
+                        value: (round, value),
+                        matching,
+                    } => {
+                        return Ok(QueryReceipt {
+                            shard,
+                            qid,
+                            round,
+                            value,
+                            matching,
+                            latency: started.elapsed(),
+                            attempts: attempt,
+                        });
+                    }
+                    DeliveryStatus::Failed { best_matching } => best = best.max(best_matching),
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                match self.transport.recv_timeout(deadline - now) {
+                    Ok(reply) => self.record_query(&mut by_node, shard, qid, reply),
+                    Err(RecvError::Timeout) => break,
+                    Err(RecvError::Disconnected) => break,
+                }
+            }
+        }
+        Err(ClientError::NoQuorum {
+            seq: qid,
+            best_matching: best,
+        })
+    }
+
+    /// Records one inbound frame if it is a query reply from a cluster
+    /// node to this query; anything else is dropped. First reply per node
+    /// wins.
+    fn record_query(
+        &self,
+        by_node: &mut [Option<(u64, Vec<u64>)>],
+        shard: u64,
+        qid: u64,
+        frame: Frame,
+    ) {
+        let Payload::QueryReply {
+            shard: r_shard,
+            round,
+            client,
+            qid: r_qid,
+            value,
+        } = frame.payload
+        else {
+            return;
+        };
+        let node = frame.sig.signer.0;
+        if node >= self.cfg.cluster
+            || client != self.id()
+            || r_qid != qid
+            || r_shard != shard
+            || by_node[node].is_some()
+        {
+            return;
+        }
+        by_node[node] = Some((round, value));
     }
 
     /// Records one inbound frame if it is a reply from a cluster node to

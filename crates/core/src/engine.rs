@@ -272,6 +272,34 @@ impl<F: Field> CodedMachine<F> {
         })
     }
 
+    /// A stable fingerprint of the coded-machine geometry: sizes,
+    /// transition shape, and the evaluation point sets. Two machines with
+    /// equal fingerprints encode states identically, so a durable store
+    /// (snapshot + commit log) written under one can be replayed under
+    /// the other; `csm-storage` binds every store to this value and
+    /// refuses to open under a different machine.
+    pub fn fingerprint(&self) -> u64 {
+        use crate::digest::splitmix64;
+        let t = self.transition();
+        let mut acc = splitmix64(0xC0DE_D57A7E ^ self.n() as u64);
+        for v in [
+            self.k() as u64,
+            t.state_dim() as u64,
+            t.input_dim() as u64,
+            t.output_dim() as u64,
+            u64::from(t.degree()),
+        ] {
+            acc = splitmix64(acc ^ v);
+        }
+        for &w in self.codebook.omegas() {
+            acc = splitmix64(acc ^ w.to_canonical_u64());
+        }
+        for &a in self.codebook.alphas() {
+            acc = splitmix64(acc ^ a.to_canonical_u64());
+        }
+        acc
+    }
+
     /// Maximum number of Byzantine nodes decoding tolerates (Table 2):
     /// synchronous `⌊(N − d(K−1) − 1)/2⌋`, partially synchronous
     /// `⌊(N − d(K−1) − 1)/3⌋`.
@@ -417,6 +445,39 @@ impl<F: Field> RoundEngine<F> {
     /// storage-efficiency invariant).
     pub fn coded_state(&self) -> &[F] {
         &self.coded_state
+    }
+
+    /// The stored coded state in canonical `u64` form — what snapshots
+    /// and state-transfer frames carry.
+    pub fn coded_state_canonical(&self) -> Vec<u64> {
+        self.coded_state
+            .iter()
+            .map(|x| x.to_canonical_u64())
+            .collect()
+    }
+
+    /// Installs an externally-recovered coded state and round counter —
+    /// the crash-recovery import path (replayed from a durable snapshot +
+    /// commit log, or re-encoded from a `b + 1`-verified state transfer).
+    /// Unlike [`Self::install_state`] this does not apply self-poisoning
+    /// or advance the round: it *sets* the engine to exactly the durable
+    /// point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CsmError::ShapeMismatch`] when `coded_state` is not one
+    /// machine-state wide.
+    pub fn restore(&mut self, coded_state: Vec<F>, next_round: u64) -> Result<(), CsmError> {
+        let sd = self.machine.transition().state_dim();
+        if coded_state.len() != sd {
+            return Err(CsmError::ShapeMismatch(format!(
+                "restored coded state has dimension {}, machine expects {sd}",
+                coded_state.len()
+            )));
+        }
+        self.coded_state = coded_state;
+        self.round = next_round;
+        Ok(())
     }
 
     /// ρ, first half: this node's coded command vector for an agreed
@@ -729,6 +790,51 @@ mod tests {
             .map(|e| Some(e.execute(&commands).unwrap()))
             .collect();
         assert!(nodes[0].decode(&word2).is_ok());
+    }
+
+    #[test]
+    fn restore_roundtrips_canonical_export() {
+        let m = machine(8, 2);
+        let states = vec![vec![f(100)], vec![f(200)]];
+        let mut nodes = engines(&m, &states);
+        let commands = vec![vec![f(10)], vec![f(20)]];
+        let word: Word<Fp61> = nodes
+            .iter()
+            .map(|e| Some(e.execute(&commands).unwrap()))
+            .collect();
+        for e in &mut nodes {
+            e.commit_word(&word).unwrap();
+        }
+        // export node 3's state, wipe it, restore from canonical form
+        let exported = nodes[3].coded_state_canonical();
+        let round = nodes[3].round();
+        let mut fresh = RoundEngine::new(Arc::clone(&m), 3, &states).unwrap();
+        fresh
+            .restore(exported.iter().map(|&v| f(v)).collect(), round)
+            .unwrap();
+        assert_eq!(fresh.coded_state(), nodes[3].coded_state());
+        assert_eq!(fresh.round(), round);
+        // the restored engine produces the same next-round result
+        assert_eq!(
+            fresh.execute(&commands).unwrap(),
+            nodes[3].execute(&commands).unwrap()
+        );
+        // shape violations are rejected
+        assert!(matches!(
+            fresh.restore(vec![f(1), f(2)], 0),
+            Err(CsmError::ShapeMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn fingerprint_separates_machine_geometries() {
+        let a = machine(8, 2).fingerprint();
+        assert_eq!(a, machine(8, 2).fingerprint(), "deterministic");
+        assert_ne!(a, machine(8, 3).fingerprint(), "k differs");
+        assert_ne!(a, machine(9, 2).fingerprint(), "n differs");
+        let auction =
+            CodedMachine::<Fp61>::new(8, 2, auction_machine(), DecoderKind::default()).unwrap();
+        assert_ne!(a, auction.fingerprint(), "transition shape differs");
     }
 
     #[test]

@@ -186,6 +186,17 @@ pub struct GatewayConfig {
     /// fills its own quota, not the shared queue, so it cannot starve
     /// other clients' admission.
     pub client_quota: usize,
+    /// Maximum cached reply payloads across all clients. A cached reply
+    /// is dropped as soon as its client implicitly acknowledges it (by
+    /// submitting a higher sequence number); this cap bounds the
+    /// never-acknowledging worst case. Eviction order tracks the agreed
+    /// batches, which are identical on honest nodes — so past the cap,
+    /// an evicted client's retry is deduplicated (never re-executed) but
+    /// may be answered by *no* node and fail with `NoQuorum`: the cap
+    /// trades that client's retry availability for bounded memory. Size
+    /// it above the expected number of concurrently-unacknowledged
+    /// clients.
+    pub reply_cache_cap: usize,
 }
 
 impl GatewayConfig {
@@ -202,6 +213,7 @@ impl GatewayConfig {
             commit_history: 1 << 16,
             idle_pause: timing.delta / 4,
             client_quota: 64,
+            reply_cache_cap: 4096,
         }
     }
 
@@ -249,10 +261,88 @@ pub struct GatewayStats {
     pub rejected_quota: u64,
     /// `Submit` frames dropped at the runtime inbox cap.
     pub inbox_dropped: u64,
+    /// Retries of a committed command whose cached reply was already
+    /// evicted (acknowledged or over the cache cap) — not re-executed,
+    /// just not answered by this node.
+    pub replay_misses: u64,
+    /// Read-only queries answered from the committed state.
+    pub queries_answered: u64,
+    /// State-transfer chunks served to recovering peers.
+    pub state_chunks_served: u64,
+    /// Times this node installed a `b + 1`-verified state transfer after
+    /// detecting it had fallen behind or diverged (durable mode only).
+    pub resyncs: u64,
+    /// Committed rounds appended to the write-ahead log (durable mode).
+    pub wal_appends: u64,
+    /// Coded-state snapshots installed (durable mode).
+    pub snapshots: u64,
     /// The node detected (via `b + 1` peers agreeing on a commit digest
     /// it does not hold) that its state diverged, and fail-stopped
     /// instead of contributing wrong results.
     pub desynced: bool,
+}
+
+/// The bounded reply-payload cache: at most one cached `Reply` per
+/// client (its latest committed command), dropped the moment the client
+/// implicitly acknowledges it — a `Submit` with a higher sequence number
+/// proves the client accepted everything below — and capped globally with
+/// oldest-first eviction. The *dedup horizon* lives outside this cache
+/// (in [`Admission::horizon`]), so eviction can never cause a committed
+/// command to re-execute; an evicted retry is merely unanswered (and
+/// since honest nodes evict in the same batch-derived order, unanswered
+/// by all of them — see [`GatewayConfig::reply_cache_cap`]).
+#[derive(Debug, Default)]
+struct ReplyCache {
+    by_client: BTreeMap<u64, (u64, Payload)>,
+    /// Insertion order as `(client, seq)` markers; stale markers (the
+    /// client re-inserted since) are skipped at eviction time.
+    order: VecDeque<(u64, u64)>,
+}
+
+impl ReplyCache {
+    fn get(&self, client: u64, seq: u64) -> Option<Payload> {
+        self.by_client
+            .get(&client)
+            .filter(|(s, _)| *s == seq)
+            .map(|(_, p)| p.clone())
+    }
+
+    /// Drops the client's cached reply if its seq is below `seq` (the
+    /// client has acknowledged it by moving on).
+    fn ack_below(&mut self, client: u64, seq: u64) {
+        if self.by_client.get(&client).is_some_and(|(s, _)| *s < seq) {
+            self.by_client.remove(&client);
+        }
+    }
+
+    fn insert(&mut self, client: u64, seq: u64, payload: Payload, cap: usize) {
+        self.by_client.insert(client, (seq, payload));
+        self.order.push_back((client, seq));
+        while self.by_client.len() > cap.max(1) {
+            let Some((c, s)) = self.order.pop_front() else {
+                break;
+            };
+            // only evict if the marker still names the live entry
+            if self.by_client.get(&c).is_some_and(|(live, _)| *live == s) {
+                self.by_client.remove(&c);
+            }
+        }
+        // stale markers must not accumulate past the live entries either
+        while self.order.len() > 2 * cap.max(1) {
+            let Some((c, s)) = self.order.pop_front() else {
+                break;
+            };
+            if self.by_client.get(&c).is_some_and(|(live, _)| *live == s) {
+                // live entry whose marker we just popped: re-mark it
+                self.order.push_back((c, s));
+            }
+        }
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.by_client.len()
+    }
 }
 
 /// The admission state: pending queue, dedup index, and reply cache.
@@ -260,10 +350,15 @@ pub struct GatewayStats {
 struct Admission {
     queue: VecDeque<BatchEntry>,
     queued: BTreeSet<(u64, u64)>,
-    /// Pending-command count per client (the fairness quota).
+    /// Pending-command count per client (the fairness quota); entries are
+    /// removed when they reach zero.
     pending_per_client: BTreeMap<u64, usize>,
-    /// Per client: highest committed seq and its cached `Reply` payload.
-    done: BTreeMap<u64, (u64, Payload)>,
+    /// Per client: highest committed seq — the dedup/replay horizon. This
+    /// is the only per-client state kept for a client's whole lifetime,
+    /// and it is one `u64`, not a payload.
+    horizon: BTreeMap<u64, u64>,
+    /// Cached reply payloads for not-yet-acknowledged committed commands.
+    replies: ReplyCache,
     stats: GatewayStats,
 }
 
@@ -289,16 +384,26 @@ impl Admission {
             else {
                 continue;
             };
-            match self.done.get(&client) {
-                Some((done_seq, payload)) if *done_seq == seq => {
+            match self.horizon.get(&client) {
+                Some(&done_seq) if done_seq == seq => {
                     // a retry of the latest committed command: answer from
-                    // the cache, do not re-execute
-                    self.stats.replayed += 1;
-                    replays.push((client, payload.clone()));
+                    // the cache (if still held), never re-execute
+                    match self.replies.get(client, seq) {
+                        Some(payload) => {
+                            self.stats.replayed += 1;
+                            replays.push((client, payload));
+                        }
+                        None => self.stats.replay_misses += 1,
+                    }
                     continue;
                 }
-                Some((done_seq, _)) if *done_seq > seq => continue, // stale
-                _ => {}
+                Some(&done_seq) if done_seq > seq => continue, // stale
+                Some(_) => {
+                    // seq advanced past the horizon: everything below it
+                    // is implicitly acknowledged — free the cached payload
+                    self.replies.ack_below(client, seq);
+                }
+                None => {}
             }
             if self.queued.contains(&(client, seq)) {
                 self.stats.duplicates += 1;
@@ -350,19 +455,24 @@ impl Admission {
 
     /// Records a committed entry: caches its reply, drops it from the
     /// queue, and advances the client's dedup horizon.
-    fn record_done(&mut self, entry: &BatchEntry, reply: Payload) {
+    fn record_done(&mut self, entry: &BatchEntry, reply: Payload, cache_cap: usize) {
         let advance = self
-            .done
+            .horizon
             .get(&entry.client)
-            .is_none_or(|(s, _)| *s < entry.seq);
+            .is_none_or(|&s| s < entry.seq);
         if advance {
-            self.done.insert(entry.client, (entry.seq, reply));
+            self.horizon.insert(entry.client, entry.seq);
+            self.replies
+                .insert(entry.client, entry.seq, reply, cache_cap);
         }
         if self.queued.remove(&(entry.client, entry.seq)) {
             self.queue
                 .retain(|e| (e.client, e.seq) != (entry.client, entry.seq));
             if let Some(n) = self.pending_per_client.get_mut(&entry.client) {
                 *n = n.saturating_sub(1);
+                if *n == 0 {
+                    self.pending_per_client.remove(&entry.client);
+                }
             }
         }
     }
@@ -377,12 +487,16 @@ pub struct GatewayReport<F> {
     /// decode); index `i` is round `first_recorded_round + i`.
     pub commits: Vec<Option<RoundCommit<F>>>,
     /// The round `commits[0]` corresponds to (non-zero once the
-    /// [`GatewayConfig::commit_history`] window has slid).
+    /// [`GatewayConfig::commit_history`] window has slid, after a durable
+    /// restart, or after a resync).
     pub first_recorded_round: u64,
     /// Rounds run before the stop flag (or `max_rounds`) ended the loop.
     pub rounds: u64,
     /// Admission/reply counters.
     pub stats: GatewayStats,
+    /// Crash-recovery details (durable gateways only — see
+    /// [`crate::recovery::run_durable_gateway`]).
+    pub recovery: Option<crate::recovery::RecoveryInfo>,
 }
 
 impl<F> GatewayReport<F> {
@@ -418,25 +532,106 @@ pub fn run_gateway<F: Field, T: Transport>(
         cluster,
         "machine sized for a different cluster"
     );
-    let shards = spec.machine.k();
-    let input_dim = spec.machine.transition().input_dim();
     let id = transport.local_id().0;
     assert!(id < cluster, "gateway runs on cluster nodes only");
     let keys = Arc::clone(&registry);
-    let mut rt = NodeRuntime::with_cluster(transport, registry, timing, cluster);
-    let mut engine = RoundEngine::new(Arc::clone(&spec.machine), id, &spec.initial_states)
+    let rt = NodeRuntime::with_cluster(transport, registry, timing, cluster);
+    let engine = RoundEngine::new(Arc::clone(&spec.machine), id, &spec.initial_states)
         .expect("spec states match the machine");
+    let (report, _rt) = gateway_loop(rt, engine, keys, spec, cfg, stop, 0, None);
+    report
+}
+
+/// The shared gateway round loop, driving a prebuilt runtime and engine
+/// from `start_round`. `durable` adds the persistence/recovery hooks: WAL
+/// append before acknowledgement, periodic snapshots, and resync-via-
+/// state-transfer where a plain gateway would fail-stop. Returns the
+/// report plus the runtime (so a durable wrapper can recover the
+/// transport endpoint).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gateway_loop<F: Field, T: Transport>(
+    mut rt: NodeRuntime<T>,
+    mut engine: RoundEngine<F>,
+    keys: Arc<KeyRegistry>,
+    spec: &GatewaySpec<F>,
+    cfg: &GatewayConfig,
+    stop: &AtomicBool,
+    start_round: u64,
+    mut durable: Option<&mut crate::recovery::DurableCtx>,
+) -> (GatewayReport<F>, NodeRuntime<T>) {
+    let cluster = cfg.cluster;
+    let shards = spec.machine.k();
+    let input_dim = spec.machine.transition().input_dim();
+    let state_dim = spec.machine.transition().state_dim();
+    let id = engine.node();
     let mut admission = Admission::default();
+    if let Some(ctx) = durable.as_deref() {
+        // exactly-once must survive restarts: the dedup horizons replayed
+        // from snapshot + WAL are part of the recovered state
+        admission.horizon = ctx.recovered_horizon.clone();
+    }
     let mut commits: VecDeque<Option<RoundCommit<F>>> = VecDeque::new();
-    let mut first_recorded_round = 0u64;
-    let mut round = 0u64;
+    let mut first_recorded_round = start_round;
+    let mut round = start_round;
+    // consecutive undecodable rounds — a durable node treats a streak as
+    // "I have lost the cluster" and attempts a state transfer
+    let mut fail_streak = 0u32;
 
     while !stop.load(Ordering::Relaxed) && round < cfg.max_rounds {
-        // fail-stop safety net: if b + 1 peers agree on a digest for a
-        // recent round that this node did not commit, its state has
-        // diverged (a missed batch or failed decode) — stop contributing
-        // results rather than act as an extra Byzantine node
-        if desynced(&rt, &commits, first_recorded_round, round, cfg, id) {
+        // serve recovering peers and read-only clients from the latest
+        // committed (and, in durable mode, logged) round
+        serve_state_requests(&mut rt, &commits, spec.behavior, &mut admission.stats);
+        answer_queries(
+            &mut rt,
+            &commits,
+            state_dim,
+            shards,
+            spec.behavior,
+            &mut admission.stats,
+        );
+
+        // divergence handling: `b + 1` peers agreeing on a commit this
+        // node does not hold proves an honest majority moved on without
+        // it (at most `b` peers can collude). A plain gateway fail-stops
+        // (on the pre-existing strictly-past-rounds divergence rule only
+        // — a transiently lagging node must not kill itself over a round
+        // it is about to commit from its buffers); a durable gateway
+        // *recovers* — it installs a `b + 1`-verified state transfer and
+        // rejoins at the cluster's round, and additionally treats "peers
+        // committed my current round or later" as a resync trigger.
+        let diverged = desynced(&rt, &commits, first_recorded_round, round, cfg, id);
+        if durable.is_some() {
+            let behind = rt
+                .commit_quorum_frontier(cfg.assumed_faults + 1)
+                .is_some_and(|(r, _)| r >= round);
+            if behind || diverged || fail_streak >= 2 {
+                let ctx = durable.as_deref_mut().expect("checked durable");
+                fail_streak = 0;
+                if let Some(next) = crate::recovery::resync(
+                    &mut rt,
+                    &mut engine,
+                    spec,
+                    cfg,
+                    ctx,
+                    &admission.horizon,
+                ) {
+                    admission.stats.resyncs += 1;
+                    // history before the transfer is no longer this
+                    // node's to vouch for
+                    commits.clear();
+                    first_recorded_round = next;
+                    round = next;
+                    continue;
+                }
+                if behind || diverged {
+                    // the peers that committed ahead will answer a retry
+                    // eventually; the transfer wait already paced us
+                    continue;
+                }
+                // streak-only trigger with no quorum to transfer from
+                // (cluster-wide trouble): keep participating in rounds
+            }
+        } else if diverged {
             admission.stats.desynced = true;
             break;
         }
@@ -459,12 +654,9 @@ pub fn run_gateway<F: Field, T: Transport>(
                 decode_batch(&rows, shards, input_dim, cluster, &keys).is_some_and(|batch| {
                     // refuse to echo a replayed command: commits advanced
                     // the dedup horizon on every honest node alike
-                    batch.iter().all(|e| {
-                        admission
-                            .done
-                            .get(&e.client)
-                            .is_none_or(|(s, _)| *s < e.seq)
-                    })
+                    batch
+                        .iter()
+                        .all(|e| admission.horizon.get(&e.client).is_none_or(|&s| s < e.seq))
                 });
             if valid {
                 rt.announce_stage(round, rows);
@@ -492,17 +684,54 @@ pub fn run_gateway<F: Field, T: Transport>(
         let g = engine.execute(&commands).expect("validated batch shape");
         let behavior = wire_behavior(id, cluster, spec.machine.result_dim(), spec.behavior, g);
         let word = rt.run_exchange_round(round, &behavior);
+        // the pre-commit coded state, for the WAL's state delta
+        let prev_state = durable.as_deref().map(|_| engine.coded_state().to_vec());
         let commit = engine.commit_word(&word);
         if let Some(c) = &commit {
-            rt.announce_commit(round, c.digest);
+            // local bookkeeping first: advance dedup horizons + reply
+            // cache, so a snapshot taken inside log_commit already
+            // reflects this round's batch (the truncated log cannot
+            // rebuild it)
+            let mut replies = Vec::with_capacity(batch.len());
             for entry in &batch {
                 let reply = reply_payload(entry, c);
-                admission.record_done(entry, reply.clone());
+                admission.record_done(entry, reply.clone(), cfg.reply_cache_cap);
+                replies.push((entry.client, reply));
+            }
+            // durability before acknowledgement: the round's batch,
+            // digest, and coded-state delta hit the fsynced log before
+            // any commit announcement or client reply leaves this node
+            if let Some(ctx) = durable.as_deref_mut() {
+                let prev = prev_state.expect("captured before commit");
+                let delta: Vec<u64> = engine
+                    .coded_state()
+                    .iter()
+                    .zip(&prev)
+                    .map(|(new, old)| (*new - *old).to_canonical_u64())
+                    .collect();
+                let snapshotted = ctx.log_commit(
+                    c.round,
+                    c.digest,
+                    encode_batch(&batch),
+                    delta,
+                    engine.coded_state_canonical(),
+                    &admission.horizon,
+                );
+                admission.stats.wal_appends += 1;
+                if snapshotted {
+                    admission.stats.snapshots += 1;
+                }
+            }
+            rt.announce_commit(round, c.digest);
+            for (client, reply) in replies {
                 if let Some(reply) = reply_after_fault(reply, spec.behavior) {
-                    rt.send_signed(NodeId(entry.client as usize), reply);
+                    rt.send_signed(NodeId(client as usize), reply);
                     admission.stats.replies_sent += 1;
                 }
             }
+            fail_streak = 0;
+        } else {
+            fail_streak += 1;
         }
         commits.push_back(commit);
         // a long-lived gateway must not grow per-round history without
@@ -522,12 +751,127 @@ pub fn run_gateway<F: Field, T: Transport>(
 
     let mut stats = admission.stats;
     stats.inbox_dropped = rt.inbox_dropped();
-    GatewayReport {
+    let report = GatewayReport {
         id,
         commits: commits.into(),
         first_recorded_round,
         rounds: round,
         stats,
+        recovery: None,
+    };
+    (report, rt)
+}
+
+/// Answers buffered peer state-transfer requests from the latest
+/// committed round: every gateway (durable or not) can seed a rejoining
+/// peer, and the rejoiner's `b + 1` rule is what makes a corrupt answer
+/// harmless. Byzantine reply behavior applies — an equivocator serves a
+/// perturbed chunk (caught by the digest check), a withholder serves
+/// nothing.
+fn serve_state_requests<F: Field, T: Transport>(
+    rt: &mut NodeRuntime<T>,
+    commits: &VecDeque<Option<RoundCommit<F>>>,
+    behavior: BehaviorKind,
+    stats: &mut GatewayStats,
+) {
+    let requests = rt.take_state_requests();
+    if requests.is_empty() {
+        return;
+    }
+    let Some(latest) = commits.iter().rev().flatten().next() else {
+        return; // nothing committed yet (e.g. freshly recovered ourselves)
+    };
+    let results: Vec<Vec<u64>> = latest
+        .results
+        .iter()
+        .map(|row| row.iter().map(|x| x.to_canonical_u64()).collect())
+        .collect();
+    for (peer, from_round) in requests {
+        if latest.round < from_round {
+            continue; // the requester already holds everything we do
+        }
+        let chunk = Payload::StateChunk {
+            round: latest.round,
+            digest: latest.digest,
+            results: results.clone(),
+        };
+        if let Some(chunk) = chunk_after_fault(chunk, behavior) {
+            rt.send_signed(NodeId(peer), chunk);
+            stats.state_chunks_served += 1;
+        }
+    }
+}
+
+/// Answers buffered read-only client queries with the queried shard's
+/// decoded state at this node's latest *committed* round — which in
+/// durable mode is by construction already in the fsynced log, so a read
+/// can never observe an unlogged state. Clients accept at `b + 1`
+/// matching `(round, value)`.
+fn answer_queries<F: Field, T: Transport>(
+    rt: &mut NodeRuntime<T>,
+    commits: &VecDeque<Option<RoundCommit<F>>>,
+    state_dim: usize,
+    shards: usize,
+    behavior: BehaviorKind,
+    stats: &mut GatewayStats,
+) {
+    let queries = rt.take_query_frames();
+    if queries.is_empty() {
+        return;
+    }
+    let latest = commits.iter().rev().flatten().next();
+    for frame in queries {
+        let Payload::Query { shard, client, qid } = frame.payload else {
+            continue;
+        };
+        if shard as usize >= shards {
+            continue;
+        }
+        let Some(c) = latest else {
+            continue; // nothing committed yet: stay silent, the client retries
+        };
+        let reply = Payload::QueryReply {
+            shard,
+            round: c.round,
+            client,
+            qid,
+            value: c.results[shard as usize][..state_dim]
+                .iter()
+                .map(|x| x.to_canonical_u64())
+                .collect(),
+        };
+        if let Some(reply) = reply_after_fault(reply, behavior) {
+            rt.send_signed(NodeId(client as usize), reply);
+            stats.queries_answered += 1;
+        }
+    }
+}
+
+/// Applies the node's Byzantine behavior to a served state chunk: an
+/// equivocator perturbs the results (leaving the claimed digest — the
+/// rejoiner's digest check must catch it), a withholder serves nothing.
+fn chunk_after_fault(chunk: Payload, behavior: BehaviorKind) -> Option<Payload> {
+    match behavior {
+        BehaviorKind::Withhold => None,
+        BehaviorKind::Equivocate => {
+            let Payload::StateChunk {
+                round,
+                digest,
+                results,
+            } = chunk
+            else {
+                return Some(chunk);
+            };
+            Some(Payload::StateChunk {
+                round,
+                digest,
+                results: results
+                    .into_iter()
+                    .map(|row| row.into_iter().map(|v| v.wrapping_add(77)).collect())
+                    .collect(),
+            })
+        }
+        BehaviorKind::Honest | BehaviorKind::Impersonate => Some(chunk),
     }
 }
 
@@ -592,32 +936,42 @@ fn reply_payload<F: Field>(entry: &BatchEntry, commit: &RoundCommit<F>) -> Paylo
     }
 }
 
-/// Applies the node's Byzantine behavior to the reply path: equivocators
-/// send a corrupted output (each client must survive `b` wrong replies),
-/// withholders send nothing. This is what the client-side `b + 1` rule is
-/// tested against.
+/// Applies the node's Byzantine behavior to the reply path (write replies
+/// and read-query replies alike): equivocators send a corrupted output
+/// (each client must survive `b` wrong replies), withholders send
+/// nothing. This is what the client-side `b + 1` rule is tested against.
 fn reply_after_fault(reply: Payload, behavior: BehaviorKind) -> Option<Payload> {
     match behavior {
         BehaviorKind::Withhold => None,
-        BehaviorKind::Equivocate => {
-            let Payload::Reply {
+        BehaviorKind::Equivocate => match reply {
+            Payload::Reply {
                 shard,
                 round,
                 client,
                 seq,
                 output,
-            } = reply
-            else {
-                return Some(reply);
-            };
-            Some(Payload::Reply {
+            } => Some(Payload::Reply {
                 shard,
                 round,
                 client,
                 seq,
                 output: output.into_iter().map(|v| v.wrapping_add(77)).collect(),
-            })
-        }
+            }),
+            Payload::QueryReply {
+                shard,
+                round,
+                client,
+                qid,
+                value,
+            } => Some(Payload::QueryReply {
+                shard,
+                round,
+                client,
+                qid,
+                value: value.into_iter().map(|v| v.wrapping_add(77)).collect(),
+            }),
+            other => Some(other),
+        },
         BehaviorKind::Honest | BehaviorKind::Impersonate => Some(reply),
     }
 }
@@ -760,11 +1114,78 @@ mod tests {
             seq: 0,
             output: vec![110, 110],
         };
-        adm.record_done(&entry(&reg, 8, 0, 0, vec![10]), reply.clone());
+        adm.record_done(&entry(&reg, 8, 0, 0, vec![10]), reply.clone(), 64);
         assert_eq!(adm.queue.len(), 1);
         let replays = adm.admit(vec![submit(8, 0, 0, 10)], 2, 1, &cfg);
         assert_eq!(replays, vec![(8, reply)]);
         assert_eq!(adm.stats.replayed, 1);
+    }
+
+    #[test]
+    fn long_lived_client_cannot_grow_the_reply_cache() {
+        // one client retires 500 sequential commands, retrying each once:
+        // the dedup horizon stays a single u64 and the payload cache never
+        // holds more than the one unacknowledged reply
+        let reg = registry();
+        let submit = |seq: u64| {
+            Frame::sign(
+                Payload::Submit {
+                    shard: 0,
+                    client: 8,
+                    seq,
+                    command: vec![1],
+                },
+                &reg,
+                NodeId(8),
+            )
+        };
+        let cfg = test_cfg(64);
+        let mut adm = Admission::default();
+        for seq in 0..500u64 {
+            adm.admit(vec![submit(seq)], 1, 1, &cfg);
+            let reply = Payload::Reply {
+                shard: 0,
+                round: seq,
+                client: 8,
+                seq,
+                output: vec![seq, seq],
+            };
+            adm.record_done(&entry(&reg, 8, seq, 0, vec![1]), reply, cfg.reply_cache_cap);
+            // retry of the just-committed command is answered from cache
+            let replays = adm.admit(vec![submit(seq)], 1, 1, &cfg);
+            assert_eq!(replays.len(), 1, "seq {seq} replay");
+            // lifetime-bounded state: one horizon entry, at most one
+            // cached payload, no pending-count residue
+            assert_eq!(adm.horizon.len(), 1);
+            assert!(adm.replies.len() <= 1, "cache grew at seq {seq}");
+            assert!(adm.pending_per_client.len() <= 1);
+        }
+        assert!(adm.pending_per_client.is_empty(), "no residue at rest");
+        // the next submission implicitly acks seq 499: the payload goes too
+        adm.admit(vec![submit(500)], 1, 1, &cfg);
+        assert_eq!(adm.replies.len(), 0);
+        assert_eq!(adm.horizon.get(&8), Some(&499));
+    }
+
+    #[test]
+    fn reply_cache_cap_evicts_oldest_clients() {
+        let mut cache = ReplyCache::default();
+        let reply = |client: u64| Payload::Reply {
+            shard: 0,
+            round: 0,
+            client,
+            seq: 0,
+            output: vec![1],
+        };
+        for client in 0..100u64 {
+            cache.insert(client, 0, reply(client), 16);
+            assert!(cache.len() <= 16, "cap violated at client {client}");
+        }
+        // the newest entries survive, the oldest were evicted
+        assert!(cache.get(99, 0).is_some());
+        assert!(cache.get(0, 0).is_none());
+        // order markers are bounded too (stale markers are pruned)
+        assert!(cache.order.len() <= 32);
     }
 
     #[test]

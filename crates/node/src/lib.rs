@@ -16,21 +16,29 @@
 //!   staging overlapped with round `t`'s execution (§2.2).
 //! * [`gateway::run_gateway`] — the client-serving loop: admit external
 //!   `Submit` frames, agree each round's batch behind a rotating leader,
-//!   and fan `Reply` frames back to clients after commit (the §1/§3
-//!   deployment model; the client side is the `csm-client` crate).
+//!   answer read-only `Query` frames from committed state, and fan
+//!   `Reply` frames back to clients after commit (the §1/§3 deployment
+//!   model; the client side is the `csm-client` crate).
+//! * [`recovery::run_durable_gateway`] — the same loop with durable coded
+//!   state (`csm-storage`): write-ahead log before every
+//!   acknowledgement, periodic coded-state snapshots, and crash
+//!   recovery/rejoin via `snapshot + WAL` replay plus `b + 1`-verified
+//!   state transfer from peers.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod gateway;
 pub mod pipeline;
+pub mod recovery;
 pub mod runtime;
 
 pub use csm_core::digest::digest_results;
 pub use csm_core::engine::{CodedMachine, DecodedRound, RoundCommit, RoundEngine};
 pub use gateway::{run_gateway, GatewayConfig, GatewayReport, GatewaySpec, GatewayStats};
 pub use pipeline::{run_pipelined, PipelineConfig, PipelineReport};
-pub use runtime::{ExchangeTiming, NodeRuntime};
+pub use recovery::{run_durable_gateway, store_fingerprint, DurabilityConfig, RecoveryInfo};
+pub use runtime::{ExchangeTiming, NodeRuntime, VerifiedState};
 
 use csm_algebra::{Field, Fp61, Gf2_16};
 use csm_core::digest::splitmix64;

@@ -42,6 +42,38 @@ const PENDING_MAX_VALUES: usize = 4096;
 /// unadmitted traffic can never grow a node's memory without bound.
 const CLIENT_INBOX_CAP: usize = 8192;
 
+/// Cap on buffered client `Query` frames awaiting the gateway's read
+/// pass — same backpressure story as the submit inbox.
+const QUERY_INBOX_CAP: usize = 8192;
+
+/// A peer's answer to a state-transfer request, as buffered by
+/// [`NodeRuntime::absorb`]: one slot per peer (its latest answer wins),
+/// so `b` Byzantine peers can occupy at most `b` slots and can never
+/// evict honest answers.
+#[derive(Debug, Clone)]
+struct ChunkEntry {
+    round: u64,
+    digest: u64,
+    results: Vec<Vec<u64>>,
+}
+
+/// A state transfer that passed the `b + 1` acceptance rule: at least
+/// `b + 1` distinct peers vouched for `(round, digest)` and the carried
+/// results hash to that digest, so with at most `b` Byzantine peers the
+/// state is honest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifiedState {
+    /// The committed round the state reflects (the rejoiner resumes at
+    /// `round + 1`).
+    pub round: u64,
+    /// The round's commit digest.
+    pub digest: u64,
+    /// Canonical per-machine flat results `(S_k(t+1), Y_k(t))`.
+    pub results: Vec<Vec<u64>>,
+    /// How many peers vouched for `(round, digest)`.
+    pub matching: usize,
+}
+
 /// Timing and synchrony parameters of the exchange.
 #[derive(Debug, Clone)]
 pub struct ExchangeTiming {
@@ -118,6 +150,16 @@ pub struct NodeRuntime<T: Transport> {
     client_inbox: VecDeque<Frame>,
     /// `Submit` frames dropped because the inbox was full.
     inbox_dropped: u64,
+    /// Authenticated client `Query` frames awaiting the gateway's read
+    /// pass (bounded by [`QUERY_INBOX_CAP`]).
+    query_inbox: VecDeque<Frame>,
+    /// `Query` frames dropped because the inbox was full.
+    query_dropped: u64,
+    /// Pending peer state-transfer requests: requester → the first round
+    /// it is missing (last request wins; at most one slot per peer).
+    state_requests: BTreeMap<usize, u64>,
+    /// Buffered state-transfer answers, one slot per answering peer.
+    state_chunks: BTreeMap<usize, ChunkEntry>,
     /// Highest round already run; results at or below it are stale.
     finished_round: Option<u64>,
 }
@@ -157,6 +199,10 @@ impl<T: Transport> NodeRuntime<T> {
             stages: BTreeMap::new(),
             client_inbox: VecDeque::new(),
             inbox_dropped: 0,
+            query_inbox: VecDeque::new(),
+            query_dropped: 0,
+            state_requests: BTreeMap::new(),
+            state_chunks: BTreeMap::new(),
             finished_round: None,
         }
     }
@@ -175,6 +221,13 @@ impl<T: Transport> NodeRuntime<T> {
     /// Access to the underlying transport (e.g. for stats).
     pub fn transport(&self) -> &T {
         &self.transport
+    }
+
+    /// Consumes the runtime, returning the transport endpoint — how a
+    /// durable gateway hands the (still-connected) endpoint back to its
+    /// supervisor across a simulated crash/restart.
+    pub fn into_transport(self) -> T {
+        self.transport
     }
 
     /// Runs one §5.2 exchange round: sends this node's result per
@@ -309,7 +362,11 @@ impl<T: Transport> NodeRuntime<T> {
         // peers; a client key must not be able to inject protocol state
         let from_cluster = frame.sig.signer.0 < self.cluster;
         match &frame.payload {
-            Payload::Result { .. } | Payload::Commit { .. } | Payload::Stage { .. }
+            Payload::Result { .. }
+            | Payload::Commit { .. }
+            | Payload::Stage { .. }
+            | Payload::StateRequest { .. }
+            | Payload::StateChunk { .. }
                 if !from_cluster =>
             {
                 // drop: protocol frame signed by a non-cluster identity
@@ -389,8 +446,50 @@ impl<T: Transport> NodeRuntime<T> {
                 }
                 self.client_inbox.push_back(frame);
             }
+            Payload::StateRequest { from_round } => {
+                // one slot per requesting peer (identity = MAC signer):
+                // bounded by the cluster size, last request wins
+                let signer = frame.sig.signer.0;
+                if signer != self.id().0 {
+                    self.state_requests.insert(signer, *from_round);
+                }
+            }
+            Payload::StateChunk {
+                round,
+                digest,
+                results,
+            } => {
+                // one slot per answering peer: a Byzantine peer can only
+                // ever occupy its own slot, never evict honest answers;
+                // oversized results are not retained
+                let size: usize = results.len() + results.iter().map(Vec::len).sum::<usize>();
+                if size > PENDING_MAX_VALUES {
+                    return;
+                }
+                self.state_chunks.insert(
+                    frame.sig.signer.0,
+                    ChunkEntry {
+                        round: *round,
+                        digest: *digest,
+                        results: results.clone(),
+                    },
+                );
+            }
+            Payload::Query { client, .. } => {
+                // same identity binding as Submit: the claimed client must
+                // be the MAC signer and a client id
+                let signer = frame.sig.signer.0 as u64;
+                if *client != signer || (signer as usize) < self.cluster {
+                    return;
+                }
+                if self.query_inbox.len() >= QUERY_INBOX_CAP {
+                    self.query_dropped += 1;
+                    return;
+                }
+                self.query_inbox.push_back(frame);
+            }
             // replies are client-bound; a node receiving one drops it
-            Payload::Reply { .. } => {}
+            Payload::Reply { .. } | Payload::QueryReply { .. } => {}
             Payload::Ping { .. } => {}
         }
     }
@@ -547,6 +646,141 @@ impl<T: Transport> NodeRuntime<T> {
     /// bound, but not yet admitted — that's the gateway's job).
     pub fn take_client_frames(&mut self) -> Vec<Frame> {
         self.client_inbox.drain(..).collect()
+    }
+
+    /// Drains the buffered client `Query` frames (authenticated, identity
+    /// bound).
+    pub fn take_query_frames(&mut self) -> Vec<Frame> {
+        self.query_inbox.drain(..).collect()
+    }
+
+    /// How many client queries were dropped at the inbox cap.
+    pub fn query_dropped(&self) -> u64 {
+        self.query_dropped
+    }
+
+    /// Drains the pending peer state-transfer requests as
+    /// `(requester, from_round)` pairs.
+    pub fn take_state_requests(&mut self) -> Vec<(usize, u64)> {
+        std::mem::take(&mut self.state_requests)
+            .into_iter()
+            .collect()
+    }
+
+    /// Broadcasts a state-transfer request to the cluster, asking peers
+    /// for their latest committed state (this node's durable frontier is
+    /// `from_round`). Answers arrive as `StateChunk` frames and are
+    /// buffered; apply the `b + 1` rule with [`Self::verified_state`].
+    pub fn request_state(&mut self, from_round: u64) {
+        let me = self.id();
+        let frame = Frame::sign(Payload::StateRequest { from_round }, &self.registry, me);
+        let _ = self.transport.broadcast_upto(self.cluster, &frame);
+    }
+
+    /// Applies the Byzantine acceptance rule to the buffered state
+    /// chunks: the *highest* round for which at least `need = b + 1`
+    /// distinct peers vouch for the same `(round, digest)` **and** some
+    /// vouched chunk's results actually hash to that digest (a Byzantine
+    /// peer may vote for the honest digest while shipping garbage bytes —
+    /// its chunk is skipped, an honest voucher's chunk is used). Only
+    /// rounds `>= min_round` are considered.
+    pub fn verified_state<F: Field>(&self, need: usize, min_round: u64) -> Option<VerifiedState> {
+        let mut tally: BTreeMap<(u64, u64), Vec<usize>> = BTreeMap::new();
+        for (&peer, chunk) in &self.state_chunks {
+            if chunk.round >= min_round {
+                tally
+                    .entry((chunk.round, chunk.digest))
+                    .or_default()
+                    .push(peer);
+            }
+        }
+        for (&(round, digest), peers) in tally.iter().rev() {
+            if peers.len() < need {
+                continue;
+            }
+            for &peer in peers {
+                let chunk = &self.state_chunks[&peer];
+                let results: Vec<Vec<F>> = chunk
+                    .results
+                    .iter()
+                    .map(|row| row.iter().map(|&v| F::from_u64(v)).collect())
+                    .collect();
+                if csm_core::digest::digest_results(&results) == digest {
+                    return Some(VerifiedState {
+                        round,
+                        digest,
+                        results: chunk.results.clone(),
+                        matching: peers.len(),
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    /// Requests a state transfer and pumps inbound frames until a
+    /// `need`-verified state at round `>= min_round` is held (or
+    /// `timeout` passes). Other frame types absorbed along the way are
+    /// buffered normally.
+    pub fn wait_for_verified_state<F: Field>(
+        &mut self,
+        need: usize,
+        min_round: u64,
+        timeout: Duration,
+    ) -> Option<VerifiedState> {
+        self.state_chunks.clear(); // stale answers must not satisfy the rule
+        self.request_state(min_round);
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(vs) = self.verified_state::<F>(need, min_round) {
+                return Some(vs);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            match self.transport.recv_timeout(deadline - now) {
+                Ok(frame) => self.absorb(frame),
+                Err(_) => return None,
+            }
+        }
+    }
+
+    /// Marks every round below `next_round` as already finished — the
+    /// crash-recovery resume point. Stale buffered results/stages for
+    /// replayed rounds are discarded, and the absorb window re-anchors at
+    /// the resumed round instead of round zero.
+    pub fn resume_at(&mut self, next_round: u64) {
+        let Some(finished) = next_round.checked_sub(1) else {
+            return;
+        };
+        let finished = self.finished_round.map_or(finished, |f| f.max(finished));
+        self.finished_round = Some(finished);
+        self.pending = self.pending.split_off(&(finished + 1));
+        self.stages = self.stages.split_off(&(finished + 1));
+        self.commits = self
+            .commits
+            .split_off(&finished.saturating_sub(ROUND_LOOKAHEAD));
+    }
+
+    /// The highest round for which at least `need` *other* cluster nodes
+    /// announced the same commit digest, with that digest — how a durable
+    /// gateway notices the cluster has committed past it (it must resync
+    /// before participating again).
+    pub fn commit_quorum_frontier(&self, need: usize) -> Option<(u64, u64)> {
+        let me = self.id().0;
+        for (&round, votes) in self.commits.iter().rev() {
+            let mut tallies: BTreeMap<u64, usize> = BTreeMap::new();
+            for (&node, &digest) in votes {
+                if node != me {
+                    *tallies.entry(digest).or_insert(0) += 1;
+                }
+            }
+            if let Some((&digest, _)) = tallies.iter().find(|(_, &c)| c >= need) {
+                return Some((round, digest));
+            }
+        }
+        None
     }
 
     /// The commit digests announced for `round`, by announcing node (as

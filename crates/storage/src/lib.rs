@@ -1,0 +1,33 @@
+//! # csm-storage
+//!
+//! Durable coded state for CSM nodes: a CRC-framed **write-ahead commit
+//! log** ([`wal`]), atomic **coded-state snapshots** ([`snapshot`]), and
+//! the per-node [`NodeStore`] combining them ([`store`]).
+//!
+//! The paper's cost model assumes each node holds its coded shard
+//! `u(α_i)` forever; this crate is what makes that survivable — a node
+//! logs each committed round (batch, digest, coded-state delta) before
+//! acknowledging it, checkpoints the full coded word periodically, and on
+//! restart replays `snapshot + log` back to the last durable round. The
+//! coded representation is exactly what keeps recovery cheap (Fused State
+//! Machines): the durable unit is one machine-state-wide coded word, not
+//! `K` full replicas.
+//!
+//! Everything here is field-agnostic: state travels in canonical `u64`
+//! form ([`csm_transport::Wire`]), and the [`Snapshot::fingerprint`]
+//! binds a store to the coded machine + node + genesis it was written
+//! under. The recovery *protocol* (replaying deltas, catching up from
+//! peers' `b + 1`-verified state chunks) lives in `csm-node`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod crc;
+pub mod snapshot;
+pub mod store;
+pub mod wal;
+
+pub use crc::crc32;
+pub use snapshot::Snapshot;
+pub use store::{NodeStore, Recovered};
+pub use wal::{CommitRecord, WalRecovery, WriteAheadLog};

@@ -1,0 +1,201 @@
+//! [`NodeStore`]: one node's durable state — a snapshot plus the
+//! write-ahead commit log of every round since it.
+//!
+//! The durability contract (what `csm-node`'s recovery path relies on):
+//!
+//! 1. [`NodeStore::append_commit`] fsyncs the round's record *before* the
+//!    caller acknowledges the round to anyone;
+//! 2. [`NodeStore::install_snapshot`] writes the snapshot atomically and
+//!    only then truncates the log — a crash at any instant leaves
+//!    `snapshot + log` covering every acknowledged round;
+//! 3. [`NodeStore::open`] repairs a torn log tail by truncation and
+//!    refuses (errors) on a corrupt snapshot or a fingerprint mismatch,
+//!    so a node can never silently resurrect under the wrong machine.
+
+use crate::snapshot::Snapshot;
+use crate::wal::{CommitRecord, WalRecovery, WriteAheadLog};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// File name of the live snapshot inside a store directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.csm";
+/// File name of the write-ahead commit log inside a store directory.
+pub const WAL_FILE: &str = "wal.csm";
+
+/// What [`NodeStore::open`] recovered from disk.
+#[derive(Debug)]
+pub struct Recovered {
+    /// The durable checkpoint, if one was ever installed.
+    pub snapshot: Option<Snapshot>,
+    /// The valid log prefix (rounds since the snapshot; may contain stale
+    /// pre-snapshot records if a crash hit between snapshot install and
+    /// log truncation — replay filters by round).
+    pub records: Vec<CommitRecord>,
+    /// Whether a torn/corrupt log tail was discarded.
+    pub torn_tail: bool,
+}
+
+impl Recovered {
+    /// Whether the store held no durable state at all (first boot).
+    pub fn is_fresh(&self) -> bool {
+        self.snapshot.is_none() && self.records.is_empty()
+    }
+}
+
+/// One node's durable storage directory.
+#[derive(Debug)]
+pub struct NodeStore {
+    dir: PathBuf,
+    wal: WriteAheadLog,
+    fingerprint: u64,
+}
+
+impl NodeStore {
+    /// Opens (creating if needed) the store at `dir` for a machine with
+    /// the given fingerprint, recovering whatever is durable.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures; a corrupt snapshot; a snapshot written under a
+    /// different fingerprint (wrong machine/node/genesis — refusing is
+    /// the only safe answer).
+    pub fn open(dir: &Path, fingerprint: u64) -> io::Result<(Self, Recovered)> {
+        std::fs::create_dir_all(dir)?;
+        let snapshot = Snapshot::load(&dir.join(SNAPSHOT_FILE))?;
+        if let Some(s) = &snapshot {
+            if s.fingerprint != fingerprint {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "store {} was written for fingerprint {:#x}, not {:#x}",
+                        dir.display(),
+                        s.fingerprint,
+                        fingerprint
+                    ),
+                ));
+            }
+        }
+        let (wal, WalRecovery { records, torn_tail }) =
+            WriteAheadLog::recover(&dir.join(WAL_FILE))?;
+        let store = NodeStore {
+            dir: dir.to_path_buf(),
+            wal,
+            fingerprint,
+        };
+        Ok((
+            store,
+            Recovered {
+                snapshot,
+                records,
+                torn_tail,
+            },
+        ))
+    }
+
+    /// Appends (and fsyncs) one committed round. Must return `Ok` before
+    /// the round is acknowledged anywhere.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write/fsync failures.
+    pub fn append_commit(&mut self, rec: &CommitRecord) -> io::Result<()> {
+        self.wal.append(rec)
+    }
+
+    /// Atomically installs a checkpoint (`round` = next round to run,
+    /// `coded_state` canonical, `horizons` = per-client committed-seq
+    /// dedup horizons) and truncates the log it covers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; on error the previous snapshot + log are
+    /// still a complete recovery source.
+    pub fn install_snapshot(
+        &mut self,
+        round: u64,
+        coded_state: Vec<u64>,
+        horizons: Vec<(u64, u64)>,
+    ) -> io::Result<()> {
+        let snap = Snapshot {
+            fingerprint: self.fingerprint,
+            round,
+            coded_state,
+            horizons,
+        };
+        snap.write(&self.dir.join(SNAPSHOT_FILE))?;
+        self.wal.reset()
+    }
+
+    /// Records currently in the log (since the last snapshot).
+    pub fn wal_records(&self) -> u64 {
+        self.wal.records()
+    }
+
+    /// Bytes currently in the log.
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal.bytes()
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The fingerprint this store is bound to.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("csm-store-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn rec(round: u64) -> CommitRecord {
+        CommitRecord {
+            round,
+            digest: round * 3 + 1,
+            batch: vec![],
+            state_delta: vec![round],
+        }
+    }
+
+    #[test]
+    fn snapshot_truncates_log_and_survives_reopen() {
+        let dir = tmp("cycle");
+        let (mut store, r) = NodeStore::open(&dir, 0xAB).unwrap();
+        assert!(r.is_fresh());
+        for round in 0..4 {
+            store.append_commit(&rec(round)).unwrap();
+        }
+        store
+            .install_snapshot(4, vec![10, 20], vec![(8, 3)])
+            .unwrap();
+        store.append_commit(&rec(4)).unwrap();
+        drop(store);
+
+        let (store, r) = NodeStore::open(&dir, 0xAB).unwrap();
+        let snap = r.snapshot.expect("snapshot present");
+        assert_eq!(snap.round, 4);
+        assert_eq!(snap.coded_state, vec![10, 20]);
+        assert_eq!(snap.horizons, vec![(8, 3)]);
+        assert_eq!(r.records, vec![rec(4)]);
+        assert_eq!(store.wal_records(), 1);
+    }
+
+    #[test]
+    fn wrong_fingerprint_refused() {
+        let dir = tmp("fingerprint");
+        let (mut store, _) = NodeStore::open(&dir, 1).unwrap();
+        store.install_snapshot(1, vec![7], vec![]).unwrap();
+        drop(store);
+        let err = NodeStore::open(&dir, 2).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

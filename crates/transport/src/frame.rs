@@ -103,6 +103,59 @@ pub enum Payload {
         /// `(S'(t+1), Y(t))`.
         output: Vec<u64>,
     },
+    /// A rejoining node asking its peers for the cluster's latest durable
+    /// state (crash recovery / rejoin). The requester is the MAC signer;
+    /// peers answer with [`Payload::StateChunk`].
+    StateRequest {
+        /// The first round the requester is missing (its locally-replayed
+        /// `snapshot + log` frontier) — peers with nothing newer need not
+        /// answer.
+        from_round: u64,
+    },
+    /// One peer's answer to a [`Payload::StateRequest`]: its latest
+    /// committed round's decoded results, from which any node can
+    /// re-encode its own coded shard. The rejoiner accepts a round's
+    /// state only once `b + 1` distinct peers agree on `(round, digest)`
+    /// *and* the carried results hash to that digest — at most `b` peers
+    /// are Byzantine, so agreement proves an honest vouching and a forged
+    /// chunk can never be installed.
+    StateChunk {
+        /// The last committed round the state reflects.
+        round: u64,
+        /// The round's commit digest (what honest nodes gossiped).
+        digest: u64,
+        /// Canonical per-machine flat results `(S_k(t+1), Y_k(t))` of
+        /// that round.
+        results: Vec<Vec<u64>>,
+    },
+    /// A read-only client query against a shard's *committed, durable*
+    /// state (no round is consumed). The signer is the client; nodes bind
+    /// the wire identity to `client` exactly as for `Submit`.
+    Query {
+        /// Queried state machine (shard) index.
+        shard: u64,
+        /// Querying client's registry id (must equal the MAC signer).
+        client: u64,
+        /// Client-chosen query id echoed in the reply (distinguishes
+        /// concurrent/retried queries; no dedup semantics).
+        qid: u64,
+    },
+    /// A node's answer to a [`Payload::Query`]: the shard's decoded state
+    /// at the node's latest committed (durable) round. Clients accept at
+    /// `b + 1` bit-identical `(round, value)` replies, so a read can
+    /// never observe a state no honest node logged.
+    QueryReply {
+        /// The queried shard.
+        shard: u64,
+        /// The committed round the value is taken from.
+        round: u64,
+        /// The client the reply is addressed to.
+        client: u64,
+        /// Echo of the query id.
+        qid: u64,
+        /// Canonical field-element encoding of the shard state `S_k`.
+        value: Vec<u64>,
+    },
 }
 
 const TAG_RESULT: u8 = 0;
@@ -111,6 +164,10 @@ const TAG_PING: u8 = 2;
 const TAG_STAGE: u8 = 3;
 const TAG_SUBMIT: u8 = 4;
 const TAG_REPLY: u8 = 5;
+const TAG_STATE_REQUEST: u8 = 6;
+const TAG_STATE_CHUNK: u8 = 7;
+const TAG_QUERY: u8 = 8;
+const TAG_QUERY_REPLY: u8 = 9;
 
 impl Wire for Payload {
     fn encode(&self, out: &mut Vec<u8>) {
@@ -175,6 +232,40 @@ impl Wire for Payload {
                 seq.encode(out);
                 output.encode(out);
             }
+            Payload::StateRequest { from_round } => {
+                out.push(TAG_STATE_REQUEST);
+                from_round.encode(out);
+            }
+            Payload::StateChunk {
+                round,
+                digest,
+                results,
+            } => {
+                out.push(TAG_STATE_CHUNK);
+                round.encode(out);
+                digest.encode(out);
+                results.encode(out);
+            }
+            Payload::Query { shard, client, qid } => {
+                out.push(TAG_QUERY);
+                shard.encode(out);
+                client.encode(out);
+                qid.encode(out);
+            }
+            Payload::QueryReply {
+                shard,
+                round,
+                client,
+                qid,
+                value,
+            } => {
+                out.push(TAG_QUERY_REPLY);
+                shard.encode(out);
+                round.encode(out);
+                client.encode(out);
+                qid.encode(out);
+                value.encode(out);
+            }
         }
     }
 
@@ -210,6 +301,26 @@ impl Wire for Payload {
                 client: u64::decode(r)?,
                 seq: u64::decode(r)?,
                 output: Vec::<u64>::decode(r)?,
+            }),
+            TAG_STATE_REQUEST => Ok(Payload::StateRequest {
+                from_round: u64::decode(r)?,
+            }),
+            TAG_STATE_CHUNK => Ok(Payload::StateChunk {
+                round: u64::decode(r)?,
+                digest: u64::decode(r)?,
+                results: Vec::<Vec<u64>>::decode(r)?,
+            }),
+            TAG_QUERY => Ok(Payload::Query {
+                shard: u64::decode(r)?,
+                client: u64::decode(r)?,
+                qid: u64::decode(r)?,
+            }),
+            TAG_QUERY_REPLY => Ok(Payload::QueryReply {
+                shard: u64::decode(r)?,
+                round: u64::decode(r)?,
+                client: u64::decode(r)?,
+                qid: u64::decode(r)?,
+                value: Vec::<u64>::decode(r)?,
             }),
             t => Err(WireError::UnknownTag(t)),
         }
@@ -406,6 +517,24 @@ mod tests {
                 client: 9,
                 seq: 17,
                 output: vec![350, 350],
+            },
+            Payload::StateRequest { from_round: 12 },
+            Payload::StateChunk {
+                round: 11,
+                digest: 0xD1CE,
+                results: vec![vec![110, 110], vec![220, 220]],
+            },
+            Payload::Query {
+                shard: 1,
+                client: 9,
+                qid: 3,
+            },
+            Payload::QueryReply {
+                shard: 1,
+                round: 11,
+                client: 9,
+                qid: 3,
+                value: vec![220],
             },
         ]
     }

@@ -39,6 +39,7 @@ pub use wire::{Wire, WireError, WireReader};
 use csm_network::NodeId;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Failure sending a frame.
@@ -165,4 +166,35 @@ pub trait Transport: Send {
 
     /// Inbound-path counters.
     fn stats(&self) -> &TransportStats;
+}
+
+/// A shared endpoint is still an endpoint: every [`Transport`] method
+/// takes `&self`, so an `Arc`-held transport can be driven by a node
+/// runtime while an external supervisor keeps a handle to it (e.g. to
+/// update a restarted peer's address mid-run — the crash-recovery
+/// harness's rejoin path).
+impl<T: Transport + Sync> Transport for Arc<T> {
+    fn local_id(&self) -> NodeId {
+        (**self).local_id()
+    }
+
+    fn n(&self) -> usize {
+        (**self).n()
+    }
+
+    fn send(&self, to: NodeId, frame: Frame) -> Result<(), SendError> {
+        (**self).send(to, frame)
+    }
+
+    fn broadcast_upto(&self, limit: usize, frame: &Frame) -> Result<(), SendError> {
+        (**self).broadcast_upto(limit, frame)
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Frame, RecvError> {
+        (**self).recv_timeout(timeout)
+    }
+
+    fn stats(&self) -> &TransportStats {
+        (**self).stats()
+    }
 }

@@ -204,6 +204,18 @@ impl Wire for String {
     }
 }
 
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    const MIN_ENCODED_SIZE: usize = A::MIN_ENCODED_SIZE + B::MIN_ENCODED_SIZE;
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
 impl<T: Wire> Wire for Option<T> {
     fn encode(&self, out: &mut Vec<u8>) {
         match self {

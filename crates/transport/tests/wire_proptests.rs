@@ -45,6 +45,33 @@ fn payload() -> impl Strategy<Value = Payload> {
                 sender,
                 commands
             }),
+        any::<u64>().prop_map(|from_round| Payload::StateRequest { from_round }),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            prop::collection::vec(prop::collection::vec(any::<u64>(), 0..4), 0..5)
+        )
+            .prop_map(|(round, digest, results)| Payload::StateChunk {
+                round,
+                digest,
+                results
+            }),
+        (any::<u64>(), any::<u64>(), any::<u64>())
+            .prop_map(|(shard, client, qid)| { Payload::Query { shard, client, qid } }),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            prop::collection::vec(any::<u64>(), 0..6)
+        )
+            .prop_map(|(shard, round, client, qid, value)| Payload::QueryReply {
+                shard,
+                round,
+                client,
+                qid,
+                value
+            }),
     ]
 }
 

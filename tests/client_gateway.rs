@@ -172,6 +172,88 @@ fn wait_reply<T: Transport>(client: &T, cluster: usize, need: usize) -> Vec<u64>
 }
 
 #[test]
+fn read_only_queries_observe_only_committed_state() {
+    // a client deposits, then reads: the b + 1-matching query must return
+    // the committed balance at a committed round — with node 0 corrupting
+    // its query replies, the quorum still only ever accepts the honest
+    // value. Reads consume no rounds and need no sequence numbers.
+    let cluster = 6;
+    let b = 1;
+    let shards = 2;
+    let registry = mesh_registry(cluster, 1, 31);
+    let mut mesh = MemMesh::build(std::sync::Arc::clone(&registry));
+    let client_tx = mesh.split_off(cluster).remove(0);
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for (id, transport) in mesh.into_iter().enumerate() {
+        let registry = std::sync::Arc::clone(&registry);
+        let stop = std::sync::Arc::clone(&stop);
+        let machine = std::sync::Arc::new(
+            csm_node::CodedMachine::<coded_state_machine::algebra::Fp61>::new(
+                cluster,
+                shards,
+                coded_state_machine::statemachine::machines::bank_machine(),
+                coded_state_machine::csm::DecoderKind::default(),
+            )
+            .unwrap(),
+        );
+        let spec = csm_node::GatewaySpec {
+            machine,
+            initial_states: (0..shards)
+                .map(|s| {
+                    vec![coded_state_machine::algebra::Field::from_u64(
+                        WorkloadConfig::initial_balance(s),
+                    )]
+                })
+                .collect(),
+            behavior: if id == 0 {
+                BehaviorKind::Equivocate
+            } else {
+                BehaviorKind::Honest
+            },
+        };
+        let timing = csm_node::ExchangeTiming::synchronous(b, Duration::from_millis(40))
+            .with_full_finalize();
+        let gw = csm_node::GatewayConfig::new(cluster, b, &timing);
+        handles.push(std::thread::spawn(move || {
+            csm_node::run_gateway(transport, registry, timing, &spec, &gw, &stop)
+        }));
+    }
+    let client_cfg = csm_client::ClientConfig::new(cluster, b, Duration::from_millis(800));
+    let mut client =
+        csm_client::CsmClient::new(client_tx, std::sync::Arc::clone(&registry), client_cfg);
+
+    // deposit 40 into shard 1, then read both shards. A first-to-threshold
+    // quorum of lagging-but-honest nodes may legitimately answer with the
+    // pre-deposit round, so read-your-write is obtained the documented
+    // way: re-query until the read round reaches the write's round.
+    let receipt = client.submit(1, vec![40]).expect("deposit commits");
+    assert_eq!(receipt.output, vec![240, 240]);
+    let read1 = loop {
+        let read = client.query(1).expect("read quorum");
+        assert!(read.matching > b);
+        if read.round >= receipt.round {
+            break read;
+        }
+        // a stale read is still a committed state, never a fabricated one
+        assert_eq!(read.value, vec![200], "stale read off the commit chain");
+    };
+    assert_eq!(
+        read1.value,
+        vec![240],
+        "read observes the committed deposit"
+    );
+    let read0 = client.query(0).expect("read quorum");
+    assert_eq!(read0.value, vec![100], "untouched shard reads its genesis");
+    assert!(read0.matching > b);
+
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let reports: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let answered: u64 = reports.iter().map(|r| r.stats.queries_answered).sum();
+    assert!(answered >= 2, "nodes answered the queries");
+}
+
+#[test]
 fn flood_is_rejected_without_losing_the_admitted_commands() {
     // one client floods 40 submissions at a gateway capped at 4 pending;
     // the overflow is dropped (backpressure), the admitted ones commit,
