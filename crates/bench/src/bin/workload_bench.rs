@@ -20,6 +20,7 @@ use csm_bench::workload::{
     one_equivocator_one_withholder, run_mem_workload, run_tcp_workload, verify_bank_outcome,
     WorkloadConfig, WorkloadOutcome,
 };
+use csm_node::ConsensusKind;
 use std::time::Duration;
 
 const N: usize = 8;
@@ -33,6 +34,7 @@ const BYZANTINE: [usize; 2] = [0, 1];
 #[derive(Debug)]
 struct Row {
     backend: &'static str,
+    consensus: ConsensusKind,
     clients: usize,
     commands: u64,
     committed: u64,
@@ -43,7 +45,12 @@ struct Row {
     wall_ms: f64,
 }
 
-fn run_config(backend: &'static str, clients: usize, commands_per_client: usize) -> Row {
+fn run_config(
+    backend: &'static str,
+    consensus: ConsensusKind,
+    clients: usize,
+    commands_per_client: usize,
+) -> Row {
     let cfg = WorkloadConfig {
         cluster: N,
         shards: K,
@@ -53,17 +60,19 @@ fn run_config(backend: &'static str, clients: usize, commands_per_client: usize)
         delta: DELTA,
         queue_cap: 4096,
         seed: SEED,
+        consensus,
     };
     let outcome: WorkloadOutcome = match backend {
         "mem-mesh" => run_mem_workload(&cfg, one_equivocator_one_withholder),
         "tcp" => run_tcp_workload(&cfg, one_equivocator_one_withholder),
         _ => unreachable!("unknown backend"),
     };
-    verify_bank_outcome(&cfg, &outcome, &BYZANTINE)
-        .unwrap_or_else(|e| panic!("{backend}/{clients} clients failed verification: {e}"));
+    verify_bank_outcome(&cfg, &outcome, &BYZANTINE).unwrap_or_else(|e| {
+        panic!("{backend}/{consensus}/{clients} clients failed verification: {e}")
+    });
     let lat = outcome.merged_latencies();
     eprintln!(
-        "{backend}: {clients} clients x {commands_per_client} cmds -> {} committed, \
+        "{backend}/{consensus}: {clients} clients x {commands_per_client} cmds -> {} committed, \
          p50 {:.0}ms p99 {:.0}ms, {:.1} cmds/s",
         outcome.committed(),
         lat.p50().as_secs_f64() * 1e3,
@@ -72,6 +81,7 @@ fn run_config(backend: &'static str, clients: usize, commands_per_client: usize)
     );
     Row {
         backend,
+        consensus,
         clients,
         commands: (clients * commands_per_client) as u64,
         committed: outcome.committed(),
@@ -87,16 +97,22 @@ fn main() {
     // CI smoke keeps the fleet small; the full run sweeps to 100 clients
     // per backend (the ROADMAP's client-scale baseline)
     let smoke = std::env::var("WORKLOAD_SMOKE").is_ok();
-    let sweeps: &[(usize, usize)] = if smoke {
-        &[(12, 1)]
-    } else {
-        &[(24, 2), (100, 2)]
-    };
-
+    // every consensus backend gets a row per transport; the 100-client
+    // scale row stays on the default backend so the full sweep's runtime
+    // stays bounded
+    let protocols = [
+        ConsensusKind::LeaderEcho,
+        ConsensusKind::DolevStrong,
+        ConsensusKind::Pbft,
+    ];
     let mut rows = Vec::new();
     for backend in ["mem-mesh", "tcp"] {
-        for &(clients, commands) in sweeps {
-            rows.push(run_config(backend, clients, commands));
+        for consensus in protocols {
+            let (clients, commands) = if smoke { (8, 1) } else { (24, 2) };
+            rows.push(run_config(backend, consensus, clients, commands));
+        }
+        if !smoke {
+            rows.push(run_config(backend, ConsensusKind::LeaderEcho, 100, 2));
         }
     }
 
@@ -111,10 +127,12 @@ fn main() {
     json.push_str("  \"configs\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"backend\": \"{}\", \"clients\": {}, \"commands\": {}, \
+            "    {{\"backend\": \"{}\", \"consensus\": \"{}\", \"clients\": {}, \
+             \"commands\": {}, \
              \"committed\": {}, \"p50_ms\": {:.1}, \"p99_ms\": {:.1}, \"max_ms\": {:.1}, \
              \"cmds_per_sec\": {:.1}, \"wall_ms\": {:.1}}}{}\n",
             r.backend,
+            r.consensus,
             r.clients,
             r.commands,
             r.committed,
@@ -137,6 +155,10 @@ fn main() {
     // hard guarantees, already checked per-config by verify_bank_outcome:
     // every submitted command committed despite the equivocator/withholder
     for r in &rows {
-        assert_eq!(r.committed, r.commands, "{}: lost commands", r.backend);
+        assert_eq!(
+            r.committed, r.commands,
+            "{}/{}: lost commands",
+            r.backend, r.consensus
+        );
     }
 }

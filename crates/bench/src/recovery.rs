@@ -89,6 +89,7 @@ impl RejoinConfig {
             delta: self.delta,
             queue_cap: 4096,
             seed: self.seed,
+            consensus: csm_node::ConsensusKind::LeaderEcho,
         }
     }
 }
@@ -149,6 +150,7 @@ fn bank_spec_for(cfg: &RejoinConfig, behavior: BehaviorKind) -> GatewaySpec<Fp61
             .map(|s| vec![Fp61::from_u64(WorkloadConfig::initial_balance(s))])
             .collect(),
         behavior,
+        staging_fault: csm_node::StagingFault::None,
     }
 }
 

@@ -14,8 +14,8 @@ use csm_core::metrics::LatencyHistogram;
 use csm_core::DecoderKind;
 use csm_network::auth::KeyRegistry;
 use csm_node::{
-    mesh_registry, run_gateway, BehaviorKind, CodedMachine, ExchangeTiming, GatewayConfig,
-    GatewayReport, GatewaySpec,
+    mesh_registry, run_gateway, BehaviorKind, CodedMachine, ConsensusKind, ExchangeTiming,
+    GatewayConfig, GatewayReport, GatewaySpec, StagingFault,
 };
 use csm_statemachine::machines::bank_machine;
 use csm_transport::mem::MemMesh;
@@ -46,6 +46,8 @@ pub struct WorkloadConfig {
     pub queue_cap: usize,
     /// Key/registry seed.
     pub seed: u64,
+    /// Which batch-consensus backend the gateways run.
+    pub consensus: ConsensusKind,
 }
 
 impl WorkloadConfig {
@@ -149,6 +151,26 @@ pub fn run_bank_workload<T: Transport + 'static>(
     cfg: &WorkloadConfig,
     behavior_of: impl Fn(usize) -> BehaviorKind,
 ) -> WorkloadOutcome {
+    run_bank_workload_with_faults(transports, registry, cfg, behavior_of, |_| {
+        StagingFault::None
+    })
+}
+
+/// [`run_bank_workload`] with per-node *staging* faults as well: how the
+/// consensus-backend tests inject a leader that equivocates on (or
+/// withholds) the batch itself.
+///
+/// # Panics
+///
+/// Panics if the transport count is not `cluster + clients` or a thread
+/// dies.
+pub fn run_bank_workload_with_faults<T: Transport + 'static>(
+    transports: Vec<T>,
+    registry: Arc<KeyRegistry>,
+    cfg: &WorkloadConfig,
+    behavior_of: impl Fn(usize) -> BehaviorKind,
+    staging_fault_of: impl Fn(usize) -> StagingFault,
+) -> WorkloadOutcome {
     assert_eq!(
         transports.len(),
         cfg.cluster + cfg.clients,
@@ -168,7 +190,8 @@ pub fn run_bank_workload<T: Transport + 'static>(
         .collect();
     let timing = ExchangeTiming::synchronous(cfg.assumed_faults, cfg.delta).with_full_finalize();
     let gw_cfg = {
-        let mut c = GatewayConfig::new(cfg.cluster, cfg.assumed_faults, &timing);
+        let mut c = GatewayConfig::new(cfg.cluster, cfg.assumed_faults, &timing)
+            .with_consensus(cfg.consensus);
         c.queue_cap = cfg.queue_cap;
         c
     };
@@ -187,6 +210,7 @@ pub fn run_bank_workload<T: Transport + 'static>(
             machine: Arc::clone(&machine),
             initial_states: initial_states.clone(),
             behavior: behavior_of(id),
+            staging_fault: staging_fault_of(id),
         };
         node_handles.push(
             thread::Builder::new()
@@ -259,9 +283,18 @@ pub fn run_mem_workload(
     cfg: &WorkloadConfig,
     behavior_of: impl Fn(usize) -> BehaviorKind,
 ) -> WorkloadOutcome {
+    run_mem_workload_with_faults(cfg, behavior_of, |_| StagingFault::None)
+}
+
+/// [`run_mem_workload`] with per-node staging faults.
+pub fn run_mem_workload_with_faults(
+    cfg: &WorkloadConfig,
+    behavior_of: impl Fn(usize) -> BehaviorKind,
+    staging_fault_of: impl Fn(usize) -> StagingFault,
+) -> WorkloadOutcome {
     let registry = mesh_registry(cfg.cluster, cfg.clients, cfg.seed);
     let transports = MemMesh::build(Arc::clone(&registry));
-    run_bank_workload(transports, registry, cfg, behavior_of)
+    run_bank_workload_with_faults(transports, registry, cfg, behavior_of, staging_fault_of)
 }
 
 /// Runs the workload on a loopback TCP mesh (real sockets end to end).
@@ -269,9 +302,18 @@ pub fn run_tcp_workload(
     cfg: &WorkloadConfig,
     behavior_of: impl Fn(usize) -> BehaviorKind,
 ) -> WorkloadOutcome {
+    run_tcp_workload_with_faults(cfg, behavior_of, |_| StagingFault::None)
+}
+
+/// [`run_tcp_workload`] with per-node staging faults.
+pub fn run_tcp_workload_with_faults(
+    cfg: &WorkloadConfig,
+    behavior_of: impl Fn(usize) -> BehaviorKind,
+    staging_fault_of: impl Fn(usize) -> StagingFault,
+) -> WorkloadOutcome {
     let registry = mesh_registry(cfg.cluster, cfg.clients, cfg.seed);
     let transports = TcpMesh::launch_loopback(Arc::clone(&registry)).expect("bind loopback mesh");
-    run_bank_workload(transports, registry, cfg, behavior_of)
+    run_bank_workload_with_faults(transports, registry, cfg, behavior_of, staging_fault_of)
 }
 
 /// Verifies the outcome against the reference bank execution:
@@ -373,6 +415,7 @@ mod tests {
             delta: Duration::from_millis(40),
             queue_cap: 64,
             seed: 11,
+            consensus: ConsensusKind::LeaderEcho,
         };
         let outcome = run_mem_workload(&cfg, |id| {
             if id == 0 {

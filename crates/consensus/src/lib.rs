@@ -18,10 +18,16 @@
 //! MAC-simulated signatures and expose *drivers* that return every honest
 //! node's decision, so tests can check the paper's Validity and Consistency
 //! properties (§2.1) directly under injected Byzantine behaviour.
+//!
+//! The [`batch`] module re-expresses both protocols as **sans-I/O
+//! message-passing state machines** over a round's command batch — the
+//! form the `csm-node` gateway drives over a live transport mesh to agree
+//! on client batches (see `docs/PROTOCOL.md` at the repo root).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod batch;
 pub mod dolev_strong;
 pub mod pbft;
 

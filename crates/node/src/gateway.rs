@@ -14,27 +14,31 @@
 //! Unlike the script-driven loops ([`crate::run_node`],
 //! [`crate::run_pipelined`]), client-fed batches differ between nodes (a
 //! submission may not have reached everyone when a round starts), so the
-//! batch must be *agreed*, not derived. The gateway uses a
-//! leader-echo protocol over the existing [`Payload::Stage`] votes:
+//! batch must be *agreed*, not derived. Agreement is **pluggable**
+//! ([`GatewayConfig::consensus`], dispatched through the
+//! [`crate::consensus::BatchConsensus`] trait):
 //!
-//! 1. the round's leader (`round mod N`, rotating so a faulty leader
-//!    cannot starve the system) proposes its pending batch as its stage
-//!    vote;
-//! 2. every follower that receives a *valid* proposal within the staging
-//!    timeout echoes it bit-for-bit as its own vote;
-//! 3. a node adopts the batch once `N − b` identical votes are held;
-//!    otherwise it falls back to the **empty batch** — a deterministic
-//!    fallback every honest node shares (falling back to one's *own*
-//!    pending batch, as the script-driven pipeline does, would diverge).
+//! * [`ConsensusKind::LeaderEcho`] — the round's rotating leader
+//!   (`round mod N`) proposes its pending batch as its [`Payload::Stage`]
+//!   vote, followers echo a *valid* proposal bit-for-bit, and a node
+//!   adopts at `N − b` identical votes. Cheapest, but a leader that
+//!   equivocates on the batch is only caught probabilistically (see
+//!   [`crate::consensus`]).
+//! * [`ConsensusKind::DolevStrong`] — the leader's proposal runs through
+//!   `b + 1` signature-chained relay rounds: an equivocating leader is
+//!   reduced to ⊥ at **every** honest node, never a split. Synchronous,
+//!   tolerates any `b < N`.
+//! * [`ConsensusKind::Pbft`] — three-phase PBFT with view changes:
+//!   drops the synchrony assumption entirely (`N ≥ 3b + 1`), and a
+//!   withheld round usually still commits the next primary's batch.
 //!
-//! A leader that withholds costs the cluster one empty round (commands
-//! stay queued and the next leader re-proposes them). A leader that
-//! *equivocates on the batch* is caught by the echo quorum under
-//! synchrony in all but razor-thin timing windows; closing that window
-//! for real needs the full Dolev–Strong relay (`csm-consensus`), which is
-//! an open ROADMAP item. Note the Byzantine behaviors implemented today
-//! ([`BehaviorKind`]) misbehave in the *execution* phase, not the staging
-//! phase.
+//! Whatever the backend decides, an undecidable round falls back to the
+//! **empty batch** — a deterministic fallback every honest node shares
+//! (falling back to one's *own* pending batch, as the script-driven
+//! pipeline does, would diverge). Execution-phase Byzantine behaviors
+//! ([`BehaviorKind`]) are orthogonal to staging-phase faults
+//! ([`crate::consensus::StagingFault`]); the full protocol stack is
+//! specified in `docs/PROTOCOL.md`.
 //!
 //! # Admission control
 //!
@@ -47,6 +51,7 @@
 //! instead of re-executing — the gateway is idempotent per `(client,
 //! seq)`.
 
+use crate::consensus::{ConsensusKind, StagingFault};
 use crate::runtime::{ExchangeTiming, NodeRuntime};
 use crate::{wire_behavior, BehaviorKind, CodedMachine, RoundCommit, RoundEngine};
 use csm_algebra::Field;
@@ -197,6 +202,21 @@ pub struct GatewayConfig {
     /// it above the expected number of concurrently-unacknowledged
     /// clients.
     pub reply_cache_cap: usize,
+    /// Which batch-consensus backend agrees each round's batch. Every
+    /// honest node of a cluster must configure the same backend.
+    pub consensus: ConsensusKind,
+    /// The Dolev–Strong relay-round length (the synchrony bound Δ of the
+    /// batch broadcast); one agreement takes `(b + 1)` such rounds.
+    /// Unused by the other backends.
+    ///
+    /// Must exceed **one-hop network latency plus honest round-entry
+    /// skew**: relay rounds are indexed off each node's own clock from
+    /// the moment it enters the round, and honest nodes can enter up to
+    /// an exchange Δ apart (one may finalize its previous word early on
+    /// a full result set while another waits out the deadline). The
+    /// default is `2·Δ_exchange + 20 ms` so a full skew plus a delivery
+    /// still lands inside one relay round.
+    pub consensus_delta: Duration,
 }
 
 impl GatewayConfig {
@@ -214,7 +234,15 @@ impl GatewayConfig {
             idle_pause: timing.delta / 4,
             client_quota: 64,
             reply_cache_cap: 4096,
+            consensus: ConsensusKind::default(),
+            consensus_delta: timing.delta * 2 + Duration::from_millis(20),
         }
+    }
+
+    /// Selects the batch-consensus backend (builder-style).
+    pub fn with_consensus(mut self, consensus: ConsensusKind) -> Self {
+        self.consensus = consensus;
+        self
     }
 
     /// The echo quorum `N − b`.
@@ -235,6 +263,10 @@ pub struct GatewaySpec<F: Field> {
     /// their *replies*, which is exactly what the client-side `b + 1`
     /// acceptance rule defends against.
     pub behavior: BehaviorKind,
+    /// How this node misbehaves in the *staging* phase when it leads a
+    /// round (orthogonal to the execution-phase `behavior`) — the fault
+    /// the real consensus backends contain.
+    pub staging_fault: StagingFault,
 }
 
 /// Monotonic admission/reply counters for one gateway node.
@@ -576,6 +608,9 @@ pub(crate) fn gateway_loop<F: Field, T: Transport>(
     // consecutive undecodable rounds — a durable node treats a streak as
     // "I have lost the cluster" and attempts a state transfer
     let mut fail_streak = 0u32;
+    // the round-batch agreement backend (leader-echo | dolev-strong |
+    // pbft), built once — the protocol choice is static per gateway
+    let backend = cfg.consensus.backend::<T>(cfg, Arc::clone(&keys));
 
     while !stop.load(Ordering::Relaxed) && round < cfg.max_rounds {
         // serve recovering peers and read-only clients from the latest
@@ -644,25 +679,22 @@ pub(crate) fn gateway_loop<F: Field, T: Transport>(
             }
         }
 
-        // leader-echo staging: propose / echo, then adopt at quorum
-        let leader = (round % cluster as u64) as usize;
-        if id == leader {
-            let rows = encode_batch(&admission.build_batch(shards));
-            rt.announce_stage(round, rows);
-        } else if let Some(rows) = rt.wait_for_stage_from(round, leader, cfg.stage_timeout) {
-            let valid =
-                decode_batch(&rows, shards, input_dim, cluster, &keys).is_some_and(|batch| {
-                    // refuse to echo a replayed command: commits advanced
-                    // the dedup horizon on every honest node alike
-                    batch
-                        .iter()
-                        .all(|e| admission.horizon.get(&e.client).is_none_or(|&s| s < e.seq))
-                });
-            if valid {
-                rt.announce_stage(round, rows);
-            }
-        }
-        let agreed = rt.wait_for_stage(round, cfg.quorum(), cfg.stage_timeout);
+        // batch agreement behind the configured consensus backend: this
+        // node's proposal is its pending batch (used when it leads — or,
+        // under PBFT view changes, becomes primary); the validity
+        // predicate refuses forged client MACs, malformed shapes, and
+        // replayed commands (commits advanced the dedup horizon on every
+        // honest node alike)
+        let proposal = encode_batch(&admission.build_batch(shards));
+        let horizon = &admission.horizon;
+        let valid = |rows: &[Vec<u64>]| {
+            decode_batch(rows, shards, input_dim, cluster, &keys).is_some_and(|batch| {
+                batch
+                    .iter()
+                    .all(|e| horizon.get(&e.client).is_none_or(|&s| s < e.seq))
+            })
+        };
+        let agreed = backend.agree(&mut rt, round, proposal, &valid, spec.staging_fault, stop);
         if agreed.is_none() {
             admission.stats.stage_fallbacks += 1;
         }
@@ -714,6 +746,7 @@ pub(crate) fn gateway_loop<F: Field, T: Transport>(
                     c.digest,
                     encode_batch(&batch),
                     delta,
+                    cfg.consensus.wal_protocol(),
                     engine.coded_state_canonical(),
                     &admission.horizon,
                 );

@@ -28,11 +28,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod consensus;
 pub mod gateway;
 pub mod pipeline;
 pub mod recovery;
 pub mod runtime;
 
+pub use consensus::{BatchConsensus, ConsensusKind, StagingFault};
 pub use csm_core::digest::digest_results;
 pub use csm_core::engine::{CodedMachine, DecodedRound, RoundCommit, RoundEngine};
 pub use gateway::{run_gateway, GatewayConfig, GatewayReport, GatewaySpec, GatewayStats};

@@ -11,6 +11,11 @@
 //! csm-node launch --n 8 --k 2 --faults 1 --rounds 5 --seed 42 \
 //!                 [--machine bank|counter|auction] \
 //!                 [--byzantine 0:equivocate] [--partial-sync]
+//!
+//! # a client-serving gateway cluster on loopback TCP, with a
+//! # selectable batch-consensus backend:
+//! csm-node gateway --n 8 --k 4 --faults 2 --clients 8 --commands 2 \
+//!                  --consensus pbft [--staging-fault 0:equivocate]
 //! ```
 //!
 //! `launch` spawns `n` child `csm-node run` processes, collects their
@@ -18,6 +23,14 @@
 //! honest node committed every round with identical digests. The
 //! `--machine` flag selects which `csm-statemachine` workload the shared
 //! `RoundEngine` runs — the runtime is machine-agnostic.
+//!
+//! `gateway` hosts a whole client-serving bank cluster over loopback TCP
+//! (gateway node threads plus closed-loop `csm-client` endpoints),
+//! agreeing each round's batch with the backend selected by
+//! `--consensus` (`leader-echo` | `dolev-strong` | `pbft`), and exits
+//! non-zero unless every client command commits and every pair of honest
+//! nodes agrees on every commit digest — including under an injected
+//! `--staging-fault` (a leader equivocating on or withholding the batch).
 
 use csm_algebra::Field;
 use csm_network::NodeId;
@@ -99,7 +112,9 @@ fn usage() -> ! {
         "usage:\n  csm-node run --id I --ports P0,P1,.. [--n N --k K --faults B --rounds R \
          --seed S --machine M --behavior KIND --partial-sync --delta-ms D]\n  csm-node launch \
          [--n N --k K --faults B --rounds R --seed S --machine M --byzantine ID:KIND \
-         --partial-sync --delta-ms D]"
+         --partial-sync --delta-ms D]\n  csm-node gateway [--n N --k K --faults B --seed S \
+         --delta-ms D --clients M --commands C --consensus leader-echo|dolev-strong|pbft \
+         --staging-fault ID:equivocate|withhold]"
     );
     std::process::exit(2)
 }
@@ -140,6 +155,7 @@ fn main() {
     match argv.get(1).map(String::as_str) {
         Some("run") => cmd_run(&argv[2..]),
         Some("launch") => cmd_launch(&argv[2..]),
+        Some("gateway") => cmd_gateway(&argv[2..]),
         _ => usage(),
     }
 }
@@ -262,6 +278,198 @@ fn run_spec<F: Field>(
             .flatten()
             .map(|c| (c.round, c.digest, c.results_held))
             .collect(),
+    }
+}
+
+/// Hosts a whole client-serving gateway cluster over loopback TCP in one
+/// process: `n` gateway node threads plus `clients` closed-loop
+/// `csm-client` endpoints driving a bank workload, with the round-batch
+/// agreement backend selected by `--consensus`. Exits non-zero unless
+/// every command commits and honest commit digests agree.
+fn cmd_gateway(rest: &[String]) {
+    use csm_client::{ClientConfig, CsmClient};
+    use csm_node::{
+        mesh_registry, run_gateway, ConsensusKind, GatewayConfig, GatewaySpec, StagingFault,
+    };
+    use csm_transport::tcp::TcpMesh;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc as StdArc;
+
+    let mut common = CommonArgs {
+        k: 4,
+        faults: 2,
+        ..CommonArgs::default()
+    };
+    let mut clients = 8usize;
+    let mut commands = 2usize;
+    let mut consensus = ConsensusKind::LeaderEcho;
+    let mut staging: BTreeMap<usize, StagingFault> = BTreeMap::new();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--partial-sync" {
+            common.partial_sync = true;
+            continue;
+        }
+        let value = it.next().unwrap_or_else(|| usage());
+        if parse_common(&mut common, flag, value) {
+            continue;
+        }
+        match flag.as_str() {
+            "--clients" => clients = value.parse().expect("--clients"),
+            "--commands" => commands = value.parse().expect("--commands"),
+            "--consensus" => {
+                consensus = value.parse().unwrap_or_else(|e| {
+                    eprintln!("--consensus: {e}");
+                    std::process::exit(2);
+                })
+            }
+            "--staging-fault" => {
+                let (id, kind) = value.split_once(':').unwrap_or_else(|| usage());
+                let fault = match kind {
+                    "equivocate" => StagingFault::EquivocateBatch,
+                    "withhold" => StagingFault::WithholdBatch,
+                    other => {
+                        eprintln!("--staging-fault: unknown kind {other:?}");
+                        std::process::exit(2);
+                    }
+                };
+                staging.insert(id.parse().expect("--staging-fault id"), fault);
+            }
+            _ => usage(),
+        }
+    }
+    if common.n < consensus.min_cluster(common.faults) {
+        eprintln!(
+            "--consensus {consensus} needs a cluster of at least {} for --faults {} (got --n {})",
+            consensus.min_cluster(common.faults),
+            common.faults,
+            common.n
+        );
+        std::process::exit(2);
+    }
+    println!(
+        "gateway cluster: N = {}, K = {}, b = {}, {} clients x {} commands, consensus = {}, \
+         staging faults: {staging:?}",
+        common.n, common.k, common.faults, clients, commands, consensus
+    );
+
+    let registry = mesh_registry(common.n, clients, common.seed);
+    let transports = TcpMesh::launch_loopback(StdArc::clone(&registry)).unwrap_or_else(|e| {
+        eprintln!("loopback mesh failed to bind: {e}");
+        std::process::exit(1);
+    });
+    let machine = StdArc::new(
+        csm_node::CodedMachine::<csm_algebra::Fp61>::new(
+            common.n,
+            common.k,
+            csm_statemachine::machines::bank_machine(),
+            csm_core::DecoderKind::default(),
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("invalid cluster shape: {e}");
+            std::process::exit(2);
+        }),
+    );
+    let initial_states: Vec<Vec<csm_algebra::Fp61>> = (0..common.k as u64)
+        .map(|s| vec![csm_algebra::Fp61::from_u64(100 * (s + 1))])
+        .collect();
+    // same synchrony selection as run/launch (--partial-sync honored),
+    // plus full-word early finalization for client-facing latency
+    let timing = timing(&common).with_full_finalize();
+    let gw_cfg = GatewayConfig::new(common.n, common.faults, &timing).with_consensus(consensus);
+    let stop = StdArc::new(AtomicBool::new(false));
+
+    let mut transports = transports;
+    let client_transports = transports.split_off(common.n);
+    let mut node_handles = Vec::new();
+    for (id, transport) in transports.into_iter().enumerate() {
+        let registry = StdArc::clone(&registry);
+        let timing = timing.clone();
+        let gw_cfg = gw_cfg.clone();
+        let stop = StdArc::clone(&stop);
+        let spec = GatewaySpec {
+            machine: StdArc::clone(&machine),
+            initial_states: initial_states.clone(),
+            behavior: BehaviorKind::Honest,
+            staging_fault: staging.get(&id).copied().unwrap_or(StagingFault::None),
+        };
+        node_handles.push(std::thread::spawn(move || {
+            run_gateway(transport, registry, timing, &spec, &gw_cfg, &stop)
+        }));
+    }
+
+    let client_cfg = ClientConfig {
+        cluster: common.n,
+        assumed_faults: common.faults,
+        reply_timeout: Duration::from_millis(common.delta_ms) * 8 + Duration::from_millis(500),
+        max_attempts: 20,
+    };
+    let shards = common.k;
+    let mut client_handles = Vec::new();
+    for (index, transport) in client_transports.into_iter().enumerate() {
+        let registry = StdArc::clone(&registry);
+        let client_cfg = client_cfg.clone();
+        client_handles.push(std::thread::spawn(move || {
+            let mut client = CsmClient::new(transport, registry, client_cfg);
+            let shard = (index % shards) as u64;
+            let mut ok = 0usize;
+            for i in 0..commands {
+                let amount = 1 + ((index as u64 * 31 + i as u64 * 7) % 97);
+                match client.submit(shard, vec![amount]) {
+                    Ok(receipt) => {
+                        ok += 1;
+                        println!(
+                            "client {index}: seq {} committed in round {} ({} matching replies)",
+                            receipt.seq, receipt.round, receipt.matching
+                        );
+                    }
+                    Err(e) => eprintln!("client {index}: {e}"),
+                }
+            }
+            ok
+        }));
+    }
+
+    let committed: usize = client_handles
+        .into_iter()
+        .map(|h| h.join().expect("client thread"))
+        .sum();
+    stop.store(true, Ordering::Relaxed);
+    let reports: Vec<_> = node_handles
+        .into_iter()
+        .map(|h| h.join().expect("gateway thread"))
+        .collect();
+
+    // honest digest agreement, keyed by absolute round
+    let faulty: Vec<usize> = staging.keys().copied().collect();
+    let mut reference: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut ok = committed == clients * commands;
+    if !ok {
+        eprintln!("only {committed}/{} commands committed", clients * commands);
+    }
+    for report in reports.iter().filter(|r| !faulty.contains(&r.id)) {
+        for (round, digest) in report.digests() {
+            match reference.get(&round) {
+                None => {
+                    reference.insert(round, digest);
+                }
+                Some(&expected) if expected != digest => {
+                    eprintln!("round {round}: node {} diverges", report.id);
+                    ok = false;
+                }
+                Some(_) => {}
+            }
+        }
+    }
+    if ok {
+        println!(
+            "gateway cluster OK: {committed} commands committed under {consensus}, honest \
+             digests agree on {} rounds",
+            reference.len()
+        );
+    } else {
+        println!("gateway cluster FAILED");
+        std::process::exit(1);
     }
 }
 

@@ -119,12 +119,14 @@ impl DurableCtx {
     /// Panics on storage I/O failure: a node that cannot persist must not
     /// acknowledge, and (unlike a Byzantine fault) there is no protocol
     /// answer to a dead disk.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn log_commit(
         &mut self,
         round: u64,
         digest: u64,
         batch: Vec<Vec<u64>>,
         state_delta: Vec<u64>,
+        protocol: u8,
         coded_state: Vec<u64>,
         horizons: &BTreeMap<u64, u64>,
     ) -> bool {
@@ -134,6 +136,7 @@ impl DurableCtx {
                 digest,
                 batch,
                 state_delta,
+                protocol,
             })
             .expect("WAL append failed: cannot acknowledge an unlogged round");
         if self.info.first_commit_after.is_none() {
@@ -439,6 +442,7 @@ mod tests {
                     digest: 0xA,
                     batch: vec![vec![9, 0, 0, 0x51, 40]],
                     state_delta: vec![5],
+                    protocol: 0,
                 })
                 .unwrap();
             store
@@ -447,6 +451,7 @@ mod tests {
                     digest: 0xB,
                     batch: vec![vec![8, 2, 1, 0x52, 41]],
                     state_delta: vec![6],
+                    protocol: 0,
                 })
                 .unwrap();
         }
@@ -476,6 +481,7 @@ mod tests {
                         digest: round,
                         batch: vec![vec![8, round, 0, 0, 1]],
                         state_delta: vec![delta],
+                        protocol: 0,
                     })
                     .unwrap();
             }

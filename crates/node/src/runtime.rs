@@ -46,6 +46,12 @@ const CLIENT_INBOX_CAP: usize = 8192;
 /// pass — same backpressure story as the submit inbox.
 const QUERY_INBOX_CAP: usize = 8192;
 
+/// Cap on buffered batch-consensus frames per round. An honest round
+/// needs at most a few frames per peer (Dolev–Strong relays at most two
+/// values; PBFT sends one vote per phase per view), so this bounds what
+/// `b` validly-keyed Byzantine peers can park in a future round's inbox.
+const CONSENSUS_ROUND_CAP: usize = 4096;
+
 /// A peer's answer to a state-transfer request, as buffered by
 /// [`NodeRuntime::absorb`]: one slot per peer (its latest answer wins),
 /// so `b` Byzantine peers can occupy at most `b` slots and can never
@@ -145,6 +151,10 @@ pub struct NodeRuntime<T: Transport> {
     /// §2.2 pipelining carrier: votes for round `t + 1` arrive while
     /// round `t`'s exchange is in flight).
     stages: BTreeMap<u64, BTreeMap<usize, Vec<Vec<u64>>>>,
+    /// Batch-consensus frames (`BatchRelay`/`BatchVote`/`BatchViewChange`/
+    /// `BatchNewView`) buffered per round, awaiting that round's
+    /// consensus driver (bounded by [`CONSENSUS_ROUND_CAP`]).
+    consensus: BTreeMap<u64, VecDeque<Frame>>,
     /// Authenticated client `Submit` frames awaiting the gateway's
     /// admission pass (bounded by [`CLIENT_INBOX_CAP`]).
     client_inbox: VecDeque<Frame>,
@@ -197,6 +207,7 @@ impl<T: Transport> NodeRuntime<T> {
             pending: BTreeMap::new(),
             commits: BTreeMap::new(),
             stages: BTreeMap::new(),
+            consensus: BTreeMap::new(),
             client_inbox: VecDeque::new(),
             inbox_dropped: 0,
             query_inbox: VecDeque::new(),
@@ -285,6 +296,7 @@ impl<T: Transport> NodeRuntime<T> {
         // multi-round runs must not accumulate history without bound)
         self.pending = self.pending.split_off(&(finished + 1));
         self.stages = self.stages.split_off(&(finished + 1));
+        self.consensus = self.consensus.split_off(&(finished + 1));
         self.commits = self
             .commits
             .split_off(&finished.saturating_sub(ROUND_LOOKAHEAD));
@@ -367,9 +379,32 @@ impl<T: Transport> NodeRuntime<T> {
             | Payload::Stage { .. }
             | Payload::StateRequest { .. }
             | Payload::StateChunk { .. }
+            | Payload::BatchRelay { .. }
+            | Payload::BatchVote { .. }
+            | Payload::BatchViewChange { .. }
+            | Payload::BatchNewView { .. }
                 if !from_cluster =>
             {
                 // drop: protocol frame signed by a non-cluster identity
+            }
+            Payload::BatchRelay { round, .. }
+            | Payload::BatchVote { round, .. }
+            | Payload::BatchViewChange { round, .. }
+            | Payload::BatchNewView { round, .. } => {
+                // same bounded round window as results/stages, plus a
+                // payload-weight cap and a per-round frame cap, so a
+                // Byzantine peer cannot park unbounded consensus state
+                let done = self.finished_round;
+                let in_window = done.is_none_or(|d| *round > d)
+                    && *round
+                        <= done.map_or(ROUND_LOOKAHEAD, |d| d.saturating_add(ROUND_LOOKAHEAD));
+                if !in_window || consensus_weight(&frame.payload) > PENDING_MAX_VALUES {
+                    return;
+                }
+                let slot = self.consensus.entry(*round).or_default();
+                if slot.len() < CONSENSUS_ROUND_CAP {
+                    slot.push_back(frame);
+                }
             }
             Payload::Result {
                 round: r, values, ..
@@ -642,6 +677,34 @@ impl<T: Transport> NodeRuntime<T> {
         }
     }
 
+    /// Blocks until a batch-consensus frame for `round` is available (or
+    /// `deadline` passes): buffered frames first, then live receives —
+    /// non-consensus frames absorbed along the way are buffered normally,
+    /// so running a consensus phase never drops submissions, commit
+    /// gossip, or early results.
+    pub fn poll_consensus(&mut self, round: u64, deadline: Instant) -> Option<Frame> {
+        loop {
+            if let Some(frame) = self.consensus.get_mut(&round).and_then(VecDeque::pop_front) {
+                return Some(frame);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            match self.transport.recv_timeout(deadline - now) {
+                Ok(frame) => self.absorb(frame),
+                Err(_) => return None,
+            }
+        }
+    }
+
+    /// Signs `payload` as this node and broadcasts it to the cluster —
+    /// how consensus drivers fan out their protocol messages.
+    pub fn broadcast_signed(&self, payload: Payload) {
+        let frame = Frame::sign(payload, &self.registry, self.id());
+        let _ = self.transport.broadcast_upto(self.cluster, &frame);
+    }
+
     /// Drains the buffered client `Submit` frames (authenticated, identity
     /// bound, but not yet admitted — that's the gateway's job).
     pub fn take_client_frames(&mut self) -> Vec<Frame> {
@@ -758,6 +821,7 @@ impl<T: Transport> NodeRuntime<T> {
         self.finished_round = Some(finished);
         self.pending = self.pending.split_off(&(finished + 1));
         self.stages = self.stages.split_off(&(finished + 1));
+        self.consensus = self.consensus.split_off(&(finished + 1));
         self.commits = self
             .commits
             .split_off(&finished.saturating_sub(ROUND_LOOKAHEAD));
@@ -822,6 +886,31 @@ impl<T: Transport> NodeRuntime<T> {
             }
         }
         self.commits.get(&round).cloned().unwrap_or_default()
+    }
+}
+
+/// The buffering weight of a consensus payload: every `u64` its batch
+/// rows carry, including rows nested inside view-change certificates —
+/// the bound a Byzantine peer's oversized frame is rejected against.
+fn consensus_weight(payload: &Payload) -> usize {
+    fn rows_weight(rows: &[Vec<u64>]) -> usize {
+        rows.len() + rows.iter().map(Vec::len).sum::<usize>()
+    }
+    fn vc_weight(vc: &csm_transport::ViewChangeWire) -> usize {
+        vc.prepared
+            .as_ref()
+            .map_or(1, |cert| 1 + rows_weight(&cert.rows) + cert.sigs.len())
+    }
+    match payload {
+        Payload::BatchRelay { rows, chain, .. } => rows_weight(rows) + chain.len(),
+        Payload::BatchVote { rows, .. } => rows_weight(rows),
+        Payload::BatchViewChange { vote, .. } => vc_weight(vote),
+        Payload::BatchNewView {
+            rows,
+            justification,
+            ..
+        } => rows_weight(rows) + justification.iter().map(vc_weight).sum::<usize>(),
+        _ => 0,
     }
 }
 

@@ -333,7 +333,7 @@ pub mod prop {
         use crate::{Strategy, TestRng};
         use std::ops::{Range, RangeInclusive};
 
-        /// Sizes accepted by [`vec`]: a fixed size or a range.
+        /// Sizes accepted by [`vec()`]: a fixed size or a range.
         #[derive(Debug, Clone)]
         pub struct SizeRange {
             lo: usize,
@@ -376,7 +376,7 @@ pub mod prop {
             }
         }
 
-        /// See [`vec`].
+        /// See [`vec()`].
         #[derive(Debug, Clone)]
         pub struct VecStrategy<S> {
             elem: S,

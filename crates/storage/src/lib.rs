@@ -30,4 +30,7 @@ pub mod wal;
 pub use crc::crc32;
 pub use snapshot::Snapshot;
 pub use store::{NodeStore, Recovered};
-pub use wal::{CommitRecord, WalRecovery, WriteAheadLog};
+pub use wal::{
+    CommitRecord, WalRecovery, WriteAheadLog, PROTOCOL_DOLEV_STRONG, PROTOCOL_LEADER_ECHO,
+    PROTOCOL_PBFT,
+};

@@ -163,6 +163,7 @@ mod tests {
             digest: round * 3 + 1,
             batch: vec![],
             state_delta: vec![round],
+            protocol: 0,
         }
     }
 

@@ -25,8 +25,21 @@ use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
-/// Format version carried at the head of every record body.
-pub const RECORD_VERSION: u8 = 1;
+/// Format version carried at the head of every record body. Version 2
+/// added the `protocol` byte recording which batch-consensus backend
+/// committed the round; version-1 records still decode (their protocol
+/// reads as [`PROTOCOL_LEADER_ECHO`], the only backend that existed).
+pub const RECORD_VERSION: u8 = 2;
+
+/// [`CommitRecord::protocol`]: the batch was agreed by the leader-echo
+/// `Stage` quorum.
+pub const PROTOCOL_LEADER_ECHO: u8 = 0;
+/// [`CommitRecord::protocol`]: the batch was agreed by Dolev–Strong
+/// authenticated broadcast.
+pub const PROTOCOL_DOLEV_STRONG: u8 = 1;
+/// [`CommitRecord::protocol`]: the batch was agreed by the PBFT
+/// three-phase protocol.
+pub const PROTOCOL_PBFT: u8 = 2;
 
 /// Upper bound on one record body; larger length prefixes are treated as
 /// corruption (64 MiB, matching the transport's frame cap).
@@ -45,6 +58,12 @@ pub struct CommitRecord {
     /// Canonical encoding of this node's coded-state delta for the round:
     /// `new_coded_state − old_coded_state`, coordinate-wise in the field.
     pub state_delta: Vec<u64>,
+    /// Which batch-consensus backend agreed the batch
+    /// ([`PROTOCOL_LEADER_ECHO`] / [`PROTOCOL_DOLEV_STRONG`] /
+    /// [`PROTOCOL_PBFT`]) — an audit can tell which agreement path every
+    /// acknowledged round took, and a recovery can flag rounds committed
+    /// under a weaker synchrony assumption than the cluster now runs.
+    pub protocol: u8,
 }
 
 impl Wire for CommitRecord {
@@ -54,18 +73,32 @@ impl Wire for CommitRecord {
         self.digest.encode(out);
         self.batch.encode(out);
         self.state_delta.encode(out);
+        self.protocol.encode(out);
     }
 
     fn decode(r: &mut WireReader<'_>) -> Result<Self, csm_transport::WireError> {
         let version = u8::decode(r)?;
-        if version != RECORD_VERSION {
+        if version != 1 && version != RECORD_VERSION {
             return Err(csm_transport::WireError::UnknownTag(version));
         }
+        let (round, digest, batch, state_delta) = (
+            u64::decode(r)?,
+            u64::decode(r)?,
+            Vec::<Vec<u64>>::decode(r)?,
+            Vec::<u64>::decode(r)?,
+        );
+        let protocol = if version == 1 {
+            // pre-protocol logs could only have come from leader-echo
+            PROTOCOL_LEADER_ECHO
+        } else {
+            u8::decode(r)?
+        };
         Ok(CommitRecord {
-            round: u64::decode(r)?,
-            digest: u64::decode(r)?,
-            batch: Vec::<Vec<u64>>::decode(r)?,
-            state_delta: Vec::<u64>::decode(r)?,
+            round,
+            digest,
+            batch,
+            state_delta,
+            protocol,
         })
     }
 }
@@ -236,6 +269,7 @@ mod tests {
             digest: round.wrapping_mul(0x9E37),
             batch: vec![vec![8, round, 0, 1, 42]],
             state_delta: vec![round + 1, round + 2],
+            protocol: PROTOCOL_LEADER_ECHO,
         }
     }
 
@@ -316,6 +350,7 @@ mod tests {
             digest: 0,
             batch: vec![],
             state_delta: vec![0u64; MAX_RECORD_BYTES / 8 + 1],
+            protocol: PROTOCOL_LEADER_ECHO,
         };
         let err = wal.append(&huge).unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
@@ -325,6 +360,25 @@ mod tests {
         let (_, r) = WriteAheadLog::recover(&path).unwrap();
         assert_eq!(r.records, vec![rec(1)]);
         assert!(!r.torn_tail);
+    }
+
+    #[test]
+    fn version1_records_still_decode_as_leader_echo() {
+        // a v1 body is the v2 encoding minus the trailing protocol byte,
+        // with the version byte rewritten — logs written before the
+        // protocol field must replay, attributed to leader-echo
+        let modern = rec(3);
+        let mut v1_body = modern.to_bytes();
+        assert_eq!(v1_body[0], RECORD_VERSION);
+        v1_body[0] = 1;
+        v1_body.pop(); // drop the protocol byte
+        let decoded = CommitRecord::from_bytes(&v1_body).expect("v1 decodes");
+        assert_eq!(decoded, modern);
+        assert_eq!(decoded.protocol, PROTOCOL_LEADER_ECHO);
+        // unknown versions are corruption, not silent misreads
+        let mut v9 = modern.to_bytes();
+        v9[0] = 9;
+        assert!(CommitRecord::from_bytes(&v9).is_err());
     }
 
     #[test]

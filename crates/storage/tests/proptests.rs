@@ -29,13 +29,17 @@ fn record_strategy() -> impl Strategy<Value = CommitRecord> {
         any::<u64>(),
         prop::collection::vec(prop::collection::vec(any::<u64>(), 0..6), 0..3),
         prop::collection::vec(any::<u64>(), 1..4),
+        0u8..3,
     )
-        .prop_map(|(round, digest, batch, state_delta)| CommitRecord {
-            round,
-            digest,
-            batch,
-            state_delta,
-        })
+        .prop_map(
+            |(round, digest, batch, state_delta, protocol)| CommitRecord {
+                round,
+                digest,
+                batch,
+                state_delta,
+                protocol,
+            },
+        )
 }
 
 /// Writes `records` to a fresh log and returns the path plus each frame's

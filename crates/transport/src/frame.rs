@@ -27,8 +27,89 @@ pub const WIRE_VERSION: u8 = 1;
 /// before any allocation (64 MiB).
 pub const MAX_FRAME_BYTES: usize = 64 << 20;
 
+/// [`Payload::BatchVote`] phase: a PBFT pre-prepare (the view primary's
+/// proposal, doubling as its prepare vote).
+pub const PHASE_PRE_PREPARE: u8 = 0;
+/// [`Payload::BatchVote`] phase: a PBFT prepare vote.
+pub const PHASE_PREPARE: u8 = 1;
+/// [`Payload::BatchVote`] phase: a PBFT commit vote.
+pub const PHASE_COMMIT: u8 = 2;
+
+/// A wire-form PBFT *prepared certificate*: proof that a quorum
+/// (`⌈(N + b + 1) / 2⌉` distinct nodes — `2b + 1` when `N = 3b + 1`)
+/// prepare-voted the same batch in `view`. Inner signatures travel
+/// as `(signer, tag)` pairs — they are signatures by *other* nodes, so
+/// they cannot be folded into the carrying frame's MAC.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PreparedCertWire {
+    /// The view the batch prepared in.
+    pub view: u64,
+    /// The prepared batch, in `Stage`-row form.
+    pub rows: Vec<Vec<u64>>,
+    /// The quorum of prepare signatures as `(signer, tag)` pairs.
+    pub sigs: Vec<(u64, u64)>,
+}
+
+impl Wire for PreparedCertWire {
+    /// view + empty rows + empty sigs.
+    const MIN_ENCODED_SIZE: usize = 8 + 4 + 4;
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.view.encode(out);
+        self.rows.encode(out);
+        self.sigs.encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(PreparedCertWire {
+            view: u64::decode(r)?,
+            rows: Vec::<Vec<u64>>::decode(r)?,
+            sigs: Vec::<(u64, u64)>::decode(r)?,
+        })
+    }
+}
+
+/// A wire-form PBFT view-change vote, carried either directly
+/// ([`Payload::BatchViewChange`]) or inside a new-view justification
+/// ([`Payload::BatchNewView`]). The `(signer, tag)` pair is the voter's
+/// signature over `(round, new_view, prepared summary)` — explicit
+/// because justification entries are votes by nodes other than the frame
+/// signer.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ViewChangeWire {
+    /// The view being moved to.
+    pub new_view: u64,
+    /// The voting node.
+    pub signer: u64,
+    /// The voter's signature tag.
+    pub tag: u64,
+    /// The voter's prepared certificate, if it prepared a batch.
+    pub prepared: Option<PreparedCertWire>,
+}
+
+impl Wire for ViewChangeWire {
+    /// new_view + signer + tag + absent certificate.
+    const MIN_ENCODED_SIZE: usize = 8 + 8 + 8 + 1;
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.new_view.encode(out);
+        self.signer.encode(out);
+        self.tag.encode(out);
+        self.prepared.encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(ViewChangeWire {
+            new_view: u64::decode(r)?,
+            signer: u64::decode(r)?,
+            tag: u64::decode(r)?,
+            prepared: Option::<PreparedCertWire>::decode(r)?,
+        })
+    }
+}
+
 /// The protocol messages carried by the transport. Field elements travel
-/// in canonical `u64` form ([`csm_algebra::Field::to_canonical_u64`]) so
+/// in canonical `u64` form (`csm_algebra::Field::to_canonical_u64`) so
 /// frames are field-agnostic.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Payload {
@@ -140,6 +221,56 @@ pub enum Payload {
         /// concurrent/retried queries; no dedup semantics).
         qid: u64,
     },
+    /// One Dolev–Strong relay of a round leader's proposed batch: the
+    /// batch plus its signature chain (leader's chain signature first,
+    /// one more appended per relay hop). Chain signatures cover the
+    /// domain-separated `(round, rows)` value, not the frame — the frame
+    /// MAC authenticates the *relayer*, the chain authenticates the
+    /// *proposal's history*.
+    BatchRelay {
+        /// The gateway round whose batch is being agreed.
+        round: u64,
+        /// The proposed batch, in `Stage`-row form.
+        rows: Vec<Vec<u64>>,
+        /// The signature chain as `(signer, tag)` pairs, leader first.
+        chain: Vec<(u64, u64)>,
+    },
+    /// One PBFT batch-consensus vote (pre-prepare, prepare, or commit per
+    /// [`PHASE_PRE_PREPARE`]/[`PHASE_PREPARE`]/[`PHASE_COMMIT`]). The
+    /// inner signature tag belongs to the frame signer (a node only ever
+    /// sends its own votes), so only the tag travels.
+    BatchVote {
+        /// The gateway round whose batch is being agreed.
+        round: u64,
+        /// The PBFT view.
+        view: u64,
+        /// The protocol phase (`PHASE_*` constants).
+        phase: u8,
+        /// The voted batch, in `Stage`-row form.
+        rows: Vec<Vec<u64>>,
+        /// The sender's signature tag over the domain-separated
+        /// `(round, view, rows)` payload.
+        tag: u64,
+    },
+    /// A PBFT view-change vote for a round's batch instance.
+    BatchViewChange {
+        /// The gateway round whose batch is being agreed.
+        round: u64,
+        /// The vote (its `signer` must match the frame signer).
+        vote: ViewChangeWire,
+    },
+    /// The new primary's PBFT view installation, justified by a quorum
+    /// of view-change votes.
+    BatchNewView {
+        /// The gateway round whose batch is being agreed.
+        round: u64,
+        /// The installed view.
+        view: u64,
+        /// The batch chosen per the view-change value rule.
+        rows: Vec<Vec<u64>>,
+        /// The justifying view-change votes.
+        justification: Vec<ViewChangeWire>,
+    },
     /// A node's answer to a [`Payload::Query`]: the shard's decoded state
     /// at the node's latest committed (durable) round. Clients accept at
     /// `b + 1` bit-identical `(round, value)` replies, so a read can
@@ -168,6 +299,10 @@ const TAG_STATE_REQUEST: u8 = 6;
 const TAG_STATE_CHUNK: u8 = 7;
 const TAG_QUERY: u8 = 8;
 const TAG_QUERY_REPLY: u8 = 9;
+const TAG_BATCH_RELAY: u8 = 10;
+const TAG_BATCH_VOTE: u8 = 11;
+const TAG_BATCH_VIEW_CHANGE: u8 = 12;
+const TAG_BATCH_NEW_VIEW: u8 = 13;
 
 impl Wire for Payload {
     fn encode(&self, out: &mut Vec<u8>) {
@@ -252,6 +387,43 @@ impl Wire for Payload {
                 client.encode(out);
                 qid.encode(out);
             }
+            Payload::BatchRelay { round, rows, chain } => {
+                out.push(TAG_BATCH_RELAY);
+                round.encode(out);
+                rows.encode(out);
+                chain.encode(out);
+            }
+            Payload::BatchVote {
+                round,
+                view,
+                phase,
+                rows,
+                tag,
+            } => {
+                out.push(TAG_BATCH_VOTE);
+                round.encode(out);
+                view.encode(out);
+                phase.encode(out);
+                rows.encode(out);
+                tag.encode(out);
+            }
+            Payload::BatchViewChange { round, vote } => {
+                out.push(TAG_BATCH_VIEW_CHANGE);
+                round.encode(out);
+                vote.encode(out);
+            }
+            Payload::BatchNewView {
+                round,
+                view,
+                rows,
+                justification,
+            } => {
+                out.push(TAG_BATCH_NEW_VIEW);
+                round.encode(out);
+                view.encode(out);
+                rows.encode(out);
+                justification.encode(out);
+            }
             Payload::QueryReply {
                 shard,
                 round,
@@ -314,6 +486,28 @@ impl Wire for Payload {
                 shard: u64::decode(r)?,
                 client: u64::decode(r)?,
                 qid: u64::decode(r)?,
+            }),
+            TAG_BATCH_RELAY => Ok(Payload::BatchRelay {
+                round: u64::decode(r)?,
+                rows: Vec::<Vec<u64>>::decode(r)?,
+                chain: Vec::<(u64, u64)>::decode(r)?,
+            }),
+            TAG_BATCH_VOTE => Ok(Payload::BatchVote {
+                round: u64::decode(r)?,
+                view: u64::decode(r)?,
+                phase: u8::decode(r)?,
+                rows: Vec::<Vec<u64>>::decode(r)?,
+                tag: u64::decode(r)?,
+            }),
+            TAG_BATCH_VIEW_CHANGE => Ok(Payload::BatchViewChange {
+                round: u64::decode(r)?,
+                vote: ViewChangeWire::decode(r)?,
+            }),
+            TAG_BATCH_NEW_VIEW => Ok(Payload::BatchNewView {
+                round: u64::decode(r)?,
+                view: u64::decode(r)?,
+                rows: Vec::<Vec<u64>>::decode(r)?,
+                justification: Vec::<ViewChangeWire>::decode(r)?,
             }),
             TAG_QUERY_REPLY => Ok(Payload::QueryReply {
                 shard: u64::decode(r)?,
@@ -528,6 +722,42 @@ mod tests {
                 shard: 1,
                 client: 9,
                 qid: 3,
+            },
+            Payload::BatchRelay {
+                round: 5,
+                rows: vec![vec![8, 0, 0, 0x51, 42]],
+                chain: vec![(0, 0xAA), (2, 0xBB)],
+            },
+            Payload::BatchVote {
+                round: 5,
+                view: 1,
+                phase: PHASE_PREPARE,
+                rows: vec![vec![9, 3, 1, 0x52, 7]],
+                tag: 0xCC,
+            },
+            Payload::BatchViewChange {
+                round: 5,
+                vote: ViewChangeWire {
+                    new_view: 2,
+                    signer: 3,
+                    tag: 0xDD,
+                    prepared: Some(PreparedCertWire {
+                        view: 1,
+                        rows: vec![vec![9, 3, 1, 0x52, 7]],
+                        sigs: vec![(0, 1), (1, 2), (2, 3)],
+                    }),
+                },
+            },
+            Payload::BatchNewView {
+                round: 5,
+                view: 2,
+                rows: vec![vec![9, 3, 1, 0x52, 7]],
+                justification: vec![ViewChangeWire {
+                    new_view: 2,
+                    signer: 1,
+                    tag: 0xEE,
+                    prepared: None,
+                }],
             },
             Payload::QueryReply {
                 shard: 1,

@@ -33,7 +33,10 @@ pub mod mem;
 pub mod tcp;
 pub mod wire;
 
-pub use frame::{Frame, Payload, MAX_FRAME_BYTES, WIRE_VERSION};
+pub use frame::{
+    Frame, Payload, PreparedCertWire, ViewChangeWire, MAX_FRAME_BYTES, PHASE_COMMIT, PHASE_PREPARE,
+    PHASE_PRE_PREPARE, WIRE_VERSION,
+};
 pub use wire::{Wire, WireError, WireReader};
 
 use csm_network::NodeId;

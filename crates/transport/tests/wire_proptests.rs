@@ -6,13 +6,42 @@
 
 use csm_network::auth::KeyRegistry;
 use csm_network::NodeId;
-use csm_transport::{Frame, Payload, Wire};
+use csm_transport::{Frame, Payload, PreparedCertWire, ViewChangeWire, Wire};
 use proptest::prelude::*;
 
 const N: usize = 8;
 
 fn registry() -> KeyRegistry {
     KeyRegistry::new(N, 0xFEED)
+}
+
+fn rows_strategy() -> impl Strategy<Value = Vec<Vec<u64>>> {
+    prop::collection::vec(prop::collection::vec(any::<u64>(), 0..6), 0..4)
+}
+
+fn sigs_strategy() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    prop::collection::vec((0u64..N as u64, any::<u64>()), 0..5)
+}
+
+fn prepared_strategy() -> impl Strategy<Value = Option<PreparedCertWire>> {
+    (0u8..2, any::<u64>(), rows_strategy(), sigs_strategy()).prop_map(|(some, view, rows, sigs)| {
+        (some == 1).then_some(PreparedCertWire { view, rows, sigs })
+    })
+}
+
+fn view_change_strategy() -> impl Strategy<Value = ViewChangeWire> {
+    (
+        any::<u64>(),
+        0u64..N as u64,
+        any::<u64>(),
+        prepared_strategy(),
+    )
+        .prop_map(|(new_view, signer, tag, prepared)| ViewChangeWire {
+            new_view,
+            signer,
+            tag,
+            prepared,
+        })
 }
 
 fn payload() -> impl Strategy<Value = Payload> {
@@ -46,6 +75,36 @@ fn payload() -> impl Strategy<Value = Payload> {
                 commands
             }),
         any::<u64>().prop_map(|from_round| Payload::StateRequest { from_round }),
+        (any::<u64>(), rows_strategy(), sigs_strategy())
+            .prop_map(|(round, rows, chain)| Payload::BatchRelay { round, rows, chain }),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            0u8..3,
+            rows_strategy(),
+            any::<u64>()
+        )
+            .prop_map(|(round, view, phase, rows, tag)| Payload::BatchVote {
+                round,
+                view,
+                phase,
+                rows,
+                tag
+            }),
+        (any::<u64>(), view_change_strategy())
+            .prop_map(|(round, vote)| Payload::BatchViewChange { round, vote }),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            rows_strategy(),
+            prop::collection::vec(view_change_strategy(), 0..3)
+        )
+            .prop_map(|(round, view, rows, justification)| Payload::BatchNewView {
+                round,
+                view,
+                rows,
+                justification
+            }),
         (
             any::<u64>(),
             any::<u64>(),

@@ -23,6 +23,7 @@ fn main() {
         delta: Duration::from_millis(40),
         queue_cap: 4096,
         seed: 9,
+        consensus: csm_node::ConsensusKind::LeaderEcho,
     };
     println!(
         "cluster: N = {}, K = {} bank shards, b = {} (accept at {} matching replies)",

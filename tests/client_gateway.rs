@@ -25,6 +25,7 @@ fn config(cluster: usize, shards: usize, b: usize, clients: usize, cmds: usize) 
         delta: Duration::from_millis(40),
         queue_cap: 4096,
         seed: 23,
+        consensus: csm_node::ConsensusKind::LeaderEcho,
     }
 }
 
@@ -101,6 +102,7 @@ fn aggressive_retries_stay_idempotent() {
                 })
                 .collect(),
             behavior: BehaviorKind::Honest,
+            staging_fault: csm_node::StagingFault::None,
         };
         let timing = csm_node::ExchangeTiming::synchronous(cfg2.assumed_faults, cfg2.delta)
             .with_full_finalize();
@@ -211,6 +213,7 @@ fn read_only_queries_observe_only_committed_state() {
             } else {
                 BehaviorKind::Honest
             },
+            staging_fault: csm_node::StagingFault::None,
         };
         let timing = csm_node::ExchangeTiming::synchronous(b, Duration::from_millis(40))
             .with_full_finalize();
@@ -281,6 +284,7 @@ fn flood_is_rejected_without_losing_the_admitted_commands() {
             machine,
             initial_states: vec![vec![coded_state_machine::algebra::Field::from_u64(100)]],
             behavior: BehaviorKind::Honest,
+            staging_fault: csm_node::StagingFault::None,
         };
         let timing = csm_node::ExchangeTiming::synchronous(b, Duration::from_millis(30))
             .with_full_finalize();
