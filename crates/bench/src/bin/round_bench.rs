@@ -29,6 +29,7 @@ use csm_node::{
     PipelineReport,
 };
 use csm_statemachine::machines::bank_machine;
+use csm_telemetry::{NullSink, RoundSpan, Sink};
 use csm_transport::mem::MemMesh;
 use csm_transport::tcp::TcpMesh;
 use csm_transport::Transport;
@@ -56,6 +57,11 @@ struct Row {
     /// for the modeled sim rows).
     round_p50_ms: Option<f64>,
     round_p99_ms: Option<f64>,
+    /// Per-phase `(name, p50_ms, p99_ms)` breakdown of the round wall —
+    /// staging wait, coded execution, §5.2 exchange, decode+commit —
+    /// measured directly in `run_pipelined` (no telemetry sink on the
+    /// path). Empty for the modeled sim rows.
+    phases: Vec<(&'static str, f64, f64)>,
     modeled: bool,
 }
 
@@ -115,6 +121,7 @@ fn bench_sim() -> (Row, Row) {
             wall_ms: modeled_wall.as_secs_f64() * 1e3,
             round_p50_ms: None,
             round_p99_ms: None,
+            phases: Vec::new(),
             modeled: true,
         }
     };
@@ -130,7 +137,7 @@ fn bench_sim() -> (Row, Row) {
 fn run_cluster<T: Transport + 'static>(
     transports: Vec<T>,
     cfg: &PipelineConfig,
-) -> (Duration, LatencyHistogram) {
+) -> (Duration, LatencyHistogram, Vec<(&'static str, f64, f64)>) {
     let registry = cluster_registry(N, SEED);
     // one spec per cluster: the codebook behind the Arc<CodedMachine> is
     // built once, nodes differ only in behavior
@@ -169,8 +176,30 @@ fn run_cluster<T: Transport + 'static>(
             rounds.record(d);
         }
     }
+    let phase_walls: [(&'static str, fn(&PipelineReport<Fp61>) -> &Vec<Duration>); 4] = [
+        ("stage", |r| &r.stage_wall),
+        ("execute", |r| &r.execute_wall),
+        ("exchange", |r| &r.exchange_wall),
+        ("decode", |r| &r.decode_wall),
+    ];
+    let phases = phase_walls
+        .iter()
+        .map(|(name, walls)| {
+            let mut hist = LatencyHistogram::new();
+            for r in &reports {
+                for &d in walls(r) {
+                    hist.record(d);
+                }
+            }
+            (
+                *name,
+                hist.p50().as_secs_f64() * 1e3,
+                hist.p99().as_secs_f64() * 1e3,
+            )
+        })
+        .collect();
     let wall = reports.iter().map(|r| r.elapsed).max().expect("nonempty");
-    (wall, rounds)
+    (wall, rounds, phases)
 }
 
 fn bench_real(backend: &'static str) -> (Row, Row) {
@@ -184,7 +213,7 @@ fn bench_real(backend: &'static str) -> (Row, Row) {
         ),
         ("pipelined", PipelineConfig::pipelined(STAGE_DELTA, quorum)),
     ] {
-        let (wall, rounds) = match backend {
+        let (wall, rounds, phases) = match backend {
             "mem-mesh" => run_cluster(MemMesh::build(Arc::clone(&registry)), &cfg),
             "tcp" => run_cluster(
                 TcpMesh::launch_loopback(Arc::clone(&registry)).expect("bind loopback"),
@@ -199,12 +228,39 @@ fn bench_real(backend: &'static str) -> (Row, Row) {
             wall_ms: wall.as_secs_f64() * 1e3,
             round_p50_ms: Some(rounds.p50().as_secs_f64() * 1e3),
             round_p99_ms: Some(rounds.p99().as_secs_f64() * 1e3),
+            phases,
             modeled: false,
         });
     }
     let pipe = rows.pop().expect("two rows");
     let seq = rows.pop().expect("two rows");
     (seq, pipe)
+}
+
+/// Measures what a fully-instrumented round costs against the default
+/// [`NullSink`]: one span start, the six per-round phase marks, and the
+/// finish. Returned as nanoseconds per round, so the JSON can record the
+/// disabled-telemetry overhead as a fraction of a real round.
+fn null_sink_round_cost() -> Duration {
+    use csm_telemetry::Phase;
+    const ITERS: u32 = 100_000;
+    let sink = NullSink;
+    let started = Instant::now();
+    for round in 0..ITERS as u64 {
+        let mut span = RoundSpan::start(&sink as &dyn Sink, 0, round);
+        for phase in [
+            Phase::Consensus,
+            Phase::Execute,
+            Phase::Exchange,
+            Phase::Decode,
+            Phase::WalFsync,
+            Phase::Reply,
+        ] {
+            span.mark(phase);
+        }
+        span.finish();
+    }
+    started.elapsed() / ITERS
 }
 
 fn main() {
@@ -216,6 +272,20 @@ fn main() {
         rows.extend([a, b]);
     }
 
+    // the telemetry acceptance bar: with the default NullSink, a round's
+    // worth of span bookkeeping must stay under 1% of a real round
+    let span_cost = null_sink_round_cost();
+    let reference_p50_ms = rows
+        .iter()
+        .filter_map(|r| r.round_p50_ms)
+        .fold(f64::INFINITY, f64::min);
+    let null_sink_overhead_pct =
+        (span_cost.as_secs_f64() * 1e3 / reference_p50_ms.max(1e-9)) * 100.0;
+    assert!(
+        null_sink_overhead_pct < 1.0,
+        "NullSink instrumentation costs {null_sink_overhead_pct:.4}% of a round (>= 1%)"
+    );
+
     let mut json = String::from("{\n");
     json.push_str("  \"bench\": \"round_throughput\",\n");
     json.push_str(&format!(
@@ -226,11 +296,28 @@ fn main() {
         DELTA.as_millis(),
         STAGE_DELTA.as_millis()
     ));
-    json.push_str("  \"machine\": \"bank\",\n  \"configs\": [\n");
+    json.push_str("  \"machine\": \"bank\",\n");
+    json.push_str(&format!(
+        "  \"null_sink_span_cost_ns\": {},\n  \"null_sink_overhead_pct\": {:.5},\n",
+        span_cost.as_nanos(),
+        null_sink_overhead_pct
+    ));
+    json.push_str("  \"configs\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let percentiles = match (r.round_p50_ms, r.round_p99_ms) {
             (Some(p50), Some(p99)) => {
-                format!(", \"round_p50_ms\": {p50:.3}, \"round_p99_ms\": {p99:.3}")
+                let phases = r
+                    .phases
+                    .iter()
+                    .map(|(name, p50, p99)| {
+                        format!("\"{name}\": {{\"p50_ms\": {p50:.3}, \"p99_ms\": {p99:.3}}}")
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!(
+                    ", \"round_p50_ms\": {p50:.3}, \"round_p99_ms\": {p99:.3}, \
+                     \"phase_ms\": {{{phases}}}"
+                )
             }
             _ => String::new(),
         };

@@ -11,6 +11,18 @@
 //! commands commit, every accepted output reproduces the reference bank
 //! balance chain, and honest nodes agree on all commit digests.
 //!
+//! Each run also scrapes the live cluster's telemetry
+//! (`docs/OBSERVABILITY.md`) and cross-checks the instrumentation against
+//! reality before recording the per-phase breakdown:
+//!
+//! * the top-level phase p50s must sum to within 10% of the measured
+//!   end-to-end round p50 (the spans partition a round);
+//! * an honest node must have detected the equivocator (nonzero
+//!   `equivocation_detected.peer0`) and rejected forged MACs attributed
+//!   to a Byzantine peer;
+//! * the incident must have left a parseable flight-recorder dump naming
+//!   a Byzantine peer.
+//!
 //! ```sh
 //! cargo run --release -p csm-bench --bin workload_bench
 //! WORKLOAD_SMOKE=1 cargo run --release -p csm-bench --bin workload_bench  # CI-sized
@@ -21,6 +33,8 @@ use csm_bench::workload::{
     WorkloadConfig, WorkloadOutcome,
 };
 use csm_node::ConsensusKind;
+use csm_telemetry::{FlightDump, TelemetrySnapshot};
+use std::path::PathBuf;
 use std::time::Duration;
 
 const N: usize = 8;
@@ -30,6 +44,8 @@ const SEED: u64 = 42;
 const DELTA: Duration = Duration::from_millis(40);
 /// The two result-phase Byzantine nodes every config runs with.
 const BYZANTINE: [usize; 2] = [0, 1];
+/// The honest node whose scraped snapshot supplies the per-phase columns.
+const PROBE_NODE: usize = 2;
 
 #[derive(Debug)]
 struct Row {
@@ -43,6 +59,107 @@ struct Row {
     max_ms: f64,
     cmds_per_sec: f64,
     wall_ms: f64,
+    /// Node-side per-phase p50s (ms) from the probe node's scraped
+    /// snapshot, in `(phase, p50)` form so absent phases stay absent.
+    phase_p50_ms: Vec<(String, f64)>,
+    /// Sum of the top-level phase p50s (ms) — the instrumented account.
+    phase_sum_p50_ms: f64,
+    /// The measured end-to-end round p50 (ms) it must agree with.
+    round_p50_ms: f64,
+    /// Equivocation detections the probe node attributed to node 0.
+    equivocations_detected: u64,
+    /// Forged frames the probe node's transport rejected (bad MAC).
+    macs_rejected: u64,
+}
+
+/// The scraped per-phase columns plus the Byzantine-evidence counters,
+/// validated against the acceptance rules along the way.
+fn telemetry_columns(
+    label: &str,
+    outcome: &WorkloadOutcome,
+) -> (Vec<(String, f64)>, f64, f64, u64, u64) {
+    let (_, snap): &(usize, TelemetrySnapshot) = outcome
+        .telemetry
+        .iter()
+        .find(|(node, _)| *node == PROBE_NODE)
+        .unwrap_or_else(|| panic!("{label}: probe node {PROBE_NODE} answered no scrape"));
+
+    let round = snap
+        .phase("round")
+        .unwrap_or_else(|| panic!("{label}: no round phase recorded"));
+    let round_p50_ms = round.p50_us as f64 / 1e3;
+    let phase_sum_p50_ms = snap.top_level_p50_sum().as_secs_f64() * 1e3;
+    let drift = (phase_sum_p50_ms - round_p50_ms).abs() / round_p50_ms.max(1e-9);
+    assert!(
+        drift <= 0.10,
+        "{label}: phase p50 sum {phase_sum_p50_ms:.2}ms vs round p50 {round_p50_ms:.2}ms \
+         ({:.1}% drift > 10%)",
+        drift * 100.0
+    );
+
+    let equivocations: u64 = snap
+        .counter_by_peer("equivocation_detected")
+        .iter()
+        .filter(|(peer, _)| BYZANTINE.contains(peer))
+        .map(|(_, v)| v)
+        .sum();
+    assert!(
+        equivocations > 0,
+        "{label}: honest node {PROBE_NODE} never detected the equivocator"
+    );
+    let macs: u64 = snap
+        .counter_by_peer("mac_rejected")
+        .iter()
+        .filter(|(peer, _)| BYZANTINE.contains(peer))
+        .map(|(_, v)| v)
+        .sum();
+    assert!(
+        macs > 0,
+        "{label}: no MAC rejections attributed to a Byzantine peer"
+    );
+
+    let phase_p50_ms = snap
+        .phases
+        .iter()
+        .filter(|p| p.phase != "round")
+        .map(|p| (p.phase.clone(), p.p50_us as f64 / 1e3))
+        .collect();
+    (
+        phase_p50_ms,
+        phase_sum_p50_ms,
+        round_p50_ms,
+        equivocations,
+        macs,
+    )
+}
+
+/// Asserts at least one parseable flight-recorder dump in `dir` names a
+/// Byzantine peer, then cleans the directory up.
+fn check_flight_dumps(label: &str, dir: &PathBuf) {
+    let entries = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("{label}: no flight-recorder dir {}: {e}", dir.display()));
+    let mut named_byzantine = false;
+    let mut dumps = 0usize;
+    for entry in entries {
+        let path = entry.expect("flight dir entry").path();
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{label}: unreadable dump {}: {e}", path.display()));
+        let dump = FlightDump::from_json(&text)
+            .unwrap_or_else(|e| panic!("{label}: unparseable dump {}: {e}", path.display()));
+        dumps += 1;
+        if dump
+            .implicated_peers()
+            .iter()
+            .any(|p| BYZANTINE.contains(&(*p as usize)))
+        {
+            named_byzantine = true;
+        }
+    }
+    assert!(
+        dumps > 0 && named_byzantine,
+        "{label}: {dumps} flight dumps, none naming a Byzantine peer"
+    );
+    let _ = std::fs::remove_dir_all(dir);
 }
 
 fn run_config(
@@ -51,6 +168,11 @@ fn run_config(
     clients: usize,
     commands_per_client: usize,
 ) -> Row {
+    let flight_dir = std::env::temp_dir().join(format!(
+        "csm-workload-flight-{}-{backend}-{consensus}-{clients}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&flight_dir);
     let cfg = WorkloadConfig {
         cluster: N,
         shards: K,
@@ -61,23 +183,31 @@ fn run_config(
         queue_cap: 4096,
         seed: SEED,
         consensus,
+        scrape: true,
+        flight_dir: Some(flight_dir.clone()),
     };
     let outcome: WorkloadOutcome = match backend {
         "mem-mesh" => run_mem_workload(&cfg, one_equivocator_one_withholder),
         "tcp" => run_tcp_workload(&cfg, one_equivocator_one_withholder),
         _ => unreachable!("unknown backend"),
     };
-    verify_bank_outcome(&cfg, &outcome, &BYZANTINE).unwrap_or_else(|e| {
-        panic!("{backend}/{consensus}/{clients} clients failed verification: {e}")
-    });
+    let label = format!("{backend}/{consensus}/{clients} clients");
+    verify_bank_outcome(&cfg, &outcome, &BYZANTINE)
+        .unwrap_or_else(|e| panic!("{label} failed verification: {e}"));
+    let (phase_p50_ms, phase_sum_p50_ms, round_p50_ms, equivocations_detected, macs_rejected) =
+        telemetry_columns(&label, &outcome);
+    check_flight_dumps(&label, &flight_dir);
     let lat = outcome.merged_latencies();
     eprintln!(
-        "{backend}/{consensus}: {clients} clients x {commands_per_client} cmds -> {} committed, \
-         p50 {:.0}ms p99 {:.0}ms, {:.1} cmds/s",
+        "{label} x {commands_per_client} cmds -> {} committed, \
+         p50 {:.0}ms p99 {:.0}ms, {:.1} cmds/s; node phases sum {:.0}ms vs round {:.0}ms, \
+         {equivocations_detected} equivocations / {macs_rejected} bad MACs pinned",
         outcome.committed(),
         lat.p50().as_secs_f64() * 1e3,
         lat.p99().as_secs_f64() * 1e3,
-        outcome.commands_per_sec()
+        outcome.commands_per_sec(),
+        phase_sum_p50_ms,
+        round_p50_ms,
     );
     Row {
         backend,
@@ -90,6 +220,11 @@ fn run_config(
         max_ms: lat.max().as_secs_f64() * 1e3,
         cmds_per_sec: outcome.commands_per_sec(),
         wall_ms: outcome.client_elapsed.as_secs_f64() * 1e3,
+        phase_p50_ms,
+        phase_sum_p50_ms,
+        round_p50_ms,
+        equivocations_detected,
+        macs_rejected,
     }
 }
 
@@ -124,13 +259,24 @@ fn main() {
          \"delta_ms\": {},\n  \"machine\": \"bank\",\n",
         DELTA.as_millis()
     ));
-    json.push_str("  \"configs\": [\n");
+    json.push_str(&format!(
+        "  \"phase_probe_node\": {PROBE_NODE},\n  \"configs\": [\n"
+    ));
     for (i, r) in rows.iter().enumerate() {
+        let phases = r
+            .phase_p50_ms
+            .iter()
+            .map(|(phase, p50)| format!("\"{phase}\": {p50:.2}"))
+            .collect::<Vec<_>>()
+            .join(", ");
         json.push_str(&format!(
             "    {{\"backend\": \"{}\", \"consensus\": \"{}\", \"clients\": {}, \
              \"commands\": {}, \
              \"committed\": {}, \"p50_ms\": {:.1}, \"p99_ms\": {:.1}, \"max_ms\": {:.1}, \
-             \"cmds_per_sec\": {:.1}, \"wall_ms\": {:.1}}}{}\n",
+             \"cmds_per_sec\": {:.1}, \"wall_ms\": {:.1}, \
+             \"node_phase_p50_ms\": {{{phases}}}, \"node_phase_sum_p50_ms\": {:.2}, \
+             \"node_round_p50_ms\": {:.2}, \"equivocations_detected\": {}, \
+             \"macs_rejected\": {}}}{}\n",
             r.backend,
             r.consensus,
             r.clients,
@@ -141,6 +287,10 @@ fn main() {
             r.max_ms,
             r.cmds_per_sec,
             r.wall_ms,
+            r.phase_sum_p50_ms,
+            r.round_p50_ms,
+            r.equivocations_detected,
+            r.macs_rejected,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }

@@ -90,6 +90,8 @@ impl RejoinConfig {
             queue_cap: 4096,
             seed: self.seed,
             consensus: csm_node::ConsensusKind::LeaderEcho,
+            scrape: false,
+            flight_dir: None,
         }
     }
 }

@@ -18,9 +18,11 @@ use csm_node::{
     GatewayConfig, GatewayReport, GatewaySpec, StagingFault,
 };
 use csm_statemachine::machines::bank_machine;
+use csm_telemetry::TelemetrySnapshot;
 use csm_transport::mem::MemMesh;
 use csm_transport::tcp::TcpMesh;
 use csm_transport::Transport;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
@@ -48,9 +50,22 @@ pub struct WorkloadConfig {
     pub seed: u64,
     /// Which batch-consensus backend the gateways run.
     pub consensus: ConsensusKind,
+    /// When `true`, a dedicated scraper endpoint (registry id
+    /// `cluster + clients`) collects a [`TelemetrySnapshot`] from every
+    /// gateway after the clients finish, before the cluster is stopped.
+    pub scrape: bool,
+    /// When set, gateways dump their flight recorder here on incidents
+    /// (Byzantine detection, desync, resync, decode failure).
+    pub flight_dir: Option<PathBuf>,
 }
 
 impl WorkloadConfig {
+    /// The number of transport endpoints this run needs: the cluster,
+    /// every client, plus the scraper when telemetry is collected.
+    pub fn endpoints(&self) -> usize {
+        self.cluster + self.clients + usize::from(self.scrape)
+    }
+
     /// Shard a client submits to (fixed per client).
     pub fn shard_of(&self, client_idx: usize) -> usize {
         client_idx % self.shards
@@ -104,6 +119,10 @@ pub struct WorkloadOutcome {
     /// Wall clock until the last *client* finished (the throughput
     /// denominator — node shutdown drains are excluded).
     pub client_elapsed: Duration,
+    /// Telemetry snapshots scraped from the live cluster (one per
+    /// answering node, by node id). Empty unless
+    /// [`WorkloadConfig::scrape`] is set.
+    pub telemetry: Vec<(usize, TelemetrySnapshot)>,
 }
 
 impl WorkloadOutcome {
@@ -173,8 +192,8 @@ pub fn run_bank_workload_with_faults<T: Transport + 'static>(
 ) -> WorkloadOutcome {
     assert_eq!(
         transports.len(),
-        cfg.cluster + cfg.clients,
-        "mesh must host the cluster plus every client"
+        cfg.endpoints(),
+        "mesh must host the cluster, every client, and the scraper"
     );
     let machine = Arc::new(
         CodedMachine::<Fp61>::new(
@@ -193,13 +212,21 @@ pub fn run_bank_workload_with_faults<T: Transport + 'static>(
         let mut c = GatewayConfig::new(cfg.cluster, cfg.assumed_faults, &timing)
             .with_consensus(cfg.consensus);
         c.queue_cap = cfg.queue_cap;
+        if let Some(dir) = &cfg.flight_dir {
+            c = c.with_flight_dir(dir.clone());
+        }
         c
     };
     let stop = Arc::new(AtomicBool::new(false));
     let started = Instant::now();
 
     let mut transports = transports;
-    let client_transports = transports.split_off(cfg.cluster);
+    let mut client_transports = transports.split_off(cfg.cluster);
+    let scraper_transport = if cfg.scrape {
+        client_transports.pop()
+    } else {
+        None
+    };
     let mut node_handles = Vec::new();
     for (id, transport) in transports.into_iter().enumerate() {
         let registry = Arc::clone(&registry);
@@ -264,6 +291,15 @@ pub fn run_bank_workload_with_faults<T: Transport + 'static>(
         .collect();
     clients.sort_by_key(|c| c.index);
     let client_elapsed = started.elapsed();
+    // scrape while the gateways are still looping (they answer telemetry
+    // requests once per round iteration), then stop the cluster
+    let telemetry = match scraper_transport {
+        Some(transport) => {
+            let mut scraper = CsmClient::new(transport, Arc::clone(&registry), client_cfg);
+            scraper.scrape(cfg.delta * 16 + Duration::from_secs(2))
+        }
+        None => Vec::new(),
+    };
     stop.store(true, Ordering::Relaxed);
     let mut nodes: Vec<GatewayReport<Fp61>> = node_handles
         .into_iter()
@@ -275,6 +311,7 @@ pub fn run_bank_workload_with_faults<T: Transport + 'static>(
         nodes,
         elapsed: started.elapsed(),
         client_elapsed,
+        telemetry,
     }
 }
 
@@ -292,7 +329,7 @@ pub fn run_mem_workload_with_faults(
     behavior_of: impl Fn(usize) -> BehaviorKind,
     staging_fault_of: impl Fn(usize) -> StagingFault,
 ) -> WorkloadOutcome {
-    let registry = mesh_registry(cfg.cluster, cfg.clients, cfg.seed);
+    let registry = mesh_registry(cfg.cluster, cfg.endpoints() - cfg.cluster, cfg.seed);
     let transports = MemMesh::build(Arc::clone(&registry));
     run_bank_workload_with_faults(transports, registry, cfg, behavior_of, staging_fault_of)
 }
@@ -311,7 +348,7 @@ pub fn run_tcp_workload_with_faults(
     behavior_of: impl Fn(usize) -> BehaviorKind,
     staging_fault_of: impl Fn(usize) -> StagingFault,
 ) -> WorkloadOutcome {
-    let registry = mesh_registry(cfg.cluster, cfg.clients, cfg.seed);
+    let registry = mesh_registry(cfg.cluster, cfg.endpoints() - cfg.cluster, cfg.seed);
     let transports = TcpMesh::launch_loopback(Arc::clone(&registry)).expect("bind loopback mesh");
     run_bank_workload_with_faults(transports, registry, cfg, behavior_of, staging_fault_of)
 }
@@ -416,6 +453,8 @@ mod tests {
             queue_cap: 64,
             seed: 11,
             consensus: ConsensusKind::LeaderEcho,
+            scrape: true,
+            flight_dir: None,
         };
         let outcome = run_mem_workload(&cfg, |id| {
             if id == 0 {
@@ -427,5 +466,13 @@ mod tests {
         verify_bank_outcome(&cfg, &outcome, &[0]).expect("outcome verifies");
         assert_eq!(outcome.committed(), 8);
         assert!(outcome.merged_latencies().p99() > Duration::ZERO);
+        // the scraper heard from every node, and each snapshot accounts
+        // for the committed rounds
+        assert_eq!(outcome.telemetry.len(), cfg.cluster);
+        for (node, snap) in &outcome.telemetry {
+            assert_eq!(snap.node, *node as u64);
+            assert!(snap.phase("round").is_some(), "node {node} timed rounds");
+            assert!(snap.counter("admitted") > 0, "node {node} admitted");
+        }
     }
 }

@@ -25,6 +25,7 @@
 
 use csm_core::client::{accept_replies, DeliveryStatus};
 use csm_network::auth::KeyRegistry;
+use csm_telemetry::TelemetrySnapshot;
 use csm_transport::{Frame, Payload, RecvError, Transport};
 use std::fmt;
 use std::sync::Arc;
@@ -137,6 +138,7 @@ pub struct CsmClient<T: Transport> {
     cfg: ClientConfig,
     next_seq: u64,
     next_qid: u64,
+    next_nonce: u64,
 }
 
 impl<T: Transport> CsmClient<T> {
@@ -159,6 +161,7 @@ impl<T: Transport> CsmClient<T> {
             cfg,
             next_seq: 0,
             next_qid: 0,
+            next_nonce: 0,
         }
     }
 
@@ -316,6 +319,66 @@ impl<T: Transport> CsmClient<T> {
             seq: qid,
             best_matching: best,
         })
+    }
+
+    /// Scrapes the cluster's telemetry: broadcasts a signed
+    /// [`Payload::TelemetryRequest`] and collects at most one
+    /// [`Payload::TelemetryReply`] per node until `timeout` elapses or
+    /// every node has answered, returning the parsed snapshots sorted by
+    /// node id.
+    ///
+    /// Unlike [`CsmClient::submit`]/[`CsmClient::query`] there is no
+    /// `b + 1` quorum rule: a snapshot is each node's *self-reported*
+    /// diagnostics, MAC-bound to the sender but not validated by other
+    /// nodes — a Byzantine node may lie about its own metrics. Replies
+    /// whose snapshot JSON fails to parse are dropped, so a malformed
+    /// reply cannot poison the scrape. Missing or silent nodes simply
+    /// yield no entry; callers decide how many answers they need.
+    pub fn scrape(&mut self, timeout: Duration) -> Vec<(usize, TelemetrySnapshot)> {
+        let nonce = self.next_nonce;
+        self.next_nonce += 1;
+        let me = self.transport.local_id();
+        let frame = Frame::sign(Payload::TelemetryRequest { nonce }, &self.registry, me);
+        let _ = self.transport.broadcast_upto(self.cfg.cluster, &frame);
+        let mut by_node: Vec<Option<TelemetrySnapshot>> = vec![None; self.cfg.cluster];
+        let mut answered = 0usize;
+        let deadline = Instant::now() + timeout;
+        while answered < self.cfg.cluster {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let frame = match self.transport.recv_timeout(deadline - now) {
+                Ok(frame) => frame,
+                Err(RecvError::Timeout) | Err(RecvError::Disconnected) => break,
+            };
+            let Payload::TelemetryReply {
+                nonce: r_nonce,
+                node,
+                snapshot,
+                ..
+            } = frame.payload
+            else {
+                continue;
+            };
+            let signer = frame.sig.signer.0;
+            if signer >= self.cfg.cluster
+                || signer as u64 != node
+                || r_nonce != nonce
+                || by_node[signer].is_some()
+            {
+                continue;
+            }
+            if let Ok(parsed) = TelemetrySnapshot::from_json(&snapshot) {
+                by_node[signer] = Some(parsed);
+                answered += 1;
+            }
+        }
+        by_node
+            .into_iter()
+            .enumerate()
+            .filter_map(|(node, snap)| snap.map(|s| (node, s)))
+            .collect()
     }
 
     /// Records one inbound frame if it is a query reply from a cluster

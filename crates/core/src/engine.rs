@@ -356,6 +356,9 @@ pub struct RoundCommit<F> {
     pub digest: u64,
     /// How many word slots held usable results when decoding.
     pub results_held: usize,
+    /// Nodes whose broadcast results the decoder identified as erroneous
+    /// this round (Byzantine detection as a side effect of decoding).
+    pub detected_error_nodes: Vec<usize>,
 }
 
 /// What a node hands its exchange driver for broadcasting: the sans-I/O
@@ -577,6 +580,7 @@ impl<F: Field> RoundEngine<F> {
             digest: digest_results(&results),
             results,
             results_held: decoded.results_held,
+            detected_error_nodes: decoded.detected_error_nodes.clone(),
         };
         let coded = self.machine.encode_state_at(self.node, &decoded.new_states);
         self.install_state(coded);

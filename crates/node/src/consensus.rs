@@ -32,6 +32,7 @@ use csm_consensus::batch::{
 use csm_network::auth::{KeyRegistry, Signature};
 use csm_network::NodeId;
 use csm_storage::{PROTOCOL_DOLEV_STRONG, PROTOCOL_LEADER_ECHO, PROTOCOL_PBFT};
+use csm_telemetry::{Event, Phase};
 use csm_transport::{
     Payload, PreparedCertWire, Transport, ViewChangeWire, PHASE_COMMIT, PHASE_PREPARE,
     PHASE_PRE_PREPARE,
@@ -257,6 +258,8 @@ impl<T: Transport> BatchConsensus<T> for LeaderEcho {
     ) -> Option<BatchRows> {
         let leader = (round % self.cluster as u64) as usize;
         let me = rt.id().0;
+        let sink = Arc::clone(rt.sink());
+        let started = Instant::now();
         if me == leader {
             match fault {
                 StagingFault::None => rt.announce_stage(round, proposal),
@@ -274,7 +277,16 @@ impl<T: Transport> BatchConsensus<T> for LeaderEcho {
                 rt.announce_stage(round, rows);
             }
         }
-        rt.wait_for_stage(round, self.quorum, self.stage_timeout)
+        let proposed = Instant::now();
+        sink.phase(
+            me,
+            round,
+            Phase::ConsensusPropose,
+            proposed.duration_since(started),
+        );
+        let decided = rt.wait_for_stage(round, self.quorum, self.stage_timeout);
+        sink.phase(me, round, Phase::ConsensusCommit, proposed.elapsed());
+        decided
     }
 }
 
@@ -326,6 +338,7 @@ impl<T: Transport> BatchConsensus<T> for DolevStrong {
     ) -> Option<BatchRows> {
         let leader = (round % self.cluster as u64) as usize;
         let me = rt.id().0;
+        let sink = Arc::clone(rt.sink());
         let mut ds = DsBatch::new(
             round,
             self.cluster,
@@ -361,6 +374,8 @@ impl<T: Transport> BatchConsensus<T> for DolevStrong {
         // up to a round-entry skew ahead) — a quarter-round grace would
         // let those two decide differently
         let deadline = started + self.relay_delta * (self.faults as u32 + 2);
+        sink.phase(me, round, Phase::ConsensusPropose, started.elapsed());
+        let relay_started = Instant::now();
         while let Some(frame) = rt.poll_consensus(round, deadline) {
             let Payload::BatchRelay { rows, chain, .. } = frame.payload else {
                 continue; // a PBFT frame under a DS cluster: ignore
@@ -386,6 +401,7 @@ impl<T: Transport> BatchConsensus<T> for DolevStrong {
         // on every honest node (client MACs + the committed dedup
         // horizon), so filtering here keeps agreement intact: all honest
         // nodes either adopt the batch or fall back to empty together.
+        sink.phase(me, round, Phase::ConsensusRelay, relay_started.elapsed());
         ds.decide().filter(|rows| valid(rows))
     }
 }
@@ -554,6 +570,7 @@ impl<T: Transport> BatchConsensus<T> for PbftConsensus {
     ) -> Option<BatchRows> {
         let leader = (round % self.cluster as u64) as usize;
         let me = rt.id().0;
+        let sink = Arc::clone(rt.sink());
         let cfg = PbftBatchConfig {
             n: self.cluster,
             f: self.faults,
@@ -588,9 +605,11 @@ impl<T: Transport> BatchConsensus<T> for PbftConsensus {
         // while waiting for the network to stabilize.
         let started = Instant::now();
         let mut cur_view = inst.view();
+        let mut view_started = started;
         let mut view_deadline = started + inst.config().timeout_of(cur_view);
         loop {
             if let Some(rows) = inst.decided() {
+                sink.phase(me, round, Phase::ConsensusCommit, view_started.elapsed());
                 return Some(rows.clone());
             }
             if stop.load(std::sync::atomic::Ordering::Relaxed) {
@@ -616,7 +635,16 @@ impl<T: Transport> BatchConsensus<T> for PbftConsensus {
             }
             if inst.view() != cur_view {
                 cur_view = inst.view();
-                view_deadline = Instant::now() + inst.config().timeout_of(cur_view);
+                // the abandoned view's wall clock is view-change cost
+                sink.phase(
+                    me,
+                    round,
+                    Phase::ConsensusViewChange,
+                    view_started.elapsed(),
+                );
+                sink.event(me, round, None, Event::ViewChange { view: cur_view });
+                view_started = Instant::now();
+                view_deadline = view_started + inst.config().timeout_of(cur_view);
             }
         }
     }

@@ -57,8 +57,10 @@ use crate::{wire_behavior, BehaviorKind, CodedMachine, RoundCommit, RoundEngine}
 use csm_algebra::Field;
 use csm_network::auth::KeyRegistry;
 use csm_network::NodeId;
+use csm_telemetry::{Event, Phase, RecordingSink, RoundSpan, SharedSink, Sink, TeeSink};
 use csm_transport::{Frame, Payload, Transport};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -217,6 +219,17 @@ pub struct GatewayConfig {
     /// default is `2·Δ_exchange + 20 ms` so a full skew plus a delivery
     /// still lands inside one relay round.
     pub consensus_delta: Duration,
+    /// Extra telemetry sink teed with the gateway's internal recording
+    /// sink (e.g. a `ReplaySink` for determinism tests). The gateway
+    /// always aggregates into its own [`RecordingSink`] regardless —
+    /// this only adds a second consumer of the same stream.
+    pub sink: Option<SharedSink>,
+    /// Directory for Byzantine flight-recorder dumps. When set, the
+    /// gateway writes its recent-event ring to a timestamped JSON file
+    /// on desync fail-stop, resync, the first undecodable word, and the
+    /// first decoder-identified Byzantine peer. Defaults from the
+    /// `CSM_FLIGHT_DIR` environment variable; `None` disables dumps.
+    pub flight_dir: Option<PathBuf>,
 }
 
 impl GatewayConfig {
@@ -236,12 +249,26 @@ impl GatewayConfig {
             reply_cache_cap: 4096,
             consensus: ConsensusKind::default(),
             consensus_delta: timing.delta * 2 + Duration::from_millis(20),
+            sink: None,
+            flight_dir: std::env::var_os("CSM_FLIGHT_DIR").map(PathBuf::from),
         }
     }
 
     /// Selects the batch-consensus backend (builder-style).
     pub fn with_consensus(mut self, consensus: ConsensusKind) -> Self {
         self.consensus = consensus;
+        self
+    }
+
+    /// Tees an extra telemetry sink into the gateway (builder-style).
+    pub fn with_sink(mut self, sink: SharedSink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Sets the flight-recorder dump directory (builder-style).
+    pub fn with_flight_dir(mut self, dir: PathBuf) -> Self {
+        self.flight_dir = Some(dir);
         self
     }
 
@@ -308,6 +335,9 @@ pub struct GatewayStats {
     pub wal_appends: u64,
     /// Coded-state snapshots installed (durable mode).
     pub snapshots: u64,
+    /// Cached replies evicted by the global [`GatewayConfig::reply_cache_cap`]
+    /// (never-acknowledging clients past the cap lose retry availability).
+    pub reply_cache_evictions: u64,
     /// The node detected (via `b + 1` peers agreeing on a commit digest
     /// it does not hold) that its state diverged, and fail-stopped
     /// instead of contributing wrong results.
@@ -347,7 +377,9 @@ impl ReplyCache {
         }
     }
 
-    fn insert(&mut self, client: u64, seq: u64, payload: Payload, cap: usize) {
+    /// Returns the clients whose cached reply the cap evicted.
+    fn insert(&mut self, client: u64, seq: u64, payload: Payload, cap: usize) -> Vec<u64> {
+        let mut evicted = Vec::new();
         self.by_client.insert(client, (seq, payload));
         self.order.push_back((client, seq));
         while self.by_client.len() > cap.max(1) {
@@ -357,6 +389,7 @@ impl ReplyCache {
             // only evict if the marker still names the live entry
             if self.by_client.get(&c).is_some_and(|(live, _)| *live == s) {
                 self.by_client.remove(&c);
+                evicted.push(c);
             }
         }
         // stale markers must not accumulate past the live entries either
@@ -369,11 +402,26 @@ impl ReplyCache {
                 self.order.push_back((c, s));
             }
         }
+        evicted
     }
 
     #[cfg(test)]
     fn len(&self) -> usize {
         self.by_client.len()
+    }
+}
+
+/// Where admission incidents are reported and which `(node, round)`
+/// they are attributed to.
+struct EventScope<'a> {
+    sink: &'a dyn Sink,
+    node: usize,
+    round: u64,
+}
+
+impl EventScope<'_> {
+    fn event(&self, event: Event) {
+        self.sink.event(self.node, self.round, None, event);
     }
 }
 
@@ -395,7 +443,8 @@ struct Admission {
 }
 
 impl Admission {
-    /// Runs the admission pass over freshly drained `Submit` frames.
+    /// Runs the admission pass over freshly drained `Submit` frames,
+    /// reporting per-client drop/dedup/replay incidents into `scope`.
     /// Returns cache replays to send (`(client, payload)` pairs).
     fn admit(
         &mut self,
@@ -403,6 +452,7 @@ impl Admission {
         shards: usize,
         input_dim: usize,
         cfg: &GatewayConfig,
+        scope: &EventScope<'_>,
     ) -> Vec<(u64, Payload)> {
         let mut replays = Vec::new();
         for frame in frames {
@@ -423,6 +473,7 @@ impl Admission {
                     match self.replies.get(client, seq) {
                         Some(payload) => {
                             self.stats.replayed += 1;
+                            scope.event(Event::ReplyCacheHit { client });
                             replays.push((client, payload));
                         }
                         None => self.stats.replay_misses += 1,
@@ -439,6 +490,7 @@ impl Admission {
             }
             if self.queued.contains(&(client, seq)) {
                 self.stats.duplicates += 1;
+                scope.event(Event::DedupHit { client });
                 continue;
             }
             if shard as usize >= shards || command.len() != input_dim {
@@ -448,10 +500,12 @@ impl Admission {
             if *self.pending_per_client.get(&client).unwrap_or(&0) >= cfg.client_quota {
                 // one client flooding fills its own quota, not the queue
                 self.stats.rejected_quota += 1;
+                scope.event(Event::AdmissionDrop { client });
                 continue;
             }
             if self.queue.len() >= cfg.queue_cap {
                 self.stats.rejected_full += 1;
+                scope.event(Event::AdmissionDrop { client });
                 continue;
             }
             self.queued.insert((client, seq));
@@ -486,16 +540,20 @@ impl Admission {
     }
 
     /// Records a committed entry: caches its reply, drops it from the
-    /// queue, and advances the client's dedup horizon.
-    fn record_done(&mut self, entry: &BatchEntry, reply: Payload, cache_cap: usize) {
+    /// queue, and advances the client's dedup horizon. Returns the
+    /// clients whose cached replies the cache cap evicted.
+    fn record_done(&mut self, entry: &BatchEntry, reply: Payload, cache_cap: usize) -> Vec<u64> {
+        let mut evicted = Vec::new();
         let advance = self
             .horizon
             .get(&entry.client)
             .is_none_or(|&s| s < entry.seq);
         if advance {
             self.horizon.insert(entry.client, entry.seq);
-            self.replies
+            evicted = self
+                .replies
                 .insert(entry.client, entry.seq, reply, cache_cap);
+            self.stats.reply_cache_evictions += evicted.len() as u64;
         }
         if self.queued.remove(&(entry.client, entry.seq)) {
             self.queue
@@ -507,6 +565,7 @@ impl Admission {
                 }
             }
         }
+        evicted
     }
 }
 
@@ -612,6 +671,33 @@ pub(crate) fn gateway_loop<F: Field, T: Transport>(
     // pbft), built once — the protocol choice is static per gateway
     let backend = cfg.consensus.backend::<T>(cfg, Arc::clone(&keys));
 
+    // the telemetry fan-out: the gateway always aggregates into its own
+    // recording sink (so any registered identity can scrape a snapshot),
+    // teed with the config's extra sink when one is injected (tests)
+    let recording = Arc::new(RecordingSink::new());
+    let sink: SharedSink = match &cfg.sink {
+        Some(extra) => Arc::new(TeeSink::new(vec![
+            Arc::clone(&recording) as SharedSink,
+            Arc::clone(extra),
+        ])),
+        None => Arc::clone(&recording) as SharedSink,
+    };
+    rt.set_sink(Arc::clone(&sink));
+    let flight_dump = |round: u64, reason: &str| {
+        if let Some(dir) = &cfg.flight_dir {
+            if let Err(e) = recording.dump(dir, id, round, reason) {
+                csm_telemetry::warn!("node {id}: flight dump ({reason}) failed: {e}");
+            }
+        }
+    };
+    // one dump per first detection of a Byzantine peer, one for the
+    // first undecodable word — incidents after that are in the ring
+    let mut dumped_peers: BTreeSet<usize> = BTreeSet::new();
+    let mut dumped_decode_failure = false;
+    // per-claimed-peer bad-MAC totals the transport already attributed,
+    // diffed each round to surface fresh rejections as ring events
+    let mut seen_bad_mac: BTreeMap<usize, u64> = BTreeMap::new();
+
     while !stop.load(Ordering::Relaxed) && round < cfg.max_rounds {
         // serve recovering peers and read-only clients from the latest
         // committed (and, in durable mode, logged) round
@@ -624,6 +710,17 @@ pub(crate) fn gateway_loop<F: Field, T: Transport>(
             spec.behavior,
             &mut admission.stats,
         );
+
+        // surface fresh transport-attributed MAC rejections as events
+        // (the snapshot merges the transport's exact totals separately)
+        for (peer, total) in rt.transport().stats().bad_mac_by_peer() {
+            let seen = seen_bad_mac.entry(peer).or_insert(0);
+            if total > *seen {
+                *seen = total;
+                sink.event(id, round, Some(peer), Event::MacRejected);
+            }
+        }
+        serve_telemetry(&mut rt, &recording, id, round, &admission.stats);
 
         // divergence handling: `b + 1` peers agreeing on a commit this
         // node does not hold proves an honest majority moved on without
@@ -651,6 +748,8 @@ pub(crate) fn gateway_loop<F: Field, T: Transport>(
                     &admission.horizon,
                 ) {
                     admission.stats.resyncs += 1;
+                    sink.event(id, round, None, Event::Resync);
+                    flight_dump(round, "resync");
                     // history before the transfer is no longer this
                     // node's to vouch for
                     commits.clear();
@@ -668,10 +767,19 @@ pub(crate) fn gateway_loop<F: Field, T: Transport>(
             }
         } else if diverged {
             admission.stats.desynced = true;
+            sink.event(id, round, None, Event::Desync);
+            flight_dump(round, "desync");
             break;
         }
 
-        for (client, payload) in admission.admit(rt.take_client_frames(), shards, input_dim, cfg) {
+        let scope = EventScope {
+            sink: sink.as_ref(),
+            node: id,
+            round,
+        };
+        for (client, payload) in
+            admission.admit(rt.take_client_frames(), shards, input_dim, cfg, &scope)
+        {
             // cache replays go through the same Byzantine reply filter as
             // first-time replies: a withholder stays silent on retries too
             if let Some(payload) = reply_after_fault(payload, spec.behavior) {
@@ -694,9 +802,23 @@ pub(crate) fn gateway_loop<F: Field, T: Transport>(
                     .all(|e| horizon.get(&e.client).is_none_or(|&s| s < e.seq))
             })
         };
+        if matches!(spec.behavior, BehaviorKind::Equivocate) {
+            // wire-level misbehavior to go with the result equivocation:
+            // each round, forge one frame in the next peer's name. Honest
+            // transports drop it on MAC failure and attribute the
+            // rejection to the *claimed* signer, exercising the per-peer
+            // `mac_rejected` counters without any protocol effect.
+            let victim = NodeId((id + 1) % cluster);
+            let forged = Frame::forge(Payload::Ping { nonce: round }, &keys, NodeId(id), victim);
+            let _ = rt.transport().broadcast_upto(cluster, &forged);
+        }
+
+        let mut span = RoundSpan::start(sink.as_ref(), id, round);
         let agreed = backend.agree(&mut rt, round, proposal, &valid, spec.staging_fault, stop);
+        span.mark(Phase::Consensus);
         if agreed.is_none() {
             admission.stats.stage_fallbacks += 1;
+            sink.event(id, round, None, Event::StageFallback);
         }
         let batch = agreed
             .as_deref()
@@ -704,6 +826,7 @@ pub(crate) fn gateway_loop<F: Field, T: Transport>(
             .unwrap_or_default();
         if batch.is_empty() {
             admission.stats.empty_rounds += 1;
+            sink.event(id, round, None, Event::EmptyRound);
         }
 
         // expand to the full K-wide command vector; idle shards run the
@@ -715,11 +838,23 @@ pub(crate) fn gateway_loop<F: Field, T: Transport>(
 
         let g = engine.execute(&commands).expect("validated batch shape");
         let behavior = wire_behavior(id, cluster, spec.machine.result_dim(), spec.behavior, g);
+        span.mark(Phase::Execute);
         let word = rt.run_exchange_round(round, &behavior);
+        span.mark(Phase::Exchange);
         // the pre-commit coded state, for the WAL's state delta
         let prev_state = durable.as_deref().map(|_| engine.coded_state().to_vec());
         let commit = engine.commit_word(&word);
+        span.mark(Phase::Decode);
         if let Some(c) = &commit {
+            // Byzantine detection fell out of the decode: attribute it,
+            // and preserve the evidence ring on the first sighting of
+            // each peer (the paper's §5.2 detection-as-a-side-effect)
+            for &peer in &c.detected_error_nodes {
+                sink.event(id, round, Some(peer), Event::EquivocationDetected);
+                if dumped_peers.insert(peer) {
+                    flight_dump(round, "byzantine-detected");
+                }
+            }
             // local bookkeeping first: advance dedup horizons + reply
             // cache, so a snapshot taken inside log_commit already
             // reflects this round's batch (the truncated log cannot
@@ -727,7 +862,9 @@ pub(crate) fn gateway_loop<F: Field, T: Transport>(
             let mut replies = Vec::with_capacity(batch.len());
             for entry in &batch {
                 let reply = reply_payload(entry, c);
-                admission.record_done(entry, reply.clone(), cfg.reply_cache_cap);
+                for client in admission.record_done(entry, reply.clone(), cfg.reply_cache_cap) {
+                    sink.event(id, round, None, Event::ReplyCacheEviction { client });
+                }
                 replies.push((entry.client, reply));
             }
             // durability before acknowledgement: the round's batch,
@@ -754,6 +891,9 @@ pub(crate) fn gateway_loop<F: Field, T: Transport>(
                 if snapshotted {
                     admission.stats.snapshots += 1;
                 }
+                // the segment since the decode mark is dominated by the
+                // fsynced append (plus the delta it covers)
+                span.mark(Phase::WalFsync);
             }
             rt.announce_commit(round, c.digest);
             for (client, reply) in replies {
@@ -762,10 +902,17 @@ pub(crate) fn gateway_loop<F: Field, T: Transport>(
                     admission.stats.replies_sent += 1;
                 }
             }
+            span.mark(Phase::Reply);
             fail_streak = 0;
         } else {
             fail_streak += 1;
+            sink.event(id, round, None, Event::DecodeFailure);
+            if !dumped_decode_failure {
+                dumped_decode_failure = true;
+                flight_dump(round, "decode-failure");
+            }
         }
+        span.finish();
         commits.push_back(commit);
         // a long-lived gateway must not grow per-round history without
         // bound: keep a trailing window only
@@ -793,6 +940,79 @@ pub(crate) fn gateway_loop<F: Field, T: Transport>(
         recovery: None,
     };
     (report, rt)
+}
+
+/// Answers buffered peer telemetry scrapes with a [`TelemetrySnapshot`]
+/// folding the recording sink's phase histograms and event counters
+/// together with the gateway's admission counters and the transport's
+/// delivery/MAC statistics (including per-claimed-peer rejection
+/// attribution). Telemetry is self-reported and MAC-bound but **not**
+/// quorum-validated: a Byzantine node can lie in its snapshot, so
+/// observers must treat per-node telemetry as claims, not protocol
+/// facts.
+///
+/// [`TelemetrySnapshot`]: csm_telemetry::TelemetrySnapshot
+fn serve_telemetry<T: Transport>(
+    rt: &mut NodeRuntime<T>,
+    recording: &RecordingSink,
+    id: usize,
+    round: u64,
+    stats: &GatewayStats,
+) {
+    let requests = rt.take_telemetry_requests();
+    if requests.is_empty() {
+        return;
+    }
+    let mut extra = gateway_counters(stats);
+    extra.push(("inbox_dropped".to_string(), rt.inbox_dropped()));
+    let tstats = rt.transport().stats();
+    let (delivered, bad_mac, malformed) = tstats.snapshot();
+    extra.push(("transport_delivered".to_string(), delivered));
+    extra.push(("transport_malformed".to_string(), malformed));
+    // exact transport totals override the sink's per-round event counts
+    extra.push(("mac_rejected".to_string(), bad_mac));
+    for (peer, count) in tstats.bad_mac_by_peer() {
+        extra.push((format!("mac_rejected.peer{peer}"), count));
+    }
+    let snapshot = recording.snapshot(id, round, &extra).to_json();
+    for (peer, nonce) in requests {
+        rt.send_signed(
+            NodeId(peer),
+            Payload::TelemetryReply {
+                nonce,
+                node: id as u64,
+                round,
+                snapshot: snapshot.clone(),
+            },
+        );
+    }
+}
+
+/// The gateway admission/reply counters exported into a snapshot,
+/// named after the [`GatewayStats`] fields.
+fn gateway_counters(stats: &GatewayStats) -> Vec<(String, u64)> {
+    [
+        ("admitted", stats.admitted),
+        ("rejected_full", stats.rejected_full),
+        ("rejected_invalid", stats.rejected_invalid),
+        ("duplicates", stats.duplicates),
+        ("replayed", stats.replayed),
+        ("replies_sent", stats.replies_sent),
+        ("stage_fallbacks", stats.stage_fallbacks),
+        ("empty_rounds", stats.empty_rounds),
+        ("rejected_quota", stats.rejected_quota),
+        ("replay_misses", stats.replay_misses),
+        ("queries_answered", stats.queries_answered),
+        ("state_chunks_served", stats.state_chunks_served),
+        ("resyncs", stats.resyncs),
+        ("wal_appends", stats.wal_appends),
+        ("snapshots", stats.snapshots),
+        ("reply_cache_evictions", stats.reply_cache_evictions),
+        ("desynced", stats.desynced as u64),
+    ]
+    .into_iter()
+    .map(|(name, value)| (name.to_string(), value))
+    .collect()
 }
 
 /// Answers buffered peer state-transfer requests from the latest
@@ -1012,9 +1232,18 @@ fn reply_after_fault(reply: Payload, behavior: BehaviorKind) -> Option<Payload> 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use csm_telemetry::NullSink;
 
     fn registry() -> KeyRegistry {
         KeyRegistry::new(10, 5)
+    }
+
+    fn test_scope() -> EventScope<'static> {
+        EventScope {
+            sink: &NullSink,
+            node: 0,
+            round: 0,
+        }
     }
 
     /// A batch entry carrying the genuine client MAC for its submission.
@@ -1126,6 +1355,7 @@ mod tests {
             2,
             1,
             &cfg,
+            &test_scope(),
         );
         assert!(replays.is_empty());
         assert_eq!(adm.stats.admitted, 2);
@@ -1149,7 +1379,7 @@ mod tests {
         };
         adm.record_done(&entry(&reg, 8, 0, 0, vec![10]), reply.clone(), 64);
         assert_eq!(adm.queue.len(), 1);
-        let replays = adm.admit(vec![submit(8, 0, 0, 10)], 2, 1, &cfg);
+        let replays = adm.admit(vec![submit(8, 0, 0, 10)], 2, 1, &cfg, &test_scope());
         assert_eq!(replays, vec![(8, reply)]);
         assert_eq!(adm.stats.replayed, 1);
     }
@@ -1175,7 +1405,7 @@ mod tests {
         let cfg = test_cfg(64);
         let mut adm = Admission::default();
         for seq in 0..500u64 {
-            adm.admit(vec![submit(seq)], 1, 1, &cfg);
+            adm.admit(vec![submit(seq)], 1, 1, &cfg, &test_scope());
             let reply = Payload::Reply {
                 shard: 0,
                 round: seq,
@@ -1185,7 +1415,7 @@ mod tests {
             };
             adm.record_done(&entry(&reg, 8, seq, 0, vec![1]), reply, cfg.reply_cache_cap);
             // retry of the just-committed command is answered from cache
-            let replays = adm.admit(vec![submit(seq)], 1, 1, &cfg);
+            let replays = adm.admit(vec![submit(seq)], 1, 1, &cfg, &test_scope());
             assert_eq!(replays.len(), 1, "seq {seq} replay");
             // lifetime-bounded state: one horizon entry, at most one
             // cached payload, no pending-count residue
@@ -1195,7 +1425,7 @@ mod tests {
         }
         assert!(adm.pending_per_client.is_empty(), "no residue at rest");
         // the next submission implicitly acks seq 499: the payload goes too
-        adm.admit(vec![submit(500)], 1, 1, &cfg);
+        adm.admit(vec![submit(500)], 1, 1, &cfg, &test_scope());
         assert_eq!(adm.replies.len(), 0);
         assert_eq!(adm.horizon.get(&8), Some(&499));
     }
@@ -1242,7 +1472,7 @@ mod tests {
         // client 8 floods 10 distinct seqs; client 9 submits one command
         let mut frames: Vec<Frame> = (0..10).map(|s| submit(8, s)).collect();
         frames.push(submit(9, 0));
-        adm.admit(frames, 1, 1, &cfg);
+        adm.admit(frames, 1, 1, &cfg, &test_scope());
         assert_eq!(adm.stats.rejected_quota, 7, "flood capped at the quota");
         // the flooder holds 3 slots, the other client still got in
         assert_eq!(adm.stats.admitted, 4);

@@ -49,6 +49,7 @@ use csm_core::{CsmError, DecoderKind};
 use csm_network::auth::KeyRegistry;
 use csm_statemachine::boolean::counter_machine;
 use csm_statemachine::machines::{auction_machine, bank_machine};
+use csm_telemetry::{Event, NullSink, Phase, RoundSpan, SharedSink};
 use csm_transport::Transport;
 use std::str::FromStr;
 use std::sync::Arc;
@@ -313,23 +314,56 @@ pub fn run_node<F: Field, T: Transport>(
     timing: ExchangeTiming,
     spec: &EngineSpec<F>,
 ) -> NodeReport<F> {
+    run_node_with_sink(transport, registry, timing, spec, Arc::new(NullSink))
+}
+
+/// [`run_node`] with an injected telemetry sink: per-round
+/// execute/exchange/decode phase timings and decoder-identified
+/// Byzantine peers ([`csm_telemetry::Event::EquivocationDetected`]) are
+/// reported into `sink`. `run_node` is this with a
+/// [`csm_telemetry::NullSink`] (zero-cost: the round span never reads
+/// the clock).
+///
+/// # Panics
+///
+/// Panics if the spec's machine does not match the transport's mesh size
+/// or the initial states are malformed.
+pub fn run_node_with_sink<F: Field, T: Transport>(
+    transport: T,
+    registry: Arc<KeyRegistry>,
+    timing: ExchangeTiming,
+    spec: &EngineSpec<F>,
+    sink: SharedSink,
+) -> NodeReport<F> {
     let n = transport.n();
     let id = transport.local_id().0;
     assert_eq!(spec.machine.n(), n, "machine sized for a different mesh");
     let mut rt = NodeRuntime::new(transport, registry, timing);
+    rt.set_sink(Arc::clone(&sink));
     let mut engine = RoundEngine::new(Arc::clone(&spec.machine), id, &spec.initial_states)
         .expect("spec states match the machine");
     let mut commits = Vec::with_capacity(spec.rounds as usize);
     for round in 0..spec.rounds {
+        let mut span = RoundSpan::start(sink.as_ref(), id, round);
         let g = engine
             .execute(&spec.commands(round))
             .expect("derived commands are well-shaped");
         let behavior = wire_behavior(id, n, spec.machine.result_dim(), spec.behavior, g);
+        span.mark(Phase::Execute);
         let word = rt.run_exchange_round(round, &behavior);
+        span.mark(Phase::Exchange);
         let commit = engine.commit_word(&word);
-        if let Some(c) = &commit {
-            rt.announce_commit(round, c.digest);
+        span.mark(Phase::Decode);
+        match &commit {
+            Some(c) => {
+                for &peer in &c.detected_error_nodes {
+                    sink.event(id, round, Some(peer), Event::EquivocationDetected);
+                }
+                rt.announce_commit(round, c.digest);
+            }
+            None => sink.event(id, round, None, Event::DecodeFailure),
         }
+        span.finish();
         commits.push(commit);
     }
     NodeReport { id, commits }

@@ -108,13 +108,14 @@ impl Default for CommonArgs {
 }
 
 fn usage() -> ! {
-    eprintln!(
+    csm_telemetry::error!(
         "usage:\n  csm-node run --id I --ports P0,P1,.. [--n N --k K --faults B --rounds R \
          --seed S --machine M --behavior KIND --partial-sync --delta-ms D]\n  csm-node launch \
          [--n N --k K --faults B --rounds R --seed S --machine M --byzantine ID:KIND \
          --partial-sync --delta-ms D]\n  csm-node gateway [--n N --k K --faults B --seed S \
          --delta-ms D --clients M --commands C --consensus leader-echo|dolev-strong|pbft \
-         --staging-fault ID:equivocate|withhold]"
+         --staging-fault ID:equivocate|withhold]\n  (all subcommands: --log-level \
+         error|warn|info|debug|trace, default from CSM_LOG)"
     );
     std::process::exit(2)
 }
@@ -129,10 +130,19 @@ fn parse_common(args: &mut CommonArgs, flag: &str, value: &str) -> bool {
         "--delta-ms" => args.delta_ms = value.parse().expect("--delta-ms"),
         "--machine" => {
             args.machine = value.parse().unwrap_or_else(|e| {
-                eprintln!("--machine: {e}");
+                csm_telemetry::error!("--machine: {e}");
                 std::process::exit(2);
             })
         }
+        "--log-level" => match csm_telemetry::LogLevel::from_str_opt(value) {
+            Some(level) => csm_telemetry::logger::set_level(level),
+            None => {
+                csm_telemetry::error!(
+                    "--log-level: unknown level {value:?} (want error|warn|info|debug|trace)"
+                );
+                std::process::exit(2);
+            }
+        },
         _ => return false,
     }
     true
@@ -151,6 +161,11 @@ fn timing(args: &CommonArgs) -> ExchangeTiming {
 }
 
 fn main() {
+    // stderr diagnostics run through the leveled logger: `CSM_LOG` sets
+    // the default, `--log-level` (any subcommand) overrides it. Stable
+    // machine-readable stdout lines (`COMMIT ...`, `DONE ...`, cluster
+    // verdicts) are unaffected.
+    csm_telemetry::logger::init_from_env();
     let argv: Vec<String> = std::env::args().collect();
     match argv.get(1).map(String::as_str) {
         Some("run") => cmd_run(&argv[2..]),
@@ -185,7 +200,7 @@ fn cmd_run(rest: &[String]) {
             }
             "--behavior" => {
                 behavior = value.parse().unwrap_or_else(|e| {
-                    eprintln!("--behavior: {e}");
+                    csm_telemetry::error!("--behavior: {e}");
                     std::process::exit(2);
                 })
             }
@@ -194,7 +209,7 @@ fn cmd_run(rest: &[String]) {
     }
     let id = id.unwrap_or_else(|| usage());
     if ports.len() != common.n || id >= common.n {
-        eprintln!("need exactly --n ports and --id < --n");
+        csm_telemetry::error!("need exactly --n ports and --id < --n");
         std::process::exit(2);
     }
 
@@ -202,7 +217,7 @@ fn cmd_run(rest: &[String]) {
     let listen: SocketAddr = format!("127.0.0.1:{}", ports[id]).parse().expect("addr");
     let transport =
         TcpTransport::bind(NodeId(id), Arc::clone(&registry), listen).unwrap_or_else(|e| {
-            eprintln!("node {id}: bind {listen} failed: {e}");
+            csm_telemetry::error!("node {id}: bind {listen} failed: {e}");
             std::process::exit(1);
         });
     let addrs: Vec<SocketAddr> = ports
@@ -211,7 +226,7 @@ fn cmd_run(rest: &[String]) {
         .collect();
     transport.set_peer_addrs(&addrs);
     if let Err(e) = transport.connect_all(Duration::from_secs(10)) {
-        eprintln!("node {id}: connect failed: {e}");
+        csm_telemetry::error!("node {id}: connect failed: {e}");
         std::process::exit(1);
     }
 
@@ -266,7 +281,7 @@ fn run_spec<F: Field>(
     spec: Result<EngineSpec<F>, csm_core::CsmError>,
 ) -> RunSummary {
     let spec = spec.unwrap_or_else(|e| {
-        eprintln!("invalid machine configuration: {e}");
+        csm_telemetry::error!("invalid machine configuration: {e}");
         std::process::exit(2);
     });
     let report: NodeReport<F> = run_node(transport, registry, timing(common), &spec);
@@ -319,7 +334,7 @@ fn cmd_gateway(rest: &[String]) {
             "--commands" => commands = value.parse().expect("--commands"),
             "--consensus" => {
                 consensus = value.parse().unwrap_or_else(|e| {
-                    eprintln!("--consensus: {e}");
+                    csm_telemetry::error!("--consensus: {e}");
                     std::process::exit(2);
                 })
             }
@@ -329,7 +344,7 @@ fn cmd_gateway(rest: &[String]) {
                     "equivocate" => StagingFault::EquivocateBatch,
                     "withhold" => StagingFault::WithholdBatch,
                     other => {
-                        eprintln!("--staging-fault: unknown kind {other:?}");
+                        csm_telemetry::error!("--staging-fault: unknown kind {other:?}");
                         std::process::exit(2);
                     }
                 };
@@ -339,7 +354,7 @@ fn cmd_gateway(rest: &[String]) {
         }
     }
     if common.n < consensus.min_cluster(common.faults) {
-        eprintln!(
+        csm_telemetry::error!(
             "--consensus {consensus} needs a cluster of at least {} for --faults {} (got --n {})",
             consensus.min_cluster(common.faults),
             common.faults,
@@ -355,9 +370,13 @@ fn cmd_gateway(rest: &[String]) {
 
     let registry = mesh_registry(common.n, clients, common.seed);
     let transports = TcpMesh::launch_loopback(StdArc::clone(&registry)).unwrap_or_else(|e| {
-        eprintln!("loopback mesh failed to bind: {e}");
+        csm_telemetry::error!("loopback mesh failed to bind: {e}");
         std::process::exit(1);
     });
+    csm_telemetry::info!(
+        "loopback mesh up: {} gateway + {clients} client endpoints",
+        common.n
+    );
     let machine = StdArc::new(
         csm_node::CodedMachine::<csm_algebra::Fp61>::new(
             common.n,
@@ -366,7 +385,7 @@ fn cmd_gateway(rest: &[String]) {
             csm_core::DecoderKind::default(),
         )
         .unwrap_or_else(|e| {
-            eprintln!("invalid cluster shape: {e}");
+            csm_telemetry::error!("invalid cluster shape: {e}");
             std::process::exit(2);
         }),
     );
@@ -393,6 +412,10 @@ fn cmd_gateway(rest: &[String]) {
             behavior: BehaviorKind::Honest,
             staging_fault: staging.get(&id).copied().unwrap_or(StagingFault::None),
         };
+        csm_telemetry::debug!(
+            "gateway {id}: starting (staging fault {:?})",
+            spec.staging_fault
+        );
         node_handles.push(std::thread::spawn(move || {
             run_gateway(transport, registry, timing, &spec, &gw_cfg, &stop)
         }));
@@ -423,7 +446,7 @@ fn cmd_gateway(rest: &[String]) {
                             receipt.seq, receipt.round, receipt.matching
                         );
                     }
-                    Err(e) => eprintln!("client {index}: {e}"),
+                    Err(e) => csm_telemetry::warn!("client {index}: {e}"),
                 }
             }
             ok
@@ -445,7 +468,7 @@ fn cmd_gateway(rest: &[String]) {
     let mut reference: BTreeMap<u64, u64> = BTreeMap::new();
     let mut ok = committed == clients * commands;
     if !ok {
-        eprintln!("only {committed}/{} commands committed", clients * commands);
+        csm_telemetry::error!("only {committed}/{} commands committed", clients * commands);
     }
     for report in reports.iter().filter(|r| !faulty.contains(&r.id)) {
         for (round, digest) in report.digests() {
@@ -454,7 +477,7 @@ fn cmd_gateway(rest: &[String]) {
                     reference.insert(round, digest);
                 }
                 Some(&expected) if expected != digest => {
-                    eprintln!("round {round}: node {} diverges", report.id);
+                    csm_telemetry::error!("round {round}: node {} diverges", report.id);
                     ok = false;
                 }
                 Some(_) => {}
@@ -503,7 +526,7 @@ fn cmd_launch(rest: &[String]) {
                 byzantine.insert(
                     id.parse().expect("--byzantine id"),
                     kind.parse().unwrap_or_else(|e| {
-                        eprintln!("--byzantine: {e}");
+                        csm_telemetry::error!("--byzantine: {e}");
                         std::process::exit(2);
                     }),
                 );
@@ -515,7 +538,7 @@ fn cmd_launch(rest: &[String]) {
         byzantine.insert(0, BehaviorKind::Equivocate);
     }
     if byzantine.len() > common.faults {
-        eprintln!(
+        csm_telemetry::error!(
             "{} Byzantine nodes exceed the provisioned fault bound b = {} (raise --faults)",
             byzantine.len(),
             common.faults
@@ -568,11 +591,13 @@ fn cmd_launch(rest: &[String]) {
                 .args(["--machine", common.machine.as_str()])
                 .args(["--ports", &ports_arg])
                 .args(["--behavior", behavior_arg])
+                .args(["--log-level", csm_telemetry::logger::level().as_str()])
                 .stdout(Stdio::piped())
                 .stderr(Stdio::inherit());
             if common.partial_sync {
                 cmd.arg("--partial-sync");
             }
+            csm_telemetry::debug!("spawning node {id} ({behavior_arg}) on port {}", ports[id]);
             (id, cmd.spawn().expect("spawn child node"))
         })
         .collect();

@@ -96,6 +96,16 @@ pub struct PipelineReport<F> {
     /// Wall-clock duration of each round (staging wait + execute +
     /// exchange + commit), for latency-distribution reporting.
     pub round_wall: Vec<Duration>,
+    /// Per-round wall of the staging wait (window + quorum), aligned
+    /// with `round_wall`. Measured directly (no sink indirection), so
+    /// benchmarks get a per-phase breakdown at zero telemetry cost.
+    pub stage_wall: Vec<Duration>,
+    /// Per-round wall of coded execution (encode + evaluate).
+    pub execute_wall: Vec<Duration>,
+    /// Per-round wall of the §5.2 result exchange.
+    pub exchange_wall: Vec<Duration>,
+    /// Per-round wall of Reed–Solomon decode + commit.
+    pub decode_wall: Vec<Duration>,
 }
 
 /// Runs the multi-round node loop with staged, optionally pipelined
@@ -125,6 +135,10 @@ pub fn run_pipelined<F: Field, T: Transport>(
     let mut stage_blocked = Duration::ZERO;
     let mut stage_fallbacks = 0u64;
     let mut round_wall = Vec::with_capacity(spec.rounds as usize);
+    let mut stage_wall = Vec::with_capacity(spec.rounds as usize);
+    let mut execute_wall = Vec::with_capacity(spec.rounds as usize);
+    let mut exchange_wall = Vec::with_capacity(spec.rounds as usize);
+    let mut decode_wall = Vec::with_capacity(spec.rounds as usize);
     let started = Instant::now();
 
     for round in 0..spec.rounds {
@@ -156,15 +170,23 @@ pub fn run_pipelined<F: Field, T: Transport>(
             }
         };
 
+        stage_wall.push(round_started.elapsed());
+
+        let execute_started = Instant::now();
         let g = engine
             .execute(&commands)
             .expect("staged commands are well-shaped");
         let behavior = wire_behavior(id, n, spec.machine.result_dim(), spec.behavior, g);
+        execute_wall.push(execute_started.elapsed());
+        let exchange_started = Instant::now();
         let word = rt.run_exchange_round(round, &behavior);
+        exchange_wall.push(exchange_started.elapsed());
+        let decode_started = Instant::now();
         let commit = engine.commit_word(&word);
         if let Some(c) = &commit {
             rt.announce_commit(round, c.digest);
         }
+        decode_wall.push(decode_started.elapsed());
         commits.push(commit);
         staged_at.remove(&round);
         round_wall.push(round_started.elapsed());
@@ -176,6 +198,10 @@ pub fn run_pipelined<F: Field, T: Transport>(
         stage_blocked,
         stage_fallbacks,
         round_wall,
+        stage_wall,
+        execute_wall,
+        exchange_wall,
+        decode_wall,
     }
 }
 

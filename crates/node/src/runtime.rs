@@ -22,6 +22,7 @@ use csm_core::exchange::{canonical, equivocation_noise, ReceiverCore, ResultBeha
 use csm_core::SynchronyMode;
 use csm_network::auth::KeyRegistry;
 use csm_network::NodeId;
+use csm_telemetry::{NullSink, SharedSink};
 use csm_transport::{Frame, Payload, RecvError, Transport};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
@@ -170,8 +171,15 @@ pub struct NodeRuntime<T: Transport> {
     state_requests: BTreeMap<usize, u64>,
     /// Buffered state-transfer answers, one slot per answering peer.
     state_chunks: BTreeMap<usize, ChunkEntry>,
+    /// Pending telemetry scrape requests: requester → its latest nonce
+    /// (one slot per requester, so scrapers cannot grow the map).
+    telemetry_requests: BTreeMap<usize, u64>,
     /// Highest round already run; results at or below it are stale.
     finished_round: Option<u64>,
+    /// Where phase timings and incident events go ([`NullSink`] unless a
+    /// driver injects one) — the engines stay sans-I/O; telemetry is a
+    /// runtime-layer concern.
+    sink: SharedSink,
 }
 
 impl<T: Transport> NodeRuntime<T> {
@@ -214,8 +222,21 @@ impl<T: Transport> NodeRuntime<T> {
             query_dropped: 0,
             state_requests: BTreeMap::new(),
             state_chunks: BTreeMap::new(),
+            telemetry_requests: BTreeMap::new(),
             finished_round: None,
+            sink: Arc::new(NullSink),
         }
+    }
+
+    /// Replaces the telemetry sink (the default is a [`NullSink`]).
+    pub fn set_sink(&mut self, sink: SharedSink) {
+        self.sink = sink;
+    }
+
+    /// The telemetry sink, for drivers (gateway, consensus backends) to
+    /// record phases and events against.
+    pub fn sink(&self) -> &SharedSink {
+        &self.sink
     }
 
     /// This node's id.
@@ -523,8 +544,18 @@ impl<T: Transport> NodeRuntime<T> {
                 }
                 self.query_inbox.push_back(frame);
             }
+            Payload::TelemetryRequest { nonce } => {
+                // any registered identity may scrape (telemetry is
+                // read-only and self-reported); one slot per requester,
+                // latest nonce wins
+                let signer = frame.sig.signer.0;
+                if signer != self.id().0 {
+                    self.telemetry_requests.insert(signer, *nonce);
+                }
+            }
             // replies are client-bound; a node receiving one drops it
-            Payload::Reply { .. } | Payload::QueryReply { .. } => {}
+            Payload::Reply { .. } | Payload::QueryReply { .. } | Payload::TelemetryReply { .. } => {
+            }
             Payload::Ping { .. } => {}
         }
     }
@@ -726,6 +757,14 @@ impl<T: Transport> NodeRuntime<T> {
     /// `(requester, from_round)` pairs.
     pub fn take_state_requests(&mut self) -> Vec<(usize, u64)> {
         std::mem::take(&mut self.state_requests)
+            .into_iter()
+            .collect()
+    }
+
+    /// Drains the pending telemetry scrape requests as
+    /// `(requester, nonce)` pairs.
+    pub fn take_telemetry_requests(&mut self) -> Vec<(usize, u64)> {
+        std::mem::take(&mut self.telemetry_requests)
             .into_iter()
             .collect()
     }

@@ -165,6 +165,18 @@ pub mod json {
             }
         }
 
+        /// Consumes a `null` literal if one is next; returns whether it
+        /// did (the `Option` deserializer's presence probe).
+        pub fn try_null(&mut self) -> bool {
+            self.skip_ws();
+            if self.bytes[self.pos..].starts_with(b"null") {
+                self.pos += 4;
+                true
+            } else {
+                false
+            }
+        }
+
         /// Fails unless all input is consumed (barring trailing space).
         pub fn finish(&mut self) -> Result<(), Error> {
             self.skip_ws();
@@ -303,6 +315,16 @@ impl<T: Serialize> Serialize for Option<T> {
         match self {
             None => out.push_str("null"),
             Some(v) => v.serialize_json(out),
+        }
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Option<T> {
+    fn deserialize_json(p: &mut json::Parser<'_>) -> Result<Self, json::Error> {
+        if p.try_null() {
+            Ok(None)
+        } else {
+            Ok(Some(T::deserialize_json(p)?))
         }
     }
 }

@@ -1,0 +1,47 @@
+//! # csm-telemetry
+//!
+//! The observability substrate for the CSM stack: structured events and
+//! per-phase round spans, lock-cheap metrics, a wire-scrapable
+//! [`TelemetrySnapshot`], and a per-node flight recorder that turns every
+//! Byzantine incident into a postmortem artifact. Hand-rolled and
+//! std-only, like the shims — this build environment has no registry
+//! access, so there is no `tracing`/`metrics` dependency to lean on.
+//!
+//! Three pillars (see `docs/OBSERVABILITY.md` for the full taxonomy):
+//!
+//! * **Events & spans** — a [`Sink`] trait receives per-round
+//!   [`Phase`] durations (via the [`RoundSpan`] timer) and typed
+//!   [`Event`]s with `(node, round, peer)` attribution and monotonic
+//!   timestamps. The sans-I/O engines stay pure: sinks are injected at
+//!   the runtime layer. [`NullSink`] is the zero-cost default,
+//!   [`ReplaySink`] keeps sequences deterministic for tests, and
+//!   [`RecordingSink`] is the production aggregator.
+//! * **Metrics** — [`MetricsRegistry`] hands out lock-cheap
+//!   [`Counter`]/[`Gauge`] handles (atomics behind named slots) plus
+//!   [`LatencyHistogram`]s (re-exported from `csm-core`), and everything
+//!   folds into a serializable [`TelemetrySnapshot`] the gateway answers
+//!   over the wire (`Payload::TelemetryRequest` / `TelemetryReply`).
+//! * **Flight recorder** — [`FlightRecorder`] keeps a fixed-size ring of
+//!   recent events per node and dumps them to a timestamped JSON file on
+//!   fail-stop, divergence, resync, or first Byzantine detection.
+//!
+//! A leveled stderr [`logger`] (selected by `CSM_LOG` / `--log-level`)
+//! replaces ad-hoc `eprintln!` diagnostics in the binaries.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod event;
+pub mod logger;
+pub mod recorder;
+pub mod registry;
+pub mod sink;
+pub mod snapshot;
+
+pub use csm_core::metrics::LatencyHistogram;
+pub use event::{Event, EventRecord, Phase};
+pub use logger::{LogLevel, Logger};
+pub use recorder::{FlightDump, FlightRecorder};
+pub use registry::{Counter, Gauge, MetricsRegistry};
+pub use sink::{NullSink, RecordingSink, ReplaySink, RoundSpan, SharedSink, Sink, TeeSink};
+pub use snapshot::{CounterStat, PhaseStat, TelemetrySnapshot};

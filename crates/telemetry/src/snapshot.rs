@@ -1,0 +1,184 @@
+//! The wire-scrapable telemetry snapshot.
+//!
+//! A gateway answers `Payload::TelemetryRequest` with one
+//! [`TelemetrySnapshot`] serialized as JSON (the `serde` shim's data
+//! model) inside `Payload::TelemetryReply`. Field order is part of the
+//! wire format (the shim reads objects in declaration order); see
+//! `docs/OBSERVABILITY.md` for the schema.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Aggregate statistics for one [`crate::Phase`], in microseconds.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseStat {
+    /// The phase's schema name ([`crate::Phase::as_str`]).
+    pub phase: String,
+    /// Samples recorded (committed rounds, for round-scoped phases).
+    pub count: u64,
+    /// Median duration.
+    pub p50_us: u64,
+    /// 99th-percentile duration.
+    pub p99_us: u64,
+    /// Mean duration.
+    pub mean_us: u64,
+    /// Largest recorded duration.
+    pub max_us: u64,
+}
+
+/// One named monotonic counter.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterStat {
+    /// The counter name (event names, gateway/transport counters;
+    /// per-peer attribution uses `<name>.peer<id>`).
+    pub name: String,
+    /// The current value.
+    pub value: u64,
+}
+
+/// Everything one node reports about itself, point-in-time.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TelemetrySnapshot {
+    /// The reporting node's id.
+    pub node: u64,
+    /// The node's current round at snapshot time.
+    pub round: u64,
+    /// Per-phase latency statistics, sorted by phase name.
+    pub phases: Vec<PhaseStat>,
+    /// Named counters, sorted by name.
+    pub counters: Vec<CounterStat>,
+}
+
+impl TelemetrySnapshot {
+    /// Serializes to the wire JSON form.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("snapshot serialization is infallible")
+    }
+
+    /// Parses the wire JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed JSON or a schema mismatch.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// The statistics for the phase named `name`, if recorded.
+    pub fn phase(&self, name: &str) -> Option<&PhaseStat> {
+        self.phases.iter().find(|p| p.phase == name)
+    }
+
+    /// The value of the counter named `name` (0 when absent — counters
+    /// are only materialized once first incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map_or(0, |c| c.value)
+    }
+
+    /// The per-peer breakdown of `name`: every `(peer, value)` recorded
+    /// under `<name>.peer<id>`.
+    pub fn counter_by_peer(&self, name: &str) -> Vec<(usize, u64)> {
+        let prefix = format!("{name}.peer");
+        self.counters
+            .iter()
+            .filter_map(|c| {
+                let peer = c.name.strip_prefix(&prefix)?.parse().ok()?;
+                Some((peer, c.value))
+            })
+            .collect()
+    }
+
+    /// The sum of the top-level phases' p50s — the instrumented account
+    /// of a round, to be validated against the measured end-to-end p50
+    /// (the `round` phase).
+    pub fn top_level_p50_sum(&self) -> Duration {
+        let sum: u64 = self
+            .phases
+            .iter()
+            .filter(|p| crate::Phase::from_str_opt(&p.phase).is_some_and(|ph| ph.is_top_level()))
+            .map(|p| p.p50_us)
+            .sum();
+        Duration::from_micros(sum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            node: 3,
+            round: 17,
+            phases: vec![
+                PhaseStat {
+                    phase: "consensus".into(),
+                    count: 17,
+                    p50_us: 40_000,
+                    p99_us: 55_000,
+                    mean_us: 41_000,
+                    max_us: 60_000,
+                },
+                PhaseStat {
+                    phase: "exchange".into(),
+                    count: 17,
+                    p50_us: 41_000,
+                    p99_us: 50_000,
+                    mean_us: 42_000,
+                    max_us: 51_000,
+                },
+                PhaseStat {
+                    phase: "round".into(),
+                    count: 17,
+                    p50_us: 83_000,
+                    p99_us: 110_000,
+                    mean_us: 85_000,
+                    max_us: 120_000,
+                },
+            ],
+            counters: vec![
+                CounterStat {
+                    name: "equivocation_detected".into(),
+                    value: 17,
+                },
+                CounterStat {
+                    name: "equivocation_detected.peer0".into(),
+                    value: 17,
+                },
+                CounterStat {
+                    name: "mac_rejected.peer1".into(),
+                    value: 4,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let snap = sample();
+        let json = snap.to_json();
+        assert_eq!(TelemetrySnapshot::from_json(&json).unwrap(), snap);
+        assert!(TelemetrySnapshot::from_json("{\"nope\":1}").is_err());
+    }
+
+    #[test]
+    fn lookups() {
+        let snap = sample();
+        assert_eq!(snap.phase("exchange").unwrap().p50_us, 41_000);
+        assert!(snap.phase("decode").is_none());
+        assert_eq!(snap.counter("equivocation_detected"), 17);
+        assert_eq!(snap.counter("absent"), 0);
+        assert_eq!(snap.counter_by_peer("mac_rejected"), vec![(1, 4)]);
+        assert_eq!(snap.counter_by_peer("equivocation_detected"), vec![(0, 17)]);
+    }
+
+    #[test]
+    fn top_level_sum_excludes_round_and_subphases() {
+        let snap = sample();
+        // consensus + exchange only; "round" is the reference, not a part
+        assert_eq!(snap.top_level_p50_sum(), Duration::from_micros(81_000));
+    }
+}

@@ -287,6 +287,30 @@ pub enum Payload {
         /// Canonical field-element encoding of the shard state `S_k`.
         value: Vec<u64>,
     },
+    /// A telemetry scrape request. Any registered identity (clients, the
+    /// workload driver, monitors) may ask; gateways answer with
+    /// [`Payload::TelemetryReply`]. Read-only — no round is consumed.
+    TelemetryRequest {
+        /// Requester-chosen nonce echoed in the reply (matches
+        /// concurrent/retried scrapes).
+        nonce: u64,
+    },
+    /// A gateway's answer to a [`Payload::TelemetryRequest`]: its
+    /// point-in-time `TelemetrySnapshot` as JSON text (the snapshot
+    /// schema is documented in `docs/OBSERVABILITY.md`). Telemetry is
+    /// self-reported per node and MAC-bound to the reporting node, but —
+    /// unlike committed outputs — not quorum-validated: a Byzantine node
+    /// can lie about its own metrics.
+    TelemetryReply {
+        /// Echo of the request nonce.
+        nonce: u64,
+        /// The reporting node's id (must equal the MAC signer).
+        node: u64,
+        /// The node's current round at snapshot time.
+        round: u64,
+        /// The `TelemetrySnapshot` JSON document.
+        snapshot: String,
+    },
 }
 
 const TAG_RESULT: u8 = 0;
@@ -303,6 +327,8 @@ const TAG_BATCH_RELAY: u8 = 10;
 const TAG_BATCH_VOTE: u8 = 11;
 const TAG_BATCH_VIEW_CHANGE: u8 = 12;
 const TAG_BATCH_NEW_VIEW: u8 = 13;
+const TAG_TELEMETRY_REQUEST: u8 = 14;
+const TAG_TELEMETRY_REPLY: u8 = 15;
 
 impl Wire for Payload {
     fn encode(&self, out: &mut Vec<u8>) {
@@ -438,6 +464,22 @@ impl Wire for Payload {
                 qid.encode(out);
                 value.encode(out);
             }
+            Payload::TelemetryRequest { nonce } => {
+                out.push(TAG_TELEMETRY_REQUEST);
+                nonce.encode(out);
+            }
+            Payload::TelemetryReply {
+                nonce,
+                node,
+                round,
+                snapshot,
+            } => {
+                out.push(TAG_TELEMETRY_REPLY);
+                nonce.encode(out);
+                node.encode(out);
+                round.encode(out);
+                snapshot.encode(out);
+            }
         }
     }
 
@@ -515,6 +557,15 @@ impl Wire for Payload {
                 client: u64::decode(r)?,
                 qid: u64::decode(r)?,
                 value: Vec::<u64>::decode(r)?,
+            }),
+            TAG_TELEMETRY_REQUEST => Ok(Payload::TelemetryRequest {
+                nonce: u64::decode(r)?,
+            }),
+            TAG_TELEMETRY_REPLY => Ok(Payload::TelemetryReply {
+                nonce: u64::decode(r)?,
+                node: u64::decode(r)?,
+                round: u64::decode(r)?,
+                snapshot: String::decode(r)?,
             }),
             t => Err(WireError::UnknownTag(t)),
         }
@@ -765,6 +816,13 @@ mod tests {
                 client: 9,
                 qid: 3,
                 value: vec![220],
+            },
+            Payload::TelemetryRequest { nonce: 77 },
+            Payload::TelemetryReply {
+                nonce: 77,
+                node: 2,
+                round: 11,
+                snapshot: "{\"node\":2,\"round\":11,\"phases\":[],\"counters\":[]}".to_string(),
             },
         ]
     }

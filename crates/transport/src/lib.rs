@@ -40,9 +40,10 @@ pub use frame::{
 pub use wire::{Wire, WireError, WireReader};
 
 use csm_network::NodeId;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Failure sending a frame.
@@ -98,6 +99,11 @@ pub struct TransportStats {
     pub dropped_bad_mac: AtomicU64,
     /// Frames dropped because the body failed to decode.
     pub dropped_malformed: AtomicU64,
+    /// Bad-MAC drops keyed by the *claimed* signer — who each rejected
+    /// frame pretended to be. The claim is the only attribution a failed
+    /// MAC admits (the true sender is unknowable), and it is exactly the
+    /// telemetry question: which identities are being forged.
+    bad_mac_by_claimed: Mutex<BTreeMap<usize, u64>>,
 }
 
 impl TransportStats {
@@ -110,12 +116,20 @@ impl TransportStats {
         )
     }
 
+    /// The per-claimed-signer breakdown of bad-MAC drops, sorted by id.
+    pub fn bad_mac_by_peer(&self) -> Vec<(usize, u64)> {
+        let map = self.bad_mac_by_claimed.lock().expect("stats poisoned");
+        map.iter().map(|(&k, &v)| (k, v)).collect()
+    }
+
     pub(crate) fn count_delivered(&self) {
         self.delivered.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn count_bad_mac(&self) {
+    pub(crate) fn count_bad_mac(&self, claimed: NodeId) {
         self.dropped_bad_mac.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.bad_mac_by_claimed.lock().expect("stats poisoned");
+        *map.entry(claimed.0).or_insert(0) += 1;
     }
 
     pub(crate) fn count_malformed(&self) {

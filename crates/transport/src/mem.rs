@@ -101,7 +101,7 @@ impl Transport for MemTransport {
                         self.stats.count_delivered();
                         return Ok(frame);
                     }
-                    self.stats.count_bad_mac();
+                    self.stats.count_bad_mac(frame.sig.signer);
                 }
                 Err(_) => self.stats.count_malformed(),
             }
@@ -168,6 +168,8 @@ mod tests {
             Err(RecvError::Timeout)
         );
         assert_eq!(nodes[2].stats().snapshot(), (0, 1, 0));
+        // attributed to the *claimed* signer, node 1
+        assert_eq!(nodes[2].stats().bad_mac_by_peer(), vec![(1, 1)]);
     }
 
     #[test]

@@ -269,7 +269,7 @@ fn reader_loop(
                         break; // application endpoint dropped
                     }
                 } else {
-                    stats.count_bad_mac();
+                    stats.count_bad_mac(frame.sig.signer);
                 }
             }
             Err(FrameReadError::Malformed(_)) => {
@@ -303,7 +303,7 @@ impl Transport for TcpTransport {
                     .send(frame)
                     .map_err(|_| SendError::Disconnected(to))?;
             } else {
-                self.stats.count_bad_mac();
+                self.stats.count_bad_mac(frame.sig.signer);
             }
             return Ok(());
         }

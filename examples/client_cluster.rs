@@ -24,6 +24,8 @@ fn main() {
         queue_cap: 4096,
         seed: 9,
         consensus: csm_node::ConsensusKind::LeaderEcho,
+        scrape: true,
+        flight_dir: None,
     };
     println!(
         "cluster: N = {}, K = {} bank shards, b = {} (accept at {} matching replies)",
@@ -69,4 +71,26 @@ fn main() {
 
     verify_bank_outcome(&cfg, &outcome, &[0, 1]).expect("client-path verification");
     println!("verified: every accepted output matches the honest state machine");
+
+    // the same mesh also answers telemetry scrapes (docs/OBSERVABILITY.md)
+    println!(
+        "\ntelemetry: scraped {} node snapshots",
+        outcome.telemetry.len()
+    );
+    if let Some((node, snap)) = outcome.telemetry.iter().find(|(n, _)| *n == 2) {
+        for p in &snap.phases {
+            println!(
+                "node {node} phase {:18} p50 {:6.1} ms  p99 {:6.1} ms  ({} samples)",
+                p.phase,
+                p.p50_us as f64 / 1e3,
+                p.p99_us as f64 / 1e3,
+                p.count
+            );
+        }
+        println!(
+            "node {node} pinned the equivocator {} times, rejected {} forged MACs",
+            snap.counter("equivocation_detected.peer0"),
+            snap.counter("mac_rejected")
+        );
+    }
 }

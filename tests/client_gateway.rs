@@ -26,6 +26,8 @@ fn config(cluster: usize, shards: usize, b: usize, clients: usize, cmds: usize) 
         queue_cap: 4096,
         seed: 23,
         consensus: csm_node::ConsensusKind::LeaderEcho,
+        scrape: false,
+        flight_dir: None,
     }
 }
 
@@ -308,8 +310,41 @@ fn flood_is_rejected_without_losing_the_admitted_commands() {
         );
         client_tx.broadcast_upto(cluster, &frame).unwrap();
     }
-    // let a few rounds commit, then stop
+    // let a few rounds commit, then scrape telemetry off the live
+    // cluster: the flood's drops must be visible as counters, not just in
+    // the post-mortem GatewayStats
     std::thread::sleep(Duration::from_millis(600));
+    let scrape = Frame::sign(Payload::TelemetryRequest { nonce: 7 }, &registry, me);
+    client_tx.broadcast_upto(cluster, &scrape).unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let snap = loop {
+        let now = std::time::Instant::now();
+        assert!(now < deadline, "no telemetry reply within 10s");
+        match client_tx.recv_timeout(deadline - now) {
+            Ok(Frame {
+                payload:
+                    Payload::TelemetryReply {
+                        nonce: 7, snapshot, ..
+                    },
+                sig,
+            }) if sig.signer.0 < cluster => {
+                break csm_telemetry::TelemetrySnapshot::from_json(&snapshot)
+                    .expect("scraped snapshot parses");
+            }
+            Ok(_) => {}
+            Err(RecvError::Timeout) | Err(RecvError::Disconnected) => {
+                panic!("transport died before the telemetry reply")
+            }
+        }
+    };
+    assert!(
+        snap.counter("rejected_full") > 0,
+        "snapshot must count the flood's queue-cap drops"
+    );
+    assert!(
+        snap.counter("admission_drop") > 0,
+        "the admission-drop event counter must fire on the drops"
+    );
     stop.store(true, std::sync::atomic::Ordering::Relaxed);
     let reports: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
     let rejected: u64 = reports.iter().map(|r| r.stats.rejected_full).sum();

@@ -33,6 +33,8 @@ fn config(cluster: usize, b: usize, clients: usize, consensus: ConsensusKind) ->
         queue_cap: 4096,
         seed: 29,
         consensus,
+        scrape: false,
+        flight_dir: None,
     }
 }
 
