@@ -50,6 +50,7 @@ fn bench_wal_replay(records: u64) -> WalRow {
                     batch: vec![vec![8, round, 0, 0xFACE, 1 + round % 97]],
                     state_delta: vec![round % 1000],
                     protocol: csm_storage::wal::PROTOCOL_LEADER_ECHO,
+                    batch_cap: 1,
                 })
                 .expect("append");
         }

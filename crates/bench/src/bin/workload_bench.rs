@@ -11,6 +11,13 @@
 //! commands commit, every accepted output reproduces the reference bank
 //! balance chain, and honest nodes agree on all commit digests.
 //!
+//! The full run sweeps the aggregation knob: the 100-client leader-echo
+//! configs repeat at `batch_cap ∈ {1, 8, 32}`, each row reporting the
+//! mean committed batch size, and the run fails unless `batch_cap = 32`
+//! delivers at least 10× the `batch_cap = 1` throughput on mem-mesh.
+//! Trend guards pin every `batch_cap = 1` row to a floor derived from
+//! the seed baseline, so aggregation can never tax the unbatched path.
+//!
 //! Each run also scrapes the live cluster's telemetry
 //! (`docs/OBSERVABILITY.md`) and cross-checks the instrumentation against
 //! reality before recording the per-phase breakdown:
@@ -26,6 +33,7 @@
 //! ```sh
 //! cargo run --release -p csm-bench --bin workload_bench
 //! WORKLOAD_SMOKE=1 cargo run --release -p csm-bench --bin workload_bench  # CI-sized
+//! WORKLOAD_BATCH_SMOKE=1 cargo run --release -p csm-bench --bin workload_bench  # cap 1 vs 32
 //! ```
 
 use csm_bench::workload::{
@@ -52,8 +60,13 @@ struct Row {
     backend: &'static str,
     consensus: ConsensusKind,
     clients: usize,
+    /// Per-shard program cap the gateway drained up to each round.
+    batch_cap: usize,
     commands: u64,
     committed: u64,
+    /// Mean committed batch size (commands per non-empty round) at the
+    /// probe node: `commands_committed / batch_size.count`.
+    mean_batch_size: f64,
     p50_ms: f64,
     p99_ms: f64,
     max_ms: f64,
@@ -167,9 +180,10 @@ fn run_config(
     consensus: ConsensusKind,
     clients: usize,
     commands_per_client: usize,
+    batch_cap: usize,
 ) -> Row {
     let flight_dir = std::env::temp_dir().join(format!(
-        "csm-workload-flight-{}-{backend}-{consensus}-{clients}",
+        "csm-workload-flight-{}-{backend}-{consensus}-{clients}-{batch_cap}",
         std::process::id()
     ));
     let _ = std::fs::remove_dir_all(&flight_dir);
@@ -181,6 +195,7 @@ fn run_config(
         commands_per_client,
         delta: DELTA,
         queue_cap: 4096,
+        batch_cap,
         seed: SEED,
         consensus,
         scrape: true,
@@ -191,16 +206,30 @@ fn run_config(
         "tcp" => run_tcp_workload(&cfg, one_equivocator_one_withholder),
         _ => unreachable!("unknown backend"),
     };
-    let label = format!("{backend}/{consensus}/{clients} clients");
+    let label = format!("{backend}/{consensus}/{clients} clients/cap {batch_cap}");
     verify_bank_outcome(&cfg, &outcome, &BYZANTINE)
         .unwrap_or_else(|e| panic!("{label} failed verification: {e}"));
     let (phase_p50_ms, phase_sum_p50_ms, round_p50_ms, equivocations_detected, macs_rejected) =
         telemetry_columns(&label, &outcome);
     check_flight_dumps(&label, &flight_dir);
+    let mean_batch_size = outcome
+        .telemetry
+        .iter()
+        .find(|(node, _)| *node == PROBE_NODE)
+        .map_or(0.0, |(_, snap)| {
+            let committed = snap.counter("commands_committed");
+            let rounds = snap.value("batch_size").map_or(0, |v| v.count);
+            if rounds == 0 {
+                0.0
+            } else {
+                committed as f64 / rounds as f64
+            }
+        });
     let lat = outcome.merged_latencies();
     eprintln!(
         "{label} x {commands_per_client} cmds -> {} committed, \
-         p50 {:.0}ms p99 {:.0}ms, {:.1} cmds/s; node phases sum {:.0}ms vs round {:.0}ms, \
+         p50 {:.0}ms p99 {:.0}ms, {:.1} cmds/s, mean batch {mean_batch_size:.1}; \
+         node phases sum {:.0}ms vs round {:.0}ms, \
          {equivocations_detected} equivocations / {macs_rejected} bad MACs pinned",
         outcome.committed(),
         lat.p50().as_secs_f64() * 1e3,
@@ -213,8 +242,10 @@ fn run_config(
         backend,
         consensus,
         clients,
+        batch_cap,
         commands: (clients * commands_per_client) as u64,
         committed: outcome.committed(),
+        mean_batch_size,
         p50_ms: lat.p50().as_secs_f64() * 1e3,
         p99_ms: lat.p99().as_secs_f64() * 1e3,
         max_ms: lat.max().as_secs_f64() * 1e3,
@@ -228,12 +259,28 @@ fn run_config(
     }
 }
 
+/// Seed-derived throughput floors for the unbatched (`batch_cap = 1`)
+/// rows — roughly two thirds of the recorded seed baseline, so noise
+/// passes but a real regression of the single-command path fails the
+/// run.
+fn cap1_floor(backend: &str, consensus: ConsensusKind) -> f64 {
+    match (backend, consensus) {
+        (_, ConsensusKind::DolevStrong) => 5.0,
+        ("mem-mesh", _) => 55.0,
+        _ => 50.0,
+    }
+}
+
 fn main() {
     // CI smoke keeps the fleet small; the full run sweeps to 100 clients
     // per backend (the ROADMAP's client-scale baseline)
     let smoke = std::env::var("WORKLOAD_SMOKE").is_ok();
+    // the batch smoke isolates the aggregation claim for CI: the same
+    // mem-mesh leader-echo workload at batch_cap 1 and 32 must show the
+    // >= 10x throughput ratio without the full sweep's runtime
+    let batch_smoke = std::env::var("WORKLOAD_BATCH_SMOKE").is_ok();
     // every consensus backend gets a row per transport; the 100-client
-    // scale row stays on the default backend so the full sweep's runtime
+    // scale rows stay on the default backend so the full sweep's runtime
     // stays bounded
     let protocols = [
         ConsensusKind::LeaderEcho,
@@ -241,13 +288,45 @@ fn main() {
         ConsensusKind::Pbft,
     ];
     let mut rows = Vec::new();
-    for backend in ["mem-mesh", "tcp"] {
-        for consensus in protocols {
-            let (clients, commands) = if smoke { (8, 1) } else { (24, 2) };
-            rows.push(run_config(backend, consensus, clients, commands));
+    if batch_smoke {
+        // 128 clients = 32 per shard, saturating the cap; 4 commands per
+        // client amortizes the connection ramp into steady-state rounds
+        for cap in [1, 32] {
+            rows.push(run_config(
+                "mem-mesh",
+                ConsensusKind::LeaderEcho,
+                128,
+                4,
+                cap,
+            ));
+        }
+    } else {
+        for backend in ["mem-mesh", "tcp"] {
+            for consensus in protocols {
+                let (clients, commands) = if smoke { (8, 1) } else { (24, 2) };
+                rows.push(run_config(backend, consensus, clients, commands, 1));
+            }
+            if !smoke {
+                // the seed-comparable client-scale baseline row
+                rows.push(run_config(backend, ConsensusKind::LeaderEcho, 100, 2, 1));
+            }
         }
         if !smoke {
-            rows.push(run_config(backend, ConsensusKind::LeaderEcho, 100, 2));
+            // the batch-cap sweep on an identical steady-state workload
+            // (4 commands per client amortizes the connection ramp).
+            // Mem-mesh only: leader-echo over real TCP keeps its known
+            // timing weakness, and the aggregated reply bursts can tip a
+            // node into its fail-stop path — the Dolev-Strong/PBFT rows
+            // are the sockets story, the sweep is the aggregation story
+            for cap in [1, 8, 32] {
+                rows.push(run_config(
+                    "mem-mesh",
+                    ConsensusKind::LeaderEcho,
+                    100,
+                    4,
+                    cap,
+                ));
+            }
         }
     }
 
@@ -271,8 +350,9 @@ fn main() {
             .join(", ");
         json.push_str(&format!(
             "    {{\"backend\": \"{}\", \"consensus\": \"{}\", \"clients\": {}, \
-             \"commands\": {}, \
-             \"committed\": {}, \"p50_ms\": {:.1}, \"p99_ms\": {:.1}, \"max_ms\": {:.1}, \
+             \"batch_cap\": {}, \"commands\": {}, \
+             \"committed\": {}, \"mean_batch_size\": {:.1}, \
+             \"p50_ms\": {:.1}, \"p99_ms\": {:.1}, \"max_ms\": {:.1}, \
              \"cmds_per_sec\": {:.1}, \"wall_ms\": {:.1}, \
              \"node_phase_p50_ms\": {{{phases}}}, \"node_phase_sum_p50_ms\": {:.2}, \
              \"node_round_p50_ms\": {:.2}, \"equivocations_detected\": {}, \
@@ -280,8 +360,10 @@ fn main() {
             r.backend,
             r.consensus,
             r.clients,
+            r.batch_cap,
             r.commands,
             r.committed,
+            r.mean_batch_size,
             r.p50_ms,
             r.p99_ms,
             r.max_ms,
@@ -297,7 +379,7 @@ fn main() {
     json.push_str("  ]\n}\n");
 
     println!("{json}");
-    if !smoke {
+    if !smoke && !batch_smoke {
         std::fs::write("BENCH_workload.json", &json).expect("write BENCH_workload.json");
         eprintln!("wrote BENCH_workload.json");
     }
@@ -307,8 +389,56 @@ fn main() {
     for r in &rows {
         assert_eq!(
             r.committed, r.commands,
-            "{}/{}: lost commands",
-            r.backend, r.consensus
+            "{}/{}/cap {}: lost commands",
+            r.backend, r.consensus, r.batch_cap
+        );
+    }
+
+    // trend guard: aggregation must never tax the unbatched path — every
+    // batch_cap = 1 row stays above its seed-derived floor
+    if !smoke {
+        for r in rows.iter().filter(|r| r.batch_cap == 1) {
+            let floor = cap1_floor(r.backend, r.consensus);
+            assert!(
+                r.cmds_per_sec >= floor,
+                "{}/{}/{} clients: {:.1} cmds/s at batch_cap 1 regressed below \
+                 the seed floor {floor:.1}",
+                r.backend,
+                r.consensus,
+                r.clients,
+                r.cmds_per_sec
+            );
+        }
+    }
+
+    // the aggregation claim: on mem-mesh leader-echo, batch_cap = 32
+    // must deliver at least 10x the batch_cap = 1 throughput
+    if !smoke {
+        let mem_echo = |cap: usize| {
+            rows.iter()
+                .filter(|r| {
+                    r.backend == "mem-mesh"
+                        && r.consensus == ConsensusKind::LeaderEcho
+                        && r.batch_cap == cap
+                        && r.clients >= 96
+                })
+                .map(|r| r.cmds_per_sec)
+                .fold(0.0f64, f64::max)
+        };
+        let (base, aggregated) = (mem_echo(1), mem_echo(32));
+        assert!(
+            base > 0.0 && aggregated > 0.0,
+            "batch-cap sweep rows missing from the run"
+        );
+        let ratio = aggregated / base;
+        eprintln!(
+            "aggregation speedup: {aggregated:.1} cmds/s at cap 32 vs {base:.1} at cap 1 \
+             ({ratio:.1}x)"
+        );
+        assert!(
+            ratio >= 10.0,
+            "aggregated batching delivered only {ratio:.1}x (need >= 10x): \
+             {aggregated:.1} vs {base:.1} cmds/s"
         );
     }
 }

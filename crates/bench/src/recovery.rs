@@ -88,6 +88,7 @@ impl RejoinConfig {
             commands_per_client: self.commands_per_client,
             delta: self.delta,
             queue_cap: 4096,
+            batch_cap: 1,
             seed: self.seed,
             consensus: csm_node::ConsensusKind::LeaderEcho,
             scrape: false,

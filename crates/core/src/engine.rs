@@ -43,7 +43,7 @@ use crate::error::CsmError;
 use crate::exchange::Word;
 use csm_algebra::Field;
 use csm_reed_solomon::{BerlekampWelch, Decoded, Gao, RsCode};
-use csm_statemachine::PolyTransition;
+use csm_statemachine::{Aggregation, PolyTransition};
 use rand::Rng;
 use std::sync::Arc;
 
@@ -57,11 +57,14 @@ pub struct CodedMachine<F: Field> {
     transition: PolyTransition<F>,
     code: RsCode<F>,
     decoder: DecoderKind,
+    aggregation: Aggregation,
+    zero_noop: bool,
+    program_cap: usize,
 }
 
 impl<F: Field> CodedMachine<F> {
     /// Builds the coded machine for `k` copies of `transition` spread over
-    /// `n` nodes.
+    /// `n` nodes, sized for single-command rounds (`program_cap = 1`).
     ///
     /// # Errors
     ///
@@ -74,22 +77,66 @@ impl<F: Field> CodedMachine<F> {
         transition: PolyTransition<F>,
         decoder: DecoderKind,
     ) -> Result<Self, CsmError> {
+        Self::with_program_cap(n, k, transition, decoder, 1)
+    }
+
+    /// Builds the coded machine sized for per-round command *programs* of
+    /// up to `program_cap` chained transition applications per shard.
+    ///
+    /// Chaining compounds the composite degree: after `m` steps the
+    /// broadcast result interpolates a polynomial of degree at most
+    /// `d^m(K−1)`, so the Reed–Solomon dimension is sized to
+    /// `d^cap(K−1) + 1`. [`Aggregation::Fold`] machines have `d = 1` and
+    /// keep dimension `K` (full fault slack) at *any* cap — their batches
+    /// fold into one application and are effectively unbounded
+    /// ([`Self::max_program_len`]).
+    ///
+    /// # Errors
+    ///
+    /// * [`CsmError::InvalidConfig`] — `n = 0`, `k = 0`, or
+    ///   `program_cap = 0`;
+    /// * [`CsmError::TooManyMachines`] — `d^cap(K−1) + 1 > N`;
+    /// * [`CsmError::FieldTooSmall`] — fewer than `N + K` field elements.
+    pub fn with_program_cap(
+        n: usize,
+        k: usize,
+        transition: PolyTransition<F>,
+        decoder: DecoderKind,
+        program_cap: usize,
+    ) -> Result<Self, CsmError> {
         if n == 0 || k == 0 {
             return Err(CsmError::InvalidConfig(
                 "need at least one node and one machine".into(),
             ));
         }
-        let degree = transition.degree();
-        let dim = transition.composite_degree_bound(k) + 1;
-        if dim > n {
-            let max_k = (n - 1) / degree as usize + 1;
-            return Err(CsmError::TooManyMachines {
-                k,
-                n,
-                degree,
-                max_k,
-            });
+        if program_cap == 0 {
+            return Err(CsmError::InvalidConfig(
+                "program cap must allow at least one command per round".into(),
+            ));
         }
+        let degree = transition.degree();
+        // effective composite degree multiplier after `program_cap`
+        // chained applications; overflow means dim > n for any real n
+        let eff: Option<usize> = u32::try_from(program_cap)
+            .ok()
+            .and_then(|cap| (degree as usize).checked_pow(cap));
+        let dim = eff
+            .and_then(|d| d.checked_mul(k.saturating_sub(1)))
+            .and_then(|x| x.checked_add(1));
+        let dim = match dim {
+            Some(dim) if dim <= n => dim,
+            _ => {
+                let max_k = (n - 1) / eff.unwrap_or(usize::MAX).max(1) + 1;
+                return Err(CsmError::TooManyMachines {
+                    k,
+                    n,
+                    degree,
+                    max_k,
+                });
+            }
+        };
+        let aggregation = transition.aggregation();
+        let zero_noop = transition.zero_command_is_noop();
         let codebook = Codebook::new(n, k)?;
         let code =
             RsCode::new(codebook.alphas().to_vec(), dim).expect("alphas are distinct and dim <= n");
@@ -98,7 +145,33 @@ impl<F: Field> CodedMachine<F> {
             transition,
             code,
             decoder,
+            aggregation,
+            zero_noop,
+            program_cap,
         })
+    }
+
+    /// How this machine's transition aggregates a per-round batch
+    /// (classified once at construction).
+    pub fn aggregation(&self) -> Aggregation {
+        self.aggregation
+    }
+
+    /// The per-shard program cap this machine's code dimension was sized
+    /// for (1 when built with [`Self::new`]).
+    pub fn program_cap(&self) -> usize {
+        self.program_cap
+    }
+
+    /// The longest per-shard command program one round may evaluate:
+    /// unbounded for [`Aggregation::Fold`] machines (the batch folds into
+    /// a single application), the configured [`Self::program_cap`] for
+    /// [`Aggregation::Program`] machines.
+    pub fn max_program_len(&self) -> usize {
+        match self.aggregation {
+            Aggregation::Fold => usize::MAX,
+            Aggregation::Program => self.program_cap,
+        }
     }
 
     /// Number of nodes `N`.
@@ -288,6 +361,10 @@ impl<F: Field> CodedMachine<F> {
             t.input_dim() as u64,
             t.output_dim() as u64,
             u64::from(t.degree()),
+            // the RS dimension folds in the program cap where it matters:
+            // Fold machines keep dim = K at any cap (stores stay
+            // compatible across cap changes), Program machines do not
+            self.code.dim() as u64,
         ] {
             acc = splitmix64(acc ^ v);
         }
@@ -518,6 +595,84 @@ impl<F: Field> RoundEngine<F> {
     pub fn execute(&self, commands: &[Vec<F>]) -> Result<Vec<F>, CsmError> {
         self.machine.check_commands(commands)?;
         self.execute_coded(&self.encode_commands(commands))
+    }
+
+    /// ρ over a per-round command *program*: `programs[k]` is machine
+    /// `k`'s ordered command list for this round (possibly empty — idle
+    /// shards run no-ops). Exactly equivalent to applying every shard's
+    /// commands sequentially, but in one coded round:
+    ///
+    /// * [`Aggregation::Fold`] machines fold each shard's batch in-field
+    ///   into one command and run the ordinary single-application ρ —
+    ///   unlimited batch size, composite degree unchanged;
+    /// * [`Aggregation::Program`] machines chain up to
+    ///   [`CodedMachine::program_cap`] coded transition steps (short
+    ///   shards padded with the zero no-op command), keeping only the
+    ///   next-state half between steps; the final step's flat `(S', Y)`
+    ///   is the broadcast `g_i`, with degree `≤ d^m(K−1)` covered by the
+    ///   machine's code dimension.
+    ///
+    /// # Errors
+    ///
+    /// * [`CsmError::ShapeMismatch`] — wrong shard count, a malformed
+    ///   command, or a program longer than
+    ///   [`CodedMachine::max_program_len`];
+    /// * [`CsmError::InvalidConfig`] — ragged programs on a machine whose
+    ///   zero command is not a state no-op (padding would mutate idle
+    ///   shards);
+    /// * [`CsmError::Transition`] — arity mismatch.
+    pub fn execute_batched(&self, programs: &[Vec<Vec<F>>]) -> Result<Vec<F>, CsmError> {
+        let m = self.machine.as_ref();
+        let t = m.transition();
+        if programs.len() != m.k() {
+            return Err(CsmError::ShapeMismatch(format!(
+                "{} shard programs for {} machines",
+                programs.len(),
+                m.k()
+            )));
+        }
+        if let Aggregation::Fold = m.aggregation() {
+            let commands: Vec<Vec<F>> = programs
+                .iter()
+                .map(|p| t.fold_commands(p))
+                .collect::<Result<_, _>>()
+                .map_err(|e| CsmError::Transition(e.to_string()))?;
+            return self.execute(&commands);
+        }
+        let steps = programs.iter().map(Vec::len).max().unwrap_or(0);
+        if steps > m.max_program_len() {
+            return Err(CsmError::ShapeMismatch(format!(
+                "per-shard program of {steps} commands exceeds the machine's cap of {}",
+                m.max_program_len()
+            )));
+        }
+        let ragged = programs.iter().any(|p| p.len() < steps.max(1));
+        if ragged && !m.zero_noop {
+            return Err(CsmError::InvalidConfig(
+                "transition's zero command is not a no-op: uneven per-shard programs \
+                 cannot be padded"
+                    .into(),
+            ));
+        }
+        let zero = vec![F::ZERO; t.input_dim()];
+        let sd = t.state_dim();
+        let mut state = self.coded_state.clone();
+        let mut flat = Vec::new();
+        for step in 0..steps.max(1) {
+            let commands: Vec<Vec<F>> = programs
+                .iter()
+                .map(|p| p.get(step).cloned().unwrap_or_else(|| zero.clone()))
+                .collect();
+            m.check_commands(&commands)?;
+            let coded_cmd = m.encode_command_at(self.node, &commands);
+            flat = t
+                .apply_flat(&state, &coded_cmd)
+                .map_err(|e| CsmError::Transition(e.to_string()))?;
+            // intermediate steps carry only the state half forward; the
+            // outputs of non-final steps are not part of the round result
+            state = flat[..sd].to_vec();
+        }
+        Ok(flat)
     }
 
     /// Applies this node's result fault to an honest coded result, in the
@@ -839,6 +994,134 @@ mod tests {
         let auction =
             CodedMachine::<Fp61>::new(8, 2, auction_machine(), DecoderKind::default()).unwrap();
         assert_ne!(a, auction.fingerprint(), "transition shape differs");
+    }
+
+    /// Sequential reference: apply each shard's program in order on
+    /// plaintext states, returning the final states and the last
+    /// command's outputs.
+    fn reference_program(
+        m: &CodedMachine<Fp61>,
+        states: &[Vec<Fp61>],
+        programs: &[Vec<Vec<Fp61>>],
+    ) -> (Vec<Vec<Fp61>>, Vec<Vec<Fp61>>) {
+        let t = m.transition();
+        let mut out_states = states.to_vec();
+        let mut outputs = vec![Vec::new(); states.len()];
+        let steps = programs.iter().map(Vec::len).max().unwrap_or(0).max(1);
+        for step in 0..steps {
+            for k in 0..states.len() {
+                let zero = vec![f(0); t.input_dim()];
+                let cmd = programs[k].get(step).cloned().unwrap_or(zero);
+                let (s, y) = t.apply(&out_states[k], &cmd).unwrap();
+                out_states[k] = s;
+                outputs[k] = y;
+            }
+        }
+        (out_states, outputs)
+    }
+
+    #[test]
+    fn folded_batch_matches_sequential_application() {
+        let m = machine(8, 2); // bank: Aggregation::Fold, dim stays K
+        assert_eq!(m.aggregation(), csm_statemachine::Aggregation::Fold);
+        assert_eq!(m.max_program_len(), usize::MAX);
+        let states = vec![vec![f(100)], vec![f(200)]];
+        let mut nodes = engines(&m, &states);
+        // ragged programs: shard 0 gets three deposits, shard 1 one
+        let programs = vec![vec![vec![f(10)], vec![f(5)], vec![f(7)]], vec![vec![f(3)]]];
+        let word: Word<Fp61> = nodes
+            .iter()
+            .map(|e| Some(e.execute_batched(&programs).unwrap()))
+            .collect();
+        let (ref_states, ref_outputs) = reference_program(&m, &states, &programs);
+        let mut digests = Vec::new();
+        for e in &mut nodes {
+            let decoded = e.decode(&word).unwrap();
+            assert_eq!(decoded.new_states, ref_states);
+            assert_eq!(decoded.outputs, ref_outputs);
+            digests.push(e.commit(&decoded).digest);
+        }
+        digests.dedup();
+        assert_eq!(digests.len(), 1, "all nodes agree on the batched digest");
+    }
+
+    #[test]
+    fn program_machine_chains_up_to_the_cap() {
+        let m = Arc::new(
+            CodedMachine::<Fp61>::with_program_cap(8, 2, auction_machine(), DecoderKind::Gao, 2)
+                .unwrap(),
+        );
+        assert_eq!(m.aggregation(), csm_statemachine::Aggregation::Program);
+        assert_eq!(m.max_program_len(), 2);
+        // degree 2, cap 2: dim = 2²(K−1) + 1 = 5
+        assert_eq!(m.code().dim(), 5);
+        let states = vec![vec![f(3), f(4)], vec![f(5), f(6)]];
+        let nodes: Vec<RoundEngine<Fp61>> = (0..8)
+            .map(|i| RoundEngine::new(Arc::clone(&m), i, &states).unwrap())
+            .collect();
+        // ragged: shard 0 runs two bids, shard 1 one (padded with no-op)
+        let programs = vec![
+            vec![vec![f(1), f(2)], vec![f(3), f(1)]],
+            vec![vec![f(2), f(5)]],
+        ];
+        let word: Word<Fp61> = nodes
+            .iter()
+            .map(|e| Some(e.execute_batched(&programs).unwrap()))
+            .collect();
+        let decoded = nodes[0].decode(&word).unwrap();
+        let (ref_states, ref_outputs) = reference_program(&m, &states, &programs);
+        assert_eq!(decoded.new_states, ref_states);
+        assert_eq!(decoded.outputs, ref_outputs);
+        // over-cap programs are refused before execution
+        let over = vec![
+            vec![vec![f(1), f(1)], vec![f(1), f(1)], vec![f(1), f(1)]],
+            vec![],
+        ];
+        assert!(matches!(
+            nodes[0].execute_batched(&over),
+            Err(CsmError::ShapeMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn program_cap_sizes_the_code_dimension() {
+        // auction is degree 2: on N = 8, K = 2 a cap of 3 needs dim 9 > N
+        assert!(matches!(
+            CodedMachine::<Fp61>::with_program_cap(8, 2, auction_machine(), DecoderKind::Gao, 3),
+            Err(CsmError::TooManyMachines { .. })
+        ));
+        assert!(matches!(
+            CodedMachine::<Fp61>::with_program_cap(8, 2, bank_machine(), DecoderKind::Gao, 0),
+            Err(CsmError::InvalidConfig(_))
+        ));
+        // Fold machines (d = 1) keep dim = K — and their fingerprint — at
+        // any cap, so durable stores survive a batch-cap change
+        let a = CodedMachine::<Fp61>::with_program_cap(
+            8,
+            2,
+            bank_machine(),
+            DecoderKind::default(),
+            32,
+        )
+        .unwrap();
+        assert_eq!(a.code().dim(), 2);
+        assert_eq!(a.fingerprint(), machine(8, 2).fingerprint());
+        // Program machines do not: the dimension (fault budget) changed
+        let p1 =
+            CodedMachine::<Fp61>::new(8, 2, auction_machine(), DecoderKind::default()).unwrap();
+        let p2 = CodedMachine::<Fp61>::with_program_cap(
+            8,
+            2,
+            auction_machine(),
+            DecoderKind::default(),
+            2,
+        )
+        .unwrap();
+        assert_ne!(p1.fingerprint(), p2.fingerprint());
+        assert!(
+            p1.max_tolerable_faults(SynchronyMode::Synchronous)
+                > p2.max_tolerable_faults(SynchronyMode::Synchronous)
+        );
     }
 
     #[test]

@@ -162,6 +162,15 @@ pub enum StagingFault {
     /// leader-echo and Dolev–Strong, or the next view primary's batch
     /// under PBFT.
     WithholdBatch,
+    /// As leader, propose an *ill-formed* per-shard program: the pending
+    /// batch with its first row replayed twice more. Every replayed row
+    /// still carries a genuine client MAC, but the proposal breaks the
+    /// shared batch-validity predicate — `(client, seq)` uniqueness,
+    /// and the per-shard program cap at `batch_cap = 1` — identically
+    /// at every honest node, so they all refuse it wholesale (nobody
+    /// splits a program or salvages its valid prefix) and the round
+    /// falls back to the empty batch together.
+    OverCapBatch,
 }
 
 /// The alternative batch an equivocating leader shows the other half of
@@ -173,6 +182,19 @@ fn equivocation_variant(rows: &BatchRows) -> BatchRows {
     } else {
         rows[1..].to_vec()
     }
+}
+
+/// The ill-formed proposal an [`StagingFault::OverCapBatch`] leader
+/// broadcasts: the honest pending batch with its first row appended
+/// twice more (over the per-shard cap at `batch_cap = 1`, and a
+/// duplicated `(client, seq)` at any cap).
+fn overcap_variant(rows: &BatchRows) -> BatchRows {
+    let mut out = rows.to_vec();
+    if let Some(first) = rows.first() {
+        out.push(first.clone());
+        out.push(first.clone());
+    }
+    out
 }
 
 /// The equivocating-leader fan-out shared by every backend's fault
@@ -271,6 +293,11 @@ impl<T: Transport> BatchConsensus<T> for LeaderEcho {
                         commands: rows,
                     });
                 }
+                StagingFault::OverCapBatch => {
+                    // followers refuse to echo the ill-formed program, so
+                    // no echo quorum forms and everyone falls back
+                    rt.announce_stage(round, overcap_variant(&proposal));
+                }
             }
         } else if let Some(rows) = rt.wait_for_stage_from(round, leader, self.stage_timeout) {
             if valid(&rows) {
@@ -364,6 +391,12 @@ impl<T: Transport> BatchConsensus<T> for DolevStrong {
                             chain: chain.iter().map(|s| (s.signer.0 as u64, s.tag)).collect(),
                         }
                     });
+                }
+                StagingFault::OverCapBatch => {
+                    // DS agrees on the bytes; the post-decision validity
+                    // filter rejects them at every honest node alike
+                    let relay = ds.propose(overcap_variant(&proposal));
+                    self.broadcast_relay(rt, round, &relay);
                 }
             }
         }
@@ -591,6 +624,13 @@ impl<T: Transport> BatchConsensus<T> for PbftConsensus {
                     send_equivocation(rt, self.cluster, me, &proposal, |rows| {
                         Self::to_wire(round, &inst.sign_pre_prepare(0, rows))
                     });
+                }
+                StagingFault::OverCapBatch => {
+                    // honest replicas refuse to prepare the ill-formed
+                    // program; the view change rotates to an honest
+                    // primary whose own batch commits instead
+                    let msg = inst.sign_pre_prepare(0, overcap_variant(&proposal));
+                    rt.broadcast_signed(Self::to_wire(round, &msg));
                 }
             }
         }

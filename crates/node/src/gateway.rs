@@ -3,11 +3,15 @@
 //! This is the layer that turns a CSM cluster from a script-driven
 //! protocol exercise into a request-serving system (§1/§3 deployment
 //! model): external clients broadcast signed [`Payload::Submit`] frames to
-//! the nodes, the per-round leader batches pending commands into the
-//! round's command vector, the batch is agreed via the existing
-//! staged-vote machinery, and after the round commits every node fans
-//! [`Payload::Reply`] frames back to the submitting clients, who accept an
-//! output only after `b + 1` bit-identical replies (`csm-client`).
+//! the nodes, the per-round leader batches pending commands into
+//! per-shard command *programs* (up to [`GatewayConfig::batch_cap`]
+//! commands per shard, slots filled round-robin across clients), the
+//! batch is agreed via the existing staged-vote machinery, every shard
+//! evaluates its whole program inside the one coded round
+//! ([`RoundEngine::execute_batched`]), and after the round commits every
+//! node fans [`Payload::Reply`] frames back to the submitting clients —
+//! one reply per command — who accept an output only after `b + 1`
+//! bit-identical replies (`csm-client`).
 //!
 //! # Batch agreement
 //!
@@ -123,29 +127,41 @@ pub fn encode_batch(batch: &[BatchEntry]) -> Vec<Vec<u64>> {
 }
 
 /// Decodes and validates `Stage` rows back into a batch: every row must
-/// be well-shaped for the machine, target a distinct shard, name a
-/// client id outside the cluster range, and carry a valid client MAC
-/// over the claimed submission (so a Byzantine leader cannot forge
-/// commands). Returns `None` on any violation (followers refuse to echo
-/// an invalid proposal; adopters fall back to the empty batch).
+/// be well-shaped for the machine, name a client id outside the cluster
+/// range, and carry a valid client MAC over the claimed submission (so
+/// a Byzantine leader cannot forge commands). A shard may be targeted
+/// by up to `batch_cap` rows — its per-round command *program*, applied
+/// in row order — and `(client, seq)` pairs must be unique across the
+/// batch (a duplicated row would apply a command its client authorized
+/// once twice). Returns `None` on any violation (followers refuse to
+/// echo an invalid proposal; adopters fall back to the empty batch —
+/// honest nodes reject an over-cap or ill-formed program wholesale, a
+/// Byzantine leader cannot make them split on it).
 pub fn decode_batch(
     rows: &[Vec<u64>],
     shards: usize,
+    batch_cap: usize,
     input_dim: usize,
     cluster: usize,
     registry: &KeyRegistry,
 ) -> Option<Vec<BatchEntry>> {
-    if rows.len() > shards {
+    let cap = batch_cap.max(1);
+    if rows.len() > shards.saturating_mul(cap) {
         return None;
     }
-    let mut used_shards = BTreeSet::new();
+    let mut per_shard = vec![0usize; shards];
+    let mut seen = BTreeSet::new();
     let mut batch = Vec::with_capacity(rows.len());
     for row in rows {
         if row.len() != 4 + input_dim {
             return None;
         }
         let (client, seq, shard, sig_tag) = (row[0], row[1], row[2] as usize, row[3]);
-        if shard >= shards || !used_shards.insert(shard) || (client as usize) < cluster {
+        if shard >= shards || (client as usize) < cluster || !seen.insert((client, seq)) {
+            return None;
+        }
+        per_shard[shard] += 1;
+        if per_shard[shard] > cap {
             return None;
         }
         let entry = BatchEntry {
@@ -176,6 +192,16 @@ pub struct GatewayConfig {
     /// rejected (dropped — the client retries) so a flood cannot OOM a
     /// node.
     pub queue_cap: usize,
+    /// Maximum commands the leader aggregates per shard per round — the
+    /// length cap on each shard's per-round command *program*. `1`
+    /// reproduces the classic one-command-per-shard round; raising it
+    /// multiplies round throughput without touching the agreement
+    /// protocols (they agree on opaque batch bytes). Must not exceed
+    /// the machine's `max_program_len` (asserted at gateway startup):
+    /// fold-aggregatable machines like the bank accept any cap, while
+    /// general machines need their code dimension sized for the cap
+    /// (`CodedMachine::with_program_cap`).
+    pub batch_cap: usize,
     /// How long to wait for the leader's proposal, and again for the echo
     /// quorum, before falling back to the empty batch.
     pub stage_timeout: Duration,
@@ -241,6 +267,7 @@ impl GatewayConfig {
             cluster,
             assumed_faults,
             queue_cap: 4096,
+            batch_cap: 1,
             stage_timeout: timing.delta * 4 + Duration::from_millis(500),
             max_rounds: u64::MAX,
             commit_history: 1 << 16,
@@ -252,6 +279,12 @@ impl GatewayConfig {
             sink: None,
             flight_dir: std::env::var_os("CSM_FLIGHT_DIR").map(PathBuf::from),
         }
+    }
+
+    /// Sets the per-shard per-round aggregation cap (builder-style).
+    pub fn with_batch_cap(mut self, batch_cap: usize) -> Self {
+        self.batch_cap = batch_cap;
+        self
     }
 
     /// Selects the batch-consensus backend (builder-style).
@@ -312,6 +345,9 @@ pub struct GatewayStats {
     pub replayed: u64,
     /// Replies sent after commits (cache replays not included).
     pub replies_sent: u64,
+    /// Client commands applied by committed rounds (every row of every
+    /// agreed batch; with aggregation this outpaces the round count).
+    pub commands_committed: u64,
     /// Rounds that executed the empty batch because no quorum formed.
     pub stage_fallbacks: u64,
     /// Rounds whose agreed batch was empty (idle or fallback).
@@ -344,51 +380,102 @@ pub struct GatewayStats {
     pub desynced: bool,
 }
 
-/// The bounded reply-payload cache: at most one cached `Reply` per
-/// client (its latest committed command), dropped the moment the client
-/// implicitly acknowledges it — a `Submit` with a higher sequence number
-/// proves the client accepted everything below — and capped globally with
-/// oldest-first eviction. The *dedup horizon* lives outside this cache
-/// (in [`Admission::horizon`]), so eviction can never cause a committed
-/// command to re-execute; an evicted retry is merely unanswered (and
-/// since honest nodes evict in the same batch-derived order, unanswered
-/// by all of them — see [`GatewayConfig::reply_cache_cap`]).
+/// The bounded reply-payload cache: up to `per_client` cached `Reply`s
+/// per client — an aggregated round commits up to
+/// [`GatewayConfig::batch_cap`] of one client's commands at once, and
+/// each needs its reply retryable until acknowledged (the old
+/// one-slot-per-client cache silently dropped retries of any committed
+/// command below the latest). Entries are dropped the moment the client
+/// implicitly acknowledges them — a `Submit` with a higher sequence
+/// number proves the client accepted everything below — and capped
+/// globally with oldest-first eviction. The *dedup horizon* lives
+/// outside this cache (in [`Admission::horizon`]), so eviction can
+/// never cause a committed command to re-execute; an evicted retry is
+/// merely unanswered (and since honest nodes evict in the same
+/// batch-derived order, unanswered by all of them — see
+/// [`GatewayConfig::reply_cache_cap`]).
 #[derive(Debug, Default)]
 struct ReplyCache {
-    by_client: BTreeMap<u64, (u64, Payload)>,
+    by_client: BTreeMap<u64, BTreeMap<u64, Payload>>,
+    /// Live payloads across all clients (what the global cap measures).
+    live: usize,
     /// Insertion order as `(client, seq)` markers; stale markers (the
-    /// client re-inserted since) are skipped at eviction time.
+    /// entry was acknowledged or evicted since) are skipped at eviction
+    /// time.
     order: VecDeque<(u64, u64)>,
 }
 
 impl ReplyCache {
     fn get(&self, client: u64, seq: u64) -> Option<Payload> {
-        self.by_client
-            .get(&client)
-            .filter(|(s, _)| *s == seq)
-            .map(|(_, p)| p.clone())
+        self.by_client.get(&client)?.get(&seq).cloned()
     }
 
-    /// Drops the client's cached reply if its seq is below `seq` (the
-    /// client has acknowledged it by moving on).
-    fn ack_below(&mut self, client: u64, seq: u64) {
-        if self.by_client.get(&client).is_some_and(|(s, _)| *s < seq) {
+    /// Removes one cached entry, reporting whether it was live.
+    fn remove(&mut self, client: u64, seq: u64) -> bool {
+        let Some(seqs) = self.by_client.get_mut(&client) else {
+            return false;
+        };
+        if seqs.remove(&seq).is_none() {
+            return false;
+        }
+        self.live -= 1;
+        if seqs.is_empty() {
             self.by_client.remove(&client);
+        }
+        true
+    }
+
+    /// Drops the client's cached replies below `seq` (the client has
+    /// acknowledged them by moving on).
+    fn ack_below(&mut self, client: u64, seq: u64) {
+        if let Some(seqs) = self.by_client.get_mut(&client) {
+            let keep = seqs.split_off(&seq);
+            self.live -= seqs.len();
+            *seqs = keep;
+            if seqs.is_empty() {
+                self.by_client.remove(&client);
+            }
         }
     }
 
-    /// Returns the clients whose cached reply the cap evicted.
-    fn insert(&mut self, client: u64, seq: u64, payload: Payload, cap: usize) -> Vec<u64> {
+    /// Caches a committed reply, keeping at most `per_client` payloads
+    /// per client (lowest seq dropped first — more unacknowledged
+    /// commands than one aggregated round can commit means the client
+    /// broke the acknowledgement protocol) and at most `cap` globally.
+    /// Returns the clients whose cached reply the global cap evicted.
+    fn insert(
+        &mut self,
+        client: u64,
+        seq: u64,
+        payload: Payload,
+        per_client: usize,
+        cap: usize,
+    ) -> Vec<u64> {
         let mut evicted = Vec::new();
-        self.by_client.insert(client, (seq, payload));
+        if self
+            .by_client
+            .entry(client)
+            .or_default()
+            .insert(seq, payload)
+            .is_none()
+        {
+            self.live += 1;
+        }
         self.order.push_back((client, seq));
-        while self.by_client.len() > cap.max(1) {
+        while self
+            .by_client
+            .get(&client)
+            .is_some_and(|seqs| seqs.len() > per_client.max(1))
+        {
+            let oldest = *self.by_client[&client].keys().next().expect("nonempty");
+            self.remove(client, oldest);
+        }
+        while self.live > cap.max(1) {
             let Some((c, s)) = self.order.pop_front() else {
                 break;
             };
-            // only evict if the marker still names the live entry
-            if self.by_client.get(&c).is_some_and(|(live, _)| *live == s) {
-                self.by_client.remove(&c);
+            // only evict if the marker still names a live entry
+            if self.remove(c, s) {
                 evicted.push(c);
             }
         }
@@ -397,7 +484,7 @@ impl ReplyCache {
             let Some((c, s)) = self.order.pop_front() else {
                 break;
             };
-            if self.by_client.get(&c).is_some_and(|(live, _)| *live == s) {
+            if self.by_client.get(&c).is_some_and(|m| m.contains_key(&s)) {
                 // live entry whose marker we just popped: re-mark it
                 self.order.push_back((c, s));
             }
@@ -407,7 +494,7 @@ impl ReplyCache {
 
     #[cfg(test)]
     fn len(&self) -> usize {
-        self.by_client.len()
+        self.live
     }
 }
 
@@ -467,9 +554,11 @@ impl Admission {
                 continue;
             };
             match self.horizon.get(&client) {
-                Some(&done_seq) if done_seq == seq => {
-                    // a retry of the latest committed command: answer from
-                    // the cache (if still held), never re-execute
+                Some(&done_seq) if done_seq >= seq => {
+                    // a retry of a committed command — the latest, or an
+                    // earlier one from the same aggregated round whose
+                    // reply the client never saw: answer from the cache
+                    // (if still held), never re-execute
                     match self.replies.get(client, seq) {
                         Some(payload) => {
                             self.stats.replayed += 1;
@@ -480,7 +569,6 @@ impl Admission {
                     }
                     continue;
                 }
-                Some(&done_seq) if done_seq > seq => continue, // stale
                 Some(_) => {
                     // seq advanced past the horizon: everything below it
                     // is implicitly acknowledged — free the cached payload
@@ -522,39 +610,77 @@ impl Admission {
         replays
     }
 
-    /// The leader's proposal: the oldest pending command per shard (at
-    /// most one — a round executes one transition per machine). Entries
-    /// stay queued until they appear in a *committed* batch.
-    fn build_batch(&self, shards: usize) -> Vec<BatchEntry> {
-        let mut used = BTreeSet::new();
-        let mut batch = Vec::new();
+    /// The leader's proposal: up to `batch_cap` pending commands per
+    /// shard — the shard's per-round command *program*, applied in row
+    /// order. Slots are filled round-robin across clients (each pass
+    /// takes each client's oldest pending command for the shard), so a
+    /// flooding client cannot monopolize a shard's program: with `c`
+    /// clients pending on a shard, every one of them is guaranteed
+    /// `⌈batch_cap / c⌉` slots per round. Entries stay queued until
+    /// they appear in a *committed* batch.
+    fn build_batch(&self, shards: usize, batch_cap: usize) -> Vec<BatchEntry> {
+        let cap = batch_cap.max(1);
+        // per shard: each client's pending commands, in arrival order
+        let mut per_shard: Vec<BTreeMap<u64, VecDeque<&BatchEntry>>> =
+            vec![BTreeMap::new(); shards];
         for entry in &self.queue {
-            if used.len() == shards {
-                break;
+            if entry.shard < shards {
+                per_shard[entry.shard]
+                    .entry(entry.client)
+                    .or_default()
+                    .push_back(entry);
             }
-            if used.insert(entry.shard) {
-                batch.push(entry.clone());
+        }
+        let mut batch = Vec::new();
+        for clients in &mut per_shard {
+            let mut taken = 0;
+            while taken < cap {
+                let mut progressed = false;
+                for pending in clients.values_mut() {
+                    if taken == cap {
+                        break;
+                    }
+                    if let Some(entry) = pending.pop_front() {
+                        batch.push(entry.clone());
+                        taken += 1;
+                        progressed = true;
+                    }
+                }
+                if !progressed {
+                    break;
+                }
             }
         }
         batch
     }
 
     /// Records a committed entry: caches its reply, drops it from the
-    /// queue, and advances the client's dedup horizon. Returns the
-    /// clients whose cached replies the cache cap evicted.
-    fn record_done(&mut self, entry: &BatchEntry, reply: Payload, cache_cap: usize) -> Vec<u64> {
-        let mut evicted = Vec::new();
-        let advance = self
+    /// queue, and advances the client's dedup horizon. An aggregated
+    /// round may commit several of one client's commands — the horizon
+    /// tracks the highest seq, while the cache keeps every reply (bounded
+    /// by `batch_cap` per client) until acknowledged. Returns the clients
+    /// whose cached replies the global cache cap evicted.
+    fn record_done(
+        &mut self,
+        entry: &BatchEntry,
+        reply: Payload,
+        batch_cap: usize,
+        cache_cap: usize,
+    ) -> Vec<u64> {
+        if self
             .horizon
             .get(&entry.client)
-            .is_none_or(|&s| s < entry.seq);
-        if advance {
+            .is_none_or(|&s| s < entry.seq)
+        {
             self.horizon.insert(entry.client, entry.seq);
-            evicted = self
-                .replies
-                .insert(entry.client, entry.seq, reply, cache_cap);
-            self.stats.reply_cache_evictions += evicted.len() as u64;
         }
+        // cache unconditionally: batch validity already guaranteed every
+        // committed (client, seq) is unique and above the pre-round
+        // horizon, whatever order the batch rows land here in
+        let evicted = self
+            .replies
+            .insert(entry.client, entry.seq, reply, batch_cap, cache_cap);
+        self.stats.reply_cache_evictions += evicted.len() as u64;
         if self.queued.remove(&(entry.client, entry.seq)) {
             self.queue
                 .retain(|e| (e.client, e.seq) != (entry.client, entry.seq));
@@ -654,6 +780,13 @@ pub(crate) fn gateway_loop<F: Field, T: Transport>(
     let shards = spec.machine.k();
     let input_dim = spec.machine.transition().input_dim();
     let state_dim = spec.machine.transition().state_dim();
+    let batch_cap = cfg.batch_cap.max(1);
+    assert!(
+        batch_cap <= spec.machine.max_program_len(),
+        "batch_cap {batch_cap} exceeds the machine's program cap {} — \
+         size the code dimension with CodedMachine::with_program_cap",
+        spec.machine.program_cap()
+    );
     let id = engine.node();
     let mut admission = Admission::default();
     if let Some(ctx) = durable.as_deref() {
@@ -793,10 +926,10 @@ pub(crate) fn gateway_loop<F: Field, T: Transport>(
         // predicate refuses forged client MACs, malformed shapes, and
         // replayed commands (commits advanced the dedup horizon on every
         // honest node alike)
-        let proposal = encode_batch(&admission.build_batch(shards));
+        let proposal = encode_batch(&admission.build_batch(shards, batch_cap));
         let horizon = &admission.horizon;
         let valid = |rows: &[Vec<u64>]| {
-            decode_batch(rows, shards, input_dim, cluster, &keys).is_some_and(|batch| {
+            decode_batch(rows, shards, batch_cap, input_dim, cluster, &keys).is_some_and(|batch| {
                 batch
                     .iter()
                     .all(|e| horizon.get(&e.client).is_none_or(|&s| s < e.seq))
@@ -822,21 +955,25 @@ pub(crate) fn gateway_loop<F: Field, T: Transport>(
         }
         let batch = agreed
             .as_deref()
-            .and_then(|rows| decode_batch(rows, shards, input_dim, cluster, &keys))
+            .and_then(|rows| decode_batch(rows, shards, batch_cap, input_dim, cluster, &keys))
             .unwrap_or_default();
         if batch.is_empty() {
             admission.stats.empty_rounds += 1;
             sink.event(id, round, None, Event::EmptyRound);
+        } else {
+            recording.record_value("batch_size", batch.len() as u64);
         }
 
-        // expand to the full K-wide command vector; idle shards run the
-        // all-zero command (a no-op for machines like the bank)
-        let mut commands = vec![vec![F::ZERO; input_dim]; shards];
+        // group the agreed rows into per-shard command programs, in row
+        // order; idle shards run the empty program (a no-op)
+        let mut programs: Vec<Vec<Vec<F>>> = vec![Vec::new(); shards];
         for entry in &batch {
-            commands[entry.shard] = entry.command.iter().map(|&v| F::from_u64(v)).collect();
+            programs[entry.shard].push(entry.command.iter().map(|&v| F::from_u64(v)).collect());
         }
 
-        let g = engine.execute(&commands).expect("validated batch shape");
+        let g = engine
+            .execute_batched(&programs)
+            .expect("validated batch shape");
         let behavior = wire_behavior(id, cluster, spec.machine.result_dim(), spec.behavior, g);
         span.mark(Phase::Execute);
         let word = rt.run_exchange_round(round, &behavior);
@@ -862,11 +999,14 @@ pub(crate) fn gateway_loop<F: Field, T: Transport>(
             let mut replies = Vec::with_capacity(batch.len());
             for entry in &batch {
                 let reply = reply_payload(entry, c);
-                for client in admission.record_done(entry, reply.clone(), cfg.reply_cache_cap) {
+                for client in
+                    admission.record_done(entry, reply.clone(), batch_cap, cfg.reply_cache_cap)
+                {
                     sink.event(id, round, None, Event::ReplyCacheEviction { client });
                 }
                 replies.push((entry.client, reply));
             }
+            admission.stats.commands_committed += batch.len() as u64;
             // durability before acknowledgement: the round's batch,
             // digest, and coded-state delta hit the fsynced log before
             // any commit announcement or client reply leaves this node
@@ -884,6 +1024,7 @@ pub(crate) fn gateway_loop<F: Field, T: Transport>(
                     encode_batch(&batch),
                     delta,
                     cfg.consensus.wal_protocol(),
+                    batch_cap as u32,
                     engine.coded_state_canonical(),
                     &admission.horizon,
                 );
@@ -998,6 +1139,7 @@ fn gateway_counters(stats: &GatewayStats) -> Vec<(String, u64)> {
         ("duplicates", stats.duplicates),
         ("replayed", stats.replayed),
         ("replies_sent", stats.replies_sent),
+        ("commands_committed", stats.commands_committed),
         ("stage_fallbacks", stats.stage_fallbacks),
         ("empty_rounds", stats.empty_rounds),
         ("rejected_quota", stats.rejected_quota),
@@ -1175,7 +1317,10 @@ fn desynced<F>(
     false
 }
 
-/// The honest reply for a committed entry.
+/// The honest reply for a committed entry. Every command of a shard's
+/// per-round program is answered with the shard's *post-program* result
+/// — deterministic across honest nodes, so the client's `b + 1` matching
+/// rule is unaffected by aggregation.
 fn reply_payload<F: Field>(entry: &BatchEntry, commit: &RoundCommit<F>) -> Payload {
     Payload::Reply {
         shard: entry.shard as u64,
@@ -1283,29 +1428,54 @@ mod tests {
             entry(&reg, 9, 0, 1, vec![20]),
         ];
         let rows = encode_batch(&batch);
-        assert_eq!(decode_batch(&rows, 2, 1, 8, &reg), Some(batch));
+        assert_eq!(decode_batch(&rows, 2, 1, 1, 8, &reg), Some(batch));
     }
 
     #[test]
     fn decode_rejects_malformed_batches() {
         let reg = registry();
         let good = encode_batch(&[entry(&reg, 8, 0, 0, vec![1])]);
-        assert!(decode_batch(&good, 2, 1, 8, &reg).is_some());
-        // duplicate shard
+        assert!(decode_batch(&good, 2, 1, 1, 8, &reg).is_some());
+        // two rows on one shard with a cap of 1
         let dup = encode_batch(&[entry(&reg, 8, 0, 0, vec![1]), entry(&reg, 9, 0, 0, vec![2])]);
-        assert!(decode_batch(&dup, 2, 1, 8, &reg).is_none());
+        assert!(decode_batch(&dup, 2, 1, 1, 8, &reg).is_none());
         // shard out of range
         let far = encode_batch(&[entry(&reg, 8, 0, 5, vec![1])]);
-        assert!(decode_batch(&far, 2, 1, 8, &reg).is_none());
+        assert!(decode_batch(&far, 2, 1, 1, 8, &reg).is_none());
         // wrong command width
         let wide = encode_batch(&[entry(&reg, 8, 0, 0, vec![1, 2])]);
-        assert!(decode_batch(&wide, 2, 1, 8, &reg).is_none());
+        assert!(decode_batch(&wide, 2, 1, 1, 8, &reg).is_none());
         // client id inside the cluster range
         let node_client = encode_batch(&[entry(&reg, 3, 0, 0, vec![1])]);
-        assert!(decode_batch(&node_client, 2, 1, 8, &reg).is_none());
-        // more rows than shards
+        assert!(decode_batch(&node_client, 2, 1, 1, 8, &reg).is_none());
+        // more rows than shards * batch_cap
         let over = encode_batch(&[entry(&reg, 8, 0, 0, vec![1]), entry(&reg, 9, 0, 1, vec![2])]);
-        assert!(decode_batch(&over, 1, 1, 8, &reg).is_none());
+        assert!(decode_batch(&over, 1, 1, 1, 8, &reg).is_none());
+    }
+
+    #[test]
+    fn decode_accepts_per_shard_programs_up_to_the_cap() {
+        let reg = registry();
+        // two commands on shard 0 (a program), one on shard 1
+        let batch = vec![
+            entry(&reg, 8, 0, 0, vec![1]),
+            entry(&reg, 9, 4, 0, vec![2]),
+            entry(&reg, 8, 1, 1, vec![3]),
+        ];
+        let rows = encode_batch(&batch);
+        assert_eq!(decode_batch(&rows, 2, 2, 1, 8, &reg), Some(batch.clone()));
+        // the same rows are rejected wholesale at cap 1: honest nodes
+        // never split an over-cap program, they fall back together
+        assert!(decode_batch(&rows, 2, 1, 1, 8, &reg).is_none());
+        // a third row on shard 0 exceeds the cap of 2
+        let mut over = batch.clone();
+        over.push(entry(&reg, 9, 5, 0, vec![4]));
+        assert!(decode_batch(&encode_batch(&over), 2, 2, 1, 8, &reg).is_none());
+        // a Byzantine leader replaying one authorized command twice in a
+        // round is caught by the (client, seq) uniqueness rule even
+        // though both rows carry valid MACs
+        let replayed = vec![entry(&reg, 8, 0, 0, vec![1]), entry(&reg, 8, 0, 1, vec![1])];
+        assert!(decode_batch(&encode_batch(&replayed), 2, 2, 1, 8, &reg).is_none());
     }
 
     #[test]
@@ -1317,14 +1487,14 @@ mod tests {
         forged.command = vec![7_000_000]; // the "fake deposit" attack
         assert!(!forged.verify(&reg));
         let rows = encode_batch(&[forged]);
-        assert!(decode_batch(&rows, 2, 1, 8, &reg).is_none());
+        assert!(decode_batch(&rows, 2, 1, 1, 8, &reg).is_none());
         // signing with the *leader's* key (node 3) instead doesn't help
         let mut wrong_key = entry(&reg, 8, 0, 0, vec![1]);
         use csm_transport::Wire;
         wrong_key.sig_tag = reg
             .sign(NodeId(3), &wrong_key.submit_payload().to_bytes())
             .tag;
-        assert!(decode_batch(&encode_batch(&[wrong_key]), 2, 1, 8, &reg).is_none());
+        assert!(decode_batch(&encode_batch(&[wrong_key]), 2, 1, 1, 8, &reg).is_none());
     }
 
     #[test]
@@ -1363,9 +1533,9 @@ mod tests {
         assert_eq!(adm.stats.rejected_invalid, 1);
         assert_eq!(adm.stats.rejected_full, 1);
 
-        // the leader batches one command per shard, entries carry the
-        // client's submit MAC
-        let batch = adm.build_batch(2);
+        // the leader batches one command per shard at cap 1, entries
+        // carry the client's submit MAC
+        let batch = adm.build_batch(2, 1);
         assert_eq!(batch.len(), 2);
         assert!(batch.iter().all(|e| e.verify(&reg)));
 
@@ -1377,7 +1547,7 @@ mod tests {
             seq: 0,
             output: vec![110, 110],
         };
-        adm.record_done(&entry(&reg, 8, 0, 0, vec![10]), reply.clone(), 64);
+        adm.record_done(&entry(&reg, 8, 0, 0, vec![10]), reply.clone(), 1, 64);
         assert_eq!(adm.queue.len(), 1);
         let replays = adm.admit(vec![submit(8, 0, 0, 10)], 2, 1, &cfg, &test_scope());
         assert_eq!(replays, vec![(8, reply)]);
@@ -1413,7 +1583,12 @@ mod tests {
                 seq,
                 output: vec![seq, seq],
             };
-            adm.record_done(&entry(&reg, 8, seq, 0, vec![1]), reply, cfg.reply_cache_cap);
+            adm.record_done(
+                &entry(&reg, 8, seq, 0, vec![1]),
+                reply,
+                1,
+                cfg.reply_cache_cap,
+            );
             // retry of the just-committed command is answered from cache
             let replays = adm.admit(vec![submit(seq)], 1, 1, &cfg, &test_scope());
             assert_eq!(replays.len(), 1, "seq {seq} replay");
@@ -1428,6 +1603,104 @@ mod tests {
         adm.admit(vec![submit(500)], 1, 1, &cfg, &test_scope());
         assert_eq!(adm.replies.len(), 0);
         assert_eq!(adm.horizon.get(&8), Some(&499));
+
+        // aggregated rounds: four of the client's commands commit in one
+        // round. Every reply stays cached (bounded by the round's
+        // batch_cap) until the client moves on, and a retry of *any* of
+        // them — including seqs now below the horizon, which the old
+        // one-slot cache silently dropped — is answered.
+        let cap = 4u64;
+        for round in 0..50u64 {
+            let base = 501 + round * cap;
+            for i in 0..cap {
+                adm.admit(vec![submit(base + i)], 1, 1, &cfg, &test_scope());
+            }
+            for i in 0..cap {
+                let seq = base + i;
+                let reply = Payload::Reply {
+                    shard: 0,
+                    round: 500 + round,
+                    client: 8,
+                    seq,
+                    output: vec![seq, seq],
+                };
+                adm.record_done(
+                    &entry(&reg, 8, seq, 0, vec![1]),
+                    reply,
+                    cap as usize,
+                    cfg.reply_cache_cap,
+                );
+            }
+            for i in 0..cap {
+                let replays = adm.admit(vec![submit(base + i)], 1, 1, &cfg, &test_scope());
+                assert_eq!(replays.len(), 1, "seq {} replay", base + i);
+            }
+            assert!(adm.replies.len() <= cap as usize, "round {round}");
+            assert_eq!(adm.horizon.len(), 1);
+        }
+        // the next round's first submission acks the whole last program
+        adm.admit(vec![submit(501 + 50 * cap)], 1, 1, &cfg, &test_scope());
+        assert_eq!(adm.replies.len(), 0);
+    }
+
+    #[test]
+    fn batch_slots_round_robin_across_clients() {
+        // one greedy client floods a shard; nine polite clients submit
+        // one command each. Round-robin slot filling guarantees every
+        // polite command makes the very next program — the greedy
+        // backlog drains through the leftover slots, never by starving
+        // anyone.
+        let reg = KeyRegistry::new(20, 5);
+        let submit = |client: u64, seq: u64| {
+            Frame::sign(
+                Payload::Submit {
+                    shard: 0,
+                    client,
+                    seq,
+                    command: vec![1],
+                },
+                &reg,
+                NodeId(client as usize),
+            )
+        };
+        let cfg = test_cfg(100);
+        let mut adm = Admission::default();
+        // the greedy client's flood lands first, ahead of everyone
+        let mut frames: Vec<Frame> = (0..10).map(|s| submit(10, s)).collect();
+        frames.extend((11..20).map(|c| submit(c, 0)));
+        adm.admit(frames, 1, 1, &cfg, &test_scope());
+
+        let batch = adm.build_batch(1, 10);
+        assert_eq!(batch.len(), 10);
+        for c in 11..20u64 {
+            assert!(batch.iter().any(|e| e.client == c), "client {c} starved");
+        }
+        assert_eq!(batch.iter().filter(|e| e.client == 10).count(), 1);
+        // a smaller cap still admits one command per client per pass:
+        // the greedy client gets exactly its fair share of the slots
+        let tight = adm.build_batch(1, 4);
+        assert_eq!(tight.len(), 4);
+        assert_eq!(tight.iter().filter(|e| e.client == 10).count(), 1);
+        // with the polite clients drained, the flood gets the whole cap
+        // in seq order
+        for c in 11..20u64 {
+            let reply = Payload::Reply {
+                shard: 0,
+                round: 0,
+                client: c,
+                seq: 0,
+                output: vec![1],
+            };
+            adm.record_done(&entry(&reg, c, 0, 0, vec![1]), reply, 4, 64);
+        }
+        let alone = adm.build_batch(1, 4);
+        assert_eq!(alone.len(), 4);
+        assert!(alone.iter().all(|e| e.client == 10));
+        assert_eq!(
+            alone.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3],
+            "a client's program stays in its submission order"
+        );
     }
 
     #[test]
@@ -1441,7 +1714,7 @@ mod tests {
             output: vec![1],
         };
         for client in 0..100u64 {
-            cache.insert(client, 0, reply(client), 16);
+            cache.insert(client, 0, reply(client), 1, 16);
             assert!(cache.len() <= 16, "cap violated at client {client}");
         }
         // the newest entries survive, the oldest were evicted

@@ -127,6 +127,7 @@ impl DurableCtx {
         batch: Vec<Vec<u64>>,
         state_delta: Vec<u64>,
         protocol: u8,
+        batch_cap: u32,
         coded_state: Vec<u64>,
         horizons: &BTreeMap<u64, u64>,
     ) -> bool {
@@ -137,6 +138,7 @@ impl DurableCtx {
                 batch,
                 state_delta,
                 protocol,
+                batch_cap,
             })
             .expect("WAL append failed: cannot acknowledge an unlogged round");
         if self.info.first_commit_after.is_none() {
@@ -443,15 +445,19 @@ mod tests {
                     batch: vec![vec![9, 0, 0, 0x51, 40]],
                     state_delta: vec![5],
                     protocol: 0,
+                    batch_cap: 1,
                 })
                 .unwrap();
+            // round 3 is an aggregated round: client 8 committed seqs 1
+            // and 2 in one program — the horizon folds to the max
             store
                 .append_commit(&CommitRecord {
                     round: 3,
                     digest: 0xB,
-                    batch: vec![vec![8, 2, 1, 0x52, 41]],
+                    batch: vec![vec![8, 1, 1, 0x53, 17], vec![8, 2, 1, 0x52, 41]],
                     state_delta: vec![6],
                     protocol: 0,
+                    batch_cap: 2,
                 })
                 .unwrap();
         }
@@ -482,6 +488,7 @@ mod tests {
                         batch: vec![vec![8, round, 0, 0, 1]],
                         state_delta: vec![delta],
                         protocol: 0,
+                        batch_cap: 1,
                     })
                     .unwrap();
             }

@@ -31,4 +31,4 @@ mod multipoly;
 mod transition;
 
 pub use multipoly::{MultiPoly, Term};
-pub use transition::{PolyTransition, TransitionError};
+pub use transition::{Aggregation, PolyTransition, TransitionError};

@@ -46,6 +46,29 @@ impl std::fmt::Display for TransitionError {
 
 impl std::error::Error for TransitionError {}
 
+/// How a machine aggregates a per-round *program* (an ordered batch) of
+/// commands into one coded round.
+///
+/// Classified structurally from the transition polynomials by
+/// [`PolyTransition::aggregation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregation {
+    /// The machine is additive in its commands: every next-state
+    /// coordinate is `s_i + L_i(x)` with `L_i` homogeneous linear in the
+    /// inputs, and every output is an affine combination of the
+    /// next-state coordinates. A batch `[x_1, …, x_m]` is then exactly
+    /// equivalent to the single command `x_1 + … + x_m` (component-wise,
+    /// in-field): the whole queue folds into one round input with
+    /// unlimited batch size at unchanged composite degree.
+    Fold,
+    /// General machine: a batch is evaluated as a bounded per-round
+    /// program of chained transition applications. The composite degree
+    /// compounds per step (`d^m(K−1)` after `m` steps), so the code
+    /// dimension must be sized for the program cap when the
+    /// `CodedMachine` is constructed.
+    Program,
+}
+
 /// A deterministic state machine `(S(t+1), Y(t)) = f(S(t), X(t))` where
 /// every coordinate of `f` is a multivariate polynomial in the
 /// `state_dim + input_dim` variables `[s_0, …, s_{sd−1}, x_0, …, x_{id−1}]`.
@@ -223,6 +246,101 @@ impl<F: Field> PolyTransition<F> {
             .collect()
     }
 
+    /// Classifies how this machine aggregates a per-round batch of
+    /// commands (see [`Aggregation`]).
+    ///
+    /// [`Aggregation::Fold`] requires, structurally:
+    ///
+    /// * every next-state polynomial is `s_i + L_i(x)` where `L_i` is
+    ///   homogeneous linear in the input variables alone (so per-command
+    ///   increments telescope and the zero command is a no-op), and
+    /// * every output polynomial is an affine combination of the
+    ///   next-state polynomials (so the folded round's output equals the
+    ///   final sequential command's output).
+    ///
+    /// Everything else is [`Aggregation::Program`].
+    pub fn aggregation(&self) -> Aggregation {
+        for (i, p) in self.next_state.iter().enumerate() {
+            let mut saw_self = false;
+            for t in p.terms() {
+                if is_state_var(&t.exps, self.state_dim, i) {
+                    if t.coeff != F::ONE {
+                        return Aggregation::Program;
+                    }
+                    saw_self = true;
+                } else if !is_input_linear(&t.exps, self.state_dim) {
+                    return Aggregation::Program;
+                }
+            }
+            if !saw_self {
+                return Aggregation::Program;
+            }
+        }
+        for q in &self.output {
+            // subtract each next-state poly scaled by q's s_i coefficient;
+            // an affine combination leaves a constant residual
+            let mut residual = q.clone();
+            for (i, p) in self.next_state.iter().enumerate() {
+                let c = q
+                    .terms()
+                    .iter()
+                    .find(|t| is_state_var(&t.exps, self.state_dim, i))
+                    .map_or(F::ZERO, |t| t.coeff);
+                if !c.is_zero() {
+                    residual = residual.add(&p.scale(-c));
+                }
+            }
+            if residual.total_degree() != 0 {
+                return Aggregation::Program;
+            }
+        }
+        Aggregation::Fold
+    }
+
+    /// Whether the all-zero command leaves the state unchanged — the
+    /// padding requirement for evaluating uneven per-shard programs
+    /// (idle shards and short programs run zero-command no-op steps).
+    pub fn zero_command_is_noop(&self) -> bool {
+        self.next_state.iter().enumerate().all(|(i, p)| {
+            // substituting x = 0 drops every term touching an input var;
+            // what remains must be exactly s_i
+            let kept: Vec<&crate::multipoly::Term<F>> = p
+                .terms()
+                .iter()
+                .filter(|t| t.exps[self.state_dim..].iter().all(|&e| e == 0))
+                .collect();
+            kept.len() == 1
+                && kept[0].coeff == F::ONE
+                && is_state_var(&kept[0].exps, self.state_dim, i)
+        })
+    }
+
+    /// Folds a batch of commands into the single equivalent round input
+    /// (component-wise in-field sum). Exact only for
+    /// [`Aggregation::Fold`] machines; the empty batch folds to the
+    /// all-zero no-op command.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransitionError::DimensionMismatch`] if any command has
+    /// the wrong length.
+    pub fn fold_commands(&self, batch: &[Vec<F>]) -> Result<Vec<F>, TransitionError> {
+        let mut folded = vec![F::ZERO; self.input_dim];
+        for cmd in batch {
+            if cmd.len() != self.input_dim {
+                return Err(TransitionError::DimensionMismatch {
+                    what: "input",
+                    expected: self.input_dim,
+                    got: cmd.len(),
+                });
+            }
+            for (acc, &x) in folded.iter_mut().zip(cmd) {
+                *acc += x;
+            }
+        }
+        Ok(folded)
+    }
+
     /// Maps the machine into another field coefficient-wise (used for the
     /// Appendix-A embedding and for wrapping in
     /// [`csm_algebra::Counting`]).
@@ -234,6 +352,20 @@ impl<F: Field> PolyTransition<F> {
             output: self.output.iter().map(|p| p.map_coeffs(f)).collect(),
         }
     }
+}
+
+/// Whether `exps` is exactly the monomial `s_i` (state variable `i` to
+/// the first power, everything else zero).
+fn is_state_var(exps: &[u32], state_dim: usize, i: usize) -> bool {
+    exps.iter()
+        .enumerate()
+        .all(|(j, &e)| if j == i { e == 1 } else { e == 0 })
+        && i < state_dim
+}
+
+/// Whether `exps` is a degree-1 monomial in a single *input* variable.
+fn is_input_linear(exps: &[u32], state_dim: usize) -> bool {
+    exps[..state_dim].iter().all(|&e| e == 0) && exps[state_dim..].iter().sum::<u32>() == 1
 }
 
 #[cfg(test)]
@@ -306,6 +438,92 @@ mod tests {
     fn constant_machine_degree_floor() {
         let m = PolyTransition::new(1, 1, vec![MultiPoly::constant(2, f(9))], vec![]).unwrap();
         assert_eq!(m.degree(), 1);
+    }
+
+    #[test]
+    fn bank_like_machine_folds() {
+        // S' = S + X, Y = S + X (an affine combination of next-state):
+        // the canonical Fold machine
+        let next = MultiPoly::from_terms(2, vec![(Fp61::ONE, vec![1, 0]), (Fp61::ONE, vec![0, 1])]);
+        let m = PolyTransition::new(1, 1, vec![next.clone()], vec![next]).unwrap();
+        assert_eq!(m.aggregation(), Aggregation::Fold);
+        assert!(m.zero_command_is_noop());
+        let batch = vec![vec![f(3)], vec![f(10)], vec![f(4)]];
+        assert_eq!(m.fold_commands(&batch).unwrap(), vec![f(17)]);
+        assert_eq!(m.fold_commands(&[]).unwrap(), vec![f(0)]);
+        // folding ≡ sequential application, state and (final) output
+        let mut s = vec![f(100)];
+        let mut last = Vec::new();
+        for cmd in &batch {
+            let (next, out) = m.apply(&s, cmd).unwrap();
+            s = next;
+            last = out;
+        }
+        let (folded_s, folded_y) = m.apply(&[f(100)], &[f(17)]).unwrap();
+        assert_eq!(folded_s, s);
+        assert_eq!(folded_y, last);
+    }
+
+    #[test]
+    fn nonlinear_and_echoing_machines_are_programs() {
+        // Y = S·X is not an affine combination of next-state
+        assert_eq!(product_machine().aggregation(), Aggregation::Program);
+        // S' = S + S·X (interest-like): increment depends on state
+        let m = PolyTransition::new(
+            1,
+            1,
+            vec![MultiPoly::from_terms(
+                2,
+                vec![(Fp61::ONE, vec![1, 0]), (Fp61::ONE, vec![1, 1])],
+            )],
+            vec![],
+        )
+        .unwrap();
+        assert_eq!(m.aggregation(), Aggregation::Program);
+        assert!(m.zero_command_is_noop());
+        // Y = X echoes the command itself: folding would sum the batch
+        let m = PolyTransition::new(
+            1,
+            1,
+            vec![MultiPoly::from_terms(
+                2,
+                vec![(Fp61::ONE, vec![1, 0]), (Fp61::ONE, vec![0, 1])],
+            )],
+            vec![MultiPoly::var(2, 1)],
+        )
+        .unwrap();
+        assert_eq!(m.aggregation(), Aggregation::Program);
+    }
+
+    #[test]
+    fn affine_increments_break_zero_noop_and_fold() {
+        // S' = S + X + 1: the constant term makes the zero command a
+        // mutation, and the increments no longer telescope
+        let m = PolyTransition::new(
+            1,
+            1,
+            vec![MultiPoly::from_terms(
+                2,
+                vec![
+                    (Fp61::ONE, vec![1, 0]),
+                    (Fp61::ONE, vec![0, 1]),
+                    (Fp61::ONE, vec![0, 0]),
+                ],
+            )],
+            vec![],
+        )
+        .unwrap();
+        assert_eq!(m.aggregation(), Aggregation::Program);
+        assert!(!m.zero_command_is_noop());
+    }
+
+    #[test]
+    fn fold_commands_checks_widths() {
+        let m = product_machine();
+        assert!(matches!(
+            m.fold_commands(&[vec![f(1), f(2)]]),
+            Err(TransitionError::DimensionMismatch { what: "input", .. })
+        ));
     }
 
     #[test]

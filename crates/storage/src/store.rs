@@ -164,6 +164,7 @@ mod tests {
             batch: vec![],
             state_delta: vec![round],
             protocol: 0,
+            batch_cap: 1,
         }
     }
 

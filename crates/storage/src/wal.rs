@@ -27,9 +27,12 @@ use std::path::{Path, PathBuf};
 
 /// Format version carried at the head of every record body. Version 2
 /// added the `protocol` byte recording which batch-consensus backend
-/// committed the round; version-1 records still decode (their protocol
-/// reads as [`PROTOCOL_LEADER_ECHO`], the only backend that existed).
-pub const RECORD_VERSION: u8 = 2;
+/// committed the round; version 3 added `batch_cap`, the per-shard
+/// program cap in force when the round was agreed. Version-1 and
+/// version-2 records still decode: their protocol reads as
+/// [`PROTOCOL_LEADER_ECHO`] (v1 only) and their batch cap as 1 (rounds
+/// logged before aggregation carried at most one command per shard).
+pub const RECORD_VERSION: u8 = 3;
 
 /// [`CommitRecord::protocol`]: the batch was agreed by the leader-echo
 /// `Stage` quorum.
@@ -64,6 +67,12 @@ pub struct CommitRecord {
     /// acknowledged round took, and a recovery can flag rounds committed
     /// under a weaker synchrony assumption than the cluster now runs.
     pub protocol: u8,
+    /// The per-shard program cap (`batch_cap`) the gateway was agreeing
+    /// batches under when this round committed. The batch rows carry the
+    /// full agreed program; the cap lets an audit check every logged
+    /// round respected the configured bound. Pre-v3 records read as 1
+    /// (one command per shard was the only shape that existed).
+    pub batch_cap: u32,
 }
 
 impl Wire for CommitRecord {
@@ -74,11 +83,12 @@ impl Wire for CommitRecord {
         self.batch.encode(out);
         self.state_delta.encode(out);
         self.protocol.encode(out);
+        self.batch_cap.encode(out);
     }
 
     fn decode(r: &mut WireReader<'_>) -> Result<Self, csm_transport::WireError> {
         let version = u8::decode(r)?;
-        if version != 1 && version != RECORD_VERSION {
+        if !(1..=RECORD_VERSION).contains(&version) {
             return Err(csm_transport::WireError::UnknownTag(version));
         }
         let (round, digest, batch, state_delta) = (
@@ -93,12 +103,19 @@ impl Wire for CommitRecord {
         } else {
             u8::decode(r)?
         };
+        let batch_cap = if version < 3 {
+            // pre-aggregation logs carried at most one command per shard
+            1
+        } else {
+            u32::decode(r)?
+        };
         Ok(CommitRecord {
             round,
             digest,
             batch,
             state_delta,
             protocol,
+            batch_cap,
         })
     }
 }
@@ -270,6 +287,7 @@ mod tests {
             batch: vec![vec![8, round, 0, 1, 42]],
             state_delta: vec![round + 1, round + 2],
             protocol: PROTOCOL_LEADER_ECHO,
+            batch_cap: 1,
         }
     }
 
@@ -351,6 +369,7 @@ mod tests {
             batch: vec![],
             state_delta: vec![0u64; MAX_RECORD_BYTES / 8 + 1],
             protocol: PROTOCOL_LEADER_ECHO,
+            batch_cap: 1,
         };
         let err = wal.append(&huge).unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
@@ -363,18 +382,25 @@ mod tests {
     }
 
     #[test]
-    fn version1_records_still_decode_as_leader_echo() {
-        // a v1 body is the v2 encoding minus the trailing protocol byte,
-        // with the version byte rewritten — logs written before the
-        // protocol field must replay, attributed to leader-echo
+    fn older_record_versions_still_decode() {
+        // a v2 body is the v3 encoding minus the trailing batch_cap u32,
+        // a v1 body additionally drops the protocol byte — both must
+        // replay, with protocol leader-echo (v1) and batch cap 1
         let modern = rec(3);
-        let mut v1_body = modern.to_bytes();
-        assert_eq!(v1_body[0], RECORD_VERSION);
+        let mut v2_body = modern.to_bytes();
+        assert_eq!(v2_body[0], RECORD_VERSION);
+        v2_body[0] = 2;
+        v2_body.truncate(v2_body.len() - 4); // drop the batch_cap u32
+        let decoded = CommitRecord::from_bytes(&v2_body).expect("v2 decodes");
+        assert_eq!(decoded, modern);
+        assert_eq!(decoded.batch_cap, 1);
+        let mut v1_body = v2_body;
         v1_body[0] = 1;
         v1_body.pop(); // drop the protocol byte
         let decoded = CommitRecord::from_bytes(&v1_body).expect("v1 decodes");
         assert_eq!(decoded, modern);
         assert_eq!(decoded.protocol, PROTOCOL_LEADER_ECHO);
+        assert_eq!(decoded.batch_cap, 1);
         // unknown versions are corruption, not silent misreads
         let mut v9 = modern.to_bytes();
         v9[0] = 9;

@@ -30,14 +30,16 @@ fn record_strategy() -> impl Strategy<Value = CommitRecord> {
         prop::collection::vec(prop::collection::vec(any::<u64>(), 0..6), 0..3),
         prop::collection::vec(any::<u64>(), 1..4),
         0u8..3,
+        1u32..64,
     )
         .prop_map(
-            |(round, digest, batch, state_delta, protocol)| CommitRecord {
+            |(round, digest, batch, state_delta, protocol, batch_cap)| CommitRecord {
                 round,
                 digest,
                 batch,
                 state_delta,
                 protocol,
+                batch_cap,
             },
         )
 }

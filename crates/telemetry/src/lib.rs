@@ -44,4 +44,4 @@ pub use logger::{LogLevel, Logger};
 pub use recorder::{FlightDump, FlightRecorder};
 pub use registry::{Counter, Gauge, MetricsRegistry};
 pub use sink::{NullSink, RecordingSink, ReplaySink, RoundSpan, SharedSink, Sink, TeeSink};
-pub use snapshot::{CounterStat, PhaseStat, TelemetrySnapshot};
+pub use snapshot::{CounterStat, PhaseStat, TelemetrySnapshot, ValueStat};

@@ -21,7 +21,7 @@
 use crate::event::{Event, EventRecord, Phase};
 use crate::recorder::FlightRecorder;
 use crate::registry::MetricsRegistry;
-use crate::snapshot::{CounterStat, PhaseStat, TelemetrySnapshot};
+use crate::snapshot::{CounterStat, PhaseStat, TelemetrySnapshot, ValueStat};
 use csm_core::metrics::LatencyHistogram;
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
@@ -107,6 +107,7 @@ pub struct RecordingSink {
     epoch: Instant,
     metrics: MetricsRegistry,
     phases: Mutex<BTreeMap<Phase, LatencyHistogram>>,
+    values: Mutex<BTreeMap<String, LatencyHistogram>>,
     recorder: Mutex<FlightRecorder>,
 }
 
@@ -126,8 +127,33 @@ impl RecordingSink {
             epoch: Instant::now(),
             metrics: MetricsRegistry::new(),
             phases: Mutex::new(BTreeMap::new()),
+            values: Mutex::new(BTreeMap::new()),
             recorder: Mutex::new(FlightRecorder::new(Self::RING_CAPACITY)),
         }
+    }
+
+    /// Records one sample of the named dimensionless value distribution
+    /// (e.g. the per-round `batch_size`). Samples share the HDR-style
+    /// histogram buckets of phase latencies but are unitless integers.
+    pub fn record_value(&self, name: &str, value: u64) {
+        self.values
+            .lock()
+            .expect("recording sink poisoned")
+            .entry(name.to_string())
+            .or_default()
+            .record_us(value);
+    }
+
+    /// A point-in-time copy of one value distribution's histogram (empty
+    /// if never recorded). Quantiles read back via the `Duration` API in
+    /// whole "microseconds" — one unit per integer sample.
+    pub fn value_histogram(&self, name: &str) -> LatencyHistogram {
+        self.values
+            .lock()
+            .expect("recording sink poisoned")
+            .get(name)
+            .cloned()
+            .unwrap_or_default()
     }
 
     /// The value of the event counter named `name`.
@@ -196,6 +222,20 @@ impl RecordingSink {
                 max_us: h.max().as_micros() as u64,
             })
             .collect();
+        let values = self
+            .values
+            .lock()
+            .expect("recording sink poisoned")
+            .iter()
+            .map(|(name, h)| ValueStat {
+                name: name.clone(),
+                count: h.count(),
+                p50: h.p50().as_micros() as u64,
+                p99: h.p99().as_micros() as u64,
+                mean: h.mean().as_micros() as u64,
+                max: h.max().as_micros() as u64,
+            })
+            .collect();
         let mut merged: BTreeMap<String, u64> = self.metrics.counter_values().into_iter().collect();
         for (name, value) in extra_counters {
             merged.insert(name.clone(), *value);
@@ -208,6 +248,7 @@ impl RecordingSink {
                 .into_iter()
                 .map(|(name, value)| CounterStat { name, value })
                 .collect(),
+            values,
         }
     }
 }
@@ -393,9 +434,18 @@ mod tests {
         assert_eq!(sink.counter("empty_round"), 1);
         assert_eq!(sink.recent_events().len(), 12);
 
+        for size in [1u64, 7, 32] {
+            sink.record_value("batch_size", size);
+        }
+        assert_eq!(sink.value_histogram("batch_size").count(), 3);
+
         let snap = sink.snapshot(1, 10, &[("extra".to_string(), 42)]);
         assert_eq!(snap.node, 1);
         assert_eq!(snap.counter("extra"), 42);
+        let batch = snap.value("batch_size").expect("batch_size recorded");
+        assert_eq!(batch.count, 3);
+        assert_eq!(batch.max, 32);
+        assert_eq!(batch.mean, (1 + 7 + 32) / 3);
         assert_eq!(snap.counter_by_peer("equivocation_detected"), vec![(0, 10)]);
         let exchange = snap.phase("exchange").expect("exchange recorded");
         assert_eq!(exchange.count, 10);

@@ -36,6 +36,25 @@ pub struct CounterStat {
     pub value: u64,
 }
 
+/// Aggregate statistics for one named dimensionless value distribution
+/// (e.g. per-round batch sizes) — same shape as [`PhaseStat`] but the
+/// samples are unitless integers, not microseconds.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ValueStat {
+    /// The distribution's name (e.g. `batch_size`).
+    pub name: String,
+    /// Samples recorded.
+    pub count: u64,
+    /// Median sample.
+    pub p50: u64,
+    /// 99th-percentile sample.
+    pub p99: u64,
+    /// Mean sample.
+    pub mean: u64,
+    /// Largest recorded sample.
+    pub max: u64,
+}
+
 /// Everything one node reports about itself, point-in-time.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TelemetrySnapshot {
@@ -47,6 +66,8 @@ pub struct TelemetrySnapshot {
     pub phases: Vec<PhaseStat>,
     /// Named counters, sorted by name.
     pub counters: Vec<CounterStat>,
+    /// Named value distributions (e.g. `batch_size`), sorted by name.
+    pub values: Vec<ValueStat>,
 }
 
 impl TelemetrySnapshot {
@@ -76,6 +97,12 @@ impl TelemetrySnapshot {
             .iter()
             .find(|c| c.name == name)
             .map_or(0, |c| c.value)
+    }
+
+    /// The statistics for the value distribution named `name`, if any
+    /// samples were recorded.
+    pub fn value(&self, name: &str) -> Option<&ValueStat> {
+        self.values.iter().find(|v| v.name == name)
     }
 
     /// The per-peer breakdown of `name`: every `(peer, value)` recorded
@@ -153,6 +180,14 @@ mod tests {
                     value: 4,
                 },
             ],
+            values: vec![ValueStat {
+                name: "batch_size".into(),
+                count: 17,
+                p50: 12,
+                p99: 32,
+                mean: 14,
+                max: 32,
+            }],
         }
     }
 
@@ -173,6 +208,8 @@ mod tests {
         assert_eq!(snap.counter("absent"), 0);
         assert_eq!(snap.counter_by_peer("mac_rejected"), vec![(1, 4)]);
         assert_eq!(snap.counter_by_peer("equivocation_detected"), vec![(0, 17)]);
+        assert_eq!(snap.value("batch_size").unwrap().mean, 14);
+        assert!(snap.value("absent").is_none());
     }
 
     #[test]

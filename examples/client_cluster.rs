@@ -22,6 +22,7 @@ fn main() {
         commands_per_client: 2,
         delta: Duration::from_millis(40),
         queue_cap: 4096,
+        batch_cap: 1,
         seed: 9,
         consensus: csm_node::ConsensusKind::LeaderEcho,
         scrape: true,

@@ -24,6 +24,7 @@ fn config(cluster: usize, shards: usize, b: usize, clients: usize, cmds: usize) 
         commands_per_client: cmds,
         delta: Duration::from_millis(40),
         queue_cap: 4096,
+        batch_cap: 1,
         seed: 23,
         consensus: csm_node::ConsensusKind::LeaderEcho,
         scrape: false,

@@ -31,6 +31,7 @@ fn config(cluster: usize, b: usize, clients: usize, consensus: ConsensusKind) ->
         commands_per_client: 2,
         delta: Duration::from_millis(40),
         queue_cap: 4096,
+        batch_cap: 1,
         seed: 29,
         consensus,
         scrape: false,
@@ -52,6 +53,16 @@ fn equivocating_leader(id: usize) -> StagingFault {
 fn withholding_leader(id: usize) -> StagingFault {
     if id == 0 {
         StagingFault::WithholdBatch
+    } else {
+        StagingFault::None
+    }
+}
+
+/// Node 0 proposes an over-cap / ill-formed per-shard program (a row
+/// replayed past the batch-validity rules) whenever it leads a round.
+fn overcap_leader(id: usize) -> StagingFault {
+    if id == 0 {
+        StagingFault::OverCapBatch
     } else {
         StagingFault::None
     }
@@ -176,6 +187,39 @@ fn withholding_leader_yields_empty_committed_rounds_not_a_stall() {
             assert!(
                 committed_rounds > 0,
                 "{consensus}: node {} committed nothing",
+                node.id
+            );
+        }
+    }
+}
+
+/// A Byzantine leader proposing an over-cap / ill-formed per-shard
+/// program — a genuine client row replayed past the `(client, seq)`
+/// uniqueness rule and (at cap 1) the per-shard program cap — costs at
+/// most its own round under every backend: honest nodes reject the
+/// proposal *wholesale* (nobody trims it to a valid prefix, which would
+/// split the cluster on which prefix) and fall back to the same empty
+/// batch, so the backlog commits under the next honest leader and no
+/// honest node diverges.
+#[test]
+fn overcap_leader_falls_back_to_empty_batch_without_splitting() {
+    for consensus in [
+        ConsensusKind::LeaderEcho,
+        ConsensusKind::DolevStrong,
+        ConsensusKind::Pbft,
+    ] {
+        let mut cfg = config(6, 1, 4, consensus);
+        // an aggregated workload, so real multi-command programs are in
+        // flight when the faulty proposal lands
+        cfg.batch_cap = 4;
+        let outcome = run_mem_workload_with_faults(&cfg, |_| BehaviorKind::Honest, overcap_leader);
+        verify_bank_outcome(&cfg, &outcome, &[0]).unwrap_or_else(|e| panic!("{consensus}: {e}"));
+        assert_eq!(outcome.committed(), 8, "{consensus}: every command commits");
+        for node in outcome.nodes.iter().filter(|n| n.id != 0) {
+            assert!(
+                !node.stats.desynced,
+                "{consensus}: honest node {} fail-stopped — the ill-formed \
+                 program split the cluster",
                 node.id
             );
         }

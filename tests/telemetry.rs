@@ -100,6 +100,7 @@ fn gateway_incident_leaves_a_flight_dump_naming_the_equivocator() {
         commands_per_client: 2,
         delta: Duration::from_millis(40),
         queue_cap: 64,
+        batch_cap: 1,
         seed: 13,
         consensus: csm_node::ConsensusKind::LeaderEcho,
         scrape: false,
