@@ -1,0 +1,118 @@
+//! Cluster health: per-node commit lag and liveness.
+
+use csm_telemetry::TelemetrySnapshot;
+
+/// One node's health at scrape time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeHealth {
+    /// The node.
+    pub node: usize,
+    /// The node's reported round (0 when it never answered).
+    pub round: u64,
+    /// How many rounds the node trails the cluster head.
+    pub commit_lag: u64,
+    /// Whether the node answered the scrape at all.
+    pub live: bool,
+}
+
+/// The cluster health summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Health {
+    /// The highest round any node reported.
+    pub head_round: u64,
+    /// One entry per cluster slot, node id order — silent nodes
+    /// included, flagged `live: false`.
+    pub nodes: Vec<NodeHealth>,
+}
+
+impl Health {
+    /// Builds the summary from scraped snapshots; `cluster` fixes the
+    /// id space so silent nodes still get a (dead) row.
+    pub fn build(snapshots: &[(usize, TelemetrySnapshot)], cluster: usize) -> Self {
+        let head_round = snapshots.iter().map(|(_, s)| s.round).max().unwrap_or(0);
+        let nodes = (0..cluster)
+            .map(|node| match snapshots.iter().find(|(id, _)| *id == node) {
+                Some((_, snap)) => NodeHealth {
+                    node,
+                    round: snap.round,
+                    commit_lag: head_round - snap.round.min(head_round),
+                    live: true,
+                },
+                None => NodeHealth {
+                    node,
+                    round: 0,
+                    commit_lag: head_round,
+                    live: false,
+                },
+            })
+            .collect();
+        Health { head_round, nodes }
+    }
+
+    /// Nodes that either never answered or trail the head by more than
+    /// `max_lag` rounds.
+    pub fn unhealthy(&self, max_lag: u64) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .filter(|n| !n.live || n.commit_lag > max_lag)
+            .map(|n| n.node)
+            .collect()
+    }
+
+    /// Hand-built JSON for the summary.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"head_round\":{},\"nodes\":[{}]}}",
+            self.head_round,
+            self.nodes
+                .iter()
+                .map(|n| format!(
+                    "{{\"node\":{},\"round\":{},\"commit_lag\":{},\"live\":{}}}",
+                    n.node, n.round, n.commit_lag, n.live
+                ))
+                .collect::<Vec<_>>()
+                .join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(node: u64, round: u64) -> (usize, TelemetrySnapshot) {
+        (
+            node as usize,
+            TelemetrySnapshot {
+                node,
+                round,
+                phases: vec![],
+                counters: vec![],
+                values: vec![],
+            },
+        )
+    }
+
+    #[test]
+    fn lag_is_relative_to_head_and_silence_is_dead() {
+        let health = Health::build(&[snap(0, 12), snap(2, 10)], 4);
+        assert_eq!(health.head_round, 12);
+        assert_eq!(health.nodes.len(), 4);
+        assert_eq!(health.nodes[0].commit_lag, 0);
+        assert!(!health.nodes[1].live);
+        assert_eq!(health.nodes[1].commit_lag, 12);
+        assert_eq!(health.nodes[2].commit_lag, 2);
+        assert_eq!(health.unhealthy(1), vec![1, 2, 3]);
+        assert_eq!(health.unhealthy(2), vec![1, 3]);
+        let json = health.to_json();
+        assert!(json.contains("\"head_round\":12"));
+        assert!(json.contains("{\"node\":1,\"round\":0,\"commit_lag\":12,\"live\":false}"));
+    }
+
+    #[test]
+    fn empty_scrape_is_all_dead() {
+        let health = Health::build(&[], 3);
+        assert_eq!(health.head_round, 0);
+        assert_eq!(health.unhealthy(0), vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,392 @@
+//! # csm-auditor
+//!
+//! A client-side cluster auditor for the CSM stack. It consumes the
+//! per-node [`TelemetrySnapshot`]s a [`csm-client`] scrape collects over
+//! the existing `TelemetryRequest`/`TelemetryReply` frames and merges
+//! them into one cluster model with three products:
+//!
+//! * **Corroborated Byzantine scorecard** ([`scorecard`]) — per-peer
+//!   accusation counters promoted to *convicted* only at `b + 1`
+//!   distinct reporters, with structured JSON evidence records naming
+//!   every reporter.
+//! * **Cross-node round timeline** ([`timeline`]) — per-node median
+//!   rounds aligned into a cluster gantt, per-phase straggler spread,
+//!   and the Δ-slack profile (measured deadline headroom per wait
+//!   window).
+//! * **Health summary** ([`health`]) — per-node commit lag and liveness
+//!   flags, plus a Prometheus-style text exposition
+//!   ([`ClusterAudit::render_prometheus`]).
+//!
+//! The auditor is pure analysis over scraped data: it holds no keys,
+//! sends no frames, and its conclusions never feed back into protocol
+//! state. Telemetry is self-reported — each snapshot is only as honest
+//! as its reporter — which is exactly why the scorecard demands `b + 1`
+//! distinct reporters before promoting an accusation (see
+//! [`scorecard`] for the full argument and the `mac_rejected`
+//! attribution caveat).
+//!
+//! Std-only by design: the crate depends on `csm-telemetry` alone and
+//! hand-builds its JSON output, so it can be vendored next to any
+//! client without dragging the protocol stack along.
+//!
+//! [`csm-client`]: https://example.invalid/coded-state-machine
+//! [`TelemetrySnapshot`]: csm_telemetry::TelemetrySnapshot
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod health;
+pub mod scorecard;
+pub mod timeline;
+
+pub use health::{Health, NodeHealth};
+pub use scorecard::{Accusation, PeerScore, Scorecard, ACCUSATION_COUNTERS};
+pub use timeline::{
+    GanttRow, GanttSegment, NodeSlack, PhaseSpread, SlackWindow, Timeline, SLACK_WINDOWS,
+};
+
+use csm_telemetry::TelemetrySnapshot;
+
+/// The cluster parameters an audit is judged against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuditConfig {
+    /// Cluster size `N` (fixes the node-id space).
+    pub cluster: usize,
+    /// Fault bound `b`; convictions need `b + 1` distinct reporters.
+    pub assumed_faults: usize,
+}
+
+impl AuditConfig {
+    /// The conviction threshold, `b + 1`.
+    pub fn need(&self) -> usize {
+        self.assumed_faults + 1
+    }
+}
+
+/// The merged cluster model: scorecard + timeline + health.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterAudit {
+    /// The parameters the audit was built with.
+    pub config: AuditConfig,
+    /// Nodes that answered the scrape, sorted.
+    pub reporters: Vec<usize>,
+    /// The corroborated Byzantine scorecard.
+    pub scorecard: Scorecard,
+    /// The cross-node timeline (gantt, straggler spread, Δ-slack).
+    pub timeline: Timeline,
+    /// Per-node commit lag and liveness.
+    pub health: Health,
+}
+
+impl ClusterAudit {
+    /// Builds the full audit from scraped `(node, snapshot)` pairs (at
+    /// most one snapshot per node, as [`csm-client`]'s scrape returns;
+    /// duplicates beyond the first per node are ignored).
+    ///
+    /// [`csm-client`]: https://example.invalid/coded-state-machine
+    pub fn build(config: AuditConfig, snapshots: &[(usize, TelemetrySnapshot)]) -> Self {
+        let mut deduped: Vec<(usize, TelemetrySnapshot)> = Vec::new();
+        for (node, snap) in snapshots {
+            if *node < config.cluster && !deduped.iter().any(|(id, _)| id == node) {
+                deduped.push((*node, snap.clone()));
+            }
+        }
+        deduped.sort_by_key(|(id, _)| *id);
+        let reporters = deduped.iter().map(|(id, _)| *id).collect();
+        ClusterAudit {
+            config,
+            reporters,
+            scorecard: Scorecard::build(&deduped, config.cluster, config.need()),
+            timeline: Timeline::build(&deduped),
+            health: Health::build(&deduped, config.cluster),
+        }
+    }
+
+    /// Every convicted peer, sorted (shorthand for
+    /// [`Scorecard::convicted`]).
+    pub fn convicted_peers(&self) -> Vec<usize> {
+        self.scorecard.convicted()
+    }
+
+    /// The cluster-median slack for `window` in whole milliseconds
+    /// (`None` when no node sampled the window).
+    pub fn slack_p50_ms(&self, window: &str) -> Option<u64> {
+        self.timeline.slack_p50_us(window).map(|us| us / 1_000)
+    }
+
+    /// The whole audit as one hand-built JSON document.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"cluster\":{},\"assumed_faults\":{},\"reporters\":[{}],\"scorecard\":{{\"need\":{},\"peers\":{}}},\"timeline\":{},\"health\":{}}}",
+            self.config.cluster,
+            self.config.assumed_faults,
+            scorecard::join_usize(&self.reporters),
+            self.scorecard.need,
+            self.scorecard.evidence_json(),
+            self.timeline.to_json(),
+            self.health.to_json(),
+        )
+    }
+
+    /// Renders the human-readable audit report: gantt, straggler
+    /// spread, slack profile, scorecard verdicts, and health flags.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "cluster audit: N={} b={} (convictions need {} distinct reporters)\n\n",
+            self.config.cluster, self.config.assumed_faults, self.scorecard.need
+        ));
+        out.push_str("== median-round gantt ==\n");
+        out.push_str(&self.timeline.render_text(48));
+        out.push_str("\n== straggler spread (p50, max - median across nodes) ==\n");
+        for s in &self.timeline.straggler {
+            out.push_str(&format!(
+                "{:<22} max {:>8} us  median {:>8} us  spread {:>8} us\n",
+                s.phase, s.max_us, s.median_us, s.spread_us
+            ));
+        }
+        out.push_str("\n== delta-slack profile (deadline headroom) ==\n");
+        if self.timeline.slack.is_empty() {
+            out.push_str("(no slack samples)\n");
+        }
+        for w in &self.timeline.slack {
+            out.push_str(&format!(
+                "{:<10} cluster p50 {:>8} us  ({} nodes reporting)\n",
+                w.window,
+                w.cluster_p50_us,
+                w.per_node.len()
+            ));
+        }
+        out.push_str("\n== byzantine scorecard ==\n");
+        if self.scorecard.peers.is_empty() {
+            out.push_str("no accusations\n");
+        }
+        for score in &self.scorecard.peers {
+            out.push_str(&format!(
+                "peer {:>3}: {} ({} distinct reporters {:?}, kinds {:?})\n",
+                score.peer,
+                if score.convicted {
+                    "CONVICTED"
+                } else {
+                    "accused"
+                },
+                score.reporters().len(),
+                score.reporters(),
+                score.kinds(),
+            ));
+        }
+        out.push_str("\n== health ==\n");
+        for n in &self.health.nodes {
+            out.push_str(&format!(
+                "node {:>3}: round {:>6}  lag {:>4}  {}\n",
+                n.node,
+                n.round,
+                n.commit_lag,
+                if n.live { "live" } else { "SILENT" }
+            ));
+        }
+        out
+    }
+
+    /// Renders the audit as Prometheus text exposition (`# TYPE` plus
+    /// `name{labels} value` lines) for scrape-and-forward pipelines.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# TYPE csm_node_round gauge\n");
+        out.push_str("# TYPE csm_node_commit_lag gauge\n");
+        out.push_str("# TYPE csm_node_live gauge\n");
+        for n in &self.health.nodes {
+            out.push_str(&format!(
+                "csm_node_round{{node=\"{}\"}} {}\n",
+                n.node, n.round
+            ));
+            out.push_str(&format!(
+                "csm_node_commit_lag{{node=\"{}\"}} {}\n",
+                n.node, n.commit_lag
+            ));
+            out.push_str(&format!(
+                "csm_node_live{{node=\"{}\"}} {}\n",
+                n.node,
+                u64::from(n.live)
+            ));
+        }
+        out.push_str("# TYPE csm_phase_p50_microseconds gauge\n");
+        for row in &self.timeline.gantt {
+            for seg in &row.segments {
+                out.push_str(&format!(
+                    "csm_phase_p50_microseconds{{node=\"{}\",phase=\"{}\"}} {}\n",
+                    row.node, seg.phase, seg.p50_us
+                ));
+            }
+        }
+        out.push_str("# TYPE csm_slack_p50_microseconds gauge\n");
+        for w in &self.timeline.slack {
+            for n in &w.per_node {
+                out.push_str(&format!(
+                    "csm_slack_p50_microseconds{{node=\"{}\",window=\"{}\"}} {}\n",
+                    n.node, w.window, n.p50_us
+                ));
+            }
+        }
+        out.push_str("# TYPE csm_peer_accusation_reporters gauge\n");
+        out.push_str("# TYPE csm_peer_convicted gauge\n");
+        for score in &self.scorecard.peers {
+            out.push_str(&format!(
+                "csm_peer_accusation_reporters{{peer=\"{}\"}} {}\n",
+                score.peer,
+                score.reporters().len()
+            ));
+            out.push_str(&format!(
+                "csm_peer_convicted{{peer=\"{}\"}} {}\n",
+                score.peer,
+                u64::from(score.convicted)
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csm_telemetry::{CounterStat, PhaseStat, TelemetrySnapshot, ValueStat};
+
+    /// A synthetic 6-node b=1 cluster where node 0 equivocates and every
+    /// honest node says so; node 3 is slow in exchange.
+    fn cluster_snaps() -> Vec<(usize, TelemetrySnapshot)> {
+        (0..6u64)
+            .filter(|n| *n != 5) // node 5 never answers the scrape
+            .map(|n| {
+                let exchange_p50 = if n == 3 { 50_000 } else { 20_000 };
+                let mut counters = vec![CounterStat {
+                    name: "admitted".into(),
+                    value: 40,
+                }];
+                if n != 0 {
+                    counters.push(CounterStat {
+                        name: "equivocation_detected.peer0".into(),
+                        value: 10,
+                    });
+                }
+                (
+                    n as usize,
+                    TelemetrySnapshot {
+                        node: n,
+                        round: if n == 4 { 8 } else { 10 },
+                        phases: vec![
+                            PhaseStat {
+                                phase: "consensus".into(),
+                                count: 10,
+                                p50_us: 5_000,
+                                p99_us: 6_000,
+                                mean_us: 5_000,
+                                max_us: 7_000,
+                            },
+                            PhaseStat {
+                                phase: "exchange".into(),
+                                count: 10,
+                                p50_us: exchange_p50,
+                                p99_us: exchange_p50,
+                                mean_us: exchange_p50,
+                                max_us: exchange_p50,
+                            },
+                        ],
+                        counters,
+                        values: vec![ValueStat {
+                            name: "slack.exchange".into(),
+                            count: 10,
+                            p50: 15_000,
+                            p99: 20_000,
+                            mean: 14_000,
+                            max: 21_000,
+                        }],
+                    },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn full_audit_convicts_corroborated_peer_only() {
+        let audit = ClusterAudit::build(
+            AuditConfig {
+                cluster: 6,
+                assumed_faults: 1,
+            },
+            &cluster_snaps(),
+        );
+        assert_eq!(audit.reporters, vec![0, 1, 2, 3, 4]);
+        assert_eq!(audit.convicted_peers(), vec![0]);
+        assert_eq!(audit.scorecard.accused(), vec![0]);
+        assert_eq!(
+            audit.scorecard.score(0).unwrap().reporters(),
+            vec![1, 2, 3, 4]
+        );
+        assert_eq!(audit.slack_p50_ms("exchange"), Some(15));
+        assert_eq!(audit.slack_p50_ms("stage"), None);
+        assert_eq!(audit.timeline.straggler_spread_us("exchange"), Some(30_000));
+        assert_eq!(audit.health.unhealthy(1), vec![4, 5]);
+    }
+
+    #[test]
+    fn one_accuser_short_of_threshold_convicts_nobody() {
+        let mut snaps = cluster_snaps();
+        snaps.truncate(2); // only nodes 0 and 1 answer; node 1 accuses node 0
+        let audit = ClusterAudit::build(
+            AuditConfig {
+                cluster: 6,
+                assumed_faults: 1,
+            },
+            &snaps,
+        );
+        assert_eq!(audit.scorecard.accused(), vec![0]);
+        assert!(audit.convicted_peers().is_empty());
+    }
+
+    #[test]
+    fn duplicate_and_out_of_range_snapshots_are_dropped() {
+        let mut snaps = cluster_snaps();
+        let dup = snaps[1].clone();
+        snaps.push(dup);
+        let mut phantom = snaps[1].1.clone();
+        phantom.node = 42;
+        snaps.push((42, phantom));
+        let audit = ClusterAudit::build(
+            AuditConfig {
+                cluster: 6,
+                assumed_faults: 1,
+            },
+            &snaps,
+        );
+        assert_eq!(audit.reporters, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn json_and_renderings_are_well_formed() {
+        let audit = ClusterAudit::build(
+            AuditConfig {
+                cluster: 6,
+                assumed_faults: 1,
+            },
+            &cluster_snaps(),
+        );
+        let json = audit.to_json();
+        assert!(json.starts_with("{\"cluster\":6,\"assumed_faults\":1,"));
+        assert!(
+            json.contains("\"scorecard\":{\"need\":2,\"peers\":[{\"peer\":0,\"convicted\":true")
+        );
+        assert!(json.contains("\"timeline\":{\"gantt\":"));
+        assert!(json.contains("\"health\":{\"head_round\":10"));
+
+        let text = audit.render_text();
+        assert!(text.contains("peer   0: CONVICTED"));
+        assert!(text.contains("node   5: round      0  lag   10  SILENT"));
+
+        let prom = audit.render_prometheus();
+        assert!(prom.contains("csm_node_round{node=\"0\"} 10"));
+        assert!(prom.contains("csm_node_live{node=\"5\"} 0\n"));
+        assert!(prom.contains("csm_peer_convicted{peer=\"0\"} 1\n"));
+        assert!(prom.contains("csm_slack_p50_microseconds{node=\"2\",window=\"exchange\"} 15000\n"));
+        assert!(prom.contains("csm_phase_p50_microseconds{node=\"3\",phase=\"exchange\"} 50000\n"));
+    }
+}

@@ -1,0 +1,310 @@
+//! The corroborated Byzantine scorecard.
+//!
+//! Every node self-reports per-peer accusation counters in its
+//! [`TelemetrySnapshot`] (`equivocation_detected.peer<id>`,
+//! `mac_rejected.peer<id>`, `state_chunk_rejected.peer<id>`). A single
+//! report proves nothing — the reporter itself may be Byzantine and
+//! lying. The scorecard therefore reuses the protocol's `b + 1`
+//! acceptance rule: a peer is **convicted** only when at least `b + 1`
+//! *distinct* reporters accuse it, so with at most `b` faulty nodes at
+//! least one accuser is honest. The same arithmetic means at most `b`
+//! colluding liars can never push a fabricated accusation over the
+//! threshold, and a node's reports about *itself* are excluded — a
+//! Byzantine node can neither frame an honest peer through the
+//! scorecard nor vouch for itself.
+//!
+//! One attribution caveat is inherited from the transport layer:
+//! `mac_rejected` names the *claimed* signer of the forged frame, which
+//! is the impersonated identity rather than (necessarily) the sender.
+//! An attacker running an impersonation campaign in an honest node's
+//! name makes honest transports genuinely reject frames attributed to
+//! that name. Evidence records therefore carry the counter kinds behind
+//! each conviction so operators can distinguish cryptographically
+//! attributed evidence (`equivocation_detected` comes out of the
+//! Reed–Solomon decoder, `state_chunk_rejected` out of the
+//! `b + 1`-corroborated digest check) from claimed-signer evidence.
+
+use csm_telemetry::TelemetrySnapshot;
+
+/// The per-peer counters the scorecard treats as accusations.
+pub const ACCUSATION_COUNTERS: [&str; 3] = [
+    "equivocation_detected",
+    "mac_rejected",
+    "state_chunk_rejected",
+];
+
+/// One reporter's nonzero accusation counter against one peer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Accusation {
+    /// The node whose snapshot carries the counter.
+    pub reporter: usize,
+    /// Which accusation counter (one of [`ACCUSATION_COUNTERS`]).
+    pub counter: &'static str,
+    /// The counter's value at scrape time.
+    pub count: u64,
+}
+
+/// Everything the cluster reports about one accused peer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerScore {
+    /// The accused peer.
+    pub peer: usize,
+    /// Every nonzero accusation, self-reports excluded, sorted by
+    /// `(reporter, counter)`.
+    pub accusations: Vec<Accusation>,
+    /// Whether the distinct-reporter count reached `b + 1`.
+    pub convicted: bool,
+}
+
+impl PeerScore {
+    /// The distinct reporters behind the accusations, sorted.
+    pub fn reporters(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = self.accusations.iter().map(|a| a.reporter).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The distinct accusation-counter kinds, in
+    /// [`ACCUSATION_COUNTERS`] order.
+    pub fn kinds(&self) -> Vec<&'static str> {
+        ACCUSATION_COUNTERS
+            .iter()
+            .copied()
+            .filter(|k| self.accusations.iter().any(|a| a.counter == *k))
+            .collect()
+    }
+
+    /// Whether every accusation is claimed-signer evidence
+    /// (`mac_rejected`). A mac-only verdict can be the artifact of an
+    /// impersonation campaign run *in this peer's name* — see the module
+    /// docs — so operators should treat it as "someone forges as this
+    /// peer", not proof the peer itself misbehaves.
+    pub fn is_mac_only(&self) -> bool {
+        self.accusations.iter().all(|a| a.counter == "mac_rejected")
+    }
+}
+
+/// The cluster-wide scorecard: one [`PeerScore`] per accused peer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scorecard {
+    /// The conviction threshold (`b + 1` distinct reporters).
+    pub need: usize,
+    /// Accused peers, sorted by peer id. Peers with zero accusations do
+    /// not appear.
+    pub peers: Vec<PeerScore>,
+}
+
+impl Scorecard {
+    /// Builds the scorecard from scraped snapshots.
+    ///
+    /// `cluster` bounds the peer-id space (accusations naming an
+    /// out-of-range peer are dropped — a malformed snapshot must not
+    /// mint phantom suspects) and `need` is the conviction threshold,
+    /// normally `assumed_faults + 1`.
+    pub fn build(snapshots: &[(usize, TelemetrySnapshot)], cluster: usize, need: usize) -> Self {
+        let mut by_peer: Vec<Vec<Accusation>> = vec![Vec::new(); cluster];
+        for (reporter, snap) in snapshots {
+            for counter in ACCUSATION_COUNTERS {
+                for (peer, count) in snap.counter_by_peer(counter) {
+                    if peer == *reporter || peer >= cluster || count == 0 {
+                        continue;
+                    }
+                    by_peer[peer].push(Accusation {
+                        reporter: *reporter,
+                        counter,
+                        count,
+                    });
+                }
+            }
+        }
+        let peers = by_peer
+            .into_iter()
+            .enumerate()
+            .filter(|(_, acc)| !acc.is_empty())
+            .map(|(peer, mut accusations)| {
+                accusations.sort_by(|a, b| (a.reporter, a.counter).cmp(&(b.reporter, b.counter)));
+                let mut score = PeerScore {
+                    peer,
+                    accusations,
+                    convicted: false,
+                };
+                score.convicted = score.reporters().len() >= need;
+                score
+            })
+            .collect();
+        Scorecard { need, peers }
+    }
+
+    /// The score for `peer`, if it was accused at all.
+    pub fn score(&self, peer: usize) -> Option<&PeerScore> {
+        self.peers.iter().find(|p| p.peer == peer)
+    }
+
+    /// Every accused peer (convicted or not), sorted.
+    pub fn accused(&self) -> Vec<usize> {
+        self.peers.iter().map(|p| p.peer).collect()
+    }
+
+    /// Every convicted peer, sorted.
+    pub fn convicted(&self) -> Vec<usize> {
+        self.peers
+            .iter()
+            .filter(|p| p.convicted)
+            .map(|p| p.peer)
+            .collect()
+    }
+
+    /// Convicted peers whose evidence includes at least one
+    /// cryptographically attributed kind (decoder-identified
+    /// equivocation or a failed state-chunk digest check) — i.e. the
+    /// convictions that cannot be the artifact of an impersonation
+    /// campaign ([`PeerScore::is_mac_only`]).
+    pub fn sound_convicted(&self) -> Vec<usize> {
+        self.peers
+            .iter()
+            .filter(|p| p.convicted && !p.is_mac_only())
+            .map(|p| p.peer)
+            .collect()
+    }
+
+    /// The structured JSON evidence records: one object per accused
+    /// peer, naming every reporter and the exact counters behind the
+    /// verdict.
+    pub fn evidence_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, score) in self.peers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"peer\":{},\"convicted\":{},\"mac_only\":{},\"need\":{},\"reporters\":[{}],\"kinds\":[{}],\"evidence\":[{}]}}",
+                score.peer,
+                score.convicted,
+                score.is_mac_only(),
+                self.need,
+                join_usize(&score.reporters()),
+                score
+                    .kinds()
+                    .iter()
+                    .map(|k| format!("\"{k}\""))
+                    .collect::<Vec<_>>()
+                    .join(","),
+                score
+                    .accusations
+                    .iter()
+                    .map(|a| format!(
+                        "{{\"reporter\":{},\"counter\":\"{}\",\"count\":{}}}",
+                        a.reporter, a.counter, a.count
+                    ))
+                    .collect::<Vec<_>>()
+                    .join(","),
+            ));
+        }
+        out.push(']');
+        out
+    }
+}
+
+pub(crate) fn join_usize(v: &[usize]) -> String {
+    v.iter()
+        .map(|n| n.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csm_telemetry::{CounterStat, TelemetrySnapshot};
+
+    fn snap(node: u64, counters: &[(&str, u64)]) -> (usize, TelemetrySnapshot) {
+        (
+            node as usize,
+            TelemetrySnapshot {
+                node,
+                round: 10,
+                phases: vec![],
+                counters: counters
+                    .iter()
+                    .map(|(name, value)| CounterStat {
+                        name: (*name).into(),
+                        value: *value,
+                    })
+                    .collect(),
+                values: vec![],
+            },
+        )
+    }
+
+    #[test]
+    fn conviction_needs_distinct_reporters() {
+        // three honest reporters accuse peer 0; only one accuses peer 5
+        let snaps = vec![
+            snap(1, &[("equivocation_detected.peer0", 4)]),
+            snap(2, &[("equivocation_detected.peer0", 4)]),
+            snap(
+                3,
+                &[
+                    ("equivocation_detected.peer0", 4),
+                    ("mac_rejected.peer5", 1),
+                ],
+            ),
+            snap(4, &[]),
+        ];
+        let card = Scorecard::build(&snaps, 8, 3);
+        assert_eq!(card.convicted(), vec![0]);
+        assert_eq!(card.accused(), vec![0, 5]);
+        let zero = card.score(0).unwrap();
+        assert_eq!(zero.reporters(), vec![1, 2, 3]);
+        assert_eq!(zero.kinds(), vec!["equivocation_detected"]);
+        assert!(!card.score(5).unwrap().convicted);
+    }
+
+    #[test]
+    fn self_reports_and_out_of_range_peers_are_dropped() {
+        let snaps = vec![
+            // a Byzantine node cannot vouch against itself being convicted,
+            // and equally cannot self-accuse to poison thresholds
+            snap(0, &[("mac_rejected.peer0", 9)]),
+            // phantom peer beyond the cluster
+            snap(1, &[("mac_rejected.peer99", 9)]),
+        ];
+        let card = Scorecard::build(&snaps, 8, 2);
+        assert!(card.peers.is_empty());
+    }
+
+    #[test]
+    fn many_counters_from_one_reporter_count_once() {
+        // one liar hammering every counter kind is still one reporter
+        let snaps = vec![snap(
+            7,
+            &[
+                ("equivocation_detected.peer2", 100),
+                ("mac_rejected.peer2", 100),
+                ("state_chunk_rejected.peer2", 100),
+            ],
+        )];
+        let card = Scorecard::build(&snaps, 8, 2);
+        let score = card.score(2).unwrap();
+        assert_eq!(score.reporters(), vec![7]);
+        assert_eq!(score.accusations.len(), 3);
+        assert!(!score.convicted);
+    }
+
+    #[test]
+    fn evidence_json_names_every_reporter() {
+        let snaps = vec![
+            snap(1, &[("state_chunk_rejected.peer4", 2)]),
+            snap(2, &[("state_chunk_rejected.peer4", 2)]),
+        ];
+        let card = Scorecard::build(&snaps, 8, 2);
+        let json = card.evidence_json();
+        assert!(json.contains("\"peer\":4"));
+        assert!(json.contains("\"convicted\":true"));
+        assert!(json.contains("\"reporters\":[1,2]"));
+        assert!(json.contains("\"kinds\":[\"state_chunk_rejected\"]"));
+        assert!(json.contains("\"mac_only\":false"));
+        assert!(json.contains("{\"reporter\":1,\"counter\":\"state_chunk_rejected\",\"count\":2}"));
+    }
+}

@@ -1,0 +1,389 @@
+//! Cross-node round timelines: the cluster gantt, per-phase straggler
+//! spread, and the Δ-slack profile.
+//!
+//! Snapshots carry aggregate per-phase latency histograms, not
+//! per-round traces, so the gantt renders each node's *median round*:
+//! the top-level phases laid end to end at their p50 widths. Lining the
+//! rows up across nodes shows at a glance which node drags which phase.
+//!
+//! The **Δ-slack profile** aggregates the `slack.*` value distributions
+//! each node records at runtime: for every conservative wait window the
+//! pipeline sits out (the leader-echo stage window, the consensus
+//! decision window, the §5.2 exchange Δ-deadline), slack is the gap
+//! between the configured deadline and the arrival of the last message
+//! the node actually needed. It is the per-round headroom an optimistic
+//! fast path could reclaim without weakening the synchrony assumption —
+//! measured, not modeled.
+
+use crate::scorecard::join_usize;
+use csm_telemetry::{Phase, TelemetrySnapshot};
+
+/// The wait windows profiled for slack, in pipeline order. Each matches
+/// a `slack.<window>` value distribution in the snapshots.
+pub const SLACK_WINDOWS: [&str; 3] = ["stage", "consensus", "exchange"];
+
+/// One phase segment of a node's median round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GanttSegment {
+    /// The phase's schema name.
+    pub phase: String,
+    /// The node's p50 for the phase, microseconds.
+    pub p50_us: u64,
+}
+
+/// One node's median round: top-level phase segments in pipeline order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GanttRow {
+    /// The node.
+    pub node: usize,
+    /// Top-level segments, pipeline order, phases the node never
+    /// recorded omitted.
+    pub segments: Vec<GanttSegment>,
+    /// Sum of the segment widths, microseconds.
+    pub total_us: u64,
+}
+
+/// Cross-node dispersion of one phase's p50.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseSpread {
+    /// The phase's schema name.
+    pub phase: String,
+    /// The slowest node's p50, microseconds.
+    pub max_us: u64,
+    /// The cluster's (lower) median p50, microseconds.
+    pub median_us: u64,
+    /// `max - median`: how far the worst straggler trails the pack.
+    pub spread_us: u64,
+}
+
+/// One node's slack distribution for one wait window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeSlack {
+    /// The node.
+    pub node: usize,
+    /// Rounds sampled.
+    pub count: u64,
+    /// Median slack, microseconds.
+    pub p50_us: u64,
+    /// Mean slack, microseconds.
+    pub mean_us: u64,
+    /// Largest slack, microseconds.
+    pub max_us: u64,
+}
+
+/// The cluster's slack profile for one wait window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlackWindow {
+    /// The window name (one of [`SLACK_WINDOWS`]).
+    pub window: String,
+    /// (Lower) median of the reporting nodes' p50 slacks, microseconds.
+    pub cluster_p50_us: u64,
+    /// Per-node distributions, sorted by node; nodes that recorded no
+    /// samples for the window are omitted.
+    pub per_node: Vec<NodeSlack>,
+}
+
+/// The assembled cross-node timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Timeline {
+    /// One median-round row per reporting node, sorted by node.
+    pub gantt: Vec<GanttRow>,
+    /// Straggler spread per phase (every phase any node reported).
+    pub straggler: Vec<PhaseSpread>,
+    /// Slack profile per wait window (windows with no samples omitted).
+    pub slack: Vec<SlackWindow>,
+}
+
+/// The lower median of a nonempty slice (largest value not above the
+/// true median) — conservative for spread computations.
+fn lower_median(values: &mut [u64]) -> u64 {
+    values.sort_unstable();
+    values[(values.len() - 1) / 2]
+}
+
+impl Timeline {
+    /// Builds the timeline from scraped snapshots.
+    pub fn build(snapshots: &[(usize, TelemetrySnapshot)]) -> Self {
+        let gantt = snapshots
+            .iter()
+            .map(|(node, snap)| {
+                let segments: Vec<GanttSegment> = Phase::ALL
+                    .iter()
+                    .filter(|p| p.is_top_level())
+                    .filter_map(|p| {
+                        snap.phase(p.as_str()).map(|stat| GanttSegment {
+                            phase: p.as_str().to_string(),
+                            p50_us: stat.p50_us,
+                        })
+                    })
+                    .collect();
+                let total_us = segments.iter().map(|s| s.p50_us).sum();
+                GanttRow {
+                    node: *node,
+                    segments,
+                    total_us,
+                }
+            })
+            .collect();
+
+        let straggler = Phase::ALL
+            .iter()
+            .filter_map(|p| {
+                let mut p50s: Vec<u64> = snapshots
+                    .iter()
+                    .filter_map(|(_, snap)| snap.phase(p.as_str()).map(|s| s.p50_us))
+                    .collect();
+                if p50s.is_empty() {
+                    return None;
+                }
+                let max_us = *p50s.iter().max().expect("nonempty");
+                let median_us = lower_median(&mut p50s);
+                Some(PhaseSpread {
+                    phase: p.as_str().to_string(),
+                    max_us,
+                    median_us,
+                    spread_us: max_us - median_us,
+                })
+            })
+            .collect();
+
+        let slack = SLACK_WINDOWS
+            .iter()
+            .filter_map(|window| {
+                let name = format!("slack.{window}");
+                let per_node: Vec<NodeSlack> = snapshots
+                    .iter()
+                    .filter_map(|(node, snap)| {
+                        snap.value(&name).map(|v| NodeSlack {
+                            node: *node,
+                            count: v.count,
+                            p50_us: v.p50,
+                            mean_us: v.mean,
+                            max_us: v.max,
+                        })
+                    })
+                    .collect();
+                if per_node.is_empty() {
+                    return None;
+                }
+                let mut p50s: Vec<u64> = per_node.iter().map(|n| n.p50_us).collect();
+                Some(SlackWindow {
+                    window: (*window).to_string(),
+                    cluster_p50_us: lower_median(&mut p50s),
+                    per_node,
+                })
+            })
+            .collect();
+
+        Timeline {
+            gantt,
+            straggler,
+            slack,
+        }
+    }
+
+    /// The cluster-median slack for `window`, if any node sampled it.
+    pub fn slack_p50_us(&self, window: &str) -> Option<u64> {
+        self.slack
+            .iter()
+            .find(|w| w.window == window)
+            .map(|w| w.cluster_p50_us)
+    }
+
+    /// The straggler spread (`max − median` of node p50s) for the phase
+    /// named `phase`, if any node reported it.
+    pub fn straggler_spread_us(&self, phase: &str) -> Option<u64> {
+        self.straggler
+            .iter()
+            .find(|s| s.phase == phase)
+            .map(|s| s.spread_us)
+    }
+
+    /// Hand-built JSON for the timeline (gantt + straggler + slack).
+    pub fn to_json(&self) -> String {
+        let gantt = self
+            .gantt
+            .iter()
+            .map(|row| {
+                format!(
+                    "{{\"node\":{},\"total_us\":{},\"segments\":[{}]}}",
+                    row.node,
+                    row.total_us,
+                    row.segments
+                        .iter()
+                        .map(|s| format!("{{\"phase\":\"{}\",\"p50_us\":{}}}", s.phase, s.p50_us))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        let straggler = self
+            .straggler
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"phase\":\"{}\",\"max_us\":{},\"median_us\":{},\"spread_us\":{}}}",
+                    s.phase, s.max_us, s.median_us, s.spread_us
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        let slack = self
+            .slack
+            .iter()
+            .map(|w| {
+                format!(
+                    "{{\"window\":\"{}\",\"cluster_p50_us\":{},\"per_node\":[{}]}}",
+                    w.window,
+                    w.cluster_p50_us,
+                    w.per_node
+                        .iter()
+                        .map(|n| format!(
+                            "{{\"node\":{},\"count\":{},\"p50_us\":{},\"mean_us\":{},\"max_us\":{}}}",
+                            n.node, n.count, n.p50_us, n.mean_us, n.max_us
+                        ))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        format!("{{\"gantt\":[{gantt}],\"straggler\":[{straggler}],\"slack\":[{slack}]}}")
+    }
+
+    /// Renders the gantt as fixed-width text, one row per node, each
+    /// top-level phase drawn with its initial letter, scaled so the
+    /// slowest node spans `width` cells.
+    pub fn render_text(&self, width: usize) -> String {
+        let span = self.gantt.iter().map(|r| r.total_us).max().unwrap_or(0);
+        if span == 0 {
+            return String::from("(no phase samples)\n");
+        }
+        let mut out = String::new();
+        for row in &self.gantt {
+            out.push_str(&format!("node {:>3} |", row.node));
+            let mut drawn = 0usize;
+            for seg in &row.segments {
+                // round half-up so small segments still show one cell
+                let cells = ((seg.p50_us as u128 * width as u128 + span as u128 / 2) / span as u128)
+                    as usize;
+                let letter = seg.phase.chars().next().unwrap_or('?').to_ascii_uppercase();
+                for _ in 0..cells {
+                    out.push(letter);
+                }
+                drawn += cells;
+            }
+            for _ in drawn..width {
+                out.push(' ');
+            }
+            out.push_str(&format!("| {:>8} us\n", row.total_us));
+        }
+        out.push_str(&format!(
+            "legend: {}  (p50 segments, scale {span} us = {width} cells)\n",
+            Phase::ALL
+                .iter()
+                .filter(|p| p.is_top_level())
+                .map(|p| {
+                    let s = p.as_str();
+                    format!(
+                        "{}={s}",
+                        s.chars().next().unwrap_or('?').to_ascii_uppercase()
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(" ")
+        ));
+        let reporters: Vec<usize> = self.gantt.iter().map(|r| r.node).collect();
+        out.push_str(&format!("reporters: [{}]\n", join_usize(&reporters)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csm_telemetry::{PhaseStat, TelemetrySnapshot, ValueStat};
+
+    fn snap(node: u64, exchange_p50: u64, slack_p50: u64) -> (usize, TelemetrySnapshot) {
+        (
+            node as usize,
+            TelemetrySnapshot {
+                node,
+                round: 9,
+                phases: vec![
+                    PhaseStat {
+                        phase: "consensus".into(),
+                        count: 9,
+                        p50_us: 1_000,
+                        p99_us: 1_500,
+                        mean_us: 1_100,
+                        max_us: 2_000,
+                    },
+                    PhaseStat {
+                        phase: "exchange".into(),
+                        count: 9,
+                        p50_us: exchange_p50,
+                        p99_us: exchange_p50 * 2,
+                        mean_us: exchange_p50,
+                        max_us: exchange_p50 * 2,
+                    },
+                ],
+                counters: vec![],
+                values: vec![ValueStat {
+                    name: "slack.exchange".into(),
+                    count: 9,
+                    p50: slack_p50,
+                    p99: slack_p50,
+                    mean: slack_p50,
+                    max: slack_p50 + 5,
+                }],
+            },
+        )
+    }
+
+    #[test]
+    fn straggler_spread_is_max_minus_median() {
+        let snaps = vec![snap(0, 10_000, 0), snap(1, 10_000, 0), snap(2, 40_000, 0)];
+        let tl = Timeline::build(&snaps);
+        // exchange: p50s {10k, 10k, 40k} -> median 10k, max 40k
+        assert_eq!(tl.straggler_spread_us("exchange"), Some(30_000));
+        // consensus: identical p50s -> zero spread
+        assert_eq!(tl.straggler_spread_us("consensus"), Some(0));
+        assert_eq!(tl.straggler_spread_us("decode"), None);
+    }
+
+    #[test]
+    fn slack_profile_aggregates_node_medians() {
+        let snaps = vec![
+            snap(0, 10_000, 7_000),
+            snap(1, 10_000, 9_000),
+            snap(2, 10_000, 30_000),
+        ];
+        let tl = Timeline::build(&snaps);
+        assert_eq!(tl.slack_p50_us("exchange"), Some(9_000));
+        assert_eq!(tl.slack_p50_us("stage"), None);
+        let window = tl.slack.iter().find(|w| w.window == "exchange").unwrap();
+        assert_eq!(window.per_node.len(), 3);
+        assert_eq!(window.per_node[2].max_us, 30_005);
+    }
+
+    #[test]
+    fn gantt_rows_cover_recorded_phases_in_order() {
+        let snaps = vec![snap(4, 3_000, 0)];
+        let tl = Timeline::build(&snaps);
+        assert_eq!(tl.gantt.len(), 1);
+        let row = &tl.gantt[0];
+        assert_eq!(row.node, 4);
+        assert_eq!(row.total_us, 4_000);
+        let names: Vec<&str> = row.segments.iter().map(|s| s.phase.as_str()).collect();
+        assert_eq!(names, vec!["consensus", "exchange"]);
+        let text = tl.render_text(40);
+        assert!(text.contains("node   4 |"));
+        assert!(text.contains('C'));
+        assert!(text.contains('E'));
+        let json = tl.to_json();
+        assert!(json.contains("\"gantt\":[{\"node\":4"));
+        assert!(json.contains("\"straggler\":"));
+    }
+}

@@ -15,11 +15,20 @@
 //! one snapshot interval's worth of log; and the victim must actually
 //! commit after the restart.
 //!
+//! Each rejoin row also runs the client-side cluster audit
+//! (`csm-auditor`) over a pre-wind-down telemetry scrape: node 0 — and
+//! nobody else — must be convicted on cryptographically attributed
+//! evidence by ≥ `b + 1` distinct reporters (the only claimed-signer
+//! suspect allowed is node 0's forge victim, the documented
+//! `mac_rejected` attribution artifact), and the rows record the
+//! delta-slack profile and straggler spread.
+//!
 //! ```sh
 //! cargo run --release -p csm-bench --bin recovery_bench
 //! RECOVERY_SMOKE=1 cargo run --release -p csm-bench --bin recovery_bench  # CI-sized
 //! ```
 
+use csm_auditor::{AuditConfig, ClusterAudit};
 use csm_bench::recovery::{
     one_equivocator, run_mem_rejoin, scratch_dir, verify_rejoin_outcome, RejoinConfig,
 };
@@ -87,6 +96,103 @@ struct RejoinRow {
     startup_ms: f64,
     first_commit_ms: f64,
     victim_commits_after: u64,
+    /// Cluster-median deadline headroom per wait window (ms), from the
+    /// pre-wind-down cluster audit.
+    delta_slack_ms: Vec<(String, f64)>,
+    /// Cross-node straggler spread per phase (ms): max - median of the
+    /// nodes' p50s.
+    straggler_spread_ms: Vec<(String, f64)>,
+    /// Peers the audit convicted on cryptographically attributed
+    /// evidence (decoder-identified equivocation / corrupt state chunks).
+    convicted_peers: Vec<usize>,
+    /// Peers carrying only claimed-signer (`mac_rejected`) evidence —
+    /// the equivocator forges in its next neighbor's name, so this
+    /// records the impersonation *victim*, not a new suspect.
+    mac_only_suspects: Vec<usize>,
+    /// Reporters whose served-state digest check caught the equivocator
+    /// vouching for results it does not hold (nonzero only when the
+    /// restarted victim's transfer actually saw the corrupt chunk).
+    chunk_rejected_reports: u64,
+}
+
+/// Runs the cluster audit over the rejoin scrape and enforces the
+/// conviction rules for the recovery cast (node 0 equivocates): node 0 —
+/// and nobody else — is convicted on sound evidence by at least `b + 1`
+/// distinct honest reporters, and the only claimed-signer suspect is
+/// node 0's forge victim (node 1), the documented `mac_rejected`
+/// attribution artifact.
+#[allow(clippy::type_complexity)]
+fn audit_columns(
+    cfg: &RejoinConfig,
+    outcome: &csm_bench::recovery::RejoinOutcome,
+) -> (
+    Vec<(String, f64)>,
+    Vec<(String, f64)>,
+    Vec<usize>,
+    Vec<usize>,
+    u64,
+) {
+    let label = format!("interval {}", cfg.snapshot_interval);
+    let audit = ClusterAudit::build(
+        AuditConfig {
+            cluster: cfg.cluster,
+            assumed_faults: cfg.assumed_faults,
+        },
+        &outcome.telemetry,
+    );
+    let convicted = audit.scorecard.sound_convicted();
+    assert_eq!(
+        convicted,
+        vec![0],
+        "{label}: sound convictions {convicted:?}, expected exactly [0]"
+    );
+    let score = audit.scorecard.score(0).expect("convicted => scored");
+    assert!(
+        score.reporters().len() > cfg.assumed_faults,
+        "{label}: node 0 convicted by only {} distinct reporters",
+        score.reporters().len()
+    );
+    let mut mac_only_suspects = Vec::new();
+    for peer in &audit.scorecard.peers {
+        if peer.peer == 0 {
+            continue;
+        }
+        assert!(
+            peer.is_mac_only() && peer.peer == 1,
+            "{label}: node {} accused beyond the forge-victim artifact ({:?})",
+            peer.peer,
+            peer.kinds()
+        );
+        mac_only_suspects.push(peer.peer);
+    }
+    assert!(
+        audit.timeline.slack_p50_us("exchange").is_some(),
+        "{label}: no exchange delta-slack samples in the audit"
+    );
+    let chunk_rejected_reports = score
+        .accusations
+        .iter()
+        .filter(|a| a.counter == "state_chunk_rejected")
+        .count() as u64;
+    let delta_slack_ms = audit
+        .timeline
+        .slack
+        .iter()
+        .map(|w| (w.window.clone(), w.cluster_p50_us as f64 / 1e3))
+        .collect();
+    let straggler_spread_ms = audit
+        .timeline
+        .straggler
+        .iter()
+        .map(|sp| (sp.phase.clone(), sp.spread_us as f64 / 1e3))
+        .collect();
+    (
+        delta_slack_ms,
+        straggler_spread_ms,
+        convicted,
+        mac_only_suspects,
+        chunk_rejected_reports,
+    )
 }
 
 fn bench_rejoin(snapshot_interval: u64) -> RejoinRow {
@@ -121,6 +227,13 @@ fn bench_rejoin(snapshot_interval: u64) -> RejoinRow {
         .iter()
         .map(|c| c.receipts.len() as u64)
         .sum();
+    let (
+        delta_slack_ms,
+        straggler_spread_ms,
+        convicted_peers,
+        mac_only_suspects,
+        chunk_rejected_reports,
+    ) = audit_columns(&cfg, &outcome);
     let _ = std::fs::remove_dir_all(&dir);
     RejoinRow {
         snapshot_interval,
@@ -133,6 +246,11 @@ fn bench_rejoin(snapshot_interval: u64) -> RejoinRow {
             .first_commit_after
             .map_or(f64::NAN, |d| d.as_secs_f64() * 1e3),
         victim_commits_after: after,
+        delta_slack_ms,
+        straggler_spread_ms,
+        convicted_peers,
+        mac_only_suspects,
+        chunk_rejected_reports,
     }
 }
 
@@ -185,10 +303,31 @@ fn main() {
     }
     json.push_str("  ],\n  \"rejoin\": [\n");
     for (i, r) in rejoin_rows.iter().enumerate() {
+        let slack = r
+            .delta_slack_ms
+            .iter()
+            .map(|(window, ms)| format!("\"{window}\": {ms:.2}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let spread = r
+            .straggler_spread_ms
+            .iter()
+            .map(|(phase, ms)| format!("\"{phase}\": {ms:.2}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let fmt_ids = |ids: &[usize]| {
+            ids.iter()
+                .map(|p| p.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
         json.push_str(&format!(
             "    {{\"backend\": \"mem-mesh\", \"snapshot_interval\": {}, \"committed\": {}, \
              \"wal_replayed\": {}, \"recovered_round\": {}, \"transferred\": {}, \
-             \"startup_ms\": {:.1}, \"first_commit_ms\": {:.1}, \"victim_commits_after\": {}}}{}\n",
+             \"startup_ms\": {:.1}, \"first_commit_ms\": {:.1}, \"victim_commits_after\": {}, \
+             \"delta_slack_ms\": {{{slack}}}, \"straggler_spread_ms\": {{{spread}}}, \
+             \"convicted_peers\": [{}], \"mac_only_suspects\": [{}], \
+             \"chunk_rejected_reports\": {}}}{}\n",
             r.snapshot_interval,
             r.committed,
             r.wal_replayed,
@@ -197,6 +336,9 @@ fn main() {
             r.startup_ms,
             r.first_commit_ms,
             r.victim_commits_after,
+            fmt_ids(&r.convicted_peers),
+            fmt_ids(&r.mac_only_suspects),
+            r.chunk_rejected_reports,
             if i + 1 < rejoin_rows.len() { "," } else { "" }
         ));
     }

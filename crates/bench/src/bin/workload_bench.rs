@@ -36,6 +36,7 @@
 //! WORKLOAD_BATCH_SMOKE=1 cargo run --release -p csm-bench --bin workload_bench  # cap 1 vs 32
 //! ```
 
+use csm_auditor::{AuditConfig, ClusterAudit};
 use csm_bench::workload::{
     one_equivocator_one_withholder, run_mem_workload, run_tcp_workload, verify_bank_outcome,
     WorkloadConfig, WorkloadOutcome,
@@ -83,6 +84,80 @@ struct Row {
     equivocations_detected: u64,
     /// Forged frames the probe node's transport rejected (bad MAC).
     macs_rejected: u64,
+    /// Cluster-median deadline headroom per wait window (ms), from the
+    /// auditor's delta-slack profile.
+    delta_slack_ms: Vec<(String, f64)>,
+    /// Cross-node straggler spread per phase (ms): max - median of the
+    /// nodes' p50s.
+    straggler_spread_ms: Vec<(String, f64)>,
+    /// Peers the cluster audit convicted (>= b + 1 distinct reporters).
+    convicted_peers: Vec<usize>,
+}
+
+/// Runs the cluster audit over the scraped snapshots and enforces the
+/// acceptance rules: the configured Byzantine cast — and nobody else —
+/// is convicted, every conviction rests on at least `b + 1` distinct
+/// *honest* reporters, and the exchange window shows measurable
+/// delta-slack (the withholder forces every honest node to sit out the
+/// full deadline, so zero slack means the instrumentation broke).
+fn audit_columns(
+    label: &str,
+    outcome: &WorkloadOutcome,
+) -> (Vec<(String, f64)>, Vec<(String, f64)>, Vec<usize>) {
+    let audit = ClusterAudit::build(
+        AuditConfig {
+            cluster: N,
+            assumed_faults: FAULTS,
+        },
+        &outcome.telemetry,
+    );
+    let convicted = audit.convicted_peers();
+    assert_eq!(
+        convicted,
+        BYZANTINE.to_vec(),
+        "{label}: audit convicted {convicted:?}, expected exactly {BYZANTINE:?}"
+    );
+    for peer in BYZANTINE {
+        let score = audit.scorecard.score(peer).expect("convicted => scored");
+        let honest_reporters: Vec<usize> = score
+            .reporters()
+            .into_iter()
+            .filter(|r| !BYZANTINE.contains(r))
+            .collect();
+        assert!(
+            honest_reporters.len() > FAULTS,
+            "{label}: peer {peer} convicted by only {} honest reporters              ({honest_reporters:?}), need {}",
+            honest_reporters.len(),
+            FAULTS + 1
+        );
+    }
+    for peer in audit.scorecard.accused() {
+        assert!(
+            BYZANTINE.contains(&peer),
+            "{label}: honest node {peer} was accused"
+        );
+    }
+    let exchange_slack = audit
+        .timeline
+        .slack_p50_us("exchange")
+        .unwrap_or_else(|| panic!("{label}: no exchange slack samples"));
+    assert!(
+        exchange_slack > 0,
+        "{label}: exchange delta-slack p50 is zero under a withholder"
+    );
+    let delta_slack_ms = audit
+        .timeline
+        .slack
+        .iter()
+        .map(|w| (w.window.clone(), w.cluster_p50_us as f64 / 1e3))
+        .collect();
+    let straggler_spread_ms = audit
+        .timeline
+        .straggler
+        .iter()
+        .map(|s| (s.phase.clone(), s.spread_us as f64 / 1e3))
+        .collect();
+    (delta_slack_ms, straggler_spread_ms, convicted)
 }
 
 /// The scraped per-phase columns plus the Byzantine-evidence counters,
@@ -211,6 +286,7 @@ fn run_config(
         .unwrap_or_else(|e| panic!("{label} failed verification: {e}"));
     let (phase_p50_ms, phase_sum_p50_ms, round_p50_ms, equivocations_detected, macs_rejected) =
         telemetry_columns(&label, &outcome);
+    let (delta_slack_ms, straggler_spread_ms, convicted_peers) = audit_columns(&label, &outcome);
     check_flight_dumps(&label, &flight_dir);
     let mean_batch_size = outcome
         .telemetry
@@ -256,6 +332,9 @@ fn run_config(
         round_p50_ms,
         equivocations_detected,
         macs_rejected,
+        delta_slack_ms,
+        straggler_spread_ms,
+        convicted_peers,
     }
 }
 
@@ -348,6 +427,24 @@ fn main() {
             .map(|(phase, p50)| format!("\"{phase}\": {p50:.2}"))
             .collect::<Vec<_>>()
             .join(", ");
+        let slack = r
+            .delta_slack_ms
+            .iter()
+            .map(|(window, ms)| format!("\"{window}\": {ms:.2}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let spread = r
+            .straggler_spread_ms
+            .iter()
+            .map(|(phase, ms)| format!("\"{phase}\": {ms:.2}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let convicted = r
+            .convicted_peers
+            .iter()
+            .map(|p| p.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
         json.push_str(&format!(
             "    {{\"backend\": \"{}\", \"consensus\": \"{}\", \"clients\": {}, \
              \"batch_cap\": {}, \"commands\": {}, \
@@ -356,7 +453,9 @@ fn main() {
              \"cmds_per_sec\": {:.1}, \"wall_ms\": {:.1}, \
              \"node_phase_p50_ms\": {{{phases}}}, \"node_phase_sum_p50_ms\": {:.2}, \
              \"node_round_p50_ms\": {:.2}, \"equivocations_detected\": {}, \
-             \"macs_rejected\": {}}}{}\n",
+             \"macs_rejected\": {}, \"delta_slack_ms\": {{{slack}}}, \
+             \"straggler_spread_ms\": {{{spread}}}, \
+             \"convicted_peers\": [{convicted}]}}{}\n",
             r.backend,
             r.consensus,
             r.clients,

@@ -21,6 +21,7 @@ use csm_node::{
     ExchangeTiming, GatewayConfig, GatewayReport, GatewaySpec,
 };
 use csm_statemachine::machines::bank_machine;
+use csm_telemetry::TelemetrySnapshot;
 use csm_transport::mem::MemMesh;
 use csm_transport::tcp::{TcpMesh, TcpTransport};
 use csm_transport::Transport;
@@ -115,6 +116,15 @@ pub struct RejoinOutcome {
     pub restart_round: u64,
     /// Cluster round observed when the run wound down.
     pub final_round: u64,
+    /// Telemetry snapshots the prober scraped from the live cluster
+    /// (revived victim included) just before the wind-down, for
+    /// client-side auditing.
+    pub telemetry: Vec<(usize, TelemetrySnapshot)>,
+    /// Telemetry scraped immediately after the victim's restart, while
+    /// it is (typically) still replaying its WAL and pulling state
+    /// chunks — churn coverage: these snapshots must be as well-formed
+    /// as steady-state ones.
+    pub mid_resync_telemetry: Vec<(usize, TelemetrySnapshot)>,
     /// Wall clock of the whole run.
     pub elapsed: Duration,
 }
@@ -376,6 +386,9 @@ fn run_rejoin<T: Transport + 'static>(
     // b + 1 query path, both to time the rejoin and to hold the
     // acceptance bar: ≥ post_rounds further commits after the restart
     let mut prober = CsmClient::new(prober_transport, Arc::clone(&registry), client_cfg.clone());
+    // scrape right away, while the revived victim is still resyncing:
+    // whoever answers mid-churn must hand back a coherent snapshot
+    let mid_resync_telemetry = prober.scrape(cfg.delta * 4 + Duration::from_millis(500));
     let restart_round = probe_round(&mut prober);
     let target = restart_round + cfg.post_rounds;
     let deadline = Instant::now() + Duration::from_secs(120);
@@ -397,6 +410,9 @@ fn run_rejoin<T: Transport + 'static>(
         .collect();
     clients.sort_by_key(|c| c.index);
     thread::sleep(cfg.delta * 8);
+    // scrape every gateway (the revived victim answers from its second
+    // life, resync evidence included) while the cluster still loops
+    let telemetry = prober.scrape(cfg.delta * 16 + Duration::from_secs(2));
     stop.store(true, Ordering::Relaxed);
     let (post_report, _transport) = victim_handle.join().expect("revived victim thread");
     let mut others: Vec<GatewayReport<Fp61>> = node_handles
@@ -412,6 +428,8 @@ fn run_rejoin<T: Transport + 'static>(
         others,
         restart_round,
         final_round,
+        telemetry,
+        mid_resync_telemetry,
         elapsed: started.elapsed(),
     }
 }

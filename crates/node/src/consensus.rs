@@ -299,9 +299,21 @@ impl<T: Transport> BatchConsensus<T> for LeaderEcho {
                     rt.announce_stage(round, overcap_variant(&proposal));
                 }
             }
-        } else if let Some(rows) = rt.wait_for_stage_from(round, leader, self.stage_timeout) {
-            if valid(&rows) {
-                rt.announce_stage(round, rows);
+        } else {
+            let got = rt.wait_for_stage_from(round, leader, self.stage_timeout);
+            // stage-window slack: the part of the follower's proposal
+            // timeout the leader left unused (0 when the window was
+            // exhausted — nothing to reclaim from a silent leader)
+            let slack = if got.is_some() {
+                self.stage_timeout.saturating_sub(started.elapsed())
+            } else {
+                Duration::ZERO
+            };
+            sink.value(me, round, "slack.stage", slack.as_micros() as u64);
+            if let Some(rows) = got {
+                if valid(&rows) {
+                    rt.announce_stage(round, rows);
+                }
             }
         }
         let proposed = Instant::now();
@@ -312,7 +324,16 @@ impl<T: Transport> BatchConsensus<T> for LeaderEcho {
             proposed.duration_since(started),
         );
         let decided = rt.wait_for_stage(round, self.quorum, self.stage_timeout);
-        sink.phase(me, round, Phase::ConsensusCommit, proposed.elapsed());
+        let decide_wait = proposed.elapsed();
+        sink.phase(me, round, Phase::ConsensusCommit, decide_wait);
+        // consensus-window slack: echo quorum formed with this much of
+        // the vote timeout to spare
+        let slack = if decided.is_some() {
+            self.stage_timeout.saturating_sub(decide_wait)
+        } else {
+            Duration::ZERO
+        };
+        sink.value(me, round, "slack.consensus", slack.as_micros() as u64);
         decided
     }
 }
@@ -409,6 +430,11 @@ impl<T: Transport> BatchConsensus<T> for DolevStrong {
         let deadline = started + self.relay_delta * (self.faults as u32 + 2);
         sink.phase(me, round, Phase::ConsensusPropose, started.elapsed());
         let relay_started = Instant::now();
+        // consensus-window slack: DS always waits out the full relay
+        // schedule, so the gap between the last relay that advanced the
+        // protocol and the deadline is pure reclaimable wait (the leader
+        // needs no messages at all — its slack is the whole window)
+        let mut last_needed = relay_started;
         while let Some(frame) = rt.poll_consensus(round, deadline) {
             let Payload::BatchRelay { rows, chain, .. } = frame.payload else {
                 continue; // a PBFT frame under a DS cluster: ignore
@@ -423,9 +449,16 @@ impl<T: Transport> BatchConsensus<T> for DolevStrong {
             let elapsed = started.elapsed();
             let ds_round = (elapsed.as_nanos() / self.relay_delta.as_nanos().max(1)) as usize;
             if let Some(fwd) = ds.on_relay(DsRelay { rows, chain }, ds_round) {
+                last_needed = Instant::now();
                 self.broadcast_relay(rt, round, &fwd);
             }
         }
+        sink.value(
+            me,
+            round,
+            "slack.consensus",
+            deadline.saturating_duration_since(last_needed).as_micros() as u64,
+        );
         // Dolev–Strong guarantees agreement on the decided *bytes*, not
         // their validity — unlike PBFT (honest nodes refuse to prepare an
         // invalid batch) or leader-echo (followers refuse to echo one), a
@@ -650,6 +683,18 @@ impl<T: Transport> BatchConsensus<T> for PbftConsensus {
         loop {
             if let Some(rows) = inst.decided() {
                 sink.phase(me, round, Phase::ConsensusCommit, view_started.elapsed());
+                // consensus-window slack: how much of the current view's
+                // timeout provision the decision left unused (PBFT never
+                // waits a window out on the happy path, so this is
+                // provision headroom rather than reclaimable wall-clock)
+                sink.value(
+                    me,
+                    round,
+                    "slack.consensus",
+                    view_deadline
+                        .saturating_duration_since(Instant::now())
+                        .as_micros() as u64,
+                );
                 return Some(rows.clone());
             }
             if stop.load(std::sync::atomic::Ordering::Relaxed) {

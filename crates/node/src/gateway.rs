@@ -256,6 +256,18 @@ pub struct GatewayConfig {
     /// first decoder-identified Byzantine peer. Defaults from the
     /// `CSM_FLIGHT_DIR` environment variable; `None` disables dumps.
     pub flight_dir: Option<PathBuf>,
+    /// Capacity of the flight-recorder event ring the gateway's internal
+    /// [`RecordingSink`] keeps (clamped to at least 1). The ring bounds
+    /// incident-history memory; counters and histograms are unaffected.
+    pub flight_ring: usize,
+    /// Hard cap on the serialized `TelemetrySnapshot` a scrape reply may
+    /// carry. A long-lived gateway accretes counters without bound, so
+    /// the snapshot is shed deterministically to fit
+    /// ([`TelemetrySnapshot::to_bounded_json`]) — a scrape can never
+    /// produce an unbounded frame.
+    ///
+    /// [`TelemetrySnapshot::to_bounded_json`]: csm_telemetry::TelemetrySnapshot::to_bounded_json
+    pub telemetry_reply_max_bytes: usize,
 }
 
 impl GatewayConfig {
@@ -278,6 +290,8 @@ impl GatewayConfig {
             consensus_delta: timing.delta * 2 + Duration::from_millis(20),
             sink: None,
             flight_dir: std::env::var_os("CSM_FLIGHT_DIR").map(PathBuf::from),
+            flight_ring: RecordingSink::RING_CAPACITY,
+            telemetry_reply_max_bytes: 256 << 10,
         }
     }
 
@@ -302,6 +316,19 @@ impl GatewayConfig {
     /// Sets the flight-recorder dump directory (builder-style).
     pub fn with_flight_dir(mut self, dir: PathBuf) -> Self {
         self.flight_dir = Some(dir);
+        self
+    }
+
+    /// Sets the flight-recorder ring capacity (builder-style).
+    pub fn with_flight_ring(mut self, capacity: usize) -> Self {
+        self.flight_ring = capacity;
+        self
+    }
+
+    /// Caps the serialized snapshot size of scrape replies
+    /// (builder-style).
+    pub fn with_telemetry_reply_max_bytes(mut self, max_bytes: usize) -> Self {
+        self.telemetry_reply_max_bytes = max_bytes;
         self
     }
 
@@ -807,7 +834,7 @@ pub(crate) fn gateway_loop<F: Field, T: Transport>(
     // the telemetry fan-out: the gateway always aggregates into its own
     // recording sink (so any registered identity can scrape a snapshot),
     // teed with the config's extra sink when one is injected (tests)
-    let recording = Arc::new(RecordingSink::new());
+    let recording = Arc::new(RecordingSink::with_capacity(cfg.flight_ring));
     let sink: SharedSink = match &cfg.sink {
         Some(extra) => Arc::new(TeeSink::new(vec![
             Arc::clone(&recording) as SharedSink,
@@ -853,7 +880,14 @@ pub(crate) fn gateway_loop<F: Field, T: Transport>(
                 sink.event(id, round, Some(peer), Event::MacRejected);
             }
         }
-        serve_telemetry(&mut rt, &recording, id, round, &admission.stats);
+        serve_telemetry(
+            &mut rt,
+            &recording,
+            id,
+            round,
+            &admission.stats,
+            cfg.telemetry_reply_max_bytes,
+        );
 
         // divergence handling: `b + 1` peers agreeing on a commit this
         // node does not hold proves an honest majority moved on without
@@ -1099,6 +1133,7 @@ fn serve_telemetry<T: Transport>(
     id: usize,
     round: u64,
     stats: &GatewayStats,
+    max_bytes: usize,
 ) {
     let requests = rt.take_telemetry_requests();
     if requests.is_empty() {
@@ -1115,7 +1150,9 @@ fn serve_telemetry<T: Transport>(
     for (peer, count) in tstats.bad_mac_by_peer() {
         extra.push((format!("mac_rejected.peer{peer}"), count));
     }
-    let snapshot = recording.snapshot(id, round, &extra).to_json();
+    let snapshot = recording
+        .snapshot(id, round, &extra)
+        .to_bounded_json(max_bytes);
     for (peer, nonce) in requests {
         rt.send_signed(
             NodeId(peer),

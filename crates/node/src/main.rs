@@ -16,6 +16,13 @@
 //! # selectable batch-consensus backend:
 //! csm-node gateway --n 8 --k 4 --faults 2 --clients 8 --commands 2 \
 //!                  --consensus pbft [--staging-fault 0:equivocate]
+//!
+//! # the same loopback cluster under the client-side auditor: runs a
+//! # Byzantine workload, scrapes every gateway's telemetry, and prints
+//! # the merged cluster audit (scorecard / timeline / health):
+//! csm-node audit --n 8 --k 4 --faults 2 --clients 8 --commands 2 \
+//!                [--byzantine 0:equivocate --byzantine 1:withhold] \
+//!                [--format text|json|prometheus]
 //! ```
 //!
 //! `launch` spawns `n` child `csm-node run` processes, collects their
@@ -23,6 +30,13 @@
 //! honest node committed every round with identical digests. The
 //! `--machine` flag selects which `csm-statemachine` workload the shared
 //! `RoundEngine` runs — the runtime is machine-agnostic.
+//!
+//! `audit` reuses the same loopback cluster shape but hands the scraped
+//! telemetry to `csm-auditor`: the default cast (node 0 equivocating,
+//! node 1 withholding) must end convicted by ≥ `b + 1` distinct
+//! reporters with no honest node accused, or the process exits non-zero.
+//! `--format json` emits the full audit document (evidence records
+//! included); `--format prometheus` emits the text exposition.
 //!
 //! `gateway` hosts a whole client-serving bank cluster over loopback TCP
 //! (gateway node threads plus closed-loop `csm-client` endpoints),
@@ -114,7 +128,9 @@ fn usage() -> ! {
          [--n N --k K --faults B --rounds R --seed S --machine M --byzantine ID:KIND \
          --partial-sync --delta-ms D]\n  csm-node gateway [--n N --k K --faults B --seed S \
          --delta-ms D --clients M --commands C --consensus leader-echo|dolev-strong|pbft \
-         --staging-fault ID:equivocate|withhold]\n  (all subcommands: --log-level \
+         --staging-fault ID:equivocate|withhold]\n  csm-node audit [--n N --k K --faults B \
+         --seed S --delta-ms D --clients M --commands C --consensus KIND \
+         --byzantine ID:KIND --format text|json|prometheus]\n  (all subcommands: --log-level \
          error|warn|info|debug|trace, default from CSM_LOG)"
     );
     std::process::exit(2)
@@ -171,6 +187,7 @@ fn main() {
         Some("run") => cmd_run(&argv[2..]),
         Some("launch") => cmd_launch(&argv[2..]),
         Some("gateway") => cmd_gateway(&argv[2..]),
+        Some("audit") => cmd_audit(&argv[2..]),
         _ => usage(),
     }
 }
@@ -492,6 +509,307 @@ fn cmd_gateway(rest: &[String]) {
         );
     } else {
         println!("gateway cluster FAILED");
+        std::process::exit(1);
+    }
+}
+
+/// Runs a loopback gateway cluster under a Byzantine cast (default:
+/// node 0 equivocating, node 1 withholding), scrapes every node's
+/// telemetry through a dedicated client endpoint, and prints the merged
+/// `csm-auditor` cluster audit in the selected `--format`. Exits
+/// non-zero unless every command commits, honest digests agree, every
+/// equivocator ends convicted by `b + 1` distinct reporters on
+/// cryptographically attributed evidence, and no node outside the cast
+/// is accused (bar the documented mac-only forge-victim artifact).
+fn cmd_audit(rest: &[String]) {
+    use csm_auditor::{AuditConfig, ClusterAudit};
+    use csm_client::{ClientConfig, CsmClient};
+    use csm_node::{mesh_registry, run_gateway, ConsensusKind, GatewayConfig, GatewaySpec};
+    use csm_transport::tcp::TcpMesh;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc as StdArc;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum Format {
+        Text,
+        Json,
+        Prometheus,
+    }
+
+    let mut common = CommonArgs {
+        k: 4,
+        faults: 2,
+        ..CommonArgs::default()
+    };
+    let mut clients = 8usize;
+    let mut commands = 2usize;
+    let mut consensus = ConsensusKind::LeaderEcho;
+    let mut byzantine: BTreeMap<usize, BehaviorKind> = BTreeMap::new();
+    let mut format = Format::Text;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--partial-sync" {
+            common.partial_sync = true;
+            continue;
+        }
+        let value = it.next().unwrap_or_else(|| usage());
+        if parse_common(&mut common, flag, value) {
+            continue;
+        }
+        match flag.as_str() {
+            "--clients" => clients = value.parse().expect("--clients"),
+            "--commands" => commands = value.parse().expect("--commands"),
+            "--consensus" => {
+                consensus = value.parse().unwrap_or_else(|e| {
+                    csm_telemetry::error!("--consensus: {e}");
+                    std::process::exit(2);
+                })
+            }
+            "--byzantine" => {
+                let (id, kind) = value.split_once(':').unwrap_or_else(|| usage());
+                byzantine.insert(
+                    id.parse().expect("--byzantine id"),
+                    kind.parse().unwrap_or_else(|e| {
+                        csm_telemetry::error!("--byzantine: {e}");
+                        std::process::exit(2);
+                    }),
+                );
+            }
+            "--format" => {
+                format = match value.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    "prometheus" => Format::Prometheus,
+                    other => {
+                        csm_telemetry::error!(
+                            "--format: unknown format {other:?} (want text|json|prometheus)"
+                        );
+                        std::process::exit(2);
+                    }
+                }
+            }
+            _ => usage(),
+        }
+    }
+    if byzantine.is_empty() {
+        byzantine.insert(0, BehaviorKind::Equivocate);
+        byzantine.insert(1, BehaviorKind::Withhold);
+    }
+    if byzantine.len() > common.faults {
+        csm_telemetry::error!(
+            "{} Byzantine nodes exceed the provisioned fault bound b = {} (raise --faults)",
+            byzantine.len(),
+            common.faults
+        );
+        std::process::exit(2);
+    }
+    if byzantine.keys().any(|id| *id >= common.n) {
+        csm_telemetry::error!("--byzantine id must be < --n {}", common.n);
+        std::process::exit(2);
+    }
+    if common.n < consensus.min_cluster(common.faults) {
+        csm_telemetry::error!(
+            "--consensus {consensus} needs a cluster of at least {} for --faults {} (got --n {})",
+            consensus.min_cluster(common.faults),
+            common.faults,
+            common.n
+        );
+        std::process::exit(2);
+    }
+    csm_telemetry::info!(
+        "audit run: N = {}, K = {}, b = {}, {clients} clients x {commands} commands, \
+         consensus = {consensus}, byzantine cast: {byzantine:?}",
+        common.n,
+        common.k,
+        common.faults
+    );
+
+    // one extra endpoint past the clients: the auditor's scraper
+    let registry = mesh_registry(common.n, clients + 1, common.seed);
+    let transports = TcpMesh::launch_loopback(StdArc::clone(&registry)).unwrap_or_else(|e| {
+        csm_telemetry::error!("loopback mesh failed to bind: {e}");
+        std::process::exit(1);
+    });
+    let machine = StdArc::new(
+        csm_node::CodedMachine::<csm_algebra::Fp61>::new(
+            common.n,
+            common.k,
+            csm_statemachine::machines::bank_machine(),
+            csm_core::DecoderKind::default(),
+        )
+        .unwrap_or_else(|e| {
+            csm_telemetry::error!("invalid cluster shape: {e}");
+            std::process::exit(2);
+        }),
+    );
+    let initial_states: Vec<Vec<csm_algebra::Fp61>> = (0..common.k as u64)
+        .map(|s| vec![csm_algebra::Fp61::from_u64(100 * (s + 1))])
+        .collect();
+    let timing = timing(&common).with_full_finalize();
+    let gw_cfg = GatewayConfig::new(common.n, common.faults, &timing).with_consensus(consensus);
+    let stop = StdArc::new(AtomicBool::new(false));
+
+    let mut transports = transports;
+    let mut client_transports = transports.split_off(common.n);
+    let scraper_transport = client_transports.pop().expect("scraper endpoint");
+    let mut node_handles = Vec::new();
+    for (id, transport) in transports.into_iter().enumerate() {
+        let registry = StdArc::clone(&registry);
+        let timing = timing.clone();
+        let gw_cfg = gw_cfg.clone();
+        let stop = StdArc::clone(&stop);
+        let spec = GatewaySpec {
+            machine: StdArc::clone(&machine),
+            initial_states: initial_states.clone(),
+            behavior: byzantine.get(&id).copied().unwrap_or(BehaviorKind::Honest),
+            staging_fault: csm_node::StagingFault::None,
+        };
+        node_handles.push(std::thread::spawn(move || {
+            run_gateway(transport, registry, timing, &spec, &gw_cfg, &stop)
+        }));
+    }
+
+    let client_cfg = ClientConfig {
+        cluster: common.n,
+        assumed_faults: common.faults,
+        reply_timeout: Duration::from_millis(common.delta_ms) * 8 + Duration::from_millis(500),
+        max_attempts: 20,
+    };
+    let shards = common.k;
+    let mut client_handles = Vec::new();
+    for (index, transport) in client_transports.into_iter().enumerate() {
+        let registry = StdArc::clone(&registry);
+        let client_cfg = client_cfg.clone();
+        client_handles.push(std::thread::spawn(move || {
+            let mut client = CsmClient::new(transport, registry, client_cfg);
+            let shard = (index % shards) as u64;
+            let mut ok = 0usize;
+            for i in 0..commands {
+                let amount = 1 + ((index as u64 * 31 + i as u64 * 7) % 97);
+                if client.submit(shard, vec![amount]).is_ok() {
+                    ok += 1;
+                }
+            }
+            ok
+        }));
+    }
+    let committed: usize = client_handles
+        .into_iter()
+        .map(|h| h.join().expect("client thread"))
+        .sum();
+
+    // scrape while the gateways are still looping (they answer telemetry
+    // once per round iteration), then wind the cluster down
+    let snapshots = {
+        let mut scraper = CsmClient::new(scraper_transport, StdArc::clone(&registry), client_cfg);
+        scraper.scrape(Duration::from_millis(common.delta_ms) * 16 + Duration::from_secs(2))
+    };
+    stop.store(true, Ordering::Relaxed);
+    let reports: Vec<_> = node_handles
+        .into_iter()
+        .map(|h| h.join().expect("gateway thread"))
+        .collect();
+
+    let audit = ClusterAudit::build(
+        AuditConfig {
+            cluster: common.n,
+            assumed_faults: common.faults,
+        },
+        &snapshots,
+    );
+    match format {
+        Format::Text => print!("{}", audit.render_text()),
+        Format::Json => println!("{}", audit.to_json()),
+        Format::Prometheus => print!("{}", audit.render_prometheus()),
+    }
+
+    // verdict: workload committed, honest digests agree, and the
+    // scorecard names exactly the cast (plus at most the mac-only
+    // forge-victim artifact an equivocator's impersonation creates)
+    let mut ok = committed == clients * commands;
+    if !ok {
+        csm_telemetry::error!("only {committed}/{} commands committed", clients * commands);
+    }
+    let cast: Vec<usize> = byzantine.keys().copied().collect();
+    let mut reference: BTreeMap<u64, u64> = BTreeMap::new();
+    for report in reports.iter().filter(|r| !cast.contains(&r.id)) {
+        for (round, digest) in report.digests() {
+            match reference.get(&round) {
+                None => {
+                    reference.insert(round, digest);
+                }
+                Some(&expected) if expected != digest => {
+                    csm_telemetry::error!("round {round}: node {} diverges", report.id);
+                    ok = false;
+                }
+                Some(_) => {}
+            }
+        }
+    }
+    if snapshots.len() < common.n {
+        csm_telemetry::error!("scrape heard {}/{} nodes", snapshots.len(), common.n);
+        ok = false;
+    }
+    let equivocators: Vec<usize> = byzantine
+        .iter()
+        .filter(|(_, kind)| matches!(kind, BehaviorKind::Equivocate))
+        .map(|(id, _)| *id)
+        .collect();
+    // an equivocator also forges frames in its successor's name, so that
+    // honest successor may legitimately show up with mac-only evidence
+    let forge_victims: Vec<usize> = equivocators.iter().map(|e| (e + 1) % common.n).collect();
+    let sound = audit.scorecard.sound_convicted();
+    for e in &equivocators {
+        if !sound.contains(e) {
+            csm_telemetry::error!("equivocator {e} was not soundly convicted (got {sound:?})");
+            ok = false;
+            continue;
+        }
+        let honest_reporters = audit
+            .scorecard
+            .score(*e)
+            .map(|s| s.reporters().iter().filter(|r| !cast.contains(r)).count())
+            .unwrap_or(0);
+        if honest_reporters <= common.faults {
+            csm_telemetry::error!(
+                "equivocator {e}: only {honest_reporters} honest reporters (need > b = {})",
+                common.faults
+            );
+            ok = false;
+        }
+    }
+    for score in &audit.scorecard.peers {
+        if cast.contains(&score.peer) {
+            continue;
+        }
+        if forge_victims.contains(&score.peer) && score.is_mac_only() {
+            csm_telemetry::warn!(
+                "node {} carries mac-only evidence — forge-victim artifact, not a conviction",
+                score.peer
+            );
+            continue;
+        }
+        csm_telemetry::error!("honest node {} was accused", score.peer);
+        ok = false;
+    }
+    // the verdict shares stdout only with the text rendering — the json
+    // and prometheus formats keep stdout a single machine-parseable
+    // document and take their verdict via stderr + the exit status
+    if ok {
+        let verdict = format!(
+            "cluster audit OK: {committed} commands committed, convicted peers {:?} \
+             (cast {byzantine:?})",
+            audit.convicted_peers()
+        );
+        match format {
+            Format::Text => println!("{verdict}"),
+            Format::Json | Format::Prometheus => csm_telemetry::info!("{verdict}"),
+        }
+    } else {
+        match format {
+            Format::Text => println!("cluster audit FAILED"),
+            Format::Json | Format::Prometheus => csm_telemetry::error!("cluster audit FAILED"),
+        }
         std::process::exit(1);
     }
 }

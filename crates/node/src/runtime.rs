@@ -22,7 +22,7 @@ use csm_core::exchange::{canonical, equivocation_noise, ReceiverCore, ResultBeha
 use csm_core::SynchronyMode;
 use csm_network::auth::KeyRegistry;
 use csm_network::NodeId;
-use csm_telemetry::{NullSink, SharedSink};
+use csm_telemetry::{Event, NullSink, SharedSink};
 use csm_transport::{Frame, Payload, RecvError, Transport};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
@@ -284,6 +284,13 @@ impl<T: Transport> NodeRuntime<T> {
         let started = Instant::now();
         let soft_deadline = started + self.timing.delta;
         let hard_deadline = started + self.timing.max_wait;
+        // Δ-slack measurement: how long the window kept waiting after the
+        // last result was accepted — the headroom an optimistic fast path
+        // could reclaim (ROADMAP item 3). Only tracked when a sink is
+        // listening, so the NullSink path stays clock-read free.
+        let slack_enabled = self.sink.enabled();
+        let mut last_progress = started;
+        let mut waited_out = false;
         loop {
             if core.is_finalized() {
                 // partial synchrony: the N − b cutoff fired in record()
@@ -300,15 +307,42 @@ impl<T: Transport> NodeRuntime<T> {
             let now = Instant::now();
             if now >= stop_at {
                 core.on_deadline();
+                waited_out = true;
                 break;
             }
             match self.transport.recv_timeout(stop_at - now) {
-                Ok(frame) => self.dispatch(&mut core, round, frame),
+                Ok(frame) => {
+                    let held = core.results_held();
+                    self.dispatch(&mut core, round, frame);
+                    if slack_enabled && core.results_held() > held {
+                        last_progress = Instant::now();
+                    }
+                }
                 Err(RecvError::Timeout) | Err(RecvError::Disconnected) => {
                     core.on_deadline();
+                    waited_out = true;
                     break;
                 }
             }
+        }
+        if slack_enabled {
+            // a window that exited early (finalized / full word) has no
+            // reclaimable wait — its slack sample is 0
+            let slack = if waited_out {
+                let stop_at = match self.timing.synchrony {
+                    SynchronyMode::Synchronous => soft_deadline,
+                    SynchronyMode::PartiallySynchronous => hard_deadline,
+                };
+                stop_at.saturating_duration_since(last_progress)
+            } else {
+                Duration::ZERO
+            };
+            self.sink.value(
+                self.id().0,
+                round,
+                "slack.exchange",
+                slack.as_micros() as u64,
+            );
         }
         let finished = self.finished_round.map_or(round, |r| r.max(round));
         self.finished_round = Some(finished);
@@ -800,6 +834,8 @@ impl<T: Transport> NodeRuntime<T> {
             if peers.len() < need {
                 continue;
             }
+            let mut verified: Option<VerifiedState> = None;
+            let mut corrupt: Vec<usize> = Vec::new();
             for &peer in peers {
                 let chunk = &self.state_chunks[&peer];
                 let results: Vec<Vec<F>> = chunk
@@ -808,13 +844,27 @@ impl<T: Transport> NodeRuntime<T> {
                     .map(|row| row.iter().map(|&v| F::from_u64(v)).collect())
                     .collect();
                 if csm_core::digest::digest_results(&results) == digest {
-                    return Some(VerifiedState {
-                        round,
-                        digest,
-                        results: chunk.results.clone(),
-                        matching: peers.len(),
-                    });
+                    if verified.is_none() {
+                        verified = Some(VerifiedState {
+                            round,
+                            digest,
+                            results: chunk.results.clone(),
+                            matching: peers.len(),
+                        });
+                    }
+                } else {
+                    corrupt.push(peer);
                 }
+            }
+            if let Some(vs) = verified {
+                // attribute the vouchers whose bytes did not hash to the
+                // digest they voted for: chunk corruption was previously
+                // skipped silently and invisible to the scorecard
+                for &peer in &corrupt {
+                    self.sink
+                        .event(self.id().0, round, Some(peer), Event::StateChunkRejected);
+                }
+                return Some(vs);
             }
         }
         None

@@ -112,6 +112,10 @@ pub enum Event {
     /// erroneous coded result (Byzantine detection as a side effect of
     /// decoding, §5.2).
     EquivocationDetected,
+    /// A state-transfer `StateChunk` served by the record's `peer` failed
+    /// the digest check against the `b + 1`-corroborated commit digest:
+    /// the peer vouched for results it does not hold.
+    StateChunkRejected,
     /// A client submit was dropped because the admission queue was full.
     AdmissionDrop {
         /// The dropped client's id.
@@ -156,6 +160,7 @@ impl Event {
         match self {
             Event::MacRejected => "mac_rejected",
             Event::EquivocationDetected => "equivocation_detected",
+            Event::StateChunkRejected => "state_chunk_rejected",
             Event::AdmissionDrop { .. } => "admission_drop",
             Event::DedupHit { .. } => "dedup_hit",
             Event::ReplyCacheHit { .. } => "reply_cache_hit",
@@ -184,7 +189,10 @@ impl Event {
     /// Whether per-peer counters are kept for this event kind (bounded:
     /// peers are cluster ids, so at most `N` counters per kind).
     pub fn per_peer(&self) -> bool {
-        matches!(self, Event::MacRejected | Event::EquivocationDetected)
+        matches!(
+            self,
+            Event::MacRejected | Event::EquivocationDetected | Event::StateChunkRejected
+        )
     }
 }
 
@@ -232,6 +240,8 @@ mod tests {
         assert_eq!(Event::MacRejected.detail(), None);
         assert!(Event::MacRejected.per_peer());
         assert!(Event::EquivocationDetected.per_peer());
+        assert!(Event::StateChunkRejected.per_peer());
+        assert_eq!(Event::StateChunkRejected.detail(), None);
         assert!(!Event::EmptyRound.per_peer());
     }
 }

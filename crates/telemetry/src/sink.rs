@@ -44,6 +44,15 @@ pub trait Sink: Send + Sync + std::fmt::Debug {
     /// A discrete incident on `node` during `round`, attributed to
     /// `peer` where one is responsible. The sink stamps the time.
     fn event(&self, node: usize, round: u64, peer: Option<usize>, event: Event);
+
+    /// One sample of a named dimensionless value distribution observed
+    /// on `node` during `round` (e.g. `batch_size`, or the `slack.*`
+    /// window-headroom measurements in microseconds). Defaults to a
+    /// no-op: only aggregating sinks care, and the deterministic
+    /// [`ReplaySink`] must never see timing-dependent samples.
+    fn value(&self, node: usize, round: u64, name: &str, value: u64) {
+        let _ = (node, round, name, value);
+    }
 }
 
 /// The zero-cost default sink: drops everything.
@@ -118,17 +127,23 @@ impl Default for RecordingSink {
 }
 
 impl RecordingSink {
-    /// Ring capacity of the embedded flight recorder.
+    /// Default ring capacity of the embedded flight recorder.
     pub const RING_CAPACITY: usize = 1024;
 
     /// A fresh sink; the epoch for event timestamps is now.
     pub fn new() -> Self {
+        Self::with_capacity(Self::RING_CAPACITY)
+    }
+
+    /// A fresh sink whose flight-recorder ring holds `capacity` events
+    /// (clamped to at least 1); the epoch for event timestamps is now.
+    pub fn with_capacity(capacity: usize) -> Self {
         RecordingSink {
             epoch: Instant::now(),
             metrics: MetricsRegistry::new(),
             phases: Mutex::new(BTreeMap::new()),
             values: Mutex::new(BTreeMap::new()),
-            recorder: Mutex::new(FlightRecorder::new(Self::RING_CAPACITY)),
+            recorder: Mutex::new(FlightRecorder::new(capacity)),
         }
     }
 
@@ -283,6 +298,10 @@ impl Sink for RecordingSink {
                 event,
             });
     }
+
+    fn value(&self, _node: usize, _round: u64, name: &str, value: u64) {
+        self.record_value(name, value);
+    }
 }
 
 /// Fans one stream out to several sinks.
@@ -312,6 +331,12 @@ impl Sink for TeeSink {
     fn event(&self, node: usize, round: u64, peer: Option<usize>, event: Event) {
         for s in &self.sinks {
             s.event(node, round, peer, event);
+        }
+    }
+
+    fn value(&self, node: usize, round: u64, name: &str, value: u64) {
+        for s in &self.sinks {
+            s.value(node, round, name, value);
         }
     }
 }
@@ -453,6 +478,32 @@ mod tests {
         // roundtrips through the wire form
         let back = TelemetrySnapshot::from_json(&snap.to_json()).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn value_samples_flow_through_the_trait() {
+        // the trait method routes into the named distributions; the
+        // replay sink's default no-op keeps determinism logs clean
+        let recording = Arc::new(RecordingSink::new());
+        let replay = Arc::new(ReplaySink::new());
+        let tee = TeeSink::new(vec![
+            Arc::clone(&replay) as SharedSink,
+            Arc::clone(&recording) as SharedSink,
+        ]);
+        tee.value(0, 3, "slack.exchange", 12_000);
+        tee.value(0, 4, "slack.exchange", 14_000);
+        assert_eq!(recording.value_histogram("slack.exchange").count(), 2);
+        assert!(replay.phase_log().is_empty() && replay.event_log().is_empty());
+    }
+
+    #[test]
+    fn ring_capacity_is_configurable() {
+        let sink = RecordingSink::with_capacity(2);
+        for round in 0..5u64 {
+            sink.event(0, round, None, Event::EmptyRound);
+        }
+        assert_eq!(sink.recent_events().len(), 2);
+        assert_eq!(sink.counter("empty_round"), 5);
     }
 
     #[test]

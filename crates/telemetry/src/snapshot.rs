@@ -85,6 +85,38 @@ impl TelemetrySnapshot {
         serde_json::from_str(s)
     }
 
+    /// Serializes to the wire JSON form, shedding detail deterministically
+    /// until the encoding fits in `max_bytes` — so a `TelemetryReply` can
+    /// never grow into an unbounded frame however many counters a
+    /// long-lived gateway accretes.
+    ///
+    /// Shedding order, coarsest detail first: (1) drop the value
+    /// distributions, (2) repeatedly halve the counter list, keeping the
+    /// lexicographically-first half (counters are name-sorted, so the
+    /// retained set is deterministic), (3) drop the phase stats. The
+    /// `node`/`round` header always fits.
+    pub fn to_bounded_json(&self, max_bytes: usize) -> String {
+        let mut trimmed = self.clone();
+        loop {
+            let json = trimmed.to_json();
+            if json.len() <= max_bytes {
+                return json;
+            }
+            if !trimmed.values.is_empty() {
+                trimmed.values.clear();
+            } else if trimmed.counters.len() > 1 {
+                trimmed.counters.truncate(trimmed.counters.len() / 2);
+            } else if !trimmed.counters.is_empty() {
+                trimmed.counters.clear();
+            } else if !trimmed.phases.is_empty() {
+                trimmed.phases.clear();
+            } else {
+                // nothing left to shed: the bare header is the floor
+                return json;
+            }
+        }
+    }
+
     /// The statistics for the phase named `name`, if recorded.
     pub fn phase(&self, name: &str) -> Option<&PhaseStat> {
         self.phases.iter().find(|p| p.phase == name)
@@ -210,6 +242,40 @@ mod tests {
         assert_eq!(snap.counter_by_peer("equivocation_detected"), vec![(0, 17)]);
         assert_eq!(snap.value("batch_size").unwrap().mean, 14);
         assert!(snap.value("absent").is_none());
+    }
+
+    #[test]
+    fn bounded_json_sheds_detail_but_stays_parseable() {
+        let mut snap = sample();
+        // bloat the counter set like a long-lived gateway would
+        for i in 0..500u64 {
+            snap.counters.push(CounterStat {
+                name: format!("zz_synthetic_{i:04}"),
+                value: i,
+            });
+        }
+        snap.counters.sort_by(|a, b| a.name.cmp(&b.name));
+        let full = snap.to_json();
+        assert!(full.len() > 4096);
+        // an ample budget passes the snapshot through untouched
+        let untouched = snap.to_bounded_json(full.len());
+        assert_eq!(untouched, full);
+        for budget in [8192usize, 2048, 512, 96] {
+            let json = snap.to_bounded_json(budget);
+            assert!(
+                json.len() <= budget,
+                "budget {budget}: {} bytes",
+                json.len()
+            );
+            let parsed = TelemetrySnapshot::from_json(&json).expect("still well-formed");
+            assert_eq!(parsed.node, snap.node);
+            assert_eq!(parsed.round, snap.round);
+        }
+        // at a comfortable budget the accusation counters survive the
+        // synthetic bloat (they sort ahead of it)
+        let mid = TelemetrySnapshot::from_json(&snap.to_bounded_json(2048)).unwrap();
+        assert_eq!(mid.counter("equivocation_detected.peer0"), 17);
+        assert!(mid.values.is_empty(), "values shed first");
     }
 
     #[test]

@@ -139,6 +139,8 @@ fn byzantine_state_chunks_cannot_poison_a_rejoiner() {
 
     let timing = ExchangeTiming::synchronous(b, Duration::from_millis(50));
     let mut rt = NodeRuntime::new(rejoiner_tx, Arc::clone(&registry), timing);
+    let recording = Arc::new(csm_telemetry::RecordingSink::new());
+    rt.set_sink(recording.clone());
     let vs = rt
         .wait_for_verified_state::<Fp61>(b + 1, committed_round, Duration::from_secs(2))
         .expect("honest quorum verifies");
@@ -152,6 +154,14 @@ fn byzantine_state_chunks_cannot_poison_a_rejoiner() {
     // corrupt-bytes peer also vouches for the honest digest, so the count
     // may be 2 or 3 depending on arrival order — never fewer
     assert!(vs.matching > b);
+    // the corrupt-bytes chunk is attributed to its server the moment
+    // acceptance fires; the self-consistent forger (peer 2) sits in a
+    // different digest group and must never draw a rejection event
+    let rejected = |peer: usize| recording.counter(&format!("state_chunk_rejected.peer{peer}"));
+    assert_eq!(rejected(1), 1, "corrupt chunk attributed to its server");
+    for peer in [0, 2, 3, 4, 5] {
+        assert_eq!(rejected(peer), 0, "peer {peer} served no corrupt chunk");
+    }
 
     // re-encoding the verified states at the rejoiner's own evaluation
     // point reproduces exactly the coded state the honest engines hold

@@ -4,10 +4,20 @@
 //! the flight recorder must leave a parseable post-mortem naming the
 //! Byzantine peer after a real incident.
 
+use csm_algebra::Fp61;
+use csm_bench::recovery::{
+    one_equivocator, run_mem_rejoin, scratch_dir, verify_rejoin_outcome, RejoinConfig,
+};
 use csm_bench::workload::{run_mem_workload, verify_bank_outcome, WorkloadConfig};
-use csm_node::{bank_spec, cluster_registry, run_node_with_sink, BehaviorKind, ExchangeTiming};
-use csm_telemetry::{Event, FlightDump, Phase, ReplaySink, SharedSink};
+use csm_client::{ClientConfig, CsmClient};
+use csm_node::{
+    bank_spec, cluster_registry, mesh_registry, run_gateway, run_node_with_sink, BehaviorKind,
+    CodedMachine, ConsensusKind, ExchangeTiming, GatewayConfig, GatewaySpec, StagingFault,
+};
+use csm_statemachine::machines::bank_machine;
+use csm_telemetry::{Event, FlightDump, Phase, ReplaySink, SharedSink, TelemetrySnapshot};
 use csm_transport::mem::MemMesh;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
@@ -130,4 +140,240 @@ fn gateway_incident_leaves_a_flight_dump_naming_the_equivocator() {
         "no byzantine-detected dump names node 0"
     );
     std::fs::remove_dir_all(&flight_dir).expect("cleanup");
+}
+
+/// A snapshot scraped at *any* moment — steady state or mid-churn — must
+/// be internally coherent: every phase name parses, no phase appears
+/// twice (a torn partition would show as a duplicate or unknown entry),
+/// quantiles are ordered, and the top-level phase partition accounts for
+/// the rounds exactly (each top-level phase fires once per round and
+/// closes before the round span, so its count can lead the round count
+/// by at most the one in-flight round) with a p50 sum bounded by the
+/// slowest whole round. The tight steady-state drift bound on the p50
+/// sum (`workload_bench` enforces 10%) only applies when the round
+/// distribution is unimodal — medians of the heterogeneous rounds churn
+/// produces do not add — so it is checked here only on calm,
+/// consistently-cut windows; returns whether this snapshot was one.
+fn assert_snapshot_well_formed(origin: usize, snap: &TelemetrySnapshot) -> bool {
+    assert_eq!(
+        snap.node, origin as u64,
+        "snapshot must name its own reporter"
+    );
+    let mut seen = std::collections::BTreeSet::new();
+    for p in &snap.phases {
+        assert!(
+            Phase::from_str_opt(&p.phase).is_some(),
+            "node {origin}: unknown phase {:?} in scraped snapshot",
+            p.phase
+        );
+        assert!(
+            seen.insert(p.phase.clone()),
+            "node {origin}: phase {:?} reported twice (torn partition)",
+            p.phase
+        );
+        assert!(p.count > 0, "node {origin}: empty phase {:?}", p.phase);
+        assert!(
+            p.p50_us <= p.p99_us && p.p99_us <= p.max_us,
+            "node {origin}: unordered quantiles in {:?} ({} / {} / {})",
+            p.phase,
+            p.p50_us,
+            p.p99_us,
+            p.max_us
+        );
+    }
+    for v in &snap.values {
+        assert!(
+            v.p50 <= v.p99 && v.p99 <= v.max,
+            "node {origin}: unordered quantiles in value {:?}",
+            v.name
+        );
+    }
+    let Some(round) = snap.phase("round") else {
+        return false;
+    };
+    let top_level: Vec<_> = snap
+        .phases
+        .iter()
+        .filter(|p| Phase::from_str_opt(&p.phase).is_some_and(|ph| ph.is_top_level()))
+        .collect();
+    for p in &top_level {
+        assert!(
+            p.count <= round.count + 1,
+            "node {origin}: phase {:?} has {} samples vs {} rounds (torn partition)",
+            p.phase,
+            p.count,
+            round.count
+        );
+    }
+    // the phases partition each round, so their medians can never sum
+    // past the slowest whole round (2x: per-phase bucket granularity)
+    let sum_us = snap.top_level_p50_sum().as_micros() as u64;
+    assert!(
+        sum_us <= round.max_us.saturating_mul(2),
+        "node {origin}: top-level p50 sum {sum_us}us exceeds 2x the slowest round ({}us)",
+        round.max_us
+    );
+    // tight drift bound only on calm, consistently-cut windows: medians
+    // only add when the rounds are near-constant, so "calm" means the
+    // slowest round is within 25% of the median one
+    let calm = round.max_us <= round.p50_us.saturating_mul(5) / 4;
+    let consistent = top_level.iter().all(|p| p.count == round.count);
+    if calm && consistent {
+        let round_us = round.p50_us as f64;
+        let drift = (sum_us as f64 - round_us).abs() / round_us.max(1e-9);
+        assert!(
+            drift <= 0.30,
+            "node {origin}: top-level p50 sum {sum_us}us vs round p50 {round_us}us \
+             ({:.1}% drift on a calm consistent cut)",
+            drift * 100.0
+        );
+    }
+    calm && consistent
+}
+
+#[test]
+fn scrape_mid_view_change_is_well_formed() {
+    // a PBFT cluster whose node 0 withholds the batch whenever it leads
+    // (round 0 to begin with), forcing a view timeout and a view change —
+    // while a dedicated scraper polls telemetry *concurrently* with the
+    // workload, so scrapes land inside view-change rounds, not after them
+    let (cluster, shards, b, clients, commands) = (6usize, 2usize, 1usize, 3usize, 3usize);
+    let delta = Duration::from_millis(40);
+    let registry = mesh_registry(cluster, clients + 1, 31);
+    let mut transports = MemMesh::build(Arc::clone(&registry));
+    let machine = Arc::new(
+        CodedMachine::<Fp61>::new(
+            cluster,
+            shards,
+            bank_machine(),
+            csm_core::DecoderKind::default(),
+        )
+        .expect("cluster shape"),
+    );
+    let timing = ExchangeTiming::synchronous(b, delta).with_full_finalize();
+    let gw_cfg = GatewayConfig::new(cluster, b, &timing).with_consensus(ConsensusKind::Pbft);
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let mut client_transports = transports.split_off(cluster);
+    let scraper_transport = client_transports.pop().expect("scraper endpoint");
+    let mut node_handles = Vec::new();
+    for (id, transport) in transports.into_iter().enumerate() {
+        let registry = Arc::clone(&registry);
+        let timing = timing.clone();
+        let gw_cfg = gw_cfg.clone();
+        let stop = Arc::clone(&stop);
+        let spec = GatewaySpec {
+            machine: Arc::clone(&machine),
+            initial_states: (0..shards)
+                .map(|s| vec![csm_algebra::Field::from_u64(100 * (s as u64 + 1))])
+                .collect(),
+            behavior: BehaviorKind::Honest,
+            staging_fault: if id == 0 {
+                StagingFault::WithholdBatch
+            } else {
+                StagingFault::None
+            },
+        };
+        node_handles.push(thread::spawn(move || {
+            run_gateway(transport, registry, timing, &spec, &gw_cfg, &stop)
+        }));
+    }
+
+    let client_cfg = ClientConfig {
+        cluster,
+        assumed_faults: b,
+        reply_timeout: delta * 8 + Duration::from_millis(500),
+        max_attempts: 20,
+    };
+    let clients_done = Arc::new(AtomicBool::new(false));
+    let scraper = {
+        let registry = Arc::clone(&registry);
+        let client_cfg = client_cfg.clone();
+        let clients_done = Arc::clone(&clients_done);
+        thread::spawn(move || {
+            let mut scraper = CsmClient::new(scraper_transport, registry, client_cfg);
+            let mut batches: Vec<Vec<(usize, TelemetrySnapshot)>> = Vec::new();
+            while !clients_done.load(Ordering::Relaxed) {
+                batches.push(scraper.scrape(delta * 8 + Duration::from_millis(500)));
+            }
+            batches
+        })
+    };
+    let mut client_handles = Vec::new();
+    for (index, transport) in client_transports.into_iter().enumerate() {
+        let registry = Arc::clone(&registry);
+        let client_cfg = client_cfg.clone();
+        client_handles.push(thread::spawn(move || {
+            let mut client = CsmClient::new(transport, registry, client_cfg);
+            let mut ok = 0usize;
+            for i in 0..commands {
+                if client
+                    .submit((index % shards) as u64, vec![1 + (index + i) as u64])
+                    .is_ok()
+                {
+                    ok += 1;
+                }
+            }
+            ok
+        }));
+    }
+    let committed: usize = client_handles
+        .into_iter()
+        .map(|h| h.join().expect("client thread"))
+        .sum();
+    clients_done.store(true, Ordering::Relaxed);
+    let batches = scraper.join().expect("scraper thread");
+    stop.store(true, Ordering::Relaxed);
+    for h in node_handles {
+        h.join().expect("gateway thread");
+    }
+
+    assert_eq!(committed, clients * commands, "workload must commit");
+    let mut snapshots = 0usize;
+    let mut saw_view_change = false;
+    for batch in &batches {
+        for (node, snap) in batch {
+            assert_snapshot_well_formed(*node, snap);
+            snapshots += 1;
+            if snap.phase("consensus.view-change").is_some() {
+                saw_view_change = true;
+            }
+        }
+    }
+    assert!(snapshots > 0, "the concurrent scraper never heard a node");
+    assert!(
+        saw_view_change,
+        "no scrape observed the view-change churn it was aimed at"
+    );
+}
+
+#[test]
+fn scrape_mid_resync_is_well_formed() {
+    // the kill-and-rejoin harness scrapes once immediately after the
+    // victim's restart — while it is replaying its WAL and pulling state
+    // chunks — and once at steady state; both must be coherent
+    let dir = scratch_dir("telemetry-mid-resync");
+    let cfg = RejoinConfig::small(0x5C4A);
+    let outcome = run_mem_rejoin(&dir, &cfg, one_equivocator);
+    verify_rejoin_outcome(&cfg, &outcome, &[0]).expect("rejoin outcome verifies");
+    assert!(
+        !outcome.mid_resync_telemetry.is_empty(),
+        "nobody answered the mid-resync scrape"
+    );
+    for (node, snap) in &outcome.mid_resync_telemetry {
+        assert_snapshot_well_formed(*node, snap);
+    }
+    for (node, snap) in &outcome.telemetry {
+        assert_snapshot_well_formed(*node, snap);
+    }
+    // at most one snapshot per node per scrape (duplicates would mean a
+    // torn multi-reply merge)
+    let mut ids: Vec<usize> = outcome
+        .mid_resync_telemetry
+        .iter()
+        .map(|(id, _)| *id)
+        .collect();
+    ids.dedup();
+    assert_eq!(ids.len(), outcome.mid_resync_telemetry.len());
+    let _ = std::fs::remove_dir_all(&dir);
 }
