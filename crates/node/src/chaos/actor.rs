@@ -1,0 +1,1501 @@
+//! The sans-I/O node actor: one CSM gateway driven entirely by
+//! [`SimNet`] deliveries and timers on the virtual clock.
+//!
+//! The actor mirrors `gateway_loop` decision-for-decision — admission,
+//! per-backend batch staging, coded execution, the result exchange,
+//! decode-or-fail-streak, the desync check, durable WAL-before-ack with
+//! periodic snapshots, and resync-via-state-transfer — but as an event
+//! handler instead of a blocking loop, so a 32-node cluster steps
+//! through thousands of rounds in milliseconds and replays bit-for-bit
+//! from the fabric seed.
+
+use crate::chaos::token;
+use crate::consensus::{
+    equivocation_variant, overcap_variant, ConsensusKind, PbftConsensus, StagingFault,
+};
+use crate::gateway::{
+    decode_batch, encode_batch, reply_after_fault, reply_payload, Admission, BatchEntry,
+    EventScope, GatewayConfig, DESYNC_WINDOW,
+};
+use crate::recovery::{replay_local, store_fingerprint};
+use crate::runtime::{result_payload, ExchangeTiming};
+use crate::{wire_behavior, BehaviorKind};
+use csm_algebra::Field;
+use csm_consensus::batch::{DsBatch, DsRelay, PbftBatch, PbftBatchConfig, PbftBatchMsg};
+use csm_core::digest::digest_results;
+use csm_core::engine::{CodedMachine, RoundCommit, RoundEngine};
+use csm_core::exchange::{canonical, equivocation_noise, ReceiverCore, ResultBehavior};
+use csm_core::SynchronyMode;
+use csm_network::auth::{KeyRegistry, Signature};
+use csm_network::NodeId;
+use csm_storage::{CommitRecord, NodeStore};
+use csm_telemetry::{Event, SharedSink};
+use csm_transport::sim::SimNet;
+use csm_transport::{Frame, Payload};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How many future rounds of staging/consensus/result traffic an actor
+/// buffers (mirrors the runtime's bounded round buffers).
+const BUFFER_ROUNDS: u64 = 64;
+
+/// How many rounds of peer commit votes are retained behind the current
+/// round (the desync window plus slack for skewed arrivals).
+const VOTE_RETENTION: u64 = 16;
+
+/// Client retries give up after this many rebroadcasts.
+pub(crate) const MAX_CLIENT_RETRIES: u32 = 30;
+
+/// Per-actor protocol timing derived from the virtual-tick Δ.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Timing {
+    /// Exchange Δ in virtual ticks (also the base synchrony unit).
+    pub(crate) delta: u64,
+    /// Leader-echo staging window (proposal + echo quorum).
+    pub(crate) stage_timeout: u64,
+    /// Dolev–Strong relay-round length.
+    pub(crate) consensus_delta: u64,
+    /// Pacing pause after an empty round.
+    pub(crate) idle_pause: u64,
+    /// Resync transfer-attempt window.
+    pub(crate) transfer_window: u64,
+}
+
+impl Timing {
+    /// The default timing for a fabric whose default link latency is
+    /// `latency` ticks: Δ = 4·latency absorbs round-entry skew plus one
+    /// hop, staging gets `4Δ`, Dolev–Strong relays `2Δ`, and the other
+    /// windows follow the gateway's proportions.
+    pub(crate) fn for_latency(latency: u64) -> Self {
+        let delta = 4 * latency.max(1);
+        Timing {
+            delta,
+            stage_timeout: 4 * delta,
+            consensus_delta: 2 * delta,
+            idle_pause: (delta / 4).max(1),
+            transfer_window: 8 * delta,
+        }
+    }
+}
+
+/// Per-round staging state, one variant per consensus backend.
+enum Staging {
+    /// Leader-echo: votes per batch value, and whether this node echoed.
+    Echo {
+        votes: BTreeMap<Vec<Vec<u64>>, BTreeSet<usize>>,
+        echoed: bool,
+    },
+    /// Dolev–Strong broadcast state.
+    Ds { ds: DsBatch },
+    /// PBFT instance plus the view its running timeout was armed for.
+    Pbft { pbft: Box<PbftBatch> },
+}
+
+/// What the actor is doing between events.
+enum PhaseState<F: Field> {
+    /// Waiting for the next-round pacing timer.
+    Idle,
+    /// Agreeing on the round's batch.
+    Staging(Staging),
+    /// Broadcast results collected, waiting for the word to finalize.
+    Exchanging {
+        core: ReceiverCore<F>,
+        batch: Vec<BatchEntry>,
+        empty: bool,
+    },
+    /// Durable state transfer in flight: candidate chunks grouped by
+    /// `(round, digest)`, and whether the trigger re-arms on timeout.
+    Resyncing {
+        chunks: BTreeMap<(u64, u64), BTreeMap<usize, Vec<Vec<u64>>>>,
+        sticky: bool,
+        attempt: u64,
+    },
+    /// Fail-stopped on the desync check (plain mode) — terminal.
+    Halted,
+}
+
+/// One simulated CSM gateway node.
+pub(crate) struct NodeActor<F: Field> {
+    pub(crate) id: usize,
+    cluster: usize,
+    faults: usize,
+    consensus: ConsensusKind,
+    batch_cap: usize,
+    machine: Arc<CodedMachine<F>>,
+    initial_states: Vec<Vec<F>>,
+    registry: Arc<KeyRegistry>,
+    behavior: BehaviorKind,
+    staging_fault: StagingFault,
+    timing: Timing,
+    gw: GatewayConfig,
+    sink: SharedSink,
+
+    engine: RoundEngine<F>,
+    admission: Admission,
+    /// The wire round counter — advances every round *attempt*, commit
+    /// or not, exactly like the gateway loop's `round`.
+    pub(crate) round: u64,
+    /// Virtual tick the current round's agreement started at.
+    round_entered: u64,
+    phase: PhaseState<F>,
+    commits: VecDeque<Option<RoundCommit<F>>>,
+    first_recorded_round: u64,
+    fail_streak: u32,
+
+    /// Buffered staging votes/relays/results for near-future rounds.
+    stage_buffer: BTreeMap<u64, Vec<(usize, Vec<Vec<u64>>)>>,
+    consensus_buffer: BTreeMap<u64, Vec<Frame>>,
+    pending_results: BTreeMap<u64, Vec<(usize, Vec<F>)>>,
+    /// Peer commit digests per wire round (first vote per node wins).
+    commit_votes: BTreeMap<u64, BTreeMap<usize, u64>>,
+    /// Client submissions waiting for the next admission pass.
+    submit_inbox: Vec<Frame>,
+
+    // -- durability ------------------------------------------------------
+    durable_dir: Option<PathBuf>,
+    store: Option<NodeStore>,
+    snapshot_interval: u64,
+    commits_since_snapshot: u64,
+    /// Snapshot installs completed since the run started (restarts
+    /// included) — the torn-snapshot fault counts against this.
+    snapshots_installed: u64,
+    /// Crash exactly at this (1-based) snapshot install, *before* the
+    /// install lands: the WAL already holds the round (appended first),
+    /// the snapshot stays old — precisely "killed mid-snapshot-write",
+    /// where the atomic rename never happened.
+    torn_snapshot_at: Option<u64>,
+
+    // -- harness-visible outcome (never consumed by protocol logic) -----
+    /// Whether the node is up (crashed nodes ignore everything).
+    pub(crate) alive: bool,
+    /// Restart epoch; timers from an earlier epoch are dead.
+    pub(crate) epoch: u64,
+    /// Terminal desync fail-stop happened (plain mode).
+    pub(crate) desynced: bool,
+    /// Digest this node still vouches for, per wire round — cleared on
+    /// resync/restart exactly when the gateway clears `commits`.
+    pub(crate) vouched: BTreeMap<u64, u64>,
+    /// Every digest ever committed, per wire round — a harness witness
+    /// that survives resyncs, for detecting (contained) splits.
+    pub(crate) digest_history: BTreeMap<u64, Vec<u64>>,
+    /// Every `(client, seq)` this node ever committed → wire round; a
+    /// harness witness surviving restarts (the node's own recovered
+    /// horizon is asserted separately).
+    pub(crate) ever_committed: BTreeMap<(u64, u64), u64>,
+    /// Max seq replied per client (harness witness, survives restarts):
+    /// WAL-before-ack means the recovered horizons must cover this.
+    pub(crate) replied: BTreeMap<u64, u64>,
+    /// Recovery-contract breaches detected on restart (should be empty).
+    pub(crate) recovery_violations: Vec<String>,
+    /// Completed resyncs.
+    pub(crate) resyncs: u64,
+    /// A crash landed while a resync transfer was in flight (the
+    /// mid-`StateChunk` kill scenario asserts this fired).
+    pub(crate) resync_interrupted: bool,
+    /// Rounds that ended in decode failure.
+    pub(crate) decode_failures: u64,
+    /// Frames dropped for bad MACs (chaos-side transport check).
+    pub(crate) mac_rejected: u64,
+}
+
+impl<F: Field> NodeActor<F> {
+    /// Builds one node. `durable_dir` enables the WAL/snapshot/resync
+    /// paths; `sink` receives the same telemetry events the real
+    /// gateway emits (a `ReplaySink` makes runs comparable).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        id: usize,
+        machine: Arc<CodedMachine<F>>,
+        initial_states: Vec<Vec<F>>,
+        registry: Arc<KeyRegistry>,
+        consensus: ConsensusKind,
+        faults: usize,
+        batch_cap: usize,
+        behavior: BehaviorKind,
+        staging_fault: StagingFault,
+        timing: Timing,
+        durable_dir: Option<PathBuf>,
+        snapshot_interval: u64,
+        torn_snapshot_at: Option<u64>,
+        sink: SharedSink,
+    ) -> Self {
+        let cluster = machine.n();
+        let wall = ExchangeTiming::synchronous(faults, Duration::from_micros(timing.delta));
+        let mut gw = GatewayConfig::new(cluster, faults, &wall).with_batch_cap(batch_cap);
+        gw.consensus = consensus;
+        let engine = RoundEngine::new(Arc::clone(&machine), id, &initial_states)
+            .expect("chaos spec states match the machine");
+        let store = durable_dir.as_ref().map(|dir| {
+            std::fs::create_dir_all(dir).expect("chaos store dir");
+            let fp = store_fingerprint(machine.as_ref(), id, &initial_states);
+            NodeStore::open(dir, fp).expect("chaos store opens").0
+        });
+        NodeActor {
+            id,
+            cluster,
+            faults,
+            consensus,
+            batch_cap: batch_cap.max(1),
+            machine,
+            initial_states,
+            registry,
+            behavior,
+            staging_fault,
+            timing,
+            gw,
+            sink,
+            engine,
+            admission: Admission::default(),
+            round: 0,
+            round_entered: 0,
+            phase: PhaseState::Idle,
+            commits: VecDeque::new(),
+            first_recorded_round: 0,
+            fail_streak: 0,
+            stage_buffer: BTreeMap::new(),
+            consensus_buffer: BTreeMap::new(),
+            pending_results: BTreeMap::new(),
+            commit_votes: BTreeMap::new(),
+            submit_inbox: Vec::new(),
+            durable_dir,
+            store,
+            snapshot_interval: snapshot_interval.max(1),
+            commits_since_snapshot: 0,
+            snapshots_installed: 0,
+            torn_snapshot_at,
+            alive: true,
+            epoch: 0,
+            desynced: false,
+            vouched: BTreeMap::new(),
+            digest_history: BTreeMap::new(),
+            ever_committed: BTreeMap::new(),
+            replied: BTreeMap::new(),
+            recovery_violations: Vec::new(),
+            resyncs: 0,
+            resync_interrupted: false,
+            decode_failures: 0,
+            mac_rejected: 0,
+        }
+    }
+
+    /// Whether this node runs the durable (WAL + resync) paths.
+    fn durable(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// The gateway admission stats (harness reporting).
+    pub(crate) fn stats(&self) -> &crate::gateway::GatewayStats {
+        &self.admission.stats
+    }
+
+    fn tok(&self, kind: u64, a: u64, b: u64) -> u64 {
+        token::pack(kind, self.epoch, a, b)
+    }
+
+    fn leader(&self) -> usize {
+        (self.round % self.cluster as u64) as usize
+    }
+
+    fn event(&self, event: Event) {
+        self.sink.event(self.id, self.round, None, event);
+    }
+
+    fn event_peer(&self, peer: usize, event: Event) {
+        self.sink.event(self.id, self.round, Some(peer), event);
+    }
+
+    fn send(&self, net: &mut SimNet, to: usize, payload: Payload) {
+        let frame = Frame::sign(payload, &self.registry, NodeId(self.id));
+        net.send(self.id, to, frame);
+    }
+
+    fn broadcast(&self, net: &mut SimNet, payload: Payload) {
+        let frame = Frame::sign(payload, &self.registry, NodeId(self.id));
+        net.broadcast_upto(self.id, self.cluster, &frame);
+    }
+
+    /// The shared batch-validity predicate (client MACs, shape, dedup
+    /// horizon), evaluated against this node's current admission state.
+    fn batch_valid(&self, rows: &[Vec<u64>]) -> bool {
+        let input_dim = self.machine.transition().input_dim();
+        decode_batch(
+            rows,
+            self.machine.k(),
+            self.batch_cap,
+            input_dim,
+            self.cluster,
+            &self.registry,
+        )
+        .is_some_and(|batch| {
+            batch.iter().all(|e| {
+                self.admission
+                    .horizon
+                    .get(&e.client)
+                    .is_none_or(|&s| s < e.seq)
+            })
+        })
+    }
+
+    // -- round lifecycle -------------------------------------------------
+
+    /// Kicks the node off at virtual tick `at`.
+    pub(crate) fn start(&self, net: &mut SimNet, at: u64) {
+        net.set_timer(self.id, at, self.tok(token::K_NEXT, self.round, 0));
+    }
+
+    /// Begins the next round: prune buffers, run the desync/behind
+    /// check, admit clients, then stage the batch under the configured
+    /// backend. Mirrors the top of `gateway_loop`'s iteration.
+    fn start_round(&mut self, net: &mut SimNet) {
+        if !self.alive || matches!(self.phase, PhaseState::Halted) {
+            return;
+        }
+        self.round_entered = net.now();
+        let floor = self.round.saturating_sub(VOTE_RETENTION);
+        self.commit_votes.retain(|&r, _| r >= floor);
+        self.stage_buffer.retain(|&r, _| r >= self.round);
+        self.consensus_buffer.retain(|&r, _| r >= self.round);
+        self.pending_results.retain(|&r, _| r >= self.round);
+
+        // divergence handling, exactly as documented: durable nodes
+        // recover (behind / diverged / fail-streak all trigger a state
+        // transfer), plain nodes fail-stop on divergence only
+        let diverged = self.check_desynced();
+        if self.durable() {
+            let behind = self
+                .commit_quorum_frontier()
+                .is_some_and(|(r, _)| r >= self.round);
+            if behind || diverged.is_some() || self.fail_streak >= 2 {
+                self.fail_streak = 0;
+                self.enter_resync(net, behind || diverged.is_some());
+                return;
+            }
+        } else if let Some(witness) = diverged {
+            // the fail-stop *is* the detection the protocol documents:
+            // every vouch from the witness round onward was committed on
+            // divergent state (a decode failure there left this node's
+            // engine stale while a `b + 1` quorum moved on), so retract
+            // them — S1 audits *standing* vouches for undetected splits,
+            // and these are flagged, not undetected
+            self.vouched.split_off(&witness);
+            self.admission.stats.desynced = true;
+            self.desynced = true;
+            self.event(Event::Desync);
+            self.phase = PhaseState::Halted;
+            return;
+        }
+
+        // admission: drain the submit inbox through the real gateway
+        // admission (horizon dedup, reply-cache replay, quotas)
+        let frames = std::mem::take(&mut self.submit_inbox);
+        let input_dim = self.machine.transition().input_dim();
+        let scope = EventScope {
+            sink: self.sink.as_ref(),
+            node: self.id,
+            round: self.round,
+        };
+        let replays = self
+            .admission
+            .admit(frames, self.machine.k(), input_dim, &self.gw, &scope);
+        for (client, payload) in replays {
+            if let Some(payload) = reply_after_fault(payload, self.behavior) {
+                self.send(net, client as usize, payload);
+            }
+        }
+
+        let proposal = encode_batch(&self.admission.build_batch(self.machine.k(), self.batch_cap));
+        self.enter_staging(net, proposal);
+    }
+
+    /// Starts the round's batch agreement and replays any buffered
+    /// staging traffic that arrived early.
+    fn enter_staging(&mut self, net: &mut SimNet, proposal: Vec<Vec<u64>>) {
+        let leader = self.leader();
+        let me = self.id;
+        match self.consensus {
+            ConsensusKind::LeaderEcho => {
+                let mut votes: BTreeMap<Vec<Vec<u64>>, BTreeSet<usize>> = BTreeMap::new();
+                let mut echoed = false;
+                if me == leader {
+                    match self.staging_fault {
+                        StagingFault::None => {
+                            self.broadcast(
+                                net,
+                                Payload::Stage {
+                                    round: self.round,
+                                    sender: me as u64,
+                                    commands: proposal.clone(),
+                                },
+                            );
+                            votes.entry(proposal.clone()).or_default().insert(me);
+                            echoed = true;
+                        }
+                        StagingFault::WithholdBatch => {}
+                        StagingFault::EquivocateBatch => {
+                            // the fan-out every backend's fault driver
+                            // shares: full batch to evens, truncated
+                            // variant to odds — and the Byzantine leader
+                            // *executes the full batch itself* (it knows
+                            // its own proposal; waiting for its own echo
+                            // quorum would only blunt the attack)
+                            let alt = equivocation_variant(&proposal);
+                            for peer in 0..self.cluster {
+                                if peer == me {
+                                    continue;
+                                }
+                                let rows = if peer % 2 == 0 {
+                                    proposal.clone()
+                                } else {
+                                    alt.clone()
+                                };
+                                self.send(
+                                    net,
+                                    peer,
+                                    Payload::Stage {
+                                        round: self.round,
+                                        sender: me as u64,
+                                        commands: rows,
+                                    },
+                                );
+                            }
+                            self.finish_staging(net, Some(proposal));
+                            return;
+                        }
+                        StagingFault::OverCapBatch => {
+                            let bad = overcap_variant(&proposal);
+                            self.broadcast(
+                                net,
+                                Payload::Stage {
+                                    round: self.round,
+                                    sender: me as u64,
+                                    commands: bad.clone(),
+                                },
+                            );
+                            votes.entry(bad).or_default().insert(me);
+                            echoed = true;
+                        }
+                    }
+                }
+                self.phase = PhaseState::Staging(Staging::Echo { votes, echoed });
+                net.set_timer(
+                    me,
+                    net.now() + 2 * self.timing.stage_timeout,
+                    self.tok(token::K_STAGE, self.round, 0),
+                );
+                for (sender, rows) in self.stage_buffer.remove(&self.round).unwrap_or_default() {
+                    self.on_stage_vote(net, sender, rows);
+                }
+            }
+            ConsensusKind::DolevStrong => {
+                let mut ds = DsBatch::new(
+                    self.round,
+                    self.cluster,
+                    self.faults,
+                    leader,
+                    me,
+                    Arc::clone(&self.registry),
+                );
+                if me == leader {
+                    match self.staging_fault {
+                        StagingFault::None => {
+                            let relay = ds.propose(proposal);
+                            self.broadcast_relay(net, &relay);
+                        }
+                        StagingFault::WithholdBatch => {}
+                        StagingFault::EquivocateBatch => {
+                            let alt = equivocation_variant(&proposal);
+                            for peer in 0..self.cluster {
+                                if peer == me {
+                                    continue;
+                                }
+                                let rows = if peer % 2 == 0 {
+                                    proposal.clone()
+                                } else {
+                                    alt.clone()
+                                };
+                                let chain = vec![ds.sign_value(&rows)];
+                                self.send_relay_to(net, peer, rows, &chain);
+                            }
+                        }
+                        StagingFault::OverCapBatch => {
+                            let relay = ds.propose(overcap_variant(&proposal));
+                            self.broadcast_relay(net, &relay);
+                        }
+                    }
+                }
+                self.phase = PhaseState::Staging(Staging::Ds { ds });
+                net.set_timer(
+                    me,
+                    net.now() + self.timing.consensus_delta * (self.faults as u64 + 2),
+                    self.tok(token::K_STAGE, self.round, 0),
+                );
+                for frame in self
+                    .consensus_buffer
+                    .remove(&self.round)
+                    .unwrap_or_default()
+                {
+                    self.on_consensus_frame(net, frame);
+                }
+            }
+            ConsensusKind::Pbft => {
+                let cfg = PbftBatchConfig {
+                    n: self.cluster,
+                    f: self.faults,
+                    round: self.round,
+                    leader,
+                    base_timeout: Duration::from_micros(self.timing.stage_timeout),
+                };
+                let my_proposal =
+                    if me == leader && self.staging_fault == StagingFault::OverCapBatch {
+                        overcap_variant(&proposal)
+                    } else {
+                        proposal.clone()
+                    };
+                let mut pbft = PbftBatch::new(cfg, me, Arc::clone(&self.registry), my_proposal);
+                let mut out: Vec<PbftBatchMsg> = Vec::new();
+                if me == leader {
+                    match self.staging_fault {
+                        StagingFault::WithholdBatch => {}
+                        StagingFault::EquivocateBatch => {
+                            let alt = equivocation_variant(&proposal);
+                            for peer in 0..self.cluster {
+                                if peer == me {
+                                    continue;
+                                }
+                                let rows = if peer % 2 == 0 {
+                                    proposal.clone()
+                                } else {
+                                    alt.clone()
+                                };
+                                let msg = pbft.sign_pre_prepare(0, rows);
+                                let payload = PbftConsensus::to_wire(self.round, &msg);
+                                self.send(net, peer, payload);
+                            }
+                        }
+                        _ => {
+                            let valid = self.valid_fn();
+                            out = pbft.start(&valid);
+                        }
+                    }
+                } else {
+                    let valid = self.valid_fn();
+                    out = pbft.start(&valid);
+                }
+                let round = self.round;
+                for msg in &out {
+                    let payload = PbftConsensus::to_wire(round, msg);
+                    self.broadcast(net, payload);
+                }
+                let view = pbft.view();
+                let timeout = pbft.config().timeout_of(view).as_micros() as u64;
+                self.phase = PhaseState::Staging(Staging::Pbft {
+                    pbft: Box::new(pbft),
+                });
+                net.set_timer(
+                    me,
+                    net.now() + timeout,
+                    self.tok(token::K_PBFT, self.round, view),
+                );
+                for frame in self
+                    .consensus_buffer
+                    .remove(&self.round)
+                    .unwrap_or_default()
+                {
+                    self.on_consensus_frame(net, frame);
+                }
+                self.check_pbft_decided(net);
+            }
+        }
+    }
+
+    /// An owned snapshot of the validity predicate (borrow-splitting:
+    /// the PBFT state machine takes `&dyn Fn` while `self.phase` is
+    /// mutably borrowed, so the closure must not hold `&self`).
+    fn valid_fn(&self) -> impl Fn(&[Vec<u64>]) -> bool + 'static {
+        let horizon = self.admission.horizon.clone();
+        let shards = self.machine.k();
+        let cap = self.batch_cap;
+        let input_dim = self.machine.transition().input_dim();
+        let cluster = self.cluster;
+        let registry = Arc::clone(&self.registry);
+        move |rows: &[Vec<u64>]| {
+            decode_batch(rows, shards, cap, input_dim, cluster, &registry).is_some_and(|batch| {
+                batch
+                    .iter()
+                    .all(|e| horizon.get(&e.client).is_none_or(|&s| s < e.seq))
+            })
+        }
+    }
+
+    fn broadcast_relay(&self, net: &mut SimNet, relay: &DsRelay) {
+        let payload = Payload::BatchRelay {
+            round: self.round,
+            rows: relay.rows.clone(),
+            chain: relay
+                .chain
+                .iter()
+                .map(|s| (s.signer.0 as u64, s.tag))
+                .collect(),
+        };
+        self.broadcast(net, payload);
+    }
+
+    fn send_relay_to(
+        &self,
+        net: &mut SimNet,
+        peer: usize,
+        rows: Vec<Vec<u64>>,
+        chain: &[Signature],
+    ) {
+        let payload = Payload::BatchRelay {
+            round: self.round,
+            rows,
+            chain: chain.iter().map(|s| (s.signer.0 as u64, s.tag)).collect(),
+        };
+        self.send(net, peer, payload);
+    }
+
+    /// One leader-echo vote (a `Stage` frame): leader proposals get
+    /// echoed once if valid, and any value reaching `N − b` distinct
+    /// voters is adopted.
+    fn on_stage_vote(&mut self, net: &mut SimNet, sender: usize, rows: Vec<Vec<u64>>) {
+        let quorum = self.cluster - self.faults;
+        let leader = self.leader();
+        let PhaseState::Staging(Staging::Echo { votes, echoed }) = &mut self.phase else {
+            return;
+        };
+        votes.entry(rows.clone()).or_default().insert(sender);
+        let should_echo = !*echoed && sender == leader;
+        if should_echo {
+            *echoed = true;
+            if self.batch_valid(&rows) {
+                let PhaseState::Staging(Staging::Echo { votes, .. }) = &mut self.phase else {
+                    unreachable!("phase just matched");
+                };
+                votes.entry(rows.clone()).or_default().insert(self.id);
+                self.broadcast(
+                    net,
+                    Payload::Stage {
+                        round: self.round,
+                        sender: self.id as u64,
+                        commands: rows,
+                    },
+                );
+            }
+        }
+        let PhaseState::Staging(Staging::Echo { votes, .. }) = &self.phase else {
+            return;
+        };
+        let decided = votes
+            .iter()
+            .find(|(_, voters)| voters.len() >= quorum)
+            .map(|(rows, _)| rows.clone());
+        if let Some(rows) = decided {
+            self.finish_staging(net, Some(rows));
+        }
+    }
+
+    /// One Dolev–Strong / PBFT consensus frame for the current round.
+    fn on_consensus_frame(&mut self, net: &mut SimNet, frame: Frame) {
+        match &mut self.phase {
+            PhaseState::Staging(Staging::Ds { ds }) => {
+                let Payload::BatchRelay { rows, chain, .. } = frame.payload else {
+                    return;
+                };
+                let chain: Vec<Signature> = chain
+                    .into_iter()
+                    .map(|(signer, tag)| Signature {
+                        signer: NodeId(signer as usize),
+                        tag,
+                    })
+                    .collect();
+                let elapsed = net.now().saturating_sub(self.round_entered);
+                let ds_round = (elapsed / self.timing.consensus_delta.max(1)) as usize;
+                if let Some(fwd) = ds.on_relay(DsRelay { rows, chain }, ds_round) {
+                    self.broadcast_relay(net, &fwd);
+                }
+            }
+            PhaseState::Staging(Staging::Pbft { .. }) => {
+                let from = frame.sig.signer.0;
+                let Some(msg) = PbftConsensus::from_wire(frame.payload, from) else {
+                    return;
+                };
+                let valid = self.valid_fn();
+                let PhaseState::Staging(Staging::Pbft { pbft }) = &mut self.phase else {
+                    return;
+                };
+                let view_before = pbft.view();
+                let out = pbft.on_message(from, msg, &valid);
+                let view_after = pbft.view();
+                let round = self.round;
+                for msg in &out {
+                    let payload = PbftConsensus::to_wire(round, msg);
+                    self.broadcast(net, payload);
+                }
+                if view_after != view_before {
+                    let PhaseState::Staging(Staging::Pbft { pbft }) = &self.phase else {
+                        return;
+                    };
+                    let timeout = pbft.config().timeout_of(view_after).as_micros() as u64;
+                    net.set_timer(
+                        self.id,
+                        net.now() + timeout,
+                        self.tok(token::K_PBFT, self.round, view_after),
+                    );
+                }
+                self.check_pbft_decided(net);
+            }
+            _ => {}
+        }
+    }
+
+    fn check_pbft_decided(&mut self, net: &mut SimNet) {
+        let PhaseState::Staging(Staging::Pbft { pbft }) = &self.phase else {
+            return;
+        };
+        if let Some(rows) = pbft.decided().cloned() {
+            self.finish_staging(net, Some(rows));
+        }
+    }
+
+    /// Batch agreed (or fallen back): execute it, broadcast this node's
+    /// coded result per its behavior, and start collecting the word.
+    fn finish_staging(&mut self, net: &mut SimNet, agreed: Option<Vec<Vec<u64>>>) {
+        if agreed.is_none() {
+            self.admission.stats.stage_fallbacks += 1;
+            self.event(Event::StageFallback);
+        }
+        let input_dim = self.machine.transition().input_dim();
+        let batch = agreed
+            .as_deref()
+            .and_then(|rows| {
+                decode_batch(
+                    rows,
+                    self.machine.k(),
+                    self.batch_cap,
+                    input_dim,
+                    self.cluster,
+                    &self.registry,
+                )
+            })
+            .unwrap_or_default();
+        let empty = batch.is_empty();
+        if empty {
+            self.admission.stats.empty_rounds += 1;
+            self.event(Event::EmptyRound);
+        }
+        let mut programs: Vec<Vec<Vec<F>>> = vec![Vec::new(); self.machine.k()];
+        for entry in &batch {
+            programs[entry.shard].push(entry.command.iter().map(|&v| F::from_u64(v)).collect());
+        }
+        let g = self
+            .engine
+            .execute_batched(&programs)
+            .expect("validated batch shape");
+        let mut core = ReceiverCore::new(self.cluster, SynchronyMode::Synchronous, self.faults);
+        match wire_behavior(
+            self.id,
+            self.cluster,
+            self.machine.result_dim(),
+            self.behavior,
+            g,
+        ) {
+            ResultBehavior::Honest(g) => {
+                let (_, values) = canonical(self.id, &g);
+                core.record(self.id, g);
+                self.broadcast(
+                    net,
+                    Payload::Result {
+                        round: self.round,
+                        sender: self.id as u64,
+                        values,
+                    },
+                );
+            }
+            ResultBehavior::Equivocate(base) => {
+                for peer in 0..self.cluster {
+                    if peer == self.id {
+                        continue;
+                    }
+                    let noisy: Vec<F> = base
+                        .iter()
+                        .map(|&x| x + F::from_u64(equivocation_noise(peer)))
+                        .collect();
+                    let (_, values) = canonical(self.id, &noisy);
+                    self.send(
+                        net,
+                        peer,
+                        Payload::Result {
+                            round: self.round,
+                            sender: self.id as u64,
+                            values,
+                        },
+                    );
+                }
+            }
+            ResultBehavior::Withhold => {}
+            ResultBehavior::Impersonate { spoof, forged } => {
+                let payload = result_payload(self.round, spoof, &forged);
+                let frame = Frame::forge(payload, &self.registry, NodeId(self.id), NodeId(spoof));
+                net.broadcast_upto(self.id, self.cluster, &frame);
+            }
+        }
+        // feed results that arrived during staging
+        for (sender, values) in self.pending_results.remove(&self.round).unwrap_or_default() {
+            core.record(sender, values);
+        }
+        let full = core.results_held() == self.cluster;
+        self.phase = PhaseState::Exchanging { core, batch, empty };
+        if full {
+            self.finish_exchange(net);
+        } else {
+            net.set_timer(
+                self.id,
+                net.now() + self.timing.delta,
+                self.tok(token::K_EXCHANGE, self.round, 0),
+            );
+        }
+    }
+
+    /// Word final: decode-and-commit, or count the failure. Mirrors the
+    /// commit tail of `gateway_loop` including WAL-before-ack ordering.
+    fn finish_exchange(&mut self, net: &mut SimNet) {
+        let PhaseState::Exchanging { core, batch, empty } =
+            std::mem::replace(&mut self.phase, PhaseState::Idle)
+        else {
+            return;
+        };
+        let mut core = core;
+        core.on_deadline();
+        let word = core.into_word();
+        let prev_state = self.durable().then(|| self.engine.coded_state().to_vec());
+        let commit = self.engine.commit_word(&word);
+        match commit {
+            Some(c) => {
+                for &peer in &c.detected_error_nodes {
+                    self.event_peer(peer, Event::EquivocationDetected);
+                }
+                // local bookkeeping before the WAL append, so a snapshot
+                // taken inside the append already reflects this batch
+                let mut replies = Vec::with_capacity(batch.len());
+                for entry in &batch {
+                    let reply = reply_payload(entry, &c);
+                    for client in self.admission.record_done(
+                        entry,
+                        reply.clone(),
+                        self.batch_cap,
+                        self.gw.reply_cache_cap,
+                    ) {
+                        self.event(Event::ReplyCacheEviction { client });
+                    }
+                    replies.push((entry.client, reply));
+                }
+                self.admission.stats.commands_committed += batch.len() as u64;
+                if self.store.is_some() {
+                    let prev = prev_state.expect("captured before commit");
+                    let delta: Vec<u64> = self
+                        .engine
+                        .coded_state()
+                        .iter()
+                        .zip(&prev)
+                        .map(|(new, old)| (*new - *old).to_canonical_u64())
+                        .collect();
+                    let digest = c.digest;
+                    let round = c.round;
+                    let rows = encode_batch(&batch);
+                    let torn = self.log_commit(round, digest, rows, delta);
+                    if torn {
+                        // killed mid-snapshot-write: WAL holds the round,
+                        // the snapshot rename never landed
+                        self.crash();
+                        return;
+                    }
+                }
+                self.broadcast(
+                    net,
+                    Payload::Commit {
+                        round: self.round,
+                        sender: self.id as u64,
+                        digest: c.digest,
+                    },
+                );
+                for (client, reply) in replies {
+                    if let Some(reply) = reply_after_fault(reply, self.behavior) {
+                        self.send(net, client as usize, reply);
+                        self.admission.stats.replies_sent += 1;
+                    }
+                }
+                for entry in &batch {
+                    self.ever_committed
+                        .insert((entry.client, entry.seq), self.round);
+                    let h = self.replied.entry(entry.client).or_insert(0);
+                    *h = (*h).max(entry.seq);
+                }
+                self.vouched.insert(self.round, c.digest);
+                let hist = self.digest_history.entry(self.round).or_default();
+                if !hist.contains(&c.digest) {
+                    hist.push(c.digest);
+                }
+                self.fail_streak = 0;
+                self.commits.push_back(Some(c));
+            }
+            None => {
+                self.fail_streak += 1;
+                self.decode_failures += 1;
+                self.event(Event::DecodeFailure);
+                self.commits.push_back(None);
+            }
+        }
+        if self.commits.len() > self.gw.commit_history {
+            self.commits.pop_front();
+            self.first_recorded_round += 1;
+        }
+        self.round += 1;
+        let pause = if empty { self.timing.idle_pause } else { 1 };
+        self.phase = PhaseState::Idle;
+        net.set_timer(
+            self.id,
+            net.now() + pause,
+            self.tok(token::K_NEXT, self.round, 0),
+        );
+    }
+
+    /// Appends the committed round, then installs the interval snapshot —
+    /// unless the torn-snapshot fault is due, in which case the install
+    /// is skipped (returns `true`: the caller crashes the node).
+    fn log_commit(
+        &mut self,
+        round: u64,
+        digest: u64,
+        rows: Vec<Vec<u64>>,
+        delta: Vec<u64>,
+    ) -> bool {
+        let store = self.store.as_mut().expect("durable");
+        store
+            .append_commit(&CommitRecord {
+                round,
+                digest,
+                batch: rows,
+                state_delta: delta,
+                protocol: self.consensus.wal_protocol(),
+                batch_cap: self.batch_cap as u32,
+            })
+            .expect("chaos WAL append");
+        self.admission.stats.wal_appends += 1;
+        self.commits_since_snapshot += 1;
+        if self.commits_since_snapshot >= self.snapshot_interval {
+            let due = self.snapshots_installed + 1;
+            if self.torn_snapshot_at == Some(due) {
+                self.torn_snapshot_at = None;
+                return true;
+            }
+            self.snapshots_installed = due;
+            let store = self.store.as_mut().expect("durable");
+            store
+                .install_snapshot(
+                    round + 1,
+                    self.engine.coded_state_canonical(),
+                    self.admission
+                        .horizon
+                        .iter()
+                        .map(|(&c, &s)| (c, s))
+                        .collect(),
+                )
+                .expect("chaos snapshot install");
+            self.commits_since_snapshot = 0;
+            self.admission.stats.snapshots += 1;
+        }
+        false
+    }
+
+    // -- divergence / recovery ------------------------------------------
+
+    /// The gateway's desync rule over buffered peer commit votes:
+    /// `b + 1` peers agreeing on a digest this node does not hold for a
+    /// strictly-past round in the window. Returns the earliest such
+    /// witness round — everything the node committed from there on was
+    /// computed on divergent state.
+    fn check_desynced(&self) -> Option<u64> {
+        for past in self.round.saturating_sub(DESYNC_WINDOW)..self.round {
+            if past < self.first_recorded_round {
+                continue;
+            }
+            let own = self
+                .commits
+                .get((past - self.first_recorded_round) as usize)
+                .and_then(|c| c.as_ref().map(|c| c.digest));
+            let Some(votes) = self.commit_votes.get(&past) else {
+                continue;
+            };
+            let mut tallies: BTreeMap<u64, usize> = BTreeMap::new();
+            for (&node, &digest) in votes {
+                if node != self.id {
+                    *tallies.entry(digest).or_insert(0) += 1;
+                }
+            }
+            for (&digest, &count) in &tallies {
+                if count > self.faults && own != Some(digest) {
+                    return Some(past);
+                }
+            }
+        }
+        None
+    }
+
+    /// The highest round where `b + 1` peers announced a common digest
+    /// (the "cluster moved on without me" detector).
+    fn commit_quorum_frontier(&self) -> Option<(u64, u64)> {
+        for (&round, votes) in self.commit_votes.iter().rev() {
+            let mut tallies: BTreeMap<u64, usize> = BTreeMap::new();
+            for (&node, &digest) in votes {
+                if node != self.id {
+                    *tallies.entry(digest).or_insert(0) += 1;
+                }
+            }
+            if let Some((&digest, _)) = tallies.iter().find(|(_, &c)| c > self.faults) {
+                return Some((round, digest));
+            }
+        }
+        None
+    }
+
+    /// Starts a durable state transfer: broadcast a `StateRequest` and
+    /// collect `b + 1`-verified chunks. `sticky` triggers (behind or
+    /// diverged) re-arm on timeout; a streak-only trigger gives up after
+    /// one window and keeps participating, like the gateway.
+    fn enter_resync(&mut self, net: &mut SimNet, sticky: bool) {
+        let attempt = match &self.phase {
+            PhaseState::Resyncing { attempt, .. } => attempt + 1,
+            _ => 0,
+        };
+        self.broadcast(
+            net,
+            Payload::StateRequest {
+                from_round: self.engine.round().saturating_sub(1),
+            },
+        );
+        self.phase = PhaseState::Resyncing {
+            chunks: BTreeMap::new(),
+            sticky,
+            attempt,
+        };
+        net.set_timer(
+            self.id,
+            net.now() + self.timing.transfer_window,
+            self.tok(token::K_RESYNC, attempt, 0),
+        );
+    }
+
+    /// One peer `StateChunk`: digest-check it, group by `(round,
+    /// digest)`, and install at `b + 1` distinct vouchers.
+    fn on_state_chunk(
+        &mut self,
+        net: &mut SimNet,
+        from: usize,
+        round: u64,
+        digest: u64,
+        results: Vec<Vec<u64>>,
+    ) {
+        let min_round = self.engine.round().saturating_sub(1);
+        if round < min_round {
+            return;
+        }
+        let field_rows: Vec<Vec<F>> = results
+            .iter()
+            .map(|row| row.iter().map(|&v| F::from_u64(v)).collect())
+            .collect();
+        if digest_results(&field_rows) != digest {
+            self.event_peer(from, Event::StateChunkRejected);
+            return;
+        }
+        let PhaseState::Resyncing { chunks, .. } = &mut self.phase else {
+            return;
+        };
+        chunks
+            .entry((round, digest))
+            .or_default()
+            .insert(from, results);
+        let ready = chunks
+            .iter()
+            .find(|(_, senders)| senders.len() > self.faults)
+            .map(|(&key, senders)| {
+                let rows = senders.values().next().expect("non-empty").clone();
+                (key, rows)
+            });
+        if let Some(((round, _digest), rows)) = ready {
+            self.install_transfer(net, round, rows);
+        }
+    }
+
+    fn install_transfer(&mut self, net: &mut SimNet, round: u64, rows: Vec<Vec<u64>>) {
+        let sd = self.machine.transition().state_dim();
+        if rows.len() != self.machine.k() {
+            return;
+        }
+        let states: Vec<Vec<F>> = rows
+            .iter()
+            .map(|row| row.iter().take(sd).map(|&v| F::from_u64(v)).collect())
+            .collect();
+        if self.machine.check_states(&states).is_err() {
+            return;
+        }
+        let coded = self.machine.encode_state_at(self.id, &states);
+        let next = round + 1;
+        self.engine
+            .restore(coded, next)
+            .expect("re-encoded state is state-dim wide");
+        if let Some(store) = self.store.as_mut() {
+            store
+                .install_snapshot(
+                    next,
+                    self.engine.coded_state_canonical(),
+                    self.admission
+                        .horizon
+                        .iter()
+                        .map(|(&c, &s)| (c, s))
+                        .collect(),
+                )
+                .expect("chaos transfer checkpoint");
+            self.commits_since_snapshot = 0;
+        }
+        self.admission.stats.resyncs += 1;
+        self.resyncs += 1;
+        self.event(Event::Resync);
+        // history before the transfer is no longer this node's to vouch
+        self.commits.clear();
+        self.vouched.clear();
+        self.first_recorded_round = next;
+        self.round = next;
+        self.fail_streak = 0;
+        self.phase = PhaseState::Idle;
+        net.set_timer(
+            self.id,
+            net.now() + 1,
+            self.tok(token::K_NEXT, self.round, 0),
+        );
+    }
+
+    // -- crash / restart -------------------------------------------------
+
+    /// Hard-kills the node: volatile state is gone; the store (if any)
+    /// keeps whatever was already fsynced.
+    pub(crate) fn crash(&mut self) {
+        if !self.alive {
+            return;
+        }
+        if matches!(self.phase, PhaseState::Resyncing { .. }) {
+            self.resync_interrupted = true;
+        }
+        self.alive = false;
+        self.phase = PhaseState::Idle;
+        self.store = None; // drop = close
+        self.stage_buffer.clear();
+        self.consensus_buffer.clear();
+        self.pending_results.clear();
+        self.commit_votes.clear();
+        self.submit_inbox.clear();
+        self.commits.clear();
+        self.vouched.clear();
+    }
+
+    /// Restarts a crashed durable node through the real recovery fold:
+    /// reopen the store, replay `snapshot + log`, seed the dedup
+    /// horizons, and rejoin (the behind-trigger resyncs it from peers).
+    /// Plain nodes stay down — a plain crash is final, as documented.
+    pub(crate) fn restart(&mut self, net: &mut SimNet) {
+        if self.alive {
+            return;
+        }
+        let Some(dir) = self.durable_dir.clone() else {
+            return;
+        };
+        self.epoch += 1;
+        let fp = store_fingerprint(self.machine.as_ref(), self.id, &self.initial_states);
+        let (store, recovered) = NodeStore::open(&dir, fp).expect("chaos store reopens");
+        let genesis = self.machine.encode_state_at(self.id, &self.initial_states);
+        let replayed = replay_local(self.machine.as_ref(), &recovered, genesis);
+        self.engine = RoundEngine::new(Arc::clone(&self.machine), self.id, &self.initial_states)
+            .expect("chaos spec states match the machine");
+        self.engine
+            .restore(replayed.coded_state.clone(), replayed.next_round)
+            .expect("replayed state is state-dim wide");
+        // WAL-before-ack, recovered: everything this node ever replied
+        // to must be covered by the replayed dedup horizons
+        for (&client, &seq) in &self.replied {
+            let covered = replayed.horizons.get(&client).is_some_and(|&h| h >= seq);
+            if !covered {
+                self.recovery_violations.push(format!(
+                    "node {}: replied to client {client} seq {seq} but recovered horizon {:?}",
+                    self.id,
+                    replayed.horizons.get(&client)
+                ));
+            }
+        }
+        self.admission = Admission::default();
+        self.admission.horizon = replayed.horizons;
+        self.store = Some(store);
+        self.commits_since_snapshot = 0;
+        self.round = replayed.next_round;
+        self.first_recorded_round = replayed.next_round;
+        self.commits.clear();
+        self.vouched.clear();
+        self.fail_streak = 0;
+        self.desynced = false;
+        self.alive = true;
+        self.phase = PhaseState::Idle;
+        net.set_timer(
+            self.id,
+            net.now() + 1,
+            self.tok(token::K_NEXT, self.round, 0),
+        );
+    }
+
+    // -- event entry points ---------------------------------------------
+
+    /// A frame delivered by the fabric. MAC verification happens here —
+    /// the chaos equivalent of the transport's inbound check.
+    pub(crate) fn on_frame(&mut self, net: &mut SimNet, frame: Frame) {
+        if !self.alive || matches!(self.phase, PhaseState::Halted) {
+            return;
+        }
+        if !frame.verify(&self.registry) {
+            self.mac_rejected += 1;
+            self.event_peer(frame.sig.signer.0, Event::MacRejected);
+            return;
+        }
+        let from = frame.sig.signer.0;
+        match &frame.payload {
+            Payload::Submit { .. } => self.submit_inbox.push(frame),
+            Payload::Stage {
+                round,
+                sender,
+                commands,
+            } => {
+                let (round, sender) = (*round, *sender as usize);
+                if sender != from {
+                    return;
+                }
+                if round == self.round
+                    && matches!(self.phase, PhaseState::Staging(Staging::Echo { .. }))
+                {
+                    let rows = commands.clone();
+                    self.on_stage_vote(net, sender, rows);
+                } else if round > self.round && round < self.round + BUFFER_ROUNDS {
+                    self.stage_buffer
+                        .entry(round)
+                        .or_default()
+                        .push((sender, commands.clone()));
+                }
+            }
+            Payload::BatchRelay { round, .. }
+            | Payload::BatchVote { round, .. }
+            | Payload::BatchViewChange { round, .. }
+            | Payload::BatchNewView { round, .. } => {
+                let round = *round;
+                if round == self.round && matches!(self.phase, PhaseState::Staging(_)) {
+                    self.on_consensus_frame(net, frame);
+                } else if round > self.round && round < self.round + BUFFER_ROUNDS {
+                    self.consensus_buffer.entry(round).or_default().push(frame);
+                }
+            }
+            Payload::Result {
+                round,
+                sender,
+                values,
+            } => {
+                let (round, sender) = (*round, *sender as usize);
+                if sender != from || sender >= self.cluster {
+                    return;
+                }
+                let vector: Vec<F> = values.iter().map(|&v| F::from_u64(v)).collect();
+                if round == self.round {
+                    if let PhaseState::Exchanging { core, .. } = &mut self.phase {
+                        core.record(sender, vector);
+                        if core.results_held() == self.cluster {
+                            self.finish_exchange(net);
+                        }
+                    } else {
+                        self.pending_results
+                            .entry(round)
+                            .or_default()
+                            .push((sender, vector));
+                    }
+                } else if round > self.round && round < self.round + BUFFER_ROUNDS {
+                    self.pending_results
+                        .entry(round)
+                        .or_default()
+                        .push((sender, vector));
+                }
+            }
+            Payload::Commit {
+                round,
+                sender,
+                digest,
+            } => {
+                let (round, sender, digest) = (*round, *sender as usize, *digest);
+                if sender != from {
+                    return;
+                }
+                self.commit_votes
+                    .entry(round)
+                    .or_default()
+                    .entry(sender)
+                    .or_insert(digest);
+            }
+            Payload::StateRequest { from_round } => {
+                let from_round = *from_round;
+                let Some(latest) = self.commits.iter().rev().flatten().next() else {
+                    return;
+                };
+                if latest.round < from_round {
+                    return;
+                }
+                let results: Vec<Vec<u64>> = latest
+                    .results
+                    .iter()
+                    .map(|row| row.iter().map(|x| x.to_canonical_u64()).collect())
+                    .collect();
+                let chunk = Payload::StateChunk {
+                    round: latest.round,
+                    digest: latest.digest,
+                    results,
+                };
+                if let Some(chunk) = crate::gateway::chunk_after_fault(chunk, self.behavior) {
+                    self.send(net, from, chunk);
+                    self.admission.stats.state_chunks_served += 1;
+                }
+            }
+            Payload::StateChunk {
+                round,
+                digest,
+                results,
+            } => {
+                let (round, digest) = (*round, *digest);
+                let results = results.clone();
+                self.on_state_chunk(net, from, round, digest, results);
+            }
+            Payload::Query { shard, client, qid } => {
+                let (shard, client, qid) = (*shard, *client, *qid);
+                if shard as usize >= self.machine.k() {
+                    return;
+                }
+                let Some(c) = self.commits.iter().rev().flatten().next() else {
+                    return;
+                };
+                let sd = self.machine.transition().state_dim();
+                let reply = Payload::QueryReply {
+                    shard,
+                    round: c.round,
+                    client,
+                    qid,
+                    value: c.results[shard as usize][..sd]
+                        .iter()
+                        .map(|x| x.to_canonical_u64())
+                        .collect(),
+                };
+                if let Some(reply) = reply_after_fault(reply, self.behavior) {
+                    self.send(net, client as usize, reply);
+                    self.admission.stats.queries_answered += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// A timer fired for this node.
+    pub(crate) fn on_timer(&mut self, net: &mut SimNet, tok: u64) {
+        if !self.alive || token::epoch(tok) != (self.epoch & 0xFF) {
+            return;
+        }
+        if matches!(self.phase, PhaseState::Halted) {
+            return;
+        }
+        match token::kind(tok) {
+            token::K_NEXT
+                if token::a(tok) == (self.round & 0xFFFF_FFFF)
+                    && matches!(self.phase, PhaseState::Idle) =>
+            {
+                self.start_round(net);
+            }
+            token::K_NEXT => {}
+            token::K_STAGE => {
+                if token::a(tok) != (self.round & 0xFFFF_FFFF) {
+                    return;
+                }
+                match &self.phase {
+                    PhaseState::Staging(Staging::Echo { .. }) => self.finish_staging(net, None),
+                    PhaseState::Staging(Staging::Ds { ds }) => {
+                        let decided = ds.decide().filter(|rows| self.batch_valid(rows));
+                        self.finish_staging(net, decided);
+                    }
+                    _ => {}
+                }
+            }
+            token::K_PBFT => {
+                if token::a(tok) != (self.round & 0xFFFF_FFFF) {
+                    return;
+                }
+                let view = token::b(tok);
+                let PhaseState::Staging(Staging::Pbft { pbft }) = &self.phase else {
+                    return;
+                };
+                if pbft.view() != view || pbft.decided().is_some() {
+                    return;
+                }
+                let valid = self.valid_fn();
+                let PhaseState::Staging(Staging::Pbft { pbft }) = &mut self.phase else {
+                    return;
+                };
+                let out = pbft.on_timeout(&valid);
+                let new_view = pbft.view();
+                let timeout = pbft.config().timeout_of(new_view).as_micros() as u64;
+                self.event(Event::ViewChange { view: new_view });
+                let round = self.round;
+                for msg in &out {
+                    let payload = PbftConsensus::to_wire(round, msg);
+                    self.broadcast(net, payload);
+                }
+                net.set_timer(
+                    self.id,
+                    net.now() + timeout,
+                    self.tok(token::K_PBFT, self.round, new_view),
+                );
+                self.check_pbft_decided(net);
+            }
+            token::K_EXCHANGE
+                if token::a(tok) == (self.round & 0xFFFF_FFFF)
+                    && matches!(self.phase, PhaseState::Exchanging { .. }) =>
+            {
+                self.finish_exchange(net);
+            }
+            token::K_EXCHANGE => {}
+            token::K_RESYNC => {
+                let PhaseState::Resyncing {
+                    sticky, attempt, ..
+                } = &self.phase
+                else {
+                    return;
+                };
+                if token::a(tok) != (*attempt & 0xFFFF_FFFF) {
+                    return;
+                }
+                if *sticky {
+                    let sticky = *sticky;
+                    self.enter_resync(net, sticky);
+                } else {
+                    // streak-only trigger with no quorum to transfer
+                    // from: keep participating in rounds
+                    self.phase = PhaseState::Idle;
+                    net.set_timer(
+                        self.id,
+                        net.now() + self.timing.idle_pause,
+                        self.tok(token::K_NEXT, self.round, 0),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}

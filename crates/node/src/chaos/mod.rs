@@ -1,0 +1,132 @@
+//! # Deterministic chaos harness (`csm-chaos`)
+//!
+//! A discrete-event simulation of a whole CSM cluster — gateways,
+//! durable stores, consensus backends, recovery paths, and a client
+//! swarm — driven by a single seed on a virtual clock. The network is
+//! the seeded [`csm_transport::sim::SimNet`] fabric; every node is a
+//! sans-I/O `actor::NodeActor` mirroring the `gateway_loop` round
+//! structure event-by-event, so protocol decisions (staging, exchange,
+//! decode, desync, resync, WAL-before-ack) are the *same code paths'
+//! semantics* exercised without threads or wall-clock time.
+//!
+//! ## The replay contract
+//!
+//! A run is a pure function of `(ChaosConfig, Schedule)`: the virtual
+//! clock, the fabric's seeded jitter/drop rolls, and the schedule are
+//! the only sources of ordering. [`runner::replay_check`] double-runs a
+//! schedule and compares telemetry traces, per-round commit digests,
+//! client acknowledgements, and ledgers bit-for-bit.
+//!
+//! ## What a run checks (`runner::check_run`)
+//!
+//! * **S1 — contained splits.** For every wire round, all honest nodes
+//!   that still *vouch* for the round (have not fail-stopped on the
+//!   desync check, resynced past it, or crashed) agree on one commit
+//!   digest. A divergence the protocol *detects* (fail-stop/resync) is
+//!   containment working — the documented leader-echo holes make
+//!   detected divergence reachable; an *unflagged* split is a safety
+//!   violation.
+//! * **S2 — no lost acknowledged command.** A client acknowledgement
+//!   requires `b + 1` matching replies, hence at least one honest
+//!   committer: every acked `(client, seq)` must appear in some honest
+//!   node's committed ledger. Durable restarts additionally assert the
+//!   replayed dedup horizons cover everything the node replied to
+//!   before crashing (WAL-before-ack made durable).
+//! * **S3 — liveness on heal.** Every generated schedule ends with a
+//!   full heal followed by a *probe* burst; scenarios assert the probe
+//!   is fully acknowledged by the horizon.
+//!
+//! ## Sizing note: when can a partition split commits?
+//!
+//! Commit digests cover the *decoded* word, so a batch divergence among
+//! `≤ b` nodes is corrected by the Reed–Solomon decode (they commit the
+//! majority's digest) and a divergence among `> b` nodes makes the word
+//! undecodable everywhere (nobody commits). The only way two honest
+//! groups commit *different* digests for a round is a partition where
+//! both sides decode from their own results alone — which needs the
+//! minority to reach the code dimension: `minority ≥ d^cap(K−1) + 1`.
+//! Under leader-echo the committing majority needs `N − b` nodes, so the
+//! minority has at most `b`: **sizing the code dimension above `b` makes
+//! partition-split commits impossible**, while `dim ≤ b` (large fault
+//! provisioning over a small code) admits the documented split-then-
+//! desync/resync flow — exercised by the `asymmetric_delay_leader`
+//! scenario. See `docs/CHAOS.md`.
+
+pub mod actor;
+pub mod client;
+pub mod runner;
+pub mod scenarios;
+pub mod schedule;
+pub mod shrink;
+
+pub use runner::{replay_check, run_schedule, ChaosConfig, ChaosRun, NodeOutcome, Violation};
+pub use schedule::{random_schedule, random_schedule_sync, ChaosEvent, Schedule};
+
+/// Timer-token kinds (bits 60–63 of a token). Tokens also carry the
+/// arming node's restart epoch (bits 52–59, so a timer armed before a
+/// crash is dead after the restart), a 32-bit `a` field (bits 20–51,
+/// usually the round) and a 20-bit `b` field (bits 0–19, e.g. the PBFT
+/// view).
+pub(crate) mod token {
+    /// Leader-echo / Dolev–Strong staging deadline (`a` = round).
+    pub(crate) const K_STAGE: u64 = 1;
+    /// Exchange finalization deadline (`a` = round).
+    pub(crate) const K_EXCHANGE: u64 = 2;
+    /// PBFT view timeout (`a` = round, `b` = view).
+    pub(crate) const K_PBFT: u64 = 4;
+    /// Start-next-round pacing tick (`a` = round to start).
+    pub(crate) const K_NEXT: u64 = 5;
+    /// Resync transfer deadline (`a` = attempt counter).
+    pub(crate) const K_RESYNC: u64 = 6;
+    /// Client retry tick (owner is the client endpoint).
+    pub(crate) const K_RETRY: u64 = 7;
+    /// Schedule control event (owner 0; `a` = event index).
+    pub(crate) const K_CONTROL: u64 = 15;
+
+    /// Packs `(kind, epoch, a, b)` into one token.
+    pub(crate) fn pack(kind: u64, epoch: u64, a: u64, b: u64) -> u64 {
+        (kind << 60) | ((epoch & 0xFF) << 52) | ((a & 0xFFFF_FFFF) << 20) | (b & 0xF_FFFF)
+    }
+
+    /// The token's kind bits.
+    pub(crate) fn kind(t: u64) -> u64 {
+        t >> 60
+    }
+
+    /// The token's epoch bits.
+    pub(crate) fn epoch(t: u64) -> u64 {
+        (t >> 52) & 0xFF
+    }
+
+    /// The token's `a` field.
+    pub(crate) fn a(t: u64) -> u64 {
+        (t >> 20) & 0xFFFF_FFFF
+    }
+
+    /// The token's `b` field.
+    pub(crate) fn b(t: u64) -> u64 {
+        t & 0xF_FFFF
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn token_roundtrip() {
+            let t = pack(K_PBFT, 3, 123_456, 77);
+            assert_eq!(kind(t), K_PBFT);
+            assert_eq!(epoch(t), 3);
+            assert_eq!(a(t), 123_456);
+            assert_eq!(b(t), 77);
+        }
+
+        #[test]
+        fn token_fields_mask() {
+            let t = pack(K_RETRY, 0x1FF, u64::MAX, u64::MAX);
+            assert_eq!(epoch(t), 0xFF);
+            assert_eq!(a(t), 0xFFFF_FFFF);
+            assert_eq!(b(t), 0xF_FFFF);
+        }
+    }
+}

@@ -1,0 +1,558 @@
+//! The discrete-event run loop: drives a cluster of `NodeActor`s and a
+//! `ClientSwarm` over a [`SimNet`] fabric according to a [`Schedule`],
+//! then audits the run for safety and (optionally) liveness.
+
+use crate::chaos::actor::{NodeActor, Timing};
+use crate::chaos::client::{small_commands, ClientSwarm, CommandGen};
+use crate::chaos::schedule::{ChaosEvent, Schedule};
+use crate::chaos::token;
+use crate::consensus::{ConsensusKind, StagingFault};
+use crate::BehaviorKind;
+use csm_algebra::{Field, Fp61};
+use csm_core::engine::CodedMachine;
+use csm_core::DecoderKind;
+use csm_network::auth::KeyRegistry;
+use csm_statemachine::machines::{
+    auction_machine, bank_machine, interest_machine, kv_machine, power_machine,
+};
+use csm_statemachine::PolyTransition;
+use csm_telemetry::{Event, ReplaySink, SharedSink};
+use csm_transport::sim::{LinkState, SimEvent, SimNet};
+use csm_transport::Frame;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Distinguishes chaos store directories across runs in one process.
+static RUN_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Which state machine the chaos cluster executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachineSpec {
+    /// `S′ = S + X` (degree 1) — the paper's bank-account workload.
+    Bank,
+    /// `S′ = S·(1 + X)` (degree 2) — compound interest.
+    Interest,
+    /// `S′ = S^d + X` — the degree-sweep machine.
+    Power(u32),
+    /// The 2-dimensional quadratic auction-pool machine.
+    Auction,
+    /// The keyed KV machine on this many slots (degree 2).
+    Kv(usize),
+}
+
+impl MachineSpec {
+    fn transition(self) -> PolyTransition<Fp61> {
+        match self {
+            MachineSpec::Bank => bank_machine(),
+            MachineSpec::Interest => interest_machine(),
+            MachineSpec::Power(d) => power_machine(d),
+            MachineSpec::Auction => auction_machine(),
+            MachineSpec::Kv(slots) => kv_machine(slots),
+        }
+    }
+}
+
+/// Full description of the cluster a schedule runs against. A run is a
+/// pure function of `(ChaosConfig, Schedule)`.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Cluster size `N`.
+    pub cluster: usize,
+    /// Shard count `K`.
+    pub shards: usize,
+    /// Provisioned fault bound `b`.
+    pub faults: usize,
+    /// The batch-agreement backend.
+    pub consensus: ConsensusKind,
+    /// Per-shard per-round aggregation cap.
+    pub batch_cap: usize,
+    /// Virtual client count (transport endpoints `N..N + clients`).
+    pub clients: usize,
+    /// Whether nodes run the durable (WAL + snapshot + resync) paths.
+    pub durable: bool,
+    /// Committed rounds between snapshots (durable mode).
+    pub snapshot_interval: u64,
+    /// Inject the torn-snapshot fault: `(node, ordinal)` crashes that
+    /// node at its `ordinal`-th (1-based) snapshot install, after the
+    /// WAL append and before the install lands.
+    pub torn_snapshot: Option<(usize, u64)>,
+    /// Per-node wire behavior overrides (default honest).
+    pub behaviors: Vec<(usize, BehaviorKind)>,
+    /// Per-node staging-fault overrides (default none).
+    pub staging_faults: Vec<(usize, StagingFault)>,
+    /// Which state machine the cluster executes.
+    pub machine: MachineSpec,
+    /// Command generator for the client swarm.
+    pub command_gen: CommandGen,
+    /// The fabric's default link (latency also scales the protocol
+    /// timeouts via `Timing::for_latency`).
+    pub default_link: LinkState,
+    /// Whether the audit also asserts S3 (probe fully acked): scenarios
+    /// set this; the random-schedule property sticks to safety, since a
+    /// random schedule may legitimately keep a minority partitioned for
+    /// most of its runtime.
+    pub check_liveness: bool,
+}
+
+impl ChaosConfig {
+    /// A small honest durability-off cluster; scenario builders override
+    /// fields from here.
+    pub fn new(cluster: usize, shards: usize, faults: usize) -> Self {
+        ChaosConfig {
+            cluster,
+            shards,
+            faults,
+            consensus: ConsensusKind::LeaderEcho,
+            batch_cap: 2,
+            clients: 4,
+            durable: false,
+            snapshot_interval: 4,
+            torn_snapshot: None,
+            behaviors: Vec::new(),
+            staging_faults: Vec::new(),
+            machine: MachineSpec::Bank,
+            command_gen: small_commands,
+            default_link: LinkState::default(),
+            check_liveness: false,
+        }
+    }
+
+    fn behavior_of(&self, node: usize) -> BehaviorKind {
+        self.behaviors
+            .iter()
+            .find(|(n, _)| *n == node)
+            .map_or(BehaviorKind::Honest, |(_, b)| *b)
+    }
+
+    fn staging_fault_of(&self, node: usize) -> StagingFault {
+        self.staging_faults
+            .iter()
+            .find(|(n, _)| *n == node)
+            .map_or(StagingFault::None, |(_, f)| *f)
+    }
+
+    /// Whether `node` is configured fully honest (the safety checks
+    /// quantify over honest nodes only).
+    pub fn is_honest(&self, node: usize) -> bool {
+        self.behavior_of(node) == BehaviorKind::Honest
+            && self.staging_fault_of(node) == StagingFault::None
+    }
+
+    fn build_machine(&self) -> Arc<CodedMachine<Fp61>> {
+        Arc::new(
+            CodedMachine::with_program_cap(
+                self.cluster,
+                self.shards,
+                self.machine.transition(),
+                DecoderKind::BerlekampWelch,
+                self.batch_cap,
+            )
+            .expect("chaos config machine dimensions fit the cluster"),
+        )
+    }
+
+    fn initial_states(&self, machine: &CodedMachine<Fp61>) -> Vec<Vec<Fp61>> {
+        let sd = machine.transition().state_dim();
+        (0..self.shards)
+            .map(|j| {
+                (0..sd)
+                    .map(|c| Fp61::from_u64((1 + j + c) as u64))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// One safety/liveness breach found by the post-run audit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Two honest nodes vouch for different digests of one wire round —
+    /// an *undetected* split (S1).
+    DigestSplit {
+        /// The split wire round.
+        round: u64,
+        /// `(node, digest)` of every honest voucher.
+        digests: Vec<(usize, u64)>,
+    },
+    /// An acknowledged command is in no honest node's committed ledger
+    /// (S2): the ack quorum lied or the command was lost.
+    LostAck {
+        /// The acked client (transport endpoint id).
+        client: u64,
+        /// The acked sequence number.
+        seq: u64,
+    },
+    /// A client collected `b + 1` matching replies for two *different*
+    /// outputs of one command.
+    ConflictingAcks {
+        /// How many commands double-acked.
+        count: u64,
+    },
+    /// A restarted node's replayed dedup horizons did not cover a reply
+    /// it sent before crashing (the WAL-before-ack contract).
+    RecoveryHorizon {
+        /// Human-readable description from the restart assertion.
+        detail: String,
+    },
+    /// Probe commands left unacknowledged at the horizon (S3; only
+    /// checked when [`ChaosConfig::check_liveness`] is set).
+    ProbeUnacked {
+        /// The unacked `(client, seq)` pairs.
+        missing: Vec<(u64, u64)>,
+    },
+}
+
+/// Per-node summary of a finished run (comparable across replays).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeOutcome {
+    /// The node id.
+    pub node: usize,
+    /// Still running at the horizon.
+    pub alive: bool,
+    /// Fail-stopped on the desync check (plain mode).
+    pub desynced: bool,
+    /// Completed state transfers.
+    pub resyncs: u64,
+    /// A crash landed while a state transfer was in flight.
+    pub resync_interrupted: bool,
+    /// Rounds that ended in decode failure.
+    pub decode_failures: u64,
+    /// Client commands this node committed.
+    pub commands_committed: u64,
+    /// The node's wire round at the horizon.
+    pub final_round: u64,
+    /// Every digest the node ever committed, per wire round (survives
+    /// resyncs — the audit's split witness).
+    pub digest_history: BTreeMap<u64, Vec<u64>>,
+}
+
+/// Everything a finished run exposes to tests and the CLI. Two runs of
+/// the same `(config, schedule)` must compare equal — that *is* the
+/// replay contract ([`replay_check`] asserts it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosRun {
+    /// Audit findings, empty on a clean run.
+    pub violations: Vec<Violation>,
+    /// Per-node summaries.
+    pub nodes: Vec<NodeOutcome>,
+    /// Acked `(client, seq) → output` across the swarm.
+    pub acked: BTreeMap<(u64, u64), Vec<u64>>,
+    /// Probe pairs still unacked at the horizon (informational when
+    /// liveness is not asserted).
+    pub unacked_probes: Vec<(u64, u64)>,
+    /// The deterministic telemetry event trace (the replay witness).
+    pub events: Vec<(usize, u64, Option<usize>, Event)>,
+    /// The virtual tick the run stopped at.
+    pub horizon: u64,
+}
+
+impl ChaosRun {
+    /// Whether the audit passed.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Total commands committed across the cluster.
+    pub fn total_committed(&self) -> u64 {
+        self.nodes.iter().map(|n| n.commands_committed).sum()
+    }
+}
+
+/// Items buffered while their node is paused (clock-stopped).
+enum PausedItem {
+    Frame(Frame),
+    Timer(u64),
+}
+
+/// Runs `schedule` against `config` and audits the result.
+///
+/// # Panics
+///
+/// Panics on configuration errors (machine does not fit the cluster,
+/// store directory not creatable) — never on protocol behavior; protocol
+/// misbehavior is reported as [`Violation`]s.
+pub fn run_schedule(config: &ChaosConfig, schedule: &Schedule) -> ChaosRun {
+    let machine = config.build_machine();
+    let initial_states = config.initial_states(&machine);
+    let registry = Arc::new(KeyRegistry::new(
+        config.cluster + config.clients,
+        schedule.seed ^ 0x5EED,
+    ));
+    let sink = Arc::new(ReplaySink::new());
+    let shared: SharedSink = Arc::clone(&sink) as SharedSink;
+    let timing = Timing::for_latency(config.default_link.latency);
+    let run_id = RUN_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let store_root =
+        std::env::temp_dir().join(format!("csm-chaos-{}-{run_id}", std::process::id()));
+
+    let control = config.cluster + config.clients;
+    let mut net = SimNet::new(control + 1, schedule.seed, config.default_link);
+    let mut actors: Vec<NodeActor<Fp61>> = (0..config.cluster)
+        .map(|id| {
+            let dir = config.durable.then(|| store_root.join(format!("node{id}")));
+            NodeActor::new(
+                id,
+                Arc::clone(&machine),
+                initial_states.clone(),
+                Arc::clone(&registry),
+                config.consensus,
+                config.faults,
+                config.batch_cap,
+                config.behavior_of(id),
+                config.staging_fault_of(id),
+                timing,
+                dir,
+                config.snapshot_interval,
+                config
+                    .torn_snapshot
+                    .and_then(|(node, ordinal)| (node == id).then_some(ordinal)),
+                Arc::clone(&shared),
+            )
+        })
+        .collect();
+    let mut swarm = ClientSwarm::new(
+        config.cluster,
+        config.faults,
+        config.shards,
+        machine.transition().input_dim(),
+        schedule.seed,
+        Arc::clone(&registry),
+        config.command_gen,
+        8 * timing.delta,
+    );
+
+    for (i, (tick, _)) in schedule.events.iter().enumerate() {
+        net.set_timer(
+            control,
+            *tick,
+            token::pack(token::K_CONTROL, 0, i as u64, 0),
+        );
+    }
+    for actor in &actors {
+        actor.start(&mut net, 1);
+    }
+
+    let mut paused = vec![false; config.cluster];
+    let mut pause_buffer: Vec<Vec<PausedItem>> = (0..config.cluster).map(|_| Vec::new()).collect();
+
+    while let Some((now, event)) = net.pop() {
+        if now > schedule.horizon {
+            break;
+        }
+        match event {
+            SimEvent::Timer { owner, token: tok } => {
+                if owner == control {
+                    if token::kind(tok) == token::K_CONTROL {
+                        let idx = token::a(tok) as usize;
+                        if let Some((_, ev)) = schedule.events.get(idx) {
+                            apply_event(
+                                ev,
+                                &mut net,
+                                &mut actors,
+                                &mut swarm,
+                                &mut paused,
+                                &mut pause_buffer,
+                            );
+                        }
+                    }
+                } else if owner < config.cluster {
+                    if paused[owner] {
+                        pause_buffer[owner].push(PausedItem::Timer(tok));
+                    } else {
+                        actors[owner].on_timer(&mut net, tok);
+                    }
+                } else {
+                    swarm.on_timer(&mut net, owner, tok);
+                }
+            }
+            SimEvent::Deliver { to, frame, .. } => {
+                if to < config.cluster {
+                    if paused[to] {
+                        pause_buffer[to].push(PausedItem::Frame(frame));
+                    } else {
+                        actors[to].on_frame(&mut net, frame);
+                    }
+                } else if to < control {
+                    swarm.on_frame(to, frame);
+                }
+            }
+        }
+    }
+
+    let run = audit(config, schedule, &actors, &swarm, sink.event_log());
+    drop(actors); // close stores before removing their directories
+    if config.durable {
+        let _ = std::fs::remove_dir_all(&store_root);
+    }
+    run
+}
+
+fn apply_event(
+    event: &ChaosEvent,
+    net: &mut SimNet,
+    actors: &mut [NodeActor<Fp61>],
+    swarm: &mut ClientSwarm,
+    paused: &mut [bool],
+    pause_buffer: &mut [Vec<PausedItem>],
+) {
+    match event {
+        ChaosEvent::Partition { a, b } => net.partition(a, b),
+        ChaosEvent::Heal => net.heal_all(),
+        ChaosEvent::SetLink { from, to, link } => net.set_link(*from, *to, *link),
+        ChaosEvent::Crash { node } => {
+            if let Some(actor) = actors.get_mut(*node) {
+                actor.crash();
+                paused[*node] = false;
+                pause_buffer[*node].clear();
+            }
+        }
+        ChaosEvent::Restart { node } => {
+            if let Some(actor) = actors.get_mut(*node) {
+                actor.restart(net);
+            }
+        }
+        ChaosEvent::Pause { node } => {
+            if let Some(flag) = paused.get_mut(*node) {
+                *flag = true;
+            }
+        }
+        ChaosEvent::Resume { node } => {
+            let Some(flag) = paused.get_mut(*node) else {
+                return;
+            };
+            if !*flag {
+                return;
+            }
+            *flag = false;
+            for item in std::mem::take(&mut pause_buffer[*node]) {
+                match item {
+                    PausedItem::Frame(frame) => actors[*node].on_frame(net, frame),
+                    PausedItem::Timer(tok) => actors[*node].on_timer(net, tok),
+                }
+            }
+        }
+        ChaosEvent::Burst {
+            first_client,
+            clients,
+            commands,
+            probe,
+        } => swarm.burst(net, *first_client, *clients, *commands, *probe),
+    }
+}
+
+/// The post-run audit: S1 over vouched digests, S2 over the ack set,
+/// recovery-horizon assertions, conflicting-ack detection, and S3 when
+/// the config asks for it.
+fn audit(
+    config: &ChaosConfig,
+    schedule: &Schedule,
+    actors: &[NodeActor<Fp61>],
+    swarm: &ClientSwarm,
+    events: Vec<(usize, u64, Option<usize>, Event)>,
+) -> ChaosRun {
+    let mut violations = Vec::new();
+    let honest: Vec<usize> = (0..config.cluster)
+        .filter(|&n| config.is_honest(n))
+        .collect();
+
+    // S1: per wire round, honest nodes still vouching agree on one digest
+    let mut rounds: BTreeSet<u64> = BTreeSet::new();
+    for &n in &honest {
+        rounds.extend(actors[n].vouched.keys().copied());
+    }
+    for round in rounds {
+        let digests: Vec<(usize, u64)> = honest
+            .iter()
+            .filter_map(|&n| actors[n].vouched.get(&round).map(|&d| (n, d)))
+            .collect();
+        let distinct: BTreeSet<u64> = digests.iter().map(|&(_, d)| d).collect();
+        if distinct.len() > 1 {
+            violations.push(Violation::DigestSplit { round, digests });
+        }
+    }
+
+    // S2: every acked (client, seq) is in some honest node's ledger
+    for &(client, seq) in swarm.acked.keys() {
+        let witnessed = honest
+            .iter()
+            .any(|&n| actors[n].ever_committed.contains_key(&(client, seq)));
+        if !witnessed {
+            violations.push(Violation::LostAck { client, seq });
+        }
+    }
+    if swarm.conflicting_acks > 0 {
+        violations.push(Violation::ConflictingAcks {
+            count: swarm.conflicting_acks,
+        });
+    }
+    for actor in actors {
+        for detail in &actor.recovery_violations {
+            violations.push(Violation::RecoveryHorizon {
+                detail: detail.clone(),
+            });
+        }
+    }
+
+    let unacked_probes = swarm.unacked_probes();
+    if config.check_liveness && !unacked_probes.is_empty() {
+        violations.push(Violation::ProbeUnacked {
+            missing: unacked_probes.clone(),
+        });
+    }
+
+    let nodes = actors
+        .iter()
+        .map(|a| NodeOutcome {
+            node: a.id,
+            alive: a.alive,
+            desynced: a.desynced,
+            resyncs: a.resyncs,
+            resync_interrupted: a.resync_interrupted,
+            decode_failures: a.decode_failures,
+            commands_committed: a.stats().commands_committed,
+            final_round: a.round,
+            digest_history: a.digest_history.clone(),
+        })
+        .collect();
+
+    ChaosRun {
+        violations,
+        nodes,
+        acked: swarm.acked.clone(),
+        unacked_probes,
+        events,
+        horizon: schedule.horizon,
+    }
+}
+
+/// Runs `schedule` twice and verifies the replay contract: traces,
+/// digests, ledgers, and acks must be bit-for-bit identical.
+///
+/// # Errors
+///
+/// Returns the first observed divergence as a description (this is a
+/// determinism bug in the harness or the protocol code, not a scheduled
+/// fault).
+pub fn replay_check(config: &ChaosConfig, schedule: &Schedule) -> Result<ChaosRun, String> {
+    let first = run_schedule(config, schedule);
+    let second = run_schedule(config, schedule);
+    if first.events != second.events {
+        let at = first
+            .events
+            .iter()
+            .zip(&second.events)
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| first.events.len().min(second.events.len()));
+        return Err(format!(
+            "replay divergence: event traces differ at index {at} \
+             ({} vs {} events)",
+            first.events.len(),
+            second.events.len()
+        ));
+    }
+    if first != second {
+        return Err("replay divergence: runs differ outside the event trace".to_string());
+    }
+    Ok(first)
+}

@@ -1,0 +1,94 @@
+//! Greedy schedule minimization: when a randomized run finds a
+//! violation, shrink the failing [`Schedule`] to a locally-minimal
+//! reproducer before reporting it.
+//!
+//! The loop is the classic delta-debugging fixpoint: try removing each
+//! event, halving each burst, and shortening the horizon; keep any
+//! mutation that still fails, restart from the smaller schedule, stop
+//! when nothing shrinks. Deterministic replay makes "still fails" a pure
+//! re-run, so the whole loop is itself replayable.
+
+use crate::chaos::runner::{run_schedule, ChaosConfig, ChaosRun};
+use crate::chaos::schedule::{ChaosEvent, Schedule};
+
+/// Whether a run still exhibits the failure being minimized.
+fn fails(config: &ChaosConfig, schedule: &Schedule) -> bool {
+    !run_schedule(config, schedule).clean()
+}
+
+/// Candidate one-step shrinks of `schedule`, roughly largest-first.
+fn candidates(schedule: &Schedule) -> Vec<Schedule> {
+    let mut out = Vec::new();
+    // drop each event (skip probe bursts: removing the probe would
+    // vacuously "fix" a liveness failure)
+    for i in 0..schedule.events.len() {
+        if matches!(schedule.events[i].1, ChaosEvent::Burst { probe: true, .. }) {
+            continue;
+        }
+        let mut s = schedule.clone();
+        s.events.remove(i);
+        out.push(s);
+    }
+    // halve each burst's load
+    for i in 0..schedule.events.len() {
+        if let ChaosEvent::Burst {
+            clients, commands, ..
+        } = schedule.events[i].1
+        {
+            if clients > 1 || commands > 1 {
+                let mut s = schedule.clone();
+                if let ChaosEvent::Burst {
+                    clients, commands, ..
+                } = &mut s.events[i].1
+                {
+                    *clients = (*clients / 2).max(1);
+                    *commands = (*commands / 2).max(1);
+                }
+                out.push(s);
+            }
+        }
+    }
+    // shorten the horizon (keep every scheduled event inside it)
+    let last_event = schedule.events.iter().map(|(t, _)| *t).max().unwrap_or(0);
+    let shorter = (schedule.horizon * 3 / 4).max(last_event + 1);
+    if shorter < schedule.horizon {
+        let mut s = schedule.clone();
+        s.horizon = shorter;
+        out.push(s);
+    }
+    out
+}
+
+/// Minimizes a failing schedule to a local fixpoint: the returned
+/// schedule still fails, and no single candidate shrink of it does.
+/// Returns `(minimized, shrink_steps_taken)`; if `schedule` does not
+/// fail in the first place it is returned unchanged with 0 steps.
+pub fn shrink(config: &ChaosConfig, schedule: &Schedule) -> (Schedule, usize) {
+    if !fails(config, schedule) {
+        return (schedule.clone(), 0);
+    }
+    let mut current = schedule.clone();
+    let mut steps = 0;
+    loop {
+        let mut improved = false;
+        for candidate in candidates(&current) {
+            if fails(config, &candidate) {
+                current = candidate;
+                steps += 1;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return (current, steps);
+        }
+    }
+}
+
+/// Convenience wrapper for the CLI: minimize, then re-run the minimized
+/// schedule and return its (still failing) report alongside it.
+pub fn shrink_report(config: &ChaosConfig, schedule: &Schedule) -> (Schedule, usize, ChaosRun) {
+    let (min, steps) = shrink(config, schedule);
+    let run = run_schedule(config, &min);
+    (min, steps, run)
+}

@@ -176,7 +176,7 @@ pub enum StagingFault {
 /// The alternative batch an equivocating leader shows the other half of
 /// the cluster: the honest proposal minus its first row (still a valid
 /// batch — distinct shards, genuine client MACs).
-fn equivocation_variant(rows: &BatchRows) -> BatchRows {
+pub(crate) fn equivocation_variant(rows: &BatchRows) -> BatchRows {
     if rows.is_empty() {
         Vec::new()
     } else {
@@ -188,7 +188,7 @@ fn equivocation_variant(rows: &BatchRows) -> BatchRows {
 /// broadcasts: the honest pending batch with its first row appended
 /// twice more (over the per-shard cap at `batch_cap = 1`, and a
 /// duplicated `(client, seq)` at any cap).
-fn overcap_variant(rows: &BatchRows) -> BatchRows {
+pub(crate) fn overcap_variant(rows: &BatchRows) -> BatchRows {
     let mut out = rows.to_vec();
     if let Some(first) = rows.first() {
         out.push(first.clone());
@@ -497,7 +497,7 @@ pub struct PbftConsensus {
 const STOP_POLL_INTERVAL: Duration = Duration::from_millis(200);
 
 impl PbftConsensus {
-    fn to_wire(round: u64, msg: &PbftBatchMsg) -> Payload {
+    pub(crate) fn to_wire(round: u64, msg: &PbftBatchMsg) -> Payload {
         match msg {
             PbftBatchMsg::PrePrepare { view, rows, sig } => Payload::BatchVote {
                 round,
@@ -539,7 +539,7 @@ impl PbftConsensus {
 
     /// Decodes a wire frame into the adapter message it carries, binding
     /// inner vote signatures to the frame signer where they are implicit.
-    fn from_wire(payload: Payload, frame_signer: usize) -> Option<PbftBatchMsg> {
+    pub(crate) fn from_wire(payload: Payload, frame_signer: usize) -> Option<PbftBatchMsg> {
         match payload {
             Payload::BatchVote {
                 view,

@@ -527,21 +527,21 @@ impl ReplyCache {
 
 /// Where admission incidents are reported and which `(node, round)`
 /// they are attributed to.
-struct EventScope<'a> {
-    sink: &'a dyn Sink,
-    node: usize,
-    round: u64,
+pub(crate) struct EventScope<'a> {
+    pub(crate) sink: &'a dyn Sink,
+    pub(crate) node: usize,
+    pub(crate) round: u64,
 }
 
 impl EventScope<'_> {
-    fn event(&self, event: Event) {
+    pub(crate) fn event(&self, event: Event) {
         self.sink.event(self.node, self.round, None, event);
     }
 }
 
 /// The admission state: pending queue, dedup index, and reply cache.
 #[derive(Debug, Default)]
-struct Admission {
+pub(crate) struct Admission {
     queue: VecDeque<BatchEntry>,
     queued: BTreeSet<(u64, u64)>,
     /// Pending-command count per client (the fairness quota); entries are
@@ -550,17 +550,17 @@ struct Admission {
     /// Per client: highest committed seq — the dedup/replay horizon. This
     /// is the only per-client state kept for a client's whole lifetime,
     /// and it is one `u64`, not a payload.
-    horizon: BTreeMap<u64, u64>,
+    pub(crate) horizon: BTreeMap<u64, u64>,
     /// Cached reply payloads for not-yet-acknowledged committed commands.
     replies: ReplyCache,
-    stats: GatewayStats,
+    pub(crate) stats: GatewayStats,
 }
 
 impl Admission {
     /// Runs the admission pass over freshly drained `Submit` frames,
     /// reporting per-client drop/dedup/replay incidents into `scope`.
     /// Returns cache replays to send (`(client, payload)` pairs).
-    fn admit(
+    pub(crate) fn admit(
         &mut self,
         frames: Vec<Frame>,
         shards: usize,
@@ -645,7 +645,7 @@ impl Admission {
     /// clients pending on a shard, every one of them is guaranteed
     /// `⌈batch_cap / c⌉` slots per round. Entries stay queued until
     /// they appear in a *committed* batch.
-    fn build_batch(&self, shards: usize, batch_cap: usize) -> Vec<BatchEntry> {
+    pub(crate) fn build_batch(&self, shards: usize, batch_cap: usize) -> Vec<BatchEntry> {
         let cap = batch_cap.max(1);
         // per shard: each client's pending commands, in arrival order
         let mut per_shard: Vec<BTreeMap<u64, VecDeque<&BatchEntry>>> =
@@ -687,7 +687,7 @@ impl Admission {
     /// tracks the highest seq, while the cache keeps every reply (bounded
     /// by `batch_cap` per client) until acknowledged. Returns the clients
     /// whose cached replies the global cache cap evicted.
-    fn record_done(
+    pub(crate) fn record_done(
         &mut self,
         entry: &BatchEntry,
         reply: Payload,
@@ -700,6 +700,29 @@ impl Admission {
             .is_none_or(|&s| s < entry.seq)
         {
             self.horizon.insert(entry.client, entry.seq);
+            // per-shard queues are independent, so a commit on one shard
+            // can leapfrog the horizon past the client's still-pending
+            // commands on another shard. Those entries can never commit
+            // (every honest validity predicate now rejects them as
+            // replays), and one left in the queue poisons every batch the
+            // leader aggregates it into — a permanent staging livelock.
+            // Purge them the moment the horizon moves.
+            let stale: Vec<(u64, u64)> = self
+                .queued
+                .iter()
+                .filter(|&&(c, s)| c == entry.client && s < entry.seq)
+                .copied()
+                .collect();
+            for key in stale {
+                self.queued.remove(&key);
+                self.queue.retain(|e| (e.client, e.seq) != key);
+                if let Some(n) = self.pending_per_client.get_mut(&entry.client) {
+                    *n = n.saturating_sub(1);
+                    if *n == 0 {
+                        self.pending_per_client.remove(&entry.client);
+                    }
+                }
+            }
         }
         // cache unconditionally: batch validity already guaranteed every
         // committed (client, seq) is unique and above the pre-round
@@ -1282,7 +1305,7 @@ fn answer_queries<F: Field, T: Transport>(
 /// Applies the node's Byzantine behavior to a served state chunk: an
 /// equivocator perturbs the results (leaving the claimed digest — the
 /// rejoiner's digest check must catch it), a withholder serves nothing.
-fn chunk_after_fault(chunk: Payload, behavior: BehaviorKind) -> Option<Payload> {
+pub(crate) fn chunk_after_fault(chunk: Payload, behavior: BehaviorKind) -> Option<Payload> {
     match behavior {
         BehaviorKind::Withhold => None,
         BehaviorKind::Equivocate => {
@@ -1309,7 +1332,7 @@ fn chunk_after_fault(chunk: Payload, behavior: BehaviorKind) -> Option<Payload> 
 
 /// How many trailing rounds the desync check inspects (commit gossip for
 /// a round keeps arriving during the following rounds).
-const DESYNC_WINDOW: u64 = 4;
+pub(crate) const DESYNC_WINDOW: u64 = 4;
 
 /// Whether `b + 1` peers announced a common commit digest this node does
 /// not hold for any recent round. At most `b` Byzantine peers exist, so
@@ -1358,7 +1381,7 @@ fn desynced<F>(
 /// per-round program is answered with the shard's *post-program* result
 /// — deterministic across honest nodes, so the client's `b + 1` matching
 /// rule is unaffected by aggregation.
-fn reply_payload<F: Field>(entry: &BatchEntry, commit: &RoundCommit<F>) -> Payload {
+pub(crate) fn reply_payload<F: Field>(entry: &BatchEntry, commit: &RoundCommit<F>) -> Payload {
     Payload::Reply {
         shard: entry.shard as u64,
         round: commit.round,
@@ -1375,7 +1398,7 @@ fn reply_payload<F: Field>(entry: &BatchEntry, commit: &RoundCommit<F>) -> Paylo
 /// and read-query replies alike): equivocators send a corrupted output
 /// (each client must survive `b` wrong replies), withholders send
 /// nothing. This is what the client-side `b + 1` rule is tested against.
-fn reply_after_fault(reply: Payload, behavior: BehaviorKind) -> Option<Payload> {
+pub(crate) fn reply_after_fault(reply: Payload, behavior: BehaviorKind) -> Option<Payload> {
     match behavior {
         BehaviorKind::Withhold => None,
         BehaviorKind::Equivocate => match reply {
@@ -1678,6 +1701,66 @@ mod tests {
         // the next round's first submission acks the whole last program
         adm.admit(vec![submit(501 + 50 * cap)], 1, 1, &cfg, &test_scope());
         assert_eq!(adm.replies.len(), 0);
+    }
+
+    #[test]
+    fn horizon_advance_purges_leapfrogged_queue_entries() {
+        // per-shard queues are independent: a client's seq 1 (shard 1)
+        // can commit in a round that never picked up its still-pending
+        // seq 0 (shard 0). Seq 0 is then permanently below the dedup
+        // horizon — every honest validity predicate rejects any batch
+        // containing it as a replay — so leaving it queued poisons every
+        // program the leader aggregates it into (a staging livelock the
+        // chaos harness reproduces from seed). The horizon advance must
+        // purge it.
+        let reg = registry();
+        let submit = |seq: u64, shard: u64| {
+            Frame::sign(
+                Payload::Submit {
+                    shard,
+                    client: 8,
+                    seq,
+                    command: vec![1],
+                },
+                &reg,
+                NodeId(8),
+            )
+        };
+        let cfg = test_cfg(100);
+        let mut adm = Admission::default();
+        adm.admit(vec![submit(0, 0), submit(1, 1)], 2, 1, &cfg, &test_scope());
+        assert_eq!(adm.queue.len(), 2);
+
+        // a round led elsewhere commits only seq 1
+        let reply = Payload::Reply {
+            shard: 1,
+            round: 0,
+            client: 8,
+            seq: 1,
+            output: vec![1],
+        };
+        adm.record_done(
+            &entry(&reg, 8, 1, 1, vec![1]),
+            reply,
+            1,
+            cfg.reply_cache_cap,
+        );
+        assert_eq!(adm.horizon.get(&8), Some(&1));
+
+        // the leapfrogged seq 0 is gone root and branch: not in the
+        // queue, not in the dedup set, no pending-count residue — and
+        // the next program this node would lead with is valid again
+        assert!(adm.queue.is_empty());
+        assert!(adm.queued.is_empty());
+        assert!(adm.pending_per_client.is_empty());
+        assert!(adm.build_batch(2, 1).is_empty());
+
+        // a retry of the purged command is below the horizon: treated as
+        // a replay (no cached reply — it never committed), never
+        // re-queued
+        adm.admit(vec![submit(0, 0)], 2, 1, &cfg, &test_scope());
+        assert!(adm.queue.is_empty());
+        assert_eq!(adm.stats.replay_misses, 1);
     }
 
     #[test]

@@ -38,6 +38,15 @@
 //! `--format json` emits the full audit document (evidence records
 //! included); `--format prometheus` emits the text exposition.
 //!
+//! ```text
+//! # the deterministic chaos harness (virtual clock, no sockets): run
+//! # the curated scenario corpus, one scenario, or seeded random fault
+//! # schedules — failing random seeds are shrunk to a minimal reproducer
+//! csm-node chaos                      # whole corpus, replay-checked
+//! csm-node chaos --scenario kv_chaos  # one scenario (--list to see all)
+//! csm-node chaos --seed 7 --random 25 # 25 random schedules from seed 7
+//! ```
+//!
 //! `gateway` hosts a whole client-serving bank cluster over loopback TCP
 //! (gateway node threads plus closed-loop `csm-client` endpoints),
 //! agreeing each round's batch with the backend selected by
@@ -130,7 +139,9 @@ fn usage() -> ! {
          --delta-ms D --clients M --commands C --consensus leader-echo|dolev-strong|pbft \
          --staging-fault ID:equivocate|withhold]\n  csm-node audit [--n N --k K --faults B \
          --seed S --delta-ms D --clients M --commands C --consensus KIND \
-         --byzantine ID:KIND --format text|json|prometheus]\n  (all subcommands: --log-level \
+         --byzantine ID:KIND --format text|json|prometheus]\n  csm-node chaos [--scenario \
+         NAME|all | --list | --seed S --random COUNT --n N --clients M --durable \
+         --consensus KIND]\n  (all subcommands: --log-level \
          error|warn|info|debug|trace, default from CSM_LOG)"
     );
     std::process::exit(2)
@@ -188,7 +199,144 @@ fn main() {
         Some("launch") => cmd_launch(&argv[2..]),
         Some("gateway") => cmd_gateway(&argv[2..]),
         Some("audit") => cmd_audit(&argv[2..]),
+        Some("chaos") => cmd_chaos(&argv[2..]),
         _ => usage(),
+    }
+}
+
+/// Runs the deterministic chaos harness: the curated scenario corpus
+/// (each run twice and compared bit-for-bit — the replay contract), one
+/// named scenario, or seeded random fault schedules. A failing random
+/// seed is shrunk to a minimal reproducer before it is printed. Exits
+/// non-zero on any safety/liveness violation or replay divergence.
+fn cmd_chaos(rest: &[String]) {
+    use csm_node::chaos::{
+        random_schedule, random_schedule_sync, replay_check, run_schedule, scenarios, ChaosConfig,
+    };
+    use csm_node::consensus::ConsensusKind;
+
+    let mut scenario: Option<String> = None;
+    let mut seed: Option<u64> = None;
+    let mut random_count = 1usize;
+    let mut cluster = 4usize;
+    let mut clients = 6usize;
+    let mut durable = false;
+    let mut consensus = ConsensusKind::LeaderEcho;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--list" => {
+                for s in scenarios::all() {
+                    println!("{:28} {}", s.name, s.summary);
+                }
+                return;
+            }
+            "--durable" => {
+                durable = true;
+                continue;
+            }
+            _ => {}
+        }
+        let value = it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--scenario" => scenario = Some(value.clone()),
+            "--seed" => seed = Some(value.parse().expect("--seed")),
+            "--random" => random_count = value.parse().expect("--random"),
+            "--n" => cluster = value.parse().expect("--n"),
+            "--clients" => clients = value.parse().expect("--clients"),
+            "--consensus" => {
+                consensus = value.parse().unwrap_or_else(|e| {
+                    csm_telemetry::error!("--consensus: {e}");
+                    std::process::exit(2);
+                })
+            }
+            "--log-level" => match csm_telemetry::LogLevel::from_str_opt(value) {
+                Some(level) => csm_telemetry::logger::set_level(level),
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+
+    // seeded random schedules: the CI randomized job's entry point
+    if let Some(seed) = seed {
+        let mut config = ChaosConfig::new(cluster, 2, 1);
+        config.consensus = consensus;
+        config.durable = durable;
+        config.clients = clients;
+        let mut failed = false;
+        for s in seed..seed + random_count as u64 {
+            // Dolev–Strong assumes synchrony: draw its schedules from
+            // the partition-free, loss-free generator (docs/CHAOS.md)
+            let schedule = match consensus {
+                ConsensusKind::DolevStrong => random_schedule_sync(s, cluster, clients, durable),
+                _ => random_schedule(s, cluster, clients, durable),
+            };
+            let run = run_schedule(&config, &schedule);
+            if run.clean() {
+                println!(
+                    "seed {s:#018x}: OK ({} acks, {} events)",
+                    run.acked.len(),
+                    run.events.len()
+                );
+                continue;
+            }
+            failed = true;
+            println!("seed {s:#018x}: FAILED: {:?}", run.violations);
+            let (min, steps, min_run) = csm_node::chaos::shrink::shrink_report(&config, &schedule);
+            println!(
+                "  shrunk in {steps} steps to {} events over {} ticks \
+                 (violations: {:?}):",
+                min.events.len(),
+                min.horizon,
+                min_run.violations
+            );
+            for (at, event) in &min.events {
+                println!("    t={at}: {event:?}");
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    // the curated corpus (default), or one scenario by name
+    let corpus: Vec<scenarios::Scenario> = match scenario.as_deref() {
+        None | Some("all") => scenarios::all(),
+        Some(name) => match scenarios::by_name(name) {
+            Some(s) => vec![s],
+            None => {
+                csm_telemetry::error!(
+                    "unknown scenario {name:?}; `csm-node chaos --list` names the corpus"
+                );
+                std::process::exit(2);
+            }
+        },
+    };
+    let mut failed = false;
+    for s in corpus {
+        match replay_check(&s.config, &s.schedule) {
+            Ok(run) if run.clean() => {
+                println!(
+                    "{:28} OK ({} acks, {} commands committed, replayed bit-identically)",
+                    s.name,
+                    run.acked.len(),
+                    run.total_committed()
+                );
+            }
+            Ok(run) => {
+                failed = true;
+                println!("{:28} FAILED: {:?}", s.name, run.violations);
+            }
+            Err(diff) => {
+                failed = true;
+                println!("{:28} REPLAY DIVERGED: {diff}", s.name);
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
     }
 }
 

@@ -197,25 +197,25 @@ pub fn store_fingerprint<F: Field>(
 }
 
 /// What [`replay_local`] reconstructed from `snapshot + log`.
-struct Replayed<F> {
+pub(crate) struct Replayed<F> {
     /// The coded state at the last durable round.
-    coded_state: Vec<F>,
+    pub(crate) coded_state: Vec<F>,
     /// The next round to execute.
-    next_round: u64,
+    pub(crate) next_round: u64,
     /// Log records folded onto the snapshot.
-    records: u64,
+    pub(crate) records: u64,
     /// Per-client dedup horizons — snapshot horizons advanced by every
     /// replayed round's logged batch, so a client command that committed
     /// before the crash is still deduplicated after it (the exactly-once
     /// guarantee must survive restarts, not just the balances).
-    horizons: BTreeMap<u64, u64>,
+    pub(crate) horizons: BTreeMap<u64, u64>,
 }
 
 /// Replays `snapshot + log`: starts from the snapshot (or the genesis
 /// encoding), applies each consecutive record's coded-state delta and
 /// folds its batch into the dedup horizons, and stops at the first gap
 /// or malformed delta.
-fn replay_local<F: Field>(
+pub(crate) fn replay_local<F: Field>(
     machine: &CodedMachine<F>,
     recovered: &Recovered,
     genesis: Vec<F>,

@@ -1004,7 +1004,7 @@ fn consensus_weight(payload: &Payload) -> usize {
 }
 
 /// Encodes a result vector for the wire in canonical `u64` form.
-fn result_payload<F: Field>(round: u64, sender: usize, values: &[F]) -> Payload {
+pub(crate) fn result_payload<F: Field>(round: u64, sender: usize, values: &[F]) -> Payload {
     let (_, canon) = canonical(sender, values);
     Payload::Result {
         round,

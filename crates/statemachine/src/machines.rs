@@ -114,6 +114,47 @@ pub fn auction_machine<F: Field>() -> PolyTransition<F> {
         .expect("auction machine arity is consistent")
 }
 
+/// A keyed key–value store machine (degree 2) on `slots`-dimensional
+/// states: state `(s_0, …, s_{V−1})`, input `(sel_0, …, sel_{V−1}, v)`:
+///
+/// `s_i′ = s_i + sel_i·v − sel_i·s_i`,  `y_i = s_i′`.
+///
+/// With one-hot Boolean selectors this is *put*: the selected slot is
+/// overwritten with `v` and every other slot is untouched; the all-zero
+/// command is a no-op (batching pads safely). The selector product makes
+/// every coordinate genuinely non-linear in `(state, input)` jointly, so
+/// unlike the bank machine this transition is **not** fold-aggregatable
+/// — per-round batches run as chained command *programs*
+/// ([`crate::Aggregation::Program`]), and a coded deployment must size
+/// its code dimension for the intended cap
+/// (`CodedMachine::with_program_cap` in `csm-core`).
+///
+/// # Panics
+///
+/// Panics if `slots == 0`.
+pub fn kv_machine<F: Field>(slots: usize) -> PolyTransition<F> {
+    assert!(slots >= 1, "kv machine needs at least one slot");
+    // vars: [s_0..s_{V-1}, sel_0..sel_{V-1}, v]
+    let nv = 2 * slots + 1;
+    let mut next = Vec::with_capacity(slots);
+    for i in 0..slots {
+        let mut keep = vec![0u32; nv];
+        keep[i] = 1;
+        let mut write = vec![0u32; nv];
+        write[slots + i] = 1;
+        write[2 * slots] = 1;
+        let mut erase = vec![0u32; nv];
+        erase[i] = 1;
+        erase[slots + i] = 1;
+        next.push(MultiPoly::from_terms(
+            nv,
+            vec![(F::ONE, keep), (F::ONE, write), (-F::ONE, erase)],
+        ));
+    }
+    let output = next.clone();
+    PolyTransition::new(slots, slots + 1, next, output).expect("kv machine arity is consistent")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,6 +227,36 @@ mod tests {
         let (next, out) = m.apply(&[f(3), f(4)], &[f(5), f(6)]).unwrap();
         assert_eq!(next, vec![f(3 + 5 * 4), f(4 + 6)]);
         assert_eq!(out, vec![f(12), f(30)]);
+    }
+
+    #[test]
+    fn kv_machine_put_semantics() {
+        let m = kv_machine::<Fp61>(3);
+        assert_eq!(m.degree(), 2);
+        assert_eq!(m.state_dim(), 3);
+        assert_eq!(m.input_dim(), 4);
+        let state = vec![f(10), f(20), f(30)];
+        // put slot 1 := 77
+        let (next, out) = m.apply(&state, &[f(0), f(1), f(0), f(77)]).unwrap();
+        assert_eq!(next, vec![f(10), f(77), f(30)]);
+        assert_eq!(out, next);
+        // the all-zero command is a no-op (safe batch padding)
+        let (same, _) = m.apply(&state, &[f(0), f(0), f(0), f(0)]).unwrap();
+        assert_eq!(same, state);
+        // a non-selected value is also a no-op, whatever v is
+        let (untouched, _) = m.apply(&state, &[f(0), f(0), f(0), f(999)]).unwrap();
+        assert_eq!(untouched, state);
+    }
+
+    #[test]
+    fn kv_machine_chains_as_a_program() {
+        // two sequential puts to different slots compose; a second put to
+        // the same slot wins — order sensitivity is exactly why this is
+        // Program-class, not Fold-class
+        let m = kv_machine::<Fp61>(2);
+        let (s1, _) = m.apply(&[f(1), f(2)], &[f(1), f(0), f(5)]).unwrap();
+        let (s2, _) = m.apply(&s1, &[f(1), f(0), f(9)]).unwrap();
+        assert_eq!(s2, vec![f(9), f(2)]);
     }
 
     #[test]

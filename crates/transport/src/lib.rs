@@ -2,13 +2,16 @@
 //!
 //! The real transport substrate for CSM nodes: authenticated,
 //! length-prefixed binary frames ([`Frame`]) moved over actual I/O instead
-//! of the discrete-event simulator in `csm-network`. Two backends
+//! of the discrete-event simulator in `csm-network`. Three backends
 //! implement the same [`Transport`] interface:
 //!
 //! * [`mem::MemMesh`] — an in-process channel mesh (deterministic-ish,
-//!   zero syscalls; the unit-test and benchmarking substrate), and
+//!   zero syscalls; the unit-test and benchmarking substrate),
 //! * [`tcp::TcpTransport`] — real loopback/LAN TCP sockets with a reader
-//!   thread per inbound connection.
+//!   thread per inbound connection, and
+//! * [`sim::SimTransport`] — an endpoint over the seeded virtual-clock
+//!   [`sim::SimNet`] fabric (bit-for-bit deterministic; what the
+//!   `csm-chaos` harness drives whole-cluster fault scenarios on).
 //!
 //! Authentication reuses `csm_network::auth` keyed MACs, carrying the
 //! paper's authenticated-Byzantine model (§2.1) onto the wire: both
@@ -30,6 +33,7 @@
 
 pub mod frame;
 pub mod mem;
+pub mod sim;
 pub mod tcp;
 pub mod wire;
 

@@ -20,7 +20,7 @@ use coded_state_machine::csm::exchange::Word;
 use coded_state_machine::csm::metrics::csm_max_machines;
 use coded_state_machine::csm::{CsmClusterBuilder, DecoderKind, FaultSpec, SynchronyMode};
 use coded_state_machine::statemachine::machines::{
-    auction_machine, bank_machine, interest_machine, power_machine,
+    auction_machine, bank_machine, interest_machine, kv_machine, power_machine,
 };
 use coded_state_machine::statemachine::PolyTransition;
 use csm_node::ExchangeTiming;
@@ -41,6 +41,7 @@ enum MachineKind {
     Interest,
     Power(u32),
     Auction,
+    Kv(usize),
 }
 
 fn machine_kind() -> impl Strategy<Value = MachineKind> {
@@ -49,6 +50,7 @@ fn machine_kind() -> impl Strategy<Value = MachineKind> {
         Just(MachineKind::Interest),
         (1u32..4).prop_map(MachineKind::Power),
         Just(MachineKind::Auction),
+        (1usize..4).prop_map(MachineKind::Kv),
     ]
 }
 
@@ -58,6 +60,7 @@ fn instantiate<F: Field>(kind: MachineKind) -> PolyTransition<F> {
         MachineKind::Interest => interest_machine(),
         MachineKind::Power(d) => power_machine(d),
         MachineKind::Auction => auction_machine(),
+        MachineKind::Kv(slots) => kv_machine(slots),
     }
 }
 
